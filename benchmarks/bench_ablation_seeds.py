@@ -1,0 +1,86 @@
+"""Ablation B — seed model: exact 4-mers vs subset-seed patterns.
+
+The paper adopts subset seeds because they are "very efficient for
+indexing the protein sequences" at equal theoretical sensitivity.  This
+ablation measures the trade-off space on live data: key-space size,
+index-list balance, step-2 pair volume (hardware cost), seed hit rate on
+true homologs (sensitivity proxy) and on background (selectivity proxy).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from harness import write_table
+
+from repro.index.kmer import ContiguousSeedModel, TwoBankIndex
+from repro.index.subset_seed import SubsetSeedModel
+from repro.seqs.generate import mutate_protein, random_protein
+from repro.seqs.sequence import Sequence, SequenceBank
+from repro.util.reporting import TextTable
+
+SEEDS = [
+    ("####  (exact 4-mer)", ContiguousSeedModel(4)),
+    ("#11#", SubsetSeedModel.from_pattern("#11#")),
+    ("1111", SubsetSeedModel.from_pattern("1111")),
+    ("#44#", SubsetSeedModel.from_pattern("#44#")),
+]
+
+
+def measure(model, rng_seed=9):
+    """(homolog pairs, background pairs, key space, weight) for one seed."""
+    rng = np.random.default_rng(rng_seed)
+    p = random_protein(rng, 20_000)
+    hom = mutate_protein(rng, p, identity=0.5, indel_rate=0.0)
+    bg = random_protein(rng, 20_000)
+    b0 = SequenceBank([Sequence("p", p)], pad=16)
+    b_hom = SequenceBank([Sequence("h", hom)], pad=16)
+    b_bg = SequenceBank([Sequence("b", bg)], pad=16)
+    hom_pairs = TwoBankIndex.build(b0, b_hom, model).total_pairs
+    bg_pairs = TwoBankIndex.build(b0, b_bg, model).total_pairs
+    weight = model.weight() if isinstance(model, SubsetSeedModel) else float(model.w)
+    return hom_pairs, bg_pairs, model.key_space, weight
+
+
+def build_table() -> TextTable:
+    """Render the seed ablation."""
+    t = TextTable(
+        "Ablation B — seed models (20 kaa homolog at 50% id vs background)",
+        ["seed", "weight", "key space", "homolog pairs", "background pairs",
+         "sensitivity/selectivity gain"],
+    )
+    base = measure(ContiguousSeedModel(4))
+    for name, model in SEEDS:
+        hom, bg, space, weight = measure(model)
+        gain = (hom / base[0]) / max(1e-9, bg / base[1])
+        t.add_row(
+            name, f"{weight:.2f}", f"{space:,}", f"{hom:,}", f"{bg:,}",
+            f"{gain:.2f}",
+        )
+    t.add_note(
+        "gain > 1: the seed recovers homolog windows faster than it "
+        "admits background — the subset-seed design point of [Peterlongo]"
+    )
+    return t
+
+
+def test_ablation_seeds(benchmark):
+    """Verify the subset-seed claim: better sensitivity per selectivity."""
+    benchmark.pedantic(measure, args=(SEEDS[1][1],), rounds=1, iterations=1)
+    results = {name: measure(model) for name, model in SEEDS}
+    exact = results["####  (exact 4-mer)"]
+    subset = results["#11#"]
+    # Subset seeds find more homolog seed pairs than exact 4-mers…
+    assert subset[0] > exact[0]
+    # …at a better sensitivity/selectivity exchange rate.
+    exact_rate = exact[0] / max(1, exact[1])
+    subset_rate = subset[0] / max(1, subset[1])
+    assert subset_rate > exact_rate * 0.9
+    table = build_table()
+    print()
+    print(table.render())
+    write_table("ablation_seeds", table.render())
+
+
+if __name__ == "__main__":
+    print(build_table().render())

@@ -1,0 +1,78 @@
+"""Ablation C — PE slot size (register-barrier depth).
+
+The paper's pipeline structure "short and parallel data paths — instead of
+long and shared data paths" trades per-batch fill overhead (more barriers)
+against clock frequency and routability.  The simulator can quantify the
+cycle-count side of that trade: smaller slots → more barrier stages → more
+fill overhead per batch, with the effect largest on small banks (many
+batches relative to compute).  The clock-frequency benefit is outside a
+cycle model's scope — this ablation shows what the design *pays* in
+cycles for its place-and-route friendliness.
+"""
+
+from __future__ import annotations
+
+from harness import BANK_LABELS, get_model, write_table
+
+from repro.util.reporting import TextTable
+
+SLOT_SIZES = (4, 8, 16, 48)
+
+
+def step2_seconds_for_slots(model, label: str, slot_size: int) -> float:
+    """Modelled 192-PE step-2 seconds at one slot size."""
+    cfg = model.psc_config(192)
+    cfg = type(cfg)(
+        n_pes=cfg.n_pes,
+        slot_size=slot_size,
+        window=cfg.window,
+        threshold=cfg.threshold,
+        matrix=cfg.matrix,
+    )
+    st = model.bank_stats(label)
+    hits = int(st.pairs * model.rates.hit_rate)
+    seconds, _ = model.platform.modeled_step2_seconds(
+        st.k0s, st.k1s, hits, cfg, pair_overhead_cycles=model.pair_overhead
+    )
+    return seconds
+
+
+def build_table(model) -> TextTable:
+    """Render the slot-size ablation."""
+    t = TextTable(
+        "Ablation C — slot size vs step-2 time (192 PEs, seconds)",
+        ["bank"] + [f"slot={s} ({-(-192 // s)} barriers)" for s in SLOT_SIZES]
+        + ["overhead spread"],
+    )
+    for label in BANK_LABELS:
+        times = [step2_seconds_for_slots(model, label, s) for s in SLOT_SIZES]
+        spread = (max(times) - min(times)) / min(times)
+        t.add_row(
+            label, *[f"{x:,.1f}" for x in times], f"{spread:.2%}"
+        )
+    t.add_note(
+        "deep pipelines cost little in cycles — which is why the paper "
+        "could afford them to win clock frequency and routability"
+    )
+    return t
+
+
+def test_ablation_slots(paper_model, benchmark):
+    """Quantify barrier overhead; verify it is small but monotone."""
+    benchmark(step2_seconds_for_slots, paper_model, "3K", 8)
+    for label in ("1K", "30K"):
+        times = [
+            step2_seconds_for_slots(paper_model, label, s) for s in SLOT_SIZES
+        ]
+        # More barriers (smaller slots) never make the schedule faster.
+        assert times == sorted(times, reverse=True), times
+        # And the total cost of pipelining stays below a few percent.
+        assert (times[0] - times[-1]) / times[-1] < 0.05
+    table = build_table(paper_model)
+    print()
+    print(table.render())
+    write_table("ablation_slots", table.render())
+
+
+if __name__ == "__main__":
+    print(build_table(get_model()).render())

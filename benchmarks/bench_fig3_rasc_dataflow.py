@@ -1,0 +1,106 @@
+"""Figure 3 — RASC-100 platform integration, exercised as a dataflow report.
+
+Figure 3 shows how the PSC operator sits behind SGI's core services: DMA
+engines over NUMAlink, ADR registers, board SRAM, the loader.  This bench
+exercises that integration path end to end on the platform model — load a
+bitstream, program the ADRs, run a workload, collect results — and
+reports the transfer/compute budget (with the input stream overlapped
+against compute, as the double-buffered design achieves), plus the
+paper-scale I/O budget of the 30K workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from harness import get_model, write_table
+
+from repro.index.kmer import ContiguousSeedModel, TwoBankIndex
+from repro.psc.schedule import PscArrayConfig
+from repro.psc.workload import job_stream_bytes
+from repro.rasc.platform import RESULT_RECORD_BYTES, Rasc100
+from repro.seqs.generate import random_protein_bank
+from repro.util.reporting import TextTable, fmt_seconds
+
+
+def run_dataflow():
+    """Drive the full platform path on a live workload."""
+    rng = np.random.default_rng(3)
+    b0 = random_protein_bank(rng, 25, mean_length=150, name_prefix="q")
+    b1 = random_protein_bank(rng, 40, mean_length=150, name_prefix="s")
+    index = TwoBankIndex.build(b0, b1, ContiguousSeedModel(3))
+    cfg = PscArrayConfig(n_pes=32, slot_size=8, window=3 + 2 * 8, threshold=20)
+    rasc = Rasc100()
+    rasc.load_bitstream(cfg, fpga_id=0)
+    run = rasc.run_step2(index, flank=8, fpga_id=0)
+    return rasc, run, cfg, index
+
+
+def build_table(model) -> TextTable:
+    """Render the dataflow budget report."""
+    rasc, run, cfg, index = run_dataflow()
+    adr = rasc.fpgas[0].adr
+    t = TextTable(
+        "Figure 3 — RASC-100 dataflow budget",
+        ["quantity", "live small run", "projected 30K workload"],
+    )
+    st = model.bank_stats("30K")
+    cfg30 = model.psc_config(192)
+    in30 = int((st.k0s.sum() + st.k1s.sum()) * (cfg30.window + 4))
+    hits30 = model.step2_hits("30K")
+    out30 = hits30 * RESULT_RECORD_BYTES
+    compute30 = model.accel_step2_seconds("30K", 192)
+    bw = rasc.fabric.link.bandwidth_bytes_per_s
+    t.add_row("bitstream loads", rasc.loads, 1)
+    t.add_row("ADR writes (host)", adr.writes, "same protocol")
+    t.add_row("input stream (bytes)", f"{run.plan.bytes_in:,}", f"{in30:,}")
+    t.add_row("result stream (bytes)", f"{run.plan.bytes_out:,}", f"{out30:,}")
+    t.add_row(
+        "compute time",
+        fmt_seconds(run.compute_seconds),
+        fmt_seconds(compute30),
+    )
+    t.add_row(
+        "input-stream time (un-overlapped)",
+        fmt_seconds(run.plan.bytes_in / bw),
+        fmt_seconds(in30 / bw),
+    )
+    t.add_row(
+        "I/O exposed beyond compute",
+        fmt_seconds(run.io_seconds),
+        fmt_seconds(out30 / bw),
+    )
+    t.add_note(
+        "input DMA overlaps compute (double buffering); only the result "
+        "tail and transfer latencies are exposed — on the 30K workload the "
+        "link is never the bottleneck, matching the paper's single-FPGA "
+        "experience"
+    )
+    return t
+
+
+def test_fig3_rasc_dataflow(paper_model, benchmark):
+    """Benchmark the platform path; check overlap accounting."""
+    rasc, run, cfg, index = benchmark.pedantic(run_dataflow, rounds=1, iterations=1)
+    # ADR protocol was exercised.
+    adr = rasc.fpgas[0].adr
+    assert adr.read("STATUS") == 2  # done
+    assert adr.read("RESULT_COUNT") == len(run.hits)
+    assert adr.read("CYCLE_COUNT") == run.breakdown.total_cycles
+    # I/O accounting: exposed I/O is never more than the naive sum.
+    naive = rasc.fabric.io_seconds(run.plan)
+    assert 0 <= run.io_seconds <= naive
+    # Paper-scale projection: compute dominates the link by orders of
+    # magnitude (the design is compute-bound, as the paper found).
+    st = paper_model.bank_stats("30K")
+    in30 = int((st.k0s.sum() + st.k1s.sum()) * (paper_model.psc_config(192).window + 4))
+    bw = rasc.fabric.link.bandwidth_bytes_per_s
+    assert in30 / bw < 0.05 * paper_model.accel_step2_seconds("30K", 192)
+    table = build_table(paper_model)
+    print()
+    print(table.render())
+    write_table("fig3_rasc_dataflow", table.render())
+
+
+if __name__ == "__main__":
+    print(build_table(get_model()).render())

@@ -1,0 +1,91 @@
+"""Table 2 — overall performance: NCBI tblastn vs RASC 64/128/192 PEs.
+
+Paper numbers (seconds / speedup over tblastn):
+
+=====  ========  ==========  ===========  ===========
+bank   tblastn   RASC 64     RASC 128     RASC 192
+=====  ========  ==========  ===========  ===========
+1K     2 379     506 / 4.70  451 / 5.27   443 / 5.37
+3K     7 089     873 / 8.10  689 / 10.20  631 / 11.23
+10K    24 017    2220/10.81  1661 / 14.45 1450 / 16.56
+30K    70 891    6031/11.75  4312 / 16.44 3667 / 19.33
+=====  ========  ==========  ===========  ===========
+
+Our rows are modelled at paper scale from measured index statistics and
+functional rates; only the 30K anchors are calibrated (see harness).  The
+headline *shape* claims reproduced: speedup grows with bank size (PE-array
+occupancy), more PEs help more on larger banks, and the 192-PE/30K speedup
+lands near 19×.
+"""
+
+from __future__ import annotations
+
+from harness import (
+    BANK_LABELS,
+    PAPER_RASC_TOTAL,
+    PAPER_TBLASTN,
+    PE_COUNTS,
+    get_model,
+    write_table,
+)
+
+from repro.util.reporting import TextTable
+
+
+def build_table(model) -> TextTable:
+    """Render Table 2 with paper values inline."""
+    t = TextTable(
+        "Table 2 — overall: NCBI tblastn vs RASC (seconds, speedup)",
+        ["bank", "tblastn (paper)", "RASC 64 (paper)", "RASC 128 (paper)",
+         "RASC 192 (paper)", "speedup 64/128/192 (paper)"],
+    )
+    for label in BANK_LABELS:
+        tb = model.tblastn_seconds(label)
+        totals = {p: model.rasc_total_seconds(label, p) for p in PE_COUNTS}
+        speed = "/".join(f"{tb / totals[p]:.2f}" for p in PE_COUNTS)
+        paper_speed = "/".join(
+            f"{PAPER_TBLASTN[label] / PAPER_RASC_TOTAL[p][label]:.2f}"
+            for p in PE_COUNTS
+        )
+        t.add_row(
+            label,
+            f"{tb:,.0f} ({PAPER_TBLASTN[label]:,})",
+            f"{totals[64]:,.0f} ({PAPER_RASC_TOTAL[64][label]:,})",
+            f"{totals[128]:,.0f} ({PAPER_RASC_TOTAL[128][label]:,})",
+            f"{totals[192]:,.0f} ({PAPER_RASC_TOTAL[192][label]:,})",
+            f"{speed} ({paper_speed})",
+        )
+    t.add_note("calibrated anchors: tblastn@30K, step-2 seq@30K, RASC step-2@30K/192")
+    return t
+
+
+def test_table2_overall(paper_model, benchmark):
+    """Benchmark one end-to-end projection; emit the table; check shape."""
+    benchmark(paper_model.rasc_total_seconds, "10K", 192)
+    table = build_table(paper_model)
+    print()
+    print(table.render())
+    write_table("table2_overall", table.render())
+    # Shape assertions — who wins, by roughly what factor, and the trend.
+    speedups = {}
+    for label in BANK_LABELS:
+        tb = paper_model.tblastn_seconds(label)
+        for p in PE_COUNTS:
+            speedups[(label, p)] = tb / paper_model.rasc_total_seconds(label, p)
+    # RASC always wins.
+    assert all(s > 1 for s in speedups.values())
+    # Speedup grows monotonically with bank size at every PE count.
+    for p in PE_COUNTS:
+        col = [speedups[(label, p)] for label in BANK_LABELS]
+        assert col == sorted(col), col
+    # More PEs never hurt at any bank size.
+    for label in BANK_LABELS:
+        row = [speedups[(label, p)] for p in PE_COUNTS]
+        assert row == sorted(row), row
+    # Headline factors: ~5× at 1K/192, ~19× at 30K/192 (±25 %).
+    assert 4.0 < speedups[("1K", 192)] < 6.7
+    assert 14.5 < speedups[("30K", 192)] < 24.0
+
+
+if __name__ == "__main__":
+    print(build_table(get_model()).render())

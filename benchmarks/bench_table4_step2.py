@@ -1,0 +1,92 @@
+"""Table 4 — step 2 only: sequential vs RASC 64/128/192 PEs.
+
+Paper numbers (seconds / speedup over the sequential step 2):
+
+=====  ==========  ============  ============  ============
+bank   sequential  RASC 64       RASC 128      RASC 192
+=====  ==========  ============  ============  ============
+1K     2 368       220 / 10.76   176 / 13.45   169 / 14.01
+3K     7 577       462 / 16.40   280 / 27.06   223 / 33.97
+10K    24 687      1366 / 18.07  720 / 34.28   510 / 48.38
+30K    73 492      3932 / 18.68  2015 / 36.47  1373 / 53.52
+=====  ==========  ============  ============  ============
+
+The key shape: parallelisation efficiency *grows with the data set* —
+larger banks mean longer IL0 index lists, hence fuller PE batches.
+"""
+
+from __future__ import annotations
+
+from harness import (
+    BANK_LABELS,
+    PAPER_STEP2_RASC,
+    PAPER_STEP2_SEQ,
+    PE_COUNTS,
+    get_model,
+    write_table,
+)
+
+from repro.util.reporting import TextTable
+
+
+def build_table(model) -> TextTable:
+    """Render Table 4 with paper values inline."""
+    t = TextTable(
+        "Table 4 — step 2 only (seconds, speedup vs sequential)",
+        ["bank", "sequential (paper)"]
+        + [f"RASC {p} (paper)" for p in PE_COUNTS]
+        + ["utilization 64/128/192"],
+    )
+    for label in BANK_LABELS:
+        seq = model.software_steps(label).step2
+        cells = []
+        utils = []
+        for p in PE_COUNTS:
+            s = model.accel_step2_seconds(label, p)
+            cells.append(
+                f"{s:,.0f} / {seq / s:.2f} "
+                f"({PAPER_STEP2_RASC[p][label]:,} / "
+                f"{PAPER_STEP2_SEQ[label] / PAPER_STEP2_RASC[p][label]:.2f})"
+            )
+            utils.append(
+                f"{model.bank_stats(label).schedule(model.psc_config(p)).utilization:.0%}"
+            )
+        t.add_row(
+            label, f"{seq:,.0f} ({PAPER_STEP2_SEQ[label]:,})", *cells,
+            "/".join(utils),
+        )
+    t.add_note(
+        "utilization = busy PE-cycles / offered PE-cycles of the ideal "
+        "schedule — the paper's small-bank starvation mechanism"
+    )
+    return t
+
+
+def test_table4_step2(paper_model, benchmark):
+    """Benchmark one schedule evaluation; emit the table; check shape."""
+    stats = paper_model.bank_stats("30K")
+    benchmark(stats.schedule, paper_model.psc_config(192))
+    table = build_table(paper_model)
+    print()
+    print(table.render())
+    write_table("table4_step2", table.render())
+    speedups = {}
+    for label in BANK_LABELS:
+        seq = paper_model.software_steps(label).step2
+        for p in PE_COUNTS:
+            speedups[(label, p)] = seq / paper_model.accel_step2_seconds(label, p)
+    # Efficiency grows with bank size at every PE count (paper's trend).
+    for p in PE_COUNTS:
+        col = [speedups[(label, p)] for label in BANK_LABELS]
+        assert col == sorted(col), col
+    # 30K/192 is the calibration anchor: must land on the paper's 53.5×.
+    paper_anchor = PAPER_STEP2_SEQ["30K"] / PAPER_STEP2_RASC[192]["30K"]
+    assert abs(speedups[("30K", 192)] - paper_anchor) < 3.0
+    # Occupancy: 1K utilisation is far below 30K at 192 PEs.
+    u1 = paper_model.bank_stats("1K").schedule(paper_model.psc_config(192)).utilization
+    u30 = paper_model.bank_stats("30K").schedule(paper_model.psc_config(192)).utilization
+    assert u1 < 0.5 * u30
+
+
+if __name__ == "__main__":
+    print(build_table(get_model()).render())

@@ -1,0 +1,103 @@
+"""Table 6 — sensitivity/selectivity: ROC50 and AP-mean.
+
+Paper values (102 queries vs the yeast genome, curated families):
+
+===========  ======  ========
+             ROC50   AP-mean
+===========  ======  ========
+FPGA-RASC    0.468   0.447
+NCBI-BLAST   0.479   0.441
+===========  ======  ========
+
+We rebuild the protocol on the planted-family benchmark (17 families,
+synthetic yeast-scale genome, mutation channels spanning the twilight
+zone) and score **both real engines functionally**: the seed pipeline
+(single weight-3.5 subset seed, the RASC algorithm) and the BLAST-like
+baseline (two-hit 3-mers).  The claim under test is *similarity*: one
+seed of span 4 with subset groups loses little sensitivity against
+BLAST's two-hit heuristic.  Absolute values depend on the (synthetic)
+family hardness; the bench asserts closeness between engines, not the
+paper's absolute 0.468.
+"""
+
+from __future__ import annotations
+
+from harness import PAPER_TABLE6, current_scale, get_model, write_table
+
+from repro.baseline.tblastn import TblastnSearch
+from repro.core.pipeline import SeedComparisonPipeline
+from repro.eval.benchmark_data import build_benchmark
+from repro.util.reporting import TextTable
+
+_CACHE = {}
+
+
+def run_sensitivity(scale=None):
+    """Build the benchmark and score both engines (cached per scale).
+
+    Half the families are *remote* (pairwise identity below the detection
+    limit), matching the composition of real curated benchmarks — the
+    reason NCBI BLAST itself only reaches ~0.48 ROC50 on Gertz et al.
+    """
+    scale = scale or current_scale()
+    if scale.name in _CACHE:
+        return _CACHE[scale.name]
+    bench = build_benchmark(
+        seed=2009,
+        n_families=17,
+        queries_per_family=scale.sens_queries_per_family,
+        plants_per_family=4,
+        genome_length=scale.sens_genome_nt,
+        query_identity=(0.55, 0.88),
+        plant_identity=(0.55, 0.90),
+        remote_fraction=0.5,
+    )
+    model = get_model(scale.name)
+    rasc = bench.score_engine(
+        "FPGA-RASC",
+        lambda q, g: SeedComparisonPipeline(model.config).compare_with_genome(q, g),
+    )
+    blast = bench.score_engine(
+        "NCBI-BLAST", lambda q, g: TblastnSearch().search_genome(q, g)
+    )
+    _CACHE[scale.name] = (bench, rasc, blast)
+    return _CACHE[scale.name]
+
+
+def build_table(rasc, blast) -> TextTable:
+    """Render Table 6 with paper values inline."""
+    t = TextTable(
+        "Table 6 — ROC50 and AP-mean (planted-family benchmark)",
+        ["engine", "ROC50 (paper)", "AP-mean (paper)"],
+    )
+    for run, paper_key in ((rasc, "FPGA-RASC"), (blast, "NCBI-BLAST")):
+        p_roc, p_ap = PAPER_TABLE6[paper_key]
+        t.add_row(run.name, f"{run.roc50:.3f} ({p_roc})", f"{run.ap_mean:.3f} ({p_ap})")
+    t.add_note(
+        "ground truth is planted (synthetic families), so absolute values "
+        "are benchmark-specific; the paper's claim is engine *similarity*"
+    )
+    return t
+
+
+def test_table6_sensitivity(paper_model, benchmark):
+    """Run both engines on the benchmark; check the similarity claim."""
+    bench, rasc, blast = run_sensitivity()
+    benchmark.pedantic(
+        lambda: rasc.roc50, rounds=1, iterations=1
+    )  # scoring itself is the measured unit elsewhere; keep bench cheap
+    table = build_table(rasc, blast)
+    print()
+    print(table.render())
+    write_table("table6_sensitivity", table.render())
+    # Both engines detect a substantial fraction of twilight homologs…
+    assert rasc.roc50 > 0.25
+    assert blast.roc50 > 0.25
+    # …and are similar, as the paper claims (|ΔROC50| small).
+    assert abs(rasc.roc50 - blast.roc50) < 0.15
+    assert abs(rasc.ap_mean - blast.ap_mean) < 0.15
+
+
+if __name__ == "__main__":
+    bench, rasc, blast = run_sensitivity()
+    print(build_table(rasc, blast).render())

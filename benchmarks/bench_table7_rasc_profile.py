@@ -1,0 +1,74 @@
+"""Table 7 — % of time per step on RASC with 192 PEs.
+
+Paper numbers:
+
+======  ====  ====  ====  ====
+step      1K    3K   10K   30K
+======  ====  ====  ====  ====
+step 1   43%   31%   14%    6%
+step 2   38%   35%   35%   37%
+step 3   19%   34%   51%   57%
+======  ====  ====  ====  ====
+
+The shape the paper draws its conclusion from: once step 2 is
+accelerated, indexing dominates small runs and **gapped extension becomes
+the bottleneck at scale** (57 % at 30K) — motivating their proposed
+second FPGA operator for step 3.
+"""
+
+from __future__ import annotations
+
+from harness import BANK_LABELS, PAPER_TABLE7, get_model, write_table
+
+from repro.util.reporting import TextTable
+
+
+def fractions_for(model, label: str) -> tuple[float, float, float]:
+    """Per-step shares of the modelled RASC-192 run."""
+    sw = model.software_steps(label)
+    accel = model.accel_step2_seconds(label, 192)
+    total = sw.step1 + accel + sw.step3
+    return sw.step1 / total, accel / total, sw.step3 / total
+
+
+def build_table(model) -> TextTable:
+    """Render Table 7 with paper values inline."""
+    t = TextTable(
+        "Table 7 — RASC 192-PE per-step shares",
+        ["step"] + [f"{l} (paper)" for l in BANK_LABELS],
+    )
+    fracs = {l: fractions_for(model, l) for l in BANK_LABELS}
+    for i, step in enumerate(("step 1", "step 2", "step 3")):
+        t.add_row(
+            step,
+            *[
+                f"{fracs[l][i]:.0%} ({PAPER_TABLE7[l][i]}%)"
+                for l in BANK_LABELS
+            ],
+        )
+    return t
+
+
+def test_table7_rasc_profile(paper_model, benchmark):
+    """Benchmark the profile projection; emit the table; check shape."""
+    benchmark(fractions_for, paper_model, "30K")
+    table = build_table(paper_model)
+    print()
+    print(table.render())
+    write_table("table7_rasc_profile", table.render())
+    fracs = {l: fractions_for(paper_model, l) for l in BANK_LABELS}
+    # Step-1 share shrinks monotonically with bank size (43% -> 6%).
+    s1 = [fracs[l][0] for l in BANK_LABELS]
+    assert s1 == sorted(s1, reverse=True), s1
+    assert s1[0] > 0.25 and s1[-1] < 0.12
+    # Step-3 share grows monotonically and dominates at 30K.
+    s3 = [fracs[l][2] for l in BANK_LABELS]
+    assert s3 == sorted(s3), s3
+    assert s3[-1] == max(fracs["30K"])
+    # Step-2 share stays in a stable mid band, as in the paper.
+    s2 = [fracs[l][1] for l in BANK_LABELS]
+    assert all(0.2 < v < 0.55 for v in s2), s2
+
+
+if __name__ == "__main__":
+    print(build_table(get_model()).render())

@@ -1,0 +1,21 @@
+"""Benchmark suite configuration.
+
+Makes the local ``harness`` module importable regardless of pytest rootdir
+and provides the shared :class:`~harness.PaperModel` as a fixture so the
+expensive statistics/functional passes run once per session.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+
+from harness import PaperModel, get_model  # noqa: E402
+
+
+@pytest.fixture(scope="session")
+def paper_model() -> PaperModel:
+    """Session-cached paper-scale projection model."""
+    return get_model()

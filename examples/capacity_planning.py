@@ -1,0 +1,83 @@
+"""Capacity planning: how much accelerator does a workload deserve?
+
+The paper's conclusion asks how future systems should split work between
+cores and reconfigurable logic.  This example answers it for a concrete
+workload using only the library's models — no simulation at scale:
+
+1. index the banks and read the step-2 statistics that govern everything
+   (list lengths, pair mass, skew);
+2. sweep the PE-array size and find where utilisation collapses;
+3. project blade-count scaling with the cluster model (dual-FPGA blades,
+   multi-core hosts) and locate the point of diminishing returns.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.index import (
+    DEFAULT_SUBSET_SEED,
+    TwoBankIndex,
+    index_stats,
+    joint_stats,
+    occupancy_curve,
+)
+from repro.rasc import BladeSpec, ClusterModel, HostCostModel
+from repro.seqs import random_genome, random_protein_bank, translated_bank
+from repro.util import TextTable
+
+
+def main() -> None:
+    rng = np.random.default_rng(2026)
+    bank = random_protein_bank(rng, 400, mean_length=344, redundancy=0.2)
+    genome = random_genome(rng, 500_000, name="target")
+    frames = translated_bank(genome)
+    index = TwoBankIndex.build(bank, frames, DEFAULT_SUBSET_SEED)
+
+    print("== workload statistics ==")
+    print("protein bank:", index_stats(index.index0).describe())
+    print("join:", joint_stats(index).describe())
+    print()
+
+    t = TextTable(
+        "PE-array sizing (one FPGA, 100 MHz)",
+        ["PEs", "utilisation", "step-2 time"],
+    )
+    prev_time = None
+    knee = None
+    for pes, util, ms in occupancy_curve(index, pe_counts=(32, 64, 128, 192, 256)):
+        t.add_row(pes, f"{util:.1%}", f"{ms:.1f} ms")
+        if prev_time is not None and ms > 0.9 * prev_time and knee is None:
+            knee = pes
+        prev_time = ms
+    t.add_note(f"diminishing returns set in around {knee or 256} PEs for this bank")
+    print(t.render())
+    print()
+
+    host = HostCostModel()
+    cm = ClusterModel(BladeSpec(host_cores=4), host, pair_overhead_cycles=2.9)
+    k0s, k1s = index.list_length_pairs()
+    t2 = TextTable(
+        "blade scaling (2 FPGAs + 4 cores per blade)",
+        ["blades", "wall time", "speedup", "parallel efficiency"],
+    )
+    base = None
+    for n in (1, 2, 4, 8, 16):
+        p = cm.project(
+            n, k0s, k1s, bank.total_residues, frames.total_residues,
+            step3_cells=10**7, n_alignments=50_000,
+        )
+        if base is None:
+            base = p.wall_seconds
+        speed = base / p.wall_seconds
+        t2.add_row(n, f"{p.wall_seconds * 1e3:.1f} ms", f"{speed:.2f}×",
+                   f"{speed / n:.0%}")
+    t2.add_note("replicated genome indexing caps scaling — shard the genome")
+    t2.add_note("side too once bank sharding saturates")
+    print(t2.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,123 @@
+"""Genome annotation — the paper's motivating workflow.
+
+"Typically, it is included in bioinformatics workflows for annotating new
+sequenced genomes.  From a set of known proteins, the aim is to locate in
+the genome regions having significant similarities."  (§1)
+
+This example plays that workflow end to end on synthetic data:
+
+1. a "newly sequenced" 400 knt genome is built containing divergent copies
+   of 8 known protein families (plus background);
+2. a reference bank of known proteins (the family ancestors plus decoys)
+   is compared against the genome with the accelerated pipeline;
+3. alignments are mapped from frame coordinates back to genomic
+   coordinates and merged into *annotation features* (gene candidates);
+4. the annotation is checked against the planted ground truth and printed
+   as a GFF-like feature table.
+
+Run:  python examples/genome_annotation.py
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import ComparisonReport
+from repro.eval import frame_interval
+from repro.rasc import AcceleratedPipeline
+from repro.seqs import (
+    Sequence,
+    SequenceBank,
+    make_family,
+    plant_homologs,
+    random_genome,
+    random_protein_bank,
+)
+
+
+@dataclass
+class Feature:
+    """One annotated gene candidate on the genome."""
+
+    protein: str
+    start: int
+    end: int
+    strand: str
+    bits: float
+    evalue: float
+
+
+def annotate(report: ComparisonReport, genome_length: int) -> list[Feature]:
+    """Convert alignments to genomic features, merging frame overlaps."""
+    features: list[Feature] = []
+    for a in report:
+        start, end = frame_interval(a.seq1_name, a.start1, a.end1, genome_length)
+        strand = "+" if "+1" in a.seq1_name or "+2" in a.seq1_name or "+3" in a.seq1_name else "-"
+        merged = False
+        for f in features:
+            if f.protein == a.seq0_name and start < f.end and f.start < end:
+                f.start = min(f.start, start)
+                f.end = max(f.end, end)
+                f.bits = max(f.bits, a.bit_score)
+                f.evalue = min(f.evalue, a.evalue)
+                merged = True
+                break
+        if not merged:
+            features.append(
+                Feature(a.seq0_name, start, end, strand, a.bit_score, a.evalue)
+            )
+    features.sort(key=lambda f: f.start)
+    return features
+
+
+def main() -> None:
+    rng = np.random.default_rng(404)
+
+    # Known protein families and the genome carrying divergent copies.
+    families = [
+        make_family(rng, i, int(rng.integers(150, 350)), n_members=1,
+                    identity_range=(0.55, 0.8))
+        for i in range(8)
+    ]
+    genome = random_genome(rng, 400_000, name="novel_genome")
+    genome, truth = plant_homologs(rng, genome, families)
+
+    # Reference bank: ancestors of the real families + unrelated decoys.
+    known = [Sequence(f"KNOWN_{f.family_id:02d}", f.ancestor) for f in families]
+    decoys = list(random_protein_bank(rng, 40, name_prefix="DECOY_"))
+    bank = SequenceBank(known + decoys)
+    print(f"annotating {len(genome):,} nt with {len(bank)} known proteins "
+          f"({len(truth)} true genes planted)\n")
+
+    pipeline = AcceleratedPipeline()
+    result = pipeline.run(bank, genome)
+    features = annotate(result.report, len(genome))
+
+    print("seqname        source  feature  start    end      strand  bits    evalue")
+    for f in features:
+        print(f"novel_genome   repro   CDS      {f.start:<8} {f.end:<8} "
+              f"{f.strand:<7} {f.bits:<7.1f} {f.evalue:.1e}")
+
+    # Validate against ground truth.
+    hits = 0
+    for t in truth:
+        covered = any(
+            f.protein == f"KNOWN_{t.family_id:02d}"
+            and f.start < t.genome_end
+            and t.genome_start < f.end
+            for f in features
+        )
+        hits += covered
+    decoy_features = [f for f in features if f.protein.startswith("DECOY_")]
+    print(f"\nrecovered {hits}/{len(truth)} planted genes; "
+          f"{len(decoy_features)} decoy features (false annotations)")
+    print(f"modelled run time: {result.total_seconds:.2f}s "
+          f"(step2 on PSC array: {result.accel_seconds * 1e3:.1f}ms)")
+    assert hits == len(truth), "annotation missed a planted gene"
+    assert not decoy_features, "decoy protein produced a feature"
+
+
+if __name__ == "__main__":
+    main()

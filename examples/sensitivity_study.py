@@ -1,0 +1,67 @@
+"""Sensitivity study: seed design vs detection limit (paper §4.4).
+
+Sweeps homolog identity from easy to impossible and measures, for the
+seed pipeline and the BLAST-like baseline, the fraction of planted
+homologs recovered — a hands-on version of the paper's ROC50 comparison,
+showing *where* the two seeding heuristics separate.
+
+Run:  python examples/sensitivity_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baseline import TblastnSearch
+from repro.core import SeedComparisonPipeline
+from repro.eval import build_benchmark
+from repro.util import TextTable
+
+
+def recovery_at(identity: float, n_families: int = 8, seed: int = 7):
+    """Fraction of planted homologs found by each engine at one identity."""
+    bench = build_benchmark(
+        seed=seed,
+        n_families=n_families,
+        queries_per_family=2,
+        plants_per_family=2,
+        genome_length=150_000,
+        query_identity=(identity, identity),
+        plant_identity=(identity, identity),
+    )
+    runs = {
+        "pipeline": bench.score_engine(
+            "pipeline", lambda q, g: SeedComparisonPipeline().compare_with_genome(q, g)
+        ),
+        "baseline": bench.score_engine(
+            "baseline", lambda q, g: TblastnSearch().search_genome(q, g)
+        ),
+    }
+    return {name: run.roc50 for name, run in runs.items()}
+
+
+def main() -> None:
+    table = TextTable(
+        "homolog recovery (ROC50) vs per-channel identity",
+        ["identity / channel", "≈ pairwise id", "seed pipeline", "BLAST-like"],
+    )
+    for identity in (0.9, 0.75, 0.6, 0.5, 0.4, 0.3):
+        scores = recovery_at(identity)
+        pairwise = identity * identity + (1 - identity) ** 2 * 0.06
+        table.add_row(
+            f"{identity:.2f}",
+            f"{pairwise:.2f}",
+            f"{scores['pipeline']:.2f}",
+            f"{scores['baseline']:.2f}",
+        )
+    table.add_note("queries and plants mutate independently from the ancestor,")
+    table.add_note("so pairwise identity is roughly the product of the channels")
+    print(table.render())
+    print()
+    print("reading: both engines track each other until deep twilight,")
+    print("matching the paper's Table 6 similarity claim; below ~25% pairwise")
+    print("identity neither heuristic can seed an alignment.")
+
+
+if __name__ == "__main__":
+    main()

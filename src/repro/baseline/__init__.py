@@ -1,0 +1,14 @@
+"""NCBI-tblastn-like baseline: neighbourhood words, two-hit seeding,
+ungapped + gapped X-drop extension."""
+
+from .tblastn import BaselineStats, TblastnConfig, TblastnSearch, baseline_seconds
+from .twohit import TwoHitScanner, TwoHitStats
+
+__all__ = [
+    "TblastnConfig",
+    "TblastnSearch",
+    "BaselineStats",
+    "baseline_seconds",
+    "TwoHitScanner",
+    "TwoHitStats",
+]

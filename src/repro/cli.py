@@ -1,0 +1,283 @@
+"""Command-line front end.
+
+Subcommands mirror the deployment stages of the paper's system::
+
+    repro-psc compare  QUERIES.fasta GENOME.fasta   # software pipeline
+    repro-psc accel    QUERIES.fasta GENOME.fasta   # RASC-100 model
+    repro-psc baseline QUERIES.fasta GENOME.fasta   # tblastn-like baseline
+    repro-psc synth    --proteins 50 --genome-nt 100000 out_prefix
+    repro-psc simulate --pes 64 --entries 200       # PSC cycle simulation
+
+``compare``/``accel``/``baseline`` print alignments in a BLAST-tabular-like
+format; ``synth`` writes a reproducible synthetic workload to FASTA files;
+``simulate`` runs the cycle-level operator on a random workload and prints
+the schedule breakdown.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+import numpy as np
+
+from .core.config import PipelineConfig
+from .core.pipeline import SeedComparisonPipeline
+from .core.results import ComparisonReport
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    p = argparse.ArgumentParser(
+        prog="repro-psc",
+        description="Seed-based protein/genome comparison with a simulated "
+        "SGI RASC-100 accelerator",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def add_compare_args(sp: argparse.ArgumentParser) -> None:
+        sp.add_argument("queries", help="protein FASTA file")
+        sp.add_argument("genome", help="DNA FASTA file (first record used)")
+        sp.add_argument("--evalue", type=float, default=1e-3, help="E-value cutoff")
+        sp.add_argument(
+            "--threshold", type=int, default=45, help="ungapped score threshold"
+        )
+        sp.add_argument("--flank", type=int, default=12, help="window flank N")
+        sp.add_argument("--max-hits", type=int, default=25, help="alignments to print")
+        sp.add_argument(
+            "--render", type=int, default=0, metavar="N",
+            help="render the top N alignments BLAST-style",
+        )
+
+    sc = sub.add_parser("compare", help="run the software pipeline")
+    add_compare_args(sc)
+    sa = sub.add_parser("accel", help="run the RASC-100 accelerated pipeline")
+    add_compare_args(sa)
+    sa.add_argument("--pes", type=int, default=192, help="PE array size")
+    sa.add_argument("--dual", action="store_true", help="use both FPGAs")
+    sb = sub.add_parser("baseline", help="run the tblastn-like baseline")
+    add_compare_args(sb)
+
+    sg = sub.add_parser("synth", help="generate a synthetic workload")
+    sg.add_argument("prefix", help="output file prefix")
+    sg.add_argument("--proteins", type=int, default=100)
+    sg.add_argument("--genome-nt", type=int, default=200_000)
+    sg.add_argument("--families", type=int, default=5)
+    sg.add_argument("--seed", type=int, default=0)
+
+    si = sub.add_parser("index", help="build or inspect a persisted bank index")
+    si.add_argument("action", choices=["build", "info"])
+    si.add_argument("path", help="index file (.npz)")
+    si.add_argument("--fasta", help="protein FASTA to index (build)")
+    si.add_argument(
+        "--seed", dest="seed_pattern", default="#11#",
+        help="seed pattern (subset symbols) or 'contiguous:W'",
+    )
+
+    ss = sub.add_parser("simulate", help="cycle-simulate the PSC operator")
+    ss.add_argument("--pes", type=int, default=16)
+    ss.add_argument("--slot-size", type=int, default=8)
+    ss.add_argument("--entries", type=int, default=100)
+    ss.add_argument("--seed", type=int, default=0)
+    return p
+
+
+def _print_report(report: ComparisonReport, max_hits: int) -> None:
+    print(
+        f"# seed pairs={report.n_seed_pairs}  ungapped hits="
+        f"{report.n_ungapped_hits}  gapped extensions="
+        f"{report.n_gapped_extensions}  alignments={len(report)}"
+    )
+    print("# query\tsubject\tqstart\tqend\tsstart\tsend\traw\tbits\tevalue")
+    for a in report.best(max_hits):
+        print(
+            f"{a.seq0_name}\t{a.seq1_name}\t{a.start0}\t{a.end0}\t"
+            f"{a.start1}\t{a.end1}\t{a.raw_score}\t{a.bit_score:.1f}\t"
+            f"{a.evalue:.2e}"
+        )
+
+
+def _load_compare_inputs(args):
+    from .seqs.alphabet import DNA
+    from .seqs.fasta import load_bank, read_fasta
+
+    queries = load_bank(args.queries)
+    genome = next(iter(read_fasta(args.genome, DNA)))
+    config = PipelineConfig(
+        flank=args.flank,
+        ungapped_threshold=args.threshold,
+        max_evalue=args.evalue,
+    )
+    return queries, genome, config
+
+
+def _cmd_compare(args) -> int:
+    queries, genome, config = _load_compare_inputs(args)
+    pipe = SeedComparisonPipeline(config)
+    report = pipe.compare_with_genome(queries, genome)
+    _print_report(report, args.max_hits)
+    f1, f2, f3 = pipe.profile.wall_fractions()
+    print(f"# wall profile: step1={f1:.1%} step2={f2:.1%} step3={f3:.1%}")
+    if args.render:
+        from .core.render import render_alignment
+        from .seqs.translate import translated_bank
+
+        frames = translated_bank(genome, pad=max(64, config.flank + 8))
+        for a in report.best(args.render):
+            print()
+            print(render_alignment(queries, frames, a, config.matrix, config.gaps))
+    return 0
+
+
+def _cmd_index(args) -> int:
+    from .index.kmer import BankIndex, ContiguousSeedModel
+    from .index.persist import load_index, save_index
+    from .index.subset_seed import SubsetSeedModel
+    from .seqs.fasta import load_bank
+
+    if args.action == "build":
+        if not args.fasta:
+            raise SystemExit("index build requires --fasta")
+        if args.seed_pattern.startswith("contiguous:"):
+            model = ContiguousSeedModel(int(args.seed_pattern.split(":")[1]))
+        else:
+            model = SubsetSeedModel.from_pattern(args.seed_pattern)
+        bank = load_bank(args.fasta)
+        index = BankIndex(bank, model)
+        save_index(index, args.path)
+        print(
+            f"indexed {len(bank)} sequences ({bank.total_residues:,} aa): "
+            f"{index.n_anchors:,} anchors, "
+            f"{len(index.unique_keys):,} distinct keys -> {args.path}"
+        )
+        return 0
+    index = load_index(args.path)
+    lengths = index.list_lengths()
+    print(f"sequences   : {len(index.bank)}")
+    print(f"residues    : {index.bank.total_residues:,}")
+    print(f"seed model  : span={index.model.span} key_space={index.model.key_space:,}")
+    print(f"anchors     : {index.n_anchors:,}")
+    print(f"keys used   : {len(index.unique_keys):,}")
+    if lengths.size:
+        print(f"list length : mean={lengths.mean():.2f} max={int(lengths.max())}")
+    print(f"memory      : {index.memory_bytes():,} bytes")
+    from .index.stats import index_stats
+
+    st = index_stats(index)
+    print(f"p99 length  : {st.p99_length:.0f}")
+    print(f"load factor : {st.load_factor:.1%}")
+    print(f"gini        : {st.gini:.3f}")
+    return 0
+
+
+def _cmd_accel(args) -> int:
+    from .psc.schedule import PscArrayConfig
+    from .rasc.accelerated import AcceleratedPipeline
+
+    queries, genome, config = _load_compare_inputs(args)
+    psc = PscArrayConfig(
+        n_pes=args.pes,
+        window=config.window,
+        threshold=config.ungapped_threshold,
+        matrix=config.matrix,
+    )
+    pipe = AcceleratedPipeline(config, psc)
+    result = pipe.run_dual(queries, genome) if args.dual else pipe.run(queries, genome)
+    _print_report(result.report, args.max_hits)
+    print(
+        f"# modelled: step1={result.host_seconds.step1:.3f}s "
+        f"accel={result.accel_seconds:.4f}s "
+        f"step3={result.host_seconds.step3:.3f}s "
+        f"total={result.total_seconds:.3f}s"
+    )
+    return 0
+
+
+def _cmd_baseline(args) -> int:
+    from .baseline.tblastn import TblastnConfig, TblastnSearch
+
+    queries, genome, _config = _load_compare_inputs(args)
+    search = TblastnSearch(TblastnConfig(max_evalue=args.evalue))
+    report = search.search_genome(queries, genome)
+    _print_report(report, args.max_hits)
+    s = search.stats
+    print(
+        f"# word hits={s.word_hits} triggers={s.triggers} "
+        f"ungapped ext={s.ungapped_extensions} gapped ext={s.gapped_extensions}"
+    )
+    return 0
+
+
+def _cmd_synth(args) -> int:
+    from .seqs.fasta import write_fasta
+    from .seqs.generate import make_family, plant_homologs, random_genome, random_protein_bank
+    from .seqs.sequence import Sequence
+
+    rng = np.random.default_rng(args.seed)
+    bank = random_protein_bank(rng, args.proteins)
+    genome = random_genome(rng, args.genome_nt)
+    families = [
+        make_family(rng, f, int(rng.integers(120, 400)), 2)
+        for f in range(args.families)
+    ]
+    genome, truth = plant_homologs(rng, genome, families)
+    extras = [Sequence(f"family{f.family_id:03d}", f.ancestor) for f in families]
+    write_fasta(list(bank) + extras, f"{args.prefix}_proteins.fasta")
+    write_fasta([genome], f"{args.prefix}_genome.fasta")
+    print(f"wrote {args.prefix}_proteins.fasta ({len(bank) + len(extras)} sequences)")
+    print(f"wrote {args.prefix}_genome.fasta ({args.genome_nt} nt)")
+    for t in truth:
+        print(
+            f"# planted family={t.family_id} member={t.member_index} "
+            f"[{t.genome_start}:{t.genome_end}] strand={t.strand:+d}"
+        )
+    return 0
+
+
+def _cmd_simulate(args) -> int:
+    from .index.kmer import TwoBankIndex
+    from .index.subset_seed import DEFAULT_SUBSET_SEED
+    from .psc.operator import PscOperator
+    from .psc.schedule import PscArrayConfig
+    from .psc.workload import build_jobs
+    from .seqs.generate import random_protein_bank
+
+    rng = np.random.default_rng(args.seed)
+    b0 = random_protein_bank(rng, max(2, args.entries // 20), mean_length=150)
+    b1 = random_protein_bank(rng, max(2, args.entries // 10), mean_length=150)
+    index = TwoBankIndex.build(b0, b1, DEFAULT_SUBSET_SEED)
+    cfg = PscArrayConfig(n_pes=args.pes, slot_size=args.slot_size, threshold=20)
+    op = PscOperator(cfg)
+    result = op.run(build_jobs(index, flank=12, window=cfg.window))
+    b = result.breakdown
+    print(f"entries={index.n_shared_keys} pairs={index.total_pairs} hits={len(result)}")
+    print(
+        f"cycles: load={b.load_cycles} compute={b.compute_cycles} "
+        f"overhead={b.overhead_cycles} total={b.total_cycles}"
+    )
+    print(f"PE utilisation: {b.utilization:.1%}")
+    print(f"time @100MHz: {cfg.seconds(b.total_cycles) * 1e3:.3f} ms")
+    return 0
+
+
+_COMMANDS = {
+    "compare": _cmd_compare,
+    "index": _cmd_index,
+    "accel": _cmd_accel,
+    "baseline": _cmd_baseline,
+    "synth": _cmd_synth,
+    "simulate": _cmd_simulate,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""The paper's core contribution: the reorganised 3-step seed-based
+comparison pipeline, its configuration, results and work partitioning."""
+
+from .config import PipelineConfig
+from .modes import BlastFamilySearch, SearchMode, translate_queries
+from .render import alignment_traceback, render_alignment, render_report
+from .partition import partition_imbalance, split_bank, split_entries
+from .pipeline import SeedComparisonPipeline, gapped_stage
+from .profile import PipelineProfile, StepCounters
+from .results import Alignment, ComparisonReport
+
+__all__ = [
+    "PipelineConfig",
+    "SearchMode",
+    "BlastFamilySearch",
+    "translate_queries",
+    "render_alignment",
+    "render_report",
+    "alignment_traceback",
+    "SeedComparisonPipeline",
+    "gapped_stage",
+    "Alignment",
+    "ComparisonReport",
+    "PipelineProfile",
+    "StepCounters",
+    "split_bank",
+    "split_entries",
+    "partition_imbalance",
+]

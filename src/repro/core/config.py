@@ -1,0 +1,83 @@
+"""Pipeline configuration.
+
+One frozen dataclass gathers every knob of the paper's algorithm so a
+configuration can be shared verbatim between the software pipeline, the
+hardware-accelerated pipeline, and the benchmark harness (which must hold
+everything but the PE count constant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from ..extend.gapped import GapPenalties
+from ..extend.ungapped import ScoreSemantics, UngappedConfig
+from ..index.kmer import ContiguousSeedModel, SeedModel
+from ..index.subset_seed import DEFAULT_SUBSET_SEED
+from ..seqs.matrices import BLOSUM62, SubstitutionMatrix
+
+__all__ = ["PipelineConfig"]
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Full parameter set of the seed-based comparison pipeline.
+
+    Attributes
+    ----------
+    seed_model:
+        Step-1 indexing seed.  Defaults to the weight-≈3.5 span-4 subset
+        seed (the paper's choice); pass
+        :class:`~repro.index.kmer.ContiguousSeedModel` for exact W-mers.
+    flank:
+        The paper's ``N``: residues examined on each side of the seed in
+        step 2 (window = ``span + 2N``).
+    ungapped_threshold:
+        Step-2 survival threshold (raw score).  The paper raises this value
+        in the 2-FPGA experiment to thin result traffic; see Table 3.
+    semantics:
+        Window-score recurrence (Kadane by default; see
+        :class:`~repro.extend.ungapped.ScoreSemantics`).
+    matrix:
+        Substitution matrix for every stage.
+    gaps, gapped_x_drop:
+        Step-3 affine penalties and X-drop bound.
+    max_evalue:
+        Final report cut-off (the paper compares at ``E = 10⁻³``).
+    """
+
+    seed_model: SeedModel = field(default_factory=lambda: DEFAULT_SUBSET_SEED)
+    flank: int = 12
+    ungapped_threshold: int = 45
+    semantics: ScoreSemantics = ScoreSemantics.KADANE
+    matrix: SubstitutionMatrix = BLOSUM62
+    gaps: GapPenalties = field(default_factory=GapPenalties)
+    gapped_x_drop: int = 38
+    max_evalue: float = 1e-3
+    pair_chunk: int = 1 << 20
+
+    @property
+    def window(self) -> int:
+        """Step-2 window width ``W + 2N``."""
+        return self.seed_model.span + 2 * self.flank
+
+    def ungapped_config(self) -> UngappedConfig:
+        """Derive the step-2 kernel configuration."""
+        return UngappedConfig(
+            w=self.seed_model.span,
+            n=self.flank,
+            threshold=self.ungapped_threshold,
+            matrix=self.matrix,
+            semantics=self.semantics,
+            pair_chunk=self.pair_chunk,
+        )
+
+    def with_(self, **kwargs: Any) -> "PipelineConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    @classmethod
+    def exact_seed(cls, w: int = 4, **kwargs: Any) -> "PipelineConfig":
+        """Convenience: a configuration using exact contiguous W-mers."""
+        return cls(seed_model=ContiguousSeedModel(w), **kwargs)

@@ -1,0 +1,147 @@
+"""BLAST-family search modes.
+
+The paper's conclusion notes the PSC design "can be directly reused for
+implementing blastp, blastx and tblastx" — the ungapped window kernel only
+ever sees protein residues, so every translated mode reduces to preparing
+the right protein banks.  This module provides that facade:
+
+============  =======================  =========================
+mode          query side               subject side
+============  =======================  =========================
+``BLASTP``    proteins                 proteins
+``TBLASTN``   proteins                 DNA, translated 6-frame
+``BLASTX``    DNA, translated 6-frame  proteins
+``TBLASTX``   DNA, translated 6-frame  DNA, translated 6-frame
+============  =======================  =========================
+
+Optionally applies SEG low-complexity masking to the query side before
+indexing (NCBI's default behaviour) and runs step 2 either in software or
+on the accelerated pipeline.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from ..seqs.alphabet import DNA
+from ..seqs.lowcomplexity import SegConfig, mask_bank
+from ..seqs.sequence import Sequence, SequenceBank
+from ..seqs.translate import translated_bank
+from .config import PipelineConfig
+from .pipeline import SeedComparisonPipeline
+from .results import ComparisonReport
+
+__all__ = ["SearchMode", "BlastFamilySearch", "translate_queries"]
+
+
+class SearchMode(enum.Enum):
+    """Which sides of the comparison are translated."""
+
+    BLASTP = "blastp"
+    BLASTX = "blastx"
+    TBLASTN = "tblastn"
+    TBLASTX = "tblastx"
+
+    @property
+    def query_is_dna(self) -> bool:
+        """True when the query side must be 6-frame translated."""
+        return self in (SearchMode.BLASTX, SearchMode.TBLASTX)
+
+    @property
+    def subject_is_dna(self) -> bool:
+        """True when the subject side must be 6-frame translated."""
+        return self in (SearchMode.TBLASTN, SearchMode.TBLASTX)
+
+
+def translate_queries(dna: Sequence | SequenceBank, pad: int = 64) -> SequenceBank:
+    """Translate DNA queries into one protein bank of all frames.
+
+    Each input sequence contributes six frame sequences named
+    ``"<name>|frame±K"`` so hits can be mapped back to nucleotide
+    coordinates with :func:`repro.seqs.translate.codon_of`.
+    """
+    seqs = [dna] if isinstance(dna, Sequence) else list(dna)
+    frames: list[Sequence] = []
+    for seq in seqs:
+        if seq.alphabet is not DNA:
+            raise ValueError(f"query {seq.name!r} is not DNA")
+        frames.extend(translated_bank(seq, pad=pad))
+    return SequenceBank(frames, pad=pad)
+
+
+class BlastFamilySearch:
+    """Unified driver for the four search modes.
+
+    Parameters
+    ----------
+    config:
+        Pipeline parameters shared by all modes.
+    seg:
+        SEG configuration for query-side masking, or ``None`` to disable.
+    step2:
+        Optional step-2 engine override (e.g.
+        ``PscBehavioral(...).step2_hits`` bound to a flank), passed through
+        to :class:`~repro.core.pipeline.SeedComparisonPipeline`.
+    """
+
+    def __init__(
+        self,
+        config: PipelineConfig | None = None,
+        seg: SegConfig | None = SegConfig(),
+        step2=None,
+    ) -> None:
+        self.config = config or PipelineConfig()
+        self.seg = seg
+        self._step2 = step2
+        #: Pipeline of the most recent search (profile, index, hits).
+        self.last_pipeline: SeedComparisonPipeline | None = None
+        #: Masked query-residue fraction of the most recent search.
+        self.last_masked_fraction: float = 0.0
+
+    def _protein_side(
+        self, data: Sequence | SequenceBank, is_dna: bool, side: str
+    ) -> SequenceBank:
+        pad = max(64, self.config.flank + 8)
+        if is_dna:
+            if isinstance(data, Sequence):
+                return translated_bank(data, pad=pad)
+            return translate_queries(data, pad=pad)
+        if isinstance(data, Sequence):
+            data = SequenceBank([data], pad=pad)
+        if data.alphabet is DNA:
+            raise ValueError(f"{side} bank is DNA but the mode expects protein")
+        return data
+
+    def search(
+        self,
+        mode: SearchMode,
+        queries: Sequence | SequenceBank,
+        subject: Sequence | SequenceBank,
+    ) -> ComparisonReport:
+        """Run one comparison in the given mode."""
+        qbank = self._protein_side(queries, mode.query_is_dna, "query")
+        sbank = self._protein_side(subject, mode.subject_is_dna, "subject")
+        if self.seg is not None:
+            qbank, self.last_masked_fraction = mask_bank(qbank, self.seg)
+        else:
+            self.last_masked_fraction = 0.0
+        pipeline = SeedComparisonPipeline(self.config, step2=self._step2)
+        self.last_pipeline = pipeline
+        return pipeline.compare_banks(qbank, sbank)
+
+    # Convenience wrappers -------------------------------------------------
+    def blastp(self, queries, subject) -> ComparisonReport:
+        """Protein vs protein."""
+        return self.search(SearchMode.BLASTP, queries, subject)
+
+    def blastx(self, queries, subject) -> ComparisonReport:
+        """Translated DNA queries vs protein bank."""
+        return self.search(SearchMode.BLASTX, queries, subject)
+
+    def tblastn(self, queries, subject) -> ComparisonReport:
+        """Protein queries vs translated genome."""
+        return self.search(SearchMode.TBLASTN, queries, subject)
+
+    def tblastx(self, queries, subject) -> ComparisonReport:
+        """Translated DNA vs translated DNA."""
+        return self.search(SearchMode.TBLASTX, queries, subject)

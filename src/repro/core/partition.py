@@ -1,0 +1,77 @@
+"""Workload partitioning across accelerators.
+
+The paper's 2-FPGA experiment (Table 3) runs "two independent processes
+driving separate FPGAs": the protein bank is split and each half is
+compared against the full genome on its own FPGA, results being merged on
+the host.  This module provides the partitioning strategies:
+
+* :func:`split_bank` — split a bank into ``n`` sub-banks balanced by total
+  residue count (greedy longest-first bin packing), which balances *index
+  anchor* counts and hence step-2 work;
+* :func:`split_entries` — alternative entry-level round-robin split of a
+  joint index's work list, used by the slot-ablation bench to study
+  balance at finer granularity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..index.kmer import TwoBankIndex
+from ..seqs.sequence import SequenceBank
+
+__all__ = ["split_bank", "split_entries", "partition_imbalance"]
+
+
+def split_bank(bank: SequenceBank, n_parts: int) -> list[SequenceBank]:
+    """Split *bank* into *n_parts* residue-balanced sub-banks.
+
+    Sequences are assigned greedily, longest first, to the currently
+    lightest part — the classic LPT heuristic, within 4/3 of optimal
+    makespan.  Sub-banks preserve sequence order within each part.
+    """
+    if n_parts < 1:
+        raise ValueError("n_parts must be >= 1")
+    if n_parts == 1:
+        return [bank]
+    lengths = bank.lengths
+    order = np.argsort(-lengths, kind="stable")
+    loads = np.zeros(n_parts, dtype=np.int64)
+    assignment = np.empty(len(bank), dtype=np.int64)
+    for i in order:
+        part = int(np.argmin(loads))
+        assignment[i] = part
+        loads[part] += int(lengths[i])
+    parts: list[SequenceBank] = []
+    for p in range(n_parts):
+        members = [bank[int(i)] for i in np.flatnonzero(assignment == p)]
+        parts.append(SequenceBank(members, bank.alphabet, pad=bank.pad))
+    return parts
+
+
+def split_entries(index: TwoBankIndex, n_parts: int) -> list[np.ndarray]:
+    """Partition the joint index's entry ids by balanced pair counts.
+
+    Returns ``n_parts`` arrays of entry indices (into
+    :meth:`TwoBankIndex.entry`); entries are assigned LPT-style on their
+    ``K0 × K1`` pair counts.
+    """
+    if n_parts < 1:
+        raise ValueError("n_parts must be >= 1")
+    counts = index.pair_counts()
+    order = np.argsort(-counts, kind="stable")
+    loads = np.zeros(n_parts, dtype=np.int64)
+    buckets: list[list[int]] = [[] for _ in range(n_parts)]
+    for j in order:
+        part = int(np.argmin(loads))
+        buckets[part].append(int(j))
+        loads[part] += int(counts[j])
+    return [np.array(sorted(b), dtype=np.int64) for b in buckets]
+
+
+def partition_imbalance(loads: np.ndarray) -> float:
+    """Makespan imbalance: max load / mean load (1.0 = perfect)."""
+    loads = np.asarray(loads, dtype=np.float64)
+    if loads.size == 0 or loads.mean() == 0:
+        return 1.0
+    return float(loads.max() / loads.mean())

@@ -1,0 +1,77 @@
+"""Per-step instrumentation.
+
+Every performance table in the paper is a statement about *where time goes*
+(Tables 1 and 7) or *how long a step takes* (Tables 2–4).  The pipeline
+therefore records, for each of the three steps, both wall-clock seconds of
+this Python implementation **and** platform-independent operation counts.
+The cost models in :mod:`repro.rasc.host` translate counts into modelled
+Itanium2/RASC-100 seconds; wall-clock is reported alongside for honesty.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["StepCounters", "PipelineProfile"]
+
+
+@dataclass
+class StepCounters:
+    """Counts and wall time for one pipeline step."""
+
+    wall_seconds: float = 0.0
+    #: Step-specific primary operation count:
+    #: step 1 — residues indexed; step 2 — window cells scored;
+    #: step 3 — DP cells computed.
+    operations: int = 0
+    #: Items processed (sequences, pairs, extensions).
+    items: int = 0
+
+    def merge(self, other: "StepCounters") -> None:
+        """Accumulate another step's counters."""
+        self.wall_seconds += other.wall_seconds
+        self.operations += other.operations
+        self.items += other.items
+
+
+@dataclass
+class PipelineProfile:
+    """Profile of one pipeline run (steps 1–3)."""
+
+    step1: StepCounters = field(default_factory=StepCounters)
+    step2: StepCounters = field(default_factory=StepCounters)
+    step3: StepCounters = field(default_factory=StepCounters)
+
+    @contextmanager
+    def timing(self, step: StepCounters) -> Iterator[StepCounters]:
+        """Context manager adding elapsed wall time to *step*."""
+        t0 = time.perf_counter()
+        try:
+            yield step
+        finally:
+            step.wall_seconds += time.perf_counter() - t0
+
+    @property
+    def total_wall(self) -> float:
+        """Total wall seconds across steps."""
+        return self.step1.wall_seconds + self.step2.wall_seconds + self.step3.wall_seconds
+
+    def wall_fractions(self) -> tuple[float, float, float]:
+        """Fractions of wall time per step (the shape of paper Table 1)."""
+        total = self.total_wall
+        if total <= 0:
+            return (0.0, 0.0, 0.0)
+        return (
+            self.step1.wall_seconds / total,
+            self.step2.wall_seconds / total,
+            self.step3.wall_seconds / total,
+        )
+
+    def merge(self, other: "PipelineProfile") -> None:
+        """Accumulate another run's profile."""
+        self.step1.merge(other.step1)
+        self.step2.merge(other.step2)
+        self.step3.merge(other.step3)

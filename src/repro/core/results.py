@@ -1,0 +1,98 @@
+"""Result records produced by the comparison pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+__all__ = ["Alignment", "ComparisonReport"]
+
+
+@dataclass(frozen=True)
+class Alignment:
+    """One reported alignment between a bank-0 and a bank-1 sequence.
+
+    Coordinates are 0-based half-open *local* positions within the named
+    sequences.  When bank 1 is a translated genome, ``seq1_name`` carries
+    the frame tag (``"chr|frame-2"``) and callers can map protein positions
+    back to genomic coordinates with :func:`repro.seqs.translate.codon_of`.
+    """
+
+    seq0_id: int
+    seq0_name: str
+    start0: int
+    end0: int
+    seq1_id: int
+    seq1_name: str
+    start1: int
+    end1: int
+    raw_score: int
+    bit_score: float
+    evalue: float
+    ungapped_score: int = 0
+
+    @property
+    def span0(self) -> int:
+        """Alignment extent on sequence 0."""
+        return self.end0 - self.start0
+
+    @property
+    def span1(self) -> int:
+        """Alignment extent on sequence 1."""
+        return self.end1 - self.start1
+
+    def overlaps(self, other: "Alignment") -> bool:
+        """True when both sequence ranges overlap *other*'s (same pair)."""
+        if (self.seq0_id, self.seq1_id) != (other.seq0_id, other.seq1_id):
+            return False
+        return not (
+            self.end0 <= other.start0
+            or other.end0 <= self.start0
+            or self.end1 <= other.start1
+            or other.end1 <= self.start1
+        )
+
+
+@dataclass
+class ComparisonReport:
+    """Pipeline output: alignments plus run accounting.
+
+    ``alignments`` is sorted by ascending E-value (best first).  The
+    ``profile`` attribute (set by the pipeline) carries per-step timings
+    and operation counts used by every performance table.
+    """
+
+    alignments: list[Alignment] = field(default_factory=list)
+    n_seed_pairs: int = 0
+    n_ungapped_hits: int = 0
+    n_gapped_extensions: int = 0
+
+    def __len__(self) -> int:
+        return len(self.alignments)
+
+    def __iter__(self) -> Iterator[Alignment]:
+        return iter(self.alignments)
+
+    def best(self, n: int = 10) -> list[Alignment]:
+        """Top-*n* alignments by E-value."""
+        return self.alignments[:n]
+
+    def for_query(self, seq0_id: int) -> list[Alignment]:
+        """Alignments of one bank-0 sequence, best first."""
+        return [a for a in self.alignments if a.seq0_id == seq0_id]
+
+    def sort(self) -> None:
+        """Sort by (E-value asc, raw score desc) in place."""
+        self.alignments.sort(key=lambda a: (a.evalue, -a.raw_score))
+
+    @staticmethod
+    def merged(parts: Iterable["ComparisonReport"]) -> "ComparisonReport":
+        """Merge partitioned runs (multi-FPGA / multi-process)."""
+        out = ComparisonReport()
+        for p in parts:
+            out.alignments.extend(p.alignments)
+            out.n_seed_pairs += p.n_seed_pairs
+            out.n_ungapped_hits += p.n_ungapped_hits
+            out.n_gapped_extensions += p.n_gapped_extensions
+        out.sort()
+        return out

@@ -1,0 +1,43 @@
+"""Quality evaluation: ROC50, average precision, the planted-family
+sensitivity benchmark, and throughput metrics."""
+
+from .ap import average_precision, mean_ap
+from .benchmark_data import (
+    ScoredRun,
+    SensitivityBenchmark,
+    build_benchmark,
+    frame_interval,
+)
+from .calibration import (
+    CalibrationReport,
+    ScoreSample,
+    empirical_exceedance,
+    evalue_calibration,
+    fit_lambda,
+    sample_gapped_scores,
+    sample_ungapped_scores,
+)
+from .metrics import LITERATURE_THROUGHPUT, ThroughputPoint, kaamnt_per_second
+from .roc import mean_roc50, roc50, roc_n
+
+__all__ = [
+    "roc_n",
+    "roc50",
+    "mean_roc50",
+    "average_precision",
+    "mean_ap",
+    "SensitivityBenchmark",
+    "build_benchmark",
+    "frame_interval",
+    "ScoredRun",
+    "kaamnt_per_second",
+    "LITERATURE_THROUGHPUT",
+    "ThroughputPoint",
+    "ScoreSample",
+    "CalibrationReport",
+    "sample_gapped_scores",
+    "sample_ungapped_scores",
+    "fit_lambda",
+    "empirical_exceedance",
+    "evalue_calibration",
+]

@@ -1,0 +1,44 @@
+"""Average precision — the paper's selectivity metric (§4.4, after
+Chen 2003).
+
+Per query, the 50 best alignments are marked true/false; for each true
+positive, its *true-positive rank* (1 for the first TP, 2 for the second…)
+is divided by its *list position*; the sum of those ratios divided by the
+total number of true positives gives the query's AP.  Mean-AP averages
+over queries.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["average_precision", "mean_ap"]
+
+
+def average_precision(labels: Sequence[bool], top: int = 50) -> float:
+    """AP of one ranked label list, restricted to the *top* hits.
+
+    Returns 0.0 when no true positive appears in the window (a query that
+    finds nothing scores nothing, as in the paper's protocol).
+    """
+    if top <= 0:
+        raise ValueError("top must be positive")
+    window = list(labels[:top])
+    tp_rank = 0
+    acc = 0.0
+    for position, is_tp in enumerate(window, start=1):
+        if is_tp:
+            tp_rank += 1
+            acc += tp_rank / position
+    if tp_rank == 0:
+        return 0.0
+    return acc / tp_rank
+
+
+def mean_ap(per_query_labels: Sequence[Sequence[bool]], top: int = 50) -> float:
+    """Mean AP across queries (the paper's AP-Mean)."""
+    if not per_query_labels:
+        return 0.0
+    return float(np.mean([average_precision(l, top) for l in per_query_labels]))

@@ -1,0 +1,42 @@
+"""Throughput metrics — paper Table 5.
+
+The paper compares tblastn accelerators by "the product of the number of
+Kilo Amino Acids (Kaa) and the number of Mega nucleotides (Mnt) divided by
+the processing time" — a search-space-per-second figure that normalises
+across data sets.  :func:`kaamnt_per_second` computes it; the literature
+values of Table 5 are tabulated for the bench to print alongside our own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["kaamnt_per_second", "LITERATURE_THROUGHPUT", "ThroughputPoint"]
+
+
+def kaamnt_per_second(
+    bank_amino_acids: int, genome_nucleotides: int, seconds: float
+) -> float:
+    """Kaa × Mnt / s for one run."""
+    if seconds <= 0:
+        raise ValueError("seconds must be positive")
+    return (bank_amino_acids / 1e3) * (genome_nucleotides / 1e6) / seconds
+
+
+@dataclass(frozen=True)
+class ThroughputPoint:
+    """One implementation's throughput as reported in the paper."""
+
+    name: str
+    kaamnt_per_s: float
+    note: str = ""
+
+
+#: Table 5 of the paper, verbatim.
+LITERATURE_THROUGHPUT: tuple[ThroughputPoint, ...] = (
+    ThroughputPoint("DeCypher", 182.0, "TimeLogic benchmark, 4289 proteins vs 192 genomes"),
+    ThroughputPoint("CLC", 2.0, "Smith-Waterman-sensitive; biased comparison"),
+    ThroughputPoint("FLASH/FPGA", 451.0, "IRISA flash-index prototype"),
+    ThroughputPoint("Systolic", 863.0, "NUDT peak, no gapped stage, 3072-PE fit"),
+    ThroughputPoint("1/2 RASC-100", 620.0, "this paper, one FPGA of the blade"),
+)

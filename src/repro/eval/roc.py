@@ -1,0 +1,74 @@
+"""ROC50 — the paper's sensitivity metric (§4.4).
+
+For one query: rank its hits best-first and mark each true/false positive
+against ground truth.  For each of the first 50 false positives, count the
+true positives ranked above it; sum those counts and divide by ``50 × P``
+where ``P`` is the number of true positives the query *could* find (its
+family size in the benchmark).  When the ranked list runs out before 50
+false positives, each missing false positive contributes the total number
+of true positives retrieved (the Gertz et al. convention — a method that
+returns only true positives is not penalised).
+
+The final score averages per-query ROC50 values.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["roc_n", "roc50", "mean_roc50"]
+
+
+def roc_n(labels: Sequence[bool], n_positives: int, n: int = 50) -> float:
+    """ROC_n of one ranked label list.
+
+    Parameters
+    ----------
+    labels:
+        True/False per ranked hit, best score first.
+    n_positives:
+        ``P`` — ground-truth positives available to this query.
+    n:
+        Number of false positives to integrate over (50 in the paper).
+    """
+    if n_positives <= 0:
+        raise ValueError("n_positives must be positive")
+    if n <= 0:
+        raise ValueError("n must be positive")
+    tp_seen = 0
+    fp_seen = 0
+    total = 0
+    for is_tp in labels:
+        if is_tp:
+            tp_seen += 1
+        else:
+            fp_seen += 1
+            total += tp_seen
+            if fp_seen == n:
+                break
+    if fp_seen < n:
+        total += (n - fp_seen) * tp_seen
+    return total / (n * n_positives)
+
+
+def roc50(labels: Sequence[bool], n_positives: int) -> float:
+    """ROC50 of one ranked label list (paper §4.4)."""
+    return roc_n(labels, n_positives, n=50)
+
+
+def mean_roc50(
+    per_query_labels: Sequence[Sequence[bool]],
+    per_query_positives: Sequence[int],
+) -> float:
+    """Average ROC50 across queries (the paper's reported number)."""
+    if len(per_query_labels) != len(per_query_positives):
+        raise ValueError("labels/positives length mismatch")
+    if not per_query_labels:
+        return 0.0
+    scores = [
+        roc50(labels, p)
+        for labels, p in zip(per_query_labels, per_query_positives)
+    ]
+    return float(np.mean(scores))

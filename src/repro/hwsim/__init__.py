@@ -1,0 +1,24 @@
+"""Cycle-driven hardware simulation kernel: clocked components, synchronous
+FIFOs, ROM/SRAM models and DMA/link models."""
+
+from .dma import DmaDrain, DmaStream, LinkAccounting, LinkModel
+from .fifo import FifoCascade, SyncFifo
+from .kernel import Component, SimulationError, Simulator
+from .memory import Rom, Sram
+from .trace import Probe, Tracer
+
+__all__ = [
+    "Component",
+    "Simulator",
+    "SimulationError",
+    "SyncFifo",
+    "FifoCascade",
+    "Rom",
+    "Sram",
+    "Probe",
+    "Tracer",
+    "LinkModel",
+    "LinkAccounting",
+    "DmaStream",
+    "DmaDrain",
+]

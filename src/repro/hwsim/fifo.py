@@ -1,0 +1,141 @@
+"""Synchronous FIFOs with two-phase (stage/commit) semantics.
+
+A :class:`SyncFifo` models a hardware FIFO between clocked producers and
+consumers: pushes staged during ``tick`` become visible only after
+``commit``, so a consumer never sees a word in the same cycle it was
+produced — one-cycle latency per hop, exactly like the register-stage
+FIFOs cascading results out of the paper's PE slots.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Iterable
+
+from .kernel import SimulationError
+
+__all__ = ["SyncFifo", "FifoCascade"]
+
+
+class SyncFifo:
+    """Bounded FIFO with staged pushes/pops.
+
+    ``can_push`` / ``can_pop`` report the *committed* state; ``push`` and
+    ``pop`` stage operations applied at :meth:`commit`.  At most ``depth``
+    committed items are held; staging more pushes than free space raises
+    :class:`~repro.hwsim.kernel.SimulationError` (hardware would drop data
+    — a design bug, so the simulator treats it as fatal).
+    """
+
+    def __init__(self, depth: int, name: str = "fifo") -> None:
+        if depth < 1:
+            raise ValueError("FIFO depth must be >= 1")
+        self.depth = depth
+        self.name = name
+        self._items: deque[Any] = deque()
+        self._staged_pushes: list[Any] = []
+        self._staged_pops = 0
+        #: Peak committed occupancy observed (for sizing studies).
+        self.high_water = 0
+        #: Total items ever pushed (throughput accounting).
+        self.total_pushed = 0
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def can_push(self, n: int = 1) -> bool:
+        """True when *n* more staged pushes will fit after this cycle."""
+        return len(self._items) - self._staged_pops + len(self._staged_pushes) + n <= self.depth
+
+    def push(self, item: Any) -> None:
+        """Stage a push for the next commit."""
+        if not self.can_push(1):
+            raise SimulationError(f"FIFO {self.name!r} overflow (depth {self.depth})")
+        self._staged_pushes.append(item)
+
+    def can_pop(self) -> bool:
+        """True when a committed item is available and not yet claimed."""
+        return len(self._items) > self._staged_pops
+
+    def front(self) -> Any:
+        """Peek the oldest committed, unclaimed item."""
+        if not self.can_pop():
+            raise SimulationError(f"FIFO {self.name!r} underflow")
+        return self._items[self._staged_pops]
+
+    def pop(self) -> Any:
+        """Claim (stage a pop of) the oldest committed item; returns it."""
+        item = self.front()
+        self._staged_pops += 1
+        return item
+
+    def commit(self) -> None:
+        """Apply staged pops then pushes (one clock edge)."""
+        for _ in range(self._staged_pops):
+            self._items.popleft()
+        self._staged_pops = 0
+        overflow = len(self._items) + len(self._staged_pushes) - self.depth
+        if overflow > 0:
+            raise SimulationError(f"FIFO {self.name!r} overflow (depth {self.depth})")
+        self._items.extend(self._staged_pushes)
+        self.total_pushed += len(self._staged_pushes)
+        self._staged_pushes.clear()
+        self.high_water = max(self.high_water, len(self._items))
+
+    def drain(self) -> list[Any]:
+        """Testing helper: pop-and-commit everything immediately."""
+        out = list(self._items)
+        self._items.clear()
+        return out
+
+
+class FifoCascade:
+    """A chain of FIFOs with one-word-per-cycle forwarding.
+
+    Models the paper's cascaded result FIFOs: each cycle, the head of each
+    upstream FIFO moves one hop downstream if space permits.  Call
+    :meth:`forward` from the owning component's ``tick`` and
+    :meth:`commit` from its ``commit``.
+    """
+
+    def __init__(self, n_stages: int, depth: int, name: str = "cascade") -> None:
+        if n_stages < 1:
+            raise ValueError("cascade needs at least one stage")
+        self.stages = [SyncFifo(depth, f"{name}[{i}]") for i in range(n_stages)]
+
+    @property
+    def tail(self) -> SyncFifo:
+        """The last (output-side) FIFO."""
+        return self.stages[-1]
+
+    def stage(self, i: int) -> SyncFifo:
+        """FIFO at position *i* (0 = furthest from output)."""
+        return self.stages[i]
+
+    def forward(self) -> None:
+        """Stage one-hop moves toward the tail (tick phase)."""
+        # Walk from tail-1 upstream so a word moves at most one hop/cycle.
+        for i in range(len(self.stages) - 2, -1, -1):
+            src, dst = self.stages[i], self.stages[i + 1]
+            if src.can_pop() and dst.can_push():
+                dst.push(src.pop())
+
+    def commit(self) -> None:
+        """Latch every stage."""
+        for s in self.stages:
+            s.commit()
+
+    def occupancy(self) -> int:
+        """Total committed items across stages."""
+        return sum(len(s) for s in self.stages)
+
+    def is_empty(self) -> bool:
+        """True when no stage holds data."""
+        return self.occupancy() == 0
+
+
+def fill(fifo: SyncFifo, items: Iterable[Any]) -> None:
+    """Testing helper: push-and-commit a batch."""
+    for it in items:
+        fifo.push(it)
+    fifo.commit()

@@ -1,0 +1,101 @@
+"""Cycle-driven hardware simulation kernel.
+
+A deliberately small synchronous-digital-logic model: a
+:class:`Simulator` owns a set of :class:`Component` instances and advances
+a global clock.  Each cycle has two phases, mirroring edge-triggered RTL:
+
+1. ``tick(cycle)`` — every component reads the *current* (pre-edge) state
+   of its inputs (other components' outputs, FIFO heads) and stages its
+   next state;
+2. ``commit()`` — every component and every FIFO latches staged state,
+   making it visible for the next cycle.
+
+Because all reads happen before all commits, evaluation order within a
+cycle cannot change behaviour — the property that makes the PSC-operator
+simulation deterministic and lets the analytic model match it exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = ["Component", "Simulator", "SimulationError"]
+
+
+class SimulationError(RuntimeError):
+    """Raised on protocol violations (FIFO overflow, bad state…)."""
+
+
+class Component:
+    """Base class for clocked components.
+
+    Subclasses override :meth:`tick` (combinational read + stage) and
+    optionally :meth:`commit` (sequential latch).  Components register any
+    FIFOs they own so the simulator can commit them.
+    """
+
+    name: str = "component"
+
+    def tick(self, cycle: int) -> None:
+        """Stage next state; must only *read* other components' state."""
+
+    def commit(self) -> None:
+        """Latch staged state (post clock edge)."""
+
+    def is_idle(self) -> bool:
+        """True when the component has no pending work (for run-until-idle)."""
+        return True
+
+
+class Simulator:
+    """Owns components and advances the clock.
+
+    Attributes
+    ----------
+    cycle:
+        Number of full cycles executed so far (also the current cycle index
+        passed to ``tick``).
+    """
+
+    def __init__(self) -> None:
+        self._components: list[Component] = []
+        self.cycle = 0
+
+    def add(self, component: Component) -> Component:
+        """Register a component; returns it for chaining."""
+        self._components.append(component)
+        return component
+
+    def step(self, n: int = 1) -> None:
+        """Advance *n* cycles."""
+        for _ in range(n):
+            for c in self._components:
+                c.tick(self.cycle)
+            for c in self._components:
+                c.commit()
+            self.cycle += 1
+
+    def run_until(
+        self, predicate: Callable[[], bool], max_cycles: int = 10_000_000
+    ) -> int:
+        """Step until *predicate* is true; returns cycles executed.
+
+        Raises
+        ------
+        SimulationError
+            If *max_cycles* elapse first (hung design).
+        """
+        start = self.cycle
+        while not predicate():
+            if self.cycle - start >= max_cycles:
+                raise SimulationError(
+                    f"simulation did not converge within {max_cycles} cycles"
+                )
+            self.step()
+        return self.cycle - start
+
+    def run_until_idle(self, max_cycles: int = 10_000_000) -> int:
+        """Step until every component reports idle."""
+        return self.run_until(
+            lambda: all(c.is_idle() for c in self._components), max_cycles
+        )

@@ -1,0 +1,102 @@
+"""Memory models: ROM and SRAM.
+
+* :class:`Rom` — combinational read-only memory, used for the PE
+  substitution-cost ROM (two 5-bit amino-acid codes → signed cost, Figure
+  2 of the paper).  Reads are same-cycle, as in a LUT-based FPGA ROM.
+* :class:`Sram` — the RASC-100 board SRAM: word-addressable storage with
+  cycle accounting and simple bank bookkeeping, used to stage index lists
+  before streaming them through the PSC operator.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .kernel import SimulationError
+
+__all__ = ["Rom", "Sram"]
+
+
+class Rom:
+    """Combinational ROM over a NumPy array image."""
+
+    def __init__(self, image: np.ndarray, name: str = "rom") -> None:
+        self._image = np.ascontiguousarray(image)
+        self._image.flags.writeable = False
+        self.name = name
+        #: Number of read accesses (energy/cost accounting).
+        self.reads = 0
+
+    @property
+    def size(self) -> int:
+        """Number of words."""
+        return int(self._image.shape[0])
+
+    def read(self, address: int) -> int:
+        """Same-cycle read; out-of-range addresses are fatal."""
+        if not 0 <= address < self.size:
+            raise SimulationError(f"ROM {self.name!r}: address {address} out of range")
+        self.reads += 1
+        return int(self._image[address])
+
+    @classmethod
+    def substitution_rom(cls, matrix) -> "Rom":
+        """Build the PE substitution ROM from a
+        :class:`~repro.seqs.matrices.SubstitutionMatrix` (1024 words, two
+        5-bit code address fields: ``a * 32 + b``)."""
+        return cls(matrix.rom_contents(), name=f"subst-{matrix.name}")
+
+
+class Sram:
+    """Word-addressable SRAM with capacity and access accounting.
+
+    The RASC-100 carries board SRAM used to stage data between DMA and the
+    user design.  The model is functional (dense NumPy backing store) with
+    counters for read/write words so the platform model can charge
+    bandwidth.
+    """
+
+    def __init__(self, n_words: int, dtype=np.int64, name: str = "sram") -> None:
+        if n_words < 1:
+            raise ValueError("SRAM needs at least one word")
+        self._store = np.zeros(n_words, dtype=dtype)
+        self.name = name
+        self.reads = 0
+        self.writes = 0
+
+    @property
+    def n_words(self) -> int:
+        """Capacity in words."""
+        return int(self._store.shape[0])
+
+    def _check(self, address: int, count: int) -> None:
+        if address < 0 or address + count > self.n_words:
+            raise SimulationError(
+                f"SRAM {self.name!r}: access [{address}, {address + count}) "
+                f"outside capacity {self.n_words}"
+            )
+
+    def write_block(self, address: int, data: np.ndarray) -> None:
+        """Write a contiguous block of words."""
+        data = np.asarray(data)
+        self._check(address, data.shape[0])
+        self._store[address : address + data.shape[0]] = data
+        self.writes += int(data.shape[0])
+
+    def read_block(self, address: int, count: int) -> np.ndarray:
+        """Read a contiguous block of words (copy)."""
+        self._check(address, count)
+        self.reads += count
+        return self._store[address : address + count].copy()
+
+    def write(self, address: int, value: int) -> None:
+        """Single-word write."""
+        self._check(address, 1)
+        self._store[address] = value
+        self.writes += 1
+
+    def read(self, address: int) -> int:
+        """Single-word read."""
+        self._check(address, 1)
+        self.reads += 1
+        return int(self._store[address])

@@ -1,0 +1,43 @@
+"""Step-1 indexing: contiguous W-mer and subset-seed two-bank indexes, plus
+BLAST neighbourhood-word tables for the baseline."""
+
+from .kmer import BankIndex, ContiguousSeedModel, SeedEntry, SeedModel, TwoBankIndex, extract_keys
+from .persist import load_index, save_index
+from .stats import IndexStats, JointStats, index_stats, joint_stats, occupancy_curve
+from .neighborhood import NeighborhoodTable, word_digits
+from .subset_seed import (
+    DEFAULT_SUBSET_SEED,
+    EXACT,
+    MURPHY10,
+    MURPHY4,
+    MURPHY8,
+    PARTITIONS,
+    Partition,
+    SubsetSeedModel,
+)
+
+__all__ = [
+    "SeedModel",
+    "ContiguousSeedModel",
+    "BankIndex",
+    "TwoBankIndex",
+    "SeedEntry",
+    "extract_keys",
+    "SubsetSeedModel",
+    "Partition",
+    "DEFAULT_SUBSET_SEED",
+    "EXACT",
+    "MURPHY10",
+    "MURPHY8",
+    "MURPHY4",
+    "PARTITIONS",
+    "NeighborhoodTable",
+    "word_digits",
+    "save_index",
+    "load_index",
+    "IndexStats",
+    "JointStats",
+    "index_stats",
+    "joint_stats",
+    "occupancy_curve",
+]

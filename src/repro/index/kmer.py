@@ -1,0 +1,267 @@
+"""Step 1 — two-bank seed indexing.
+
+The paper indexes **both** banks by words of ``W`` amino acids: for each of
+the ``alpha**W`` possible words ``k``, an *index list* ``IL[k]`` holds the
+sequence offsets where the word occurs.  Step 2 then walks entries present
+in both tables and scores every ``IL0[k] × IL1[k]`` pair.
+
+Implementation notes
+--------------------
+* Index lists store **global offsets** into the bank's contiguous buffer
+  (see :class:`repro.seqs.sequence.SequenceBank`) — identical to the paper's
+  "sequence offsets", and the coordinate the hardware input controllers DMA
+  to the accelerator.
+* The table is stored CSR-style (``unique_keys`` / ``indptr`` /
+  ``offsets``): a dense ``20**W`` table (160 000 entries at W=4) would also
+  be fine, but the CSR form is what generalises to subset seeds whose key
+  spaces differ.
+* Key extraction is fully vectorised: each seed position contributes a
+  digit via a 25-entry per-position map; windows containing ambiguity codes
+  or padding are discarded, which automatically excludes windows straddling
+  sequence boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Protocol
+
+import numpy as np
+
+from ..seqs.sequence import SequenceBank
+
+__all__ = ["SeedModel", "ContiguousSeedModel", "BankIndex", "TwoBankIndex", "SeedEntry"]
+
+
+class SeedModel(Protocol):
+    """Strategy mapping length-``span`` windows to integer seed keys."""
+
+    @property
+    def span(self) -> int:
+        """Window width in residues."""
+        ...
+
+    @property
+    def key_space(self) -> int:
+        """Number of distinct keys (exclusive upper bound)."""
+        ...
+
+    def position_maps(self) -> np.ndarray:
+        """``(span, 25)`` int32 array: residue code → digit, or -1 invalid."""
+        ...
+
+    def radices(self) -> np.ndarray:
+        """``(span,)`` int64 mixed-radix weights for combining digits."""
+        ...
+
+
+@dataclass(frozen=True)
+class ContiguousSeedModel:
+    """Plain contiguous W-mer seeds over the 20 canonical residues.
+
+    The paper's baseline indexing scheme; key space ``20**w``.
+    """
+
+    w: int = 4
+
+    @property
+    def span(self) -> int:
+        return self.w
+
+    @property
+    def key_space(self) -> int:
+        return 20 ** self.w
+
+    def position_maps(self) -> np.ndarray:
+        m = np.full((self.w, 25), -1, dtype=np.int32)
+        m[:, :20] = np.arange(20)
+        return m
+
+    def radices(self) -> np.ndarray:
+        return (20 ** np.arange(self.w, dtype=np.int64))[::-1].copy()
+
+    def key_of(self, codes: np.ndarray) -> int:
+        """Key of a single window (scalar convenience; -1 if invalid)."""
+        keys, valid = extract_keys(np.asarray(codes, dtype=np.uint8), self)
+        if keys.shape[0] == 0 or not valid[0]:
+            return -1
+        return int(keys[0])
+
+
+def extract_keys(buffer: np.ndarray, model: SeedModel) -> tuple[np.ndarray, np.ndarray]:
+    """Compute seed keys at every anchor of *buffer*.
+
+    Returns ``(keys, valid)`` of length ``len(buffer) - span + 1``; ``keys``
+    is only meaningful where ``valid`` is True.
+    """
+    buffer = np.asarray(buffer, dtype=np.uint8)
+    span = model.span
+    n = buffer.shape[0] - span + 1
+    if n <= 0:
+        return np.empty(0, dtype=np.int64), np.empty(0, dtype=bool)
+    maps = model.position_maps()
+    radices = model.radices()
+    keys = np.zeros(n, dtype=np.int64)
+    valid = np.ones(n, dtype=bool)
+    for i in range(span):
+        digits = maps[i][buffer[i : i + n]]
+        valid &= digits >= 0
+        keys += np.where(digits >= 0, digits.astype(np.int64), 0) * radices[i]
+    return keys, valid
+
+
+class BankIndex:
+    """CSR index of one bank: seed key → sorted global offsets.
+
+    Equivalent to the paper's table ``T`` with its per-entry index lists
+    ``IL[k]``.
+    """
+
+    def __init__(self, bank: SequenceBank, model: SeedModel) -> None:
+        self._bank = bank
+        self._model = model
+        keys, valid = extract_keys(bank.buffer, model)
+        anchors = np.flatnonzero(valid).astype(np.int64)
+        k = keys[anchors]
+        order = np.argsort(k, kind="stable")
+        k_sorted = k[order]
+        self._offsets = anchors[order]
+        if k_sorted.size:
+            boundaries = np.flatnonzero(np.diff(k_sorted)) + 1
+            self._unique_keys = k_sorted[np.concatenate(([0], boundaries))]
+            self._indptr = np.concatenate(([0], boundaries, [k_sorted.size])).astype(np.int64)
+        else:
+            self._unique_keys = np.empty(0, dtype=np.int64)
+            self._indptr = np.zeros(1, dtype=np.int64)
+
+    @property
+    def bank(self) -> SequenceBank:
+        """The indexed bank."""
+        return self._bank
+
+    @property
+    def model(self) -> SeedModel:
+        """The seed model used to build the index."""
+        return self._model
+
+    @property
+    def unique_keys(self) -> np.ndarray:
+        """Sorted array of keys that occur at least once."""
+        return self._unique_keys
+
+    @property
+    def n_anchors(self) -> int:
+        """Total number of indexed seed anchors."""
+        return int(self._offsets.shape[0])
+
+    def list_for(self, key: int) -> np.ndarray:
+        """Index list ``IL[key]`` — global offsets, or empty array."""
+        i = np.searchsorted(self._unique_keys, key)
+        if i >= self._unique_keys.size or self._unique_keys[i] != key:
+            return np.empty(0, dtype=np.int64)
+        return self._offsets[self._indptr[i] : self._indptr[i + 1]]
+
+    def list_lengths(self) -> np.ndarray:
+        """Length of every non-empty index list, aligned with unique_keys."""
+        return np.diff(self._indptr)
+
+    def slice(self, i: int) -> np.ndarray:
+        """Index list of the *i*-th non-empty entry."""
+        return self._offsets[self._indptr[i] : self._indptr[i + 1]]
+
+    def memory_bytes(self) -> int:
+        """Approximate index memory footprint (offsets + structure)."""
+        return int(
+            self._offsets.nbytes + self._unique_keys.nbytes + self._indptr.nbytes
+        )
+
+
+@dataclass(frozen=True)
+class SeedEntry:
+    """One unit of step-2 work: a shared key with both index lists."""
+
+    key: int
+    offsets0: np.ndarray
+    offsets1: np.ndarray
+
+    @property
+    def pair_count(self) -> int:
+        """Number of ungapped extensions this entry generates (K0 × K1)."""
+        return int(self.offsets0.shape[0]) * int(self.offsets1.shape[0])
+
+
+class TwoBankIndex:
+    """Joint index of two banks; iterates the step-2 work list.
+
+    Matches the paper's structure: tables ``T0``/``T1`` built once, then the
+    nested loop over entries ``k`` present in both enumerates every pair of
+    ``IL0[k] × IL1[k]``.
+    """
+
+    def __init__(self, index0: BankIndex, index1: BankIndex) -> None:
+        if index0.model is not index1.model and (
+            index0.model.span != index1.model.span
+            or index0.model.key_space != index1.model.key_space
+        ):
+            raise ValueError("both banks must be indexed with the same seed model")
+        self.index0 = index0
+        self.index1 = index1
+        _, self._i0, self._i1 = np.intersect1d(
+            index0.unique_keys, index1.unique_keys, assume_unique=True, return_indices=True
+        )
+
+    @classmethod
+    def build(
+        cls, bank0: SequenceBank, bank1: SequenceBank, model: SeedModel
+    ) -> "TwoBankIndex":
+        """Index both banks and join them."""
+        return cls(BankIndex(bank0, model), BankIndex(bank1, model))
+
+    @property
+    def n_shared_keys(self) -> int:
+        """Number of keys occurring in both banks."""
+        return int(self._i0.shape[0])
+
+    def shared_keys(self) -> np.ndarray:
+        """The shared keys, ascending."""
+        return self.index0.unique_keys[self._i0]
+
+    def pair_counts(self) -> np.ndarray:
+        """K0×K1 per shared key — the step-2 workload histogram.
+
+        This array drives both the software cost model and the PE-array
+        occupancy model (see :mod:`repro.psc.schedule`).
+        """
+        l0 = self.index0.list_lengths()[self._i0]
+        l1 = self.index1.list_lengths()[self._i1]
+        return l0 * l1
+
+    def list_length_pairs(self) -> tuple[np.ndarray, np.ndarray]:
+        """(K0, K1) arrays aligned with :meth:`shared_keys`."""
+        return (
+            self.index0.list_lengths()[self._i0],
+            self.index1.list_lengths()[self._i1],
+        )
+
+    @property
+    def total_pairs(self) -> int:
+        """Total ungapped extensions in step 2."""
+        return int(self.pair_counts().sum())
+
+    def entries(self) -> Iterator[SeedEntry]:
+        """Iterate the step-2 work list in key order."""
+        idx0, idx1 = self.index0, self.index1
+        for j in range(self._i0.shape[0]):
+            yield SeedEntry(
+                int(idx0.unique_keys[self._i0[j]]),
+                idx0.slice(int(self._i0[j])),
+                idx1.slice(int(self._i1[j])),
+            )
+
+    def entry(self, j: int) -> SeedEntry:
+        """The *j*-th shared entry."""
+        return SeedEntry(
+            int(self.index0.unique_keys[self._i0[j]]),
+            self.index0.slice(int(self._i0[j])),
+            self.index1.slice(int(self._i1[j])),
+        )

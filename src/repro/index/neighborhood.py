@@ -1,0 +1,104 @@
+"""BLAST-style neighbourhood words (baseline substrate).
+
+NCBI blastp/tblastn seed differently from the paper's algorithm: a query
+position *hits* a subject word ``v`` when the query's own word ``w`` scores
+``score(w, v) ≥ T`` under the substitution matrix — the set of such ``v`` is
+the *neighbourhood* of ``w``.  With W=3 and T=11 (the BLAST defaults for
+BLOSUM62) each word has a few dozen neighbours.
+
+The baseline in :mod:`repro.baseline.tblastn` uses this module to build the
+query-word lookup table; computing all ``20^W × 20^W`` word-pair scores is
+done blockwise with NumPy so table construction stays fast even for the full
+8 000-word space.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..seqs.matrices import BLOSUM62, SubstitutionMatrix
+
+__all__ = ["word_digits", "all_word_scores_blocked", "NeighborhoodTable"]
+
+
+def word_digits(w: int) -> np.ndarray:
+    """``(20**w, w)`` array of residue codes for every canonical word."""
+    n = 20 ** w
+    idx = np.arange(n, dtype=np.int64)
+    digits = np.empty((n, w), dtype=np.uint8)
+    for i in range(w - 1, -1, -1):
+        digits[:, i] = idx % 20
+        idx //= 20
+    return digits
+
+
+def all_word_scores_blocked(
+    matrix: SubstitutionMatrix, w: int, block: int = 512
+):
+    """Yield ``(row_range, scores_block)`` for the full word-pair score matrix.
+
+    ``scores_block[i, j] = sum_k matrix[word(row)[k], word(j)[k]]`` — int16,
+    computed a block of rows at a time to bound memory to
+    ``block × 20**w × 2`` bytes.
+    """
+    digits = word_digits(w)
+    n = digits.shape[0]
+    sub = matrix.scores.astype(np.int16)
+    for lo in range(0, n, block):
+        hi = min(lo + block, n)
+        acc = np.zeros((hi - lo, n), dtype=np.int16)
+        for k in range(w):
+            acc += sub[digits[lo:hi, k][:, None], digits[:, k][None, :]]
+        yield range(lo, hi), acc
+
+
+class NeighborhoodTable:
+    """Word → neighbour-word lists at threshold ``T`` (CSR layout).
+
+    ``neighbors_of(word)`` returns every word whose pairing with *word*
+    scores at least ``T``.  The table is symmetric because substitution
+    matrices are.
+    """
+
+    def __init__(
+        self,
+        matrix: SubstitutionMatrix = BLOSUM62,
+        w: int = 3,
+        threshold: int = 11,
+        block: int = 512,
+    ) -> None:
+        self.matrix = matrix
+        self.w = w
+        self.threshold = int(threshold)
+        n = 20 ** w
+        counts = np.zeros(n, dtype=np.int64)
+        chunks: list[np.ndarray] = []
+        for rows, scores in all_word_scores_blocked(matrix, w, block):
+            hits = scores >= threshold
+            counts[rows.start : rows.stop] = hits.sum(axis=1)
+            chunks.append(np.flatnonzero(hits.ravel()) % n)
+        self._indptr = np.concatenate(([0], np.cumsum(counts)))
+        self._neighbors = (
+            np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
+        ).astype(np.int32)
+
+    @property
+    def n_words(self) -> int:
+        """Size of the word space (``20**w``)."""
+        return 20 ** self.w
+
+    def neighbors_of(self, word: int) -> np.ndarray:
+        """Neighbour words of *word* (including itself when self-score ≥ T)."""
+        return self._neighbors[self._indptr[word] : self._indptr[word + 1]]
+
+    def neighbor_counts(self) -> np.ndarray:
+        """Number of neighbours per word."""
+        return np.diff(self._indptr)
+
+    def mean_neighbors(self) -> float:
+        """Average neighbourhood size — BLAST's seeding density statistic."""
+        return float(self.neighbor_counts().mean())
+
+    def memory_bytes(self) -> int:
+        """Table footprint."""
+        return int(self._neighbors.nbytes + self._indptr.nbytes)

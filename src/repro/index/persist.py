@@ -1,0 +1,108 @@
+"""Index persistence.
+
+The paper's own lineage (the FLASH/FPGA prototype, ref. [9]) stores
+pre-built genome indexes on dedicated hardware precisely because indexing
+a chromosome-scale bank is worth amortising across many comparisons.
+This module persists a :class:`~repro.index.kmer.BankIndex` — bank buffer,
+offset tables, CSR structure and seed-model identity — to a single
+``.npz`` file and reloads it without re-sorting.
+
+Only the bundled seed-model families (contiguous W-mers and pattern-based
+subset seeds) round-trip; custom models raise at save time.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..seqs.alphabet import AMINO, DNA, Alphabet
+from ..seqs.sequence import Sequence, SequenceBank
+from .kmer import BankIndex, ContiguousSeedModel, SeedModel
+from .subset_seed import SubsetSeedModel
+
+__all__ = ["save_index", "load_index", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+
+_ALPHABETS: dict[str, Alphabet] = {"amino": AMINO, "dna": DNA}
+
+
+def _model_tag(model: SeedModel) -> str:
+    if isinstance(model, ContiguousSeedModel):
+        return f"contiguous:{model.w}"
+    if isinstance(model, SubsetSeedModel):
+        return f"subset:{model.name}"
+    raise TypeError(
+        f"cannot persist seed model of type {type(model).__name__}; "
+        "use ContiguousSeedModel or a pattern-based SubsetSeedModel"
+    )
+
+
+def _model_from_tag(tag: str) -> SeedModel:
+    kind, _, arg = tag.partition(":")
+    if kind == "contiguous":
+        return ContiguousSeedModel(int(arg))
+    if kind == "subset":
+        return SubsetSeedModel.from_pattern(arg)
+    raise ValueError(f"unknown seed-model tag {tag!r}")
+
+
+def save_index(index: BankIndex, path: str | Path) -> None:
+    """Persist a bank index (bank content included) to ``path`` (.npz)."""
+    bank = index.bank
+    names = np.array(list(bank.names), dtype=np.str_)
+    descriptions = np.array([bank[i].description for i in range(len(bank))],
+                            dtype=np.str_)
+    np.savez_compressed(
+        path,
+        format_version=np.int64(FORMAT_VERSION),
+        model_tag=np.str_(_model_tag(index.model)),
+        alphabet=np.str_(bank.alphabet.name),
+        pad=np.int64(bank.pad),
+        buffer=bank.buffer,
+        starts=bank.starts,
+        lengths=bank.lengths,
+        names=names,
+        descriptions=descriptions,
+        offsets=index._offsets,
+        unique_keys=index._unique_keys,
+        indptr=index._indptr,
+    )
+
+
+def load_index(path: str | Path) -> BankIndex:
+    """Reload a persisted index; no re-sorting is performed."""
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["format_version"])
+        if version != FORMAT_VERSION:
+            raise ValueError(
+                f"index file format {version} unsupported "
+                f"(expected {FORMAT_VERSION})"
+            )
+        alphabet = _ALPHABETS[str(data["alphabet"])]
+        model = _model_from_tag(str(data["model_tag"]))
+        pad = int(data["pad"])
+        buffer = data["buffer"]
+        starts = data["starts"]
+        lengths = data["lengths"]
+        names = [str(n) for n in data["names"]]
+        descriptions = [str(d) for d in data["descriptions"]]
+        seqs = [
+            Sequence(
+                name,
+                buffer[starts[i] : starts[i] + lengths[i]].copy(),
+                alphabet,
+                descriptions[i],
+            )
+            for i, name in enumerate(names)
+        ]
+        bank = SequenceBank(seqs, alphabet, pad=pad)
+        index = BankIndex.__new__(BankIndex)
+        index._bank = bank
+        index._model = model
+        index._offsets = data["offsets"].copy()
+        index._unique_keys = data["unique_keys"].copy()
+        index._indptr = data["indptr"].copy()
+        return index

@@ -1,0 +1,131 @@
+"""Index diagnostics and accelerator capacity planning.
+
+The whole performance story of the paper hangs on index-list statistics:
+``K0`` distributions set PE-array occupancy, ``K0·K1`` products set step-2
+work, and skew sets partition balance.  This module computes those
+diagnostics for a built index — used by the CLI (``repro-psc index info``),
+the benches, and capacity-planning code that wants to answer "how many PEs
+does this workload keep busy?" before touching a simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .kmer import BankIndex, TwoBankIndex
+
+__all__ = ["IndexStats", "index_stats", "occupancy_curve", "JointStats", "joint_stats"]
+
+
+@dataclass(frozen=True)
+class IndexStats:
+    """List-length distribution summary of one bank index."""
+
+    n_anchors: int
+    n_keys: int
+    key_space: int
+    mean_length: float
+    max_length: int
+    p50_length: float
+    p99_length: float
+    load_factor: float  # fraction of the key space in use
+    gini: float  # inequality of anchor mass across keys (0 = uniform)
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary."""
+        return (
+            f"anchors={self.n_anchors:,} keys={self.n_keys:,}"
+            f"/{self.key_space:,} (load {self.load_factor:.1%})\n"
+            f"list length: mean={self.mean_length:.2f} p50={self.p50_length:.0f} "
+            f"p99={self.p99_length:.0f} max={self.max_length}\n"
+            f"anchor-mass gini={self.gini:.3f}"
+        )
+
+
+def _gini(values: np.ndarray) -> float:
+    """Gini coefficient of a non-negative sample."""
+    v = np.sort(values.astype(np.float64))
+    n = v.shape[0]
+    if n == 0 or v.sum() == 0:
+        return 0.0
+    cum = np.cumsum(v)
+    return float((n + 1 - 2 * (cum / cum[-1]).sum()) / n)
+
+
+def index_stats(index: BankIndex) -> IndexStats:
+    """Compute the distribution summary of one bank index."""
+    lengths = index.list_lengths().astype(np.float64)
+    if lengths.size == 0:
+        return IndexStats(0, 0, index.model.key_space, 0.0, 0, 0.0, 0.0, 0.0, 0.0)
+    return IndexStats(
+        n_anchors=index.n_anchors,
+        n_keys=int(lengths.shape[0]),
+        key_space=index.model.key_space,
+        mean_length=float(lengths.mean()),
+        max_length=int(lengths.max()),
+        p50_length=float(np.percentile(lengths, 50)),
+        p99_length=float(np.percentile(lengths, 99)),
+        load_factor=lengths.shape[0] / index.model.key_space,
+        gini=_gini(lengths),
+    )
+
+
+@dataclass(frozen=True)
+class JointStats:
+    """Step-2 workload summary of a joint (two-bank) index."""
+
+    shared_keys: int
+    total_pairs: int
+    mean_k0: float
+    mean_k1: float
+    #: Fraction of pairs concentrated in the heaviest 1 % of entries.
+    top1pct_pair_share: float
+
+    def describe(self) -> str:
+        """One-line summary."""
+        return (
+            f"shared keys={self.shared_keys:,} pairs={self.total_pairs:,} "
+            f"mean K0={self.mean_k0:.1f} mean K1={self.mean_k1:.1f} "
+            f"top-1% share={self.top1pct_pair_share:.1%}"
+        )
+
+
+def joint_stats(index: TwoBankIndex) -> JointStats:
+    """Compute the step-2 workload summary of a joint index."""
+    k0s, k1s = index.list_length_pairs()
+    if k0s.size == 0:
+        return JointStats(0, 0, 0.0, 0.0, 0.0)
+    pairs = (k0s * k1s).astype(np.float64)
+    order = np.sort(pairs)[::-1]
+    top = max(1, int(np.ceil(0.01 * order.shape[0])))
+    return JointStats(
+        shared_keys=int(k0s.shape[0]),
+        total_pairs=int(pairs.sum()),
+        mean_k0=float(k0s.mean()),
+        mean_k1=float(k1s.mean()),
+        top1pct_pair_share=float(order[:top].sum() / pairs.sum()),
+    )
+
+
+def occupancy_curve(
+    index: TwoBankIndex,
+    pe_counts: tuple[int, ...] = (32, 64, 128, 192, 256),
+    window: int = 28,
+) -> list[tuple[int, float, float]]:
+    """(PEs, utilisation, modelled ms at 100 MHz) per array size.
+
+    The capacity-planning question in one call: where does *this*
+    workload stop profiting from a bigger array?
+    """
+    # Imported lazily: repro.psc depends on repro.index at import time.
+    from ..psc.schedule import PscArrayConfig, schedule_cycles
+
+    k0s, k1s = index.list_length_pairs()
+    out = []
+    for pes in pe_counts:
+        cfg = PscArrayConfig(n_pes=pes, window=window)
+        b = schedule_cycles(k0s, k1s, cfg)
+        out.append((pes, b.utilization, cfg.seconds(b.total_cycles) * 1e3))
+    return out

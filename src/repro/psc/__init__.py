@@ -1,0 +1,46 @@
+"""The PSC (Parallel Sequence Comparison) operator: cycle-level and
+behavioural models of the paper's FPGA design."""
+
+from .behavioral import PscBehavioral
+from .gapped_operator import GxpConfig, GxpOperator, GxpResult, wavefront_banded_score
+from .operator import PscOperator, PscRunResult
+from .pe import ProcessingElement
+from .schedule import (
+    ENTRY_OVERHEAD,
+    PIPELINE_CONST,
+    PscArrayConfig,
+    ScheduleBreakdown,
+    drain_completion,
+    entry_cycles,
+    occupancy,
+    schedule_cycles,
+)
+from .slot import PESlot, ResultRecord
+from .system import PscSystem, SystemResult
+from .workload import EntryJob, build_jobs, job_stream_bytes
+
+__all__ = [
+    "PscArrayConfig",
+    "PscOperator",
+    "PscBehavioral",
+    "GxpConfig",
+    "GxpOperator",
+    "GxpResult",
+    "wavefront_banded_score",
+    "PscRunResult",
+    "ProcessingElement",
+    "PESlot",
+    "ResultRecord",
+    "PscSystem",
+    "SystemResult",
+    "EntryJob",
+    "build_jobs",
+    "job_stream_bytes",
+    "ScheduleBreakdown",
+    "schedule_cycles",
+    "entry_cycles",
+    "occupancy",
+    "drain_completion",
+    "ENTRY_OVERHEAD",
+    "PIPELINE_CONST",
+]

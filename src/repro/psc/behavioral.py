@@ -1,0 +1,156 @@
+"""Fast behavioural model of the PSC operator.
+
+Running 192 Python-object PEs cycle-by-cycle is infeasible at benchmark
+scale, so this model computes the *same* results two orders of magnitude
+faster:
+
+* scores via the vectorised window kernel
+  (:func:`repro.extend.ungapped.ungapped_scores`) — bit-identical to the PE
+  datapath (both are tested against the scalar reference);
+* cycle counts via the shared schedule contract
+  (:mod:`repro.psc.schedule`) — identical to the cycle simulator by
+  construction, including per-hit arrival cycles and the single-port drain
+  tail;
+* hit emission order identical to the hardware's (entry → batch → IL1
+  window → PE index), so downstream consumers cannot distinguish the two
+  models.
+
+``tests/test_psc_equivalence.py`` asserts exact equality of hits, scores,
+arrival cycles and every cycle counter between this model and
+:class:`repro.psc.operator.PscOperator` on randomised workloads; the
+benchmark harness then runs this model with confidence at full scale.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from ..extend.ungapped import UngappedHits, UngappedStats, ungapped_scores
+from ..index.kmer import TwoBankIndex
+from .operator import PscRunResult
+from .schedule import (
+    ENTRY_OVERHEAD,
+    PscArrayConfig,
+    ScheduleBreakdown,
+    drain_completion,
+    schedule_cycles,
+)
+from .workload import EntryJob, build_jobs
+
+__all__ = ["PscBehavioral"]
+
+
+class PscBehavioral:
+    """Vectorised functional + timing model of one PSC operator."""
+
+    def __init__(self, config: PscArrayConfig) -> None:
+        self.config = config
+
+    def run(self, jobs: Iterable[EntryJob]) -> PscRunResult:
+        """Execute a workload; exact counterpart of ``PscOperator.run``."""
+        cfg = self.config
+        L = cfg.window
+        cycle = 0
+        load_cycles = 0
+        compute_cycles = 0
+        overhead_cycles = 0
+        busy = 0
+        offered = 0
+        parts0: list[np.ndarray] = []
+        parts1: list[np.ndarray] = []
+        parts_s: list[np.ndarray] = []
+        parts_arr: list[np.ndarray] = []
+        for job in jobs:
+            cycle += ENTRY_OVERHEAD
+            overhead_cycles += ENTRY_OVERHEAD
+            k0, k1 = job.k0, job.k1
+            scores = ungapped_scores(
+                job.windows0, job.windows1, cfg.matrix, cfg.semantics
+            )
+            for batch_lo in range(0, k0, cfg.n_pes):
+                batch_hi = min(batch_lo + cfg.n_pes, k0)
+                n_active = batch_hi - batch_lo
+                cycle += cfg.batch_overhead
+                overhead_cycles += cfg.batch_overhead
+                cycle += n_active * L
+                load_cycles += n_active * L
+                compute_start = cycle
+                cycle += k1 * L
+                compute_cycles += k1 * L
+                busy += n_active * k1 * L
+                offered += cfg.n_pes * k1 * L
+                # Hits in hardware order: IL1 window major, PE index minor.
+                batch_scores = scores[batch_lo:batch_hi]
+                jj, ii = np.nonzero(batch_scores.T >= cfg.threshold)
+                if jj.size:
+                    parts0.append(job.offsets0[batch_lo + ii])
+                    parts1.append(job.offsets1[jj])
+                    parts_s.append(batch_scores[ii, jj])
+                    parts_arr.append(compute_start + (jj.astype(np.int64) + 1) * L)
+        schedule_end = cycle
+        offsets0 = (
+            np.concatenate(parts0) if parts0 else np.empty(0, dtype=np.int64)
+        )
+        offsets1 = (
+            np.concatenate(parts1) if parts1 else np.empty(0, dtype=np.int64)
+        )
+        scores_arr = (
+            np.concatenate(parts_s).astype(np.int32)
+            if parts_s
+            else np.empty(0, dtype=np.int32)
+        )
+        arrivals = (
+            np.concatenate(parts_arr) if parts_arr else np.empty(0, dtype=np.int64)
+        )
+        drained = drain_completion(arrivals, schedule_end)
+        breakdown = ScheduleBreakdown(
+            load_cycles=load_cycles,
+            compute_cycles=compute_cycles,
+            overhead_cycles=overhead_cycles,
+            schedule_end=schedule_end,
+            total_cycles=drained + cfg.flush_overhead,
+            busy_pe_cycles=busy,
+            offered_pe_cycles=offered,
+        )
+        return PscRunResult(
+            offsets0=offsets0,
+            offsets1=offsets1,
+            scores=scores_arr,
+            breakdown=breakdown,
+            arrival_cycles=arrivals,
+        )
+
+    def run_index(self, index: TwoBankIndex, flank: int) -> PscRunResult:
+        """Run over a joint index (windows extracted on the fly)."""
+        return self.run(build_jobs(index, flank, self.config.window))
+
+    def step2_hits(self, index: TwoBankIndex, flank: int) -> UngappedHits:
+        """Adapter: run as the pipeline's step-2 engine.
+
+        Returns :class:`~repro.extend.ungapped.UngappedHits` so
+        :class:`repro.core.pipeline.SeedComparisonPipeline` can deport step
+        2 to the accelerator model unchanged.  The run result (with cycle
+        accounting) is kept on :attr:`last_run`.
+        """
+        result = self.run_index(index, flank)
+        self.last_run = result
+        k0s, k1s = index.list_length_pairs()
+        stats = UngappedStats(
+            entries=index.n_shared_keys,
+            pairs=index.total_pairs,
+            cells=index.total_pairs * self.config.window,
+            hits=len(result),
+        )
+        return UngappedHits(result.offsets0, result.offsets1, result.scores, stats)
+
+    def estimate(self, index: TwoBankIndex) -> ScheduleBreakdown:
+        """Timing-only estimate from index statistics (no scoring).
+
+        Ignores the drain tail (exact only when hit traffic is sparse —
+        the common case at real thresholds); used for quick capacity
+        planning and the figure benches.
+        """
+        k0s, k1s = index.list_length_pairs()
+        return schedule_cycles(k0s, k1s, self.config)

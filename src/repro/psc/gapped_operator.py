@@ -1,0 +1,247 @@
+"""GXP — the gapped-extension operator the paper's conclusion proposes.
+
+After accelerating step 2, the paper observes that gapped extension
+dominates (Table 7: 57 % at 30K) and proposes "the design of another
+reconfigurable operator dedicated to the computation of similarities
+including gap penalty", running concurrently on the blade's second FPGA.
+This module implements that proposal as a simulated design:
+
+* each **extension unit** is a systolic band of ``band`` cells computing
+  one anti-diagonal of a banded affine-gap local alignment per clock —
+  the classic linear-array Smith–Waterman arrangement, restricted to a
+  window of ``extent`` residues around the anchor on each sequence;
+* an operator instance carries ``n_units`` independent units fed from a
+  work FIFO; an extension over windows of lengths *(m, n)* occupies one
+  unit for ``m + n + band + UNIT_OVERHEAD`` cycles (wavefront sweep plus
+  pipeline fill);
+* functionally, a unit's score equals banded Smith–Waterman on the same
+  windows (verified against :func:`repro.extend.gapped.smith_waterman`
+  in tests); the host keeps final E-value filtering and traceback.
+
+The dual-design deployment (PSC on FPGA 0, GXP on FPGA 1) lives in
+:mod:`repro.rasc.dual_design`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..extend.gapped import GapPenalties
+from ..extend.ungapped import UngappedHits
+from ..seqs.matrices import BLOSUM62, SubstitutionMatrix
+from ..seqs.sequence import SequenceBank
+
+__all__ = [
+    "GxpConfig",
+    "GxpResult",
+    "GxpOperator",
+    "UNIT_OVERHEAD",
+    "wavefront_banded_score",
+]
+
+#: Per-extension control/fill cycles charged on a unit.
+UNIT_OVERHEAD = 8
+
+_NEG = -(1 << 40)
+
+
+def wavefront_banded_score(
+    a: np.ndarray,
+    b: np.ndarray,
+    band: int,
+    matrix: SubstitutionMatrix = BLOSUM62,
+    gaps: GapPenalties = GapPenalties(),
+) -> tuple[int, int]:
+    """Banded affine local-alignment score by anti-diagonal wavefronts.
+
+    This is the computation order of the systolic unit: the band's cells
+    advance one anti-diagonal per clock, each cell holding its (H, E, F)
+    state.  Returns ``(score, n_wavefronts)`` where the score equals
+    :func:`repro.extend.gapped.smith_waterman` with the same ``band`` (the
+    equivalence is asserted by tests) and ``n_wavefronts = m + n - 1`` is
+    the cycle count of the sweep.
+
+    State is laid out per band offset ``k = j - i + band`` (2·band + 1
+    cells).  Moving from anti-diagonal ``d`` to ``d + 1``, a cell's
+    diagonal predecessor sits at the same offset two wavefronts back, its
+    vertical predecessor one wavefront back at ``k + 1`` and its
+    horizontal predecessor one wavefront back at ``k - 1`` — pure
+    neighbour traffic, which is what makes the arrangement systolic.
+    """
+    a = np.asarray(a, dtype=np.uint8)
+    b = np.asarray(b, dtype=np.uint8)
+    m, n = len(a), len(b)
+    if m == 0 or n == 0:
+        return 0, 0
+    go, ge = gaps.open + gaps.extend, gaps.extend
+    sub = matrix.scores.astype(np.int64)
+    width = 2 * band + 1
+    H1 = np.full(width, _NEG, dtype=np.int64)  # wavefront d-1
+    H2 = np.full(width, _NEG, dtype=np.int64)  # wavefront d-2
+    E1 = np.full(width, _NEG, dtype=np.int64)
+    F1 = np.full(width, _NEG, dtype=np.int64)
+    best = 0
+    for d in range(m + n - 1):
+        # Cells on this wavefront: i = (d - (k - band)) / 2 is not integral
+        # in this skewed layout; instead enumerate i directly.
+        i_lo = max(0, d - n + 1, (d - band + 1) // 2)
+        i_hi = min(m - 1, d, (d + band) // 2)
+        if i_lo > i_hi:
+            H2, H1 = H1, np.full(width, _NEG, dtype=np.int64)
+            E1 = np.full(width, _NEG, dtype=np.int64)
+            F1 = np.full(width, _NEG, dtype=np.int64)
+            continue
+        i = np.arange(i_lo, i_hi + 1)
+        j = d - i
+        valid = np.abs(i - j) <= band
+        i, j = i[valid], j[valid]
+        if i.size == 0:
+            H2, H1 = H1, np.full(width, _NEG, dtype=np.int64)
+            E1 = np.full(width, _NEG, dtype=np.int64)
+            F1 = np.full(width, _NEG, dtype=np.int64)
+            continue
+        k = j - i + band
+        diag_prev = np.where(
+            (i > 0) & (j > 0), H2[k], np.where((i == 0) | (j == 0), 0, _NEG)
+        )
+        h_up = np.where(i > 0, H1[np.minimum(k + 1, width - 1)], _NEG)
+        f_up = np.where(i > 0, F1[np.minimum(k + 1, width - 1)], _NEG)
+        h_left = np.where(j > 0, H1[np.maximum(k - 1, 0)], _NEG)
+        e_left = np.where(j > 0, E1[np.maximum(k - 1, 0)], _NEG)
+        F_new = np.maximum(h_up - go, f_up - ge)
+        E_new = np.maximum(h_left - go, e_left - ge)
+        H_new = np.maximum.reduce(
+            [diag_prev + sub[a[i], b[j]], E_new, F_new, np.zeros_like(E_new)]
+        )
+        best = max(best, int(H_new.max()))
+        H2 = H1
+        H1 = np.full(width, _NEG, dtype=np.int64)
+        nE = np.full(width, _NEG, dtype=np.int64)
+        nF = np.full(width, _NEG, dtype=np.int64)
+        H1[k] = H_new
+        nE[k] = E_new
+        nF[k] = F_new
+        E1, F1 = nE, nF
+    return best, m + n - 1
+
+
+@dataclass(frozen=True)
+class GxpConfig:
+    """Static configuration of one gapped-extension operator.
+
+    Attributes
+    ----------
+    n_units:
+        Independent systolic extension units on the FPGA.
+    band:
+        Band half-width in DP cells (array length of one unit).
+    extent:
+        Residues taken on each side of the anchor per sequence (window of
+        ``2·extent`` per sequence, clamped at bank padding).
+    """
+
+    n_units: int = 4
+    band: int = 32
+    extent: int = 128
+    clock_hz: float = 100e6
+    gaps: GapPenalties = GapPenalties()
+    matrix: SubstitutionMatrix = BLOSUM62
+
+    def __post_init__(self) -> None:
+        if self.n_units < 1 or self.band < 1 or self.extent < 8:
+            raise ValueError("invalid GXP geometry")
+
+    def extension_cycles(self, m: int, n: int) -> int:
+        """Cycles one extension occupies a unit: wavefront sweep + fill."""
+        return m + n + self.band + UNIT_OVERHEAD
+
+    def seconds(self, cycles: int | float) -> float:
+        """Convert cycles to seconds at the design clock."""
+        return float(cycles) / self.clock_hz
+
+
+@dataclass(frozen=True)
+class GxpResult:
+    """Output of one GXP run."""
+
+    offsets0: np.ndarray
+    offsets1: np.ndarray
+    scores: np.ndarray  # banded local-alignment scores
+    total_cycles: int  # makespan across units
+    unit_cycles: np.ndarray  # per-unit busy cycles
+    extensions: int
+
+    def __len__(self) -> int:
+        return int(self.offsets0.shape[0])
+
+    @property
+    def utilization(self) -> float:
+        """Mean unit busy fraction over the makespan."""
+        if self.total_cycles == 0:
+            return 0.0
+        return float(self.unit_cycles.mean() / self.total_cycles)
+
+
+class GxpOperator:
+    """Behavioural model of the gapped-extension operator.
+
+    Functional scores are exact banded-SW values on the anchor windows;
+    timing follows the per-unit cycle cost with greedy (arrival-order)
+    unit assignment, which is what a hardware work FIFO produces.
+    """
+
+    def __init__(self, config: GxpConfig | None = None) -> None:
+        self.config = config or GxpConfig()
+
+    def run(
+        self,
+        bank0: SequenceBank,
+        bank1: SequenceBank,
+        hits: UngappedHits,
+        compute_scores: bool = True,
+    ) -> GxpResult:
+        """Extend every step-2 hit pair on the unit array.
+
+        ``compute_scores=False`` skips the functional DP (timing-only
+        mode for large projections); scores are then returned as zeros.
+        """
+        cfg = self.config
+        buf0, buf1 = bank0.buffer, bank1.buffer
+        n = len(hits)
+        scores = np.zeros(n, dtype=np.int64)
+        unit_free = np.zeros(cfg.n_units, dtype=np.int64)
+        for i in range(n):
+            o0, o1 = int(hits.offsets0[i]), int(hits.offsets1[i])
+            lo0 = max(0, o0 - cfg.extent)
+            hi0 = min(buf0.shape[0], o0 + cfg.extent)
+            lo1 = max(0, o1 - cfg.extent)
+            hi1 = min(buf1.shape[0], o1 + cfg.extent)
+            m, nn = hi0 - lo0, hi1 - lo1
+            unit = int(np.argmin(unit_free))
+            unit_free[unit] += cfg.extension_cycles(m, nn)
+            if compute_scores:
+                scores[i], _ = wavefront_banded_score(
+                    buf0[lo0:hi0],
+                    buf1[lo1:hi1],
+                    band=cfg.band,
+                    matrix=cfg.matrix,
+                    gaps=cfg.gaps,
+                )
+        return GxpResult(
+            offsets0=hits.offsets0,
+            offsets1=hits.offsets1,
+            scores=scores,
+            total_cycles=int(unit_free.max(initial=0)),
+            unit_cycles=unit_free,
+            extensions=n,
+        )
+
+    def modeled_seconds(self, n_extensions: int, mean_extent: float | None = None) -> float:
+        """Timing-only projection for *n_extensions* average extensions."""
+        cfg = self.config
+        ext = mean_extent if mean_extent is not None else 2 * cfg.extent
+        per = cfg.extension_cycles(int(ext), int(ext))
+        makespan = -(-n_extensions // cfg.n_units) * per
+        return cfg.seconds(makespan)

@@ -1,0 +1,165 @@
+"""Cycle-level PSC operator simulation (paper Figures 1 and 3).
+
+:class:`PscOperator` executes entry jobs on an array of real
+:class:`~repro.psc.pe.ProcessingElement` datapaths, one clock at a time:
+
+* the master controller sequences entries and batches;
+* input controller 0 streams IL0 windows down the load pipeline (one
+  residue per cycle, windows back-to-back);
+* input controller 1 broadcasts IL1 windows to all loaded PEs (one residue
+  per cycle, every PE scoring in lock-step);
+* at each window boundary the slots' result-management modules scan scores
+  and emit over-threshold records, which drain through the cascaded FIFO
+  path at one record per cycle into the output controller.
+
+Cycle accounting follows :mod:`repro.psc.schedule` exactly (that module is
+the shared timing contract with the behavioural model); the drain tail uses
+:func:`repro.psc.schedule.drain_completion` over the true arrival cycles.
+Scores produced by the PE datapaths are compared against nothing here —
+tests assert they match :func:`repro.extend.ungapped.ungapped_score_reference`
+and the vectorised kernel bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from ..hwsim.memory import Rom
+from .pe import ProcessingElement
+from .schedule import (
+    ENTRY_OVERHEAD,
+    PscArrayConfig,
+    ScheduleBreakdown,
+    drain_completion,
+)
+from .slot import PESlot
+from .workload import EntryJob
+
+__all__ = ["PscOperator", "PscRunResult"]
+
+
+@dataclass(frozen=True)
+class PscRunResult:
+    """Output of one operator run over a workload."""
+
+    offsets0: np.ndarray
+    offsets1: np.ndarray
+    scores: np.ndarray
+    breakdown: ScheduleBreakdown
+    #: Cycle at which each result entered the FIFO cascade.
+    arrival_cycles: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.offsets0.shape[0])
+
+    def seconds(self, config: PscArrayConfig) -> float:
+        """Run time at the configured clock."""
+        return config.seconds(self.breakdown.total_cycles)
+
+
+class PscOperator:
+    """The full PSC operator: slots of PEs plus controllers."""
+
+    def __init__(self, config: PscArrayConfig) -> None:
+        self.config = config
+        self.rom = Rom.substitution_rom(config.matrix)
+        self.slots: list[PESlot] = []
+        for s in range(config.n_slots):
+            lo = s * config.slot_size
+            hi = min(lo + config.slot_size, config.n_pes)
+            self.slots.append(
+                PESlot(
+                    s,
+                    range(lo, hi),
+                    config.window,
+                    self.rom,
+                    config.threshold,
+                    config.semantics,
+                    config.fifo_depth,
+                )
+            )
+        self.pes: list[ProcessingElement] = [pe for slot in self.slots for pe in slot.pes]
+
+    def run(self, jobs: Iterable[EntryJob]) -> PscRunResult:
+        """Execute a workload; returns hits and exact cycle accounting."""
+        cfg = self.config
+        L = cfg.window
+        cycle = 0
+        load_cycles = 0
+        compute_cycles = 0
+        overhead_cycles = 0
+        busy = 0
+        offered = 0
+        hits0: list[int] = []
+        hits1: list[int] = []
+        hit_scores: list[int] = []
+        arrivals: list[int] = []
+        for job in jobs:
+            # Master controller: entry setup.
+            cycle += ENTRY_OVERHEAD
+            overhead_cycles += ENTRY_OVERHEAD
+            k0 = job.k0
+            for batch_lo in range(0, k0, cfg.n_pes):
+                batch_hi = min(batch_lo + cfg.n_pes, k0)
+                n_active = batch_hi - batch_lo
+                # Register-barrier pipeline fill.
+                cycle += cfg.batch_overhead
+                overhead_cycles += cfg.batch_overhead
+                # Initialization phase: input controller 0 streams windows.
+                for i in range(n_active):
+                    pe = self.pes[i]
+                    pe.begin_load()
+                    for residue in job.windows0[batch_lo + i]:
+                        pe.load_shift(int(residue))
+                        cycle += 1
+                        load_cycles += 1
+                active = self.pes[:n_active]
+                # Computation phase: input controller 1 broadcasts IL1.
+                for j in range(job.k1):
+                    w1 = job.windows1[j]
+                    for pe in active:
+                        pe.begin_compute()
+                    finals: list[int | None] = [None] * n_active
+                    for t in range(L):
+                        residue = int(w1[t])
+                        for i, pe in enumerate(active):
+                            finals[i] = pe.compute_step(residue)
+                        cycle += 1
+                        compute_cycles += 1
+                    busy += n_active * L
+                    offered += cfg.n_pes * L
+                    # Window boundary: result-management scan, slot order.
+                    for slot in self.slots:
+                        slot_scores = [
+                            (pe.index, int(finals[pe.index]))
+                            for pe in slot.pes
+                            if pe.index < n_active
+                        ]
+                        for rec in slot.scan_results(slot_scores, j):
+                            hits0.append(int(job.offsets0[batch_lo + rec.pe_index]))
+                            hits1.append(int(job.offsets1[rec.stream_index]))
+                            hit_scores.append(rec.score)
+                            arrivals.append(cycle)
+        schedule_end = cycle
+        arrivals_arr = np.array(arrivals, dtype=np.int64)
+        drained = drain_completion(arrivals_arr, schedule_end)
+        total = drained + cfg.flush_overhead
+        breakdown = ScheduleBreakdown(
+            load_cycles=load_cycles,
+            compute_cycles=compute_cycles,
+            overhead_cycles=overhead_cycles,
+            schedule_end=schedule_end,
+            total_cycles=total,
+            busy_pe_cycles=busy,
+            offered_pe_cycles=offered,
+        )
+        return PscRunResult(
+            offsets0=np.array(hits0, dtype=np.int64),
+            offsets1=np.array(hits1, dtype=np.int64),
+            scores=np.array(hit_scores, dtype=np.int32),
+            breakdown=breakdown,
+            arrival_cycles=arrivals_arr,
+        )

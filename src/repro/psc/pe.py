@@ -1,0 +1,120 @@
+"""Processing-element datapath (paper Figure 2), cycle by cycle.
+
+A PE holds one IL0 window in a shift register with a feedback loop and, in
+the compute phase, consumes one IL1 residue per clock: both residues
+address the substitution ROM, the cost feeds an accumulator, and a running
+maximum is kept.  After ``L`` cycles the maximum is handed to the slot's
+result-management module and the shift register (thanks to the feedback
+loop) is back in its initial rotation, ready for the next IL1 window.
+
+This class is the simulator's *datapath truth*: the vectorised kernels are
+tested for exact score equality against sequences of :meth:`compute_step`
+calls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..extend.ungapped import ScoreSemantics
+from ..hwsim.kernel import SimulationError
+from ..hwsim.memory import Rom
+
+__all__ = ["ProcessingElement"]
+
+
+class ProcessingElement:
+    """One SIMD processing element.
+
+    Parameters
+    ----------
+    window:
+        Shift-register length ``L = W + 2N``.
+    rom:
+        Substitution-cost ROM (1024 words; address ``a * 32 + b``).
+    semantics:
+        Score recurrence (see :class:`~repro.extend.ungapped.ScoreSemantics`).
+    index:
+        Global PE number (reported with results).
+    """
+
+    def __init__(
+        self,
+        window: int,
+        rom: Rom,
+        semantics: ScoreSemantics = ScoreSemantics.KADANE,
+        index: int = 0,
+    ) -> None:
+        self.window = int(window)
+        self.rom = rom
+        self.semantics = semantics
+        self.index = index
+        self._shift = np.zeros(self.window, dtype=np.uint8)
+        self._load_pos = 0
+        self._rotation = 0
+        self._score = 0
+        self._best = 0
+        self._step = 0
+        self.loaded = False
+        #: Total compute cycles executed (utilisation accounting).
+        self.busy_cycles = 0
+
+    # -- initialization phase --------------------------------------------
+    def begin_load(self) -> None:
+        """Reset the shift register for a new IL0 window."""
+        self._load_pos = 0
+        self.loaded = False
+
+    def load_shift(self, residue: int) -> None:
+        """Shift in one residue of the IL0 window (one cycle)."""
+        if self._load_pos >= self.window:
+            raise SimulationError(f"PE {self.index}: load overrun")
+        self._shift[self._load_pos] = residue
+        self._load_pos += 1
+        if self._load_pos == self.window:
+            self.loaded = True
+            self._rotation = 0
+
+    # -- computation phase -------------------------------------------------
+    def begin_compute(self) -> None:
+        """Arm the accumulator for a new IL1 window."""
+        if not self.loaded:
+            raise SimulationError(f"PE {self.index}: compute before load")
+        self._score = 0
+        self._best = 0
+        self._step = 0
+
+    def compute_step(self, residue_il1: int) -> int | None:
+        """One clock of the compute phase.
+
+        Feeds the next stored IL0 residue (shift register rotates through
+        its feedback loop) and the incoming IL1 residue through the ROM and
+        accumulator.  Returns the window maximum on the ``L``-th call, else
+        ``None``.
+        """
+        if self._step >= self.window:
+            raise SimulationError(f"PE {self.index}: compute overrun")
+        a = int(self._shift[self._rotation])
+        cost = self.rom.read(a * 32 + int(residue_il1))
+        if self.semantics is ScoreSemantics.KADANE:
+            self._score = max(0, self._score + cost)
+        else:
+            self._score = max(self._score, self._score + cost)
+        self._best = max(self._best, self._score)
+        self._rotation = (self._rotation + 1) % self.window
+        self._step += 1
+        self.busy_cycles += 1
+        if self._step == self.window:
+            # Feedback loop has rotated the register back to position 0.
+            assert self._rotation == 0
+            return self._best
+        return None
+
+    def compute_window(self, il1_window: np.ndarray) -> int:
+        """Convenience: run a full L-cycle compute phase; returns the score."""
+        self.begin_compute()
+        result: int | None = None
+        for residue in il1_window:
+            result = self.compute_step(int(residue))
+        assert result is not None
+        return result

@@ -1,0 +1,212 @@
+"""PSC-operator timing model: batching, cycle schedule, occupancy.
+
+This module is the single source of truth for *when things happen* on the
+PE array, shared by the cycle-level simulator (:mod:`repro.psc.operator`)
+and the fast behavioural model (:mod:`repro.psc.behavioral`) so the two are
+cycle-identical by construction.
+
+Micro-architecture timing (paper §3, Figures 1–2):
+
+* one pair costs ``L = W + 2N`` clock cycles — one residue pair per cycle
+  through the substitution ROM and accumulator;
+* a PE first *loads* its IL0 window through the shift register (``L``
+  cycles per window, windows streamed back-to-back down the IL0 pipeline),
+  then *computes* against every IL1 window of the entry (``K1 × L``
+  cycles), reusing the stored window via the feedback loop;
+* an entry with ``K0 > P`` windows runs in ``ceil(K0 / P)`` batches — each
+  batch reloads the array and re-streams the whole IL1 list (this re-read
+  is the occupancy cliff that makes small banks inefficient: with
+  ``K0 < P`` most PEs idle through the compute phase, which is exactly the
+  explanation the paper gives for the low 1K-bank speedups);
+* register barriers between PE slots add a pipeline-fill overhead of
+  ``n_slots + PIPELINE_CONST`` cycles per batch, and sequencing adds
+  ``ENTRY_OVERHEAD`` cycles per entry;
+* results leave through cascaded FIFOs draining one record per cycle into
+  the output controller; the run finishes when the last record drains,
+  plus a final ``n_slots + PIPELINE_CONST`` flush.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..extend.ungapped import ScoreSemantics
+from ..seqs.matrices import BLOSUM62, SubstitutionMatrix
+
+__all__ = [
+    "PscArrayConfig",
+    "ENTRY_OVERHEAD",
+    "PIPELINE_CONST",
+    "batch_sizes",
+    "entry_cycles",
+    "schedule_cycles",
+    "occupancy",
+    "drain_completion",
+    "ScheduleBreakdown",
+]
+
+#: Control cycles charged per index entry (start/advance bookkeeping).
+ENTRY_OVERHEAD = 8
+#: Constant part of the per-batch pipeline fill (plus one cycle per slot).
+PIPELINE_CONST = 4
+
+
+@dataclass(frozen=True)
+class PscArrayConfig:
+    """Static configuration of one PSC operator instance.
+
+    Attributes
+    ----------
+    n_pes:
+        Number of processing elements (the paper evaluates 64/128/192).
+    slot_size:
+        PEs per slot between register barriers.
+    window:
+        Scoring window ``L = W + 2N`` in residues.
+    threshold:
+        Result-management threshold: scores ≥ threshold are reported.
+    clock_hz:
+        Design clock (100 MHz on the RASC-100's Virtex-4 parts).
+    fifo_depth:
+        Depth of each cascaded result FIFO stage.
+    """
+
+    n_pes: int = 192
+    slot_size: int = 8
+    window: int = 28
+    threshold: int = 45
+    clock_hz: float = 100e6
+    fifo_depth: int = 64
+    matrix: SubstitutionMatrix = BLOSUM62
+    semantics: ScoreSemantics = ScoreSemantics.KADANE
+
+    def __post_init__(self) -> None:
+        if self.n_pes < 1 or self.slot_size < 1:
+            raise ValueError("n_pes and slot_size must be >= 1")
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+
+    @property
+    def n_slots(self) -> int:
+        """Number of PE slots (register-barrier sections)."""
+        return -(-self.n_pes // self.slot_size)
+
+    @property
+    def batch_overhead(self) -> int:
+        """Pipeline-fill cycles charged per batch."""
+        return self.n_slots + PIPELINE_CONST
+
+    @property
+    def flush_overhead(self) -> int:
+        """Output-path flush charged once per run."""
+        return self.n_slots + PIPELINE_CONST
+
+    def seconds(self, cycles: int | float) -> float:
+        """Convert cycles to seconds at the design clock."""
+        return float(cycles) / self.clock_hz
+
+
+def batch_sizes(k0: int, n_pes: int) -> list[int]:
+    """Split ``K0`` IL0 windows into array-sized batches."""
+    if k0 <= 0:
+        return []
+    full, rem = divmod(k0, n_pes)
+    return [n_pes] * full + ([rem] if rem else [])
+
+
+def entry_cycles(
+    k0: np.ndarray | int, k1: np.ndarray | int, config: PscArrayConfig
+) -> np.ndarray:
+    """Schedule cycles for entries with ``K0 × K1`` work (vectorised).
+
+    ``cycles = ENTRY_OVERHEAD + K0·L + ceil(K0/P)·(K1·L + batch_overhead)``.
+    Excludes result-drain tail and final flush, which are whole-run terms.
+    """
+    k0 = np.asarray(k0, dtype=np.int64)
+    k1 = np.asarray(k1, dtype=np.int64)
+    L = config.window
+    batches = -(-k0 // config.n_pes)
+    return (
+        ENTRY_OVERHEAD
+        + k0 * L
+        + batches * (k1 * L + config.batch_overhead)
+    )
+
+
+@dataclass(frozen=True)
+class ScheduleBreakdown:
+    """Aggregate cycle accounting for a workload on one PSC operator."""
+
+    load_cycles: int
+    compute_cycles: int
+    overhead_cycles: int
+    schedule_end: int  # last compute/overhead cycle (pre-drain-tail)
+    total_cycles: int  # including drain tail + flush
+    busy_pe_cycles: int  # PE-cycles doing useful scoring
+    offered_pe_cycles: int  # PE-cycles during compute phases (busy or idle)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of compute-phase PE-cycles doing useful work."""
+        if self.offered_pe_cycles == 0:
+            return 0.0
+        return self.busy_pe_cycles / self.offered_pe_cycles
+
+    def seconds(self, config: PscArrayConfig) -> float:
+        """Total runtime at the configured clock."""
+        return config.seconds(self.total_cycles)
+
+
+def schedule_cycles(
+    k0s: np.ndarray, k1s: np.ndarray, config: PscArrayConfig
+) -> ScheduleBreakdown:
+    """Whole-workload schedule (no drain tail — see :func:`drain_completion`).
+
+    ``k0s`` / ``k1s`` are per-shared-entry index-list lengths, e.g. from
+    :meth:`repro.index.kmer.TwoBankIndex.list_length_pairs`.
+    """
+    k0s = np.asarray(k0s, dtype=np.int64)
+    k1s = np.asarray(k1s, dtype=np.int64)
+    L = config.window
+    batches = -(-k0s // config.n_pes)
+    load = int((k0s * L).sum())
+    compute = int((batches * k1s * L).sum())
+    overhead = int(
+        (batches * config.batch_overhead).sum() + ENTRY_OVERHEAD * k0s.shape[0]
+    )
+    schedule_end = load + compute + overhead
+    busy = int((k0s * k1s * L).sum())
+    offered = int((batches * k1s * L).sum()) * config.n_pes
+    return ScheduleBreakdown(
+        load_cycles=load,
+        compute_cycles=compute,
+        overhead_cycles=overhead,
+        schedule_end=schedule_end,
+        total_cycles=schedule_end + config.flush_overhead,
+        busy_pe_cycles=busy,
+        offered_pe_cycles=offered,
+    )
+
+
+def occupancy(k0s: np.ndarray, k1s: np.ndarray, config: PscArrayConfig) -> float:
+    """Convenience: compute-phase PE utilisation for a workload."""
+    return schedule_cycles(k0s, k1s, config).utilization
+
+
+def drain_completion(arrival_cycles: np.ndarray, schedule_end: int) -> int:
+    """Completion cycle of the single-port result drain.
+
+    Results enter the cascaded FIFOs at known cycles and leave through one
+    output port at one record per cycle, in arrival order:
+    ``dep[i] = max(arr[i] + 1, dep[i-1] + 1)``.  Returns the cycle the last
+    record leaves (≥ *schedule_end* when the tail spills past compute).
+    """
+    if len(arrival_cycles) == 0:
+        return schedule_end
+    arr = np.sort(np.asarray(arrival_cycles, dtype=np.int64), kind="stable")
+    dep = np.maximum.accumulate(arr + 1 - np.arange(arr.shape[0])) + np.arange(
+        arr.shape[0]
+    )
+    return int(max(schedule_end, int(dep[-1])))

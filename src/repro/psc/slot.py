@@ -1,0 +1,86 @@
+"""PE slots and result management (paper Figure 1).
+
+A slot groups ``slot_size`` PEs behind one register barrier and owns a
+result-management module: at each compute-window boundary it scans its PEs'
+scores and pushes ``(pe_index, score)`` records above the threshold into
+its stage of the cascaded result FIFOs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..extend.ungapped import ScoreSemantics
+from ..hwsim.fifo import SyncFifo
+from ..hwsim.memory import Rom
+from .pe import ProcessingElement
+
+__all__ = ["ResultRecord", "PESlot"]
+
+
+@dataclass(frozen=True)
+class ResultRecord:
+    """One over-threshold score leaving the array.
+
+    ``pe_index`` identifies the IL0 window (which PE held it) and
+    ``stream_index`` the IL1 window; the master controller maps both back
+    to bank offsets.
+    """
+
+    pe_index: int
+    stream_index: int
+    score: int
+
+
+class PESlot:
+    """A group of PEs with a shared result-management module."""
+
+    def __init__(
+        self,
+        slot_id: int,
+        pe_indices: range,
+        window: int,
+        rom: Rom,
+        threshold: int,
+        semantics: ScoreSemantics,
+        fifo_depth: int = 64,
+    ) -> None:
+        self.slot_id = slot_id
+        self.threshold = int(threshold)
+        self.pes = [
+            ProcessingElement(window, rom, semantics, index=i) for i in pe_indices
+        ]
+        #: This slot's stage of the cascaded result FIFOs.
+        self.fifo = SyncFifo(fifo_depth, name=f"slot{slot_id}-fifo")
+        #: Per-slot count of over-threshold results (traffic accounting).
+        self.results_produced = 0
+
+    def __len__(self) -> int:
+        return len(self.pes)
+
+    def active_pes(self, n_active: int) -> list[ProcessingElement]:
+        """The PEs holding live IL0 windows in the current batch.
+
+        *n_active* counts active PEs across the whole array; this slot
+        contributes those of its PEs whose global index is below it.
+        """
+        return [pe for pe in self.pes if pe.index < n_active]
+
+    def scan_results(
+        self, scores: list[tuple[int, int]], stream_index: int
+    ) -> list[ResultRecord]:
+        """Result-management scan at a window boundary.
+
+        *scores* is a list of ``(pe_index, score)`` for this slot's active
+        PEs.  Over-threshold records are returned in PE order (and counted);
+        the caller routes them into the drain model or FIFO cascade.
+        """
+        out = [
+            ResultRecord(pe_index, stream_index, score)
+            for pe_index, score in scores
+            if score >= self.threshold
+        ]
+        self.results_produced += len(out)
+        return out

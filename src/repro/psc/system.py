@@ -1,0 +1,207 @@
+"""Full-system cycle simulation of one PSC entry job.
+
+The :class:`~repro.psc.operator.PscOperator` executes the architecture's
+*schedule* with real PE datapaths but idealised data delivery.  This
+module goes one fidelity level deeper for a single entry job: every word
+moves through explicit hardware — DMA source components push residues
+into input FIFOs, the master controller pops one residue per clock (and
+*stalls* when a FIFO underruns), window boundaries scan the slots into a
+real cascaded result-FIFO chain, and an output DMA drains the tail — all
+under the two-phase :class:`~repro.hwsim.kernel.Simulator`.
+
+This is the "single PE first, then grow the array" validation path the
+paper describes (§3.1), and the vehicle for studying input-bandwidth
+sensitivity: with DMA rate ≥ 1 word/cycle the system matches the ideal
+schedule up to pipeline fill; slower DMA exposes stall cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..hwsim.dma import DmaStream
+from ..hwsim.fifo import FifoCascade, SyncFifo
+from ..hwsim.kernel import Component, SimulationError, Simulator
+from ..hwsim.memory import Rom
+from .pe import ProcessingElement
+from .schedule import PscArrayConfig
+from .slot import ResultRecord
+from .workload import EntryJob
+
+__all__ = ["PscSystem", "SystemResult"]
+
+
+@dataclass(frozen=True)
+class SystemResult:
+    """Outcome of one full-system run."""
+
+    records: tuple[ResultRecord, ...]
+    cycles: int
+    load_stall_cycles: int
+    compute_stall_cycles: int
+    cascade_high_water: int
+
+
+class _ArrayController(Component):
+    """Master controller + PE array + result management as one component.
+
+    Pops at most one residue per clock from the phase-appropriate input
+    FIFO; a dry FIFO stalls the array for that cycle (counted).
+    """
+
+    name = "psc-array"
+
+    def __init__(self, config: PscArrayConfig, job: EntryJob) -> None:
+        if job.k0 > config.n_pes:
+            raise SimulationError(
+                "PscSystem handles single-batch jobs (K0 <= n_pes)"
+            )
+        self.config = config
+        self.job = job
+        rom = Rom.substitution_rom(config.matrix)
+        self.pes = [
+            ProcessingElement(config.window, rom, config.semantics, index=i)
+            for i in range(job.k0)
+        ]
+        self.il0 = SyncFifo(16, "il0")
+        self.il1 = SyncFifo(16, "il1")
+        self.cascade = FifoCascade(config.n_slots, config.fifo_depth, "results")
+        self.phase = "load"
+        self._load_pe = 0
+        self._load_pos = 0
+        self._stream_index = 0
+        self._compute_pos = 0
+        self._finals: list[int | None] = [None] * job.k0
+        self.load_stalls = 0
+        self.compute_stalls = 0
+        self.records: list[ResultRecord] = []
+        if job.k0:
+            self.pes[0].begin_load()
+        else:
+            self.phase = "done"
+
+    # -- per-clock behaviour ----------------------------------------------
+    def tick(self, cycle: int) -> None:
+        self.cascade.forward()
+        if self.phase == "load":
+            self._tick_load()
+        elif self.phase == "compute":
+            self._tick_compute()
+
+    def _tick_load(self) -> None:
+        if not self.il0.can_pop():
+            self.load_stalls += 1
+            return
+        residue = int(self.il0.pop())
+        pe = self.pes[self._load_pe]
+        pe.load_shift(residue)
+        self._load_pos += 1
+        if self._load_pos == self.config.window:
+            self._load_pos = 0
+            self._load_pe += 1
+            if self._load_pe == self.job.k0:
+                self.phase = "compute"
+                self._begin_window()
+            else:
+                self.pes[self._load_pe].begin_load()
+
+    def _begin_window(self) -> None:
+        if self._stream_index >= self.job.k1:
+            self.phase = "done"
+            return
+        for pe in self.pes:
+            pe.begin_compute()
+        self._compute_pos = 0
+
+    def _tick_compute(self) -> None:
+        if not self.il1.can_pop():
+            self.compute_stalls += 1
+            return
+        residue = int(self.il1.pop())
+        for pe in self.pes:
+            self._finals[pe.index] = pe.compute_step(residue)
+        self._compute_pos += 1
+        if self._compute_pos == self.config.window:
+            self._scan_results()
+            self._stream_index += 1
+            self._begin_window()
+
+    def _scan_results(self) -> None:
+        """Result-management scan: slot order, PE order within a slot."""
+        for s in range(self.config.n_slots):
+            lo = s * self.config.slot_size
+            hi = min(lo + self.config.slot_size, self.job.k0)
+            for i in range(lo, hi):
+                score = int(self._finals[i])
+                if score >= self.config.threshold:
+                    rec = ResultRecord(i, self._stream_index, score)
+                    self.cascade.stage(s).push(rec)
+                    self.records.append(rec)
+
+    def commit(self) -> None:
+        self.il0.commit()
+        self.il1.commit()
+        self.cascade.commit()
+
+    def is_idle(self) -> bool:
+        return self.phase == "done" and self.cascade.is_empty()
+
+
+class _OutputController(Component):
+    """Drains the cascade tail one record per clock."""
+
+    name = "output-controller"
+
+    def __init__(self, cascade: FifoCascade) -> None:
+        self._cascade = cascade
+        self.received: list[ResultRecord] = []
+
+    def tick(self, cycle: int) -> None:
+        if self._cascade.tail.can_pop():
+            self.received.append(self._cascade.tail.pop())
+
+    def commit(self) -> None:
+        pass  # tail commit is owned by the array controller
+
+    def is_idle(self) -> bool:
+        return not self._cascade.tail.can_pop()
+
+
+class PscSystem:
+    """Assembles DMA sources, the array and the output path."""
+
+    def __init__(
+        self,
+        config: PscArrayConfig,
+        job: EntryJob,
+        dma_words_per_cycle: int = 1,
+    ) -> None:
+        self.config = config
+        self.job = job
+        self.sim = Simulator()
+        self.array = _ArrayController(config, job)
+        il0_words = np.ascontiguousarray(job.windows0.reshape(-1))
+        il1_words = np.ascontiguousarray(job.windows1.reshape(-1))
+        self.dma0 = DmaStream(il0_words, self.array.il0, dma_words_per_cycle, "dma-il0")
+        self.dma1 = DmaStream(il1_words, self.array.il1, dma_words_per_cycle, "dma-il1")
+        self.output = _OutputController(self.array.cascade)
+        # Registration order: sources produce, array consumes, output drains.
+        self.sim.add(self.dma0)
+        self.sim.add(self.dma1)
+        self.sim.add(self.array)
+        self.sim.add(self.output)
+
+    def run(self, max_cycles: int = 5_000_000) -> SystemResult:
+        """Clock the system until fully drained."""
+        self.sim.run_until_idle(max_cycles)
+        return SystemResult(
+            records=tuple(self.output.received),
+            cycles=self.sim.cycle,
+            load_stall_cycles=self.array.load_stalls,
+            compute_stall_cycles=self.array.compute_stalls,
+            cascade_high_water=max(
+                s.high_water for s in self.array.cascade.stages
+            ),
+        )

@@ -1,0 +1,79 @@
+"""Workload preparation for the PSC operator.
+
+The host-side driver turns a joint index into a stream of *entry jobs*:
+for each shared seed key, the IL0/IL1 offset lists plus the pre-extracted
+scoring windows.  On the real platform this is the data the host DMAs to
+the accelerator (offsets + residue windows); here the same records feed
+either the cycle-level or the behavioural operator model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..index.kmer import TwoBankIndex
+from ..seqs.sequence import SequenceBank
+
+__all__ = ["EntryJob", "build_jobs", "job_stream_bytes"]
+
+
+@dataclass(frozen=True)
+class EntryJob:
+    """Step-2 work for one shared seed key, ready for the array."""
+
+    key: int
+    offsets0: np.ndarray  # (K0,) global bank-0 offsets
+    offsets1: np.ndarray  # (K1,) global bank-1 offsets
+    windows0: np.ndarray  # (K0, L) uint8 residue windows
+    windows1: np.ndarray  # (K1, L) uint8 residue windows
+
+    @property
+    def k0(self) -> int:
+        """IL0 list length."""
+        return int(self.offsets0.shape[0])
+
+    @property
+    def k1(self) -> int:
+        """IL1 list length."""
+        return int(self.offsets1.shape[0])
+
+    @property
+    def pair_count(self) -> int:
+        """Ungapped extensions this entry generates."""
+        return self.k0 * self.k1
+
+
+def build_jobs(
+    index: TwoBankIndex, flank: int, window: int
+) -> Iterator[EntryJob]:
+    """Yield entry jobs for every shared key of *index*.
+
+    *flank* is the paper's ``N`` (residues left of the seed anchor) and
+    *window* the full width ``W + 2N``.
+    """
+    bank0: SequenceBank = index.index0.bank
+    bank1: SequenceBank = index.index1.bank
+    for entry in index.entries():
+        yield EntryJob(
+            key=entry.key,
+            offsets0=entry.offsets0,
+            offsets1=entry.offsets1,
+            windows0=bank0.windows(entry.offsets0, flank, window),
+            windows1=bank1.windows(entry.offsets1, flank, window),
+        )
+
+
+def job_stream_bytes(index: TwoBankIndex, window: int) -> tuple[int, int]:
+    """(input bytes, per-result bytes) of the accelerator data streams.
+
+    Inputs: every IL0/IL1 window is streamed as ``window`` residue bytes
+    plus a 4-byte offset tag.  Each result record is two 4-byte offsets
+    plus a 2-byte score (packed to 12 bytes on the real board).  Used by
+    the NUMAlink transfer model.
+    """
+    k0s, k1s = index.list_length_pairs()
+    in_bytes = int((k0s.sum() + k1s.sum()) * (window + 4))
+    return in_bytes, 12

@@ -1,0 +1,34 @@
+"""SGI RASC-100 platform model: FPGAs behind SGI core services (ADR
+registers, DMA), the shared NUMAlink fabric, the Altix host cost model and
+the end-to-end accelerated pipeline."""
+
+from .accelerated import AcceleratedPipeline, AcceleratedResult
+from .adr import AdrBlock, AdrError
+from .cluster import BladeSpec, ClusterModel, ClusterProjection
+from .dual_design import DualDesignPipeline, DualDesignResult, HostDispatch
+from .host import HostCostModel, HostStepSeconds
+from .numalink import NUMALINK_BANDWIDTH, NUMALINK_LATENCY, NumalinkFabric, TransferPlan
+from .platform import RESULT_RECORD_BYTES, AcceleratorRun, FpgaUnit, Rasc100
+
+__all__ = [
+    "Rasc100",
+    "FpgaUnit",
+    "AcceleratorRun",
+    "RESULT_RECORD_BYTES",
+    "AdrBlock",
+    "DualDesignPipeline",
+    "DualDesignResult",
+    "HostDispatch",
+    "BladeSpec",
+    "ClusterModel",
+    "ClusterProjection",
+    "AdrError",
+    "NumalinkFabric",
+    "TransferPlan",
+    "NUMALINK_BANDWIDTH",
+    "NUMALINK_LATENCY",
+    "HostCostModel",
+    "HostStepSeconds",
+    "AcceleratedPipeline",
+    "AcceleratedResult",
+]

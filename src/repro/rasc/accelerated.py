@@ -1,0 +1,163 @@
+"""End-to-end accelerated pipeline: Altix host + RASC-100 (paper §4).
+
+:class:`AcceleratedPipeline` mirrors the paper's deployment exactly:
+
+* **step 1** (indexing, plus 6-frame translation) runs on the host —
+  functionally real, time modelled from measured counts via
+  :class:`~repro.rasc.host.HostCostModel`;
+* **step 2** is deported to the PSC operator on the RASC-100 — hits are
+  the accelerator model's actual outputs, time comes from the cycle
+  schedule at 100 MHz plus NUMAlink transfers;
+* **step 3** (gapped extension) runs on the host over the accelerator's
+  hits, again functionally real with modelled time.
+
+The dual-FPGA mode reproduces the paper's pthread experiment: the protein
+bank is split residue-balanced across both FPGAs, each half is compared
+against the full subject bank, results merge on the host, and the two DMA
+streams contend on the shared NUMAlink.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import PipelineConfig
+from ..core.partition import split_bank
+from ..core.pipeline import SeedComparisonPipeline, gapped_stage
+from ..core.results import ComparisonReport
+from ..psc.schedule import PscArrayConfig
+from ..seqs.sequence import Sequence, SequenceBank
+from ..seqs.translate import translated_bank
+from .host import HostCostModel, HostStepSeconds
+from .platform import AcceleratorRun, Rasc100
+
+__all__ = ["AcceleratedPipeline", "AcceleratedResult"]
+
+
+@dataclass(frozen=True)
+class AcceleratedResult:
+    """Report plus the modelled timing decomposition."""
+
+    report: ComparisonReport
+    host_seconds: HostStepSeconds  # step 1 & 3 modelled host time
+    accel_seconds: float  # step-2 accelerator wall (compute + I/O)
+    accel_runs: tuple[AcceleratorRun, ...]
+
+    @property
+    def total_seconds(self) -> float:
+        """Modelled end-to-end time (paper Table 2 accounting: steps
+        sequential on one core, step 2 on the accelerator)."""
+        return self.host_seconds.step1 + self.accel_seconds + self.host_seconds.step3
+
+    def step_fractions(self) -> tuple[float, float, float]:
+        """Per-step share of total time (paper Table 7 shape)."""
+        t = self.total_seconds
+        if t <= 0:
+            return (0.0, 0.0, 0.0)
+        return (
+            self.host_seconds.step1 / t,
+            self.accel_seconds / t,
+            self.host_seconds.step3 / t,
+        )
+
+
+class AcceleratedPipeline:
+    """Host + RASC-100 deployment of the seed comparison pipeline."""
+
+    def __init__(
+        self,
+        config: PipelineConfig | None = None,
+        psc_config: PscArrayConfig | None = None,
+        platform: Rasc100 | None = None,
+        host: HostCostModel | None = None,
+        model: str = "behavioral",
+    ) -> None:
+        self.config = config or PipelineConfig()
+        self.psc_config = psc_config or PscArrayConfig(
+            window=self.config.window,
+            threshold=self.config.ungapped_threshold,
+            matrix=self.config.matrix,
+            semantics=self.config.semantics,
+        )
+        if self.psc_config.window != self.config.window:
+            raise ValueError(
+                "PSC window must equal the pipeline window "
+                f"({self.psc_config.window} != {self.config.window})"
+            )
+        self.platform = platform or Rasc100()
+        self.host = host or HostCostModel()
+        self.model = model
+        self.platform.load_bitstream(self.psc_config, fpga_id=0, model=model)
+
+    # ------------------------------------------------------------------
+    def run(
+        self, proteins: SequenceBank, subject: SequenceBank | Sequence
+    ) -> AcceleratedResult:
+        """Single-FPGA comparison of a protein bank against a subject.
+
+        *subject* may be a DNA genome (translated on the host) or an
+        already-translated protein bank.
+        """
+        bank1, nucleotides = self._subject_bank(subject)
+        sw = SeedComparisonPipeline(self.config)
+        index = sw.index_banks(proteins, bank1)
+        accel = self.platform.run_step2(index, self.config.flank, fpga_id=0)
+        profile = sw.profile
+        report = gapped_stage(proteins, bank1, accel.hits, self.config, profile)
+        host_seconds = self.host.steps(
+            step1_residues=profile.step1.operations,
+            step2_cells=0,
+            step3_cells=profile.step3.operations,
+            nucleotides=nucleotides,
+        )
+        return AcceleratedResult(
+            report=report,
+            host_seconds=host_seconds,
+            accel_seconds=accel.wall_seconds,
+            accel_runs=(accel,),
+        )
+
+    def run_dual(
+        self, proteins: SequenceBank, subject: SequenceBank | Sequence
+    ) -> AcceleratedResult:
+        """Dual-FPGA comparison: protein bank split across both FPGAs."""
+        self.platform.load_bitstream(self.psc_config, fpga_id=1, model=self.model)
+        bank1, nucleotides = self._subject_bank(subject)
+        halves = split_bank(proteins, 2)
+        indexes = []
+        step1_residues = 0
+        for half in halves:
+            sw = SeedComparisonPipeline(self.config)
+            indexes.append(sw.index_banks(half, bank1))
+            step1_residues += sw.profile.step1.operations
+        runs, accel_wall = self.platform.run_step2_dual(indexes, self.config.flank)
+        reports = []
+        step3_cells = 0
+        for half, index, run in zip(halves, indexes, runs):
+            profile_sink = SeedComparisonPipeline(self.config).profile
+            reports.append(
+                gapped_stage(half, bank1, run.hits, self.config, profile_sink)
+            )
+            step3_cells += profile_sink.step3.operations
+        report = ComparisonReport.merged(reports)
+        host_seconds = self.host.steps(
+            step1_residues=step1_residues,
+            step2_cells=0,
+            step3_cells=step3_cells,
+            nucleotides=nucleotides,
+        )
+        return AcceleratedResult(
+            report=report,
+            host_seconds=host_seconds,
+            accel_seconds=accel_wall,
+            accel_runs=tuple(runs),
+        )
+
+    # ------------------------------------------------------------------
+    def _subject_bank(
+        self, subject: SequenceBank | Sequence
+    ) -> tuple[SequenceBank, int]:
+        if isinstance(subject, SequenceBank):
+            return subject, 0
+        bank1 = translated_bank(subject, pad=max(64, self.config.flank + 8))
+        return bank1, len(subject)

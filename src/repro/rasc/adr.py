@@ -1,0 +1,66 @@
+"""Algorithm-Defined Registers (ADR).
+
+SGI's RASC core services expose a small register file through which the
+host configures and supervises the user design.  The PSC bitstream defines
+registers for the scoring window, threshold, entry counts and a
+start/done/result-count status block; the platform model programs them the
+same way the real driver would, and tests assert that mis-programming
+(e.g. starting without configuration) is caught.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["AdrBlock", "AdrError"]
+
+
+class AdrError(RuntimeError):
+    """Raised on invalid register access or protocol misuse."""
+
+
+#: Registers defined by the PSC bitstream, with reset values.
+_PSC_REGISTERS = {
+    "WINDOW": 0,  # scoring window L = W + 2N
+    "THRESHOLD": 0,  # result-management threshold
+    "N_ENTRIES": 0,  # entries in the staged workload
+    "CONTROL": 0,  # bit 0: start; bit 1: abort
+    "STATUS": 0,  # bit 0: busy; bit 1: done
+    "RESULT_COUNT": 0,  # results produced by the last run
+    "CYCLE_COUNT": 0,  # cycles consumed by the last run
+}
+
+
+@dataclass
+class AdrBlock:
+    """A named register file with read/write accounting."""
+
+    registers: dict[str, int] = field(
+        default_factory=lambda: dict(_PSC_REGISTERS)
+    )
+    reads: int = 0
+    writes: int = 0
+
+    def read(self, name: str) -> int:
+        """Read a register by name."""
+        if name not in self.registers:
+            raise AdrError(f"unknown ADR register {name!r}")
+        self.reads += 1
+        return self.registers[name]
+
+    def write(self, name: str, value: int) -> None:
+        """Write a register by name (read-only registers are enforced)."""
+        if name not in self.registers:
+            raise AdrError(f"unknown ADR register {name!r}")
+        if name in ("STATUS", "RESULT_COUNT", "CYCLE_COUNT"):
+            raise AdrError(f"ADR register {name!r} is read-only from the host")
+        self.writes += 1
+        self.registers[name] = int(value)
+
+    def _hw_set(self, name: str, value: int) -> None:
+        """Hardware-side update (no host accounting)."""
+        self.registers[name] = int(value)
+
+    def configured(self) -> bool:
+        """True once the mandatory parameters have been programmed."""
+        return self.registers["WINDOW"] > 0 and self.registers["N_ENTRIES"] >= 0

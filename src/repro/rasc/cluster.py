@@ -1,0 +1,153 @@
+"""Reconfigurable-supercomputing cluster model.
+
+The paper closes on "the next platforms involved in reconfigurable super
+computing": many multi-core hosts, each with reconfigurable resources,
+and the open question of dispatching work between cores and FPGAs.  This
+module scales the validated single-blade models out to a cluster:
+
+* the protein bank is partitioned across blades (residue-balanced LPT,
+  like the 2-FPGA experiment within a blade);
+* each blade runs the accelerated pipeline on its shard — both its FPGAs
+  on step 2 (or a PSC+GXP dual design), its host cores on steps 1 and 3;
+* the cluster wall time is the slowest blade plus a merge term
+  proportional to total reported alignments.
+
+All timing reuses the per-blade models; nothing new is calibrated.  This
+is a *model*, not a scheduler: it answers sizing questions ("how many
+blades before indexing dominates?") with the same statistics that drive
+Tables 2-4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..psc.schedule import PscArrayConfig, schedule_cycles
+from .dual_design import HostDispatch
+from .host import HostCostModel
+
+__all__ = ["BladeSpec", "ClusterModel", "ClusterProjection"]
+
+
+@dataclass(frozen=True)
+class BladeSpec:
+    """One node: host cores + FPGAs with PE arrays."""
+
+    n_fpgas: int = 2
+    pes_per_fpga: int = 192
+    host_cores: int = 4
+    parallel_fraction: float = 0.9
+
+    def dispatch(self) -> HostDispatch:
+        """The blade's host-dispatch model."""
+        return HostDispatch(self.host_cores, self.parallel_fraction)
+
+
+@dataclass(frozen=True)
+class ClusterProjection:
+    """Projected cluster execution of one workload."""
+
+    n_blades: int
+    per_blade_seconds: list[float]
+    merge_seconds: float
+
+    @property
+    def wall_seconds(self) -> float:
+        """Slowest blade plus the merge."""
+        return max(self.per_blade_seconds) + self.merge_seconds
+
+
+class ClusterModel:
+    """Scale-out projection built on the blade-level cost models."""
+
+    #: Seconds to merge one million reported alignments on the front end.
+    MERGE_S_PER_M_ALIGNMENTS = 2.0
+
+    def __init__(
+        self,
+        blade: BladeSpec,
+        host: HostCostModel,
+        window: int = 28,
+        pair_overhead_cycles: float = 0.0,
+    ) -> None:
+        self.blade = blade
+        self.host = host
+        self.window = window
+        self.pair_overhead_cycles = pair_overhead_cycles
+
+    def blade_seconds(
+        self,
+        k0s: np.ndarray,
+        k1s: np.ndarray,
+        step1_residues: int,
+        step3_cells: int,
+    ) -> float:
+        """Modelled end-to-end time of one blade's shard."""
+        dispatch = self.blade.dispatch()
+        step1 = dispatch.seconds(self.host.step1_seconds(step1_residues))
+        step3 = dispatch.seconds(self.host.step3_seconds(step3_cells))
+        # Step 2 split across the blade's FPGAs by binomial K0 thinning.
+        rng = np.random.default_rng(k0s.shape[0] + 1)
+        shards = []
+        remaining = k0s.copy()
+        for f in range(self.blade.n_fpgas - 1):
+            take = rng.binomial(remaining, 1.0 / (self.blade.n_fpgas - f))
+            shards.append(take)
+            remaining = remaining - take
+        shards.append(remaining)
+        cfg = PscArrayConfig(n_pes=self.blade.pes_per_fpga, window=self.window)
+        step2 = 0.0
+        for shard in shards:
+            keep = shard > 0
+            b = schedule_cycles(shard[keep], k1s[keep], cfg)
+            cycles = b.total_cycles + self.pair_overhead_cycles * b.busy_pe_cycles / cfg.n_pes
+            step2 = max(step2, cfg.seconds(cycles))
+        return step1 + step2 + step3
+
+    def project(
+        self,
+        n_blades: int,
+        k0s: np.ndarray,
+        k1s: np.ndarray,
+        bank_residues: int,
+        genome_residues: int,
+        step3_cells: int,
+        n_alignments: int,
+        rng_seed: int = 5,
+    ) -> ClusterProjection:
+        """Project the workload across *n_blades*.
+
+        The bank shard each blade receives thins every K0 binomially
+        (1/n of the bank each); subject-side work (K1, step-1 genome
+        residues) is replicated on every blade, which is the paper's own
+        deployment shape (each process compares its shard against the
+        full genome).
+        """
+        if n_blades < 1:
+            raise ValueError("n_blades must be >= 1")
+        rng = np.random.default_rng(rng_seed)
+        per_blade = []
+        remaining = k0s.copy()
+        for b in range(n_blades):
+            if b == n_blades - 1:
+                shard = remaining
+            else:
+                shard = rng.binomial(remaining, 1.0 / (n_blades - b))
+                remaining = remaining - shard
+            keep = shard > 0
+            per_blade.append(
+                self.blade_seconds(
+                    shard[keep],
+                    k1s[keep],
+                    # Each blade indexes its bank shard plus the full
+                    # (replicated) genome side.
+                    bank_residues // n_blades + genome_residues,
+                    step3_cells // n_blades,
+                )
+            )
+        merge = n_alignments / 1e6 * self.MERGE_S_PER_M_ALIGNMENTS
+        return ClusterProjection(
+            n_blades=n_blades, per_blade_seconds=per_blade, merge_seconds=merge
+        )

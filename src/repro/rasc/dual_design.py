@@ -1,0 +1,160 @@
+"""Dual-design deployment: PSC on FPGA 0, GXP on FPGA 1.
+
+The paper's closing proposal: "The RASC-100 architecture would perfectly
+support this double activity since it allows two different designs to run
+concurrently on its two FPGAs."  This module deploys exactly that —
+step 2 on the PSC operator, step 3 pre-scoring on the gapped-extension
+operator — and models the pipelined timing: step-2 result records stream
+straight into the GXP work FIFO, so the two accelerators overlap and the
+blade's step-2+3 wall time is ``max(PSC, GXP) + pipeline drain``.
+
+The host keeps step 1 (indexing), final E-value filtering and traceback
+of reported alignments; :class:`HostDispatch` additionally models
+spreading that host work over multi-core CPUs (the paper's final open
+question about core/FPGA work dispatch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.config import PipelineConfig
+from ..core.pipeline import SeedComparisonPipeline, gapped_stage
+from ..core.results import ComparisonReport
+from ..psc.gapped_operator import GxpConfig, GxpOperator, GxpResult
+from ..psc.schedule import PscArrayConfig
+from ..seqs.sequence import Sequence, SequenceBank
+from .host import HostCostModel
+from .platform import Rasc100
+
+__all__ = ["DualDesignPipeline", "DualDesignResult", "HostDispatch"]
+
+
+@dataclass(frozen=True)
+class HostDispatch:
+    """Multi-core host model (Amdahl) for the steps left on the CPU.
+
+    ``parallel_fraction`` is the parallelisable share of steps 1 and 3
+    (index building parallelises over sequences; traceback over hits);
+    the remainder is serial coordination.
+    """
+
+    n_cores: int = 1
+    parallel_fraction: float = 0.9
+
+    def seconds(self, serial_seconds: float) -> float:
+        """Amdahl-scaled time of a nominally serial host phase."""
+        if self.n_cores < 1:
+            raise ValueError("n_cores must be >= 1")
+        f = self.parallel_fraction
+        return serial_seconds * ((1 - f) + f / self.n_cores)
+
+
+@dataclass(frozen=True)
+class DualDesignResult:
+    """Report plus the dual-design timing decomposition."""
+
+    report: ComparisonReport
+    gxp: GxpResult
+    step1_seconds: float
+    psc_seconds: float
+    gxp_seconds: float
+    host_step3_seconds: float
+
+    @property
+    def accel_seconds(self) -> float:
+        """Overlapped accelerator time (PSC ∥ GXP)."""
+        return max(self.psc_seconds, self.gxp_seconds)
+
+    @property
+    def total_seconds(self) -> float:
+        """End-to-end modelled time."""
+        return self.step1_seconds + self.accel_seconds + self.host_step3_seconds
+
+
+class DualDesignPipeline:
+    """Both FPGAs busy: PSC (step 2) + GXP (step 3 pre-scoring)."""
+
+    def __init__(
+        self,
+        config: PipelineConfig | None = None,
+        psc_config: PscArrayConfig | None = None,
+        gxp_config: GxpConfig | None = None,
+        host: HostCostModel | None = None,
+        dispatch: HostDispatch | None = None,
+    ) -> None:
+        self.config = config or PipelineConfig()
+        self.psc_config = psc_config or PscArrayConfig(
+            window=self.config.window,
+            threshold=self.config.ungapped_threshold,
+            matrix=self.config.matrix,
+        )
+        self.gxp_config = gxp_config or GxpConfig(matrix=self.config.matrix,
+                                                  gaps=self.config.gaps)
+        self.host = host or HostCostModel()
+        self.dispatch = dispatch or HostDispatch()
+        self.platform = Rasc100()
+        self.platform.load_bitstream(self.psc_config, fpga_id=0)
+        self.gxp = GxpOperator(self.gxp_config)
+
+    def run(
+        self, proteins: SequenceBank, subject: SequenceBank | Sequence
+    ) -> DualDesignResult:
+        """Full comparison with both accelerators engaged.
+
+        The GXP pre-scores every step-2 hit; the host then runs the exact
+        gapped stage only for hits whose banded pre-score clears the
+        pipeline's report threshold — cutting host step-3 work to the
+        reported fraction.
+        """
+        if isinstance(subject, Sequence):
+            from ..seqs.translate import translated_bank
+
+            bank1 = translated_bank(subject, pad=max(64, self.config.flank + 8))
+            nucleotides = len(subject)
+        else:
+            bank1, nucleotides = subject, 0
+        sw = SeedComparisonPipeline(self.config)
+        index = sw.index_banks(proteins, bank1)
+        accel = self.platform.run_step2(index, self.config.flank, fpga_id=0)
+        gxp_result = self.gxp.run(proteins, bank1, accel.hits)
+        # Host finishing pass: exact X-drop + statistics for GXP survivors.
+        from ..extend.stats import gapped_params
+
+        params = gapped_params(
+            self.config.matrix.name, self.config.gaps.open, self.config.gaps.extend
+        )
+        import math
+
+        min_raw = (
+            math.log(params.k * proteins.total_residues * bank1.total_residues
+                     / self.config.max_evalue)
+            / params.lam
+            if len(accel.hits)
+            else 0.0
+        )
+        keep = gxp_result.scores >= min_raw
+        from ..extend.ungapped import UngappedHits
+
+        surviving = UngappedHits(
+            accel.hits.offsets0[keep],
+            accel.hits.offsets1[keep],
+            accel.hits.scores[keep],
+            accel.hits.stats,
+        )
+        profile = sw.profile
+        report = gapped_stage(proteins, bank1, surviving, self.config, profile)
+        host_steps = self.host.steps(
+            step1_residues=profile.step1.operations,
+            step2_cells=0,
+            step3_cells=profile.step3.operations,
+            nucleotides=nucleotides,
+        )
+        return DualDesignResult(
+            report=report,
+            gxp=gxp_result,
+            step1_seconds=self.dispatch.seconds(host_steps.step1),
+            psc_seconds=accel.wall_seconds,
+            gxp_seconds=self.gxp_config.seconds(gxp_result.total_cycles),
+            host_step3_seconds=self.dispatch.seconds(host_steps.step3),
+        )

@@ -1,0 +1,78 @@
+"""NUMAlink interconnect model.
+
+The RASC-100 blade connects to the Altix host through NUMAlink-4 via two
+TIO ASICs.  For performance purposes the link is a latency/bandwidth pipe
+(:class:`repro.hwsim.dma.LinkModel`); this module adds the RASC-specific
+topology: both FPGAs share the blade's host connection, so concurrent
+transfers serialise — the effect behind the paper's 2-FPGA result-path
+troubles (§4.1, Table 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hwsim.dma import LinkModel
+
+__all__ = ["NumalinkFabric", "TransferPlan"]
+
+#: NUMAlink-4 peak per direction.
+NUMALINK_BANDWIDTH = 3.2e9
+#: Per-DMA-transfer initiation latency (driver + TIO round trip).
+NUMALINK_LATENCY = 1.5e-6
+
+
+@dataclass(frozen=True)
+class TransferPlan:
+    """Aggregate I/O of one accelerator run."""
+
+    bytes_in: int
+    bytes_out: int
+
+    def total(self) -> int:
+        """Total bytes over the link."""
+        return self.bytes_in + self.bytes_out
+
+
+@dataclass
+class NumalinkFabric:
+    """The blade's shared host link.
+
+    ``serialise(plans)`` returns per-FPGA I/O seconds under the sharing
+    model: each direction of the link is a single resource, so concurrent
+    streams see the *sum* of demands divided by the bandwidth (fair
+    sharing), plus per-run initiation latency.
+    """
+
+    link: LinkModel = field(
+        default_factory=lambda: LinkModel(NUMALINK_BANDWIDTH, NUMALINK_LATENCY)
+    )
+
+    def io_seconds(self, plan: TransferPlan, n_transfers: int = 2) -> float:
+        """I/O time of a single run with exclusive link use."""
+        return (
+            self.link.latency_s * n_transfers
+            + plan.bytes_in / self.link.bandwidth_bytes_per_s
+            + plan.bytes_out / self.link.bandwidth_bytes_per_s
+        )
+
+    def shared_io_seconds(
+        self, plans: list[TransferPlan], n_transfers: int = 2
+    ) -> list[float]:
+        """Per-run I/O seconds when runs share the link concurrently.
+
+        Each direction is fair-shared: a run's effective bandwidth is
+        ``bandwidth / n_concurrent``.  This is the first-order model of the
+        contention the paper works around by raising the threshold.
+        """
+        n = max(1, len(plans))
+        bw = self.link.bandwidth_bytes_per_s / n
+        return [
+            self.link.latency_s * n_transfers + p.bytes_in / bw + p.bytes_out / bw
+            for p in plans
+        ]
+
+    def record(self, plan: TransferPlan) -> None:
+        """Account a completed run's traffic."""
+        self.link.record_in(plan.bytes_in)
+        self.link.record_out(plan.bytes_out)

@@ -1,0 +1,259 @@
+"""The SGI RASC-100 platform model (paper Figure 3).
+
+One blade carries two Xilinx Virtex-4 FPGAs, each reachable through a TIO
+module over the shared NUMAlink connection, a board SRAM, and a loader that
+configures FPGAs with bitstreams.  SGI core services (DMA engines, ADR
+registers) wrap whatever user design is loaded — here, the PSC operator.
+
+:class:`Rasc100` exposes the operations the paper's host code performs:
+load a bitstream, stage a step-2 workload, run it, and collect results —
+with full timing accounting (compute cycles at the design clock, DMA
+transfer time over the shared link, with input streaming overlapped with
+compute as in the real double-buffered design).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..extend.ungapped import UngappedHits
+from ..hwsim.memory import Sram
+from ..index.kmer import TwoBankIndex
+from ..psc.behavioral import PscBehavioral
+from ..psc.operator import PscOperator, PscRunResult
+from ..psc.schedule import PscArrayConfig, ScheduleBreakdown, schedule_cycles
+from ..psc.workload import build_jobs, job_stream_bytes
+from .adr import AdrBlock, AdrError
+from .numalink import NumalinkFabric, TransferPlan
+
+__all__ = ["Rasc100", "FpgaUnit", "AcceleratorRun", "RESULT_RECORD_BYTES"]
+
+#: Bytes per result record on the host link (2 offsets + score, padded).
+RESULT_RECORD_BYTES = 12
+#: Board SRAM per FPGA (16 MB as 8-byte words).
+SRAM_WORDS = 2 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class AcceleratorRun:
+    """Timing and results of one step-2 run on one FPGA."""
+
+    hits: UngappedHits
+    breakdown: ScheduleBreakdown
+    compute_seconds: float
+    io_seconds: float
+    plan: TransferPlan
+
+    @property
+    def wall_seconds(self) -> float:
+        """Run wall time: input stream overlaps compute, results tail off."""
+        return self.compute_seconds + self.io_seconds
+
+
+class FpgaUnit:
+    """One Virtex-4 FPGA behind SGI core services."""
+
+    def __init__(self, fpga_id: int) -> None:
+        self.fpga_id = fpga_id
+        self.adr = AdrBlock()
+        self.sram = Sram(SRAM_WORDS, name=f"fpga{fpga_id}-sram")
+        self.config: PscArrayConfig | None = None
+        self.model: str = "behavioral"
+        self._behavioral: PscBehavioral | None = None
+        self._cycle: PscOperator | None = None
+
+    def load_bitstream(self, config: PscArrayConfig, model: str = "behavioral") -> None:
+        """Configure the FPGA with a PSC bitstream.
+
+        ``model`` selects simulation fidelity: ``"behavioral"`` (fast,
+        cycle-exact timing) or ``"cycle"`` (per-clock PE datapaths).
+        """
+        if model not in ("behavioral", "cycle"):
+            raise ValueError(f"unknown model {model!r}")
+        self.config = config
+        self.model = model
+        self._behavioral = PscBehavioral(config)
+        self._cycle = PscOperator(config) if model == "cycle" else None
+        self.adr.write("WINDOW", config.window)
+        self.adr.write("THRESHOLD", config.threshold)
+
+    def _require_loaded(self) -> PscArrayConfig:
+        if self.config is None:
+            raise AdrError(f"FPGA {self.fpga_id}: no bitstream loaded")
+        return self.config
+
+    def execute(self, index: TwoBankIndex, flank: int) -> PscRunResult:
+        """Run step 2 for *index*; returns the raw PSC run result."""
+        config = self._require_loaded()
+        self.adr.write("N_ENTRIES", index.n_shared_keys)
+        self.adr.write("CONTROL", 1)
+        self.adr._hw_set("STATUS", 1)
+        if self.model == "cycle":
+            assert self._cycle is not None
+            result = self._cycle.run(build_jobs(index, flank, config.window))
+        else:
+            assert self._behavioral is not None
+            result = self._behavioral.run_index(index, flank)
+        self.adr._hw_set("STATUS", 2)
+        self.adr._hw_set("RESULT_COUNT", len(result))
+        self.adr._hw_set("CYCLE_COUNT", result.breakdown.total_cycles)
+        return result
+
+
+class Rasc100:
+    """The two-FPGA RASC-100 blade with its shared host link."""
+
+    N_FPGAS = 2
+
+    def __init__(self, fabric: NumalinkFabric | None = None) -> None:
+        self.fabric = fabric or NumalinkFabric()
+        self.fpgas = [FpgaUnit(i) for i in range(self.N_FPGAS)]
+        #: Bitstream loads performed (the loader module's counter).
+        self.loads = 0
+
+    def load_bitstream(
+        self, config: PscArrayConfig, fpga_id: int = 0, model: str = "behavioral"
+    ) -> None:
+        """Program one FPGA (via the board's loader module)."""
+        self.fpgas[fpga_id].load_bitstream(config, model)
+        self.loads += 1
+
+    def _plan_for(self, index: TwoBankIndex, result_count: int, window: int) -> TransferPlan:
+        in_bytes, per_result = job_stream_bytes(index, window)
+        return TransferPlan(bytes_in=in_bytes, bytes_out=result_count * per_result)
+
+    def run_step2(
+        self, index: TwoBankIndex, flank: int, fpga_id: int = 0
+    ) -> AcceleratorRun:
+        """Run one step-2 workload on one FPGA with exclusive link use."""
+        unit = self.fpgas[fpga_id]
+        config = unit._require_loaded()
+        result = unit.execute(index, flank)
+        plan = self._plan_for(index, len(result), config.window)
+        self.fabric.record(plan)
+        compute = config.seconds(result.breakdown.total_cycles)
+        io = self.fabric.io_seconds(plan)
+        # Input streaming overlaps compute (double-buffered DMA); only the
+        # slower of the two binds, plus the result tail.
+        in_s = plan.bytes_in / self.fabric.link.bandwidth_bytes_per_s
+        out_s = plan.bytes_out / self.fabric.link.bandwidth_bytes_per_s
+        overlapped = max(compute, in_s) + out_s + 2 * self.fabric.link.latency_s
+        hits = self._hits_from(result, index, config)
+        return AcceleratorRun(
+            hits=hits,
+            breakdown=result.breakdown,
+            compute_seconds=compute,
+            io_seconds=overlapped - compute if overlapped > compute else 0.0,
+            plan=plan,
+        )
+
+    def run_step2_dual(
+        self,
+        indexes: list[TwoBankIndex],
+        flank: int,
+    ) -> tuple[list[AcceleratorRun], float]:
+        """Run two step-2 workloads concurrently, one per FPGA.
+
+        Returns per-FPGA runs and the blade wall time under the shared-link
+        model: compute proceeds in parallel, but both FPGAs' DMA streams
+        fair-share the single NUMAlink connection.
+        """
+        if len(indexes) != self.N_FPGAS:
+            raise ValueError(f"expected {self.N_FPGAS} workloads")
+        runs: list[AcceleratorRun] = []
+        plans: list[TransferPlan] = []
+        computes: list[float] = []
+        for fpga_id, index in enumerate(indexes):
+            unit = self.fpgas[fpga_id]
+            config = unit._require_loaded()
+            result = unit.execute(index, flank)
+            plan = self._plan_for(index, len(result), config.window)
+            self.fabric.record(plan)
+            compute = config.seconds(result.breakdown.total_cycles)
+            computes.append(compute)
+            plans.append(plan)
+            runs.append(
+                AcceleratorRun(
+                    hits=self._hits_from(result, index, config),
+                    breakdown=result.breakdown,
+                    compute_seconds=compute,
+                    io_seconds=0.0,
+                    plan=plan,
+                )
+            )
+        wall = max(
+            max(c, io_in) + io_out
+            for c, io_in, io_out in zip(
+                computes,
+                [
+                    p.bytes_in / (self.fabric.link.bandwidth_bytes_per_s / 2)
+                    for p in plans
+                ],
+                [
+                    p.bytes_out / (self.fabric.link.bandwidth_bytes_per_s / 2)
+                    + 2 * self.fabric.link.latency_s
+                    for p in plans
+                ],
+            )
+        )
+        return runs, wall
+
+    @staticmethod
+    def _hits_from(
+        result: PscRunResult, index: TwoBankIndex, config: PscArrayConfig
+    ) -> UngappedHits:
+        from ..extend.ungapped import UngappedStats
+
+        stats = UngappedStats(
+            entries=index.n_shared_keys,
+            pairs=index.total_pairs,
+            cells=index.total_pairs * config.window,
+            hits=len(result),
+        )
+        return UngappedHits(result.offsets0, result.offsets1, result.scores, stats)
+
+    # -- statistics-only timing (paper-scale projections) -----------------
+    def modeled_step2_seconds(
+        self,
+        k0s: np.ndarray,
+        k1s: np.ndarray,
+        expected_hits: int,
+        config: PscArrayConfig,
+        n_concurrent: int = 1,
+        pair_overhead_cycles: float = 0.0,
+    ) -> tuple[float, ScheduleBreakdown]:
+        """Step-2 seconds from index statistics alone (no functional run).
+
+        Used by the paper-scale benches: ``k0s``/``k1s`` are (possibly
+        analytically scaled) per-entry list lengths, *expected_hits* the
+        projected result count.  ``n_concurrent`` > 1 applies the shared
+        fair-share link model.
+
+        ``pair_overhead_cycles`` (κ) models the deployed design's
+        per-unit-of-work cost beyond the ideal one-residue-per-clock
+        schedule: SRAM-port sharing between IL0 loads, IL1 streaming and
+        result writes, result-management scans, and host-driver gaps all
+        scale with the *useful* work done, so the derating is
+        ``κ × busy_pe_cycles / n_pes`` extra cycles.  A single κ ≈ 2.9,
+        calibrated once on the paper's 30K/192-PE step-2 anchor,
+        reproduces the paper's full Table 4 grid (4 bank sizes × 3 PE
+        counts) to within a few percent at the saturated end — in
+        particular the PE-count-independent ~28 % efficiency plateau —
+        because the overhead is amortised over the array exactly like the
+        useful work.
+        """
+        if pair_overhead_cycles < 0:
+            raise ValueError("pair_overhead_cycles must be >= 0")
+        breakdown = schedule_cycles(k0s, k1s, config)
+        effective_cycles = (
+            breakdown.total_cycles
+            + pair_overhead_cycles * breakdown.busy_pe_cycles / config.n_pes
+        )
+        compute = config.seconds(effective_cycles)
+        in_bytes = int((k0s.sum() + k1s.sum()) * (config.window + 4))
+        out_bytes = expected_hits * RESULT_RECORD_BYTES
+        bw = self.fabric.link.bandwidth_bytes_per_s / n_concurrent
+        wall = max(compute, in_bytes / bw) + out_bytes / bw + 2 * self.fabric.link.latency_s
+        return wall, breakdown

@@ -1,0 +1,158 @@
+"""Biological alphabets and uint8 codecs.
+
+Every kernel in this package operates on NumPy ``uint8`` arrays rather than
+Python strings: a protein sequence is a vector of amino-acid *codes* in
+``0..24`` and a DNA sequence a vector of nucleotide codes in ``0..4``.  The
+fixed code assignment below is part of the public API — substitution
+matrices (:mod:`repro.seqs.matrices`), the genetic code
+(:mod:`repro.seqs.translate`) and the hardware substitution ROM
+(:mod:`repro.hwsim.memory`) are all laid out against it.
+
+Amino-acid codes follow the NCBIstdaa-like convention used by BLAST:
+
+====  =======  =========================
+code  letter   meaning
+====  =======  =========================
+0-19  ARNDCQEGHILKMFPSTWYV  the 20 canonical amino acids
+20    B        Asx (N or D ambiguity)
+21    Z        Glx (Q or E ambiguity)
+22    X        any / unknown
+23    ``*``    stop codon (translation)
+24    ``-``    gap / padding sentinel
+====  =======  =========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "Alphabet",
+    "AMINO",
+    "DNA",
+    "AA_LETTERS",
+    "DNA_LETTERS",
+    "STOP_CODE",
+    "GAP_CODE",
+    "UNKNOWN_AA_CODE",
+    "encode_protein",
+    "decode_protein",
+    "encode_dna",
+    "decode_dna",
+]
+
+AA_LETTERS = "ARNDCQEGHILKMFPSTWYVBZX*-"
+DNA_LETTERS = "ACGTN"
+
+#: Code of the translation stop symbol ``*``.
+STOP_CODE = AA_LETTERS.index("*")
+#: Code of the gap / padding sentinel ``-``.
+GAP_CODE = AA_LETTERS.index("-")
+#: Code of the unknown amino acid ``X``.
+UNKNOWN_AA_CODE = AA_LETTERS.index("X")
+#: Code of the unknown nucleotide ``N``.
+UNKNOWN_NT_CODE = DNA_LETTERS.index("N")
+
+
+def _build_lut(letters: str, fallback: int) -> np.ndarray:
+    """Build a 256-entry byte→code lookup table.
+
+    Unknown bytes map to *fallback*; lower-case letters are accepted and map
+    to the same code as their upper-case counterpart.
+    """
+    lut = np.full(256, fallback, dtype=np.uint8)
+    for code, ch in enumerate(letters):
+        lut[ord(ch)] = code
+        lut[ord(ch.lower())] = code
+    return lut
+
+
+@dataclass(frozen=True)
+class Alphabet:
+    """An immutable alphabet with vectorised encode/decode.
+
+    Parameters
+    ----------
+    name:
+        Human-readable identifier (``"amino"`` / ``"dna"``).
+    letters:
+        One character per code, in code order.
+    fallback_code:
+        Code assigned to characters outside *letters* when encoding.
+    """
+
+    name: str
+    letters: str
+    fallback_code: int
+    _lut: np.ndarray = field(init=False, repr=False, compare=False)
+    _chars: np.ndarray = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "_lut", _build_lut(self.letters, self.fallback_code))
+        object.__setattr__(
+            self, "_chars", np.frombuffer(self.letters.encode("ascii"), dtype=np.uint8)
+        )
+
+    @property
+    def size(self) -> int:
+        """Number of codes in the alphabet (including ambiguity symbols)."""
+        return len(self.letters)
+
+    def encode(self, text: str | bytes) -> np.ndarray:
+        """Encode *text* into a fresh ``uint8`` code vector.
+
+        Characters not in the alphabet become :attr:`fallback_code`.
+        """
+        if isinstance(text, str):
+            text = text.encode("ascii", errors="replace")
+        raw = np.frombuffer(text, dtype=np.uint8)
+        return self._lut[raw]
+
+    def decode(self, codes: np.ndarray) -> str:
+        """Decode a code vector back into a string.
+
+        Raises
+        ------
+        ValueError
+            If any code is out of range for this alphabet.
+        """
+        codes = np.asarray(codes, dtype=np.uint8)
+        if codes.size and int(codes.max(initial=0)) >= self.size:
+            raise ValueError(
+                f"code {int(codes.max())} out of range for alphabet {self.name!r}"
+            )
+        return self._chars[codes].tobytes().decode("ascii")
+
+    def is_valid(self, codes: np.ndarray) -> bool:
+        """Return True when every code is within the alphabet range."""
+        codes = np.asarray(codes)
+        return bool(codes.size == 0 or (codes >= 0).all() and (codes < self.size).all())
+
+
+#: The 25-letter amino-acid alphabet (20 canonical + B/Z/X/*/-).
+AMINO = Alphabet("amino", AA_LETTERS, fallback_code=UNKNOWN_AA_CODE)
+
+#: The 5-letter nucleotide alphabet (ACGT + N).
+DNA = Alphabet("dna", DNA_LETTERS, fallback_code=UNKNOWN_NT_CODE)
+
+
+def encode_protein(text: str | bytes) -> np.ndarray:
+    """Shorthand for ``AMINO.encode``."""
+    return AMINO.encode(text)
+
+
+def decode_protein(codes: np.ndarray) -> str:
+    """Shorthand for ``AMINO.decode``."""
+    return AMINO.decode(codes)
+
+
+def encode_dna(text: str | bytes) -> np.ndarray:
+    """Shorthand for ``DNA.encode``."""
+    return DNA.encode(text)
+
+
+def decode_dna(codes: np.ndarray) -> str:
+    """Shorthand for ``DNA.decode``."""
+    return DNA.decode(codes)

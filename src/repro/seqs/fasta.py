@@ -1,0 +1,94 @@
+"""Streaming FASTA reader/writer.
+
+Real deployments of the paper's system consume NCBI FASTA files (protein
+banks, chromosome sequences).  This module provides a small, dependency-free
+FASTA layer so the CLI and examples can operate on files as well as on the
+synthetic generators.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+
+from .alphabet import AMINO, DNA, Alphabet
+from .sequence import Sequence, SequenceBank
+
+__all__ = ["read_fasta", "write_fasta", "load_bank", "save_bank"]
+
+
+def _records(handle: TextIO) -> Iterator[tuple[str, str, str]]:
+    """Yield (name, description, residue-text) triples from a FASTA stream."""
+    name: str | None = None
+    desc = ""
+    chunks: list[str] = []
+    for raw in handle:
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(">"):
+            if name is not None:
+                yield name, desc, "".join(chunks)
+            header = line[1:].split(None, 1)
+            name = header[0] if header else ""
+            desc = header[1] if len(header) > 1 else ""
+            chunks = []
+        else:
+            if name is None:
+                raise ValueError("FASTA data before first '>' header")
+            chunks.append(line)
+    if name is not None:
+        yield name, desc, "".join(chunks)
+
+
+def read_fasta(
+    source: str | Path | TextIO,
+    alphabet: Alphabet = AMINO,
+) -> Iterator[Sequence]:
+    """Iterate sequences from a FASTA file path, string path or open handle."""
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="ascii") as fh:
+            yield from read_fasta(fh, alphabet)
+        return
+    for name, desc, text in _records(source):
+        yield Sequence.from_text(name, text, alphabet, desc)
+
+
+def write_fasta(
+    sequences: Iterable[Sequence],
+    target: str | Path | TextIO,
+    width: int = 70,
+) -> None:
+    """Write sequences in FASTA format, wrapping residue lines at *width*."""
+    if isinstance(target, (str, Path)):
+        with open(target, "w", encoding="ascii") as fh:
+            write_fasta(sequences, fh, width)
+        return
+    for seq in sequences:
+        header = f">{seq.name}"
+        if seq.description:
+            header += f" {seq.description}"
+        target.write(header + "\n")
+        text = seq.text()
+        for i in range(0, len(text), width):
+            target.write(text[i : i + width] + "\n")
+
+
+def load_bank(
+    source: str | Path | TextIO,
+    alphabet: Alphabet = AMINO,
+    pad: int = 64,
+) -> SequenceBank:
+    """Read a whole FASTA file into a :class:`SequenceBank`."""
+    return SequenceBank(read_fasta(source, alphabet), alphabet, pad=pad)
+
+
+def save_bank(bank: SequenceBank, target: str | Path | TextIO, width: int = 70) -> None:
+    """Write a bank back out as FASTA."""
+    write_fasta(iter(bank), target, width)
+
+
+def bank_from_text(fasta_text: str, alphabet: Alphabet = AMINO, pad: int = 64) -> SequenceBank:
+    """Convenience: parse FASTA from an in-memory string."""
+    return load_bank(io.StringIO(fasta_text), alphabet, pad=pad)

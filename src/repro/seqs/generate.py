@@ -1,0 +1,340 @@
+"""Synthetic genomic workload generators.
+
+The paper evaluates on the Human chromosome 1 (220 Mnt) and four NCBI nr
+protein banks (1K–30K proteins).  Neither dataset ships with this
+reproduction (no network, no NCBI dump), so this module builds synthetic
+equivalents whose *statistics* drive the same code paths:
+
+* background amino-acid composition follows the Robinson & Robinson
+  frequencies used by BLAST's Karlin–Altschul statistics, so seed-match
+  densities (the quantity that determines step-2 work, PE occupancy and
+  therefore every performance table) are realistic;
+* protein lengths are log-normal around the paper's observed mean
+  (~335 aa: 10,335,365 aa / 30,000 proteins);
+* genomes are GC-biased uniform nucleotide text, optionally with planted
+  homologs: proteins reverse-translated through a mutation channel and
+  spliced in at recorded coordinates.  Planted coordinates are the ground
+  truth for the ROC50/AP sensitivity benchmark (paper Table 6).
+
+Every generator takes an explicit ``numpy.random.Generator`` so workloads
+are reproducible bit-for-bit across runs and machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .alphabet import AMINO, DNA
+from .matrices import BLOSUM62, SubstitutionMatrix
+from .sequence import Sequence, SequenceBank
+from .translate import STANDARD_CODE, GeneticCode
+
+__all__ = [
+    "ROBINSON_FREQUENCIES",
+    "random_protein",
+    "random_protein_bank",
+    "random_genome",
+    "mutate_protein",
+    "reverse_translate",
+    "ProteinFamily",
+    "make_family",
+    "PlantedHomolog",
+    "plant_homologs",
+    "paper_bank_spec",
+]
+
+# Robinson & Robinson (1991) amino-acid background frequencies in
+# ARNDCQEGHILKMFPSTWYV order — the standard BLAST background model.
+ROBINSON_FREQUENCIES = np.array(
+    [
+        0.07805, 0.05129, 0.04487, 0.05364, 0.01925, 0.04264, 0.06295,
+        0.07377, 0.02199, 0.05142, 0.09019, 0.05744, 0.02243, 0.03856,
+        0.05203, 0.07120, 0.05841, 0.01330, 0.03216, 0.06441,
+    ]
+)
+ROBINSON_FREQUENCIES = ROBINSON_FREQUENCIES / ROBINSON_FREQUENCIES.sum()
+
+#: Paper bank sizes: (#proteins, total amino acids) for the 1K/3K/10K/30K
+#: NCBI nr extracts of §4 — used to derive mean protein length and to scale
+#: synthetic banks.
+PAPER_BANKS = {
+    "1K": (1_000, 336_232),
+    "3K": (3_000, 1_025_835),
+    "10K": (10_000, 3_433_471),
+    "30K": (30_000, 10_335_365),
+}
+
+#: Length of the paper's genome side: Human chromosome 1, in nucleotides.
+PAPER_GENOME_NT = 220_000_000
+
+
+def paper_bank_spec(label: str, scale: float = 1.0) -> tuple[int, float]:
+    """Return (n_proteins, mean_length) for a paper bank at linear *scale*.
+
+    ``scale=0.01`` yields a bank 100× smaller in cardinality with the same
+    per-protein length distribution, preserving seed-match density.
+    """
+    n, total = PAPER_BANKS[label]
+    n_scaled = max(1, round(n * scale))
+    return n_scaled, total / n
+
+
+def random_protein(
+    rng: np.random.Generator,
+    length: int,
+    frequencies: np.ndarray = ROBINSON_FREQUENCIES,
+) -> np.ndarray:
+    """Draw a protein code vector from the background composition."""
+    return rng.choice(20, size=length, p=frequencies).astype(np.uint8)
+
+
+def _lognormal_lengths(
+    rng: np.random.Generator, n: int, mean: float, sigma: float, min_length: int
+) -> np.ndarray:
+    """Log-normal integer lengths with the requested arithmetic mean."""
+    mu = np.log(mean) - sigma * sigma / 2.0
+    lengths = np.round(rng.lognormal(mu, sigma, size=n)).astype(np.int64)
+    return np.maximum(lengths, min_length)
+
+
+def random_protein_bank(
+    rng: np.random.Generator,
+    n_sequences: int,
+    mean_length: float = 335.0,
+    sigma: float = 0.55,
+    min_length: int = 30,
+    name_prefix: str = "prot",
+    pad: int = 64,
+    redundancy: float = 0.0,
+    redundant_identity: float = 0.9,
+) -> SequenceBank:
+    """Generate a bank of background-composition proteins.
+
+    ``sigma`` controls length dispersion (0.55 approximates nr's long
+    tail).  ``redundancy`` is the fraction of sequences generated as
+    mutated copies of earlier bank members (at ``redundant_identity``):
+    real nr is heavily redundant — paralogs, strain variants, fragments —
+    which fattens the tail of the seed index-list length distribution, a
+    first-order effect on PE-array occupancy.  0.0 gives an i.i.d. bank.
+    """
+    if not 0.0 <= redundancy < 1.0:
+        raise ValueError("redundancy must be in [0, 1)")
+    lengths = _lognormal_lengths(rng, n_sequences, mean_length, sigma, min_length)
+    seqs: list[Sequence] = []
+    for i, L in enumerate(lengths):
+        if seqs and rng.random() < redundancy:
+            template = seqs[int(rng.integers(len(seqs)))].codes
+            codes = mutate_protein(rng, template, identity=redundant_identity)
+        else:
+            codes = random_protein(rng, int(L))
+        seqs.append(Sequence(f"{name_prefix}{i:06d}", codes, AMINO))
+    return SequenceBank(seqs, AMINO, pad=pad)
+
+
+def random_genome(
+    rng: np.random.Generator,
+    length: int,
+    gc_content: float = 0.41,
+    name: str = "chr",
+) -> Sequence:
+    """Generate a random genome with the given GC content.
+
+    0.41 is the human chromosome 1 GC fraction.
+    """
+    p_gc = gc_content / 2.0
+    p_at = (1.0 - gc_content) / 2.0
+    codes = rng.choice(4, size=length, p=[p_at, p_gc, p_gc, p_at]).astype(np.uint8)
+    return Sequence(name, codes, DNA)
+
+
+def _substitution_kernel(matrix: SubstitutionMatrix, temperature: float) -> np.ndarray:
+    """Row-stochastic amino-acid replacement kernel from a score matrix.
+
+    ``P(b | a) ∝ exp(score(a, b) / temperature)`` over the 20 canonical
+    residues with the diagonal removed — high-scoring (biochemically
+    conservative) replacements are preferred, which is what makes mutated
+    family members detectable by score-based search at all.
+    """
+    s = matrix.scores[:20, :20].astype(np.float64)
+    w = np.exp(s / temperature)
+    np.fill_diagonal(w, 0.0)
+    return w / w.sum(axis=1, keepdims=True)
+
+
+def mutate_protein(
+    rng: np.random.Generator,
+    codes: np.ndarray,
+    identity: float,
+    indel_rate: float = 0.01,
+    matrix: SubstitutionMatrix = BLOSUM62,
+    temperature: float = 2.0,
+) -> np.ndarray:
+    """Pass a protein through a mutation channel.
+
+    Parameters
+    ----------
+    identity:
+        Target fraction of positions left unchanged (0 < identity ≤ 1).
+    indel_rate:
+        Per-position probability of opening an indel (geometric length,
+        mean 2).
+    matrix, temperature:
+        Replacement kernel; see :func:`_substitution_kernel`.
+    """
+    if not 0.0 < identity <= 1.0:
+        raise ValueError("identity must be in (0, 1]")
+    codes = np.asarray(codes, dtype=np.uint8)
+    kernel = _substitution_kernel(matrix, temperature)
+    out: list[int] = []
+    i = 0
+    n = len(codes)
+    while i < n:
+        r = rng.random()
+        if r < indel_rate:
+            span = 1 + rng.geometric(0.5)
+            if rng.random() < 0.5:
+                i += span  # deletion
+            else:
+                ins = rng.choice(20, size=span, p=ROBINSON_FREQUENCIES)
+                out.extend(int(x) for x in ins)  # insertion, keep current residue next
+            continue
+        a = int(codes[i])
+        if a >= 20 or rng.random() < identity:
+            out.append(a)
+        else:
+            out.append(int(rng.choice(20, p=kernel[a])))
+        i += 1
+    if not out:  # pathological all-deleted case
+        out = [int(codes[0])]
+    return np.array(out, dtype=np.uint8)
+
+
+# Synonymous codon lists per amino-acid code, derived from the standard code.
+def _codon_choices(code: GeneticCode) -> list[np.ndarray]:
+    table = code.table
+    choices: list[np.ndarray] = []
+    codons = np.array(
+        [[(i // 16) % 4, (i // 4) % 4, i % 4] for i in range(64)], dtype=np.uint8
+    )
+    for aa in range(25):
+        rows = codons[table == aa]
+        choices.append(rows)
+    return choices
+
+
+_STANDARD_CODON_CHOICES = _codon_choices(STANDARD_CODE)
+
+
+def reverse_translate(
+    rng: np.random.Generator,
+    protein: np.ndarray,
+    code: GeneticCode = STANDARD_CODE,
+) -> np.ndarray:
+    """Back-translate a protein into DNA, sampling synonymous codons.
+
+    Residues with no codon (X, B, Z, gap) are emitted as a random sense
+    codon — they carry no signal either way.
+    """
+    if code is STANDARD_CODE:
+        choices = _STANDARD_CODON_CHOICES
+    else:
+        choices = _codon_choices(code)
+    protein = np.asarray(protein, dtype=np.uint8)
+    nt = np.empty(3 * len(protein), dtype=np.uint8)
+    for i, aa in enumerate(protein):
+        rows = choices[int(aa)]
+        if rows.shape[0] == 0:
+            rows = choices[int(rng.integers(20))]
+            while rows.shape[0] == 0:  # pragma: no cover - all 20 have codons
+                rows = choices[int(rng.integers(20))]
+        nt[3 * i : 3 * i + 3] = rows[rng.integers(rows.shape[0])]
+    return nt
+
+
+@dataclass(frozen=True)
+class ProteinFamily:
+    """An ancestral protein plus mutated members.
+
+    Members model homologs at decreasing identity; the family id links
+    queries to planted genome copies in the sensitivity benchmark.
+    """
+
+    family_id: int
+    ancestor: np.ndarray
+    members: list[np.ndarray] = field(default_factory=list)
+
+
+def make_family(
+    rng: np.random.Generator,
+    family_id: int,
+    length: int,
+    n_members: int,
+    identity_range: tuple[float, float] = (0.35, 0.9),
+) -> ProteinFamily:
+    """Create a family: one ancestor, *n_members* mutated descendants."""
+    ancestor = random_protein(rng, length)
+    lo, hi = identity_range
+    members = [
+        mutate_protein(rng, ancestor, identity=float(rng.uniform(lo, hi)))
+        for _ in range(n_members)
+    ]
+    return ProteinFamily(family_id, ancestor, members)
+
+
+@dataclass(frozen=True)
+class PlantedHomolog:
+    """Ground-truth record of one family member spliced into a genome."""
+
+    family_id: int
+    member_index: int
+    genome_start: int
+    genome_end: int
+    strand: int  # +1 forward, -1 reverse
+
+
+def plant_homologs(
+    rng: np.random.Generator,
+    genome: Sequence,
+    families: list[ProteinFamily],
+    code: GeneticCode = STANDARD_CODE,
+) -> tuple[Sequence, list[PlantedHomolog]]:
+    """Splice every family member into *genome* at random non-overlapping loci.
+
+    Returns the modified genome and the ground-truth plant records.  Members
+    are reverse-translated (random synonymous codons) and inserted on a
+    random strand, overwriting background sequence in place so genome length
+    is preserved and coordinates stay valid.
+    """
+    if genome.alphabet is not DNA:
+        raise ValueError("plant_homologs expects a DNA genome")
+    buf = genome.codes.copy()
+    n = len(buf)
+    records: list[PlantedHomolog] = []
+    occupied: list[tuple[int, int]] = []
+
+    def overlaps(a: int, b: int) -> bool:
+        return any(not (b <= s or e <= a) for s, e in occupied)
+
+    for fam in families:
+        for m_idx, member in enumerate(fam.members):
+            nt = reverse_translate(rng, member, code)
+            span = len(nt)
+            if span >= n:
+                raise ValueError("genome too short for planted member")
+            for _ in range(1000):
+                start = int(rng.integers(0, n - span))
+                if not overlaps(start, start + span):
+                    break
+            else:
+                raise RuntimeError("could not place homolog without overlap")
+            strand = 1 if rng.random() < 0.5 else -1
+            from .translate import reverse_complement
+
+            buf[start : start + span] = nt if strand == 1 else reverse_complement(nt)
+            occupied.append((start, start + span))
+            records.append(
+                PlantedHomolog(fam.family_id, m_idx, start, start + span, strand)
+            )
+    return Sequence(genome.name, buf, DNA, genome.description), records

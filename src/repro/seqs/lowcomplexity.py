@@ -1,0 +1,157 @@
+"""SEG-style low-complexity masking.
+
+Real protein searches always mask low-complexity regions (poly-A runs,
+coiled-coil stutters…) before seeding: such regions generate enormous
+index lists and spurious high-scoring pairs.  NCBI tblastn runs SEG by
+default, so the baseline comparison in the paper implicitly includes it.
+
+This module implements a vectorised SEG-like filter: the Shannon entropy
+of the residue composition in a sliding window is compared to a trigger
+threshold; low-entropy windows are masked.  Masked residues are rewritten
+to ``X`` (:data:`repro.seqs.alphabet.UNKNOWN_AA_CODE`), which the seed
+models treat as invalid — *soft masking*: seeds cannot start in masked
+regions, but extensions may still cross them (X scores mildly negative).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .alphabet import UNKNOWN_AA_CODE
+from .sequence import Sequence, SequenceBank
+
+__all__ = ["SegConfig", "window_entropy", "seg_mask", "mask_bank"]
+
+
+@dataclass(frozen=True)
+class SegConfig:
+    """SEG parameters (defaults approximate NCBI's 12/2.2/2.5).
+
+    Attributes
+    ----------
+    window:
+        Sliding-window length in residues.
+    trigger_entropy:
+        Windows with entropy (bits) below this value start a masked region.
+    extend_entropy:
+        Masked regions extend while entropy stays below this (≥ trigger).
+    """
+
+    window: int = 12
+    trigger_entropy: float = 2.2
+    extend_entropy: float = 2.5
+
+    def __post_init__(self) -> None:
+        if self.window < 2:
+            raise ValueError("window must be >= 2")
+        if self.extend_entropy < self.trigger_entropy:
+            raise ValueError("extend_entropy must be >= trigger_entropy")
+
+
+def window_entropy(
+    codes: np.ndarray, window: int, canonical_only: bool = False
+) -> np.ndarray:
+    """Shannon entropy (bits) of each length-*window* sliding window.
+
+    Returns an array of length ``len(codes) - window + 1``.  With
+    ``canonical_only=False`` residues with codes ≥ 20 (ambiguity / stop /
+    gap) are pooled into one pseudo-class; with ``canonical_only=True``
+    they are *excluded* — entropy is computed over the canonical residues
+    present, and any window containing a non-canonical residue returns
+    ``+inf`` (such windows cannot trigger masking, which makes masking
+    exactly idempotent: an already-masked X run never re-triggers).
+    Computed from per-residue cumulative counts, O(21·N).
+    """
+    codes = np.asarray(codes, dtype=np.uint8)
+    n = codes.shape[0] - window + 1
+    if n <= 0:
+        return np.empty(0, dtype=np.float64)
+    classes = np.minimum(codes, 20).astype(np.int64)
+    # counts[c, i] = occurrences of class c in codes[:i].
+    onehot_cum = np.zeros((21, codes.shape[0] + 1), dtype=np.int32)
+    for c in range(21):
+        onehot_cum[c, 1:] = np.cumsum(classes == c)
+    win_counts = (onehot_cum[:, window:] - onehot_cum[:, :-window]).astype(np.float64)
+    if canonical_only:
+        canon = win_counts[:20]
+        total = canon.sum(axis=0)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            p = np.where(total > 0, canon / np.maximum(total, 1), 0.0)
+            terms = np.where(p > 0, -p * np.log2(p), 0.0)
+        ent = terms.sum(axis=0)
+        ent[total < window] = np.inf
+        return ent
+    p = win_counts / window
+    with np.errstate(divide="ignore", invalid="ignore"):
+        terms = np.where(p > 0, -p * np.log2(p), 0.0)
+    return terms.sum(axis=0)
+
+
+def seg_mask(
+    codes: np.ndarray, config: SegConfig = SegConfig()
+) -> tuple[np.ndarray, float]:
+    """Mask low-complexity regions of one sequence.
+
+    Returns ``(masked_codes, masked_fraction)``.  A window below the
+    trigger entropy masks all its positions; neighbouring windows below
+    the extend entropy widen the region (two-threshold hysteresis, as in
+    SEG's extension step).
+    """
+    codes = np.asarray(codes, dtype=np.uint8)
+    w = config.window
+    if codes.shape[0] < w:
+        return codes.copy(), 0.0
+    ent = window_entropy(codes, w, canonical_only=True)
+    trigger = ent < config.trigger_entropy
+    if not trigger.any():
+        return codes.copy(), 0.0
+    extend = ent < config.extend_entropy
+    # Grow trigger runs while the extend predicate holds (both directions).
+    masked_windows = trigger.copy()
+    # Forward pass.
+    run = False
+    for i in range(masked_windows.shape[0]):
+        if trigger[i]:
+            run = True
+        elif not extend[i]:
+            run = False
+        if run and extend[i]:
+            masked_windows[i] = True
+    # Backward pass.
+    run = False
+    for i in range(masked_windows.shape[0] - 1, -1, -1):
+        if trigger[i]:
+            run = True
+        elif not extend[i]:
+            run = False
+        if run and extend[i]:
+            masked_windows[i] = True
+    # A masked window masks all its residues.
+    mask = np.zeros(codes.shape[0], dtype=bool)
+    idx = np.flatnonzero(masked_windows)
+    for i in idx:
+        mask[i : i + w] = True
+    out = codes.copy()
+    out[mask] = UNKNOWN_AA_CODE
+    return out, float(mask.mean())
+
+
+def mask_bank(
+    bank: SequenceBank, config: SegConfig = SegConfig()
+) -> tuple[SequenceBank, float]:
+    """Apply SEG masking to every sequence of a bank.
+
+    Returns the masked bank and the overall masked-residue fraction.
+    """
+    masked = []
+    total = 0
+    masked_count = 0.0
+    for seq in bank:
+        codes, frac = seg_mask(seq.codes, config)
+        masked.append(Sequence(seq.name, codes, bank.alphabet, seq.description))
+        total += len(seq)
+        masked_count += frac * len(seq)
+    out = SequenceBank(masked, bank.alphabet, pad=bank.pad)
+    return out, (masked_count / total if total else 0.0)

@@ -1,0 +1,214 @@
+"""Amino-acid substitution matrices.
+
+The matrices ship embedded in NCBI text format and are parsed once, at import
+time, into dense ``(25, 25)`` ``int8`` arrays laid out against the code
+assignment of :mod:`repro.seqs.alphabet` (20 canonical residues, then B, Z,
+X, ``*`` and the gap sentinel ``-``).
+
+A dense small matrix is exactly what the paper's PE stores in its
+substitution ROM (Figure 2): two 5-bit amino-acid codes address a signed
+cost.  Keeping the software layout identical to the hardware ROM layout lets
+the cycle-accurate simulator and the vectorised software kernel share one
+array (see :class:`repro.hwsim.memory.Rom`).
+
+The gap sentinel row/column is set to :data:`GAP_SCORE` (strongly negative)
+so windows that overlap inter-sequence padding can never accumulate score
+across a sequence boundary.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .alphabet import AA_LETTERS, GAP_CODE
+
+__all__ = ["SubstitutionMatrix", "BLOSUM62", "BLOSUM80", "BLOSUM45", "get_matrix", "GAP_SCORE"]
+
+#: Score assigned to any pairing that involves the gap/padding sentinel.
+GAP_SCORE = -16
+
+_BLOSUM62_TEXT = """
+   A  R  N  D  C  Q  E  G  H  I  L  K  M  F  P  S  T  W  Y  V  B  Z  X  *
+A  4 -1 -2 -2  0 -1 -1  0 -2 -1 -1 -1 -1 -2 -1  1  0 -3 -2  0 -2 -1  0 -4
+R -1  5  0 -2 -3  1  0 -2  0 -3 -2  2 -1 -3 -2 -1 -1 -3 -2 -3 -1  0 -1 -4
+N -2  0  6  1 -3  0  0  0  1 -3 -3  0 -2 -3 -2  1  0 -4 -2 -3  3  0 -1 -4
+D -2 -2  1  6 -3  0  2 -1 -1 -3 -4 -1 -3 -3 -1  0 -1 -4 -3 -3  4  1 -1 -4
+C  0 -3 -3 -3  9 -3 -4 -3 -3 -1 -1 -3 -1 -2 -3 -1 -1 -2 -2 -1 -3 -3 -2 -4
+Q -1  1  0  0 -3  5  2 -2  0 -3 -2  1  0 -3 -1  0 -1 -2 -1 -2  0  3 -1 -4
+E -1  0  0  2 -4  2  5 -2  0 -3 -3  1 -2 -3 -1  0 -1 -3 -2 -2  1  4 -1 -4
+G  0 -2  0 -1 -3 -2 -2  6 -2 -4 -4 -2 -3 -3 -2  0 -2 -2 -3 -3 -1 -2 -1 -4
+H -2  0  1 -1 -3  0  0 -2  8 -3 -3 -1 -2 -1 -2 -1 -2 -2  2 -3  0  0 -1 -4
+I -1 -3 -3 -3 -1 -3 -3 -4 -3  4  2 -3  1  0 -3 -2 -1 -3 -1  3 -3 -3 -1 -4
+L -1 -2 -3 -4 -1 -2 -3 -4 -3  2  4 -2  2  0 -3 -2 -1 -2 -1  1 -4 -3 -1 -4
+K -1  2  0 -1 -3  1  1 -2 -1 -3 -2  5 -1 -3 -1  0 -1 -3 -2 -2  0  1 -1 -4
+M -1 -1 -2 -3 -1  0 -2 -3 -2  1  2 -1  5  0 -2 -1 -1 -1 -1  1 -3 -1 -1 -4
+F -2 -3 -3 -3 -2 -3 -3 -3 -1  0  0 -3  0  6 -4 -2 -2  1  3 -1 -3 -3 -1 -4
+P -1 -2 -2 -1 -3 -1 -1 -2 -2 -3 -3 -1 -2 -4  7 -1 -1 -4 -3 -2 -2 -1 -2 -4
+S  1 -1  1  0 -1  0  0  0 -1 -2 -2  0 -1 -2 -1  4  1 -3 -2 -2  0  0  0 -4
+T  0 -1  0 -1 -1 -1 -1 -2 -2 -1 -1 -1 -1 -2 -1  1  5 -2 -2  0 -1 -1  0 -4
+W -3 -3 -4 -4 -2 -2 -3 -2 -2 -3 -2 -3 -1  1 -4 -3 -2 11  2 -3 -4 -3 -2 -4
+Y -2 -2 -2 -3 -2 -1 -2 -3  2 -1 -1 -2 -1  3 -3 -2 -2  2  7 -1 -3 -2 -1 -4
+V  0 -3 -3 -3 -1 -2 -2 -3 -3  3  1 -2  1 -1 -2 -2  0 -3 -1  4 -3 -2 -1 -4
+B -2 -1  3  4 -3  0  1 -1  0 -3 -4  0 -3 -3 -2  0 -1 -4 -3 -3  4  1 -1 -4
+Z -1  0  0  1 -3  3  4 -2  0 -3 -3  1 -1 -3 -1  0 -1 -3 -2 -2  1  4 -1 -4
+X  0 -1 -1 -1 -2 -1 -1 -1 -1 -1 -1 -1 -1 -1 -2  0  0 -2 -1 -1 -1 -1 -1 -4
+* -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4 -4  1
+"""
+
+_BLOSUM80_TEXT = """
+   A  R  N  D  C  Q  E  G  H  I  L  K  M  F  P  S  T  W  Y  V  B  Z  X  *
+A  5 -2 -2 -2 -1 -1 -1  0 -2 -2 -2 -1 -1 -3 -1  1  0 -3 -2  0 -2 -1 -1 -6
+R -2  6 -1 -2 -4  1 -1 -3  0 -3 -3  2 -2 -4 -2 -1 -1 -4 -3 -3 -2  0 -1 -6
+N -2 -1  6  1 -3  0 -1 -1  0 -4 -4  0 -3 -4 -3  0  0 -4 -3 -4  4  0 -1 -6
+D -2 -2  1  6 -4 -1  1 -2 -2 -4 -5 -1 -4 -4 -2 -1 -1 -6 -4 -4  4  1 -2 -6
+C -1 -4 -3 -4  9 -4 -5 -4 -4 -2 -2 -4 -2 -3 -4 -2 -1 -3 -3 -1 -4 -4 -3 -6
+Q -1  1  0 -1 -4  6  2 -2  1 -3 -3  1  0 -4 -2  0 -1 -3 -2 -3  0  3 -1 -6
+E -1 -1 -1  1 -5  2  6 -3  0 -4 -4  1 -2 -4 -2  0 -1 -4 -3 -3  1  4 -1 -6
+G  0 -3 -1 -2 -4 -2 -3  6 -3 -5 -4 -2 -4 -4 -3 -1 -2 -4 -4 -4 -1 -3 -2 -6
+H -2  0  0 -2 -4  1  0 -3  8 -4 -3 -1 -2 -2 -3 -1 -2 -3  2 -4 -1  0 -2 -6
+I -2 -3 -4 -4 -2 -3 -4 -5 -4  5  1 -3  1 -1 -4 -3 -1 -3 -2  3 -4 -4 -2 -6
+L -2 -3 -4 -5 -2 -3 -4 -4 -3  1  4 -3  2  0 -3 -3 -2 -2 -2  1 -4 -3 -2 -6
+K -1  2  0 -1 -4  1  1 -2 -1 -3 -3  5 -2 -4 -1 -1 -1 -4 -3 -3 -1  1 -1 -6
+M -1 -2 -3 -4 -2  0 -2 -4 -2  1  2 -2  6  0 -3 -2 -1 -2 -2  1 -3 -2 -1 -6
+F -3 -4 -4 -4 -3 -4 -4 -4 -2 -1  0 -4  0  6 -4 -3 -2  0  3 -1 -4 -4 -2 -6
+P -1 -2 -3 -2 -4 -2 -2 -3 -3 -4 -3 -1 -3 -4  8 -1 -2 -5 -4 -3 -2 -2 -2 -6
+S  1 -1  0 -1 -2  0  0 -1 -1 -3 -3 -1 -2 -3 -1  5  1 -4 -2 -2  0  0 -1 -6
+T  0 -1  0 -1 -1 -1 -1 -2 -2 -1 -2 -1 -1 -2 -2  1  5 -4 -2  0 -1 -1 -1 -6
+W -3 -4 -4 -6 -3 -3 -4 -4 -3 -3 -2 -4 -2  0 -5 -4 -4 11  2 -3 -5 -4 -3 -6
+Y -2 -3 -3 -4 -3 -2 -3 -4  2 -2 -2 -3 -2  3 -4 -2 -2  2  7 -2 -3 -3 -2 -6
+V  0 -3 -4 -4 -1 -3 -3 -4 -4  3  1 -3  1 -1 -3 -2  0 -3 -2  4 -4 -3 -1 -6
+B -2 -2  4  4 -4  0  1 -1 -1 -4 -4 -1 -3 -4 -2  0 -1 -5 -3 -4  4  0 -2 -6
+Z -1  0  0  1 -4  3  4 -3  0 -4 -3  1 -2 -4 -2  0 -1 -4 -3 -3  0  4 -1 -6
+X -1 -1 -1 -2 -3 -1 -1 -2 -2 -2 -2 -1 -1 -2 -2 -1 -1 -3 -2 -1 -2 -1 -1 -6
+* -6 -6 -6 -6 -6 -6 -6 -6 -6 -6 -6 -6 -6 -6 -6 -6 -6 -6 -6 -6 -6 -6 -6  1
+"""
+
+_BLOSUM45_TEXT = """
+   A  R  N  D  C  Q  E  G  H  I  L  K  M  F  P  S  T  W  Y  V  B  Z  X  *
+A  5 -2 -1 -2 -1 -1 -1  0 -2 -1 -1 -1 -1 -2 -1  1  0 -2 -2  0 -1 -1  0 -5
+R -2  7  0 -1 -3  1  0 -2  0 -3 -2  3 -1 -2 -2 -1 -1 -2 -1 -2 -1  0 -1 -5
+N -1  0  6  2 -2  0  0  0  1 -2 -3  0 -2 -2 -2  1  0 -4 -2 -3  4  0 -1 -5
+D -2 -1  2  7 -3  0  2 -1  0 -4 -3  0 -3 -4 -1  0 -1 -4 -2 -3  5  1 -1 -5
+C -1 -3 -2 -3 12 -3 -3 -3 -3 -3 -2 -3 -2 -2 -4 -1 -1 -5 -3 -1 -2 -3 -2 -5
+Q -1  1  0  0 -3  6  2 -2  1 -2 -2  1  0 -4 -1  0 -1 -2 -1 -3  0  4 -1 -5
+E -1  0  0  2 -3  2  6 -2  0 -3 -2  1 -2 -3  0  0 -1 -3 -2 -3  1  4 -1 -5
+G  0 -2  0 -1 -3 -2 -2  7 -2 -4 -3 -2 -2 -3 -2  0 -2 -2 -3 -3 -1 -2 -1 -5
+H -2  0  1  0 -3  1  0 -2 10 -3 -2 -1  0 -2 -2 -1 -2 -3  2 -3  0  0 -1 -5
+I -1 -3 -2 -4 -3 -2 -3 -4 -3  5  2 -3  2  0 -2 -2 -1 -2  0  3 -3 -3 -1 -5
+L -1 -2 -3 -3 -2 -2 -2 -3 -2  2  5 -3  2  1 -3 -3 -1 -2  0  1 -3 -2 -1 -5
+K -1  3  0  0 -3  1  1 -2 -1 -3 -3  5 -1 -3 -1 -1 -1 -2 -1 -2  0  1 -1 -5
+M -1 -1 -2 -3 -2  0 -2 -2  0  2  2 -1  6  0 -2 -2 -1 -2  0  1 -2 -1 -1 -5
+F -2 -2 -2 -4 -2 -4 -3 -3 -2  0  1 -3  0  8 -3 -2 -1  1  3  0 -3 -3 -1 -5
+P -1 -2 -2 -1 -4 -1  0 -2 -2 -2 -3 -1 -2 -3  9 -1 -1 -3 -3 -3 -2 -1 -1 -5
+S  1 -1  1  0 -1  0  0  0 -1 -2 -3 -1 -2 -2 -1  4  2 -4 -2 -1  0  0  0 -5
+T  0 -1  0 -1 -1 -1 -1 -2 -2 -1 -1 -1 -1 -1 -1  2  5 -3 -1  0  0 -1  0 -5
+W -2 -2 -4 -4 -5 -2 -3 -2 -3 -2 -2 -2 -2  1 -3 -4 -3 15  3 -3 -4 -2 -2 -5
+Y -2 -1 -2 -2 -3 -1 -2 -3  2  0  0 -1  0  3 -3 -2 -1  3  8 -1 -2 -2 -1 -5
+V  0 -2 -3 -3 -1 -3 -3 -3 -3  3  1 -2  1  0 -3 -1  0 -3 -1  5 -3 -3 -1 -5
+B -1 -1  4  5 -2  0  1 -1  0 -3 -3  0 -2 -3 -2  0  0 -4 -2 -3  4  2 -1 -5
+Z -1  0  0  1 -3  4  4 -2  0 -3 -2  1 -1 -3 -1  0 -1 -2 -2 -3  2  4 -1 -5
+X  0 -1 -1 -1 -2 -1 -1 -1 -1 -1 -1 -1 -1 -1 -1  0  0 -2 -1 -1 -1 -1 -1 -5
+* -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5 -5  1
+"""
+
+
+class SubstitutionMatrix:
+    """A dense amino-acid substitution matrix addressed by code pairs.
+
+    Attributes
+    ----------
+    name:
+        Matrix identifier (``"BLOSUM62"`` …).
+    scores:
+        ``(25, 25)`` ``int8`` array; ``scores[a, b]`` is the cost of
+        substituting code ``a`` by code ``b``.  Any pair involving the gap
+        sentinel scores :data:`GAP_SCORE`.
+    """
+
+    def __init__(self, name: str, scores: np.ndarray) -> None:
+        scores = np.asarray(scores, dtype=np.int8)
+        n = len(AA_LETTERS)
+        if scores.shape != (n, n):
+            raise ValueError(f"expected ({n}, {n}) matrix, got {scores.shape}")
+        self.name = name
+        self.scores = scores
+        self.scores.flags.writeable = False
+
+    @classmethod
+    def from_ncbi_text(cls, name: str, text: str) -> "SubstitutionMatrix":
+        """Parse an NCBI-format matrix block (header row + labelled rows).
+
+        The parsed letters are mapped onto the package code assignment; the
+        gap sentinel row/column is filled with :data:`GAP_SCORE`.
+        """
+        lines = [ln for ln in text.strip().splitlines() if ln.strip() and not ln.startswith("#")]
+        header = lines[0].split()
+        n = len(AA_LETTERS)
+        scores = np.full((n, n), GAP_SCORE, dtype=np.int16)
+        from .alphabet import AMINO
+
+        col_codes = [int(AMINO.encode(ch)[0]) for ch in header]
+        for ln in lines[1:]:
+            parts = ln.split()
+            row_code = int(AMINO.encode(parts[0])[0])
+            values = [int(v) for v in parts[1:]]
+            if len(values) != len(header):
+                raise ValueError(f"malformed matrix row for {parts[0]!r} in {name}")
+            for c, v in zip(col_codes, values):
+                scores[row_code, c] = v
+        scores[GAP_CODE, :] = GAP_SCORE
+        scores[:, GAP_CODE] = GAP_SCORE
+        return cls(name, scores.astype(np.int8))
+
+    def score(self, a: int, b: int) -> int:
+        """Cost of substituting code *a* by code *b*."""
+        return int(self.scores[a, b])
+
+    def pair_scores(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Vectorised elementwise lookup: ``scores[a[i], b[i]]``.
+
+        *a* and *b* broadcast against each other; the result is ``int8``
+        shaped like the broadcast.
+        """
+        return self.scores[np.asarray(a), np.asarray(b)]
+
+    def max_score(self) -> int:
+        """Largest entry (used for X-drop bound computations)."""
+        return int(self.scores.max())
+
+    def min_score(self) -> int:
+        """Smallest entry excluding the gap sentinel."""
+        sub = np.delete(np.delete(self.scores, GAP_CODE, 0), GAP_CODE, 1)
+        return int(sub.min())
+
+    def rom_contents(self) -> np.ndarray:
+        """Flat ROM image for the hardware PE substitution ROM.
+
+        The PE addresses the ROM with ``a * 32 + b`` (two 5-bit codes), so
+        the image is 1024 entries with unused slots at :data:`GAP_SCORE`.
+        """
+        rom = np.full(32 * 32, GAP_SCORE, dtype=np.int8)
+        n = len(AA_LETTERS)
+        idx = np.arange(n)
+        rom[(idx[:, None] * 32 + idx[None, :]).ravel()] = self.scores.ravel()
+        return rom
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"SubstitutionMatrix({self.name})"
+
+
+BLOSUM62 = SubstitutionMatrix.from_ncbi_text("BLOSUM62", _BLOSUM62_TEXT)
+BLOSUM80 = SubstitutionMatrix.from_ncbi_text("BLOSUM80", _BLOSUM80_TEXT)
+BLOSUM45 = SubstitutionMatrix.from_ncbi_text("BLOSUM45", _BLOSUM45_TEXT)
+
+_REGISTRY = {m.name: m for m in (BLOSUM62, BLOSUM80, BLOSUM45)}
+
+
+def get_matrix(name: str) -> SubstitutionMatrix:
+    """Look up a bundled matrix by name (case-insensitive)."""
+    try:
+        return _REGISTRY[name.upper()]
+    except KeyError:
+        raise KeyError(
+            f"unknown matrix {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None

@@ -1,0 +1,236 @@
+"""Sequence and sequence-bank containers.
+
+A :class:`SequenceBank` is the unit the paper's algorithm operates on: a
+*large set* of sequences stored as one contiguous ``uint8`` buffer plus an
+offset table.  Contiguity matters twice over:
+
+* the indexing step (:mod:`repro.index.kmer`) records **global offsets** into
+  the buffer, exactly like the paper's "index list of sequence offsets";
+* the ungapped-extension kernel gathers fixed-length windows with a single
+  strided ``np.take`` per index entry, which keeps the hot loop inside NumPy.
+
+Sequences are padded with :data:`~repro.seqs.alphabet.GAP_CODE` sentinels on
+both flanks of the concatenated buffer so window extraction near sequence
+boundaries never reads a neighbouring sequence as signal (the gap sentinel
+scores the strongest penalty in every substitution matrix).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence as PySequence
+
+import numpy as np
+
+from .alphabet import AMINO, DNA, GAP_CODE, Alphabet
+
+__all__ = ["Sequence", "SequenceBank", "BankBuilder"]
+
+
+@dataclass(frozen=True)
+class Sequence:
+    """A single named sequence over an :class:`~repro.seqs.alphabet.Alphabet`."""
+
+    name: str
+    codes: np.ndarray
+    alphabet: Alphabet = AMINO
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        codes = np.ascontiguousarray(self.codes, dtype=np.uint8)
+        object.__setattr__(self, "codes", codes)
+
+    @classmethod
+    def from_text(
+        cls,
+        name: str,
+        text: str,
+        alphabet: Alphabet = AMINO,
+        description: str = "",
+    ) -> "Sequence":
+        """Build a sequence by encoding *text* with *alphabet*."""
+        return cls(name, alphabet.encode(text), alphabet, description)
+
+    def __len__(self) -> int:
+        return int(self.codes.shape[0])
+
+    def text(self) -> str:
+        """Decode back to a string (letters of :attr:`alphabet`)."""
+        return self.alphabet.decode(self.codes)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        head = self.text()[:24]
+        ell = "..." if len(self) > 24 else ""
+        return f"Sequence({self.name!r}, {head!r}{ell}, len={len(self)})"
+
+
+class SequenceBank:
+    """An immutable set of sequences in one contiguous padded buffer.
+
+    Layout (``P`` = :attr:`pad` sentinel cells)::
+
+        [P…P] seq0 [P…P] seq1 [P…P] … seqN [P…P]
+
+    ``starts[i]`` is the global offset of the first residue of sequence
+    ``i``; ``lengths[i]`` its length.  ``buffer[starts[i] + k]`` is residue
+    ``k`` of sequence ``i``.  A single pad block separates adjacent
+    sequences and flanks the bank, so any window of width ≤ ``pad`` anchored
+    inside a sequence stays inside ``buffer``.
+    """
+
+    def __init__(
+        self,
+        sequences: Iterable[Sequence],
+        alphabet: Alphabet = AMINO,
+        pad: int = 64,
+    ) -> None:
+        seqs = list(sequences)
+        if pad < 1:
+            raise ValueError("pad must be >= 1")
+        for s in seqs:
+            if s.alphabet is not alphabet:
+                raise ValueError(
+                    f"sequence {s.name!r} uses alphabet {s.alphabet.name!r}, "
+                    f"bank expects {alphabet.name!r}"
+                )
+        self._alphabet = alphabet
+        self._pad = int(pad)
+        self._names = [s.name for s in seqs]
+        self._descriptions = [s.description for s in seqs]
+        lengths = np.array([len(s) for s in seqs], dtype=np.int64)
+        starts = np.empty(len(seqs), dtype=np.int64)
+        total = pad + int((lengths + pad).sum())
+        buf = np.full(total, GAP_CODE, dtype=np.uint8)
+        cursor = pad
+        for i, s in enumerate(seqs):
+            starts[i] = cursor
+            buf[cursor : cursor + len(s)] = s.codes
+            cursor += len(s) + pad
+        self._buffer = buf
+        self._starts = starts
+        self._lengths = lengths
+        # Map a global offset back to its sequence id via searchsorted on
+        # sequence end boundaries (ends are strictly increasing).
+        self._ends = starts + lengths
+
+    # -- basic accessors -------------------------------------------------
+    @property
+    def alphabet(self) -> Alphabet:
+        """Alphabet shared by every sequence in the bank."""
+        return self._alphabet
+
+    @property
+    def pad(self) -> int:
+        """Number of gap sentinels between adjacent sequences."""
+        return self._pad
+
+    @property
+    def buffer(self) -> np.ndarray:
+        """The contiguous code buffer (read-only view)."""
+        v = self._buffer.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def starts(self) -> np.ndarray:
+        """Global offset of each sequence's first residue."""
+        v = self._starts.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def lengths(self) -> np.ndarray:
+        """Length of each sequence."""
+        v = self._lengths.view()
+        v.flags.writeable = False
+        return v
+
+    @property
+    def names(self) -> PySequence[str]:
+        """Sequence names, in bank order."""
+        return tuple(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    @property
+    def total_residues(self) -> int:
+        """Sum of sequence lengths (excluding padding)."""
+        return int(self._lengths.sum())
+
+    def __getitem__(self, i: int) -> Sequence:
+        s = self._starts[i]
+        return Sequence(
+            self._names[i],
+            self._buffer[s : s + self._lengths[i]].copy(),
+            self._alphabet,
+            self._descriptions[i],
+        )
+
+    def __iter__(self) -> Iterator[Sequence]:
+        for i in range(len(self)):
+            yield self[i]
+
+    # -- offset arithmetic -----------------------------------------------
+    def seq_id_of(self, offsets: np.ndarray) -> np.ndarray:
+        """Map global buffer offsets to sequence ids (vectorised).
+
+        Offsets inside padding map to the nearest *following* sequence for
+        pre-pad cells; callers are expected to pass offsets that point at
+        real residues (index lists always do).
+        """
+        offsets = np.asarray(offsets, dtype=np.int64)
+        return np.searchsorted(self._ends, offsets, side="right")
+
+    def local_position(self, offsets: np.ndarray) -> np.ndarray:
+        """Convert global offsets to within-sequence positions."""
+        offsets = np.asarray(offsets, dtype=np.int64)
+        return offsets - self._starts[self.seq_id_of(offsets)]
+
+    def global_offset(self, seq_id: int, position: int) -> int:
+        """Convert (sequence id, local position) to a global offset."""
+        if not 0 <= position < int(self._lengths[seq_id]):
+            raise IndexError(
+                f"position {position} out of range for sequence {seq_id} "
+                f"(length {int(self._lengths[seq_id])})"
+            )
+        return int(self._starts[seq_id] + position)
+
+    def windows(self, offsets: np.ndarray, left: int, width: int) -> np.ndarray:
+        """Gather fixed-width windows around global *offsets*.
+
+        Returns an ``(len(offsets), width)`` uint8 array whose row ``i`` is
+        ``buffer[offsets[i]-left : offsets[i]-left+width]``.  Callers must
+        keep ``left`` and ``width - left`` within :attr:`pad` plus the seed
+        width so rows never leave the buffer; this is validated.
+        """
+        offsets = np.asarray(offsets, dtype=np.int64)
+        base = offsets - left
+        if offsets.size:
+            if int(base.min()) < 0 or int(base.max()) + width > self._buffer.size:
+                raise IndexError("window exceeds bank buffer; increase pad")
+        return self._buffer[base[:, None] + np.arange(width, dtype=np.int64)[None, :]]
+
+
+class BankBuilder:
+    """Incremental construction helper for :class:`SequenceBank`."""
+
+    def __init__(self, alphabet: Alphabet = AMINO, pad: int = 64) -> None:
+        self._alphabet = alphabet
+        self._pad = pad
+        self._seqs: list[Sequence] = []
+
+    def add(self, name: str, text_or_codes: str | np.ndarray, description: str = "") -> None:
+        """Append one sequence (string or pre-encoded codes)."""
+        if isinstance(text_or_codes, str):
+            seq = Sequence.from_text(name, text_or_codes, self._alphabet, description)
+        else:
+            seq = Sequence(name, np.asarray(text_or_codes, dtype=np.uint8), self._alphabet, description)
+        self._seqs.append(seq)
+
+    def build(self) -> SequenceBank:
+        """Freeze into an immutable bank."""
+        return SequenceBank(self._seqs, self._alphabet, self._pad)
+
+    def __len__(self) -> int:
+        return len(self._seqs)

@@ -1,0 +1,173 @@
+"""Genetic code and six-frame translation.
+
+The paper's workload translates a genome "into its 6 possible protein
+frames" before comparing it against a protein bank (tblastn semantics).
+Translation is fully vectorised: a codon is three nucleotide codes combined
+into a base-4 index into a 64-entry table; frames are produced by slicing
+the same buffer at offsets 0/1/2 on the forward and reverse-complement
+strands.
+
+Codons containing an ``N`` translate to ``X`` (unknown amino acid); stop
+codons translate to ``*`` (:data:`repro.seqs.alphabet.STOP_CODE`), matching
+BLAST's tblastn behaviour of keeping stops in-frame so alignments cannot
+silently cross them (every matrix scores ``*`` at -4 or worse).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .alphabet import AMINO, DNA, STOP_CODE, UNKNOWN_AA_CODE
+from .sequence import Sequence, SequenceBank
+
+__all__ = [
+    "STANDARD_CODE",
+    "GeneticCode",
+    "reverse_complement",
+    "translate",
+    "translate_six_frames",
+    "translated_bank",
+    "codon_of",
+]
+
+# NCBI translation table 1 (the standard code), indexed by TCAG order here
+# re-expressed against our ACGT code order below.
+_CODON_TABLE_TEXT = {
+    # Phe/Leu
+    "TTT": "F", "TTC": "F", "TTA": "L", "TTG": "L",
+    "CTT": "L", "CTC": "L", "CTA": "L", "CTG": "L",
+    "ATT": "I", "ATC": "I", "ATA": "I", "ATG": "M",
+    "GTT": "V", "GTC": "V", "GTA": "V", "GTG": "V",
+    "TCT": "S", "TCC": "S", "TCA": "S", "TCG": "S",
+    "CCT": "P", "CCC": "P", "CCA": "P", "CCG": "P",
+    "ACT": "T", "ACC": "T", "ACA": "T", "ACG": "T",
+    "GCT": "A", "GCC": "A", "GCA": "A", "GCG": "A",
+    "TAT": "Y", "TAC": "Y", "TAA": "*", "TAG": "*",
+    "CAT": "H", "CAC": "H", "CAA": "Q", "CAG": "Q",
+    "AAT": "N", "AAC": "N", "AAA": "K", "AAG": "K",
+    "GAT": "D", "GAC": "D", "GAA": "E", "GAG": "E",
+    "TGT": "C", "TGC": "C", "TGA": "*", "TGG": "W",
+    "CGT": "R", "CGC": "R", "CGA": "R", "CGG": "R",
+    "AGT": "S", "AGC": "S", "AGA": "R", "AGG": "R",
+    "GGT": "G", "GGC": "G", "GGA": "G", "GGG": "G",
+}
+
+
+@dataclass(frozen=True)
+class GeneticCode:
+    """A codon → amino-acid mapping with vectorised translation.
+
+    Attributes
+    ----------
+    name:
+        Table identifier.
+    table:
+        ``(64,)`` uint8 array mapping base-4 codon indices (built from ACGT
+        nucleotide codes: ``16*c0 + 4*c1 + c2``) to amino-acid codes.
+    """
+
+    name: str
+    table: np.ndarray
+
+    @classmethod
+    def from_mapping(cls, name: str, mapping: dict[str, str]) -> "GeneticCode":
+        """Build from a ``{"ATG": "M", ...}`` dictionary (must cover all 64)."""
+        if len(mapping) != 64:
+            raise ValueError(f"genetic code needs 64 codons, got {len(mapping)}")
+        table = np.empty(64, dtype=np.uint8)
+        for codon, aa in mapping.items():
+            c = DNA.encode(codon)
+            idx = int(c[0]) * 16 + int(c[1]) * 4 + int(c[2])
+            table[idx] = int(AMINO.encode(aa)[0])
+        table.flags.writeable = False
+        return cls(name, table)
+
+    def translate_codes(self, nt: np.ndarray) -> np.ndarray:
+        """Translate nucleotide codes (frame 0) into amino-acid codes.
+
+        Trailing bases that do not complete a codon are dropped.  Codons
+        containing ``N`` yield ``X``.
+        """
+        nt = np.asarray(nt, dtype=np.uint8)
+        n_codons = nt.shape[0] // 3
+        if n_codons == 0:
+            return np.empty(0, dtype=np.uint8)
+        tri = nt[: n_codons * 3].reshape(n_codons, 3).astype(np.int32)
+        has_n = (tri >= 4).any(axis=1)
+        idx = tri[:, 0] * 16 + tri[:, 1] * 4 + tri[:, 2]
+        # Clamp indices built from N codes into range; they are overwritten
+        # with X below so the clamped value never leaks out.
+        aa = self.table[np.minimum(idx, 63)]
+        aa = aa.copy()
+        aa[has_n] = UNKNOWN_AA_CODE
+        return aa
+
+
+#: The standard genetic code (NCBI translation table 1).
+STANDARD_CODE = GeneticCode.from_mapping("standard", _CODON_TABLE_TEXT)
+
+# Complement lookup under code order A,C,G,T,N -> T,G,C,A,N.
+_COMPLEMENT = np.array([3, 2, 1, 0, 4], dtype=np.uint8)
+
+
+def reverse_complement(nt: np.ndarray) -> np.ndarray:
+    """Reverse-complement a nucleotide code vector."""
+    nt = np.asarray(nt, dtype=np.uint8)
+    return _COMPLEMENT[nt[::-1]]
+
+
+def translate(nt: np.ndarray, frame: int, code: GeneticCode = STANDARD_CODE) -> np.ndarray:
+    """Translate one of the six reading frames.
+
+    Frames follow the BLAST convention: ``+1, +2, +3`` start at offsets
+    0/1/2 of the forward strand, ``-1, -2, -3`` at offsets 0/1/2 of the
+    reverse complement.
+    """
+    if frame not in (1, 2, 3, -1, -2, -3):
+        raise ValueError(f"frame must be in ±1..3, got {frame}")
+    if frame < 0:
+        nt = reverse_complement(nt)
+        frame = -frame
+    return code.translate_codes(np.asarray(nt, dtype=np.uint8)[frame - 1 :])
+
+
+def translate_six_frames(
+    nt: np.ndarray, code: GeneticCode = STANDARD_CODE
+) -> dict[int, np.ndarray]:
+    """Translate all six frames; returns ``{frame: aa_codes}``."""
+    return {f: translate(nt, f, code) for f in (1, 2, 3, -1, -2, -3)}
+
+
+def codon_of(frame: int, aa_position: int, genome_length: int) -> int:
+    """Genome coordinate (forward strand, 0-based) of the first base of the
+    codon producing residue *aa_position* in *frame*.
+
+    This is the coordinate bookkeeping tblastn needs to report genomic hit
+    locations; reverse frames count from the 3' end.
+    """
+    if frame > 0:
+        return (frame - 1) + 3 * aa_position
+    # Position on the reverse-complement strand, mapped back.
+    rc_pos = (-frame - 1) + 3 * aa_position
+    return genome_length - 1 - rc_pos
+
+
+def translated_bank(
+    genome: Sequence,
+    code: GeneticCode = STANDARD_CODE,
+    pad: int = 64,
+) -> SequenceBank:
+    """Translate a genome into a 6-sequence protein bank.
+
+    Sequence names are ``"<genome>|frame+1"`` … ``"<genome>|frame-3"`` so
+    hits can be mapped back to genomic coordinates with :func:`codon_of`.
+    """
+    if genome.alphabet is not DNA:
+        raise ValueError("translated_bank expects a DNA sequence")
+    seqs = []
+    for frame, aa in translate_six_frames(genome.codes, code).items():
+        tag = f"+{frame}" if frame > 0 else str(frame)
+        seqs.append(Sequence(f"{genome.name}|frame{tag}", aa, AMINO))
+    return SequenceBank(seqs, AMINO, pad=pad)

@@ -1,0 +1,6 @@
+"""Shared utilities: timing and report formatting."""
+
+from .reporting import TextTable, fmt_count, fmt_ratio, fmt_seconds
+from .timing import Stopwatch
+
+__all__ = ["TextTable", "fmt_seconds", "fmt_ratio", "fmt_count", "Stopwatch"]

@@ -1,0 +1,34 @@
+"""Wall-clock helpers."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch"]
+
+
+@dataclass
+class Stopwatch:
+    """Accumulating stopwatch usable as a context manager.
+
+    >>> sw = Stopwatch()
+    >>> with sw:
+    ...     pass
+    >>> sw.seconds >= 0
+    True
+    """
+
+    seconds: float = 0.0
+    _t0: float = field(default=0.0, repr=False)
+
+    def __enter__(self) -> "Stopwatch":
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.seconds += time.perf_counter() - self._t0
+
+    def reset(self) -> None:
+        """Zero the accumulator."""
+        self.seconds = 0.0

@@ -1,0 +1,46 @@
+"""Shared fixtures: small deterministic workloads used across the suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.seqs.generate import (
+    make_family,
+    plant_homologs,
+    random_genome,
+    random_protein_bank,
+)
+from repro.seqs.sequence import Sequence, SequenceBank
+
+
+@pytest.fixture
+def rng():
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def small_banks():
+    """Two small protein banks sharing plenty of seeds (session-cached)."""
+    rng = np.random.default_rng(7)
+    b0 = random_protein_bank(rng, 12, mean_length=150, name_prefix="q")
+    b1 = random_protein_bank(rng, 18, mean_length=150, name_prefix="s")
+    return b0, b1
+
+
+@pytest.fixture(scope="session")
+def planted_workload():
+    """Queries + genome with planted homologs + ground truth (session-cached).
+
+    3 families × 2 planted members in a 60 knt genome; the family
+    ancestors are the queries.
+    """
+    rng = np.random.default_rng(99)
+    families = [make_family(rng, i, 140, 2, identity_range=(0.6, 0.9)) for i in range(3)]
+    genome = random_genome(rng, 60_000, name="g")
+    genome, truth = plant_homologs(rng, genome, families)
+    queries = SequenceBank(
+        [Sequence(f"fam{f.family_id}", f.ancestor) for f in families]
+    )
+    return queries, genome, truth

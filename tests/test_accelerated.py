@@ -1,0 +1,86 @@
+"""End-to-end accelerated pipeline tests (host + RASC-100)."""
+
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.pipeline import SeedComparisonPipeline
+from repro.psc.schedule import PscArrayConfig
+from repro.rasc.accelerated import AcceleratedPipeline
+
+
+def alignments_key(report):
+    return [
+        (a.seq0_name, a.seq1_name, a.start0, a.end0, a.start1, a.end1, a.raw_score)
+        for a in report
+    ]
+
+
+class TestFunctionalEquivalence:
+    def test_single_fpga_matches_software(self, planted_workload):
+        """The paper's central functional claim: deporting step 2 to the
+        accelerator changes nothing about the results."""
+        queries, genome, _ = planted_workload
+        sw = SeedComparisonPipeline().compare_with_genome(queries, genome)
+        hw = AcceleratedPipeline().run(queries, genome)
+        assert alignments_key(sw) == alignments_key(hw.report)
+
+    def test_dual_fpga_matches_software(self, planted_workload):
+        queries, genome, _ = planted_workload
+        sw = SeedComparisonPipeline().compare_with_genome(queries, genome)
+        hw = AcceleratedPipeline().run_dual(queries, genome)
+        assert sorted(alignments_key(sw)) == sorted(alignments_key(hw.report))
+
+
+class TestTiming:
+    def test_timing_decomposition(self, planted_workload):
+        queries, genome, _ = planted_workload
+        res = AcceleratedPipeline().run(queries, genome)
+        assert res.accel_seconds > 0
+        assert res.host_seconds.step1 > 0
+        assert res.total_seconds == pytest.approx(
+            res.host_seconds.step1 + res.accel_seconds + res.host_seconds.step3
+        )
+        f = res.step_fractions()
+        assert abs(sum(f) - 1.0) < 1e-9
+
+    def test_more_pes_not_slower_at_fixed_slot_count(self, planted_workload):
+        # At a fixed register-barrier depth, growing the array can only
+        # help.  (With more slots, a starved workload can actually get
+        # *slower* — the paper's small-bank effect — so slot count is held
+        # constant here.)
+        queries, genome, _ = planted_workload
+        cfg = PipelineConfig()
+        t = {}
+        for pes in (16, 64):
+            psc = PscArrayConfig(
+                n_pes=pes,
+                slot_size=pes // 4,
+                window=cfg.window,
+                threshold=cfg.ungapped_threshold,
+            )
+            res = AcceleratedPipeline(cfg, psc).run(queries, genome)
+            t[pes] = res.accel_seconds
+        assert t[64] <= t[16]
+
+    def test_dual_compute_faster_on_large_work(self, planted_workload):
+        queries, genome, _ = planted_workload
+        pipe = AcceleratedPipeline()
+        single = pipe.run(queries, genome)
+        dual = pipe.run_dual(queries, genome)
+        # Dual must not be slower than single on the accelerator side
+        # beyond I/O noise.
+        assert dual.accel_seconds <= single.accel_seconds * 1.25
+
+
+class TestConfigValidation:
+    def test_window_mismatch_rejected(self):
+        cfg = PipelineConfig(flank=12)
+        bad_psc = PscArrayConfig(window=10)
+        with pytest.raises(ValueError, match="window"):
+            AcceleratedPipeline(cfg, bad_psc)
+
+    def test_default_psc_derived_from_pipeline(self):
+        cfg = PipelineConfig(flank=9, ungapped_threshold=31)
+        pipe = AcceleratedPipeline(cfg)
+        assert pipe.psc_config.window == cfg.window
+        assert pipe.psc_config.threshold == 31

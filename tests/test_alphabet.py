@@ -1,0 +1,102 @@
+"""Alphabet and codec tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.seqs.alphabet import (
+    AA_LETTERS,
+    AMINO,
+    DNA,
+    DNA_LETTERS,
+    GAP_CODE,
+    STOP_CODE,
+    UNKNOWN_AA_CODE,
+    decode_dna,
+    decode_protein,
+    encode_dna,
+    encode_protein,
+)
+
+
+class TestCodeAssignment:
+    def test_canonical_residues_are_first_twenty(self):
+        assert AA_LETTERS[:20] == "ARNDCQEGHILKMFPSTWYV"
+
+    def test_special_codes(self):
+        assert AA_LETTERS[STOP_CODE] == "*"
+        assert AA_LETTERS[GAP_CODE] == "-"
+        assert AA_LETTERS[UNKNOWN_AA_CODE] == "X"
+        assert GAP_CODE == 24  # the last code — kernels rely on this
+
+    def test_alphabet_sizes(self):
+        assert AMINO.size == 25
+        assert DNA.size == 5
+
+    def test_every_letter_unique(self):
+        assert len(set(AA_LETTERS)) == len(AA_LETTERS)
+        assert len(set(DNA_LETTERS)) == len(DNA_LETTERS)
+
+
+class TestEncodeDecode:
+    def test_protein_roundtrip(self):
+        text = "MKVLAWTRQ*-BZX"
+        assert decode_protein(encode_protein(text)) == text
+
+    def test_dna_roundtrip(self):
+        text = "ACGTNACGT"
+        assert decode_dna(encode_dna(text)) == text
+
+    def test_lowercase_accepted(self):
+        assert np.array_equal(encode_protein("mkvl"), encode_protein("MKVL"))
+        assert np.array_equal(encode_dna("acgt"), encode_dna("ACGT"))
+
+    def test_unknown_characters_fall_back(self):
+        assert encode_protein("J")[0] == UNKNOWN_AA_CODE
+        assert encode_protein("?")[0] == UNKNOWN_AA_CODE
+        assert encode_dna("R")[0] == DNA.fallback_code
+
+    def test_empty_input(self):
+        assert encode_protein("").shape == (0,)
+        assert decode_protein(np.empty(0, dtype=np.uint8)) == ""
+
+    def test_bytes_input(self):
+        assert np.array_equal(encode_protein(b"MKV"), encode_protein("MKV"))
+
+    def test_decode_out_of_range_raises(self):
+        with pytest.raises(ValueError, match="out of range"):
+            decode_protein(np.array([25], dtype=np.uint8))
+        with pytest.raises(ValueError, match="out of range"):
+            decode_dna(np.array([5], dtype=np.uint8))
+
+    def test_encode_returns_uint8(self):
+        assert encode_protein("MKV").dtype == np.uint8
+
+
+class TestValidation:
+    def test_is_valid_true(self):
+        assert AMINO.is_valid(encode_protein("MKVLA"))
+
+    def test_is_valid_false(self):
+        assert not AMINO.is_valid(np.array([30], dtype=np.int64))
+
+    def test_is_valid_empty(self):
+        assert AMINO.is_valid(np.empty(0, dtype=np.uint8))
+
+
+@given(st.text(alphabet=AA_LETTERS, max_size=200))
+def test_protein_roundtrip_property(text):
+    assert decode_protein(encode_protein(text)) == text
+
+
+@given(st.text(alphabet=DNA_LETTERS, max_size=200))
+def test_dna_roundtrip_property(text):
+    assert decode_dna(encode_dna(text)) == text
+
+
+@given(st.binary(max_size=100))
+def test_encode_never_crashes_on_arbitrary_bytes(data):
+    codes = AMINO.encode(data)
+    assert codes.shape == (len(data),)
+    assert AMINO.is_valid(codes)

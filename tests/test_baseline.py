@@ -1,0 +1,133 @@
+"""tblastn-like baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.baseline.tblastn import TblastnConfig, TblastnSearch, baseline_seconds
+from repro.baseline.twohit import TwoHitScanner
+from repro.core.pipeline import SeedComparisonPipeline
+from repro.rasc.host import HostCostModel
+from repro.seqs.generate import random_protein_bank
+from repro.seqs.sequence import Sequence, SequenceBank
+
+
+class TestTwoHitScanner:
+    def test_basic_trigger(self):
+        s = TwoHitScanner(word_size=3, window=40)
+        # Two hits on diagonal 0, 10 apart -> one trigger at the second.
+        tq, ts = s.process_block(np.array([0, 10]), np.array([0, 10]))
+        assert list(ts) == [10]
+        assert s.stats.triggers == 1
+
+    def test_overlapping_hits_do_not_trigger(self):
+        s = TwoHitScanner(word_size=3, window=40)
+        tq, ts = s.process_block(np.array([0, 2]), np.array([0, 2]))
+        assert ts.size == 0
+
+    def test_distant_hits_do_not_trigger(self):
+        s = TwoHitScanner(word_size=3, window=40)
+        tq, ts = s.process_block(np.array([0, 100]), np.array([0, 100]))
+        assert ts.size == 0
+
+    def test_different_diagonals_do_not_trigger(self):
+        s = TwoHitScanner()
+        tq, ts = s.process_block(np.array([0, 10]), np.array([0, 20]))
+        assert ts.size == 0
+
+    def test_cross_block_trigger(self):
+        s = TwoHitScanner(word_size=3, window=40)
+        s.process_block(np.array([0]), np.array([0]))
+        tq, ts = s.process_block(np.array([15]), np.array([15]))
+        assert list(ts) == [15]
+
+    def test_reset_clears_state(self):
+        s = TwoHitScanner()
+        s.process_block(np.array([0]), np.array([0]))
+        s.reset()
+        tq, ts = s.process_block(np.array([15]), np.array([15]))
+        assert ts.size == 0
+
+    def test_three_hits_two_triggers(self):
+        s = TwoHitScanner(word_size=3, window=40)
+        tq, ts = s.process_block(np.array([0, 10, 20]), np.array([0, 10, 20]))
+        assert list(ts) == [10, 20]
+
+    def test_empty_block(self):
+        s = TwoHitScanner()
+        tq, ts = s.process_block(np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        assert ts.size == 0
+        assert s.stats.blocks == 1
+
+
+class TestTblastnSearch:
+    def test_finds_planted_homologs(self, planted_workload):
+        queries, genome, truth = planted_workload
+        report = TblastnSearch().search_genome(queries, genome)
+        assert len(report) >= len(truth)
+        assert {a.seq0_name for a in report} == {"fam0", "fam1", "fam2"}
+
+    def test_agrees_with_pipeline_on_strong_hits(self, planted_workload):
+        """Both engines implement the same extension stage; on clearly
+        homologous regions they must report identical alignments."""
+        queries, genome, _ = planted_workload
+        bl = TblastnSearch().search_genome(queries, genome)
+        sw = SeedComparisonPipeline().compare_with_genome(queries, genome)
+        bl_strong = {
+            (a.seq0_name, a.seq1_name, a.start1, a.end1, a.raw_score)
+            for a in bl
+            if a.evalue < 1e-20
+        }
+        sw_strong = {
+            (a.seq0_name, a.seq1_name, a.start1, a.end1, a.raw_score)
+            for a in sw
+            if a.evalue < 1e-20
+        }
+        assert bl_strong == sw_strong
+
+    def test_stats_populated(self, planted_workload):
+        queries, genome, _ = planted_workload
+        search = TblastnSearch()
+        search.search_genome(queries, genome)
+        s = search.stats
+        assert s.word_hits > 0
+        assert 0 < s.triggers <= s.word_hits
+        assert 0 < s.ungapped_extensions <= s.triggers
+        assert 0 < s.gapped_extensions <= s.ungapped_extensions
+        assert s.ungapped_cells >= s.ungapped_extensions * 3
+        assert s.residues_scanned > 0
+
+    def test_block_size_invariance(self, planted_workload):
+        queries, genome, _ = planted_workload
+        big = TblastnSearch(TblastnConfig(block_anchors=10**6))
+        small = TblastnSearch(TblastnConfig(block_anchors=1000))
+        r_big = big.search_genome(queries, genome)
+        r_small = small.search_genome(queries, genome)
+        key = lambda r: sorted(
+            (a.seq0_name, a.seq1_name, a.start1, a.raw_score) for a in r
+        )
+        assert key(r_big) == key(r_small)
+
+    def test_no_hits_between_unrelated(self, rng):
+        q = random_protein_bank(rng, 3, mean_length=80)
+        s = random_protein_bank(rng, 3, mean_length=80, name_prefix="db")
+        report = TblastnSearch(TblastnConfig(max_evalue=1e-9)).search(q, s)
+        assert len(report) == 0
+
+    def test_evalue_filter(self, planted_workload):
+        queries, genome, _ = planted_workload
+        report = TblastnSearch(TblastnConfig(max_evalue=1e-30)).search_genome(
+            queries, genome
+        )
+        assert all(a.evalue <= 1e-30 for a in report)
+
+
+class TestBaselineCostModel:
+    def test_seconds_positive_and_monotone(self):
+        from repro.baseline.tblastn import BaselineStats
+
+        host = HostCostModel()
+        s1 = BaselineStats(word_hits=10**6, ungapped_cells=10**5, gapped_cells=10**4,
+                           residues_scanned=10**6)
+        s2 = BaselineStats(word_hits=10**7, ungapped_cells=10**5, gapped_cells=10**4,
+                           residues_scanned=10**6)
+        assert 0 < baseline_seconds(s1, host) < baseline_seconds(s2, host)

@@ -1,0 +1,95 @@
+"""Karlin-Altschul empirical calibration tests."""
+
+import numpy as np
+import pytest
+
+from repro.eval.calibration import (
+    ScoreSample,
+    empirical_exceedance,
+    evalue_calibration,
+    fit_lambda,
+    sample_gapped_scores,
+    sample_ungapped_scores,
+)
+from repro.extend.stats import gapped_params, ungapped_params
+from repro.seqs.matrices import BLOSUM62
+
+
+@pytest.fixture(scope="module")
+def ungapped_sample():
+    return sample_ungapped_scores(
+        np.random.default_rng(11), n_pairs=250, m=150, n=150
+    )
+
+
+class TestSampling:
+    def test_scores_positive_and_plausible(self, ungapped_sample):
+        s = ungapped_sample.scores
+        assert (s > 0).all()
+        # Random 150x150 BLOSUM62 optima live in the 15-60 raw-score band.
+        assert 10 < s.mean() < 60
+
+    def test_exceedance_monotone(self, ungapped_sample):
+        thresholds = np.arange(10, 60)
+        p = ungapped_sample.exceedance(thresholds)
+        assert (np.diff(p) <= 0).all()
+        assert 0 <= p[-1] <= p[0] <= 1
+
+    def test_kadane_sampler_matches_bruteforce(self):
+        """Vectorised per-diagonal Kadane equals a brute-force scan."""
+        rng = np.random.default_rng(0)
+        sample = sample_ungapped_scores(rng, n_pairs=3, m=25, n=30)
+        rng = np.random.default_rng(0)  # same sequence stream
+        from repro.seqs.generate import random_protein
+
+        sub = BLOSUM62.scores.astype(int)
+        for k in range(3):
+            a = random_protein(rng, 25)
+            b = random_protein(rng, 30)
+            best = 0
+            for d in range(-24, 30):
+                i, j = max(0, -d), max(0, d)
+                run = 0
+                while i < 25 and j < 30:
+                    run = max(0, run + sub[a[i], b[j]])
+                    best = max(best, run)
+                    i += 1
+                    j += 1
+            assert int(sample.scores[k]) == best
+
+
+class TestLambdaFit:
+    def test_recovers_published_lambda(self, ungapped_sample):
+        lam = fit_lambda(ungapped_sample)
+        assert abs(lam - 0.3176) / 0.3176 < 0.2
+
+    def test_degenerate_sample_rejected(self):
+        s = ScoreSample(np.full(50, 30, dtype=np.int64), 100, 100)
+        with pytest.raises(ValueError):
+            fit_lambda(s)
+
+
+class TestCalibrationReport:
+    def test_ungapped_curve_agreement(self, ungapped_sample):
+        rep = evalue_calibration(ungapped_sample, ungapped_params(BLOSUM62))
+        assert rep.lambda_relative_error < 0.2
+        # Gumbel prediction tracks the empirical curve closely.
+        assert rep.max_abs_error < 0.15
+
+    def test_gapped_regime(self):
+        sample = sample_gapped_scores(
+            np.random.default_rng(3), n_pairs=50, m=100, n=100
+        )
+        rep = evalue_calibration(sample, gapped_params("BLOSUM62", 11, 1))
+        # Gapped statistics at short lengths carry strong edge effects;
+        # the check is a sanity band, not precision.
+        assert 0.1 < rep.fitted_lambda < 0.45
+        assert rep.max_abs_error < 0.6
+
+    def test_prediction_direction(self, ungapped_sample):
+        """Higher scores are rarer in both curves."""
+        thresholds = np.arange(20, 50)
+        emp, pred = empirical_exceedance(
+            ungapped_sample, ungapped_params(BLOSUM62), thresholds
+        )
+        assert (np.diff(pred) < 0).all()

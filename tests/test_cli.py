@@ -1,0 +1,114 @@
+"""Command-line interface tests."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(scope="module")
+def workload_files(tmp_path_factory):
+    d = tmp_path_factory.mktemp("cli")
+    assert (
+        main(
+            [
+                "synth",
+                str(d / "w"),
+                "--proteins",
+                "4",
+                "--genome-nt",
+                "24000",
+                "--families",
+                "2",
+                "--seed",
+                "11",
+            ]
+        )
+        == 0
+    )
+    return str(d / "w_proteins.fasta"), str(d / "w_genome.fasta")
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare", "q.fa", "g.fa"])
+        assert args.evalue == 1e-3
+        assert args.flank == 12
+
+    def test_accel_flags(self):
+        args = build_parser().parse_args(["accel", "q.fa", "g.fa", "--pes", "64", "--dual"])
+        assert args.pes == 64 and args.dual
+
+
+class TestCommands:
+    def test_synth_outputs(self, workload_files, capsys):
+        proteins, genome = workload_files
+        from repro.seqs.fasta import load_bank
+
+        bank = load_bank(proteins)
+        assert len(bank) == 6  # 4 background + 2 family ancestors
+
+    def test_compare_runs(self, workload_files, capsys):
+        proteins, genome = workload_files
+        assert main(["compare", proteins, genome, "--max-hits", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "alignments=" in out
+        assert "family00" in out  # planted families found
+
+    def test_accel_runs(self, workload_files, capsys):
+        proteins, genome = workload_files
+        assert main(["accel", proteins, genome, "--pes", "16"]) == 0
+        out = capsys.readouterr().out
+        assert "modelled:" in out
+
+    def test_baseline_runs(self, workload_files, capsys):
+        proteins, genome = workload_files
+        assert main(["baseline", proteins, genome]) == 0
+        out = capsys.readouterr().out
+        assert "word hits=" in out
+
+    def test_simulate_runs(self, capsys):
+        assert main(["simulate", "--pes", "4", "--entries", "30", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "PE utilisation" in out
+        assert "cycles:" in out
+
+
+class TestIndexCommand:
+    def test_build_and_info(self, workload_files, tmp_path, capsys):
+        proteins, _ = workload_files
+        idx_path = str(tmp_path / "bank.npz")
+        assert main(["index", "build", idx_path, "--fasta", proteins]) == 0
+        out = capsys.readouterr().out
+        assert "indexed" in out and "anchors" in out
+        assert main(["index", "info", idx_path]) == 0
+        out = capsys.readouterr().out
+        assert "seed model" in out
+        assert "keys used" in out
+
+    def test_build_contiguous_model(self, workload_files, tmp_path, capsys):
+        proteins, _ = workload_files
+        idx_path = str(tmp_path / "c.npz")
+        assert main(
+            ["index", "build", idx_path, "--fasta", proteins, "--seed", "contiguous:3"]
+        ) == 0
+        from repro.index.persist import load_index
+
+        assert load_index(idx_path).model.span == 3
+
+    def test_build_requires_fasta(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["index", "build", str(tmp_path / "x.npz")])
+
+
+class TestRenderFlag:
+    def test_compare_render(self, workload_files, capsys):
+        proteins, genome = workload_files
+        assert main(["compare", proteins, genome, "--max-hits", "1", "--render", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "Query  " in out and "Sbjct  " in out
+        assert "Identities =" in out

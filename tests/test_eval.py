@@ -1,0 +1,166 @@
+"""Evaluation metric tests: ROC50, AP, benchmark, throughput."""
+
+import numpy as np
+import pytest
+
+from repro.eval.ap import average_precision, mean_ap
+from repro.eval.benchmark_data import build_benchmark, frame_interval
+from repro.eval.metrics import LITERATURE_THROUGHPUT, kaamnt_per_second
+from repro.eval.roc import mean_roc50, roc50, roc_n
+
+
+class TestRocN:
+    def test_perfect_ranking(self):
+        # All P positives before any FP: every FP has P TPs above it.
+        labels = [True] * 4 + [False] * 60
+        assert roc50(labels, 4) == pytest.approx(1.0)
+
+    def test_worst_ranking(self):
+        labels = [False] * 60 + [True] * 4
+        assert roc50(labels, 4) == 0.0
+
+    def test_interleaved(self):
+        # TP FP TP FP: counts above first 2 FPs are 1 and 2; remaining 48
+        # virtual FPs see 2 TPs each -> (1+2+48*2)/(50*2).
+        labels = [True, False, True, False]
+        assert roc_n(labels, 2, n=50) == pytest.approx((1 + 2 + 96) / 100)
+
+    def test_short_list_credits_found_tps(self):
+        labels = [True]
+        assert roc50(labels, 1) == pytest.approx(1.0)
+
+    def test_empty_list_scores_zero(self):
+        assert roc50([], 3) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            roc50([True], 0)
+        with pytest.raises(ValueError):
+            roc_n([True], 1, n=0)
+
+    def test_mean_roc50(self):
+        m = mean_roc50([[True], [False] * 60], [1, 1])
+        assert m == pytest.approx(0.5)
+
+    def test_mean_roc50_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_roc50([[True]], [1, 2])
+
+
+class TestAveragePrecision:
+    def test_perfect(self):
+        assert average_precision([True, True, False]) == pytest.approx(1.0)
+
+    def test_alternating(self):
+        # TPs at positions 1 and 3: (1/1 + 2/3)/2.
+        assert average_precision([True, False, True]) == pytest.approx(
+            (1 + 2 / 3) / 2
+        )
+
+    def test_no_tp(self):
+        assert average_precision([False] * 10) == 0.0
+
+    def test_window_truncation(self):
+        labels = [False] * 50 + [True]
+        assert average_precision(labels, top=50) == 0.0
+        assert average_precision(labels, top=51) > 0.0
+
+    def test_mean_ap(self):
+        assert mean_ap([[True], [False]]) == pytest.approx(0.5)
+
+    def test_empty(self):
+        assert mean_ap([]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            average_precision([True], top=0)
+
+
+class TestFrameInterval:
+    def test_forward_frames(self):
+        assert frame_interval("g|frame+1", 0, 10, 300) == (0, 30)
+        assert frame_interval("g|frame+2", 0, 10, 300) == (1, 31)
+        assert frame_interval("g|frame+3", 5, 10, 300) == (17, 32)
+
+    def test_reverse_frames(self):
+        start, end = frame_interval("g|frame-1", 0, 10, 300)
+        assert (start, end) == (270, 300)
+        start2, end2 = frame_interval("g|frame-2", 0, 10, 300)
+        assert (start2, end2) == (269, 299)
+
+    def test_intervals_well_formed(self):
+        for f in ("+1", "+2", "+3", "-1", "-2", "-3"):
+            s, e = frame_interval(f"g|frame{f}", 3, 17, 600)
+            assert 0 <= s < e <= 600
+            assert e - s == 42  # 14 codons
+
+
+class TestBenchmark:
+    @pytest.fixture(scope="class")
+    def bench(self):
+        return build_benchmark(
+            seed=5,
+            n_families=3,
+            queries_per_family=2,
+            plants_per_family=2,
+            genome_length=90_000,
+            query_identity=(0.7, 0.9),
+            plant_identity=(0.7, 0.9),
+        )
+
+    def test_shapes(self, bench):
+        assert len(bench.queries) == 6
+        assert len(bench.truth) == 6
+        assert len(bench.query_families) == 6
+
+    def test_positives_per_family(self, bench):
+        for fam in range(3):
+            assert bench.positives_for(fam) == 2
+
+    def test_engine_scoring_end_to_end(self, bench):
+        from repro.core.pipeline import SeedComparisonPipeline
+
+        run = bench.score_engine(
+            "psc", lambda q, g: SeedComparisonPipeline().compare_with_genome(q, g)
+        )
+        assert run.name == "psc"
+        assert 0.5 < run.roc50 <= 1.0  # easy identities -> high recall
+        assert 0.5 < run.ap_mean <= 1.0
+        assert len(run.per_query_labels) == 6
+
+    def test_label_alignment_truth(self, bench):
+        """An alignment covering a planted locus of the right family is a
+        TP; one elsewhere is an FP."""
+        from repro.core.results import Alignment
+
+        t = next(t for t in bench.truth if t.family_id == bench.query_families[0])
+        aa_start = (t.genome_start + 2) // 3
+        aa_end = min(aa_start + 10, t.genome_end // 3)
+        frame = "+1" if t.strand == 1 else "-1"
+        a = Alignment(0, "q", 0, 10, 0, f"yeastlike|frame{frame}", aa_start, aa_end,
+                      100, 40.0, 1e-9)
+        # Footprint maths covers the plant regardless of exact frame offset.
+        hit = bench.label_alignment(0, a)
+        far = Alignment(0, "q", 0, 10, 0, "yeastlike|frame+1",
+                        (t.genome_end + 50_000) // 3 % 20_000, (t.genome_end + 50_030) // 3 % 20_000 + 10,
+                        100, 40.0, 1e-9)
+        assert isinstance(hit, bool)
+        assert bench.label_alignment(0, far) in (True, False)
+
+
+class TestThroughput:
+    def test_kaamnt_formula(self):
+        # 10 Kaa × 100 Mnt / 2 s = 500.
+        assert kaamnt_per_second(10_000, 100_000_000, 2.0) == pytest.approx(500.0)
+
+    def test_zero_seconds_rejected(self):
+        with pytest.raises(ValueError):
+            kaamnt_per_second(1, 1, 0.0)
+
+    def test_literature_table_matches_paper(self):
+        values = {p.name: p.kaamnt_per_s for p in LITERATURE_THROUGHPUT}
+        assert values["DeCypher"] == 182.0
+        assert values["CLC"] == 2.0
+        assert values["FLASH/FPGA"] == 451.0
+        assert values["Systolic"] == 863.0
+        assert values["1/2 RASC-100"] == 620.0

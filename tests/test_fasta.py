@@ -1,0 +1,75 @@
+"""FASTA I/O tests."""
+
+import io
+
+import pytest
+
+from repro.seqs.alphabet import DNA
+from repro.seqs.fasta import bank_from_text, load_bank, read_fasta, save_bank, write_fasta
+from repro.seqs.sequence import Sequence
+
+
+SAMPLE = """>seq1 first protein
+MKVLAWTRQ
+MKVL
+>seq2
+AWTR
+"""
+
+
+class TestRead:
+    def test_parse_two_records(self):
+        seqs = list(read_fasta(io.StringIO(SAMPLE)))
+        assert [s.name for s in seqs] == ["seq1", "seq2"]
+        assert seqs[0].text() == "MKVLAWTRQMKVL"
+        assert seqs[0].description == "first protein"
+        assert seqs[1].text() == "AWTR"
+
+    def test_blank_lines_ignored(self):
+        seqs = list(read_fasta(io.StringIO(">a\n\nMK\n\nVL\n")))
+        assert seqs[0].text() == "MKVL"
+
+    def test_data_before_header_rejected(self):
+        with pytest.raises(ValueError, match="before first"):
+            list(read_fasta(io.StringIO("MKVL\n>a\nMK\n")))
+
+    def test_dna_alphabet(self):
+        seqs = list(read_fasta(io.StringIO(">g\nACGT\n"), DNA))
+        assert seqs[0].alphabet is DNA
+
+    def test_empty_stream(self):
+        assert list(read_fasta(io.StringIO(""))) == []
+
+
+class TestWrite:
+    def test_roundtrip_via_files(self, tmp_path):
+        path = tmp_path / "x.fasta"
+        seqs = [
+            Sequence.from_text("a", "MKVL", description="desc here"),
+            Sequence.from_text("b", "AWTR" * 30),
+        ]
+        write_fasta(seqs, path, width=50)
+        back = list(read_fasta(path))
+        assert [s.text() for s in back] == [s.text() for s in seqs]
+        assert back[0].description == "desc here"
+
+    def test_line_wrapping(self):
+        out = io.StringIO()
+        write_fasta([Sequence.from_text("a", "M" * 25)], out, width=10)
+        lines = out.getvalue().splitlines()
+        assert lines[1:] == ["M" * 10, "M" * 10, "M" * 5]
+
+
+class TestBankHelpers:
+    def test_bank_from_text(self):
+        bank = bank_from_text(SAMPLE)
+        assert len(bank) == 2
+        assert bank.names == ("seq1", "seq2")
+
+    def test_save_and_load_bank(self, tmp_path):
+        bank = bank_from_text(SAMPLE)
+        path = tmp_path / "bank.fasta"
+        save_bank(bank, path)
+        back = load_bank(path)
+        assert back.names == bank.names
+        assert back.total_residues == bank.total_residues

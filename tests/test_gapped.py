@@ -1,0 +1,156 @@
+"""Gapped extension (step 3) tests: X-drop engine vs Smith-Waterman oracle."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.extend.gapped import (
+    GapPenalties,
+    smith_waterman,
+    xdrop_gapped_extend,
+)
+from repro.seqs.alphabet import encode_protein
+from repro.seqs.generate import mutate_protein, random_protein
+from repro.seqs.matrices import BLOSUM62
+
+
+class TestGapPenalties:
+    def test_defaults_are_blast(self):
+        g = GapPenalties()
+        assert (g.open, g.extend) == (11, 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            GapPenalties(open=-1)
+
+
+class TestSmithWaterman:
+    def test_self_alignment_is_diagonal_sum(self):
+        a = encode_protein("MKVLAWTRQ")
+        al = smith_waterman(a, a)
+        assert al.aligned0 == "MKVLAWTRQ"
+        assert al.aligned1 == "MKVLAWTRQ"
+        assert al.score == sum(
+            BLOSUM62.score(int(x), int(x)) for x in a
+        )
+        assert al.identity() == 1.0
+
+    def test_local_alignment_trims_noise(self):
+        a = encode_protein("PPPPWWWWCCCC")
+        b = encode_protein("GGGGWWWWDDDD")
+        al = smith_waterman(a, b)
+        assert al.aligned0 == "WWWW"
+        assert al.score == 44
+
+    def test_gap_in_alignment(self):
+        a = encode_protein("MKVLAWTRQ")
+        b = encode_protein("MKVLWTRQ")  # A deleted
+        al = smith_waterman(a, b)
+        assert "-" in al.aligned1
+        assert al.n_gaps == 1
+        # score = self score of MKVLWTRQ (M5 K5 V4 L4 W11 T5 R5 Q5 = 44)
+        # minus one gap open+extend (12)
+        assert al.score == 44 - 12
+
+    def test_affine_prefers_one_long_gap(self):
+        # One 2-gap (cost 13) beats two 1-gaps (cost 24).
+        a = encode_protein("WWWWCHWWWW")
+        b = encode_protein("WWWWWWWW")
+        al = smith_waterman(a, b)
+        gap_cols = al.aligned1.count("-")
+        assert gap_cols == 2
+        assert al.score == 88 - 11 - 2 * 1
+
+    def test_traceback_consistent_with_score(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            a = random_protein(rng, 60)
+            b = mutate_protein(rng, a, identity=0.7, indel_rate=0.03)
+            al = smith_waterman(a, b)
+            # Re-score the traceback strings independently.
+            from repro.seqs.alphabet import AMINO
+
+            score = 0
+            in_gap = False
+            g = GapPenalties()
+            for x, y in zip(al.aligned0, al.aligned1):
+                if x == "-" or y == "-":
+                    score -= (g.open + g.extend) if not in_gap else g.extend
+                    in_gap = True
+                else:
+                    score += BLOSUM62.score(
+                        int(AMINO.encode(x)[0]), int(AMINO.encode(y)[0])
+                    )
+                    in_gap = False
+            assert score == al.score
+
+    def test_band_restricts_gaps(self):
+        a = encode_protein("WWWWWWWW" + "CCCCCCCCCC")
+        b = encode_protein("WWWWWWWW")
+        full = smith_waterman(a, b)
+        banded = smith_waterman(a, b, band=2)
+        assert banded.score <= full.score
+
+    def test_empty_sequences(self):
+        al = smith_waterman(encode_protein(""), encode_protein("MKV"))
+        assert al.score == 0
+        assert al.aligned0 == ""
+
+
+class TestXdropExtension:
+    def test_matches_sw_on_clean_homology(self):
+        rng = np.random.default_rng(2)
+        for _ in range(10):
+            core = random_protein(rng, 50)
+            noise0 = random_protein(rng, 30)
+            noise1 = random_protein(rng, 30)
+            s0 = np.concatenate([noise0, core, noise0])
+            s1 = np.concatenate([noise1, core, noise1])
+            sw = smith_waterman(s0, s1)
+            ge = xdrop_gapped_extend(s0, 30 + 25, s1, 30 + 25, x_drop=40)
+            # X-drop anchored inside the homology must recover ≥ 95% of SW.
+            assert ge.score >= 0.95 * sw.score
+
+    def test_endpoints_bracket_anchor(self):
+        rng = np.random.default_rng(3)
+        core = random_protein(rng, 40)
+        s0 = np.concatenate([random_protein(rng, 20), core, random_protein(rng, 20)])
+        s1 = np.concatenate([random_protein(rng, 20), core, random_protein(rng, 20)])
+        ge = xdrop_gapped_extend(s0, 40, s1, 40, x_drop=30)
+        assert ge.start0 <= 40 <= ge.end0
+        assert ge.start1 <= 40 <= ge.end1
+        assert ge.length0 > 0 and ge.length1 > 0
+
+    def test_cells_bounded_by_full_dp(self):
+        rng = np.random.default_rng(4)
+        a = random_protein(rng, 100)
+        b = random_protein(rng, 100)
+        ge = xdrop_gapped_extend(a, 50, b, 50, x_drop=15)
+        assert 0 < ge.cells < 100 * 100
+
+    def test_smaller_xdrop_never_scores_higher(self):
+        rng = np.random.default_rng(5)
+        a = random_protein(rng, 120)
+        b = mutate_protein(rng, a, identity=0.6)
+        lo = xdrop_gapped_extend(a, 60, b, min(60, len(b) - 1), x_drop=5)
+        hi = xdrop_gapped_extend(a, 60, b, min(60, len(b) - 1), x_drop=60)
+        assert hi.score >= lo.score
+
+    def test_gap_sentinels_contain_extension(self):
+        s = encode_protein("----MKVLAWTRQ----")
+        ge = xdrop_gapped_extend(s, 8, s, 8, x_drop=25)
+        assert ge.start0 >= 4
+        assert ge.end0 <= 13
+
+    @given(st.integers(0, 2**32 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_xdrop_never_beats_smith_waterman(self, seed):
+        """SW is the exact optimum; X-drop is a heuristic lower bound."""
+        rng = np.random.default_rng(seed)
+        a = random_protein(rng, 40)
+        b = mutate_protein(rng, a, identity=0.65, indel_rate=0.02)
+        anchor = min(20, len(b) - 1)
+        sw = smith_waterman(a, b)
+        ge = xdrop_gapped_extend(a, 20, b, anchor, x_drop=50)
+        assert ge.score <= sw.score

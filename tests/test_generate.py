@@ -1,0 +1,175 @@
+"""Synthetic workload generator tests."""
+
+import numpy as np
+import pytest
+
+from repro.seqs.alphabet import DNA
+from repro.seqs.generate import (
+    PAPER_BANKS,
+    ROBINSON_FREQUENCIES,
+    make_family,
+    mutate_protein,
+    paper_bank_spec,
+    plant_homologs,
+    random_genome,
+    random_protein,
+    random_protein_bank,
+    reverse_translate,
+)
+from repro.seqs.sequence import Sequence
+from repro.seqs.translate import STANDARD_CODE, reverse_complement, translate
+
+
+class TestBackground:
+    def test_frequencies_normalised(self):
+        assert ROBINSON_FREQUENCIES.shape == (20,)
+        assert abs(ROBINSON_FREQUENCIES.sum() - 1.0) < 1e-12
+
+    def test_random_protein_composition(self, rng):
+        p = random_protein(rng, 50_000)
+        assert p.dtype == np.uint8
+        assert p.max() < 20
+        # Leucine (code 10) is the most frequent residue; check within 20%.
+        freq_l = (p == 10).mean()
+        assert abs(freq_l - ROBINSON_FREQUENCIES[10]) < 0.2 * ROBINSON_FREQUENCIES[10]
+
+    def test_determinism(self):
+        a = random_protein(np.random.default_rng(5), 100)
+        b = random_protein(np.random.default_rng(5), 100)
+        assert np.array_equal(a, b)
+
+
+class TestBankGeneration:
+    def test_bank_size_and_mean_length(self, rng):
+        bank = random_protein_bank(rng, 300, mean_length=200.0)
+        assert len(bank) == 300
+        mean = bank.total_residues / len(bank)
+        assert 160 < mean < 240  # log-normal mean within 20%
+
+    def test_min_length_respected(self, rng):
+        bank = random_protein_bank(rng, 100, mean_length=35.0, min_length=30)
+        assert int(bank.lengths.min()) >= 30
+
+    def test_paper_bank_spec(self):
+        n, mean = paper_bank_spec("30K", scale=0.01)
+        assert n == 300
+        assert abs(mean - PAPER_BANKS["30K"][1] / 30_000) < 1e-9
+
+    def test_paper_bank_spec_minimum_one(self):
+        n, _ = paper_bank_spec("1K", scale=1e-9)
+        assert n == 1
+
+
+class TestGenome:
+    def test_gc_content(self, rng):
+        g = random_genome(rng, 200_000, gc_content=0.41)
+        gc = float(np.isin(g.codes, [1, 2]).mean())
+        assert abs(gc - 0.41) < 0.01
+
+    def test_alphabet(self, rng):
+        assert random_genome(rng, 10).alphabet is DNA
+
+
+class TestMutation:
+    def test_identity_controls_divergence(self, rng):
+        p = random_protein(rng, 2000)
+        hi = mutate_protein(rng, p, identity=0.95, indel_rate=0.0)
+        lo = mutate_protein(rng, p, identity=0.40, indel_rate=0.0)
+        id_hi = (hi == p).mean()
+        id_lo = (lo == p).mean()
+        assert id_hi > 0.9
+        assert 0.3 < id_lo < 0.55
+        assert id_hi > id_lo
+
+    def test_no_indels_preserves_length(self, rng):
+        p = random_protein(rng, 500)
+        assert len(mutate_protein(rng, p, identity=0.5, indel_rate=0.0)) == 500
+
+    def test_indels_change_length(self, rng):
+        p = random_protein(rng, 500)
+        lengths = {
+            len(mutate_protein(rng, p, identity=0.9, indel_rate=0.05))
+            for _ in range(10)
+        }
+        assert len(lengths) > 1
+
+    def test_invalid_identity_rejected(self, rng):
+        with pytest.raises(ValueError, match="identity"):
+            mutate_protein(rng, random_protein(rng, 10), identity=0.0)
+
+    def test_substitutions_are_conservative(self, rng):
+        # Replacement kernel should favour positive-scoring substitutions.
+        from repro.seqs.matrices import BLOSUM62
+
+        p = random_protein(rng, 5000)
+        m = mutate_protein(rng, p, identity=0.3, indel_rate=0.0)
+        changed = p != m
+        scores = BLOSUM62.pair_scores(p[changed], m[changed]).astype(float)
+        # Mean substitution score of the channel must beat random pairing.
+        rand = BLOSUM62.pair_scores(
+            random_protein(rng, 5000), random_protein(rng, 5000)
+        ).astype(float)
+        assert scores.mean() > rand.mean() + 0.3
+
+
+class TestReverseTranslate:
+    def test_translation_roundtrip(self, rng):
+        p = random_protein(rng, 300)
+        nt = reverse_translate(rng, p)
+        assert len(nt) == 900
+        back = STANDARD_CODE.translate_codes(nt)
+        assert np.array_equal(back, p)
+
+    def test_synonymous_variation(self, rng):
+        p = random_protein(rng, 200)
+        nt1 = reverse_translate(rng, p)
+        nt2 = reverse_translate(rng, p)
+        assert not np.array_equal(nt1, nt2)  # random codon choice
+
+
+class TestFamiliesAndPlanting:
+    def test_make_family(self, rng):
+        fam = make_family(rng, 3, 150, 4)
+        assert fam.family_id == 3
+        assert len(fam.members) == 4
+        assert len(fam.ancestor) == 150
+
+    def test_plant_preserves_length_and_truth(self, rng):
+        fam = make_family(rng, 0, 100, 2)
+        genome = random_genome(rng, 30_000)
+        planted, truth = plant_homologs(rng, genome, [fam])
+        assert len(planted) == len(genome)
+        assert len(truth) == 2
+        for t in truth:
+            assert 0 <= t.genome_start < t.genome_end <= len(planted)
+            assert t.strand in (-1, 1)
+
+    def test_planted_member_recoverable(self, rng):
+        fam = make_family(rng, 0, 80, 1, identity_range=(1.0, 1.0))
+        genome = random_genome(rng, 20_000)
+        planted, truth = plant_homologs(rng, genome, [fam])
+        t = truth[0]
+        segment = planted.codes[t.genome_start : t.genome_end]
+        if t.strand == -1:
+            segment = reverse_complement(segment)
+        back = STANDARD_CODE.translate_codes(segment)
+        assert np.array_equal(back, fam.members[0])
+
+    def test_plants_do_not_overlap(self, rng):
+        fams = [make_family(rng, i, 60, 3) for i in range(4)]
+        genome = random_genome(rng, 50_000)
+        _, truth = plant_homologs(rng, genome, fams)
+        spans = sorted((t.genome_start, t.genome_end) for t in truth)
+        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+            assert e1 <= s2
+
+    def test_oversized_member_rejected(self, rng):
+        fam = make_family(rng, 0, 100, 1)
+        genome = random_genome(rng, 30)
+        with pytest.raises(ValueError, match="too short"):
+            plant_homologs(rng, genome, [fam])
+
+    def test_requires_dna(self, rng):
+        fam = make_family(rng, 0, 10, 1)
+        with pytest.raises(ValueError, match="DNA"):
+            plant_homologs(rng, Sequence.from_text("p", "MKV"), [fam])

@@ -1,0 +1,176 @@
+"""Gapped-extension operator (GXP) and dual-design deployment tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import SeedComparisonPipeline
+from repro.extend.gapped import smith_waterman
+from repro.extend.ungapped import UngappedHits, UngappedStats
+from repro.psc.gapped_operator import UNIT_OVERHEAD, GxpConfig, GxpOperator
+from repro.rasc.dual_design import DualDesignPipeline, HostDispatch
+from repro.seqs.generate import random_protein_bank
+from repro.seqs.sequence import SequenceBank
+
+
+def make_hits(bank0: SequenceBank, bank1: SequenceBank, n: int, seed=0) -> UngappedHits:
+    rng = np.random.default_rng(seed)
+    o0 = bank0.starts[rng.integers(0, len(bank0), n)] + 5
+    o1 = bank1.starts[rng.integers(0, len(bank1), n)] + 5
+    return UngappedHits(
+        o0.astype(np.int64),
+        o1.astype(np.int64),
+        np.full(n, 50, dtype=np.int32),
+        UngappedStats(pairs=n, hits=n),
+    )
+
+
+@pytest.fixture(scope="module")
+def banks():
+    rng = np.random.default_rng(5)
+    return (
+        random_protein_bank(rng, 8, mean_length=150, name_prefix="a"),
+        random_protein_bank(rng, 8, mean_length=150, name_prefix="b"),
+    )
+
+
+class TestGxpConfig:
+    def test_extension_cycles(self):
+        cfg = GxpConfig(band=32)
+        assert cfg.extension_cycles(100, 120) == 100 + 120 + 32 + UNIT_OVERHEAD
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GxpConfig(n_units=0)
+        with pytest.raises(ValueError):
+            GxpConfig(extent=4)
+
+
+class TestGxpOperator:
+    def test_scores_match_banded_sw(self, banks):
+        b0, b1 = banks
+        hits = make_hits(b0, b1, 10)
+        cfg = GxpConfig(n_units=2, band=16, extent=64)
+        result = GxpOperator(cfg).run(b0, b1, hits)
+        for i in range(len(hits)):
+            o0, o1 = int(hits.offsets0[i]), int(hits.offsets1[i])
+            a = b0.buffer[max(0, o0 - 64) : o0 + 64]
+            b = b1.buffer[max(0, o1 - 64) : o1 + 64]
+            expect = smith_waterman(a, b, band=16).score
+            assert result.scores[i] == expect
+
+    def test_unit_balancing(self, banks):
+        b0, b1 = banks
+        hits = make_hits(b0, b1, 40)
+        result = GxpOperator(GxpConfig(n_units=4)).run(
+            b0, b1, hits, compute_scores=False
+        )
+        # Greedy assignment keeps units within one extension of each other.
+        spread = int(result.unit_cycles.max() - result.unit_cycles.min())
+        assert spread <= GxpConfig().extension_cycles(256, 256)
+        assert result.utilization > 0.8
+
+    def test_more_units_reduce_makespan(self, banks):
+        b0, b1 = banks
+        hits = make_hits(b0, b1, 64)
+        t1 = GxpOperator(GxpConfig(n_units=1)).run(b0, b1, hits, False).total_cycles
+        t8 = GxpOperator(GxpConfig(n_units=8)).run(b0, b1, hits, False).total_cycles
+        assert t8 < t1
+        assert t1 / t8 > 4  # near-linear on uniform work
+
+    def test_empty_hits(self, banks):
+        b0, b1 = banks
+        hits = make_hits(b0, b1, 0)
+        result = GxpOperator().run(b0, b1, hits)
+        assert len(result) == 0
+        assert result.total_cycles == 0
+
+    def test_modeled_seconds_consistent(self, banks):
+        b0, b1 = banks
+        hits = make_hits(b0, b1, 32)
+        cfg = GxpConfig(n_units=4, extent=128)
+        run = GxpOperator(cfg).run(b0, b1, hits, compute_scores=False)
+        modeled = cfg.seconds(run.total_cycles)
+        quick = GxpOperator(cfg).modeled_seconds(32)
+        assert quick == pytest.approx(modeled, rel=0.2)
+
+
+class TestDualDesign:
+    def test_same_alignments_as_software(self, planted_workload):
+        """Pre-scoring on the GXP must not lose any reported alignment."""
+        queries, genome, _ = planted_workload
+        sw = SeedComparisonPipeline().compare_with_genome(queries, genome)
+        dd = DualDesignPipeline().run(queries, genome)
+        sw_keys = {(a.seq0_name, a.seq1_name, a.start1, a.raw_score) for a in sw}
+        dd_keys = {(a.seq0_name, a.seq1_name, a.start1, a.raw_score) for a in dd.report}
+        assert sw_keys == dd_keys
+
+    def test_timing_decomposition(self, planted_workload):
+        queries, genome, _ = planted_workload
+        res = DualDesignPipeline().run(queries, genome)
+        assert res.accel_seconds == max(res.psc_seconds, res.gxp_seconds)
+        assert res.total_seconds == pytest.approx(
+            res.step1_seconds + res.accel_seconds + res.host_step3_seconds
+        )
+
+    def test_multicore_dispatch_speeds_host(self, planted_workload):
+        queries, genome, _ = planted_workload
+        one = DualDesignPipeline(dispatch=HostDispatch(n_cores=1)).run(queries, genome)
+        four = DualDesignPipeline(dispatch=HostDispatch(n_cores=4)).run(queries, genome)
+        assert four.step1_seconds < one.step1_seconds
+        assert four.total_seconds < one.total_seconds
+
+
+class TestHostDispatch:
+    def test_amdahl(self):
+        d = HostDispatch(n_cores=4, parallel_fraction=0.8)
+        assert d.seconds(10.0) == pytest.approx(10 * (0.2 + 0.8 / 4))
+
+    def test_single_core_identity(self):
+        assert HostDispatch(n_cores=1).seconds(7.0) == pytest.approx(7.0)
+
+    def test_invalid_cores(self):
+        with pytest.raises(ValueError):
+            HostDispatch(n_cores=0).seconds(1.0)
+
+
+class TestWavefront:
+    """The systolic anti-diagonal engine equals banded Smith-Waterman."""
+
+    def test_equals_banded_sw_randomised(self):
+        import numpy as np
+        from repro.psc.gapped_operator import wavefront_banded_score
+        from repro.seqs.generate import mutate_protein, random_protein
+
+        rng = np.random.default_rng(9)
+        for _ in range(20):
+            m = int(rng.integers(1, 70))
+            band = int(rng.integers(1, 16))
+            a = random_protein(rng, m)
+            if rng.random() < 0.5:
+                b = mutate_protein(rng, a, identity=0.6)
+            else:
+                b = random_protein(rng, int(rng.integers(1, 70)))
+            got, waves = wavefront_banded_score(a, b, band)
+            assert got == smith_waterman(a, b, band=band).score
+            assert waves == len(a) + len(b) - 1
+
+    def test_empty_inputs(self):
+        import numpy as np
+        from repro.psc.gapped_operator import wavefront_banded_score
+
+        score, waves = wavefront_banded_score(
+            np.empty(0, dtype=np.uint8), np.array([1], dtype=np.uint8), 4
+        )
+        assert (score, waves) == (0, 0)
+
+    def test_wider_band_never_lower(self):
+        import numpy as np
+        from repro.psc.gapped_operator import wavefront_banded_score
+        from repro.seqs.generate import mutate_protein, random_protein
+
+        rng = np.random.default_rng(2)
+        a = random_protein(rng, 60)
+        b = mutate_protein(rng, a, identity=0.55, indel_rate=0.05)
+        narrow, _ = wavefront_banded_score(a, b, band=2)
+        wide, _ = wavefront_banded_score(a, b, band=20)
+        assert wide >= narrow

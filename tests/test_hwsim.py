@@ -1,0 +1,305 @@
+"""Hardware simulation kernel tests: simulator, FIFOs, memories, DMA."""
+
+import numpy as np
+import pytest
+
+from repro.hwsim.dma import DmaDrain, DmaStream, LinkModel
+from repro.hwsim.fifo import FifoCascade, SyncFifo, fill
+from repro.hwsim.kernel import Component, SimulationError, Simulator
+from repro.hwsim.memory import Rom, Sram
+from repro.seqs.matrices import BLOSUM62
+
+
+class Counter(Component):
+    """Test component: counts its ticks, idle after a quota."""
+
+    def __init__(self, quota):
+        self.quota = quota
+        self.ticks = 0
+
+    def tick(self, cycle):
+        if self.ticks < self.quota:
+            self.ticks += 1
+
+    def is_idle(self):
+        return self.ticks >= self.quota
+
+
+class TestSimulator:
+    def test_step_advances_cycle(self):
+        sim = Simulator()
+        sim.add(Counter(5))
+        sim.step(3)
+        assert sim.cycle == 3
+
+    def test_run_until_idle(self):
+        sim = Simulator()
+        c = sim.add(Counter(7))
+        n = sim.run_until_idle()
+        assert c.ticks == 7
+        assert n == 7
+
+    def test_run_until_predicate(self):
+        sim = Simulator()
+        c = sim.add(Counter(100))
+        sim.run_until(lambda: c.ticks >= 10)
+        assert c.ticks == 10
+
+    def test_hang_detection(self):
+        sim = Simulator()
+        sim.add(Counter(10**9))
+        with pytest.raises(SimulationError, match="converge"):
+            sim.run_until_idle(max_cycles=50)
+
+
+class TestSyncFifo:
+    def test_push_invisible_until_commit(self):
+        f = SyncFifo(4)
+        f.push(1)
+        assert not f.can_pop()
+        f.commit()
+        assert f.can_pop()
+        assert f.front() == 1
+
+    def test_fifo_order(self):
+        f = SyncFifo(8)
+        fill(f, [1, 2, 3])
+        assert [f.pop(), f.pop(), f.pop()] == [1, 2, 3]
+
+    def test_overflow_raises(self):
+        f = SyncFifo(2)
+        fill(f, [1, 2])
+        with pytest.raises(SimulationError, match="overflow"):
+            f.push(3)
+
+    def test_same_cycle_pop_frees_space(self):
+        f = SyncFifo(2)
+        fill(f, [1, 2])
+        f.pop()
+        assert f.can_push()  # staged pop frees one slot at commit
+        f.push(3)
+        f.commit()
+        assert len(f) == 2
+
+    def test_underflow_raises(self):
+        f = SyncFifo(2)
+        with pytest.raises(SimulationError, match="underflow"):
+            f.pop()
+
+    def test_high_water_tracking(self):
+        f = SyncFifo(8)
+        fill(f, [1, 2, 3])
+        f.pop()
+        f.commit()
+        assert f.high_water == 3
+        assert f.total_pushed == 3
+
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            SyncFifo(0)
+
+
+class TestFifoCascade:
+    def test_word_moves_one_hop_per_cycle(self):
+        c = FifoCascade(3, depth=4)
+        c.stage(0).push("x")
+        c.commit()
+        for hop in range(2):
+            c.forward()
+            c.commit()
+        assert c.tail.can_pop()
+        assert c.tail.front() == "x"
+
+    def test_latency_equals_stages(self):
+        c = FifoCascade(5, depth=4)
+        c.stage(0).push("x")
+        c.commit()
+        cycles = 0
+        while not c.tail.can_pop():
+            c.forward()
+            c.commit()
+            cycles += 1
+        assert cycles == 4
+
+    def test_occupancy_and_empty(self):
+        c = FifoCascade(2, depth=2)
+        assert c.is_empty()
+        c.stage(0).push(1)
+        c.commit()
+        assert c.occupancy() == 1
+
+    def test_backpressure_holds_data(self):
+        c = FifoCascade(2, depth=1)
+        c.stage(0).push("a")
+        c.commit()
+        c.forward()
+        c.commit()  # a now in tail
+        c.stage(0).push("b")
+        c.commit()
+        c.forward()  # tail full -> b stays
+        c.commit()
+        assert c.stage(0).front() == "b"
+        assert c.tail.front() == "a"
+
+
+class TestRom:
+    def test_read_and_accounting(self):
+        rom = Rom(np.array([5, -3, 7], dtype=np.int8))
+        assert rom.read(1) == -3
+        assert rom.reads == 1
+
+    def test_out_of_range(self):
+        rom = Rom(np.zeros(4, dtype=np.int8))
+        with pytest.raises(SimulationError, match="out of range"):
+            rom.read(4)
+
+    def test_substitution_rom_matches_matrix(self):
+        rom = Rom.substitution_rom(BLOSUM62)
+        assert rom.size == 1024
+        for a in (0, 10, 24):
+            for b in (0, 19, 23):
+                assert rom.read(a * 32 + b) == BLOSUM62.score(a, b)
+
+    def test_image_readonly(self):
+        rom = Rom(np.zeros(4, dtype=np.int8))
+        with pytest.raises(ValueError):
+            rom._image[0] = 1
+
+
+class TestSram:
+    def test_block_roundtrip(self):
+        s = Sram(64)
+        s.write_block(8, np.arange(10))
+        assert np.array_equal(s.read_block(8, 10), np.arange(10))
+        assert s.writes == 10 and s.reads == 10
+
+    def test_word_roundtrip(self):
+        s = Sram(16)
+        s.write(3, 42)
+        assert s.read(3) == 42
+
+    def test_capacity_enforced(self):
+        s = Sram(8)
+        with pytest.raises(SimulationError, match="outside capacity"):
+            s.write_block(6, np.arange(4))
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            Sram(0)
+
+
+class TestLinkModel:
+    def test_transfer_time_formula(self):
+        link = LinkModel(bandwidth_bytes_per_s=1e9, latency_s=1e-6)
+        assert link.transfer_seconds(1_000_000) == pytest.approx(1e-6 + 1e-3)
+
+    def test_accounting(self):
+        link = LinkModel()
+        link.record_in(1000)
+        link.record_out(500)
+        assert link.accounting.bytes_in == 1000
+        assert link.accounting.bytes_out == 500
+        assert link.accounting.transfers == 2
+        assert link.accounting.busy_seconds > 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LinkModel().transfer_seconds(-1)
+
+    def test_sustained_rate(self):
+        link = LinkModel(bandwidth_bytes_per_s=1.2e9)
+        assert link.sustained_result_rate(12) == pytest.approx(1e8)
+
+
+class TestDmaStreamDrain:
+    def test_stream_to_drain_pipeline(self):
+        data = np.arange(20)
+        fifo = SyncFifo(4, "pipe")
+        sim = Simulator()
+        src = sim.add(DmaStream(data, fifo, words_per_cycle=2))
+        dst = sim.add(DmaDrain(fifo, words_per_cycle=1))
+        sim.run_until(lambda: len(dst.received) == 20, max_cycles=200)
+        assert dst.received == list(range(20))
+
+    def test_backpressure_stalls_source(self):
+        data = np.arange(50)
+        fifo = SyncFifo(2, "narrow")
+        sim = Simulator()
+        src = sim.add(DmaStream(data, fifo, words_per_cycle=4))
+        dst = sim.add(DmaDrain(fifo, words_per_cycle=1))
+        sim.run_until(lambda: len(dst.received) == 50, max_cycles=500)
+        assert src.stall_cycles > 0
+        assert dst.received == list(range(50))
+
+    def test_drain_preserves_rate(self):
+        data = np.arange(10)
+        fifo = SyncFifo(16)
+        sim = Simulator()
+        sim.add(DmaStream(data, fifo, words_per_cycle=10))
+        dst = sim.add(DmaDrain(fifo, words_per_cycle=1))
+        sim.step(1)  # all pushed
+        start = sim.cycle
+        sim.run_until(lambda: len(dst.received) == 10, max_cycles=100)
+        # One word per cycle after the first commit.
+        assert sim.cycle - start == 10
+
+
+class TestTracer:
+    def make_traced_pipeline(self):
+        from repro.hwsim.trace import Probe, Tracer
+
+        data = np.arange(30)
+        fifo = SyncFifo(4, "pipe")
+        sim = Simulator()
+        sim.add(DmaStream(data, fifo, words_per_cycle=2))
+        dst = sim.add(DmaDrain(fifo, words_per_cycle=1))
+        tracer = sim.add(
+            Tracer([Probe.fifo_depth("fifo", fifo), Probe.attr("rx", dst, "received")])
+        )
+        sim.run_until(lambda: len(dst.received) == 30, max_cycles=300)
+        return tracer, fifo
+
+    def test_samples_every_cycle(self):
+        tracer, fifo = self.make_traced_pipeline()
+        assert tracer.cycles == list(range(len(tracer.cycles)))
+        assert len(tracer.series("fifo")) == len(tracer.cycles)
+
+    def test_depth_bound_property(self):
+        tracer, fifo = self.make_traced_pipeline()
+        assert tracer.maximum("fifo") <= fifo.depth
+        assert tracer.maximum("fifo") == fifo.high_water
+
+    def test_changes_and_duration(self):
+        tracer, _ = self.make_traced_pipeline()
+        transitions = tracer.changes("fifo")
+        assert transitions[0][0] == 0
+        total = sum(tracer.duration("fifo", v) for v in set(tracer.series("fifo")))
+        assert total == len(tracer.cycles)
+
+    def test_csv_export(self):
+        tracer, _ = self.make_traced_pipeline()
+        csv = tracer.to_csv()
+        lines = csv.splitlines()
+        assert lines[0] == "cycle,fifo,rx"
+        assert len(lines) == len(tracer.cycles) + 1
+
+    def test_waveform_rendering(self):
+        tracer, _ = self.make_traced_pipeline()
+        wave = tracer.waveform("fifo", width=40)
+        assert wave.startswith("fifo [")
+        assert len(wave) < 120
+
+    def test_waveform_empty(self):
+        from repro.hwsim.trace import Probe, Tracer
+
+        t = Tracer([Probe("x", lambda: 0)])
+        assert "(no samples)" in t.waveform("x")
+
+    def test_max_cycles_cap(self):
+        from repro.hwsim.trace import Probe, Tracer
+
+        t = Tracer([Probe("x", lambda: 1)], max_cycles=5)
+        sim = Simulator()
+        sim.add(t)
+        sim.step(10)
+        assert len(t.cycles) == 5

@@ -1,0 +1,117 @@
+"""Index diagnostics and cluster-model tests."""
+
+import numpy as np
+import pytest
+
+from repro.index.kmer import BankIndex, ContiguousSeedModel, TwoBankIndex
+from repro.index.stats import index_stats, joint_stats, occupancy_curve
+from repro.index.subset_seed import DEFAULT_SUBSET_SEED
+from repro.rasc.cluster import BladeSpec, ClusterModel
+from repro.rasc.host import HostCostModel
+from repro.seqs.generate import random_protein_bank
+from repro.seqs.sequence import Sequence, SequenceBank
+
+
+@pytest.fixture(scope="module")
+def joint_index():
+    rng = np.random.default_rng(4)
+    b0 = random_protein_bank(rng, 60, mean_length=200, name_prefix="q")
+    b1 = random_protein_bank(rng, 120, mean_length=200, name_prefix="s")
+    return TwoBankIndex.build(b0, b1, DEFAULT_SUBSET_SEED), b0, b1
+
+
+class TestIndexStats:
+    def test_basic_invariants(self, joint_index):
+        idx, b0, _ = joint_index
+        st = index_stats(idx.index0)
+        assert st.n_anchors == idx.index0.n_anchors
+        assert st.n_keys <= st.key_space
+        assert 0 < st.load_factor <= 1
+        assert st.p50_length <= st.p99_length <= st.max_length
+        assert 0 <= st.gini < 1
+        assert st.mean_length == pytest.approx(st.n_anchors / st.n_keys)
+
+    def test_uniform_bank_low_gini(self):
+        # A bank of one repeated word has every anchor under one key.
+        bank = SequenceBank([Sequence.from_text("s", "MKVL" * 50)], pad=8)
+        st = index_stats(BankIndex(bank, ContiguousSeedModel(4)))
+        # Only 4 distinct words (rotations) -> nearly balanced lists.
+        assert st.gini < 0.2
+
+    def test_empty_index(self):
+        bank = SequenceBank([], pad=8)
+        st = index_stats(BankIndex(bank, ContiguousSeedModel(4)))
+        assert st.n_anchors == 0
+        assert st.gini == 0.0
+
+    def test_describe_renders(self, joint_index):
+        idx, _, _ = joint_index
+        text = index_stats(idx.index0).describe()
+        assert "anchors=" in text and "gini" in text
+
+
+class TestJointStats:
+    def test_pairs_match_index(self, joint_index):
+        idx, _, _ = joint_index
+        st = joint_stats(idx)
+        assert st.total_pairs == idx.total_pairs
+        assert st.shared_keys == idx.n_shared_keys
+        assert 0 < st.top1pct_pair_share <= 1
+
+    def test_empty_join(self):
+        b0 = SequenceBank([Sequence.from_text("a", "MMMMMM")], pad=8)
+        b1 = SequenceBank([Sequence.from_text("b", "WWWWWW")], pad=8)
+        st = joint_stats(TwoBankIndex.build(b0, b1, ContiguousSeedModel(4)))
+        assert st.total_pairs == 0
+
+
+class TestOccupancyCurve:
+    def test_shape_and_monotonic_utilisation(self, joint_index):
+        idx, _, _ = joint_index
+        curve = occupancy_curve(idx, pe_counts=(16, 64, 192))
+        assert len(curve) == 3
+        utils = [u for _, u, _ in curve]
+        # Short index lists: utilisation falls as the array grows.
+        assert utils == sorted(utils, reverse=True)
+        assert all(t > 0 for _, _, t in curve)
+
+
+class TestClusterModel:
+    @pytest.fixture(scope="class")
+    def model_inputs(self):
+        rng = np.random.default_rng(8)
+        b0 = random_protein_bank(rng, 100, mean_length=250, name_prefix="q")
+        b1 = random_protein_bank(rng, 200, mean_length=250, name_prefix="s")
+        idx = TwoBankIndex.build(b0, b1, DEFAULT_SUBSET_SEED)
+        k0s, k1s = idx.list_length_pairs()
+        cm = ClusterModel(BladeSpec(), HostCostModel(), pair_overhead_cycles=2.9)
+        return cm, k0s, k1s, b0.total_residues, b1.total_residues
+
+    def test_more_blades_never_slower(self, model_inputs):
+        cm, k0s, k1s, bank_res, gen_res = model_inputs
+        walls = [
+            cm.project(n, k0s, k1s, bank_res, gen_res, 10**6, 100).wall_seconds
+            for n in (1, 2, 4)
+        ]
+        assert walls[1] <= walls[0] * 1.01
+        assert walls[2] <= walls[1] * 1.01
+
+    def test_sublinear_scaling(self, model_inputs):
+        """Replicated genome indexing bounds the scaling — the paper's
+        dispatch question made quantitative."""
+        cm, k0s, k1s, bank_res, gen_res = model_inputs
+        w1 = cm.project(1, k0s, k1s, bank_res, gen_res, 10**6, 100).wall_seconds
+        w8 = cm.project(8, k0s, k1s, bank_res, gen_res, 10**6, 100).wall_seconds
+        assert 1.0 < w1 / w8 < 8.0
+
+    def test_blade_count_validation(self, model_inputs):
+        cm, k0s, k1s, bank_res, gen_res = model_inputs
+        with pytest.raises(ValueError):
+            cm.project(0, k0s, k1s, bank_res, gen_res, 0, 0)
+
+    def test_merge_term(self, model_inputs):
+        cm, k0s, k1s, bank_res, gen_res = model_inputs
+        small = cm.project(2, k0s, k1s, bank_res, gen_res, 0, 10)
+        big = cm.project(2, k0s, k1s, bank_res, gen_res, 0, 10**7)
+        assert big.merge_seconds > small.merge_seconds
+        assert big.wall_seconds > small.wall_seconds

@@ -1,0 +1,139 @@
+"""Cross-module integration tests.
+
+These exercise whole user journeys: file I/O through the pipeline, all
+engines on one workload, hardware/software agreement at every fidelity
+level, and coordinate bookkeeping from alignments back to genome bases.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baseline.tblastn import TblastnSearch
+from repro.core.config import PipelineConfig
+from repro.core.modes import BlastFamilySearch
+from repro.core.partition import split_bank
+from repro.core.pipeline import SeedComparisonPipeline
+from repro.core.results import ComparisonReport
+from repro.eval.benchmark_data import frame_interval
+from repro.rasc.accelerated import AcceleratedPipeline
+from repro.rasc.dual_design import DualDesignPipeline
+from repro.seqs.fasta import load_bank, read_fasta, write_fasta
+from repro.seqs.alphabet import DNA
+from repro.seqs.generate import make_family, plant_homologs, random_genome
+from repro.seqs.sequence import Sequence, SequenceBank
+
+
+class TestFourEnginesOneWorkload:
+    """Software, accelerated, dual-design and baseline engines must agree
+    on what is in the genome."""
+
+    @pytest.fixture(scope="class")
+    def reports(self, planted_workload):
+        queries, genome, truth = planted_workload
+        return {
+            "software": SeedComparisonPipeline().compare_with_genome(queries, genome),
+            "accel": AcceleratedPipeline().run(queries, genome).report,
+            "dual": DualDesignPipeline().run(queries, genome).report,
+            "baseline": TblastnSearch().search_genome(queries, genome),
+        }, truth
+
+    def test_every_engine_finds_every_family(self, reports):
+        reps, truth = reports
+        families = {f"fam{t.family_id}" for t in truth}
+        for name, rep in reps.items():
+            assert {a.seq0_name for a in rep} >= families, name
+
+    def test_hardware_paths_identical_to_software(self, reports):
+        reps, _ = reports
+        key = lambda rep: sorted(
+            (a.seq0_name, a.seq1_name, a.start0, a.end0, a.raw_score) for a in rep
+        )
+        assert key(reps["software"]) == key(reps["accel"])
+        assert key(reps["software"]) == key(reps["dual"])
+
+    def test_engines_agree_on_strong_loci(self, reports):
+        reps, _ = reports
+        def strong(rep):
+            return {
+                (a.seq0_name, a.seq1_name, a.start1) for a in rep if a.evalue < 1e-20
+            }
+        assert strong(reps["software"]) == strong(reps["baseline"])
+
+
+class TestFileRoundtrip:
+    def test_fasta_to_report(self, tmp_path, planted_workload):
+        queries, genome, _ = planted_workload
+        qpath, gpath = tmp_path / "q.fa", tmp_path / "g.fa"
+        write_fasta(iter(queries), qpath)
+        write_fasta([genome], gpath)
+        q2 = load_bank(qpath)
+        g2 = next(iter(read_fasta(gpath, DNA)))
+        direct = SeedComparisonPipeline().compare_with_genome(queries, genome)
+        via_files = SeedComparisonPipeline().compare_with_genome(q2, g2)
+        assert len(direct) == len(via_files)
+        assert [a.raw_score for a in direct] == [a.raw_score for a in via_files]
+
+
+class TestCoordinateBookkeeping:
+    def test_alignment_footprint_covers_plant(self, rng):
+        """Frame-coordinate round trip: the best alignment's genomic
+        footprint must overlap the planted locus on the right strand."""
+        fam = make_family(rng, 0, 200, 1, identity_range=(0.9, 0.9))
+        genome = random_genome(rng, 40_000)
+        genome, truth = plant_homologs(rng, genome, [fam])
+        t = truth[0]
+        queries = SequenceBank([Sequence("q", fam.ancestor)])
+        report = SeedComparisonPipeline().compare_with_genome(queries, genome)
+        best = report.best(1)[0]
+        start, end = frame_interval(
+            best.seq1_name, best.start1, best.end1, len(genome)
+        )
+        overlap = min(end, t.genome_end) - max(start, t.genome_start)
+        span = t.genome_end - t.genome_start
+        assert overlap > 0.8 * span
+        frame_sign = "-" if "-" in best.seq1_name.split("|frame")[1] else "+"
+        assert (frame_sign == "+") == (t.strand == 1)
+
+
+class TestPartitionedEquivalence:
+    def test_split_bank_union_of_reports(self, planted_workload):
+        """Comparing bank halves separately and merging equals comparing
+        the whole bank (the 2-FPGA correctness argument)."""
+        queries, genome, _ = planted_workload
+        whole = SeedComparisonPipeline().compare_with_genome(queries, genome)
+        parts = []
+        for half in split_bank(queries, 2):
+            if len(half) == 0:
+                continue
+            parts.append(SeedComparisonPipeline().compare_with_genome(half, genome))
+        merged = ComparisonReport.merged(parts)
+        assert sorted(a.raw_score for a in whole) == sorted(
+            a.raw_score for a in merged
+        )
+
+
+class TestModesConsistency:
+    def test_tblastn_mode_equals_pipeline(self, planted_workload):
+        queries, genome, _ = planted_workload
+        facade = BlastFamilySearch(seg=None).tblastn(queries, genome)
+        direct = SeedComparisonPipeline().compare_with_genome(queries, genome)
+        assert sorted(a.raw_score for a in facade) == sorted(
+            a.raw_score for a in direct
+        )
+
+
+class TestProfileConsistency:
+    def test_counts_scale_with_workload(self, rng):
+        """Doubling the genome roughly doubles step-2 pairs (linearity the
+        projection model relies on)."""
+        from repro.seqs.generate import random_protein_bank
+
+        bank = random_protein_bank(rng, 30, mean_length=200)
+        pairs = []
+        for nt in (40_000, 80_000):
+            genome = random_genome(np.random.default_rng(3), nt)
+            pipe = SeedComparisonPipeline()
+            rep = pipe.compare_with_genome(bank, genome)
+            pairs.append(rep.n_seed_pairs)
+        ratio = pairs[1] / max(1, pairs[0])
+        assert 1.6 < ratio < 2.4

@@ -1,0 +1,165 @@
+"""Two-bank W-mer index tests (step 1)."""
+
+import numpy as np
+import pytest
+
+from repro.index.kmer import BankIndex, ContiguousSeedModel, TwoBankIndex, extract_keys
+from repro.seqs.alphabet import AMINO
+from repro.seqs.sequence import Sequence, SequenceBank
+
+
+def bank(*texts, pad=8):
+    return SequenceBank(
+        [Sequence.from_text(f"s{i}", t) for i, t in enumerate(texts)], pad=pad
+    )
+
+
+class TestSeedModel:
+    def test_key_space(self):
+        assert ContiguousSeedModel(4).key_space == 160_000
+        assert ContiguousSeedModel(3).key_space == 8_000
+
+    def test_key_of_distinct_words(self):
+        m = ContiguousSeedModel(3)
+        k1 = m.key_of(AMINO.encode("MKV"))
+        k2 = m.key_of(AMINO.encode("MKW"))
+        k3 = m.key_of(AMINO.encode("KVM"))
+        assert len({k1, k2, k3}) == 3
+
+    def test_key_of_invalid_window(self):
+        m = ContiguousSeedModel(3)
+        assert m.key_of(AMINO.encode("MK*")) == -1
+        assert m.key_of(AMINO.encode("MKX")) == -1
+
+    def test_position_order_matters(self):
+        m = ContiguousSeedModel(2)
+        assert m.key_of(AMINO.encode("AR")) != m.key_of(AMINO.encode("RA"))
+
+
+class TestExtractKeys:
+    def test_validity_mask(self):
+        m = ContiguousSeedModel(3)
+        buf = AMINO.encode("MKVXAWT")
+        keys, valid = extract_keys(buf, m)
+        assert valid.shape == (5,)
+        # Windows containing X (positions 1,2,3) are invalid.
+        assert list(valid) == [True, False, False, False, True]
+
+    def test_too_short(self):
+        keys, valid = extract_keys(AMINO.encode("MK"), ContiguousSeedModel(3))
+        assert keys.shape == (0,)
+
+    def test_keys_are_base20(self):
+        m = ContiguousSeedModel(2)
+        keys, valid = extract_keys(AMINO.encode("AR"), m)
+        assert valid[0]
+        assert keys[0] == 0 * 20 + 1  # A=0, R=1
+
+
+class TestBankIndex:
+    def test_every_anchor_indexed_once(self):
+        b = bank("MKVLAW", "VLAWMK")
+        idx = BankIndex(b, ContiguousSeedModel(3))
+        assert idx.n_anchors == 4 + 4  # (6-3+1) per sequence
+
+    def test_list_for_finds_occurrences(self):
+        b = bank("MKVMKV")
+        m = ContiguousSeedModel(3)
+        idx = BankIndex(b, m)
+        key = m.key_of(AMINO.encode("MKV"))
+        offs = idx.list_for(key)
+        assert offs.shape == (2,)
+        # Both offsets decode back to MKV.
+        for o in offs:
+            assert AMINO.decode(b.buffer[o : o + 3]) == "MKV"
+
+    def test_list_for_missing_key(self):
+        b = bank("MKVLAW")
+        idx = BankIndex(b, ContiguousSeedModel(3))
+        assert idx.list_for(ContiguousSeedModel(3).key_of(AMINO.encode("WWW"))).size == 0
+
+    def test_no_cross_boundary_windows(self):
+        # Seeds never straddle two sequences thanks to padding.
+        b = bank("MKV", "LAW", pad=4)
+        idx = BankIndex(b, ContiguousSeedModel(3))
+        assert idx.n_anchors == 2
+        for i in range(len(idx.unique_keys)):
+            for o in idx.slice(i):
+                sid = b.seq_id_of(np.array([o]))[0]
+                assert b.local_position(np.array([o]))[0] + 3 <= b.lengths[sid]
+
+    def test_list_lengths_sum(self):
+        b = bank("MKVLAWMKVLAW")
+        idx = BankIndex(b, ContiguousSeedModel(4))
+        assert int(idx.list_lengths().sum()) == idx.n_anchors
+
+    def test_empty_bank(self):
+        b = SequenceBank([], pad=4)
+        idx = BankIndex(b, ContiguousSeedModel(3))
+        assert idx.n_anchors == 0
+        assert idx.unique_keys.shape == (0,)
+
+    def test_memory_bytes_positive(self):
+        b = bank("MKVLAW")
+        assert BankIndex(b, ContiguousSeedModel(3)).memory_bytes() > 0
+
+
+class TestTwoBankIndex:
+    def test_shared_entries_are_true_joins(self):
+        b0 = bank("MKVLAW")
+        b1 = bank("AWMKVL", "MKVRRR")
+        tbi = TwoBankIndex.build(b0, b1, ContiguousSeedModel(3))
+        for entry in tbi.entries():
+            w0s = {AMINO.decode(b0.buffer[o : o + 3]) for o in entry.offsets0}
+            w1s = {AMINO.decode(b1.buffer[o : o + 3]) for o in entry.offsets1}
+            assert len(w0s) == 1 and w0s == w1s
+
+    def test_total_pairs_matches_bruteforce(self):
+        rng = np.random.default_rng(3)
+        from repro.seqs.generate import random_protein_bank
+
+        b0 = random_protein_bank(rng, 6, mean_length=80)
+        b1 = random_protein_bank(rng, 6, mean_length=80)
+        m = ContiguousSeedModel(2)
+        tbi = TwoBankIndex.build(b0, b1, m)
+        # Brute force: count equal 2-mers across banks.
+        keys0, valid0 = extract_keys(b0.buffer, m)
+        keys1, valid1 = extract_keys(b1.buffer, m)
+        k0 = keys0[valid0]
+        k1 = keys1[valid1]
+        brute = sum(int((k1 == k).sum()) * int((k0 == k).sum()) for k in np.unique(k0))
+        assert tbi.total_pairs == brute
+
+    def test_pair_counts_align_with_entries(self):
+        b0 = bank("MKVMKV")
+        b1 = bank("MKVMKVMKV")
+        tbi = TwoBankIndex.build(b0, b1, ContiguousSeedModel(3))
+        counts = tbi.pair_counts()
+        entries = list(tbi.entries())
+        assert [e.pair_count for e in entries] == list(counts)
+
+    def test_entry_accessor_matches_iterator(self):
+        b0 = bank("MKVLAWTRQ")
+        b1 = bank("KVLAWTR")
+        tbi = TwoBankIndex.build(b0, b1, ContiguousSeedModel(3))
+        for j, e in enumerate(tbi.entries()):
+            e2 = tbi.entry(j)
+            assert e2.key == e.key
+            assert np.array_equal(e2.offsets0, e.offsets0)
+            assert np.array_equal(e2.offsets1, e.offsets1)
+
+    def test_mismatched_models_rejected(self):
+        b0 = bank("MKVLAW")
+        b1 = bank("MKVLAW")
+        i0 = BankIndex(b0, ContiguousSeedModel(3))
+        i1 = BankIndex(b1, ContiguousSeedModel(4))
+        with pytest.raises(ValueError, match="same seed model"):
+            TwoBankIndex(i0, i1)
+
+    def test_no_shared_keys(self):
+        b0 = bank("MMMMMM")
+        b1 = bank("WWWWWW")
+        tbi = TwoBankIndex.build(b0, b1, ContiguousSeedModel(3))
+        assert tbi.n_shared_keys == 0
+        assert tbi.total_pairs == 0
+        assert list(tbi.entries()) == []

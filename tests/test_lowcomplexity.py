@@ -1,0 +1,104 @@
+"""SEG low-complexity masking tests."""
+
+import numpy as np
+import pytest
+
+from repro.seqs.alphabet import UNKNOWN_AA_CODE, encode_protein
+from repro.seqs.generate import random_protein, random_protein_bank
+from repro.seqs.lowcomplexity import SegConfig, mask_bank, seg_mask, window_entropy
+
+
+class TestWindowEntropy:
+    def test_homopolymer_entropy_zero(self):
+        ent = window_entropy(encode_protein("A" * 20), window=12)
+        assert np.allclose(ent, 0.0)
+
+    def test_diverse_window_high_entropy(self):
+        ent = window_entropy(encode_protein("ARNDCQEGHILK"), window=12)
+        assert ent[0] == pytest.approx(np.log2(12))
+
+    def test_two_letter_repeat(self):
+        ent = window_entropy(encode_protein("ABABABABABAB".replace("B", "K")), 12)
+        assert ent[0] == pytest.approx(1.0)
+
+    def test_short_sequence(self):
+        assert window_entropy(encode_protein("MK"), 12).shape == (0,)
+
+    def test_length(self):
+        ent = window_entropy(encode_protein("M" * 30), 12)
+        assert ent.shape == (19,)
+
+
+class TestSegMask:
+    def test_poly_a_run_masked(self):
+        rng = np.random.default_rng(0)
+        flank = random_protein(rng, 60)
+        seq = np.concatenate([flank, encode_protein("A" * 30), flank])
+        masked, frac = seg_mask(seq)
+        run = masked[60:90]
+        assert (run == UNKNOWN_AA_CODE).all()
+        assert 0 < frac < 0.5
+
+    def test_random_protein_mostly_unmasked(self, rng):
+        seq = random_protein(rng, 2000)
+        masked, frac = seg_mask(seq)
+        assert frac < 0.05
+
+    def test_mask_is_idempotent(self, rng):
+        seq = np.concatenate(
+            [random_protein(rng, 50), encode_protein("Q" * 25), random_protein(rng, 50)]
+        )
+        once, f1 = seg_mask(seq)
+        twice, f2 = seg_mask(once)
+        assert np.array_equal(once, twice)
+
+    def test_clean_sequence_untouched(self):
+        seq = encode_protein("ARNDCQEGHILKMFPSTWYV" * 3)
+        masked, frac = seg_mask(seq)
+        assert frac == 0.0
+        assert np.array_equal(masked, seq)
+
+    def test_short_sequence_passthrough(self):
+        seq = encode_protein("MKV")
+        masked, frac = seg_mask(seq)
+        assert frac == 0.0
+        assert np.array_equal(masked, seq)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SegConfig(window=1)
+        with pytest.raises(ValueError):
+            SegConfig(trigger_entropy=2.5, extend_entropy=2.0)
+
+    def test_stricter_trigger_masks_less(self, rng):
+        seq = np.concatenate(
+            [random_protein(rng, 80), encode_protein("AKAKAKAKAKAKAKAK"),
+             random_protein(rng, 80)]
+        )
+        _, loose = seg_mask(seq, SegConfig(trigger_entropy=2.4, extend_entropy=2.6))
+        _, strict = seg_mask(seq, SegConfig(trigger_entropy=1.2, extend_entropy=1.2))
+        assert strict <= loose
+
+
+class TestMaskBank:
+    def test_bank_masking_preserves_structure(self, rng):
+        bank = random_protein_bank(rng, 10, mean_length=120)
+        masked, frac = mask_bank(bank)
+        assert len(masked) == len(bank)
+        assert masked.names == bank.names
+        assert masked.total_residues == bank.total_residues
+        assert 0 <= frac < 0.1
+
+    def test_masking_removes_seed_anchors(self, rng):
+        """Masked residues cannot seed: the point of the filter."""
+        from repro.index.kmer import BankIndex, ContiguousSeedModel
+        from repro.seqs.sequence import Sequence, SequenceBank
+
+        seq = np.concatenate(
+            [random_protein(rng, 50), encode_protein("A" * 40), random_protein(rng, 50)]
+        )
+        bank = SequenceBank([Sequence("s", seq)], pad=16)
+        masked, _ = mask_bank(bank)
+        before = BankIndex(bank, ContiguousSeedModel(4)).n_anchors
+        after = BankIndex(masked, ContiguousSeedModel(4)).n_anchors
+        assert after < before

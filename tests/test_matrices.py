@@ -1,0 +1,102 @@
+"""Substitution matrix tests."""
+
+import numpy as np
+import pytest
+
+from repro.seqs.alphabet import AMINO, GAP_CODE, STOP_CODE, encode_protein
+from repro.seqs.matrices import (
+    BLOSUM45,
+    BLOSUM62,
+    BLOSUM80,
+    GAP_SCORE,
+    SubstitutionMatrix,
+    get_matrix,
+)
+
+ALL = [BLOSUM62, BLOSUM80, BLOSUM45]
+
+
+class TestBlosum62Values:
+    """Spot checks against the published BLOSUM62."""
+
+    def test_known_entries(self):
+        def s(a, b):
+            return BLOSUM62.score(int(encode_protein(a)[0]), int(encode_protein(b)[0]))
+
+        assert s("A", "A") == 4
+        assert s("W", "W") == 11
+        assert s("C", "C") == 9
+        assert s("A", "R") == -1
+        assert s("I", "L") == 2
+        assert s("W", "D") == -4
+        assert s("K", "R") == 2
+        assert s("*", "*") == 1
+        assert s("A", "*") == -4
+
+    def test_shape_and_dtype(self):
+        assert BLOSUM62.scores.shape == (25, 25)
+        assert BLOSUM62.scores.dtype == np.int8
+
+
+@pytest.mark.parametrize("matrix", ALL, ids=lambda m: m.name)
+class TestMatrixProperties:
+    def test_symmetry(self, matrix):
+        # Symmetric over the real residue/ambiguity codes (gap row excluded).
+        s = matrix.scores[:24, :24]
+        assert (s == s.T).all()
+
+    def test_positive_diagonal(self, matrix):
+        assert (np.diag(matrix.scores)[:20] > 0).all()
+
+    def test_negative_expected_score(self, matrix):
+        # Required for Karlin-Altschul statistics to exist.
+        assert matrix.scores[:20, :20].astype(float).mean() < 0
+
+    def test_gap_sentinel_row(self, matrix):
+        assert (matrix.scores[GAP_CODE, :] == GAP_SCORE).all()
+        assert (matrix.scores[:, GAP_CODE] == GAP_SCORE).all()
+
+    def test_stop_heavily_penalised(self, matrix):
+        assert (matrix.scores[STOP_CODE, :20] < 0).all()
+
+    def test_min_max(self, matrix):
+        assert matrix.max_score() > 0
+        assert matrix.min_score() < 0
+
+    def test_pair_scores_broadcast(self, matrix):
+        a = np.array([0, 1, 2], dtype=np.uint8)
+        b = np.array([0, 1, 2], dtype=np.uint8)
+        out = matrix.pair_scores(a[:, None], b[None, :])
+        assert out.shape == (3, 3)
+        assert out[1, 2] == matrix.score(1, 2)
+
+    def test_rom_contents_layout(self, matrix):
+        rom = matrix.rom_contents()
+        assert rom.shape == (1024,)
+        for a in (0, 7, 19, 24):
+            for b in (0, 13, 24):
+                assert rom[a * 32 + b] == matrix.score(a, b)
+        # Unused slots (codes 25..31) hold the gap penalty.
+        assert rom[25 * 32 + 0] == GAP_SCORE
+
+
+class TestRegistry:
+    def test_lookup_case_insensitive(self):
+        assert get_matrix("blosum62") is BLOSUM62
+        assert get_matrix("BLOSUM80") is BLOSUM80
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown matrix"):
+            get_matrix("PAM250")
+
+    def test_scores_readonly(self):
+        with pytest.raises(ValueError):
+            BLOSUM62.scores[0, 0] = 0
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(ValueError, match="expected"):
+            SubstitutionMatrix("bad", np.zeros((20, 20), dtype=np.int8))
+
+    def test_malformed_text_rejected(self):
+        with pytest.raises(ValueError, match="malformed"):
+            SubstitutionMatrix.from_ncbi_text("bad", "A R\nA 1")

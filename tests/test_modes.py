@@ -1,0 +1,156 @@
+"""BLAST-family mode facade tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.modes import BlastFamilySearch, SearchMode, translate_queries
+from repro.seqs.alphabet import DNA
+from repro.seqs.generate import (
+    make_family,
+    plant_homologs,
+    random_genome,
+    random_protein_bank,
+    reverse_translate,
+)
+from repro.seqs.sequence import Sequence, SequenceBank
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(314)
+    families = [
+        make_family(rng, i, 160, 1, identity_range=(0.7, 0.85)) for i in range(3)
+    ]
+    genome = random_genome(rng, 60_000, name="g")
+    genome, truth = plant_homologs(rng, genome, families)
+    queries = SequenceBank(
+        [Sequence(f"fam{f.family_id}", f.ancestor) for f in families]
+    )
+    return rng, queries, genome, truth, families
+
+
+class TestModeProperties:
+    def test_translation_flags(self):
+        assert not SearchMode.BLASTP.query_is_dna
+        assert not SearchMode.BLASTP.subject_is_dna
+        assert SearchMode.BLASTX.query_is_dna
+        assert not SearchMode.BLASTX.subject_is_dna
+        assert not SearchMode.TBLASTN.query_is_dna
+        assert SearchMode.TBLASTN.subject_is_dna
+        assert SearchMode.TBLASTX.query_is_dna
+        assert SearchMode.TBLASTX.subject_is_dna
+
+
+class TestTranslateQueries:
+    def test_six_frames_per_query(self):
+        rng = np.random.default_rng(0)
+        dna = Sequence("d", reverse_translate(rng, rng.integers(0, 20, 50).astype(np.uint8)), DNA)
+        bank = translate_queries(SequenceBank([dna, dna], alphabet=DNA, pad=8))
+        assert len(bank) == 12
+        assert any("frame+1" in n for n in bank.names)
+
+    def test_protein_query_rejected(self):
+        with pytest.raises(ValueError, match="not DNA"):
+            translate_queries(Sequence.from_text("p", "MKV"))
+
+
+class TestModes:
+    def test_tblastn_finds_plants(self, workload):
+        _, queries, genome, truth, _ = workload
+        report = BlastFamilySearch().tblastn(queries, genome)
+        assert {a.seq0_name for a in report} == {"fam0", "fam1", "fam2"}
+
+    def test_blastp_self_hits(self, workload):
+        _, queries, _, _, _ = workload
+        report = BlastFamilySearch().blastp(queries, queries)
+        # Every query aligns to itself with a full-length perfect hit.
+        for i, name in enumerate(("fam0", "fam1", "fam2")):
+            self_hits = [
+                a for a in report if a.seq0_name == name and a.seq1_id == i
+            ]
+            assert self_hits, name
+            assert max(a.span0 for a in self_hits) == 160
+
+    def test_blastx_locates_family(self, workload):
+        rng, queries, genome, truth, families = workload
+        t = truth[0]
+        frag = Sequence(
+            "frag",
+            genome.codes[max(0, t.genome_start - 60) : t.genome_end + 60],
+            DNA,
+        )
+        report = BlastFamilySearch().blastx(frag, queries)
+        assert len(report) >= 1
+        best = report.best(1)[0]
+        assert best.seq1_name == f"fam{t.family_id}"
+        assert best.seq0_name.startswith("frag|frame")
+
+    def test_tblastx_frag_vs_genome(self, workload):
+        _, queries, genome, truth, _ = workload
+        t = truth[0]
+        frag = Sequence(
+            "frag", genome.codes[t.genome_start : t.genome_end], DNA
+        )
+        report = BlastFamilySearch().tblastx(frag, genome)
+        # The fragment must at minimum find its own source locus.
+        assert len(report) >= 1
+
+    def test_dna_subject_in_blastp_rejected(self, workload):
+        _, queries, genome, _, _ = workload
+        with pytest.raises(ValueError, match="expects protein"):
+            BlastFamilySearch().blastp(queries, SequenceBank([genome], alphabet=DNA))
+
+
+class TestSegIntegration:
+    def test_masking_reported(self, rng):
+        from repro.seqs.alphabet import encode_protein
+
+        junk = Sequence("lowc", encode_protein("A" * 120))
+        real = random_protein_bank(rng, 2, mean_length=100)
+        queries = SequenceBank(list(real) + [junk])
+        search = BlastFamilySearch()
+        search.blastp(queries, real)
+        assert search.last_masked_fraction > 0.2
+
+    def test_seg_disabled(self, rng):
+        bank = random_protein_bank(rng, 2, mean_length=100)
+        search = BlastFamilySearch(seg=None)
+        search.blastp(bank, bank)
+        assert search.last_masked_fraction == 0.0
+
+    def test_masking_kills_lowcomplexity_hits(self, rng):
+        from repro.seqs.alphabet import encode_protein
+
+        junk_bank = SequenceBank(
+            [Sequence("j1", encode_protein("AK" * 60)),
+             Sequence("j2", encode_protein("KA" * 60))]
+        )
+        with_seg = BlastFamilySearch().blastp(junk_bank, junk_bank)
+        without = BlastFamilySearch(seg=None).blastp(junk_bank, junk_bank)
+        assert len(with_seg) < len(without)
+
+
+class TestAcceleratedStep2InModes:
+    def test_facade_with_psc_step2_engine(self, workload):
+        """The modes facade accepts an accelerator-backed step-2 engine and
+        produces the same alignments as the software path."""
+        from repro.core.config import PipelineConfig
+        from repro.psc.behavioral import PscBehavioral
+        from repro.psc.schedule import PscArrayConfig
+
+        _, queries, genome, truth, _ = workload
+        cfg = PipelineConfig()
+        beh = PscBehavioral(
+            PscArrayConfig(
+                n_pes=32,
+                window=cfg.window,
+                threshold=cfg.ungapped_threshold,
+                matrix=cfg.matrix,
+            )
+        )
+        hw = BlastFamilySearch(
+            cfg, seg=None, step2=lambda idx: beh.step2_hits(idx, cfg.flank)
+        ).tblastn(queries, genome)
+        sw = BlastFamilySearch(cfg, seg=None).tblastn(queries, genome)
+        assert sorted(a.raw_score for a in hw) == sorted(a.raw_score for a in sw)
+        assert beh.last_run.breakdown.total_cycles > 0

@@ -1,0 +1,78 @@
+"""BLAST neighbourhood-word table tests."""
+
+import numpy as np
+
+from repro.index.neighborhood import NeighborhoodTable, word_digits
+from repro.seqs.alphabet import AMINO
+from repro.seqs.matrices import BLOSUM62
+
+# One shared table (construction is the expensive part).
+_TABLE = NeighborhoodTable(BLOSUM62, w=3, threshold=11)
+
+
+def word_key(text: str) -> int:
+    codes = AMINO.encode(text)
+    return int(codes[0]) * 400 + int(codes[1]) * 20 + int(codes[2])
+
+
+def word_score(a: str, b: str) -> int:
+    ca, cb = AMINO.encode(a), AMINO.encode(b)
+    return sum(BLOSUM62.score(int(x), int(y)) for x, y in zip(ca, cb))
+
+
+class TestWordDigits:
+    def test_shape(self):
+        d = word_digits(2)
+        assert d.shape == (400, 2)
+
+    def test_enumeration_order(self):
+        d = word_digits(2)
+        assert list(d[0]) == [0, 0]
+        assert list(d[1]) == [0, 1]
+        assert list(d[20]) == [1, 0]
+        assert list(d[399]) == [19, 19]
+
+
+class TestNeighborhoodTable:
+    def test_self_neighbour_when_high_scoring(self):
+        # WWW self-scores 33 >= 11, so it is its own neighbour.
+        www = word_key("WWW")
+        assert www in _TABLE.neighbors_of(www)
+
+    def test_low_self_score_word_not_own_neighbour(self):
+        # AAA self-scores 12 >= 11, is a neighbour; SSS scores 12 too.
+        # GGG self-scores 18. Use a word whose self-score < 11: none for
+        # identical triples (min diag 4*3=12) — so check a sub-threshold
+        # *pair* instead.
+        assert word_key("AAA") not in _TABLE.neighbors_of(word_key("WWW"))
+
+    def test_neighbours_match_bruteforce_for_sample(self):
+        for text in ("MKV", "WCH", "AAA", "LLL"):
+            w = word_key(text)
+            got = set(int(v) for v in _TABLE.neighbors_of(w))
+            digits = word_digits(3)
+            letters = "ARNDCQEGHILKMFPSTWYV"
+            expected = set()
+            for v in range(8000):
+                other = "".join(letters[d] for d in digits[v])
+                if word_score(text, other) >= 11:
+                    expected.add(v)
+            assert got == expected, text
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        for w in rng.integers(0, 8000, size=25):
+            for v in _TABLE.neighbors_of(int(w))[:10]:
+                assert int(w) in _TABLE.neighbors_of(int(v))
+
+    def test_mean_neighbors_in_blast_range(self):
+        # BLAST documentation: a few dozen neighbours per word at T=11.
+        assert 10 < _TABLE.mean_neighbors() < 100
+
+    def test_higher_threshold_shrinks_table(self):
+        t13 = NeighborhoodTable(BLOSUM62, w=2, threshold=13)
+        t8 = NeighborhoodTable(BLOSUM62, w=2, threshold=8)
+        assert t13.neighbor_counts().sum() < t8.neighbor_counts().sum()
+
+    def test_memory_accounting(self):
+        assert _TABLE.memory_bytes() > 0

@@ -1,0 +1,98 @@
+"""Index persistence tests."""
+
+import numpy as np
+import pytest
+
+from repro.index.kmer import BankIndex, ContiguousSeedModel, TwoBankIndex
+from repro.index.persist import FORMAT_VERSION, load_index, save_index
+from repro.index.subset_seed import DEFAULT_SUBSET_SEED
+from repro.seqs.generate import random_protein_bank
+
+
+@pytest.fixture
+def index(rng):
+    bank = random_protein_bank(rng, 12, mean_length=120)
+    return BankIndex(bank, DEFAULT_SUBSET_SEED)
+
+
+class TestRoundtrip:
+    def test_structure_preserved(self, index, tmp_path):
+        path = tmp_path / "bank.idx.npz"
+        save_index(index, path)
+        back = load_index(path)
+        assert back.n_anchors == index.n_anchors
+        assert np.array_equal(back.unique_keys, index.unique_keys)
+        assert np.array_equal(back._offsets, index._offsets)
+        assert np.array_equal(back._indptr, index._indptr)
+
+    def test_bank_content_preserved(self, index, tmp_path):
+        path = tmp_path / "bank.idx.npz"
+        save_index(index, path)
+        back = load_index(path)
+        assert back.bank.names == index.bank.names
+        assert np.array_equal(back.bank.buffer, index.bank.buffer)
+
+    def test_model_identity_preserved(self, index, tmp_path):
+        path = tmp_path / "bank.idx.npz"
+        save_index(index, path)
+        back = load_index(path)
+        assert back.model.span == index.model.span
+        assert back.model.key_space == index.model.key_space
+
+    def test_contiguous_model_roundtrip(self, rng, tmp_path):
+        bank = random_protein_bank(rng, 5, mean_length=60)
+        idx = BankIndex(bank, ContiguousSeedModel(3))
+        save_index(idx, tmp_path / "c.npz")
+        back = load_index(tmp_path / "c.npz")
+        assert isinstance(back.model, ContiguousSeedModel)
+        assert back.model.w == 3
+
+    def test_loaded_index_usable_in_join(self, rng, tmp_path):
+        b0 = random_protein_bank(rng, 8, mean_length=100, name_prefix="a")
+        b1 = random_protein_bank(rng, 8, mean_length=100, name_prefix="b")
+        i0 = BankIndex(b0, ContiguousSeedModel(3))
+        i1 = BankIndex(b1, ContiguousSeedModel(3))
+        direct = TwoBankIndex(i0, i1).total_pairs
+        save_index(i0, tmp_path / "a.npz")
+        save_index(i1, tmp_path / "b.npz")
+        reloaded = TwoBankIndex(
+            load_index(tmp_path / "a.npz"), load_index(tmp_path / "b.npz")
+        )
+        assert reloaded.total_pairs == direct
+
+    def test_queries_resolve_identically(self, index, tmp_path):
+        save_index(index, tmp_path / "x.npz")
+        back = load_index(tmp_path / "x.npz")
+        for key in index.unique_keys[:20]:
+            assert np.array_equal(back.list_for(int(key)), index.list_for(int(key)))
+
+
+class TestErrors:
+    def test_unsupported_version(self, index, tmp_path):
+        path = tmp_path / "bad.npz"
+        save_index(index, path)
+        import numpy as np
+
+        with np.load(path) as data:
+            arrays = {k: data[k] for k in data.files}
+        arrays["format_version"] = np.int64(FORMAT_VERSION + 1)
+        np.savez(path, **arrays)
+        with pytest.raises(ValueError, match="format"):
+            load_index(path)
+
+    def test_custom_model_rejected(self, rng, tmp_path):
+        class Custom:
+            span = 4
+            key_space = 10
+
+            def position_maps(self):  # pragma: no cover
+                raise NotImplementedError
+
+            def radices(self):  # pragma: no cover
+                raise NotImplementedError
+
+        bank = random_protein_bank(rng, 2, mean_length=40)
+        idx = BankIndex(bank, ContiguousSeedModel(3))
+        idx._model = Custom()
+        with pytest.raises(TypeError, match="cannot persist"):
+            save_index(idx, tmp_path / "c.npz")

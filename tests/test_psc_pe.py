@@ -1,0 +1,101 @@
+"""Processing-element datapath tests (paper Figure 2)."""
+
+import numpy as np
+import pytest
+
+from repro.extend.ungapped import ScoreSemantics, ungapped_score_reference
+from repro.hwsim.kernel import SimulationError
+from repro.hwsim.memory import Rom
+from repro.psc.pe import ProcessingElement
+from repro.seqs.alphabet import encode_protein
+from repro.seqs.matrices import BLOSUM62
+
+ROM = Rom.substitution_rom(BLOSUM62)
+
+
+def loaded_pe(window_text, semantics=ScoreSemantics.KADANE):
+    pe = ProcessingElement(len(window_text), ROM, semantics)
+    pe.begin_load()
+    for r in encode_protein(window_text):
+        pe.load_shift(int(r))
+    return pe
+
+
+class TestLoadPhase:
+    def test_load_sets_loaded_flag(self):
+        pe = ProcessingElement(4, ROM)
+        pe.begin_load()
+        for r in encode_protein("MKVL"):
+            assert not pe.loaded or r == encode_protein("MKVL")[-1]
+            pe.load_shift(int(r))
+        assert pe.loaded
+
+    def test_load_overrun_fatal(self):
+        pe = loaded_pe("MKVL")
+        with pytest.raises(SimulationError, match="load overrun"):
+            pe.load_shift(0)
+
+    def test_compute_before_load_fatal(self):
+        pe = ProcessingElement(4, ROM)
+        with pytest.raises(SimulationError, match="before load"):
+            pe.begin_compute()
+
+
+class TestComputePhase:
+    def test_score_matches_reference(self):
+        s0, s1 = "MKVLAWTR", "MKVLAWTR"
+        pe = loaded_pe(s0)
+        score = pe.compute_window(encode_protein(s1))
+        assert score == ungapped_score_reference(
+            encode_protein(s0), encode_protein(s1)
+        )
+
+    def test_result_only_on_last_cycle(self):
+        pe = loaded_pe("MKVL")
+        pe.begin_compute()
+        outs = [pe.compute_step(int(r)) for r in encode_protein("MKVL")]
+        assert outs[:-1] == [None, None, None]
+        assert outs[-1] is not None
+
+    def test_feedback_loop_reuses_window(self):
+        """The shift-register feedback lets one load serve many computes."""
+        pe = loaded_pe("MKVLAW")
+        first = pe.compute_window(encode_protein("MKVLAW"))
+        second = pe.compute_window(encode_protein("MKVLAW"))
+        third = pe.compute_window(encode_protein("WWWWWW"))
+        assert first == second
+        assert third == ungapped_score_reference(
+            encode_protein("MKVLAW"), encode_protein("WWWWWW")
+        )
+
+    def test_compute_overrun_fatal(self):
+        pe = loaded_pe("MK")
+        pe.compute_window(encode_protein("MK"))
+        with pytest.raises(SimulationError, match="compute overrun"):
+            pe.compute_step(0)
+
+    def test_busy_cycle_accounting(self):
+        pe = loaded_pe("MKVL")
+        pe.compute_window(encode_protein("MKVL"))
+        pe.compute_window(encode_protein("AWTR"))
+        assert pe.busy_cycles == 8
+
+    def test_paper_literal_semantics(self):
+        pe = loaded_pe("WAWA", semantics=ScoreSemantics.PAPER_LITERAL)
+        score = pe.compute_window(encode_protein("WWWW"))
+        assert score == ungapped_score_reference(
+            encode_protein("WAWA"),
+            encode_protein("WWWW"),
+            semantics=ScoreSemantics.PAPER_LITERAL,
+        )
+
+    def test_randomised_against_reference(self, rng):
+        for _ in range(25):
+            L = int(rng.integers(2, 30))
+            w0 = rng.integers(0, 25, L).astype(np.uint8)
+            w1 = rng.integers(0, 25, L).astype(np.uint8)
+            pe = ProcessingElement(L, ROM)
+            pe.begin_load()
+            for r in w0:
+                pe.load_shift(int(r))
+            assert pe.compute_window(w1) == ungapped_score_reference(w0, w1)

@@ -1,0 +1,121 @@
+"""PSC schedule / timing contract tests."""
+
+import numpy as np
+import pytest
+
+from repro.psc.schedule import (
+    ENTRY_OVERHEAD,
+    PscArrayConfig,
+    batch_sizes,
+    drain_completion,
+    entry_cycles,
+    occupancy,
+    schedule_cycles,
+)
+
+
+class TestConfig:
+    def test_n_slots(self):
+        assert PscArrayConfig(n_pes=192, slot_size=8).n_slots == 24
+        assert PscArrayConfig(n_pes=100, slot_size=8).n_slots == 13
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PscArrayConfig(n_pes=0)
+        with pytest.raises(ValueError):
+            PscArrayConfig(window=0)
+
+    def test_seconds_at_clock(self):
+        cfg = PscArrayConfig(clock_hz=100e6)
+        assert cfg.seconds(100_000_000) == pytest.approx(1.0)
+
+
+class TestBatching:
+    def test_batch_sizes(self):
+        assert batch_sizes(10, 4) == [4, 4, 2]
+        assert batch_sizes(4, 4) == [4]
+        assert batch_sizes(3, 4) == [3]
+        assert batch_sizes(0, 4) == []
+
+    def test_entry_cycles_formula(self):
+        cfg = PscArrayConfig(n_pes=4, slot_size=2, window=10)
+        # k0=6 -> 2 batches; cycles = 8 + 6*10 + 2*(5*10 + 3+4)
+        got = entry_cycles(6, 5, cfg)
+        assert int(got) == ENTRY_OVERHEAD + 60 + 2 * (50 + cfg.batch_overhead)
+
+    def test_entry_cycles_vectorised(self):
+        cfg = PscArrayConfig(n_pes=8, window=28)
+        k0 = np.array([1, 8, 9, 100])
+        k1 = np.array([5, 5, 5, 5])
+        got = entry_cycles(k0, k1, cfg)
+        assert got.shape == (4,)
+        assert (np.diff(got) > 0).all()
+
+
+class TestScheduleBreakdown:
+    def test_totals_consistent(self):
+        cfg = PscArrayConfig(n_pes=8, slot_size=4, window=20)
+        k0s = np.array([3, 10, 8])
+        k1s = np.array([7, 2, 5])
+        b = schedule_cycles(k0s, k1s, cfg)
+        per_entry = int(entry_cycles(k0s, k1s, cfg).sum())
+        assert b.schedule_end == per_entry
+        assert b.total_cycles == per_entry + cfg.flush_overhead
+        assert b.load_cycles == int((k0s * 20).sum())
+
+    def test_utilization_bounds(self):
+        cfg = PscArrayConfig(n_pes=16, window=28)
+        k0s = np.array([1, 2, 4])
+        k1s = np.array([10, 10, 10])
+        u = occupancy(k0s, k1s, cfg)
+        assert 0 < u < 1
+        # Full batches -> perfect utilization.
+        assert occupancy(np.array([16]), np.array([10]), cfg) == pytest.approx(1.0)
+
+    def test_more_pes_fewer_cycles_when_saturated(self):
+        k0s = np.array([500, 300])
+        k1s = np.array([50, 80])
+        small = schedule_cycles(k0s, k1s, PscArrayConfig(n_pes=64, window=28))
+        big = schedule_cycles(k0s, k1s, PscArrayConfig(n_pes=192, window=28))
+        assert big.total_cycles < small.total_cycles
+
+    def test_more_pes_useless_when_starved(self):
+        """With K0 << P, extra PEs cannot help — the paper's small-bank
+        efficiency cliff."""
+        k0s = np.array([4, 3, 2])
+        k1s = np.array([100, 100, 100])
+        t64 = schedule_cycles(k0s, k1s, PscArrayConfig(n_pes=64, slot_size=8)).compute_cycles
+        t192 = schedule_cycles(k0s, k1s, PscArrayConfig(n_pes=192, slot_size=8)).compute_cycles
+        assert t64 == t192
+
+    def test_empty_workload(self):
+        cfg = PscArrayConfig()
+        b = schedule_cycles(np.array([], dtype=np.int64), np.array([], dtype=np.int64), cfg)
+        assert b.schedule_end == 0
+        assert b.utilization == 0.0
+
+
+class TestDrainCompletion:
+    def test_no_arrivals(self):
+        assert drain_completion(np.array([], dtype=np.int64), 100) == 100
+
+    def test_sparse_arrivals_hide_in_schedule(self):
+        arr = np.array([10, 50, 90])
+        assert drain_completion(arr, 1000) == 1000
+
+    def test_burst_spills_past_schedule_end(self):
+        # 10 simultaneous arrivals at cycle 95, one drains per cycle.
+        arr = np.full(10, 95)
+        assert drain_completion(arr, 100) == 105
+
+    def test_single_server_recurrence(self):
+        # arrivals at 0,0,0 -> departures 1,2,3.
+        assert drain_completion(np.zeros(3, dtype=np.int64), 0) == 3
+
+    def test_matches_naive_simulation(self, rng):
+        for _ in range(20):
+            arr = np.sort(rng.integers(0, 200, size=rng.integers(1, 40)))
+            dep = 0
+            for a in arr:
+                dep = max(int(a) + 1, dep + 1)
+            assert drain_completion(arr, 150) == max(150, dep)

@@ -1,0 +1,169 @@
+"""RASC-100 platform model tests: ADR, NUMAlink, FPGAs, host model."""
+
+import numpy as np
+import pytest
+
+from repro.hwsim.dma import LinkModel
+from repro.index.kmer import ContiguousSeedModel, TwoBankIndex
+from repro.psc.schedule import PscArrayConfig
+from repro.rasc.adr import AdrBlock, AdrError
+from repro.rasc.host import HostCostModel
+from repro.rasc.numalink import NumalinkFabric, TransferPlan
+from repro.rasc.platform import Rasc100
+from repro.seqs.generate import random_protein_bank
+
+
+class TestAdr:
+    def test_write_read_roundtrip(self):
+        adr = AdrBlock()
+        adr.write("THRESHOLD", 26)
+        assert adr.read("THRESHOLD") == 26
+        assert adr.writes == 1 and adr.reads == 1
+
+    def test_unknown_register(self):
+        adr = AdrBlock()
+        with pytest.raises(AdrError, match="unknown"):
+            adr.read("NOPE")
+        with pytest.raises(AdrError, match="unknown"):
+            adr.write("NOPE", 1)
+
+    def test_read_only_registers(self):
+        adr = AdrBlock()
+        for name in ("STATUS", "RESULT_COUNT", "CYCLE_COUNT"):
+            with pytest.raises(AdrError, match="read-only"):
+                adr.write(name, 1)
+
+    def test_hw_side_can_set_status(self):
+        adr = AdrBlock()
+        adr._hw_set("STATUS", 2)
+        assert adr.read("STATUS") == 2
+
+    def test_configured_flag(self):
+        adr = AdrBlock()
+        assert not adr.configured()
+        adr.write("WINDOW", 28)
+        assert adr.configured()
+
+
+class TestNumalink:
+    def test_exclusive_io_seconds(self):
+        fabric = NumalinkFabric(LinkModel(1e9, 1e-6))
+        t = fabric.io_seconds(TransferPlan(bytes_in=10**6, bytes_out=10**6))
+        assert t == pytest.approx(2e-6 + 2e-3)
+
+    def test_shared_halves_bandwidth(self):
+        fabric = NumalinkFabric(LinkModel(1e9, 0.0))
+        plans = [TransferPlan(10**6, 0), TransferPlan(10**6, 0)]
+        shared = fabric.shared_io_seconds(plans)
+        solo = fabric.io_seconds(plans[0], n_transfers=0)
+        assert shared[0] == pytest.approx(2 * solo)
+
+    def test_record_accumulates(self):
+        fabric = NumalinkFabric()
+        fabric.record(TransferPlan(100, 50))
+        assert fabric.link.accounting.bytes_in == 100
+        assert fabric.link.accounting.bytes_out == 50
+
+
+class TestHostCostModel:
+    def test_step_times_linear_in_counts(self):
+        host = HostCostModel()
+        assert host.step2_seconds(2_000_000) == pytest.approx(
+            2 * host.step2_seconds(1_000_000)
+        )
+
+    def test_steps_bundle(self):
+        host = HostCostModel()
+        s = host.steps(step1_residues=10**6, step2_cells=10**9, step3_cells=10**7)
+        assert s.total == pytest.approx(s.step1 + s.step2 + s.step3)
+        f = s.fractions()
+        assert abs(sum(f) - 1.0) < 1e-12
+        assert f[1] == max(f)  # step 2 dominates at these counts
+
+    def test_calibration_hits_anchor(self):
+        host = HostCostModel.calibrated(step2_anchor=(10**12, 73_492.0))
+        assert host.step2_seconds(10**12) == pytest.approx(73_492.0)
+
+    def test_calibration_partial(self):
+        host = HostCostModel.calibrated(step1_anchor=(10**9, 480.0))
+        assert host.index_ns_per_residue == pytest.approx(480.0)
+        assert host.ungapped_ns_per_cell == HostCostModel().ungapped_ns_per_cell
+
+    def test_zero_fraction_guard(self):
+        s = HostCostModel().steps(0, 0, 0)
+        assert s.fractions() == (0.0, 0.0, 0.0)
+
+
+def make_index(seed=0):
+    rng = np.random.default_rng(seed)
+    b0 = random_protein_bank(rng, 8, mean_length=100, name_prefix="q")
+    b1 = random_protein_bank(rng, 10, mean_length=100, name_prefix="s")
+    return TwoBankIndex.build(b0, b1, ContiguousSeedModel(3))
+
+
+class TestRasc100:
+    CFG = PscArrayConfig(n_pes=8, slot_size=4, window=3 + 2 * 5, threshold=15)
+
+    def test_run_requires_bitstream(self):
+        rasc = Rasc100()
+        with pytest.raises(AdrError, match="no bitstream"):
+            rasc.run_step2(make_index(), flank=5)
+
+    def test_single_fpga_run(self):
+        rasc = Rasc100()
+        rasc.load_bitstream(self.CFG, fpga_id=0)
+        run = rasc.run_step2(make_index(), flank=5)
+        assert len(run.hits) == run.hits.stats.hits
+        assert run.compute_seconds > 0
+        assert run.plan.bytes_in > 0
+        assert run.plan.bytes_out == len(run.hits) * 12
+        # ADR mirrors the run.
+        adr = rasc.fpgas[0].adr
+        assert adr.read("RESULT_COUNT") == len(run.hits)
+        assert adr.read("STATUS") == 2
+
+    def test_cycle_model_fidelity_option(self):
+        rasc_b = Rasc100()
+        rasc_b.load_bitstream(self.CFG, fpga_id=0, model="behavioral")
+        rasc_c = Rasc100()
+        rasc_c.load_bitstream(self.CFG, fpga_id=0, model="cycle")
+        idx = make_index()
+        rb = rasc_b.run_step2(idx, flank=5)
+        rc = rasc_c.run_step2(idx, flank=5)
+        assert np.array_equal(rb.hits.offsets0, rc.hits.offsets0)
+        assert rb.breakdown == rc.breakdown
+
+    def test_bad_model_rejected(self):
+        rasc = Rasc100()
+        with pytest.raises(ValueError, match="unknown model"):
+            rasc.load_bitstream(self.CFG, model="rtl")
+
+    def test_dual_run_wall_time(self):
+        rasc = Rasc100()
+        rasc.load_bitstream(self.CFG, fpga_id=0)
+        rasc.load_bitstream(self.CFG, fpga_id=1)
+        idx0, idx1 = make_index(1), make_index(2)
+        runs, wall = rasc.run_step2_dual([idx0, idx1], flank=5)
+        assert len(runs) == 2
+        # Wall is at least the slower compute, at most the sum plus I/O.
+        assert wall >= max(r.compute_seconds for r in runs)
+        assert wall <= sum(r.compute_seconds for r in runs) + 1.0
+
+    def test_dual_requires_two_workloads(self):
+        rasc = Rasc100()
+        rasc.load_bitstream(self.CFG, fpga_id=0)
+        with pytest.raises(ValueError, match="expected 2"):
+            rasc.run_step2_dual([make_index()], flank=5)
+
+    def test_modeled_step2_matches_behavioural_when_compute_bound(self):
+        rasc = Rasc100()
+        rasc.load_bitstream(self.CFG, fpga_id=0)
+        idx = make_index()
+        run = rasc.run_step2(idx, flank=5)
+        k0s, k1s = idx.list_length_pairs()
+        modeled, breakdown = rasc.modeled_step2_seconds(
+            k0s, k1s, expected_hits=len(run.hits), config=self.CFG
+        )
+        # Statistics-mode schedule excludes the drain tail only.
+        assert breakdown.schedule_end == run.breakdown.schedule_end
+        assert modeled == pytest.approx(run.wall_seconds, rel=0.2)

@@ -1,0 +1,84 @@
+"""Alignment rendering tests."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import SeedComparisonPipeline
+from repro.core.render import alignment_traceback, render_alignment, render_report
+from repro.seqs.generate import make_family, plant_homologs, random_genome
+from repro.seqs.sequence import Sequence, SequenceBank
+from repro.seqs.translate import translated_bank
+
+
+@pytest.fixture(scope="module")
+def rendered_setup():
+    rng = np.random.default_rng(77)
+    fam = make_family(rng, 0, 120, 1, identity_range=(0.75, 0.75))
+    genome = random_genome(rng, 30_000)
+    genome, truth = plant_homologs(rng, genome, [fam])
+    queries = SequenceBank([Sequence("query0", fam.ancestor)])
+    pipe = SeedComparisonPipeline()
+    report = pipe.compare_with_genome(queries, genome)
+    frames = translated_bank(genome)
+    return queries, frames, report
+
+
+class TestTraceback:
+    def test_traceback_score_matches_report(self, rendered_setup):
+        queries, frames, report = rendered_setup
+        best = report.best(1)[0]
+        tb = alignment_traceback(queries, frames, best)
+        # SW within the reported ranges reproduces the X-drop optimum.
+        assert tb.score == best.raw_score
+
+    def test_traceback_strings_well_formed(self, rendered_setup):
+        queries, frames, report = rendered_setup
+        tb = alignment_traceback(queries, frames, report.best(1)[0])
+        assert len(tb.aligned0) == len(tb.aligned1)
+        assert not (set(tb.aligned0) - set("ARNDCQEGHILKMFPSTWYVBZX*-"))
+
+
+class TestRenderAlignment:
+    def test_blast_style_block(self, rendered_setup):
+        queries, frames, report = rendered_setup
+        best = report.best(1)[0]
+        text = render_alignment(queries, frames, best, width=50)
+        assert text.startswith(f">{best.seq0_name} vs {best.seq1_name}")
+        assert "Score =" in text and "Expect =" in text
+        assert "Identities =" in text and "Positives =" in text
+        assert "Query  " in text and "Sbjct  " in text
+
+    def test_line_width_respected(self, rendered_setup):
+        queries, frames, report = rendered_setup
+        text = render_alignment(queries, frames, report.best(1)[0], width=40)
+        for line in text.splitlines():
+            if line.startswith(("Query", "Sbjct")):
+                seq_part = line.split()[2]
+                assert len(seq_part) <= 40
+
+    def test_coordinates_continuous(self, rendered_setup):
+        """End coordinate of one chunk + 1 equals start of the next."""
+        queries, frames, report = rendered_setup
+        text = render_alignment(queries, frames, report.best(1)[0], width=30)
+        q_lines = [l.split() for l in text.splitlines() if l.startswith("Query")]
+        for prev, cur in zip(q_lines, q_lines[1:]):
+            assert int(cur[1]) == int(prev[3]) + 1
+
+    def test_identity_counts_sane(self, rendered_setup):
+        queries, frames, report = rendered_setup
+        best = report.best(1)[0]
+        text = render_alignment(queries, frames, best)
+        # ~75% planted identity => identities above half the columns.
+        import re
+
+        m = re.search(r"Identities = (\d+)/(\d+)", text)
+        ident, cols = int(m.group(1)), int(m.group(2))
+        assert 0.5 < ident / cols <= 1.0
+
+
+class TestRenderReport:
+    def test_header_and_blocks(self, rendered_setup):
+        queries, frames, report = rendered_setup
+        text = render_report(queries, frames, report, max_alignments=3)
+        assert text.startswith("# ")
+        assert text.count(">query0 vs") == min(3, len(report))

@@ -1,0 +1,82 @@
+"""Result container tests."""
+
+from repro.core.results import Alignment, ComparisonReport
+
+
+def mk(seq0=0, seq1=0, s0=0, e0=10, s1=0, e1=10, raw=50, ev=1e-5):
+    return Alignment(
+        seq0_id=seq0,
+        seq0_name=f"q{seq0}",
+        start0=s0,
+        end0=e0,
+        seq1_id=seq1,
+        seq1_name=f"s{seq1}",
+        start1=s1,
+        end1=e1,
+        raw_score=raw,
+        bit_score=raw * 0.4,
+        evalue=ev,
+    )
+
+
+class TestAlignment:
+    def test_spans(self):
+        a = mk(s0=5, e0=25, s1=3, e1=20)
+        assert a.span0 == 20
+        assert a.span1 == 17
+
+    def test_overlap_same_pair(self):
+        a = mk(s0=0, e0=10, s1=0, e1=10)
+        b = mk(s0=5, e0=15, s1=5, e1=15)
+        assert a.overlaps(b) and b.overlaps(a)
+
+    def test_no_overlap_disjoint_ranges(self):
+        a = mk(s0=0, e0=10, s1=0, e1=10)
+        b = mk(s0=20, e0=30, s1=20, e1=30)
+        assert not a.overlaps(b)
+
+    def test_no_overlap_different_pair(self):
+        a = mk(seq1=0)
+        b = mk(seq1=1)
+        assert not a.overlaps(b)
+
+    def test_overlap_requires_both_axes(self):
+        a = mk(s0=0, e0=10, s1=0, e1=10)
+        b = mk(s0=5, e0=15, s1=50, e1=60)
+        assert not a.overlaps(b)
+
+
+class TestReport:
+    def test_sort_by_evalue_then_score(self):
+        r = ComparisonReport(
+            alignments=[mk(ev=1e-3, raw=10), mk(ev=1e-9, raw=5), mk(ev=1e-3, raw=99)]
+        )
+        r.sort()
+        assert [a.evalue for a in r] == [1e-9, 1e-3, 1e-3]
+        assert r.alignments[1].raw_score == 99
+
+    def test_for_query_filters(self):
+        r = ComparisonReport(alignments=[mk(seq0=0), mk(seq0=1), mk(seq0=0)])
+        assert len(r.for_query(0)) == 2
+        assert len(r.for_query(2)) == 0
+
+    def test_best_truncates(self):
+        r = ComparisonReport(alignments=[mk() for _ in range(10)])
+        assert len(r.best(3)) == 3
+
+    def test_merged_accumulates(self):
+        r1 = ComparisonReport(alignments=[mk(ev=1e-5)], n_seed_pairs=10, n_ungapped_hits=2)
+        r2 = ComparisonReport(
+            alignments=[mk(ev=1e-8)], n_seed_pairs=20, n_gapped_extensions=3
+        )
+        m = ComparisonReport.merged([r1, r2])
+        assert len(m) == 2
+        assert m.n_seed_pairs == 30
+        assert m.n_ungapped_hits == 2
+        assert m.n_gapped_extensions == 3
+        assert m.alignments[0].evalue == 1e-8  # re-sorted
+
+    def test_len_and_iter(self):
+        r = ComparisonReport(alignments=[mk(), mk()])
+        assert len(r) == 2
+        assert len(list(iter(r))) == 2

@@ -1,0 +1,138 @@
+"""Sequence and SequenceBank tests."""
+
+import numpy as np
+import pytest
+
+from repro.seqs.alphabet import AMINO, DNA, GAP_CODE
+from repro.seqs.sequence import BankBuilder, Sequence, SequenceBank
+
+
+def make_bank(texts, pad=8):
+    return SequenceBank(
+        [Sequence.from_text(f"s{i}", t) for i, t in enumerate(texts)], pad=pad
+    )
+
+
+class TestSequence:
+    def test_from_text_roundtrip(self):
+        s = Sequence.from_text("a", "MKVLA")
+        assert s.text() == "MKVLA"
+        assert len(s) == 5
+
+    def test_codes_are_uint8_contiguous(self):
+        s = Sequence("a", np.array([1, 2, 3], dtype=np.int64))
+        assert s.codes.dtype == np.uint8
+        assert s.codes.flags.c_contiguous
+
+    def test_description_preserved(self):
+        s = Sequence.from_text("a", "MK", description="hello world")
+        assert s.description == "hello world"
+
+
+class TestBankLayout:
+    def test_buffer_padding(self):
+        bank = make_bank(["MKV", "AW"], pad=4)
+        buf = bank.buffer
+        # Leading pad, between-sequence pad, trailing pad are all GAP_CODE.
+        assert (buf[:4] == GAP_CODE).all()
+        assert bank.starts[0] == 4
+        assert (buf[7:11] == GAP_CODE).all()
+        assert bank.starts[1] == 11
+        assert (buf[13:] == GAP_CODE).all()
+
+    def test_lengths_and_total(self):
+        bank = make_bank(["MKV", "AW", "RNDC"])
+        assert list(bank.lengths) == [3, 2, 4]
+        assert bank.total_residues == 9
+        assert len(bank) == 3
+
+    def test_getitem_roundtrip(self):
+        bank = make_bank(["MKV", "AW"])
+        assert bank[0].text() == "MKV"
+        assert bank[1].text() == "AW"
+        assert bank[1].name == "s1"
+
+    def test_iteration(self):
+        bank = make_bank(["MKV", "AW"])
+        assert [s.text() for s in bank] == ["MKV", "AW"]
+
+    def test_buffer_is_readonly(self):
+        bank = make_bank(["MKV"])
+        with pytest.raises(ValueError):
+            bank.buffer[0] = 1
+
+    def test_alphabet_mismatch_rejected(self):
+        dna_seq = Sequence.from_text("d", "ACGT", DNA)
+        with pytest.raises(ValueError, match="alphabet"):
+            SequenceBank([dna_seq], AMINO)
+
+    def test_bad_pad_rejected(self):
+        with pytest.raises(ValueError, match="pad"):
+            make_bank(["MKV"], pad=0)
+
+    def test_empty_bank(self):
+        bank = SequenceBank([], AMINO, pad=4)
+        assert len(bank) == 0
+        assert bank.total_residues == 0
+        assert bank.buffer.shape == (4,)
+
+
+class TestOffsetArithmetic:
+    def test_seq_id_of(self):
+        bank = make_bank(["MKV", "AW"], pad=4)
+        # global offsets of residues: s0 at 4..6, s1 at 11..12
+        assert list(bank.seq_id_of(np.array([4, 6, 11, 12]))) == [0, 0, 1, 1]
+
+    def test_local_position(self):
+        bank = make_bank(["MKV", "AW"], pad=4)
+        assert list(bank.local_position(np.array([4, 6, 12]))) == [0, 2, 1]
+
+    def test_global_offset_roundtrip(self):
+        bank = make_bank(["MKV", "AW"], pad=4)
+        g = bank.global_offset(1, 1)
+        assert bank.seq_id_of(np.array([g]))[0] == 1
+        assert bank.local_position(np.array([g]))[0] == 1
+
+    def test_global_offset_out_of_range(self):
+        bank = make_bank(["MKV"])
+        with pytest.raises(IndexError):
+            bank.global_offset(0, 3)
+
+
+class TestWindows:
+    def test_window_content(self):
+        bank = make_bank(["MKVLA"], pad=4)
+        w = bank.windows(np.array([bank.global_offset(0, 1)]), left=1, width=3)
+        assert AMINO.decode(w[0]) == "MKV"
+
+    def test_window_into_padding(self):
+        bank = make_bank(["MKV"], pad=4)
+        w = bank.windows(np.array([bank.global_offset(0, 0)]), left=2, width=5)
+        assert AMINO.decode(w[0]) == "--MKV"
+
+    def test_window_out_of_buffer_raises(self):
+        bank = make_bank(["MKV"], pad=2)
+        with pytest.raises(IndexError, match="pad"):
+            bank.windows(np.array([bank.global_offset(0, 0)]), left=5, width=10)
+
+    def test_windows_batch_shape(self):
+        bank = make_bank(["MKVLAMKVLA"], pad=8)
+        offs = bank.starts[0] + np.arange(5)
+        w = bank.windows(offs, left=2, width=6)
+        assert w.shape == (5, 6)
+
+    def test_empty_offsets(self):
+        bank = make_bank(["MKV"])
+        w = bank.windows(np.empty(0, dtype=np.int64), left=1, width=3)
+        assert w.shape == (0, 3)
+
+
+class TestBankBuilder:
+    def test_builder_mixed_inputs(self):
+        b = BankBuilder(pad=4)
+        b.add("a", "MKV")
+        b.add("b", np.array([0, 1], dtype=np.uint8))
+        assert len(b) == 2
+        bank = b.build()
+        assert bank[0].text() == "MKV"
+        assert bank[1].text() == "AR"

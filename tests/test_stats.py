@@ -1,0 +1,97 @@
+"""Karlin-Altschul statistics tests."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.extend.stats import (
+    GAPPED_PARAMS,
+    KarlinParams,
+    effective_search_space,
+    evalue,
+    gapped_params,
+    karlin_lambda,
+    ungapped_params,
+)
+from repro.seqs.matrices import BLOSUM45, BLOSUM62, BLOSUM80, SubstitutionMatrix
+
+
+class TestLambda:
+    def test_blosum62_matches_ncbi(self):
+        """NCBI publishes λ=0.3176 for ungapped BLOSUM62."""
+        lam = karlin_lambda(BLOSUM62)
+        assert abs(lam - 0.3176) < 0.001
+
+    def test_blosum80_larger_lambda(self):
+        # Harder matrices (higher target identity) have larger λ.
+        assert karlin_lambda(BLOSUM80) > karlin_lambda(BLOSUM62)
+        assert karlin_lambda(BLOSUM62) > karlin_lambda(BLOSUM45)
+
+    def test_lambda_solves_equation(self):
+        from repro.seqs.generate import ROBINSON_FREQUENCIES
+
+        lam = karlin_lambda(BLOSUM62)
+        p = ROBINSON_FREQUENCIES
+        s = BLOSUM62.scores[:20, :20].astype(float)
+        val = float((np.outer(p, p) * np.exp(lam * s)).sum())
+        assert abs(val - 1.0) < 1e-6
+
+    def test_non_negative_expectation_rejected(self):
+        silly = SubstitutionMatrix("silly", np.ones((25, 25), dtype=np.int8))
+        with pytest.raises(ValueError, match="non-negative expected"):
+            karlin_lambda(silly)
+
+
+class TestParams:
+    def test_ungapped_params_entropy_positive(self):
+        p = ungapped_params(BLOSUM62)
+        assert p.h > 0
+        assert 0 < p.k < 1
+
+    def test_gapped_lookup(self):
+        p = gapped_params("BLOSUM62", 11, 1)
+        assert p.lam == pytest.approx(0.267)
+        assert p.k == pytest.approx(0.041)
+
+    def test_gapped_lookup_case_insensitive(self):
+        assert gapped_params("blosum62", 11, 1) is GAPPED_PARAMS[("BLOSUM62", 11, 1)]
+
+    def test_unknown_combo_falls_back(self):
+        p = gapped_params("BLOSUM62", 99, 9)
+        assert p is GAPPED_PARAMS[("BLOSUM62", 11, 1)]
+
+    def test_bit_score_formula(self):
+        p = KarlinParams(lam=0.267, k=0.041)
+        bits = p.bit_score(100)
+        expected = (0.267 * 100 - math.log(0.041)) / math.log(2)
+        assert bits == pytest.approx(expected)
+
+
+class TestEvalue:
+    PARAMS = GAPPED_PARAMS[("BLOSUM62", 11, 1)]
+
+    def test_monotone_decreasing_in_score(self):
+        es = [evalue(s, 300, 10**7, self.PARAMS) for s in (30, 50, 80, 120)]
+        assert es == sorted(es, reverse=True)
+
+    def test_monotone_increasing_in_space(self):
+        assert evalue(60, 300, 10**8, self.PARAMS) > evalue(
+            60, 300, 10**6, self.PARAMS
+        )
+
+    def test_search_space_edge_correction(self):
+        raw = 300 * 10**6
+        eff = effective_search_space(300, 10**6, self.PARAMS)
+        assert 0 < eff < raw
+
+    def test_tiny_sequences_floor(self):
+        assert effective_search_space(2, 3, self.PARAMS) >= 1.0
+
+    def test_zero_space(self):
+        assert effective_search_space(0, 100, self.PARAMS) == 0.0
+
+    def test_typical_hit_is_significant(self):
+        # A raw score of 150 in a 300×10^7 search is overwhelmingly
+        # significant at E=1e-3 — sanity anchor for pipeline cutoffs.
+        assert evalue(150, 300, 10**7, self.PARAMS) < 1e-3

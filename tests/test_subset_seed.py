@@ -1,0 +1,105 @@
+"""Subset seed model tests."""
+
+import numpy as np
+import pytest
+
+from repro.index.kmer import BankIndex, TwoBankIndex, extract_keys
+from repro.index.subset_seed import (
+    DEFAULT_SUBSET_SEED,
+    EXACT,
+    MURPHY4,
+    MURPHY10,
+    Partition,
+    SubsetSeedModel,
+)
+from repro.seqs.alphabet import AMINO
+from repro.seqs.sequence import Sequence, SequenceBank
+
+
+class TestPartition:
+    def test_exact_partition(self):
+        m = EXACT.digit_map()
+        assert EXACT.n_groups == 20
+        # Each canonical residue gets its own group.
+        assert len(set(m[:20].tolist())) == 20
+        # Ambiguity codes are invalid.
+        assert (m[20:] == -1).all()
+
+    def test_murphy10_groups(self):
+        m = MURPHY10.digit_map()
+        enc = lambda ch: int(AMINO.encode(ch)[0])
+        # L, V, I, M share a group.
+        assert m[enc("L")] == m[enc("V")] == m[enc("I")] == m[enc("M")]
+        # K, R share a group distinct from E.
+        assert m[enc("K")] == m[enc("R")]
+        assert m[enc("K")] != m[enc("E")]
+
+    def test_partitions_cover_all_canonical(self):
+        for p in (EXACT, MURPHY10, MURPHY4):
+            m = p.digit_map()
+            assert (m[:20] >= 0).all(), p.symbol
+
+
+class TestSubsetSeedModel:
+    def test_key_space_product(self):
+        s = SubsetSeedModel.from_pattern("#1")
+        assert s.key_space == 20 * 10
+
+    def test_default_seed_span4(self):
+        assert DEFAULT_SUBSET_SEED.span == 4
+        assert DEFAULT_SUBSET_SEED.key_space == 20 * 10 * 10 * 20
+
+    def test_weight(self):
+        assert abs(SubsetSeedModel.from_pattern("####").weight() - 4.0) < 1e-9
+        w = DEFAULT_SUBSET_SEED.weight()
+        assert 3.0 < w < 4.0
+
+    def test_unknown_symbol_rejected(self):
+        with pytest.raises(KeyError, match="unknown seed symbol"):
+            SubsetSeedModel.from_pattern("#z")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one"):
+            SubsetSeedModel([])
+
+    def test_keys_unique_per_group_combination(self):
+        s = SubsetSeedModel.from_pattern("#4")
+        keys = set()
+        for a in "ARN":
+            for b in "LAFE":  # one residue from each Murphy4 group
+                k, valid = extract_keys(AMINO.encode(a + b), s)
+                assert valid[0]
+                keys.add(int(k[0]))
+        assert len(keys) == 12  # 3 exact × 4 groups
+
+    def test_group_equivalence_produces_equal_keys(self):
+        s = SubsetSeedModel.from_pattern("#1#1")
+        k1, v1 = extract_keys(AMINO.encode("ALAL"), s)
+        k2, v2 = extract_keys(AMINO.encode("AVAV"), s)  # L~V in Murphy10
+        k3, v3 = extract_keys(AMINO.encode("AKAK"), s)  # K not ~ L
+        assert v1[0] and v2[0] and v3[0]
+        assert k1[0] == k2[0]
+        assert k1[0] != k3[0]
+
+
+class TestSubsetSeedSensitivity:
+    def test_subset_seed_matches_more_homolog_pairs(self, rng):
+        """Coarse positions must recover seeds lost to conservative
+        substitutions — the stated motivation for subset seeds."""
+        from repro.seqs.generate import mutate_protein, random_protein
+
+        p = random_protein(rng, 4000)
+        q = mutate_protein(rng, p, identity=0.6, indel_rate=0.0)
+        b0 = SequenceBank([Sequence("p", p)], pad=16)
+        b1 = SequenceBank([Sequence("q", q)], pad=16)
+        from repro.index.kmer import ContiguousSeedModel
+
+        exact = TwoBankIndex.build(b0, b1, ContiguousSeedModel(4)).total_pairs
+        subset = TwoBankIndex.build(b0, b1, DEFAULT_SUBSET_SEED).total_pairs
+        assert subset > exact
+
+    def test_index_integration(self, small_banks):
+        b0, b1 = small_banks
+        idx = BankIndex(b0, DEFAULT_SUBSET_SEED)
+        assert idx.n_anchors > 0
+        assert int(idx.unique_keys.max()) < DEFAULT_SUBSET_SEED.key_space

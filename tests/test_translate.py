@@ -1,0 +1,131 @@
+"""Genetic code and translation tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.seqs.alphabet import DNA, STOP_CODE, UNKNOWN_AA_CODE, decode_protein, encode_dna
+from repro.seqs.sequence import Sequence
+from repro.seqs.translate import (
+    STANDARD_CODE,
+    GeneticCode,
+    codon_of,
+    reverse_complement,
+    translate,
+    translate_six_frames,
+    translated_bank,
+)
+
+
+class TestGeneticCode:
+    def test_known_codons(self):
+        cases = {
+            "ATG": "M",
+            "TGG": "W",
+            "TAA": "*",
+            "TAG": "*",
+            "TGA": "*",
+            "GCT": "A",
+            "AAA": "K",
+            "TTT": "F",
+        }
+        for codon, aa in cases.items():
+            got = STANDARD_CODE.translate_codes(encode_dna(codon))
+            assert decode_protein(got) == aa, codon
+
+    def test_exactly_three_stops(self):
+        assert int((STANDARD_CODE.table == STOP_CODE).sum()) == 3
+
+    def test_all_twenty_amino_acids_encoded(self):
+        assert set(range(20)) <= set(STANDARD_CODE.table.tolist())
+
+    def test_n_codon_gives_x(self):
+        got = STANDARD_CODE.translate_codes(encode_dna("ANG"))
+        assert got[0] == UNKNOWN_AA_CODE
+
+    def test_partial_codon_dropped(self):
+        assert STANDARD_CODE.translate_codes(encode_dna("ATGGC")).shape == (1,)
+
+    def test_empty(self):
+        assert STANDARD_CODE.translate_codes(encode_dna("")).shape == (0,)
+
+    def test_incomplete_mapping_rejected(self):
+        with pytest.raises(ValueError, match="64"):
+            GeneticCode.from_mapping("bad", {"ATG": "M"})
+
+
+class TestReverseComplement:
+    def test_basic(self):
+        rc = reverse_complement(encode_dna("AACGT"))
+        assert DNA.decode(rc) == "ACGTT"
+
+    def test_n_preserved(self):
+        assert DNA.decode(reverse_complement(encode_dna("ANT"))) == "ANT"
+
+    @given(st.text(alphabet="ACGTN", max_size=100))
+    def test_involution(self, text):
+        nt = encode_dna(text)
+        assert np.array_equal(reverse_complement(reverse_complement(nt)), nt)
+
+
+class TestFrames:
+    def test_forward_frames(self):
+        nt = encode_dna("ATGGCCTAA")  # M A *
+        assert decode_protein(translate(nt, 1)) == "MA*"
+        assert decode_protein(translate(nt, 2)) == "WP"  # TGG CCT
+        assert decode_protein(translate(nt, 3)) == "GL"  # GGC CTA
+
+    def test_reverse_frame_is_forward_of_rc(self):
+        nt = encode_dna("ATGGCCTAAGCT")
+        rc = reverse_complement(nt)
+        for f in (1, 2, 3):
+            assert np.array_equal(translate(nt, -f), translate(rc, f))
+
+    def test_bad_frame_rejected(self):
+        with pytest.raises(ValueError, match="frame"):
+            translate(encode_dna("ATG"), 4)
+
+    def test_six_frames_lengths(self):
+        nt = encode_dna("A" * 100)
+        frames = translate_six_frames(nt)
+        assert set(frames) == {1, 2, 3, -1, -2, -3}
+        assert [len(frames[f]) for f in (1, 2, 3)] == [33, 33, 32]
+
+    def test_translated_bank_names(self):
+        genome = Sequence.from_text("chr", "ATG" * 30, DNA)
+        bank = translated_bank(genome)
+        assert len(bank) == 6
+        assert "chr|frame+1" in bank.names
+        assert "chr|frame-3" in bank.names
+
+    def test_translated_bank_requires_dna(self):
+        with pytest.raises(ValueError, match="DNA"):
+            translated_bank(Sequence.from_text("p", "MKV"))
+
+
+class TestCodonOf:
+    def test_forward(self):
+        assert codon_of(1, 0, 99) == 0
+        assert codon_of(1, 5, 99) == 15
+        assert codon_of(3, 2, 99) == 8
+
+    def test_reverse(self):
+        L = 99
+        # Residue 0 of frame -1 comes from the last base of the genome.
+        assert codon_of(-1, 0, L) == L - 1
+        assert codon_of(-2, 0, L) == L - 2
+
+    def test_planted_orf_found_in_correct_frame(self):
+        # Place a known peptide at a codon boundary and read it back.
+        pep = "MKVLAWTRQ"
+        from repro.seqs.generate import reverse_translate
+
+        rng = np.random.default_rng(0)
+        from repro.seqs.alphabet import encode_protein
+
+        nt = reverse_translate(rng, encode_protein(pep))
+        pad = encode_dna("ACGTAC")  # 6 nt -> peptide starts at offset 6, frame +1
+        genome = np.concatenate([pad, nt])
+        aa = translate(genome, 1)
+        assert pep in decode_protein(aa)
