@@ -46,6 +46,14 @@ def build_parser() -> argparse.ArgumentParser:
             "--threshold", type=int, default=45, help="ungapped score threshold"
         )
         sp.add_argument("--flank", type=int, default=12, help="window flank N")
+        sp.add_argument(
+            "--workers", type=int, default=1,
+            help="step-2 shard processes (1 = in-process batched scoring)",
+        )
+        sp.add_argument(
+            "--batch-pairs", type=int, default=1 << 20,
+            help="max seed pairs per step-2 kernel batch",
+        )
         sp.add_argument("--max-hits", type=int, default=25, help="alignments to print")
         sp.add_argument(
             "--render", type=int, default=0, metavar="N",
@@ -110,6 +118,8 @@ def _load_compare_inputs(args):
         flank=args.flank,
         ungapped_threshold=args.threshold,
         max_evalue=args.evalue,
+        workers=getattr(args, "workers", 1),
+        pair_chunk=getattr(args, "batch_pairs", 1 << 20),
     )
     return queries, genome, config
 
@@ -121,6 +131,17 @@ def _cmd_compare(args) -> int:
     _print_report(report, args.max_hits)
     f1, f2, f3 = pipe.profile.wall_fractions()
     print(f"# wall profile: step1={f1:.1%} step2={f2:.1%} step3={f3:.1%}")
+    if config.workers > 1:
+        shards = pipe.profile.step2_shards
+        imb = pipe.profile.step2_shard_imbalance()
+        print(
+            f"# step2 shards: {len(shards)} workers, imbalance={imb:.2f}"
+        )
+        for s in shards:
+            print(
+                f"#   shard {s.shard}: entries={s.entries} pairs={s.pairs} "
+                f"hits={s.hits} batches={s.batches} wall={s.wall_seconds:.3f}s"
+            )
     if args.render:
         from .core.render import render_alignment
         from .seqs.translate import translated_bank

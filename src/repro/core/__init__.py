@@ -2,11 +2,17 @@
 comparison pipeline, its configuration, results and work partitioning."""
 
 from .config import PipelineConfig
+from .executor import ShardedStep2Executor
 from .modes import BlastFamilySearch, SearchMode, translate_queries
 from .render import alignment_traceback, render_alignment, render_report
-from .partition import partition_imbalance, split_bank, split_entries
+from .partition import (
+    partition_imbalance,
+    split_bank,
+    split_entries,
+    split_entries_contiguous,
+)
 from .pipeline import SeedComparisonPipeline, gapped_stage
-from .profile import PipelineProfile, StepCounters
+from .profile import PipelineProfile, ShardTiming, StepCounters
 from .results import Alignment, ComparisonReport
 
 __all__ = [
@@ -18,12 +24,15 @@ __all__ = [
     "render_report",
     "alignment_traceback",
     "SeedComparisonPipeline",
+    "ShardedStep2Executor",
     "gapped_stage",
     "Alignment",
     "ComparisonReport",
     "PipelineProfile",
+    "ShardTiming",
     "StepCounters",
     "split_bank",
     "split_entries",
+    "split_entries_contiguous",
     "partition_imbalance",
 ]

@@ -45,6 +45,15 @@ class PipelineConfig:
         Step-3 affine penalties and X-drop bound.
     max_evalue:
         Final report cut-off (the paper compares at ``E = 10⁻³``).
+    pair_chunk:
+        Step-2 batch budget: maximum seed pairs per kernel invocation
+        (the CLI's ``--batch-pairs``).  Bounds the batched engine's
+        transient memory at roughly ``3 × 8 bytes × pair_chunk``.
+    workers:
+        Step-2 shard count (the CLI's ``--workers``).  ``1`` scores
+        in-process; ``N > 1`` fans the key space out over N worker
+        processes — the software generalisation of the paper's 2-FPGA
+        partitioning — with bit-identical output for any value.
     """
 
     seed_model: SeedModel = field(default_factory=lambda: DEFAULT_SUBSET_SEED)
@@ -56,11 +65,17 @@ class PipelineConfig:
     gapped_x_drop: int = 38
     max_evalue: float = 1e-3
     pair_chunk: int = 1 << 20
+    workers: int = 1
 
     @property
     def window(self) -> int:
         """Step-2 window width ``W + 2N``."""
         return self.seed_model.span + 2 * self.flank
+
+    @property
+    def batch_pairs(self) -> int:
+        """Alias of :attr:`pair_chunk` under its CLI-facing name."""
+        return self.pair_chunk
 
     def ungapped_config(self) -> UngappedConfig:
         """Derive the step-2 kernel configuration."""

@@ -1,0 +1,250 @@
+"""Sharded multiprocess step-2 execution.
+
+The paper scales step 2 by partitioning the workload across two FPGAs
+driven by independent host processes (Table 3); Nguyen & Lavenier's
+fine-grained parallelization generalises the same idea to N compute
+units.  :class:`ShardedStep2Executor` is that architecture in software:
+
+* the joint index's shared-key list is cut into ``workers`` contiguous,
+  pair-balanced shards (:func:`~repro.core.partition.split_entries_contiguous`
+  — shards ↔ FPGAs);
+* the two bank buffers are published once in POSIX shared memory, so
+  worker processes map them instead of unpickling per-task copies (the
+  analogue of banks staged once in board SRAM);
+* each worker drives the batched engine
+  (:class:`~repro.extend.batched.BatchedUngappedEngine`) over its shard's
+  entry lists (batch ↔ one PE-array fill);
+* results merge on the host **in shard order**, which — because shards
+  are contiguous runs of the ascending shared-key list — reproduces the
+  single-process emission order bit for bit.
+
+Per-shard wall time, entry/pair/hit counts and batch shapes are exposed
+as :class:`~repro.core.profile.ShardTiming` records for the profile
+benches.
+"""
+
+from __future__ import annotations
+
+import time
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterator
+
+import numpy as np
+
+from ..extend.batched import BatchedUngappedEngine
+from ..extend.ungapped import UngappedConfig, UngappedHits, UngappedStats
+from ..index.kmer import TwoBankIndex
+from .partition import split_entries_contiguous
+from .profile import ShardTiming
+
+__all__ = ["ShardedStep2Executor"]
+
+#: Per-process worker state installed by the pool initializer.
+_WORKER: dict = {}
+
+
+def _pool_context():
+    """Multiprocessing context for the pool.
+
+    Prefer ``fork``: workers then share the parent's resource tracker, and
+    the parent's single create/unlink pair manages each segment.  Where
+    fork does not exist (Windows) fall back to ``spawn``; there every
+    worker runs its own tracker, whose attach-time registration must be
+    undone or it unlinks the segment when the worker exits.  Returns
+    ``(context, unregister_in_worker)``.
+    """
+    import multiprocessing as mp
+
+    try:
+        return mp.get_context("fork"), False
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return mp.get_context("spawn"), True
+
+
+def _attach_shared(name: str, unregister: bool):
+    """Attach a shared-memory block, optionally disowning its cleanup.
+
+    Only the parent owns the segment's lifetime; with a per-worker
+    resource tracker (spawn), unregistering here stops that tracker from
+    racing the parent's unlink.
+    """
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=name)
+    if unregister:  # pragma: no cover - spawn-only path
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(
+                getattr(shm, "_name", shm.name), "shared_memory"
+            )
+        except Exception:
+            pass
+    return shm
+
+
+def _init_worker(name0: str, size0: int, name1: str, size1: int,
+                 config: UngappedConfig, unregister: bool) -> None:
+    """Pool initializer: map both bank buffers and keep the config."""
+    shm0 = _attach_shared(name0, unregister)
+    shm1 = _attach_shared(name1, unregister)
+    _WORKER["shm"] = (shm0, shm1)  # keep alive for the process lifetime
+    _WORKER["buf0"] = np.ndarray((size0,), dtype=np.uint8, buffer=shm0.buf)
+    _WORKER["buf1"] = np.ndarray((size1,), dtype=np.uint8, buffer=shm1.buf)
+    _WORKER["config"] = config
+
+
+def _entry_stream(
+    offsets0: np.ndarray,
+    counts0: np.ndarray,
+    offsets1: np.ndarray,
+    counts1: np.ndarray,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Re-segment a shard payload into per-entry (IL0, IL1) list pairs."""
+    b0 = np.concatenate(([0], np.cumsum(counts0, dtype=np.int64)))
+    b1 = np.concatenate(([0], np.cumsum(counts1, dtype=np.int64)))
+    for i in range(counts0.shape[0]):
+        yield offsets0[b0[i] : b0[i + 1]], offsets1[b1[i] : b1[i + 1]]
+
+
+def _score_shard(
+    shard: int,
+    offsets0: np.ndarray,
+    counts0: np.ndarray,
+    offsets1: np.ndarray,
+    counts1: np.ndarray,
+) -> tuple:
+    """Worker task: batched-score one shard against the mapped buffers."""
+    t0 = time.perf_counter()
+    engine = BatchedUngappedEngine(_WORKER["config"])
+    hits = engine.run_stream(
+        _WORKER["buf0"],
+        _WORKER["buf1"],
+        _entry_stream(offsets0, counts0, offsets1, counts1),
+    )
+    wall = time.perf_counter() - t0
+    s = hits.stats
+    return (
+        shard,
+        hits.offsets0,
+        hits.offsets1,
+        hits.scores,
+        (s.entries, s.pairs, s.cells, s.hits),
+        wall,
+        engine.telemetry.batches,
+        engine.telemetry.max_batch_pairs,
+    )
+
+
+class ShardedStep2Executor:
+    """Step-2 engine fanning the batched kernel out over worker processes.
+
+    Parameters
+    ----------
+    config:
+        Step-2 kernel configuration (window, threshold, batch budget …).
+    workers:
+        Process count.  ``1`` runs the batched engine in-process (no pool,
+        no shared memory); ``N > 1`` shards the key space over a
+        ``ProcessPoolExecutor``.
+
+    The merged :class:`~repro.extend.ungapped.UngappedHits` is bit-identical
+    — offsets, scores and order — to the single-process batched run for any
+    worker count.  :attr:`last_timings` holds one
+    :class:`~repro.core.profile.ShardTiming` per shard of the latest run.
+    """
+
+    def __init__(self, config: UngappedConfig | None = None, workers: int = 1) -> None:
+        self.config = config or UngappedConfig()
+        self.workers = max(1, int(workers))
+        #: Per-shard timings of the most recent :meth:`run`.
+        self.last_timings: list[ShardTiming] = []
+
+    def run(self, index: TwoBankIndex) -> UngappedHits:
+        """Run step 2 over *index*, sharded across the configured workers."""
+        n_entries = index.n_shared_keys
+        if self.workers == 1 or n_entries < 2 * self.workers:
+            # Pool overhead cannot pay for itself on a near-empty work list.
+            return self._run_local(index)
+        try:
+            return self._run_pool(index)
+        except (OSError, PermissionError) as exc:  # pragma: no cover
+            # Restricted environments (no /dev/shm, no forks): degrade to
+            # the identical-output single-process path rather than fail.
+            warnings.warn(
+                f"sharded step-2 pool unavailable ({exc!r}); "
+                "falling back to in-process execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return self._run_local(index)
+
+    # ------------------------------------------------------------------
+    def _run_local(self, index: TwoBankIndex) -> UngappedHits:
+        t0 = time.perf_counter()
+        engine = BatchedUngappedEngine(self.config)
+        hits = engine.run(index)
+        self.last_timings = [
+            ShardTiming(
+                shard=0,
+                entries=hits.stats.entries,
+                pairs=hits.stats.pairs,
+                hits=hits.stats.hits,
+                wall_seconds=time.perf_counter() - t0,
+                batches=engine.telemetry.batches,
+                max_batch_pairs=engine.telemetry.max_batch_pairs,
+            )
+        ]
+        return hits
+
+    def _run_pool(self, index: TwoBankIndex) -> UngappedHits:
+        from multiprocessing import shared_memory
+
+        ranges = split_entries_contiguous(index, self.workers)
+        ctx, unregister = _pool_context()
+        buf0 = index.index0.bank.buffer
+        buf1 = index.index1.bank.buffer
+        shm0 = shared_memory.SharedMemory(create=True, size=max(1, buf0.nbytes))
+        shm1 = shared_memory.SharedMemory(create=True, size=max(1, buf1.nbytes))
+        try:
+            np.ndarray(buf0.shape, dtype=np.uint8, buffer=shm0.buf)[:] = buf0
+            np.ndarray(buf1.shape, dtype=np.uint8, buffer=shm1.buf)[:] = buf1
+            with ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=ctx,
+                initializer=_init_worker,
+                initargs=(shm0.name, buf0.shape[0], shm1.name, buf1.shape[0],
+                          self.config, unregister),
+            ) as pool:
+                futures = [
+                    pool.submit(_score_shard, s, *index.shard_arrays(lo, hi))
+                    for s, (lo, hi) in enumerate(ranges)
+                ]
+                results = sorted((f.result() for f in futures), key=lambda r: r[0])
+        finally:
+            shm0.close()
+            shm1.close()
+            shm0.unlink()
+            shm1.unlink()
+        stats = UngappedStats()
+        timings: list[ShardTiming] = []
+        for shard, _o0, _o1, _sc, (entries, pairs, cells, hits_n), wall, batches, \
+                max_batch in results:
+            stats.merge(UngappedStats(entries, pairs, cells, hits_n))
+            timings.append(
+                ShardTiming(
+                    shard=shard,
+                    entries=entries,
+                    pairs=pairs,
+                    hits=hits_n,
+                    wall_seconds=wall,
+                    batches=batches,
+                    max_batch_pairs=max_batch,
+                )
+            )
+        self.last_timings = timings
+        offsets0 = np.concatenate([r[1] for r in results])
+        offsets1 = np.concatenate([r[2] for r in results])
+        scores = np.concatenate([r[3] for r in results]).astype(np.int32)
+        return UngappedHits(offsets0, offsets1, scores, stats)

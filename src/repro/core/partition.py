@@ -10,7 +10,12 @@ the host.  This module provides the partitioning strategies:
   anchor* counts and hence step-2 work;
 * :func:`split_entries` — alternative entry-level round-robin split of a
   joint index's work list, used by the slot-ablation bench to study
-  balance at finer granularity.
+  balance at finer granularity;
+* :func:`split_entries_contiguous` — pair-balanced *contiguous* ranges of
+  the shared-key entry list, the generalisation of the 2-FPGA split to N
+  workers used by the sharded step-2 executor: because each shard is a
+  run of consecutive entries, concatenating shard results in shard order
+  reproduces the single-process emission order exactly.
 """
 
 from __future__ import annotations
@@ -20,7 +25,12 @@ import numpy as np
 from ..index.kmer import TwoBankIndex
 from ..seqs.sequence import SequenceBank
 
-__all__ = ["split_bank", "split_entries", "partition_imbalance"]
+__all__ = [
+    "split_bank",
+    "split_entries",
+    "split_entries_contiguous",
+    "partition_imbalance",
+]
 
 
 def split_bank(bank: SequenceBank, n_parts: int) -> list[SequenceBank]:
@@ -67,6 +77,33 @@ def split_entries(index: TwoBankIndex, n_parts: int) -> list[np.ndarray]:
         buckets[part].append(int(j))
         loads[part] += int(counts[j])
     return [np.array(sorted(b), dtype=np.int64) for b in buckets]
+
+
+def split_entries_contiguous(
+    index: TwoBankIndex, n_parts: int
+) -> list[tuple[int, int]]:
+    """Cut the shared-entry list into *n_parts* contiguous pair-balanced runs.
+
+    Returns half-open ``(lo, hi)`` ranges over entry ids ``0 ..
+    n_shared_keys`` covering the work list in order (some ranges may be
+    empty).  Cut points sit at the pair-count quantiles, so each shard
+    carries ≈ ``total_pairs / n_parts`` ungapped extensions — the same
+    balance objective as :func:`split_entries` but order-preserving, which
+    is what makes the sharded executor's merged output bit-identical to
+    the single-process run.
+    """
+    if n_parts < 1:
+        raise ValueError("n_parts must be >= 1")
+    counts = index.pair_counts()
+    n = int(counts.shape[0])
+    if n == 0:
+        return [(0, 0)] * n_parts
+    cum = np.cumsum(counts, dtype=np.int64)
+    targets = cum[-1] * np.arange(1, n_parts, dtype=np.float64) / n_parts
+    cuts = np.searchsorted(cum, targets, side="left") + 1
+    bounds = np.concatenate(([0], np.minimum(cuts, n), [n]))
+    bounds = np.maximum.accumulate(bounds)
+    return [(int(bounds[i]), int(bounds[i + 1])) for i in range(n_parts)]
 
 
 def partition_imbalance(loads: np.ndarray) -> float:

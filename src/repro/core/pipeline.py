@@ -27,11 +27,12 @@ import numpy as np
 
 from ..extend.gapped import xdrop_gapped_extend
 from ..extend.stats import gapped_params, evalue as evalue_of
-from ..extend.ungapped import UngappedExtender, UngappedHits
+from ..extend.ungapped import UngappedHits
 from ..index.kmer import TwoBankIndex
 from ..seqs.sequence import Sequence, SequenceBank
 from ..seqs.translate import translated_bank
 from .config import PipelineConfig
+from .executor import ShardedStep2Executor
 from .profile import PipelineProfile
 from .results import Alignment, ComparisonReport
 
@@ -154,12 +155,21 @@ class SeedComparisonPipeline:
         return index
 
     def run_step2(self, index: TwoBankIndex) -> UngappedHits:
-        """Step 2 only: ungapped extension over the joint index."""
+        """Step 2 only: ungapped extension over the joint index.
+
+        The default engine is the sharded executor at ``config.workers``
+        processes (in-process batched scoring at the default of 1); its
+        per-shard timings land in ``profile.step2_shards``.
+        """
         with self.profile.timing(self.profile.step2) as ctr:
             if self._step2 is not None:
                 hits = self._step2(index)
             else:
-                hits = UngappedExtender(self.config.ungapped_config()).run(index)
+                executor = ShardedStep2Executor(
+                    self.config.ungapped_config(), workers=self.config.workers
+                )
+                hits = executor.run(index)
+                self.profile.step2_shards.extend(executor.last_timings)
             ctr.operations += hits.stats.cells
             ctr.items += hits.stats.pairs
         return hits

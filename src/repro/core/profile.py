@@ -15,7 +15,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Iterator
 
-__all__ = ["StepCounters", "PipelineProfile"]
+__all__ = ["StepCounters", "ShardTiming", "PipelineProfile"]
 
 
 @dataclass
@@ -37,6 +37,25 @@ class StepCounters:
         self.items += other.items
 
 
+@dataclass(frozen=True)
+class ShardTiming:
+    """Step-2 record of one executor shard (sharding ↔ the paper's FPGAs).
+
+    One is recorded per shard per run even in single-process mode, so
+    Table-7-style breakdowns can always decompose step 2 into its units of
+    parallel work and their batch shapes.
+    """
+
+    shard: int
+    entries: int
+    pairs: int
+    hits: int
+    wall_seconds: float
+    #: Kernel invocations and largest single batch within this shard.
+    batches: int
+    max_batch_pairs: int
+
+
 @dataclass
 class PipelineProfile:
     """Profile of one pipeline run (steps 1–3)."""
@@ -44,6 +63,9 @@ class PipelineProfile:
     step1: StepCounters = field(default_factory=StepCounters)
     step2: StepCounters = field(default_factory=StepCounters)
     step3: StepCounters = field(default_factory=StepCounters)
+    #: Per-shard step-2 timings of the most recent run (empty when a custom
+    #: step-2 engine bypasses the sharded executor).
+    step2_shards: list[ShardTiming] = field(default_factory=list)
 
     @contextmanager
     def timing(self, step: StepCounters) -> Iterator[StepCounters]:
@@ -70,8 +92,16 @@ class PipelineProfile:
             self.step3.wall_seconds / total,
         )
 
+    def step2_shard_imbalance(self) -> float:
+        """Makespan imbalance of the step-2 shards (1.0 = perfect/serial)."""
+        walls = [s.wall_seconds for s in self.step2_shards]
+        if not walls or sum(walls) <= 0:
+            return 1.0
+        return max(walls) / (sum(walls) / len(walls))
+
     def merge(self, other: "PipelineProfile") -> None:
         """Accumulate another run's profile."""
         self.step1.merge(other.step1)
         self.step2.merge(other.step2)
         self.step3.merge(other.step3)
+        self.step2_shards.extend(other.step2_shards)

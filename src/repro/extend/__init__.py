@@ -20,6 +20,7 @@ from .stats import (
     karlin_lambda,
     ungapped_params,
 )
+from .batched import BatchedUngappedEngine, BatchTelemetry, iter_pair_batches
 from .ungapped import (
     ScoreSemantics,
     UngappedConfig,
@@ -28,10 +29,14 @@ from .ungapped import (
     UngappedStats,
     ungapped_score_reference,
     ungapped_scores,
+    ungapped_scores_paired,
     ungapped_xdrop,
 )
 
 __all__ = [
+    "BatchedUngappedEngine",
+    "BatchTelemetry",
+    "iter_pair_batches",
     "ScoreSemantics",
     "UngappedConfig",
     "UngappedExtender",
@@ -39,6 +44,7 @@ __all__ = [
     "UngappedStats",
     "ungapped_score_reference",
     "ungapped_scores",
+    "ungapped_scores_paired",
     "ungapped_xdrop",
     "GapPenalties",
     "GappedExtension",

@@ -1,0 +1,198 @@
+"""Step 2 — batched scoring engine.
+
+The per-key path (:meth:`~repro.extend.ungapped.UngappedExtender.run_per_key`)
+pays one Python-level kernel invocation per shared index key; with realistic
+index lists (mean ``K`` of a few) that fixed cost dwarfs the handful of
+window cells each key actually scores.  The hardware never pays it: the PE
+array is fed a continuous stream of pairs regardless of which index entry
+they came from.  This module is the software image of that stream:
+
+* :func:`iter_pair_batches` expands ``IL0[k] × IL1[k]`` cross products from
+  *many* entries into flat anchor arrays, cut into batches bounded by a
+  pair budget (the analogue of filling the PE array's input FIFO);
+* :class:`BatchedUngappedEngine` drives those batches through
+  :func:`~repro.extend.ungapped.ungapped_scores_paired` — one running-max
+  scan over the whole batch — and concatenates the survivors in exactly the
+  order the per-key path would have emitted them.
+
+Degenerate cases are handled identically to the per-key path: an empty
+shared key set yields an empty, dtype-correct result; a single entry whose
+cross product exceeds the budget is split along its ``offsets0`` rows; an
+anchor whose window would leave the bank buffer raises ``IndexError`` (the
+same error :meth:`~repro.seqs.sequence.SequenceBank.windows` raises).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..index.kmer import TwoBankIndex
+from .ungapped import (
+    UngappedConfig,
+    UngappedHits,
+    UngappedStats,
+    ungapped_scores_paired,
+)
+
+__all__ = ["BatchTelemetry", "BatchedUngappedEngine", "iter_pair_batches"]
+
+#: An entry's two index lists, as produced by ``TwoBankIndex.entries()`` or
+#: reconstructed from a shard payload: ``(offsets0, offsets1)``.
+EntryLists = tuple[np.ndarray, np.ndarray]
+
+
+@dataclass
+class BatchTelemetry:
+    """Batch shape record of one engine run (profile / bench input)."""
+
+    batches: int = 0
+    pair_counts: list[int] = field(default_factory=list)
+
+    def note(self, pairs: int) -> None:
+        """Record one kernel invocation of *pairs* pairs."""
+        self.batches += 1
+        self.pair_counts.append(int(pairs))
+
+    @property
+    def max_batch_pairs(self) -> int:
+        """Largest batch scored (0 if no batch ran)."""
+        return max(self.pair_counts, default=0)
+
+    @property
+    def mean_batch_pairs(self) -> float:
+        """Mean batch size (0.0 if no batch ran)."""
+        if not self.pair_counts:
+            return 0.0
+        return float(np.mean(self.pair_counts))
+
+
+def iter_pair_batches(
+    entries: Iterable[EntryLists], batch_pairs: int
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Yield flat ``(anchors0, anchors1)`` batches of ≤ *batch_pairs* pairs.
+
+    Entries are consumed in order; each contributes its full ``K0 × K1``
+    cross product in offsets0-major order, so the concatenation of all
+    batches enumerates pairs exactly as the per-key path does.  An entry
+    larger than the budget is emitted in row slices of ``offsets0`` (never
+    silently as one oversized batch), each slice at most *batch_pairs*
+    pairs where ``K1`` permits.
+    """
+    budget = max(1, int(batch_pairs))
+    acc0: list[np.ndarray] = []
+    acc1: list[np.ndarray] = []
+    acc_pairs = 0
+
+    def drain() -> tuple[np.ndarray, np.ndarray]:
+        nonlocal acc_pairs
+        batch = np.concatenate(acc0), np.concatenate(acc1)
+        acc0.clear()
+        acc1.clear()
+        acc_pairs = 0
+        return batch
+
+    for off0, off1 in entries:
+        k0 = int(off0.shape[0])
+        k1 = int(off1.shape[0])
+        if k0 == 0 or k1 == 0:
+            continue
+        if k0 * k1 > budget:
+            # Giant entry: flush what's pending, then slice its rows so no
+            # single kernel call exceeds the budget (one row minimum).
+            if acc0:
+                yield drain()
+            rows = max(1, budget // k1)
+            for lo in range(0, k0, rows):
+                sl = off0[lo : lo + rows]
+                yield np.repeat(sl, k1), np.tile(off1, sl.shape[0])
+            continue
+        acc0.append(np.repeat(off0, k1))
+        acc1.append(np.tile(off1, k0))
+        acc_pairs += k0 * k1
+        if acc_pairs >= budget:
+            yield drain()
+    if acc0:
+        yield drain()
+
+
+class BatchedUngappedEngine:
+    """Step-2 engine scoring many index entries per kernel invocation.
+
+    Produces bit-identical hits, scores and emission order to the per-key
+    path; :attr:`telemetry` records the batch shapes of the last run.
+    """
+
+    def __init__(self, config: UngappedConfig | None = None) -> None:
+        self.config = config or UngappedConfig()
+        #: Batch shapes of the most recent run.
+        self.telemetry = BatchTelemetry()
+
+    def run(self, index: TwoBankIndex) -> UngappedHits:
+        """Run step 2 over every shared entry of *index*."""
+        stats = UngappedStats()
+
+        def stream() -> Iterator[EntryLists]:
+            for entry in index.entries():
+                stats.entries += 1
+                stats.pairs += entry.pair_count
+                yield entry.offsets0, entry.offsets1
+
+        return self.run_stream(
+            index.index0.bank.buffer, index.index1.bank.buffer, stream(), stats
+        )
+
+    def run_stream(
+        self,
+        buf0: np.ndarray,
+        buf1: np.ndarray,
+        entries: Iterable[EntryLists],
+        stats: UngappedStats | None = None,
+    ) -> UngappedHits:
+        """Run step 2 over an explicit entry stream against raw bank buffers.
+
+        The sharded executor calls this form in worker processes, where only
+        the shared-memory buffers and the shard's entry lists exist — no
+        :class:`~repro.index.kmer.TwoBankIndex` is reconstructed.  When
+        *stats* is None, entry/pair counts are accumulated here; callers
+        whose stream already counts them pass their own block.
+        """
+        cfg = self.config
+        self.telemetry = BatchTelemetry()
+        own_stats = stats is None
+        if own_stats:
+            stats = UngappedStats()
+
+            def counted() -> Iterator[EntryLists]:
+                for off0, off1 in entries:
+                    stats.entries += 1
+                    stats.pairs += int(off0.shape[0]) * int(off1.shape[0])
+                    yield off0, off1
+
+            source: Iterable[EntryLists] = counted()
+        else:
+            source = entries
+        out0: list[np.ndarray] = []
+        out1: list[np.ndarray] = []
+        out_s: list[np.ndarray] = []
+        for p0, p1 in iter_pair_batches(source, cfg.pair_chunk):
+            self.telemetry.note(p0.shape[0])
+            scores = ungapped_scores_paired(
+                buf0, p0, buf1, p1, cfg.n, cfg.window, cfg.matrix, cfg.semantics
+            )
+            keep = scores >= cfg.threshold
+            out0.append(p0[keep])
+            out1.append(p1[keep])
+            out_s.append(scores[keep])
+        stats.cells = stats.pairs * cfg.window
+        offsets0 = np.concatenate(out0) if out0 else np.empty(0, dtype=np.int64)
+        offsets1 = np.concatenate(out1) if out1 else np.empty(0, dtype=np.int64)
+        scores_all = (
+            np.concatenate(out_s).astype(np.int32)
+            if out_s
+            else np.empty(0, dtype=np.int32)
+        )
+        stats.hits = int(scores_all.shape[0])
+        return UngappedHits(offsets0, offsets1, scores_all, stats)

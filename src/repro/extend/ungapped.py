@@ -44,6 +44,7 @@ __all__ = [
     "ScoreSemantics",
     "ungapped_score_reference",
     "ungapped_scores",
+    "ungapped_scores_paired",
     "UngappedConfig",
     "UngappedHits",
     "UngappedStats",
@@ -152,6 +153,13 @@ def ungapped_scores_paired(
     a1 = np.asarray(anchors1, dtype=np.int64) - flank
     if a0.shape != a1.shape:
         raise ValueError("anchor arrays must have equal shapes")
+    # Same contract as SequenceBank.windows: an out-of-buffer window is a
+    # caller error, never a silent wrap-around gather.
+    if a0.size:
+        if int(a0.min()) < 0 or int(a0.max()) + window > buf0.shape[0]:
+            raise IndexError("window exceeds bank buffer; increase pad")
+        if int(a1.min()) < 0 or int(a1.max()) + window > buf1.shape[0]:
+            raise IndexError("window exceeds bank buffer; increase pad")
     sub = matrix.scores.astype(np.int32)
     score = np.zeros(a0.shape[0], dtype=np.int32)
     best = np.zeros(a0.shape[0], dtype=np.int32)
@@ -289,64 +297,32 @@ class UngappedExtender:
         stats.hits = int(scores.shape[0])
         return UngappedHits(offsets0, offsets1, scores.astype(np.int32), stats)
 
+    def run_per_key(self, index: TwoBankIndex) -> UngappedHits:
+        """Per-key reference path: score one index entry at a time.
+
+        Each shared key costs one :func:`ungapped_scores` call on its
+        ``K0 × K1`` cross product.  Kept as the mid-fidelity oracle between
+        :func:`ungapped_score_reference` and the batched engine (and as the
+        baseline the scaling bench measures the batched speedup against);
+        hit order is identical to the batched path — entries in ascending
+        key order, pairs offsets0-major within an entry.
+        """
+        parts = [self.extend_entry(index.index0.bank, index.index1.bank, e)
+                 for e in index.entries()]
+        return UngappedHits.concatenate(parts)
+
     def run(self, index: TwoBankIndex) -> UngappedHits:
         """Run step 2 over every shared index entry.
 
         Pairs from all entries are expanded into flat anchor arrays and
-        scored in large batches with :func:`ungapped_scores_paired`; this
-        is algebraically identical to per-entry scoring but ~10-20× faster
-        on realistic workloads whose index lists are short.
+        scored in large batches with :func:`ungapped_scores_paired` by the
+        batched engine (:class:`repro.extend.batched.BatchedUngappedEngine`);
+        this is algebraically identical to per-entry scoring but ~10-20×
+        faster on realistic workloads whose index lists are short.
         """
-        cfg = self.config
-        bank0 = index.index0.bank
-        bank1 = index.index1.bank
-        buf0, buf1 = bank0.buffer, bank1.buffer
-        stats = UngappedStats()
-        acc0: list[np.ndarray] = []
-        acc1: list[np.ndarray] = []
-        acc_pairs = 0
-        out0: list[np.ndarray] = []
-        out1: list[np.ndarray] = []
-        out_s: list[np.ndarray] = []
+        from .batched import BatchedUngappedEngine
 
-        def flush() -> None:
-            nonlocal acc_pairs
-            if not acc0:
-                return
-            p0 = np.concatenate(acc0)
-            p1 = np.concatenate(acc1)
-            scores = ungapped_scores_paired(
-                buf0, p0, buf1, p1, cfg.n, cfg.window, cfg.matrix, cfg.semantics
-            )
-            keep = scores >= cfg.threshold
-            out0.append(p0[keep])
-            out1.append(p1[keep])
-            out_s.append(scores[keep])
-            acc0.clear()
-            acc1.clear()
-            acc_pairs = 0
-
-        for entry in index.entries():
-            k0 = entry.offsets0.shape[0]
-            k1 = entry.offsets1.shape[0]
-            stats.entries += 1
-            stats.pairs += k0 * k1
-            acc0.append(np.repeat(entry.offsets0, k1))
-            acc1.append(np.tile(entry.offsets1, k0))
-            acc_pairs += k0 * k1
-            if acc_pairs >= cfg.pair_chunk:
-                flush()
-        flush()
-        stats.cells = stats.pairs * cfg.window
-        offsets0 = np.concatenate(out0) if out0 else np.empty(0, dtype=np.int64)
-        offsets1 = np.concatenate(out1) if out1 else np.empty(0, dtype=np.int64)
-        scores = (
-            np.concatenate(out_s).astype(np.int32)
-            if out_s
-            else np.empty(0, dtype=np.int32)
-        )
-        stats.hits = int(scores.shape[0])
-        return UngappedHits(offsets0, offsets1, scores, stats)
+        return BatchedUngappedEngine(self.config).run(index)
 
 
 def ungapped_xdrop(

@@ -258,6 +258,33 @@ class TwoBankIndex:
                 idx1.slice(int(self._i1[j])),
             )
 
+    def shard_arrays(
+        self, lo: int, hi: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Flat work-list payload for the entry range ``[lo, hi)``.
+
+        Returns ``(offsets0, counts0, offsets1, counts1)``: the
+        concatenated ``IL0``/``IL1`` lists of the range's entries plus the
+        per-entry list lengths needed to re-segment them.  This is what the
+        sharded executor ships to a worker process — a few small arrays
+        instead of the banks or the index object — and mirrors the byte
+        stream the paper's host DMAs to an FPGA for its share of the keys.
+        """
+        if not 0 <= lo <= hi <= self._i0.shape[0]:
+            raise IndexError(f"entry range [{lo}, {hi}) out of bounds")
+        i0 = self._i0[lo:hi]
+        i1 = self._i1[lo:hi]
+        counts0 = self.index0.list_lengths()[i0]
+        counts1 = self.index1.list_lengths()[i1]
+        empty = np.empty(0, dtype=np.int64)
+        offsets0 = (
+            np.concatenate([self.index0.slice(int(j)) for j in i0]) if i0.size else empty
+        )
+        offsets1 = (
+            np.concatenate([self.index1.slice(int(j)) for j in i1]) if i1.size else empty
+        )
+        return offsets0, counts0, offsets1, counts1
+
     def entry(self, j: int) -> SeedEntry:
         """The *j*-th shared entry."""
         return SeedEntry(

@@ -200,6 +200,47 @@ class Rasc100:
         )
         return runs, wall
 
+    def run_step2_many(
+        self, indexes: list[TwoBankIndex], flank: int
+    ) -> tuple[list[AcceleratorRun], float]:
+        """Schedule N step-2 shards round-robin over the blade's two FPGAs.
+
+        The hardware image of :class:`~repro.core.executor.ShardedStep2Executor`
+        with ``workers = N``: shard *i* queues on FPGA ``i % 2``, each FPGA
+        drains its queue sequentially (input DMA overlapping compute per
+        shard), and while both FPGAs are active the two DMA streams
+        fair-share the NUMAlink as in :meth:`run_step2_dual`.  Returns the
+        per-shard runs in submission order plus the blade wall time (max
+        over the two FPGA queues).
+        """
+        if not indexes:
+            return [], 0.0
+        share = min(self.N_FPGAS, len(indexes))
+        bw = self.fabric.link.bandwidth_bytes_per_s / share
+        runs: list[AcceleratorRun] = []
+        queue_walls = [0.0] * self.N_FPGAS
+        for i, index in enumerate(indexes):
+            fpga_id = i % self.N_FPGAS
+            unit = self.fpgas[fpga_id]
+            config = unit._require_loaded()
+            result = unit.execute(index, flank)
+            plan = self._plan_for(index, len(result), config.window)
+            self.fabric.record(plan)
+            compute = config.seconds(result.breakdown.total_cycles)
+            in_s = plan.bytes_in / bw
+            out_s = plan.bytes_out / bw + 2 * self.fabric.link.latency_s
+            queue_walls[fpga_id] += max(compute, in_s) + out_s
+            runs.append(
+                AcceleratorRun(
+                    hits=self._hits_from(result, index, config),
+                    breakdown=result.breakdown,
+                    compute_seconds=compute,
+                    io_seconds=max(compute, in_s) + out_s - compute,
+                    plan=plan,
+                )
+            )
+        return runs, max(queue_walls)
+
     @staticmethod
     def _hits_from(
         result: PscRunResult, index: TwoBankIndex, config: PscArrayConfig

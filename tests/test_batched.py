@@ -1,0 +1,203 @@
+"""Batched step-2 engine tests: equivalence, order, degenerate cases."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.extend.batched import BatchedUngappedEngine, iter_pair_batches
+from repro.extend.ungapped import (
+    ScoreSemantics,
+    UngappedConfig,
+    UngappedExtender,
+    ungapped_score_reference,
+    ungapped_scores_paired,
+)
+from repro.index.kmer import ContiguousSeedModel, TwoBankIndex
+from repro.seqs.generate import random_protein_bank
+from repro.seqs.sequence import Sequence, SequenceBank
+
+
+def make_index(rng, n0=15, n1=20, mean=120, span=3):
+    b0 = random_protein_bank(rng, n0, mean_length=mean, name_prefix="q")
+    b1 = random_protein_bank(rng, n1, mean_length=mean, name_prefix="s")
+    return b0, b1, TwoBankIndex.build(b0, b1, ContiguousSeedModel(span))
+
+
+class TestIterPairBatches:
+    def entries(self, rng, n=10, kmax=6):
+        out = []
+        for _ in range(n):
+            k0 = int(rng.integers(1, kmax))
+            k1 = int(rng.integers(1, kmax))
+            out.append(
+                (
+                    rng.integers(0, 1000, k0).astype(np.int64),
+                    rng.integers(0, 1000, k1).astype(np.int64),
+                )
+            )
+        return out
+
+    def test_enumerates_every_pair_in_order(self, rng):
+        entries = self.entries(rng)
+        expected0 = np.concatenate(
+            [np.repeat(o0, o1.shape[0]) for o0, o1 in entries]
+        )
+        expected1 = np.concatenate(
+            [np.tile(o1, o0.shape[0]) for o0, o1 in entries]
+        )
+        for budget in (1, 3, 7, 10_000):
+            batches = list(iter_pair_batches(entries, budget))
+            got0 = np.concatenate([b[0] for b in batches])
+            got1 = np.concatenate([b[1] for b in batches])
+            assert np.array_equal(got0, expected0), budget
+            assert np.array_equal(got1, expected1), budget
+
+    def test_budget_respected_where_possible(self, rng):
+        entries = self.entries(rng, n=20, kmax=5)
+        for p0, p1 in iter_pair_batches(entries, 8):
+            # One accumulated entry may overshoot; a batch can never exceed
+            # budget + the largest single contribution (kmax² here).
+            assert p0.shape[0] <= 8 + 16
+            assert p0.shape[0] == p1.shape[0]
+
+    def test_giant_entry_is_sliced(self, rng):
+        off0 = rng.integers(0, 1000, 50).astype(np.int64)
+        off1 = rng.integers(0, 1000, 7).astype(np.int64)
+        batches = list(iter_pair_batches([(off0, off1)], 21))
+        # 3 rows of 7 pairs per slice: no batch exceeds the budget.
+        assert all(b[0].shape[0] <= 21 for b in batches)
+        assert sum(b[0].shape[0] for b in batches) == 350
+
+    def test_empty_and_zero_length_entries_skipped(self):
+        e = np.empty(0, dtype=np.int64)
+        some = np.arange(3, dtype=np.int64)
+        assert list(iter_pair_batches([], 100)) == []
+        assert list(iter_pair_batches([(e, some), (some, e)], 100)) == []
+
+
+class TestBatchedEngine:
+    def test_matches_per_key_bit_for_bit(self, rng):
+        _, _, idx = make_index(rng)
+        cfg = UngappedConfig(w=3, n=8, threshold=20)
+        per_key = UngappedExtender(cfg).run_per_key(idx)
+        batched = BatchedUngappedEngine(cfg).run(idx)
+        assert np.array_equal(per_key.offsets0, batched.offsets0)
+        assert np.array_equal(per_key.offsets1, batched.offsets1)
+        assert np.array_equal(per_key.scores, batched.scores)
+        assert per_key.stats.pairs == batched.stats.pairs
+        assert per_key.stats.entries == batched.stats.entries
+
+    def test_batch_budget_invariance(self, rng):
+        _, _, idx = make_index(rng)
+        base = None
+        for chunk in (1, 5, 64, 1 << 20):
+            cfg = UngappedConfig(w=3, n=8, threshold=20, pair_chunk=chunk)
+            hits = BatchedUngappedEngine(cfg).run(idx)
+            if base is None:
+                base = hits
+            else:
+                assert np.array_equal(base.offsets0, hits.offsets0)
+                assert np.array_equal(base.scores, hits.scores)
+
+    def test_telemetry_records_batches(self, rng):
+        _, _, idx = make_index(rng)
+        engine = BatchedUngappedEngine(UngappedConfig(w=3, n=8, pair_chunk=50))
+        engine.run(idx)
+        t = engine.telemetry
+        assert t.batches == len(t.pair_counts) > 1
+        assert sum(t.pair_counts) == idx.total_pairs
+        assert t.max_batch_pairs >= t.mean_batch_pairs > 0
+
+    def test_empty_shared_key_set(self):
+        # Disjoint alphabet usage: no 4-mer occurs in both banks.
+        b0 = SequenceBank([Sequence.from_text("q", "AAAAAAAAAA")], pad=32)
+        b1 = SequenceBank([Sequence.from_text("s", "WWWWWWWWWW")], pad=32)
+        idx = TwoBankIndex.build(b0, b1, ContiguousSeedModel(4))
+        assert idx.n_shared_keys == 0
+        cfg = UngappedConfig(w=4, n=4, threshold=1)
+        for hits in (
+            BatchedUngappedEngine(cfg).run(idx),
+            UngappedExtender(cfg).run_per_key(idx),
+        ):
+            assert len(hits) == 0
+            assert hits.offsets0.dtype == np.int64
+            assert hits.scores.dtype == np.int32
+            assert hits.stats.pairs == hits.stats.hits == 0
+
+    def test_giant_entry_exceeding_budget(self):
+        # One shared key, K0=K1=12: 144 pairs against a budget of 10.
+        b0 = SequenceBank(
+            [Sequence.from_text("q", "MKVL" * 12)], pad=32
+        )
+        b1 = SequenceBank(
+            [Sequence.from_text("s", "MKVL" * 12)], pad=32
+        )
+        idx = TwoBankIndex.build(b0, b1, ContiguousSeedModel(4))
+        big = UngappedConfig(w=4, n=4, threshold=10, pair_chunk=1 << 20)
+        tiny = UngappedConfig(w=4, n=4, threshold=10, pair_chunk=10)
+        ref = BatchedUngappedEngine(big).run(idx)
+        sliced = BatchedUngappedEngine(tiny).run(idx)
+        assert len(ref) > 0
+        assert np.array_equal(ref.offsets0, sliced.offsets0)
+        assert np.array_equal(ref.offsets1, sliced.offsets1)
+        assert np.array_equal(ref.scores, sliced.scores)
+
+    def test_window_overrun_raises_like_per_key(self):
+        # pad=2 < flank: the flanked window leaves the buffer on both the
+        # per-key (SequenceBank.windows) and batched (paired kernel) paths.
+        b0 = SequenceBank([Sequence.from_text("q", "MKVLAW")], pad=2)
+        b1 = SequenceBank([Sequence.from_text("s", "MKVLAW")], pad=2)
+        idx = TwoBankIndex.build(b0, b1, ContiguousSeedModel(4))
+        assert idx.n_shared_keys > 0
+        cfg = UngappedConfig(w=4, n=8, threshold=1)
+        with pytest.raises(IndexError, match="increase pad"):
+            UngappedExtender(cfg).run_per_key(idx)
+        with pytest.raises(IndexError, match="increase pad"):
+            BatchedUngappedEngine(cfg).run(idx)
+
+    def test_paired_kernel_rejects_out_of_buffer_anchors(self, rng):
+        buf = rng.integers(0, 20, 64).astype(np.uint8)
+        good = np.array([20], dtype=np.int64)
+        bad_low = np.array([2], dtype=np.int64)  # 2 - flank < 0
+        bad_high = np.array([62], dtype=np.int64)  # + window > 64
+        ungapped_scores_paired(buf, good, buf, good, 8, 20)
+        for a0, a1 in [(bad_low, good), (good, bad_high)]:
+            with pytest.raises(IndexError, match="increase pad"):
+                ungapped_scores_paired(buf, a0, buf, a1, 8, 20)
+
+
+@given(
+    st.integers(0, 2**32 - 1),
+    st.integers(2, 30),
+    st.integers(1, 200),
+    st.sampled_from(list(ScoreSemantics)),
+)
+@settings(max_examples=25, deadline=None)
+def test_batched_equals_per_key_equals_reference(seed, n_seqs, chunk, semantics):
+    """Property: batched == per-key == scalar oracle on random workloads."""
+    rng = np.random.default_rng(seed)
+    b0 = random_protein_bank(rng, max(2, n_seqs // 2), mean_length=60,
+                             name_prefix="q")
+    b1 = random_protein_bank(rng, n_seqs, mean_length=60, name_prefix="s")
+    idx = TwoBankIndex.build(b0, b1, ContiguousSeedModel(3))
+    cfg = UngappedConfig(
+        w=3, n=6, threshold=15, semantics=semantics, pair_chunk=chunk
+    )
+    per_key = UngappedExtender(cfg).run_per_key(idx)
+    batched = BatchedUngappedEngine(cfg).run(idx)
+    assert np.array_equal(per_key.offsets0, batched.offsets0)
+    assert np.array_equal(per_key.offsets1, batched.offsets1)
+    assert np.array_equal(per_key.scores, batched.scores)
+    # Spot-check surviving scores against the scalar hardware oracle.
+    buf0, buf1 = b0.buffer, b1.buffer
+    for r in range(0, len(batched), max(1, len(batched) // 5)):
+        a0 = int(batched.offsets0[r]) - cfg.n
+        a1 = int(batched.offsets1[r]) - cfg.n
+        ref = ungapped_score_reference(
+            buf0[a0 : a0 + cfg.window],
+            buf1[a1 : a1 + cfg.window],
+            cfg.matrix,
+            semantics,
+        )
+        assert batched.scores[r] == ref
