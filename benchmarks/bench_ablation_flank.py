@@ -19,7 +19,6 @@ from __future__ import annotations
 import numpy as np
 
 from harness import write_table
-
 from repro.extend.stats import ungapped_params
 from repro.extend.ungapped import ungapped_scores_paired
 from repro.seqs.generate import mutate_protein, random_protein

@@ -12,7 +12,6 @@ from __future__ import annotations
 import numpy as np
 
 from harness import write_table
-
 from repro.index.kmer import ContiguousSeedModel, TwoBankIndex
 from repro.index.subset_seed import SubsetSeedModel
 from repro.seqs.generate import mutate_protein, random_protein

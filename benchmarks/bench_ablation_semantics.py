@@ -15,7 +15,6 @@ from __future__ import annotations
 import numpy as np
 
 from harness import get_model, write_table
-
 from repro.extend.ungapped import (
     ScoreSemantics,
     UngappedConfig,

@@ -13,7 +13,6 @@ cycles for its place-and-route friendliness.
 from __future__ import annotations
 
 from harness import BANK_LABELS, get_model, write_table
-
 from repro.util.reporting import TextTable
 
 SLOT_SIZES = (4, 8, 16, 48)

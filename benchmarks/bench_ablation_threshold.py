@@ -18,13 +18,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from bench_ablation_flank import score_samples
 from harness import get_model, write_table
-
 from repro.extend.stats import ungapped_params
 from repro.seqs.matrices import BLOSUM62
 from repro.util.reporting import TextTable
-
-from bench_ablation_flank import score_samples
 
 THRESHOLDS = (33, 39, 45, 51, 57)
 

@@ -15,7 +15,6 @@ single-design 3 667 s, showing where the bottleneck moves next.
 from __future__ import annotations
 
 from harness import BANK_LABELS, PAPER_RASC_TOTAL, get_model, write_table
-
 from repro.psc.gapped_operator import GxpConfig, GxpOperator
 from repro.rasc.dual_design import HostDispatch
 from repro.util.reporting import TextTable

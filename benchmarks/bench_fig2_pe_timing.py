@@ -16,7 +16,6 @@ from __future__ import annotations
 import numpy as np
 
 from harness import write_table
-
 from repro.extend.ungapped import ungapped_score_reference
 from repro.hwsim.memory import Rom
 from repro.psc.pe import ProcessingElement

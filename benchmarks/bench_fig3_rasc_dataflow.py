@@ -14,7 +14,6 @@ from __future__ import annotations
 import numpy as np
 
 from harness import get_model, write_table
-
 from repro.index.kmer import ContiguousSeedModel, TwoBankIndex
 from repro.psc.schedule import PscArrayConfig
 from repro.psc.workload import job_stream_bytes

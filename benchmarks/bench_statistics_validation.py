@@ -12,7 +12,6 @@ from __future__ import annotations
 import numpy as np
 
 from harness import write_table
-
 from repro.eval.calibration import (
     evalue_calibration,
     sample_gapped_scores,

@@ -11,7 +11,6 @@ functional workload for reference.
 from __future__ import annotations
 
 from harness import BANK_LABELS, PAPER_TABLE1, get_model, write_table
-
 from repro.util.reporting import TextTable
 
 

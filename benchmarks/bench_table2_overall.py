@@ -28,7 +28,6 @@ from harness import (
     get_model,
     write_table,
 )
-
 from repro.util.reporting import TextTable
 
 

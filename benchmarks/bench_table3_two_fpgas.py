@@ -21,7 +21,6 @@ half costs nearly as much as the whole when lists are short.
 from __future__ import annotations
 
 from harness import BANK_LABELS, PAPER_TABLE3, get_model, write_table
-
 from repro.util.reporting import TextTable
 
 

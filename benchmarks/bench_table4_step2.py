@@ -25,7 +25,6 @@ from harness import (
     get_model,
     write_table,
 )
-
 from repro.util.reporting import TextTable
 
 

@@ -10,7 +10,6 @@ over the overall RASC time.
 from __future__ import annotations
 
 from harness import BANK_LABELS, get_model, write_table
-
 from repro.eval.metrics import LITERATURE_THROUGHPUT, kaamnt_per_second
 from repro.seqs.generate import PAPER_BANKS, PAPER_GENOME_NT
 from repro.util.reporting import TextTable

@@ -23,7 +23,6 @@ paper's absolute 0.468.
 from __future__ import annotations
 
 from harness import PAPER_TABLE6, current_scale, get_model, write_table
-
 from repro.baseline.tblastn import TblastnSearch
 from repro.core.pipeline import SeedComparisonPipeline
 from repro.eval.benchmark_data import build_benchmark

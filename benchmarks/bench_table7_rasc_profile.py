@@ -19,7 +19,6 @@ second FPGA operator for step 3.
 from __future__ import annotations
 
 from harness import BANK_LABELS, PAPER_TABLE7, get_model, write_table
-
 from repro.util.reporting import TextTable
 
 

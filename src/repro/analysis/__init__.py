@@ -1,0 +1,35 @@
+"""Correctness tooling: the ``repro-check`` AST lint (RC rules) and the
+opt-in runtime ndarray contracts (``REPRO_CONTRACTS=1``).
+
+The parallel step-2 engine's headline guarantee — a bit-identical merge for
+any worker count — is an invariant of the *code*, not of any test input.
+This package machine-checks the code properties that guarantee rests on:
+seeded randomness, explicit hot-path dtypes, no mutable defaults, monotonic
+timing, and fully annotated public hot-path APIs.
+"""
+
+from .checker import CheckResult, check_paths, collect_files
+from .contracts import (
+    ArraySpec,
+    ContractError,
+    check_array,
+    contracted,
+    contracts_enabled,
+)
+from .rules import REGISTRY, FileContext, Rule, Violation, register
+
+__all__ = [
+    "ArraySpec",
+    "CheckResult",
+    "ContractError",
+    "FileContext",
+    "REGISTRY",
+    "Rule",
+    "Violation",
+    "check_array",
+    "check_paths",
+    "collect_files",
+    "contracted",
+    "contracts_enabled",
+    "register",
+]

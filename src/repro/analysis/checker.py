@@ -1,0 +1,118 @@
+"""Tree walker driving the RC rules over files and directories.
+
+:func:`check_paths` is the programmatic API the ``repro-check`` console
+script and the test-suite both use: it expands directories, parses each
+``.py`` file once, runs every (selected) registered rule, honours inline
+``# noqa: RC00X`` suppressions, and returns violations in a deterministic
+(path, line, column, rule) order — determinism of the checker itself is
+held to the same standard it enforces.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterable, Iterator, Sequence
+from pathlib import Path
+
+from .rules import FileContext, Violation, iter_rules, package_relative
+
+__all__ = ["CheckResult", "check_paths", "collect_files", "parse_file"]
+
+#: Directories never descended into.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".ruff_cache", ".mypy_cache"})
+
+#: ``# noqa: RC001, RC004`` (codes required — a bare ``# noqa`` does not
+#: silence RC rules; invariants are suppressed one at a time, on purpose).
+_NOQA = re.compile(r"#\s*noqa:\s*(?P<codes>RC\d{3}(?:\s*,\s*RC\d{3})*)", re.IGNORECASE)
+
+
+class CheckResult:
+    """Violations plus the bookkeeping the CLI reports."""
+
+    def __init__(self) -> None:
+        self.violations: list[Violation] = []
+        self.files_checked: int = 0
+        self.parse_errors: list[str] = []
+
+    @property
+    def ok(self) -> bool:
+        """True when no violation and no parse error was recorded."""
+        return not self.violations and not self.parse_errors
+
+
+def collect_files(paths: Sequence[str | Path]) -> list[Path]:
+    """Expand file/directory arguments into a sorted list of ``.py`` files."""
+    out: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            for sub in path.rglob("*.py"):
+                if not _SKIP_DIRS.intersection(sub.parts):
+                    out.add(sub)
+        elif path.suffix == ".py":
+            out.add(path)
+        elif not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(out)
+
+
+def parse_file(path: Path) -> FileContext:
+    """Read and parse one file into a rule context (may raise SyntaxError)."""
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    return FileContext(
+        path=path,
+        package_rel=package_relative(path),
+        tree=tree,
+        source=source,
+    )
+
+
+def _suppressed_codes(source: str) -> dict[int, frozenset[str]]:
+    """Line number → RC codes silenced by a ``# noqa: RC...`` comment."""
+    out: dict[int, frozenset[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _NOQA.search(line)
+        if m:
+            codes = frozenset(
+                c.strip().upper() for c in m.group("codes").split(",")
+            )
+            out[lineno] = codes
+    return out
+
+
+def check_paths(
+    paths: Sequence[str | Path],
+    select: Iterable[str] | None = None,
+) -> CheckResult:
+    """Run the (selected) RC rules over *paths*.
+
+    Parse failures are recorded, not raised: a file the checker cannot read
+    is a finding, never a crash that hides other findings.
+    """
+    selected = frozenset(s.upper() for s in select) if select is not None else None
+    result = CheckResult()
+    for path in collect_files(paths):
+        try:
+            ctx = parse_file(path)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            result.parse_errors.append(f"{path}: {exc}")
+            continue
+        result.files_checked += 1
+        noqa = _suppressed_codes(ctx.source)
+        for rule in iter_rules(selected):
+            for violation in rule.check(ctx):
+                if violation.rule in noqa.get(violation.line, frozenset()):
+                    continue
+                result.violations.append(violation)
+    result.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    return result
+
+
+def iter_rendered(result: CheckResult) -> Iterator[str]:
+    """Render parse errors then violations as report lines."""
+    for err in result.parse_errors:
+        yield f"error: {err}"
+    for v in result.violations:
+        yield v.render()

@@ -1,0 +1,95 @@
+"""``repro-check`` — the project-invariant lint gate.
+
+Usage::
+
+    repro-check src tests            # check trees, exit 1 on violations
+    repro-check --select RC002 src   # one rule only
+    repro-check --list-rules         # what is enforced, and why
+
+Exit codes: ``0`` clean, ``1`` violations (or unparsable files) found,
+``2`` usage error (argparse).  Output is one ``path:line:col: RC00X
+message`` line per finding, deterministic across runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from .checker import check_paths, iter_rendered
+from .rules import REGISTRY
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro-check`` argument parser."""
+    p = argparse.ArgumentParser(
+        prog="repro-check",
+        description="AST lint for repro's correctness invariants "
+        "(determinism, dtype discipline, timing, annotations)",
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to check (e.g. `src tests`)",
+    )
+    p.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    p.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the registered rules and exit",
+    )
+    p.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="suppress the summary line (violations still print)",
+    )
+    return p
+
+
+def _validate_select(raw: str, parser: argparse.ArgumentParser) -> list[str]:
+    codes = [c.strip().upper() for c in raw.split(",") if c.strip()]
+    unknown = [c for c in codes if c not in REGISTRY]
+    if unknown:
+        parser.error(
+            f"unknown rule code(s): {', '.join(unknown)} "
+            f"(known: {', '.join(REGISTRY)})"
+        )
+    return codes
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list_rules:
+        for code, rule in REGISTRY.items():
+            print(f"{code}  {rule.summary}")
+        return 0
+    if not args.paths:
+        parser.error("no paths given (try `repro-check src tests`)")
+    select = _validate_select(args.select, parser) if args.select else None
+    result = check_paths(args.paths, select=select)
+    for line in iter_rendered(result):
+        print(line)
+    if not args.quiet:
+        n = len(result.violations)
+        summary = (
+            f"repro-check: {result.files_checked} files, "
+            f"{n} violation{'s' if n != 1 else ''}"
+        )
+        if result.parse_errors:
+            summary += f", {len(result.parse_errors)} unparsable"
+        print(summary)
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,207 @@
+"""Opt-in runtime ndarray dtype/shape contracts.
+
+The static gates (``repro-check`` RC002, mypy) keep dtype discipline in the
+*source*; this module checks it in *running arrays*, where a stray
+``astype`` or a buffer built by foreign code can still smuggle an int32
+into the batched kernel.  Contracts are declared in the annotations
+themselves::
+
+    Buffer = Annotated[np.ndarray, ArraySpec(dtype=np.uint8, ndim=1)]
+
+    @contracted
+    def kernel(buf0: Buffer, anchors0: Anchors, ...) -> Scores: ...
+
+and validated only when ``REPRO_CONTRACTS=1`` is set in the environment —
+the production path pays one truthiness check per call and nothing else.
+Named shape dimensions (``shape=("pairs",)``) unify across all arrays of
+one call, so "the two anchor vectors are the same length" is part of the
+contract, not a comment.
+
+CI runs one tier-1 pytest pass with ``REPRO_CONTRACTS=1`` so every array
+that crosses the batched kernel, the ungapped extender or the executor's
+shared-memory bank views is audited on every commit.
+"""
+
+from __future__ import annotations
+
+import functools
+import inspect
+import os
+import typing
+from collections.abc import Callable, Iterable
+from typing import Any, TypeVar
+
+import numpy as np
+
+__all__ = [
+    "ArraySpec",
+    "ContractError",
+    "check_array",
+    "contracted",
+    "contracts_enabled",
+]
+
+ENV_VAR = "REPRO_CONTRACTS"
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+F = TypeVar("F", bound=Callable[..., Any])
+
+#: Named shape dimensions resolved so far in one call (name → size).
+DimMap = dict[str, int]
+
+
+def contracts_enabled() -> bool:
+    """True when ``REPRO_CONTRACTS`` is set to a truthy value."""
+    return os.environ.get(ENV_VAR, "").strip().lower() in _TRUTHY
+
+
+class ContractError(TypeError):
+    """An array failed its declared dtype/shape contract."""
+
+
+class ArraySpec:
+    """Declarative ndarray contract carried in ``Annotated`` metadata.
+
+    Parameters
+    ----------
+    dtype:
+        Required dtype, or an iterable of acceptable dtypes; ``None``
+        accepts any dtype.
+    ndim:
+        Required dimensionality (redundant when *shape* is given).
+    shape:
+        Per-dimension constraints: an ``int`` pins the size, a ``str``
+        names a dimension that must unify across every spec of the same
+        call, ``None`` accepts any size.
+    """
+
+    __slots__ = ("dtypes", "ndim", "shape")
+
+    def __init__(
+        self,
+        dtype: Any | Iterable[Any] | None = None,
+        ndim: int | None = None,
+        shape: tuple[int | str | None, ...] | None = None,
+    ) -> None:
+        if dtype is None:
+            self.dtypes: tuple[np.dtype[Any], ...] | None = None
+        else:
+            candidates = (
+                tuple(dtype)
+                if isinstance(dtype, (tuple, list))
+                else (dtype,)
+            )
+            self.dtypes = tuple(np.dtype(d) for d in candidates)
+        if shape is not None and ndim is not None and len(shape) != ndim:
+            raise ValueError(f"ndim={ndim} contradicts shape of rank {len(shape)}")
+        self.ndim = len(shape) if shape is not None else ndim
+        self.shape = shape
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        parts = []
+        if self.dtypes is not None:
+            parts.append(f"dtype={'|'.join(str(d) for d in self.dtypes)}")
+        if self.shape is not None:
+            parts.append(f"shape={self.shape}")
+        elif self.ndim is not None:
+            parts.append(f"ndim={self.ndim}")
+        return f"ArraySpec({', '.join(parts)})"
+
+    def validate(self, label: str, value: Any, dims: DimMap) -> None:
+        """Raise :class:`ContractError` unless *value* satisfies the spec."""
+        if not isinstance(value, np.ndarray):
+            raise ContractError(
+                f"{label}: expected numpy.ndarray, got {type(value).__name__}"
+            )
+        if self.dtypes is not None and value.dtype not in self.dtypes:
+            want = " or ".join(str(d) for d in self.dtypes)
+            raise ContractError(
+                f"{label}: dtype {value.dtype} violates contract {want}"
+            )
+        if self.ndim is not None and value.ndim != self.ndim:
+            raise ContractError(
+                f"{label}: ndim {value.ndim} violates contract ndim={self.ndim}"
+            )
+        if self.shape is None:
+            return
+        for axis, constraint in enumerate(self.shape):
+            size = int(value.shape[axis])
+            if constraint is None:
+                continue
+            if isinstance(constraint, int):
+                if size != constraint:
+                    raise ContractError(
+                        f"{label}: axis {axis} has size {size}, contract "
+                        f"requires {constraint}"
+                    )
+            else:
+                seen = dims.setdefault(constraint, size)
+                if seen != size:
+                    raise ContractError(
+                        f"{label}: axis {axis} has size {size}, but "
+                        f"dimension {constraint!r} was already bound to "
+                        f"{seen} in this call"
+                    )
+
+
+def check_array(label: str, value: Any, spec: ArraySpec) -> None:
+    """Validate one array explicitly (no-op unless contracts are enabled).
+
+    Used where the contract lives on a *value* rather than a function
+    signature — e.g. the executor's shared-memory bank views, which are
+    constructed, not passed.
+    """
+    if contracts_enabled():
+        spec.validate(label, value, {})
+
+
+def _spec_of(hint: Any) -> ArraySpec | None:
+    """Extract the :class:`ArraySpec` from an ``Annotated`` hint, if any."""
+    if typing.get_origin(hint) is not typing.Annotated:
+        return None
+    for meta in hint.__metadata__:
+        if isinstance(meta, ArraySpec):
+            return meta
+    return None
+
+
+def contracted(fn: F) -> F:
+    """Wrap *fn* so its ``Annotated[..., ArraySpec]`` hints are enforced.
+
+    Hints are resolved lazily on the first *enabled* call (so decorating
+    costs nothing at import time and stringified annotations resolve
+    against the fully initialised module).  When ``REPRO_CONTRACTS`` is
+    unset the wrapper forwards immediately.
+    """
+    specs: dict[str, ArraySpec] | None = None
+    signature: inspect.Signature | None = None
+
+    @functools.wraps(fn)
+    def wrapper(*args: Any, **kwargs: Any) -> Any:
+        if not contracts_enabled():
+            return fn(*args, **kwargs)
+        nonlocal specs, signature
+        if specs is None:
+            signature = inspect.signature(fn)
+            hints = typing.get_type_hints(fn, include_extras=True)
+            specs = {
+                name: spec
+                for name, hint in hints.items()
+                if (spec := _spec_of(hint)) is not None
+            }
+        assert signature is not None
+        bound = signature.bind(*args, **kwargs)
+        dims: DimMap = {}
+        for name, spec in specs.items():
+            if name == "return" or name not in bound.arguments:
+                continue
+            spec.validate(f"{fn.__qualname__}() argument {name!r}",
+                          bound.arguments[name], dims)
+        result = fn(*args, **kwargs)
+        ret = specs.get("return")
+        if ret is not None:
+            ret.validate(f"{fn.__qualname__}() return value", result, dims)
+        return result
+
+    wrapper.__repro_contracted__ = True  # type: ignore[attr-defined]
+    return typing.cast(F, wrapper)

@@ -1,0 +1,387 @@
+"""Project-invariant lint rules (the ``RC`` series).
+
+Generic linters check style; these rules check the *correctness invariants*
+this reproduction depends on and that ruff cannot express:
+
+========  ==================================================================
+RC001     No unseeded randomness inside ``repro`` — the sharded executor's
+          bit-identical merge and the reproducible workload generators both
+          assume every random stream is an explicitly seeded
+          ``np.random.default_rng(seed)``.
+RC002     Every ``np.zeros/empty/full/arange/array`` in a hot-path package
+          must pass an explicit ``dtype=`` — implicit platform-dependent
+          dtypes (int32 on Windows, int64 on Linux) silently de-synchronise
+          the batched kernel from the PE simulator.
+RC003     No mutable default arguments anywhere.
+RC004     Timing goes through ``time.perf_counter`` (see
+          :mod:`repro.util.timing`); ``time.time()`` is not monotonic and
+          must never feed a performance table.
+RC005     Public functions in ``core/``, ``extend/`` and ``index/`` are
+          fully type-annotated, so the mypy gate actually covers the hot
+          path instead of inferring ``Any``.
+========  ==================================================================
+
+Rules are registered in :data:`REGISTRY` via :func:`register`; adding a rule
+is subclassing :class:`Rule` and decorating it.  Each rule sees a parsed
+:class:`FileContext` and yields :class:`Violation` records.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass
+from pathlib import Path, PurePosixPath
+
+__all__ = [
+    "FileContext",
+    "Violation",
+    "Rule",
+    "REGISTRY",
+    "register",
+    "iter_rules",
+]
+
+#: Packages (paths relative to the ``repro`` package root) whose numeric
+#: arrays feed the batched kernel or the cycle simulators — RC002 scope.
+HOT_PATH_PREFIXES: tuple[str, ...] = ("extend/", "psc/", "hwsim/")
+HOT_PATH_FILES: tuple[str, ...] = ("core/executor.py",)
+
+#: numpy constructors whose default dtype is platform- or input-dependent.
+DTYPE_REQUIRED_FUNCS: frozenset[str] = frozenset(
+    {"zeros", "empty", "full", "arange", "array"}
+)
+
+#: ``np.random`` attributes that are allowed: the seeded-generator
+#: constructor (argument presence is checked separately) and the types
+#: used in annotations.
+NP_RANDOM_ALLOWED: frozenset[str] = frozenset(
+    {"default_rng", "Generator", "SeedSequence", "BitGenerator", "PCG64"}
+)
+
+#: Packages (relative to ``repro``) whose public functions RC005 covers.
+ANNOTATION_SCOPES: tuple[str, ...] = ("core/", "extend/", "index/", "analysis/")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule finding, pointing at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: RC00X message`` — the checker's output line."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass(frozen=True)
+class FileContext:
+    """Everything a rule may inspect about one source file."""
+
+    path: Path
+    #: Path relative to the innermost ``repro`` package directory as POSIX
+    #: (e.g. ``core/executor.py``), or ``None`` for files outside it
+    #: (tests, benchmarks, scripts).
+    package_rel: str | None
+    tree: ast.Module
+    source: str
+
+    @property
+    def in_package(self) -> bool:
+        """True when the file lives inside the ``repro`` package."""
+        return self.package_rel is not None
+
+    @property
+    def in_hot_path(self) -> bool:
+        """True when the file is RC002 hot-path scope."""
+        rel = self.package_rel
+        if rel is None:
+            return False
+        return rel.startswith(HOT_PATH_PREFIXES) or rel in HOT_PATH_FILES
+
+    @property
+    def in_annotation_scope(self) -> bool:
+        """True when the file is RC005 scope."""
+        rel = self.package_rel
+        return rel is not None and rel.startswith(ANNOTATION_SCOPES)
+
+
+def package_relative(path: Path) -> str | None:
+    """Path relative to the innermost ancestor directory named ``repro``.
+
+    ``src/repro/core/executor.py`` → ``core/executor.py``; paths with no
+    ``repro`` ancestor (tests, benchmarks) return ``None``.
+    """
+    parts = path.parts
+    for i in range(len(parts) - 2, -1, -1):
+        if parts[i] == "repro":
+            return PurePosixPath(*parts[i + 1 :]).as_posix()
+    return None
+
+
+class Rule:
+    """Base class for RC rules; subclasses override :meth:`check`."""
+
+    code: str = ""
+    summary: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Yield every violation of this rule in *ctx*."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def violation(self, ctx: FileContext, node: ast.AST, message: str) -> Violation:
+        """Build a :class:`Violation` at *node*'s location."""
+        return Violation(
+            rule=self.code,
+            path=str(ctx.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+#: Rule registry: code → rule instance, in registration (= report) order.
+REGISTRY: dict[str, Rule] = {}
+
+
+def register(cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule to :data:`REGISTRY` (keyed by code)."""
+    if not cls.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    if cls.code in REGISTRY:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    REGISTRY[cls.code] = cls()
+    return cls
+
+
+def iter_rules(select: frozenset[str] | None = None) -> Iterator[Rule]:
+    """Registered rules, optionally restricted to the *select* codes."""
+    for code, rule in REGISTRY.items():
+        if select is None or code in select:
+            yield rule
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """Render ``a.b.c`` attribute/name chains; None for anything else."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@register
+class UnseededRandomRule(Rule):
+    """RC001 — no unseeded randomness inside the ``repro`` package."""
+
+    code = "RC001"
+    summary = (
+        "unseeded randomness in repro: use np.random.default_rng(seed); "
+        "the stdlib random module and legacy np.random.* break shard-merge "
+        "determinism"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.in_package:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self.violation(
+                            ctx,
+                            node,
+                            "stdlib `random` is banned in repro; use a "
+                            "seeded np.random.default_rng(seed)",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and node.level == 0:
+                    yield self.violation(
+                        ctx,
+                        node,
+                        "stdlib `random` is banned in repro; use a "
+                        "seeded np.random.default_rng(seed)",
+                    )
+            elif isinstance(node, ast.Call):
+                name = _dotted(node.func)
+                if name is None:
+                    continue
+                for prefix in ("np.random.", "numpy.random."):
+                    if name.startswith(prefix):
+                        attr = name[len(prefix) :]
+                        if attr == "default_rng":
+                            if not node.args and not node.keywords:
+                                yield self.violation(
+                                    ctx,
+                                    node,
+                                    "np.random.default_rng() without a seed "
+                                    "is entropy-seeded; pass an explicit seed",
+                                )
+                        elif attr not in NP_RANDOM_ALLOWED:
+                            yield self.violation(
+                                ctx,
+                                node,
+                                f"legacy global-state np.random.{attr}() is "
+                                "banned; use a seeded "
+                                "np.random.default_rng(seed)",
+                            )
+
+
+@register
+class ExplicitDtypeRule(Rule):
+    """RC002 — hot-path numpy constructors must pass ``dtype=``."""
+
+    code = "RC002"
+    summary = (
+        "np.zeros/empty/full/arange/array in hot-path packages "
+        "(extend/, psc/, hwsim/, core/executor.py) must pass an explicit "
+        "dtype= to prevent int32/int64 drift between kernel and simulator"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.in_hot_path:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _dotted(node.func)
+            if name is None:
+                continue
+            mod, _, attr = name.rpartition(".")
+            if mod not in ("np", "numpy") or attr not in DTYPE_REQUIRED_FUNCS:
+                continue
+            if not any(kw.arg == "dtype" for kw in node.keywords):
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"np.{attr}(...) without explicit dtype= in a hot-path "
+                    "module; the default dtype is platform/input dependent",
+                )
+
+
+@register
+class MutableDefaultRule(Rule):
+    """RC003 — no mutable default arguments."""
+
+    code = "RC003"
+    summary = "mutable default argument (shared across calls)"
+
+    _MUTABLE_CALLS = frozenset({"list", "dict", "set", "bytearray"})
+
+    def _is_mutable(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in self._MUTABLE_CALLS
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default):
+                    yield self.violation(
+                        ctx,
+                        default,
+                        f"mutable default in {node.name}(); use None and "
+                        "create the object inside the function",
+                    )
+
+
+@register
+class WallClockRule(Rule):
+    """RC004 — ``time.time()`` never times anything."""
+
+    code = "RC004"
+    summary = (
+        "time.time() is not monotonic; use time.perf_counter() / "
+        "repro.util.timing.Stopwatch"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and _dotted(node.func) == "time.time"
+            ):
+                yield self.violation(
+                    ctx,
+                    node,
+                    "time.time() is banned; use time.perf_counter() "
+                    "(repro.util.timing.Stopwatch)",
+                )
+            elif isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name == "time":
+                        yield self.violation(
+                            ctx,
+                            node,
+                            "importing time.time is banned; use "
+                            "time.perf_counter()",
+                        )
+
+
+@register
+class PublicAnnotationRule(Rule):
+    """RC005 — public hot-path functions are fully annotated."""
+
+    code = "RC005"
+    summary = (
+        "public functions in core/, extend/, index/, analysis/ must have "
+        "complete parameter and return annotations (the mypy gate is only "
+        "as strong as the annotations it sees)"
+    )
+
+    def _missing(self, fn: ast.FunctionDef | ast.AsyncFunctionDef,
+                 is_method: bool) -> list[str]:
+        missing: list[str] = []
+        args = fn.args
+        positional = list(args.posonlyargs) + list(args.args)
+        if is_method and positional and positional[0].arg in ("self", "cls"):
+            positional = positional[1:]
+        for a in positional + list(args.kwonlyargs):
+            if a.annotation is None:
+                missing.append(a.arg)
+        if args.vararg is not None and args.vararg.annotation is None:
+            missing.append("*" + args.vararg.arg)
+        if args.kwarg is not None and args.kwarg.annotation is None:
+            missing.append("**" + args.kwarg.arg)
+        if fn.returns is None:
+            missing.append("return")
+        return missing
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if not ctx.in_annotation_scope:
+            return
+
+        def visit(body: list[ast.stmt], is_class: bool) -> Iterator[Violation]:
+            for node in body:
+                if isinstance(node, ast.ClassDef):
+                    yield from visit(node.body, is_class=True)
+                elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    public = not node.name.startswith("_") or node.name == "__init__"
+                    if not public:
+                        continue
+                    missing = self._missing(node, is_method=is_class)
+                    if missing:
+                        yield self.violation(
+                            ctx,
+                            node,
+                            f"public function {node.name}() is missing "
+                            f"annotations for: {', '.join(missing)}",
+                        )
+
+        yield from visit(ctx.tree.body, is_class=False)

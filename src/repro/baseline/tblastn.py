@@ -144,7 +144,7 @@ class TblastnSearch:
             ends = np.concatenate((boundaries, [sorted_words.shape[0]]))
             q_parts: list[np.ndarray] = []
             s_parts: list[np.ndarray] = []
-            for a, b in zip(starts, ends):
+            for a, b in zip(starts, ends, strict=True):
                 word = int(sorted_words[a])
                 qh = query_hits_for(word)
                 if qh.size == 0:

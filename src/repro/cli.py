@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -27,6 +27,17 @@ from .core.pipeline import SeedComparisonPipeline
 from .core.results import ComparisonReport
 
 __all__ = ["main", "build_parser"]
+
+
+def positive_int(text: str) -> int:
+    """Argparse type for options that must be strictly positive integers."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -47,11 +58,11 @@ def build_parser() -> argparse.ArgumentParser:
         )
         sp.add_argument("--flank", type=int, default=12, help="window flank N")
         sp.add_argument(
-            "--workers", type=int, default=1,
+            "--workers", type=positive_int, default=1,
             help="step-2 shard processes (1 = in-process batched scoring)",
         )
         sp.add_argument(
-            "--batch-pairs", type=int, default=1 << 20,
+            "--batch-pairs", type=positive_int, default=1 << 20,
             help="max seed pairs per step-2 kernel batch",
         )
         sp.add_argument("--max-hits", type=int, default=25, help="alignments to print")

@@ -4,7 +4,6 @@ comparison pipeline, its configuration, results and work partitioning."""
 from .config import PipelineConfig
 from .executor import ShardedStep2Executor
 from .modes import BlastFamilySearch, SearchMode, translate_queries
-from .render import alignment_traceback, render_alignment, render_report
 from .partition import (
     partition_imbalance,
     split_bank,
@@ -13,6 +12,7 @@ from .partition import (
 )
 from .pipeline import SeedComparisonPipeline, gapped_stage
 from .profile import PipelineProfile, ShardTiming, StepCounters
+from .render import alignment_traceback, render_alignment, render_report
 from .results import Alignment, ComparisonReport
 
 __all__ = [

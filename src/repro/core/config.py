@@ -88,11 +88,11 @@ class PipelineConfig:
             pair_chunk=self.pair_chunk,
         )
 
-    def with_(self, **kwargs: Any) -> "PipelineConfig":
+    def with_(self, **kwargs: Any) -> PipelineConfig:
         """Return a copy with the given fields replaced."""
         return replace(self, **kwargs)
 
     @classmethod
-    def exact_seed(cls, w: int = 4, **kwargs: Any) -> "PipelineConfig":
+    def exact_seed(cls, w: int = 4, **kwargs: Any) -> PipelineConfig:
         """Convenience: a configuration using exact contiguous W-mers."""
         return cls(seed_model=ContiguousSeedModel(w), **kwargs)

@@ -27,24 +27,35 @@ from __future__ import annotations
 
 import time
 import warnings
+from collections.abc import Iterator
 from concurrent.futures import ProcessPoolExecutor
-from typing import Iterator
+from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from ..analysis.contracts import ArraySpec, check_array
 from ..extend.batched import BatchedUngappedEngine
 from ..extend.ungapped import UngappedConfig, UngappedHits, UngappedStats
 from ..index.kmer import TwoBankIndex
 from .partition import split_entries_contiguous
 from .profile import ShardTiming
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from multiprocessing.context import BaseContext
+    from multiprocessing.shared_memory import SharedMemory
+
 __all__ = ["ShardedStep2Executor"]
 
 #: Per-process worker state installed by the pool initializer.
-_WORKER: dict = {}
+_WORKER: dict[str, Any] = {}
+
+#: Contract every shared-memory bank view must satisfy: the batched kernel
+#: gathers residues straight out of these buffers, so a wrong dtype here is
+#: silent score corruption in every worker.
+_BANK_VIEW_SPEC = ArraySpec(dtype=np.uint8, ndim=1)
 
 
-def _pool_context():
+def _pool_context() -> tuple[BaseContext, bool]:
     """Multiprocessing context for the pool.
 
     Prefer ``fork``: workers then share the parent's resource tracker, and
@@ -62,7 +73,7 @@ def _pool_context():
         return mp.get_context("spawn"), True
 
 
-def _attach_shared(name: str, unregister: bool):
+def _attach_shared(name: str, unregister: bool) -> SharedMemory:
     """Attach a shared-memory block, optionally disowning its cleanup.
 
     Only the parent owns the segment's lifetime; with a per-worker
@@ -90,8 +101,12 @@ def _init_worker(name0: str, size0: int, name1: str, size1: int,
     shm0 = _attach_shared(name0, unregister)
     shm1 = _attach_shared(name1, unregister)
     _WORKER["shm"] = (shm0, shm1)  # keep alive for the process lifetime
-    _WORKER["buf0"] = np.ndarray((size0,), dtype=np.uint8, buffer=shm0.buf)
-    _WORKER["buf1"] = np.ndarray((size1,), dtype=np.uint8, buffer=shm1.buf)
+    buf0 = np.ndarray((size0,), dtype=np.uint8, buffer=shm0.buf)
+    buf1 = np.ndarray((size1,), dtype=np.uint8, buffer=shm1.buf)
+    check_array("step-2 worker bank-0 view", buf0, _BANK_VIEW_SPEC)
+    check_array("step-2 worker bank-1 view", buf1, _BANK_VIEW_SPEC)
+    _WORKER["buf0"] = buf0
+    _WORKER["buf1"] = buf1
     _WORKER["config"] = config
 
 
@@ -108,13 +123,27 @@ def _entry_stream(
         yield offsets0[b0[i] : b0[i + 1]], offsets1[b1[i] : b1[i + 1]]
 
 
+#: ``_score_shard`` payload: (shard id, hit offsets0/offsets1/scores,
+#: (entries, pairs, cells, hits), wall seconds, batches, max batch pairs).
+ShardResult = tuple[
+    int,
+    np.ndarray,
+    np.ndarray,
+    np.ndarray,
+    tuple[int, int, int, int],
+    float,
+    int,
+    int,
+]
+
+
 def _score_shard(
     shard: int,
     offsets0: np.ndarray,
     counts0: np.ndarray,
     offsets1: np.ndarray,
     counts1: np.ndarray,
-) -> tuple:
+) -> ShardResult:
     """Worker task: batched-score one shard against the mapped buffers."""
     t0 = time.perf_counter()
     engine = BatchedUngappedEngine(_WORKER["config"])
@@ -201,17 +230,27 @@ class ShardedStep2Executor:
     def _run_pool(self, index: TwoBankIndex) -> UngappedHits:
         from multiprocessing import shared_memory
 
-        ranges = split_entries_contiguous(index, self.workers)
+        # Never cut more shards than there are entries: a worker with an
+        # empty range costs a process spawn and two buffer mappings for
+        # zero pairs.  Empty quantile ranges (possible under extreme pair
+        # skew) are likewise never submitted.
+        n_shards = max(1, min(self.workers, index.n_shared_keys))
+        ranges = split_entries_contiguous(index, n_shards)
+        tasks = [(s, lo, hi) for s, (lo, hi) in enumerate(ranges) if hi > lo]
+        if not tasks:
+            return self._run_local(index)
         ctx, unregister = _pool_context()
         buf0 = index.index0.bank.buffer
         buf1 = index.index1.bank.buffer
+        check_array("step-2 bank-0 buffer", buf0, _BANK_VIEW_SPEC)
+        check_array("step-2 bank-1 buffer", buf1, _BANK_VIEW_SPEC)
         shm0 = shared_memory.SharedMemory(create=True, size=max(1, buf0.nbytes))
         shm1 = shared_memory.SharedMemory(create=True, size=max(1, buf1.nbytes))
         try:
             np.ndarray(buf0.shape, dtype=np.uint8, buffer=shm0.buf)[:] = buf0
             np.ndarray(buf1.shape, dtype=np.uint8, buffer=shm1.buf)[:] = buf1
             with ProcessPoolExecutor(
-                max_workers=self.workers,
+                max_workers=len(tasks),
                 mp_context=ctx,
                 initializer=_init_worker,
                 initargs=(shm0.name, buf0.shape[0], shm1.name, buf1.shape[0],
@@ -219,7 +258,7 @@ class ShardedStep2Executor:
             ) as pool:
                 futures = [
                     pool.submit(_score_shard, s, *index.shard_arrays(lo, hi))
-                    for s, (lo, hi) in enumerate(ranges)
+                    for s, lo, hi in tasks
                 ]
                 results = sorted((f.result() for f in futures), key=lambda r: r[0])
         finally:

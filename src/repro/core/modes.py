@@ -28,7 +28,7 @@ from ..seqs.lowcomplexity import SegConfig, mask_bank
 from ..seqs.sequence import Sequence, SequenceBank
 from ..seqs.translate import translated_bank
 from .config import PipelineConfig
-from .pipeline import SeedComparisonPipeline
+from .pipeline import SeedComparisonPipeline, Step2Fn
 from .results import ComparisonReport
 
 __all__ = ["SearchMode", "BlastFamilySearch", "translate_queries"]
@@ -88,7 +88,7 @@ class BlastFamilySearch:
         self,
         config: PipelineConfig | None = None,
         seg: SegConfig | None = SegConfig(),
-        step2=None,
+        step2: Step2Fn | None = None,
     ) -> None:
         self.config = config or PipelineConfig()
         self.seg = seg
@@ -130,18 +130,26 @@ class BlastFamilySearch:
         return pipeline.compare_banks(qbank, sbank)
 
     # Convenience wrappers -------------------------------------------------
-    def blastp(self, queries, subject) -> ComparisonReport:
+    def blastp(
+        self, queries: Sequence | SequenceBank, subject: Sequence | SequenceBank
+    ) -> ComparisonReport:
         """Protein vs protein."""
         return self.search(SearchMode.BLASTP, queries, subject)
 
-    def blastx(self, queries, subject) -> ComparisonReport:
+    def blastx(
+        self, queries: Sequence | SequenceBank, subject: Sequence | SequenceBank
+    ) -> ComparisonReport:
         """Translated DNA queries vs protein bank."""
         return self.search(SearchMode.BLASTX, queries, subject)
 
-    def tblastn(self, queries, subject) -> ComparisonReport:
+    def tblastn(
+        self, queries: Sequence | SequenceBank, subject: Sequence | SequenceBank
+    ) -> ComparisonReport:
         """Protein queries vs translated genome."""
         return self.search(SearchMode.TBLASTN, queries, subject)
 
-    def tblastx(self, queries, subject) -> ComparisonReport:
+    def tblastx(
+        self, queries: Sequence | SequenceBank, subject: Sequence | SequenceBank
+    ) -> ComparisonReport:
         """Translated DNA vs translated DNA."""
         return self.search(SearchMode.TBLASTX, queries, subject)

@@ -21,12 +21,13 @@ split the paper deploys on the Altix + RASC-100.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 import numpy as np
 
 from ..extend.gapped import xdrop_gapped_extend
-from ..extend.stats import gapped_params, evalue as evalue_of
+from ..extend.stats import evalue as evalue_of
+from ..extend.stats import gapped_params
 from ..extend.ungapped import UngappedHits
 from ..index.kmer import TwoBankIndex
 from ..seqs.sequence import Sequence, SequenceBank

@@ -11,9 +11,9 @@ Itanium2/RASC-100 seconds; wall-clock is reported alongside for honesty.
 from __future__ import annotations
 
 import time
+from collections.abc import Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Iterator
 
 __all__ = ["StepCounters", "ShardTiming", "PipelineProfile"]
 
@@ -30,7 +30,7 @@ class StepCounters:
     #: Items processed (sequences, pairs, extensions).
     items: int = 0
 
-    def merge(self, other: "StepCounters") -> None:
+    def merge(self, other: StepCounters) -> None:
         """Accumulate another step's counters."""
         self.wall_seconds += other.wall_seconds
         self.operations += other.operations
@@ -99,7 +99,7 @@ class PipelineProfile:
             return 1.0
         return max(walls) / (sum(walls) / len(walls))
 
-    def merge(self, other: "PipelineProfile") -> None:
+    def merge(self, other: PipelineProfile) -> None:
         """Accumulate another run's profile."""
         self.step1.merge(other.step1)
         self.step2.merge(other.step2)

@@ -46,7 +46,7 @@ def alignment_traceback(
 
 def _midline(a: str, b: str, matrix: SubstitutionMatrix) -> str:
     out = []
-    for x, y in zip(a, b):
+    for x, y in zip(a, b, strict=True):
         if x == "-" or y == "-":
             out.append(" ")
         elif x == y:
@@ -70,7 +70,7 @@ def render_alignment(
     tb = alignment_traceback(bank0, bank1, alignment, matrix, gaps)
     aligned_cols = len(tb.aligned0)
     pairs = [
-        (x, y) for x, y in zip(tb.aligned0, tb.aligned1) if x != "-" and y != "-"
+        (x, y) for x, y in zip(tb.aligned0, tb.aligned1, strict=True) if x != "-" and y != "-"
     ]
     identities = sum(1 for x, y in pairs if x == y)
     positives = sum(

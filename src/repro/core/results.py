@@ -2,8 +2,8 @@
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
 
 __all__ = ["Alignment", "ComparisonReport"]
 
@@ -41,7 +41,7 @@ class Alignment:
         """Alignment extent on sequence 1."""
         return self.end1 - self.start1
 
-    def overlaps(self, other: "Alignment") -> bool:
+    def overlaps(self, other: Alignment) -> bool:
         """True when both sequence ranges overlap *other*'s (same pair)."""
         if (self.seq0_id, self.seq1_id) != (other.seq0_id, other.seq1_id):
             return False
@@ -86,7 +86,7 @@ class ComparisonReport:
         self.alignments.sort(key=lambda a: (a.evalue, -a.raw_score))
 
     @staticmethod
-    def merged(parts: Iterable["ComparisonReport"]) -> "ComparisonReport":
+    def merged(parts: Iterable[ComparisonReport]) -> ComparisonReport:
         """Merge partitioned runs (multi-FPGA / multi-process)."""
         out = ComparisonReport()
         for p in parts:

@@ -21,8 +21,9 @@ baseline, an accelerated run) with ROC50 and mean AP on identical inputs.
 
 from __future__ import annotations
 
+from collections.abc import Callable
+from collections.abc import Sequence as PySequence
 from dataclasses import dataclass, field
-from typing import Callable, Sequence as PySequence
 
 import numpy as np
 

@@ -14,7 +14,7 @@ The final score averages per-query ROC50 values.
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -69,6 +69,6 @@ def mean_roc50(
         return 0.0
     scores = [
         roc50(labels, p)
-        for labels, p in zip(per_query_labels, per_query_positives)
+        for labels, p in zip(per_query_labels, per_query_positives, strict=True)
     ]
     return float(np.mean(scores))

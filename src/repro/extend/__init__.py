@@ -1,10 +1,11 @@
 """Extension kernels: vectorised ungapped window scoring (step 2), gapped
 X-drop / Smith-Waterman (step 3), and Karlin-Altschul statistics."""
 
+from .batched import BatchedUngappedEngine, BatchTelemetry, iter_pair_batches
 from .gapped import (
     NEG_INF,
-    GapPenalties,
     GappedExtension,
+    GapPenalties,
     SWAlignment,
     smith_waterman,
     xdrop_gapped_extend,
@@ -20,7 +21,6 @@ from .stats import (
     karlin_lambda,
     ungapped_params,
 )
-from .batched import BatchedUngappedEngine, BatchTelemetry, iter_pair_batches
 from .ungapped import (
     ScoreSemantics,
     UngappedConfig,

@@ -24,13 +24,15 @@ same error :meth:`~repro.seqs.sequence.SequenceBank.windows` raises).
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
 
 import numpy as np
 
+from ..analysis.contracts import contracted
 from ..index.kmer import TwoBankIndex
 from .ungapped import (
+    BankBuffer,
     UngappedConfig,
     UngappedHits,
     UngappedStats,
@@ -144,10 +146,11 @@ class BatchedUngappedEngine:
             index.index0.bank.buffer, index.index1.bank.buffer, stream(), stats
         )
 
+    @contracted
     def run_stream(
         self,
-        buf0: np.ndarray,
-        buf1: np.ndarray,
+        buf0: BankBuffer,
+        buf1: BankBuffer,
         entries: Iterable[EntryLists],
         stats: UngappedStats | None = None,
     ) -> UngappedHits:

@@ -60,7 +60,7 @@ def _xdrop_half(
     sub: np.ndarray,
     gaps: GapPenalties,
     x_drop: int,
-) -> tuple[int, int, int]:
+) -> tuple[int, int, int, int]:
     """One direction of gapped X-drop DP.
 
     Aligns prefixes of *a* (rows) against prefixes of *b* (columns),
@@ -97,7 +97,7 @@ def _xdrop_half(
         j_first = max(lo, 1)
         if j_first > hi_new:
             break
-        js = np.arange(j_first, hi_new + 1)
+        js = np.arange(j_first, hi_new + 1, dtype=np.int64)
         cells += js.shape[0]
         F[js] = np.maximum(H_prev[js] - go, F_prev[js] - ge)
         diag = H_prev[js - 1] + sub[int(a[i - 1]), b[js - 1]]
@@ -205,7 +205,7 @@ class SWAlignment:
     def identity(self) -> float:
         """Fraction of aligned (non-gap) columns with identical residues."""
         pairs = [
-            (x, y) for x, y in zip(self.aligned0, self.aligned1) if x != "-" and y != "-"
+            (x, y) for x, y in zip(self.aligned0, self.aligned1, strict=True) if x != "-" and y != "-"
         ]
         if not pairs:
             return 0.0
@@ -247,7 +247,7 @@ def smith_waterman(
             j_hi = min(n, i + band)
         if j_lo > j_hi:
             continue
-        js = np.arange(j_lo, j_hi + 1)
+        js = np.arange(j_lo, j_hi + 1, dtype=np.int64)
         F[i, js] = np.maximum(H[i - 1, js] - go, F[i - 1, js] - ge)
         diag = H[i - 1, js - 1] + sub[int(a[i - 1]), b[js - 1]]
         base = np.maximum.reduce([diag, F[i, js], np.zeros_like(diag)])

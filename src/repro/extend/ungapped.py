@@ -33,15 +33,20 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Annotated
 
 import numpy as np
 
+from ..analysis.contracts import ArraySpec, contracted
 from ..index.kmer import SeedEntry, TwoBankIndex
 from ..seqs.matrices import BLOSUM62, SubstitutionMatrix
 from ..seqs.sequence import SequenceBank
 
 __all__ = [
     "ScoreSemantics",
+    "BankBuffer",
+    "AnchorArray",
+    "ScoreArray",
     "ungapped_score_reference",
     "ungapped_scores",
     "ungapped_scores_paired",
@@ -51,6 +56,19 @@ __all__ = [
     "UngappedExtender",
     "ungapped_xdrop",
 ]
+
+#: 1-D uint8 bank buffer: residue codes with pad/gap sentinels.  Checked at
+#: runtime under ``REPRO_CONTRACTS=1`` (see :mod:`repro.analysis.contracts`).
+BankBuffer = Annotated[np.ndarray, ArraySpec(dtype=np.uint8, ndim=1)]
+#: Flat seed-anchor offsets; the two vectors of one kernel call must agree
+#: on the named ``pairs`` dimension.
+AnchorArray = Annotated[np.ndarray, ArraySpec(dtype=np.int64, shape=("pairs",))]
+#: Per-pair window scores, parallel to the anchor vectors.
+ScoreArray = Annotated[np.ndarray, ArraySpec(dtype=np.int32, shape=("pairs",))]
+#: ``(K, L)`` uint8 window matrices; the two sides of one outer-product
+#: call must agree on the named window ``width`` dimension.
+WindowMatrix0 = Annotated[np.ndarray, ArraySpec(dtype=np.uint8, shape=("k0", "width"))]
+WindowMatrix1 = Annotated[np.ndarray, ArraySpec(dtype=np.uint8, shape=("k1", "width"))]
 
 
 class ScoreSemantics(enum.Enum):
@@ -79,7 +97,7 @@ def ungapped_score_reference(
         raise ValueError("windows must have equal length")
     score = 0
     best = 0
-    for a, b in zip(s0, s1):
+    for a, b in zip(s0, s1, strict=True):
         cost = int(matrix.scores[int(a), int(b)])
         if semantics is ScoreSemantics.KADANE:
             score = max(0, score + cost)
@@ -89,12 +107,13 @@ def ungapped_score_reference(
     return best
 
 
+@contracted
 def ungapped_scores(
-    windows0: np.ndarray,
-    windows1: np.ndarray,
+    windows0: WindowMatrix0,
+    windows1: WindowMatrix1,
     matrix: SubstitutionMatrix = BLOSUM62,
     semantics: ScoreSemantics = ScoreSemantics.KADANE,
-) -> np.ndarray:
+) -> Annotated[np.ndarray, ArraySpec(dtype=np.int32, shape=("k0", "k1"))]:
     """Score the full cross product of two window sets.
 
     Parameters
@@ -130,16 +149,17 @@ def ungapped_scores(
     return best
 
 
+@contracted
 def ungapped_scores_paired(
-    buf0: np.ndarray,
-    anchors0: np.ndarray,
-    buf1: np.ndarray,
-    anchors1: np.ndarray,
+    buf0: BankBuffer,
+    anchors0: AnchorArray,
+    buf1: BankBuffer,
+    anchors1: AnchorArray,
     flank: int,
     window: int,
     matrix: SubstitutionMatrix = BLOSUM62,
     semantics: ScoreSemantics = ScoreSemantics.KADANE,
-) -> np.ndarray:
+) -> ScoreArray:
     """Score *paired* windows: one score per (anchors0[i], anchors1[i]).
 
     Unlike :func:`ungapped_scores` (a ``K0 × K1`` outer product for one
@@ -218,7 +238,7 @@ class UngappedStats:
     cells: int = 0  # pairs × window width — one hardware clock cycle each
     hits: int = 0
 
-    def merge(self, other: "UngappedStats") -> None:
+    def merge(self, other: UngappedStats) -> None:
         """Accumulate another stats block in place."""
         self.entries += other.entries
         self.pairs += other.pairs
@@ -243,7 +263,7 @@ class UngappedHits:
         return int(self.offsets0.shape[0])
 
     @staticmethod
-    def concatenate(parts: list["UngappedHits"]) -> "UngappedHits":
+    def concatenate(parts: list[UngappedHits]) -> UngappedHits:
         """Merge chunked results, summing stats."""
         stats = UngappedStats()
         for p in parts:
@@ -265,7 +285,12 @@ class UngappedExtender:
     def __init__(self, config: UngappedConfig | None = None) -> None:
         self.config = config or UngappedConfig()
 
-    def windows_for(self, bank: SequenceBank, offsets: np.ndarray) -> np.ndarray:
+    @contracted
+    def windows_for(
+        self,
+        bank: SequenceBank,
+        offsets: Annotated[np.ndarray, ArraySpec(dtype=np.int64, shape=("k",))],
+    ) -> Annotated[np.ndarray, ArraySpec(dtype=np.uint8, shape=("k", None))]:
         """Extract scoring windows centred on seed anchors."""
         cfg = self.config
         return bank.windows(offsets, left=cfg.n, width=cfg.window)

@@ -10,7 +10,8 @@ FIFOs cascading results out of the paper's PE slots.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Iterable
+from collections.abc import Iterable
+from typing import Any
 
 from .kernel import SimulationError
 

@@ -17,7 +17,7 @@ simulation deterministic and lets the analytic model match it exactly.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 __all__ = ["Component", "Simulator", "SimulationError"]
 

@@ -40,7 +40,7 @@ class Rom:
         return int(self._image[address])
 
     @classmethod
-    def substitution_rom(cls, matrix) -> "Rom":
+    def substitution_rom(cls, matrix) -> Rom:
         """Build the PE substitution ROM from a
         :class:`~repro.seqs.matrices.SubstitutionMatrix` (1024 words, two
         5-bit code address fields: ``a * 32 + b``)."""

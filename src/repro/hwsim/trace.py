@@ -11,8 +11,9 @@ never exceeded depth 3", "the load phase lasted exactly K0·L cycles").
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any
 
 from .kernel import Component
 
@@ -27,12 +28,12 @@ class Probe:
     sample: Callable[[], Any]
 
     @classmethod
-    def attr(cls, name: str, obj: Any, attribute: str) -> "Probe":
+    def attr(cls, name: str, obj: Any, attribute: str) -> Probe:
         """Probe an attribute of *obj* (sampled by ``getattr``)."""
         return cls(name, lambda: getattr(obj, attribute))
 
     @classmethod
-    def fifo_depth(cls, name: str, fifo) -> "Probe":
+    def fifo_depth(cls, name: str, fifo) -> Probe:
         """Probe a FIFO's committed occupancy."""
         return cls(name, lambda: len(fifo))
 
@@ -73,7 +74,7 @@ class Tracer(Component):
         """(cycle, new value) at each transition of a probe."""
         out: list[tuple[int, Any]] = []
         prev: Any = object()
-        for cyc, v in zip(self.cycles, self.samples[name]):
+        for cyc, v in zip(self.cycles, self.samples[name], strict=True):
             if v != prev:
                 out.append((cyc, v))
                 prev = v

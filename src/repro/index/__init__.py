@@ -2,9 +2,9 @@
 BLAST neighbourhood-word tables for the baseline."""
 
 from .kmer import BankIndex, ContiguousSeedModel, SeedEntry, SeedModel, TwoBankIndex, extract_keys
+from .neighborhood import NeighborhoodTable, word_digits
 from .persist import load_index, save_index
 from .stats import IndexStats, JointStats, index_stats, joint_stats, occupancy_curve
-from .neighborhood import NeighborhoodTable, word_digits
 from .subset_seed import (
     DEFAULT_SUBSET_SEED,
     EXACT,

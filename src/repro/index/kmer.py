@@ -23,8 +23,9 @@ Implementation notes
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass
-from typing import Iterator, Protocol
+from typing import Protocol
 
 import numpy as np
 
@@ -213,7 +214,7 @@ class TwoBankIndex:
     @classmethod
     def build(
         cls, bank0: SequenceBank, bank1: SequenceBank, model: SeedModel
-    ) -> "TwoBankIndex":
+    ) -> TwoBankIndex:
         """Index both banks and join them."""
         return cls(BankIndex(bank0, model), BankIndex(bank1, model))
 

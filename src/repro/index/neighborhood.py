@@ -14,6 +14,8 @@ done blockwise with NumPy so table construction stays fast even for the full
 
 from __future__ import annotations
 
+from collections.abc import Iterator
+
 import numpy as np
 
 from ..seqs.matrices import BLOSUM62, SubstitutionMatrix
@@ -34,7 +36,7 @@ def word_digits(w: int) -> np.ndarray:
 
 def all_word_scores_blocked(
     matrix: SubstitutionMatrix, w: int, block: int = 512
-):
+) -> Iterator[tuple[range, np.ndarray]]:
     """Yield ``(row_range, scores_block)`` for the full word-pair score matrix.
 
     ``scores_block[i, j] = sum_k matrix[word(row)[k], word(j)[k]]`` — int16,

@@ -112,7 +112,7 @@ class SubsetSeedModel:
         self._key_space = int(weights[0] * sizes[0])
 
     @classmethod
-    def from_pattern(cls, pattern: str) -> "SubsetSeedModel":
+    def from_pattern(cls, pattern: str) -> SubsetSeedModel:
         """Build from a pattern string, e.g. ``"#11#"``."""
         try:
             parts = [PARTITIONS[ch] for ch in pattern]

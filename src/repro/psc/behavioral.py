@@ -23,7 +23,7 @@ benchmark harness then runs this model with confidence at full scale.
 
 from __future__ import annotations
 
-from typing import Iterable
+from collections.abc import Iterable
 
 import numpy as np
 

@@ -93,7 +93,7 @@ def wavefront_banded_score(
             E1 = np.full(width, _NEG, dtype=np.int64)
             F1 = np.full(width, _NEG, dtype=np.int64)
             continue
-        i = np.arange(i_lo, i_hi + 1)
+        i = np.arange(i_lo, i_hi + 1, dtype=np.int64)
         j = d - i
         valid = np.abs(i - j) <= band
         i, j = i[valid], j[valid]

@@ -22,8 +22,8 @@ and the vectorised kernel bit-for-bit.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
-from typing import Iterable
 
 import numpy as np
 

@@ -206,7 +206,7 @@ def drain_completion(arrival_cycles: np.ndarray, schedule_end: int) -> int:
     if len(arrival_cycles) == 0:
         return schedule_end
     arr = np.sort(np.asarray(arrival_cycles, dtype=np.int64), kind="stable")
-    dep = np.maximum.accumulate(arr + 1 - np.arange(arr.shape[0])) + np.arange(
-        arr.shape[0]
-    )
+    dep = np.maximum.accumulate(
+        arr + 1 - np.arange(arr.shape[0], dtype=np.int64)
+    ) + np.arange(arr.shape[0], dtype=np.int64)
     return int(max(schedule_end, int(dep[-1])))

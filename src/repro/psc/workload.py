@@ -9,8 +9,8 @@ either the cycle-level or the behavioural operator model.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
 from dataclasses import dataclass
-from typing import Iterator
 
 import numpy as np
 

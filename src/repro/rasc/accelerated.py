@@ -133,7 +133,7 @@ class AcceleratedPipeline:
         runs, accel_wall = self.platform.run_step2_dual(indexes, self.config.flank)
         reports = []
         step3_cells = 0
-        for half, index, run in zip(halves, indexes, runs):
+        for half, _index, run in zip(halves, indexes, runs, strict=True):
             profile_sink = SeedComparisonPipeline(self.config).profile
             reports.append(
                 gapped_stage(half, bank1, run.hits, self.config, profile_sink)

@@ -108,7 +108,7 @@ class HostCostModel:
         step2_anchor: tuple[int, float] | None = None,
         step3_anchor: tuple[int, float] | None = None,
         **kwargs,
-    ) -> "HostCostModel":
+    ) -> HostCostModel:
         """Build a model whose constants hit the given (count, seconds)
         anchors; unanchored constants keep their defaults."""
         model = cls(**kwargs)

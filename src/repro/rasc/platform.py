@@ -196,6 +196,7 @@ class Rasc100:
                     + 2 * self.fabric.link.latency_s
                     for p in plans
                 ],
+                strict=True,
             )
         )
         return runs, wall

@@ -9,8 +9,9 @@ synthetic generators.
 from __future__ import annotations
 
 import io
+from collections.abc import Iterable, Iterator
 from pathlib import Path
-from typing import Iterable, Iterator, TextIO
+from typing import TextIO
 
 from .alphabet import AMINO, DNA, Alphabet
 from .sequence import Sequence, SequenceBank
@@ -48,7 +49,7 @@ def read_fasta(
 ) -> Iterator[Sequence]:
     """Iterate sequences from a FASTA file path, string path or open handle."""
     if isinstance(source, (str, Path)):
-        with open(source, "r", encoding="ascii") as fh:
+        with open(source, encoding="ascii") as fh:
             yield from read_fasta(fh, alphabet)
         return
     for name, desc, text in _records(source):

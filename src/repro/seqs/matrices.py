@@ -135,7 +135,7 @@ class SubstitutionMatrix:
         self.scores.flags.writeable = False
 
     @classmethod
-    def from_ncbi_text(cls, name: str, text: str) -> "SubstitutionMatrix":
+    def from_ncbi_text(cls, name: str, text: str) -> SubstitutionMatrix:
         """Parse an NCBI-format matrix block (header row + labelled rows).
 
         The parsed letters are mapped onto the package code assignment; the
@@ -154,7 +154,7 @@ class SubstitutionMatrix:
             values = [int(v) for v in parts[1:]]
             if len(values) != len(header):
                 raise ValueError(f"malformed matrix row for {parts[0]!r} in {name}")
-            for c, v in zip(col_codes, values):
+            for c, v in zip(col_codes, values, strict=True):
                 scores[row_code, c] = v
         scores[GAP_CODE, :] = GAP_SCORE
         scores[:, GAP_CODE] = GAP_SCORE

@@ -17,8 +17,9 @@ scores the strongest penalty in every substitution matrix).
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Iterator
+from collections.abc import Sequence as PySequence
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence as PySequence
 
 import numpy as np
 
@@ -47,7 +48,7 @@ class Sequence:
         text: str,
         alphabet: Alphabet = AMINO,
         description: str = "",
-    ) -> "Sequence":
+    ) -> Sequence:
         """Build a sequence by encoding *text* with *alphabet*."""
         return cls(name, alphabet.encode(text), alphabet, description)
 

@@ -72,7 +72,7 @@ class GeneticCode:
     table: np.ndarray
 
     @classmethod
-    def from_mapping(cls, name: str, mapping: dict[str, str]) -> "GeneticCode":
+    def from_mapping(cls, name: str, mapping: dict[str, str]) -> GeneticCode:
         """Build from a ``{"ATG": "M", ...}`` dictionary (must cover all 64)."""
         if len(mapping) != 64:
             raise ValueError(f"genetic code needs 64 codons, got {len(mapping)}")

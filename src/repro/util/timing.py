@@ -22,7 +22,7 @@ class Stopwatch:
     seconds: float = 0.0
     _t0: float = field(default=0.0, repr=False)
 
-    def __enter__(self) -> "Stopwatch":
+    def __enter__(self) -> Stopwatch:
         self._t0 = time.perf_counter()
         return self
 

@@ -43,6 +43,20 @@ class TestParser:
         args = build_parser().parse_args(["accel", "q.fa", "g.fa", "--pes", "64", "--dual"])
         assert args.pes == 64 and args.dual
 
+    @pytest.mark.parametrize("flag", ["--workers", "--batch-pairs"])
+    @pytest.mark.parametrize("bad", ["0", "-1", "-7", "two"])
+    def test_positive_int_options_rejected(self, flag, bad, capsys):
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(["compare", "q.fa", "g.fa", flag, bad])
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert flag in err
+
+    @pytest.mark.parametrize("flag,attr", [("--workers", "workers"), ("--batch-pairs", "batch_pairs")])
+    def test_positive_int_options_accepted(self, flag, attr):
+        args = build_parser().parse_args(["compare", "q.fa", "g.fa", flag, "3"])
+        assert getattr(args, attr) == 3
+
 
 class TestCommands:
     def test_synth_outputs(self, workload_files, capsys):

@@ -32,7 +32,7 @@ class TestContiguousSplit:
             assert len(ranges) == n
             assert ranges[0][0] == 0
             assert ranges[-1][1] == idx.n_shared_keys
-            for (_, hi), (lo2, _) in zip(ranges, ranges[1:]):
+            for (_, hi), (lo2, _) in zip(ranges, ranges[1:], strict=False):
                 assert hi == lo2
 
     def test_pair_balance(self, workload):
@@ -96,7 +96,7 @@ class TestShardedExecutor:
                     key_of.setdefault((int(o0), int(o1)), j)
         emitted = [
             key_of[(int(a), int(b))]
-            for a, b in zip(single.offsets0, single.offsets1)
+            for a, b in zip(single.offsets0, single.offsets1, strict=True)
         ]
         assert emitted == sorted(emitted)
 
@@ -145,6 +145,28 @@ class TestShardedExecutor:
         assert len(hits) == 0
         assert hits.stats.pairs == 0
 
+    def test_pool_clamps_shards_to_entry_count(self):
+        # Call _run_pool directly (run() would route this tiny index to the
+        # local path): with more workers than shared keys, shard count is
+        # clamped and no worker is spawned for an empty range.
+        b0 = SequenceBank(
+            [Sequence.from_text("q", "MKVLAWTRQMKVLAW")], pad=32
+        )
+        b1 = SequenceBank(
+            [Sequence.from_text("s", "AAMKVLAWTRQAA")], pad=32
+        )
+        idx = TwoBankIndex.build(b0, b1, ContiguousSeedModel(4))
+        cfg = UngappedConfig(w=4, n=4, threshold=5)
+        assert 0 < idx.n_shared_keys < 64
+        ex = ShardedStep2Executor(cfg, workers=64)
+        hits = ex._run_pool(idx)
+        ref = ShardedStep2Executor(cfg, workers=1).run(idx)
+        assert np.array_equal(ref.offsets0, hits.offsets0)
+        assert np.array_equal(ref.offsets1, hits.offsets1)
+        assert np.array_equal(ref.scores, hits.scores)
+        assert len(ex.last_timings) <= idx.n_shared_keys
+        assert all(t.entries > 0 for t in ex.last_timings)
+
 
 class TestPipelineIntegration:
     def test_workers_produce_identical_reports(self, workload):
@@ -155,7 +177,7 @@ class TestPipelineIntegration:
             base.with_(workers=2)
         ).compare_banks(b0, b1)
         assert len(r1) == len(r2)
-        for a, b in zip(r1.alignments, r2.alignments):
+        for a, b in zip(r1.alignments, r2.alignments, strict=True):
             assert (a.seq0_id, a.seq1_id, a.start0, a.end0, a.raw_score) == (
                 b.seq0_id, b.seq1_id, b.start0, b.end0, b.raw_score
             )
@@ -206,7 +228,7 @@ class TestRascManyShards:
         blade2.load_bitstream(psc, fpga_id=1)
         runs_dual, wall_dual = blade2.run_step2_dual(indexes, flank=8)
         assert len(runs_many) == 2
-        for rm, rd in zip(runs_many, runs_dual):
+        for rm, rd in zip(runs_many, runs_dual, strict=True):
             assert np.array_equal(rm.hits.offsets0, rd.hits.offsets0)
             assert np.array_equal(rm.hits.scores, rd.hits.scores)
         assert wall_many == pytest.approx(wall_dual, rel=1e-9)

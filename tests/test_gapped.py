@@ -74,7 +74,7 @@ class TestSmithWaterman:
             score = 0
             in_gap = False
             g = GapPenalties()
-            for x, y in zip(al.aligned0, al.aligned1):
+            for x, y in zip(al.aligned0, al.aligned1, strict=True):
                 if x == "-" or y == "-":
                     score -= (g.open + g.extend) if not in_gap else g.extend
                     in_gap = True

@@ -160,7 +160,7 @@ class TestFamiliesAndPlanting:
         genome = random_genome(rng, 50_000)
         _, truth = plant_homologs(rng, genome, fams)
         spans = sorted((t.genome_start, t.genome_end) for t in truth)
-        for (s1, e1), (s2, e2) in zip(spans, spans[1:]):
+        for (_s1, e1), (s2, _e2) in zip(spans, spans[1:], strict=False):
             assert e1 <= s2
 
     def test_oversized_member_rejected(self, rng):

@@ -104,7 +104,7 @@ class TestFifoCascade:
         c = FifoCascade(3, depth=4)
         c.stage(0).push("x")
         c.commit()
-        for hop in range(2):
+        for _hop in range(2):
             c.forward()
             c.commit()
         assert c.tail.can_pop()

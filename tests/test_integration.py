@@ -17,8 +17,8 @@ from repro.core.results import ComparisonReport
 from repro.eval.benchmark_data import frame_interval
 from repro.rasc.accelerated import AcceleratedPipeline
 from repro.rasc.dual_design import DualDesignPipeline
-from repro.seqs.fasta import load_bank, read_fasta, write_fasta
 from repro.seqs.alphabet import DNA
+from repro.seqs.fasta import load_bank, read_fasta, write_fasta
 from repro.seqs.generate import make_family, plant_homologs, random_genome
 from repro.seqs.sequence import Sequence, SequenceBank
 

@@ -17,7 +17,7 @@ def word_key(text: str) -> int:
 
 def word_score(a: str, b: str) -> int:
     ca, cb = AMINO.encode(a), AMINO.encode(b)
-    return sum(BLOSUM62.score(int(x), int(y)) for x, y in zip(ca, cb))
+    return sum(BLOSUM62.score(int(x), int(y)) for x, y in zip(ca, cb, strict=True))
 
 
 class TestWordDigits:

@@ -98,8 +98,8 @@ class TestAgainstSoftwareKernel:
             UngappedConfig(w=DEFAULT_SUBSET_SEED.span, n=flank, threshold=threshold)
         ).run(idx)
         # Same hit set (order may differ: software is entry-row major).
-        hw_set = set(zip(hw.offsets0.tolist(), hw.offsets1.tolist(), hw.scores.tolist()))
-        sw_set = set(zip(sw.offsets0.tolist(), sw.offsets1.tolist(), sw.scores.tolist()))
+        hw_set = set(zip(hw.offsets0.tolist(), hw.offsets1.tolist(), hw.scores.tolist(), strict=True))
+        sw_set = set(zip(sw.offsets0.tolist(), sw.offsets1.tolist(), sw.scores.tolist(), strict=True))
         assert hw_set == sw_set
 
     def test_scores_match_reference_scalar(self):

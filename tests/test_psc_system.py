@@ -33,7 +33,7 @@ class TestFunctional:
         got = sorted((r.pe_index, r.stream_index, r.score) for r in sys_run.records)
         want = sorted(
             (int(o0), int(o1), int(s))
-            for o0, o1, s in zip(op_run.offsets0, op_run.offsets1, op_run.scores)
+            for o0, o1, s in zip(op_run.offsets0, op_run.offsets1, op_run.scores, strict=True)
         )
         assert got == want
 

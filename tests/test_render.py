@@ -61,7 +61,7 @@ class TestRenderAlignment:
         queries, frames, report = rendered_setup
         text = render_alignment(queries, frames, report.best(1)[0], width=30)
         q_lines = [l.split() for l in text.splitlines() if l.startswith("Query")]
-        for prev, cur in zip(q_lines, q_lines[1:]):
+        for prev, cur in zip(q_lines, q_lines[1:], strict=False):
             assert int(cur[1]) == int(prev[3]) + 1
 
     def test_identity_counts_sane(self, rendered_setup):

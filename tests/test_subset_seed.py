@@ -7,8 +7,8 @@ from repro.index.kmer import BankIndex, TwoBankIndex, extract_keys
 from repro.index.subset_seed import (
     DEFAULT_SUBSET_SEED,
     EXACT,
-    MURPHY4,
     MURPHY10,
+    MURPHY4,
     Partition,
     SubsetSeedModel,
 )
