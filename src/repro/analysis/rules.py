@@ -45,7 +45,13 @@ __all__ = [
 #: Packages (paths relative to the ``repro`` package root) whose numeric
 #: arrays feed the batched kernel or the cycle simulators — RC002 scope.
 HOT_PATH_PREFIXES: tuple[str, ...] = ("extend/", "psc/", "hwsim/")
-HOT_PATH_FILES: tuple[str, ...] = ("core/executor.py",)
+HOT_PATH_FILES: tuple[str, ...] = (
+    "core/executor.py",
+    # The supervision layer hands arrays straight back into the merge; a
+    # dtype drift in a retried/fallback shard would break bit-identity.
+    "core/supervisor.py",
+    "core/faults.py",
+)
 
 #: numpy constructors whose default dtype is platform- or input-dependent.
 DTYPE_REQUIRED_FUNCS: frozenset[str] = frozenset(
@@ -242,8 +248,9 @@ class ExplicitDtypeRule(Rule):
     code = "RC002"
     summary = (
         "np.zeros/empty/full/arange/array in hot-path packages "
-        "(extend/, psc/, hwsim/, core/executor.py) must pass an explicit "
-        "dtype= to prevent int32/int64 drift between kernel and simulator"
+        "(extend/, psc/, hwsim/, core/{executor,supervisor,faults}.py) "
+        "must pass an explicit dtype= to prevent int32/int64 drift "
+        "between kernel and simulator"
     )
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:

@@ -40,6 +40,28 @@ def positive_int(text: str) -> int:
     return value
 
 
+def nonnegative_int(text: str) -> int:
+    """Argparse type for options that must be integers >= 0."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}") from None
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def positive_float(text: str) -> float:
+    """Argparse type for options that must be strictly positive floats."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid float value: {text!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
     p = argparse.ArgumentParser(
@@ -64,6 +86,21 @@ def build_parser() -> argparse.ArgumentParser:
         sp.add_argument(
             "--batch-pairs", type=positive_int, default=1 << 20,
             help="max seed pairs per step-2 kernel batch",
+        )
+        sp.add_argument(
+            "--shard-timeout", type=positive_float, default=None, metavar="SECONDS",
+            help="per-shard step-2 dispatch deadline (default: derived from "
+            "each shard's pair count)",
+        )
+        sp.add_argument(
+            "--max-retries", type=nonnegative_int, default=2,
+            help="re-dispatches per failed/hung step-2 shard before "
+            "in-process fallback",
+        )
+        sp.add_argument(
+            "--fault-plan", default=None, metavar="JSON|FILE",
+            help="deterministic fault-injection plan (inline JSON or a "
+            "path) applied to step-2 workers — chaos testing only",
         )
         sp.add_argument("--max-hits", type=int, default=25, help="alignments to print")
         sp.add_argument(
@@ -120,17 +157,22 @@ def _print_report(report: ComparisonReport, max_hits: int) -> None:
 
 
 def _load_compare_inputs(args):
+    from .core.faults import FaultPlan
     from .seqs.alphabet import DNA
     from .seqs.fasta import load_bank, read_fasta
 
     queries = load_bank(args.queries)
     genome = next(iter(read_fasta(args.genome, DNA)))
+    plan_arg = getattr(args, "fault_plan", None)
     config = PipelineConfig(
         flank=args.flank,
         ungapped_threshold=args.threshold,
         max_evalue=args.evalue,
         workers=getattr(args, "workers", 1),
         pair_chunk=getattr(args, "batch_pairs", 1 << 20),
+        shard_timeout=getattr(args, "shard_timeout", None),
+        max_retries=getattr(args, "max_retries", 2),
+        fault_plan=FaultPlan.parse(plan_arg) if plan_arg else None,
     )
     return queries, genome, config
 
@@ -143,6 +185,8 @@ def _cmd_compare(args) -> int:
     f1, f2, f3 = pipe.profile.wall_fractions()
     print(f"# wall profile: step1={f1:.1%} step2={f2:.1%} step3={f3:.1%}")
     if config.workers > 1:
+        from .core.render import render_run_health
+
         shards = pipe.profile.step2_shards
         imb = pipe.profile.step2_shard_imbalance()
         print(
@@ -151,8 +195,10 @@ def _cmd_compare(args) -> int:
         for s in shards:
             print(
                 f"#   shard {s.shard}: entries={s.entries} pairs={s.pairs} "
-                f"hits={s.hits} batches={s.batches} wall={s.wall_seconds:.3f}s"
+                f"hits={s.hits} batches={s.batches} wall={s.wall_seconds:.3f}s "
+                f"attempts={s.attempts} via={s.via}"
             )
+        print(f"# {render_run_health(pipe.profile.run_health)}")
     if args.render:
         from .core.render import render_alignment
         from .seqs.translate import translated_bank

@@ -16,6 +16,8 @@ from ..extend.ungapped import ScoreSemantics, UngappedConfig
 from ..index.kmer import ContiguousSeedModel, SeedModel
 from ..index.subset_seed import DEFAULT_SUBSET_SEED
 from ..seqs.matrices import BLOSUM62, SubstitutionMatrix
+from .faults import FaultPlan
+from .supervisor import SupervisorConfig
 
 __all__ = ["PipelineConfig"]
 
@@ -54,6 +56,16 @@ class PipelineConfig:
         in-process; ``N > 1`` fans the key space out over N worker
         processes — the software generalisation of the paper's 2-FPGA
         partitioning — with bit-identical output for any value.
+    shard_timeout:
+        Per-shard dispatch deadline in seconds (the CLI's
+        ``--shard-timeout``); ``None`` derives one from each shard's pair
+        count.  Only meaningful with ``workers > 1``.
+    max_retries:
+        Re-dispatches allowed per failed/hung shard before the supervisor
+        falls back to in-process scoring (the CLI's ``--max-retries``).
+    fault_plan:
+        Deterministic fault injection for chaos testing (the CLI's
+        ``--fault-plan``); ``None`` in production.
     """
 
     seed_model: SeedModel = field(default_factory=lambda: DEFAULT_SUBSET_SEED)
@@ -66,6 +78,9 @@ class PipelineConfig:
     max_evalue: float = 1e-3
     pair_chunk: int = 1 << 20
     workers: int = 1
+    shard_timeout: float | None = None
+    max_retries: int = 2
+    fault_plan: FaultPlan | None = None
 
     @property
     def window(self) -> int:
@@ -86,6 +101,12 @@ class PipelineConfig:
             matrix=self.matrix,
             semantics=self.semantics,
             pair_chunk=self.pair_chunk,
+        )
+
+    def supervisor_config(self) -> SupervisorConfig:
+        """Derive the step-2 supervision policy."""
+        return SupervisorConfig(
+            shard_timeout=self.shard_timeout, max_retries=self.max_retries
         )
 
     def with_(self, **kwargs: Any) -> PipelineConfig:

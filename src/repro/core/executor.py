@@ -14,21 +14,35 @@ units.  :class:`ShardedStep2Executor` is that architecture in software:
 * each worker drives the batched engine
   (:class:`~repro.extend.batched.BatchedUngappedEngine`) over its shard's
   entry lists (batch ↔ one PE-array fill);
+* dispatch is supervised (:class:`~repro.core.supervisor.ShardSupervisor`):
+  a crashed, hung or corrupted worker is retried on a fresh pool under a
+  pair-count-derived deadline, and a shard whose retries run out is scored
+  by the in-process engine — the run completes identically, just slower;
 * results merge on the host **in shard order**, which — because shards
   are contiguous runs of the ascending shared-key list — reproduces the
-  single-process emission order bit for bit.
+  single-process emission order bit for bit, whatever path scored each
+  shard.
 
-Per-shard wall time, entry/pair/hit counts and batch shapes are exposed
-as :class:`~repro.core.profile.ShardTiming` records for the profile
-benches.
+Per-shard wall time, entry/pair/hit counts, batch shapes and dispatch
+attempts are exposed as :class:`~repro.core.profile.ShardTiming` records,
+and the supervision counters as :class:`~repro.core.profile.RunHealth`.
+
+Deterministic fault injection (:mod:`repro.core.faults`) hooks into the
+worker task: a :class:`~repro.core.faults.FaultPlan` addressed by
+``(shard, attempt)`` can crash the process, stall it, truncate its result
+arrays or corrupt its bank view.  Bank views are digest-checked before
+every scoring pass, so corruption — injected or real — is detected and the
+view re-mapped from the clean shared segment rather than silently scoring
+garbage.
 """
 
 from __future__ import annotations
 
+import logging
+import os
 import time
 import warnings
 from collections.abc import Iterator
-from concurrent.futures import ProcessPoolExecutor
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
@@ -37,14 +51,18 @@ from ..analysis.contracts import ArraySpec, check_array
 from ..extend.batched import BatchedUngappedEngine
 from ..extend.ungapped import UngappedConfig, UngappedHits, UngappedStats
 from ..index.kmer import TwoBankIndex
+from .faults import BankCorruption, FaultKind, FaultPlan, FaultSpec, bank_digest
 from .partition import split_entries_contiguous
-from .profile import ShardTiming
+from .profile import RunHealth, ShardTiming
+from .supervisor import ShardSupervisor, SupervisorConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from multiprocessing.context import BaseContext
     from multiprocessing.shared_memory import SharedMemory
 
 __all__ = ["ShardedStep2Executor"]
+
+_log = logging.getLogger(__name__)
 
 #: Per-process worker state installed by the pool initializer.
 _WORKER: dict[str, Any] = {}
@@ -78,7 +96,9 @@ def _attach_shared(name: str, unregister: bool) -> SharedMemory:
 
     Only the parent owns the segment's lifetime; with a per-worker
     resource tracker (spawn), unregistering here stops that tracker from
-    racing the parent's unlink.
+    racing the parent's unlink.  Unregister failures are logged, never
+    swallowed silently: a changed private API would otherwise reintroduce
+    the tracker race with no trace.
     """
     from multiprocessing import shared_memory
 
@@ -90,17 +110,33 @@ def _attach_shared(name: str, unregister: bool) -> SharedMemory:
             resource_tracker.unregister(
                 getattr(shm, "_name", shm.name), "shared_memory"
             )
-        except Exception:
-            pass
+        except (AttributeError, KeyError, ValueError, OSError) as exc:
+            _log.warning(
+                "could not unregister shared-memory segment %s from the "
+                "worker resource tracker (%r); the tracker may unlink the "
+                "segment early on this platform",
+                name,
+                exc,
+            )
     return shm
 
 
-def _init_worker(name0: str, size0: int, name1: str, size1: int,
-                 config: UngappedConfig, unregister: bool) -> None:
+def _init_worker(
+    name0: str,
+    size0: int,
+    name1: str,
+    size1: int,
+    config: UngappedConfig,
+    unregister: bool,
+    fault_plan: FaultPlan | None = None,
+    digest0: int | None = None,
+    digest1: int | None = None,
+) -> None:
     """Pool initializer: map both bank buffers and keep the config."""
     shm0 = _attach_shared(name0, unregister)
     shm1 = _attach_shared(name1, unregister)
     _WORKER["shm"] = (shm0, shm1)  # keep alive for the process lifetime
+    _WORKER["sizes"] = (size0, size1)
     buf0 = np.ndarray((size0,), dtype=np.uint8, buffer=shm0.buf)
     buf1 = np.ndarray((size1,), dtype=np.uint8, buffer=shm1.buf)
     check_array("step-2 worker bank-0 view", buf0, _BANK_VIEW_SPEC)
@@ -108,6 +144,64 @@ def _init_worker(name0: str, size0: int, name1: str, size1: int,
     _WORKER["buf0"] = buf0
     _WORKER["buf1"] = buf1
     _WORKER["config"] = config
+    _WORKER["fault_plan"] = fault_plan
+    _WORKER["digests"] = (
+        (digest0, digest1) if digest0 is not None and digest1 is not None else None
+    )
+
+
+def _verify_bank_views() -> None:
+    """Digest-check both bank views; re-map and raise on corruption.
+
+    The shared segments themselves are owned by the parent and never
+    written after staging, so a digest mismatch means *this process's view*
+    went bad (an injected ``CORRUPT_BANK`` fault, or real memory damage).
+    The view is re-created from the clean segment so the **next** dispatch
+    to this process succeeds, then the current dispatch is rejected — the
+    supervisor retries it rather than accept silently-corrupt scores.
+    """
+    digests = _WORKER.get("digests")
+    if digests is None:
+        return
+    shm0, shm1 = _WORKER["shm"]
+    size0, size1 = _WORKER["sizes"]
+    corrupt: list[str] = []
+    for key, shm, size, expect in (
+        ("buf0", shm0, size0, digests[0]),
+        ("buf1", shm1, size1, digests[1]),
+    ):
+        if bank_digest(_WORKER[key]) == expect:
+            continue
+        fresh = np.ndarray((size,), dtype=np.uint8, buffer=shm.buf)
+        if bank_digest(fresh) != expect:  # pragma: no cover - shm itself bad
+            raise BankCorruption(
+                f"shared bank segment behind {key} is corrupt beyond repair"
+            )
+        _WORKER[key] = fresh
+        corrupt.append(key)
+    if corrupt:
+        raise BankCorruption(
+            f"step-2 worker bank view(s) {', '.join(corrupt)} failed the "
+            "digest check; views re-mapped from the shared segment"
+        )
+
+
+def _apply_worker_fault(spec: FaultSpec, shard: int) -> None:
+    """Apply a pre-scoring injected fault inside the worker process."""
+    if spec.kind is FaultKind.CRASH:
+        # Immediate death, no cleanup — models a segfaulted worker.  The
+        # parent sees BrokenProcessPool, not an exception.
+        os._exit(13)
+    elif spec.kind is FaultKind.HANG:
+        time.sleep(spec.hang_seconds)
+    elif spec.kind is FaultKind.CORRUPT_BANK:
+        plan: FaultPlan = _WORKER["fault_plan"]
+        bad = _WORKER["buf0"].copy()
+        n = min(64, bad.shape[0])
+        # XOR with odd bytes guarantees at least one flipped bit per byte,
+        # so the digest check cannot coincidentally pass.
+        bad[:n] ^= plan.corruption(shard, n) | np.uint8(1)
+        _WORKER["buf0"] = bad  # private copy: shm stays clean for peers
 
 
 def _entry_stream(
@@ -137,22 +231,10 @@ ShardResult = tuple[
 ]
 
 
-def _score_shard(
-    shard: int,
-    offsets0: np.ndarray,
-    counts0: np.ndarray,
-    offsets1: np.ndarray,
-    counts1: np.ndarray,
+def _package_hits(
+    shard: int, hits: UngappedHits, wall: float, engine: BatchedUngappedEngine
 ) -> ShardResult:
-    """Worker task: batched-score one shard against the mapped buffers."""
-    t0 = time.perf_counter()
-    engine = BatchedUngappedEngine(_WORKER["config"])
-    hits = engine.run_stream(
-        _WORKER["buf0"],
-        _WORKER["buf1"],
-        _entry_stream(offsets0, counts0, offsets1, counts1),
-    )
-    wall = time.perf_counter() - t0
+    """Assemble the wire-format result tuple of one scored shard."""
     s = hits.stats
     return (
         shard,
@@ -166,6 +248,93 @@ def _score_shard(
     )
 
 
+def _score_shard(
+    shard: int,
+    attempt: int,
+    offsets0: np.ndarray,
+    counts0: np.ndarray,
+    offsets1: np.ndarray,
+    counts1: np.ndarray,
+) -> ShardResult:
+    """Worker task: batched-score one shard against the mapped buffers.
+
+    ``attempt`` is the supervisor's dispatch counter for this shard; it
+    exists so an injected :class:`~repro.core.faults.FaultPlan` can address
+    "shard 2, first attempt" deterministically regardless of which process
+    picks the task up.
+    """
+    t0 = time.perf_counter()
+    plan: FaultPlan | None = _WORKER.get("fault_plan")
+    spec = plan.worker_fault(shard, attempt) if plan is not None else None
+    if spec is not None:
+        _apply_worker_fault(spec, shard)
+    _verify_bank_views()
+    engine = BatchedUngappedEngine(_WORKER["config"])
+    hits = engine.run_stream(
+        _WORKER["buf0"],
+        _WORKER["buf1"],
+        _entry_stream(offsets0, counts0, offsets1, counts1),
+    )
+    wall = time.perf_counter() - t0
+    result = _package_hits(shard, hits, wall, engine)
+    if spec is not None and spec.kind is FaultKind.TRUNCATE:
+        drop = max(1, int(spec.drop))
+        # Short result arrays against untruncated stats: the supervisor's
+        # validation must catch this, never the merge.
+        result = result[:1] + tuple(a[:-drop] for a in result[1:4]) + result[4:]
+    return result
+
+
+def _score_shard_local(
+    config: UngappedConfig,
+    buf0: np.ndarray,
+    buf1: np.ndarray,
+    shard: int,
+    payload: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+) -> ShardResult:
+    """In-process scorer used for the supervisor's last-resort fallback.
+
+    Runs the identical batched engine over the identical payload against
+    the parent's own (never-shared) bank buffers, so its result is
+    bit-identical to what a healthy worker would have returned.
+    """
+    t0 = time.perf_counter()
+    engine = BatchedUngappedEngine(config)
+    hits = engine.run_stream(buf0, buf1, _entry_stream(*payload))
+    return _package_hits(shard, hits, time.perf_counter() - t0, engine)
+
+
+def _release_segment(shm: SharedMemory) -> None:
+    """Close and unlink one shared-memory segment.
+
+    ``close`` and ``unlink`` are chained in a ``try/finally`` so a failing
+    close can never leak the underlying segment — unlink always runs.
+    """
+    try:
+        shm.close()
+    finally:
+        shm.unlink()
+
+
+def _release_segments(segments: list[SharedMemory]) -> None:
+    """Release every segment independently.
+
+    One segment's cleanup failure must not skip the others (the historical
+    bug: ``shm0.close()`` raising leaked ``shm1`` entirely).  The first
+    failure is re-raised after all segments were attempted.
+    """
+    first: BaseException | None = None
+    for shm in segments:
+        try:
+            _release_segment(shm)
+        except BaseException as exc:  # noqa: BLE001 - must try every segment
+            _log.warning("shared-memory cleanup failed for %s: %r", shm.name, exc)
+            if first is None:
+                first = exc
+    if first is not None:
+        raise first
+
+
 class ShardedStep2Executor:
     """Step-2 engine fanning the batched kernel out over worker processes.
 
@@ -176,19 +345,38 @@ class ShardedStep2Executor:
     workers:
         Process count.  ``1`` runs the batched engine in-process (no pool,
         no shared memory); ``N > 1`` shards the key space over a
-        ``ProcessPoolExecutor``.
+        supervised ``ProcessPoolExecutor``.
+    supervisor:
+        Retry/timeout policy (:class:`~repro.core.supervisor.SupervisorConfig`);
+        defaults to pair-count-derived deadlines with 2 retries.
+    fault_plan:
+        Optional deterministic fault injection
+        (:class:`~repro.core.faults.FaultPlan`) applied inside the worker
+        tasks — the chaos-testing hook.
 
     The merged :class:`~repro.extend.ungapped.UngappedHits` is bit-identical
     — offsets, scores and order — to the single-process batched run for any
-    worker count.  :attr:`last_timings` holds one
-    :class:`~repro.core.profile.ShardTiming` per shard of the latest run.
+    worker count, any supervised retry and any injected fault.
+    :attr:`last_timings` holds one :class:`~repro.core.profile.ShardTiming`
+    per shard of the latest run; :attr:`last_health` its
+    :class:`~repro.core.profile.RunHealth` counters.
     """
 
-    def __init__(self, config: UngappedConfig | None = None, workers: int = 1) -> None:
+    def __init__(
+        self,
+        config: UngappedConfig | None = None,
+        workers: int = 1,
+        supervisor: SupervisorConfig | None = None,
+        fault_plan: FaultPlan | None = None,
+    ) -> None:
         self.config = config or UngappedConfig()
         self.workers = max(1, int(workers))
+        self.supervisor = supervisor or SupervisorConfig()
+        self.fault_plan = fault_plan
         #: Per-shard timings of the most recent :meth:`run`.
         self.last_timings: list[ShardTiming] = []
+        #: Supervision counters of the most recent :meth:`run`.
+        self.last_health: RunHealth = RunHealth()
 
     def run(self, index: TwoBankIndex) -> UngappedHits:
         """Run step 2 over *index*, sharded across the configured workers."""
@@ -223,11 +411,15 @@ class ShardedStep2Executor:
                 wall_seconds=time.perf_counter() - t0,
                 batches=engine.telemetry.batches,
                 max_batch_pairs=engine.telemetry.max_batch_pairs,
+                attempts=1,
+                via="local",
             )
         ]
+        self.last_health = RunHealth(shards=1)
         return hits
 
     def _run_pool(self, index: TwoBankIndex) -> UngappedHits:
+        from concurrent.futures import ProcessPoolExecutor
         from multiprocessing import shared_memory
 
         # Never cut more shards than there are entries: a worker with an
@@ -244,32 +436,50 @@ class ShardedStep2Executor:
         buf1 = index.index1.bank.buffer
         check_array("step-2 bank-0 buffer", buf0, _BANK_VIEW_SPEC)
         check_array("step-2 bank-1 buffer", buf1, _BANK_VIEW_SPEC)
-        shm0 = shared_memory.SharedMemory(create=True, size=max(1, buf0.nbytes))
-        shm1 = shared_memory.SharedMemory(create=True, size=max(1, buf1.nbytes))
+        counts = index.pair_counts()
+        payloads = {s: index.shard_arrays(lo, hi) for s, lo, hi in tasks}
+        pair_counts = {s: int(counts[lo:hi].sum()) for s, lo, hi in tasks}
+        digest0 = bank_digest(buf0)
+        digest1 = bank_digest(buf1)
+        segments: list[SharedMemory] = []
         try:
+            shm0 = shared_memory.SharedMemory(create=True, size=max(1, buf0.nbytes))
+            segments.append(shm0)
+            shm1 = shared_memory.SharedMemory(create=True, size=max(1, buf1.nbytes))
+            segments.append(shm1)
             np.ndarray(buf0.shape, dtype=np.uint8, buffer=shm0.buf)[:] = buf0
             np.ndarray(buf1.shape, dtype=np.uint8, buffer=shm1.buf)[:] = buf1
-            with ProcessPoolExecutor(
-                max_workers=len(tasks),
-                mp_context=ctx,
-                initializer=_init_worker,
-                initargs=(shm0.name, buf0.shape[0], shm1.name, buf1.shape[0],
-                          self.config, unregister),
-            ) as pool:
-                futures = [
-                    pool.submit(_score_shard, s, *index.shard_arrays(lo, hi))
-                    for s, lo, hi in tasks
-                ]
-                results = sorted((f.result() for f in futures), key=lambda r: r[0])
+
+            def make_pool() -> ProcessPoolExecutor:
+                return ProcessPoolExecutor(
+                    max_workers=len(tasks),
+                    mp_context=ctx,
+                    initializer=_init_worker,
+                    initargs=(
+                        shm0.name, buf0.shape[0], shm1.name, buf1.shape[0],
+                        self.config, unregister, self.fault_plan,
+                        digest0, digest1,
+                    ),
+                )
+
+            def local_score(shard: int) -> ShardResult:
+                return _score_shard_local(
+                    self.config, buf0, buf1, shard, payloads[shard]
+                )
+
+            outcomes, health = ShardSupervisor(
+                self.supervisor, make_pool, _score_shard, local_score
+            ).run(payloads, pair_counts)
         finally:
-            shm0.close()
-            shm1.close()
-            shm0.unlink()
-            shm1.unlink()
+            _release_segments(segments)
+        self.last_health = health
         stats = UngappedStats()
         timings: list[ShardTiming] = []
-        for shard, _o0, _o1, _sc, (entries, pairs, cells, hits_n), wall, batches, \
-                max_batch in results:
+        results: list[ShardResult] = []
+        for outcome in outcomes:
+            shard, _o0, _o1, _sc, (entries, pairs, cells, hits_n), wall, \
+                batches, max_batch = outcome.result
+            results.append(outcome.result)
             stats.merge(UngappedStats(entries, pairs, cells, hits_n))
             timings.append(
                 ShardTiming(
@@ -280,6 +490,8 @@ class ShardedStep2Executor:
                     wall_seconds=wall,
                     batches=batches,
                     max_batch_pairs=max_batch,
+                    attempts=outcome.attempts,
+                    via=outcome.via,
                 )
             )
         self.last_timings = timings

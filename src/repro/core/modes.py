@@ -29,6 +29,7 @@ from ..seqs.sequence import Sequence, SequenceBank
 from ..seqs.translate import translated_bank
 from .config import PipelineConfig
 from .pipeline import SeedComparisonPipeline, Step2Fn
+from .profile import RunHealth
 from .results import ComparisonReport
 
 __all__ = ["SearchMode", "BlastFamilySearch", "translate_queries"]
@@ -97,6 +98,18 @@ class BlastFamilySearch:
         self.last_pipeline: SeedComparisonPipeline | None = None
         #: Masked query-residue fraction of the most recent search.
         self.last_masked_fraction: float = 0.0
+
+    @property
+    def last_run_health(self) -> RunHealth:
+        """Step-2 supervision counters of the most recent search.
+
+        All-zero when no search ran yet or step 2 was overridden; callers
+        serving traffic check :attr:`RunHealth.degraded` to alert on runs
+        that only completed through the in-process fallback.
+        """
+        if self.last_pipeline is None:
+            return RunHealth()
+        return self.last_pipeline.profile.run_health
 
     def _protein_side(
         self, data: Sequence | SequenceBank, is_dna: bool, side: str

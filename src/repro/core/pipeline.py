@@ -167,10 +167,14 @@ class SeedComparisonPipeline:
                 hits = self._step2(index)
             else:
                 executor = ShardedStep2Executor(
-                    self.config.ungapped_config(), workers=self.config.workers
+                    self.config.ungapped_config(),
+                    workers=self.config.workers,
+                    supervisor=self.config.supervisor_config(),
+                    fault_plan=self.config.fault_plan,
                 )
                 hits = executor.run(index)
                 self.profile.step2_shards.extend(executor.last_timings)
+                self.profile.run_health.merge(executor.last_health)
             ctr.operations += hits.stats.cells
             ctr.items += hits.stats.pairs
         return hits

@@ -15,7 +15,7 @@ from collections.abc import Iterator
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
-__all__ = ["StepCounters", "ShardTiming", "PipelineProfile"]
+__all__ = ["StepCounters", "ShardTiming", "RunHealth", "PipelineProfile"]
 
 
 @dataclass
@@ -54,6 +54,70 @@ class ShardTiming:
     #: Kernel invocations and largest single batch within this shard.
     batches: int
     max_batch_pairs: int
+    #: Dispatches the supervisor needed before this shard produced a valid
+    #: result (1 = first try; >1 means retries after crash/hang/corruption).
+    attempts: int = 1
+    #: Where the accepted result was computed: ``"pool"`` for a worker
+    #: process, ``"local"`` for the in-process engine (single-worker runs
+    #: and the supervisor's last-resort fallback).
+    via: str = "pool"
+
+
+@dataclass
+class RunHealth:
+    """Supervision counters of one sharded step-2 run.
+
+    ``shards`` counts units of dispatched work; the failure counters
+    classify every abandoned dispatch.  A fault-free run has every counter
+    except ``shards`` at zero — :attr:`healthy` is that predicate, and
+    :attr:`degraded` flags runs that only completed through the in-process
+    fallback (correct output, pool-less speed).
+    """
+
+    shards: int = 0
+    #: Re-dispatches beyond each shard's first attempt.
+    retries: int = 0
+    #: Dispatches abandoned at their deadline.
+    timeouts: int = 0
+    #: Dispatches that died (worker exit, broken pool, raised errors).
+    crashes: int = 0
+    #: Results rejected because the hit arrays disagreed with their stats.
+    truncated: int = 0
+    #: Dispatches rejected by the worker's bank-view digest check.
+    corrupt: int = 0
+    #: Fresh pools built after the first (timeout/broken-pool recovery).
+    pool_rebuilds: int = 0
+    #: Shards completed by the in-process engine after retries ran out.
+    fallback_shards: int = 0
+
+    @property
+    def healthy(self) -> bool:
+        """True when the run saw no fault of any kind."""
+        return (
+            self.retries == 0
+            and self.timeouts == 0
+            and self.crashes == 0
+            and self.truncated == 0
+            and self.corrupt == 0
+            and self.pool_rebuilds == 0
+            and self.fallback_shards == 0
+        )
+
+    @property
+    def degraded(self) -> bool:
+        """True when at least one shard fell back to in-process scoring."""
+        return self.fallback_shards > 0
+
+    def merge(self, other: RunHealth) -> None:
+        """Accumulate another run's health counters."""
+        self.shards += other.shards
+        self.retries += other.retries
+        self.timeouts += other.timeouts
+        self.crashes += other.crashes
+        self.truncated += other.truncated
+        self.corrupt += other.corrupt
+        self.pool_rebuilds += other.pool_rebuilds
+        self.fallback_shards += other.fallback_shards
 
 
 @dataclass
@@ -66,6 +130,9 @@ class PipelineProfile:
     #: Per-shard step-2 timings of the most recent run (empty when a custom
     #: step-2 engine bypasses the sharded executor).
     step2_shards: list[ShardTiming] = field(default_factory=list)
+    #: Supervision counters of the sharded step-2 runs folded into this
+    #: profile (all-zero when step 2 ran unsupervised/in-process).
+    run_health: RunHealth = field(default_factory=RunHealth)
 
     @contextmanager
     def timing(self, step: StepCounters) -> Iterator[StepCounters]:
@@ -105,3 +172,4 @@ class PipelineProfile:
         self.step2.merge(other.step2)
         self.step3.merge(other.step3)
         self.step2_shards.extend(other.step2_shards)
+        self.run_health.merge(other.run_health)

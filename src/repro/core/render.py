@@ -24,9 +24,56 @@ from ..extend.gapped import GapPenalties, SWAlignment, smith_waterman
 from ..seqs.alphabet import AMINO
 from ..seqs.matrices import BLOSUM62, SubstitutionMatrix
 from ..seqs.sequence import SequenceBank
+from .profile import RunHealth
 from .results import Alignment, ComparisonReport
 
-__all__ = ["render_alignment", "render_report", "alignment_traceback"]
+__all__ = [
+    "render_alignment",
+    "render_report",
+    "render_run_health",
+    "alignment_traceback",
+]
+
+
+def render_run_health(health: RunHealth) -> str:
+    """One-line summary of a sharded step-2 run's supervision counters.
+
+    A healthy run reads ``step2 health: N shards, ok``; a faulted one
+    itemises what the supervisor absorbed, e.g.
+    ``step2 health: 4 shards, 2 retries (1 timeout, 1 crash), 1 pool
+    rebuild, 1 local fallback [degraded]``.
+    """
+    head = f"step2 health: {health.shards} shard{'s' if health.shards != 1 else ''}"
+    if health.healthy:
+        return f"{head}, ok"
+    causes = [
+        f"{count} {singular if count == 1 else plural}"
+        for count, singular, plural in (
+            (health.timeouts, "timeout", "timeouts"),
+            (health.crashes, "crash", "crashes"),
+            (health.truncated, "truncated result", "truncated results"),
+            (health.corrupt, "corrupt bank view", "corrupt bank views"),
+        )
+        if count
+    ]
+    parts = [head]
+    if health.retries:
+        suffix = f" ({', '.join(causes)})" if causes else ""
+        parts.append(f"{health.retries} retries{suffix}")
+    elif causes:
+        parts.append(", ".join(causes))
+    if health.pool_rebuilds:
+        parts.append(
+            f"{health.pool_rebuilds} pool rebuild"
+            f"{'s' if health.pool_rebuilds != 1 else ''}"
+        )
+    if health.fallback_shards:
+        parts.append(
+            f"{health.fallback_shards} local fallback"
+            f"{'s' if health.fallback_shards != 1 else ''}"
+        )
+    line = ", ".join(parts)
+    return f"{line} [degraded]" if health.degraded else line
 
 
 def alignment_traceback(

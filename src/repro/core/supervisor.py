@@ -1,0 +1,310 @@
+"""Fault-tolerant supervision of the sharded step-2 pool.
+
+The paper's host process drives two FPGAs and assumes both always answer; a
+production cluster host supervises its blades instead: detect a dead or
+stalled unit, re-dispatch its workload, degrade to a slower path when the
+unit never recovers, and report what happened.  :class:`ShardSupervisor`
+is that state machine for :class:`~repro.core.executor.ShardedStep2Executor`:
+
+::
+
+    PENDING ──dispatch──> RUNNING ──valid result──> DONE (via="pool")
+       ^                     │
+       │        timeout / crash / truncated / corrupt
+       │                     │
+       └──── backoff, retry (≤ max_retries; fresh pool if the old
+             one is broken or holds a hung worker) ──┘
+                             │
+                   retries exhausted
+                             v
+             in-process engine  ──> DONE (via="local")
+
+Because every shard's accepted result is produced by the same deterministic
+batched engine over the same payload, the merged
+:class:`~repro.extend.ungapped.UngappedHits` is bit-identical to the
+fault-free run no matter which path completed each shard — the supervisor
+changes *when and where* a shard is scored, never *what* it returns.
+
+Per-shard deadlines default to a pair-count-derived budget
+(:meth:`SupervisorConfig.deadline_for`), so a shard carrying 100× the pairs
+gets 100× the compute allowance before it is declared hung.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as cf
+import logging
+import time
+from collections.abc import Callable, Mapping
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+from .faults import BankCorruption
+from .profile import RunHealth
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from concurrent.futures import ProcessPoolExecutor
+
+__all__ = ["SupervisorConfig", "ShardOutcome", "ShardSupervisor"]
+
+_log = logging.getLogger(__name__)
+
+#: A worker task result as returned by ``executor._score_shard`` (opaque to
+#: the supervisor beyond validation).
+ShardResult = tuple[Any, ...]
+
+#: ``(shard, attempt, ...payload) -> ShardResult`` task submitted to the pool.
+TaskFn = Callable[..., ShardResult]
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Supervision policy knobs (the CLI's ``--shard-timeout``/``--max-retries``).
+
+    Attributes
+    ----------
+    shard_timeout:
+        Explicit per-shard deadline in seconds; ``None`` derives one from
+        the shard's pair count (``min_timeout + pairs * seconds_per_pair``).
+    max_retries:
+        Re-dispatches allowed per shard after its first attempt; once
+        exhausted the shard is scored by the in-process engine.
+    backoff_base, backoff_factor:
+        Exponential backoff between dispatch rounds:
+        ``backoff_base * backoff_factor ** (round - 1)`` seconds.
+    min_timeout, seconds_per_pair:
+        Parameters of the derived deadline.  The defaults are deliberately
+        generous (~20k pairs/s floor) so loaded CI machines do not trip
+        false timeouts; tighten ``shard_timeout`` explicitly for chaos runs.
+    """
+
+    shard_timeout: float | None = None
+    max_retries: int = 2
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    min_timeout: float = 10.0
+    seconds_per_pair: float = 5e-5
+
+    def __post_init__(self) -> None:
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ValueError("shard_timeout must be positive")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+
+    def deadline_for(self, pairs: int) -> float:
+        """Seconds one dispatch of a shard with *pairs* pairs may take."""
+        if self.shard_timeout is not None:
+            return self.shard_timeout
+        return self.min_timeout + pairs * self.seconds_per_pair
+
+    def backoff(self, round_index: int) -> float:
+        """Sleep before retry round *round_index* (1-based)."""
+        return self.backoff_base * self.backoff_factor ** max(0, round_index - 1)
+
+
+@dataclass(frozen=True)
+class ShardOutcome:
+    """One shard's accepted result plus how it was obtained."""
+
+    shard: int
+    result: ShardResult
+    attempts: int
+    via: str  # "pool" | "local"
+
+
+def _stop_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down even when workers are hung.
+
+    ``shutdown(wait=True)`` would block behind a sleeping/stuck worker, so
+    the shutdown is issued without waiting and surviving worker processes
+    are terminated explicitly.  ``_processes`` is an internal attribute but
+    stable across CPython 3.8+; when absent the shutdown alone must do.
+    """
+    processes = list(getattr(pool, "_processes", {}).values())
+    pool.shutdown(wait=False, cancel_futures=True)
+    for proc in processes:
+        if proc.is_alive():
+            proc.terminate()
+    for proc in processes:
+        proc.join(timeout=1.0)
+        if proc.is_alive():  # pragma: no cover - stuck in uninterruptible IO
+            proc.kill()
+
+
+def _validate_result(result: ShardResult) -> bool:
+    """Check a worker result's hit arrays agree with its reported stats.
+
+    The result layout is ``(shard, offsets0, offsets1, scores,
+    (entries, pairs, cells, hits), ...)``; a truncated readback shows up as
+    arrays shorter than the stats' hit count.
+    """
+    try:
+        _, offsets0, offsets1, scores, counters = result[:5]
+        hits = int(counters[3])
+    except (TypeError, ValueError, IndexError):
+        return False
+    return (
+        offsets0.shape[0] == hits
+        and offsets1.shape[0] == hits
+        and scores.shape[0] == hits
+    )
+
+
+class ShardSupervisor:
+    """Dispatch shards to a worker pool with retry, timeout and fallback.
+
+    Parameters
+    ----------
+    config:
+        Supervision policy.
+    make_pool:
+        Zero-argument factory building a fresh initialised pool; called for
+        the first round and again whenever the previous pool is broken or
+        was torn down around a hung worker.
+    task:
+        The pool task; invoked as ``task(shard, attempt, *payload)``.
+    local_score:
+        Last-resort scorer: ``local_score(shard) -> ShardResult`` computed
+        in-process (must be bit-identical to the pool result; it is — both
+        run the same batched engine over the same payload).
+    """
+
+    def __init__(
+        self,
+        config: SupervisorConfig,
+        make_pool: Callable[[], ProcessPoolExecutor],
+        task: TaskFn,
+        local_score: Callable[[int], ShardResult],
+    ) -> None:
+        self.config = config
+        self._make_pool = make_pool
+        self._task = task
+        self._local_score = local_score
+
+    def run(
+        self,
+        payloads: Mapping[int, tuple[Any, ...]],
+        pair_counts: Mapping[int, int],
+    ) -> tuple[list[ShardOutcome], RunHealth]:
+        """Supervise all shards to completion.
+
+        Returns the outcomes sorted by shard id (the merge order) and the
+        run's health counters.  Never raises for worker-side failures; pool
+        *construction* errors propagate to the caller's own fallback.
+        """
+        health = RunHealth(shards=len(payloads))
+        outcomes: dict[int, ShardOutcome] = {}
+        attempts: dict[int, int] = dict.fromkeys(payloads, 0)
+        pending = sorted(payloads)
+        pool: ProcessPoolExecutor | None = None
+        round_index = 0
+        try:
+            while pending and round_index <= self.config.max_retries:
+                if round_index > 0:
+                    health.retries += len(pending)
+                    time.sleep(self.config.backoff(round_index))
+                if pool is None:
+                    pool = self._make_pool()
+                    if round_index > 0:
+                        health.pool_rebuilds += 1
+                pending, pool = self._run_round(
+                    pool, pending, payloads, pair_counts, attempts, outcomes, health
+                )
+                round_index += 1
+        finally:
+            if pool is not None:
+                _stop_pool(pool)
+        for shard in pending:
+            # Retries exhausted: complete the run with the identical-output
+            # in-process engine rather than fail the whole step.
+            _log.warning(
+                "shard %d failed %d dispatch(es); scoring in-process",
+                shard,
+                attempts[shard],
+            )
+            outcomes[shard] = ShardOutcome(
+                shard=shard,
+                result=self._local_score(shard),
+                attempts=attempts[shard] + 1,
+                via="local",
+            )
+            health.fallback_shards += 1
+        return [outcomes[s] for s in sorted(outcomes)], health
+
+    # ------------------------------------------------------------------
+    def _run_round(
+        self,
+        pool: ProcessPoolExecutor,
+        pending: list[int],
+        payloads: Mapping[int, tuple[Any, ...]],
+        pair_counts: Mapping[int, int],
+        attempts: dict[int, int],
+        outcomes: dict[int, ShardOutcome],
+        health: RunHealth,
+    ) -> tuple[list[int], ProcessPoolExecutor | None]:
+        """Dispatch *pending* once; returns (still-pending, usable pool)."""
+        futures: dict[int, cf.Future[ShardResult]] = {}
+        try:
+            for shard in pending:
+                futures[shard] = pool.submit(
+                    self._task, shard, attempts[shard], *payloads[shard]
+                )
+        except (BrokenProcessPool, RuntimeError) as exc:
+            # Initializer death or a pool broken before/while submitting:
+            # everything not submitted counts as one crashed dispatch.
+            _log.warning("step-2 pool unusable at submit (%r); rebuilding", exc)
+            health.crashes += len(pending) - len(futures)
+        submit_t = time.perf_counter()
+        deadlines = {
+            shard: submit_t + self.config.deadline_for(pair_counts.get(shard, 0))
+            for shard in futures
+        }
+        failed: list[int] = [s for s in pending if s not in futures]
+        pool_dead = len(failed) > 0
+        for shard, future in futures.items():
+            attempts[shard] += 1
+            remaining = deadlines[shard] - time.perf_counter()
+            try:
+                result = future.result(timeout=max(0.0, remaining))
+            except cf.TimeoutError:
+                _log.warning(
+                    "shard %d exceeded its %.2fs deadline (attempt %d)",
+                    shard, deadlines[shard] - submit_t, attempts[shard],
+                )
+                health.timeouts += 1
+                failed.append(shard)
+                pool_dead = True  # a hung worker poisons the pool
+                continue
+            except BrokenProcessPool as exc:
+                _log.warning("shard %d lost to broken pool: %r", shard, exc)
+                health.crashes += 1
+                failed.append(shard)
+                pool_dead = True
+                continue
+            except BankCorruption as exc:
+                _log.warning("shard %d rejected: %s", shard, exc)
+                health.corrupt += 1
+                failed.append(shard)
+                continue
+            except Exception as exc:  # noqa: BLE001 - any worker error retries
+                _log.warning("shard %d raised %r (attempt %d)",
+                             shard, exc, attempts[shard])
+                health.crashes += 1
+                failed.append(shard)
+                continue
+            if not _validate_result(result):
+                _log.warning(
+                    "shard %d returned truncated/inconsistent hit arrays "
+                    "(attempt %d)", shard, attempts[shard],
+                )
+                health.truncated += 1
+                failed.append(shard)
+                continue
+            outcomes[shard] = ShardOutcome(
+                shard=shard, result=result, attempts=attempts[shard], via="pool"
+            )
+        if pool_dead:
+            _stop_pool(pool)
+            return sorted(failed), None
+        return sorted(failed), pool

@@ -20,8 +20,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .fifo import SyncFifo
-from .kernel import Component
+from .fifo import FaultHook, SyncFifo
+from .kernel import Component, SimulationError
 
 __all__ = ["LinkModel", "LinkAccounting", "DmaStream", "DmaDrain"]
 
@@ -76,7 +76,14 @@ class LinkModel:
 
 
 class DmaStream(Component):
-    """Cycle-level DMA source: buffer → FIFO at ``words_per_cycle``."""
+    """Cycle-level DMA source: buffer → FIFO at ``words_per_cycle``.
+
+    ``fault_hook``, when given, is consulted with the 0-based index of each
+    word about to be transferred; returning ``True`` raises an injected
+    :class:`~repro.hwsim.kernel.SimulationError` — the deterministic
+    stand-in for a failed DMA transfer in chaos tests (wired from
+    :meth:`repro.core.faults.FaultPlan.hwsim_hook`).
+    """
 
     def __init__(
         self,
@@ -84,12 +91,14 @@ class DmaStream(Component):
         out_fifo: SyncFifo,
         words_per_cycle: int = 1,
         name: str = "dma-in",
+        fault_hook: FaultHook | None = None,
     ) -> None:
         self.name = name
         self._data = np.asarray(data)
         self._fifo = out_fifo
         self._rate = int(words_per_cycle)
         self._cursor = 0
+        self.fault_hook = fault_hook
         #: Cycles in which the stream wanted to push but the FIFO was full.
         self.stall_cycles = 0
 
@@ -100,6 +109,11 @@ class DmaStream(Component):
             if not self._fifo.can_push():
                 stalled = True
                 break
+            if self.fault_hook is not None and self.fault_hook(self._cursor):
+                raise SimulationError(
+                    f"DMA {self.name!r} injected transfer error at word "
+                    f"{self._cursor} (fault plan)"
+                )
             self._fifo.push(self._data[self._cursor])
             self._cursor += 1
             sent += 1

@@ -10,12 +10,17 @@ FIFOs cascading results out of the paper's PE slots.
 from __future__ import annotations
 
 from collections import deque
-from collections.abc import Iterable
+from collections.abc import Callable, Iterable
 from typing import Any
 
 from .kernel import SimulationError
 
 __all__ = ["SyncFifo", "FifoCascade"]
+
+#: Fault-injection hook: push-event index -> fire?  Wired from a
+#: :meth:`repro.core.faults.FaultPlan.hwsim_hook` so the same plans that
+#: exercise the step-2 supervisor exercise the simulator's overflow path.
+FaultHook = Callable[[int], bool]
 
 
 class SyncFifo:
@@ -26,13 +31,20 @@ class SyncFifo:
     committed items are held; staging more pushes than free space raises
     :class:`~repro.hwsim.kernel.SimulationError` (hardware would drop data
     — a design bug, so the simulator treats it as fatal).
+
+    ``fault_hook``, when given, is consulted with the 0-based index of each
+    push event; returning ``True`` raises an injected overflow — the
+    deterministic stand-in for a design-bug overflow in chaos tests.
     """
 
-    def __init__(self, depth: int, name: str = "fifo") -> None:
+    def __init__(
+        self, depth: int, name: str = "fifo", fault_hook: FaultHook | None = None
+    ) -> None:
         if depth < 1:
             raise ValueError("FIFO depth must be >= 1")
         self.depth = depth
         self.name = name
+        self.fault_hook = fault_hook
         self._items: deque[Any] = deque()
         self._staged_pushes: list[Any] = []
         self._staged_pops = 0
@@ -50,6 +62,12 @@ class SyncFifo:
 
     def push(self, item: Any) -> None:
         """Stage a push for the next commit."""
+        if self.fault_hook is not None and self.fault_hook(
+            self.total_pushed + len(self._staged_pushes)
+        ):
+            raise SimulationError(
+                f"FIFO {self.name!r} injected overflow (fault plan)"
+            )
         if not self.can_push(1):
             raise SimulationError(f"FIFO {self.name!r} overflow (depth {self.depth})")
         self._staged_pushes.append(item)

@@ -43,16 +43,53 @@ def _records(handle: TextIO) -> Iterator[tuple[str, str, str]]:
         yield name, desc, "".join(chunks)
 
 
+def _validate_record(name: str, text: str, alphabet: Alphabet) -> None:
+    """Reject truncated or garbage FASTA records, naming the offender.
+
+    Empty records are what a file truncated right after a ``>`` header
+    looks like; non-alphabet residues are what binary garbage or a
+    wrong-alphabet file looks like.  Both would otherwise be silently
+    "repaired" by the encoder's fallback code (``X``/``N``) and surface
+    later as mystery alignments.
+    """
+    label = name if name else "<unnamed>"
+    if not text:
+        raise ValueError(f"FASTA record {label!r} is empty (no residues)")
+    bad = sorted(set(text) - _alphabet_chars(alphabet))
+    if bad:
+        shown = ", ".join(repr(c) for c in bad[:8])
+        if len(bad) > 8:
+            shown += ", ..."
+        raise ValueError(
+            f"FASTA record {label!r} contains {len(bad)} character(s) "
+            f"outside the {alphabet.name} alphabet: {shown}"
+        )
+
+
+def _alphabet_chars(alphabet: Alphabet) -> frozenset[str]:
+    """Characters (both cases) the alphabet encodes losslessly."""
+    return frozenset(alphabet.letters + alphabet.letters.lower())
+
+
 def read_fasta(
     source: str | Path | TextIO,
     alphabet: Alphabet = AMINO,
+    strict: bool = True,
 ) -> Iterator[Sequence]:
-    """Iterate sequences from a FASTA file path, string path or open handle."""
+    """Iterate sequences from a FASTA file path, string path or open handle.
+
+    With ``strict`` (the default) empty records and records containing
+    characters outside *alphabet* raise :class:`ValueError` naming the
+    offending record; ``strict=False`` restores the permissive behaviour
+    (unknown characters encode to the alphabet's fallback code).
+    """
     if isinstance(source, (str, Path)):
         with open(source, encoding="ascii") as fh:
-            yield from read_fasta(fh, alphabet)
+            yield from read_fasta(fh, alphabet, strict)
         return
     for name, desc, text in _records(source):
+        if strict:
+            _validate_record(name, text, alphabet)
         yield Sequence.from_text(name, text, alphabet, desc)
 
 
@@ -80,9 +117,10 @@ def load_bank(
     source: str | Path | TextIO,
     alphabet: Alphabet = AMINO,
     pad: int = 64,
+    strict: bool = True,
 ) -> SequenceBank:
     """Read a whole FASTA file into a :class:`SequenceBank`."""
-    return SequenceBank(read_fasta(source, alphabet), alphabet, pad=pad)
+    return SequenceBank(read_fasta(source, alphabet, strict), alphabet, pad=pad)
 
 
 def save_bank(bank: SequenceBank, target: str | Path | TextIO, width: int = 70) -> None:
@@ -90,6 +128,8 @@ def save_bank(bank: SequenceBank, target: str | Path | TextIO, width: int = 70) 
     write_fasta(iter(bank), target, width)
 
 
-def bank_from_text(fasta_text: str, alphabet: Alphabet = AMINO, pad: int = 64) -> SequenceBank:
+def bank_from_text(
+    fasta_text: str, alphabet: Alphabet = AMINO, pad: int = 64, strict: bool = True
+) -> SequenceBank:
     """Convenience: parse FASTA from an in-memory string."""
-    return load_bank(io.StringIO(fasta_text), alphabet, pad=pad)
+    return load_bank(io.StringIO(fasta_text), alphabet, pad=pad, strict=strict)

@@ -41,6 +41,66 @@ class TestRead:
         assert list(read_fasta(io.StringIO(""))) == []
 
 
+class TestStrictValidation:
+    """Truncated/garbage input is rejected with the offending record named."""
+
+    def test_empty_record_rejected(self):
+        with pytest.raises(ValueError, match="record 'a' is empty"):
+            list(read_fasta(io.StringIO(">a\n>b\nMKVL\n")))
+
+    def test_header_only_file_rejected(self):
+        # What a file truncated right after its last header looks like.
+        with pytest.raises(ValueError, match="'trunc' is empty"):
+            list(read_fasta(io.StringIO(">trunc\n")))
+
+    def test_unnamed_empty_record_labelled(self):
+        with pytest.raises(ValueError, match="<unnamed>"):
+            list(read_fasta(io.StringIO(">\n")))
+
+    def test_non_alphabet_residues_rejected(self):
+        with pytest.raises(ValueError, match="'bad'.*amino alphabet.*'1'"):
+            list(read_fasta(io.StringIO(">ok\nMKVL\n>bad\nMK1VL\n")))
+
+    def test_binary_garbage_reports_count_and_truncates_list(self):
+        garbage = ">g\n" + "".join(chr(c) for c in range(33, 53)) + "\n"
+        with pytest.raises(ValueError) as err:
+            list(read_fasta(io.StringIO(garbage)))
+        msg = str(err.value)
+        assert "character(s) outside the amino alphabet" in msg
+        assert "..." in msg  # long offender lists are elided
+
+    def test_wrong_alphabet_rejected(self):
+        with pytest.raises(ValueError, match="dna alphabet"):
+            list(read_fasta(io.StringIO(">p\nMKVL\n"), DNA))
+
+    def test_lowercase_residues_accepted(self):
+        seqs = list(read_fasta(io.StringIO(">a\nmkvl\n")))
+        assert seqs[0].text() == "MKVL"
+
+    def test_valid_records_before_bad_one_not_yielded_lazily(self):
+        reader = read_fasta(io.StringIO(">ok\nMKVL\n>bad\n\n>tail\nAW\n"))
+        assert next(reader).name == "ok"
+        with pytest.raises(ValueError, match="'bad'"):
+            next(reader)
+
+    def test_strict_false_restores_permissive_reads(self):
+        seqs = list(read_fasta(io.StringIO(">a\n>b\nMK1VL\n"), strict=False))
+        assert [s.name for s in seqs] == ["a", "b"]
+        assert len(seqs[0]) == 0
+        # Unknown characters encode to the alphabet fallback code (X).
+        assert seqs[1].text() == "MKXVL"
+
+    def test_bank_helpers_forward_strict(self, tmp_path):
+        with pytest.raises(ValueError, match="is empty"):
+            bank_from_text(">a\n")
+        assert bank_from_text(">a\n", strict=False).names == ("a",)
+        path = tmp_path / "bad.fasta"
+        path.write_text(">x\nMK!VL\n", encoding="ascii")
+        with pytest.raises(ValueError, match="'x'"):
+            load_bank(path)
+        assert load_bank(path, strict=False).names == ("x",)
+
+
 class TestWrite:
     def test_roundtrip_via_files(self, tmp_path):
         path = tmp_path / "x.fasta"

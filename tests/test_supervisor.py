@@ -1,0 +1,296 @@
+"""Shard supervisor tests: retry/timeout/fallback state machine, health.
+
+These drive :class:`~repro.core.supervisor.ShardSupervisor` against a fake
+pool (real :class:`concurrent.futures.Future` objects, no processes), so
+every failure mode is exercised deterministically and in milliseconds.  The
+end-to-end chaos runs against real worker processes live in
+``tests/test_executor.py``.
+"""
+
+import concurrent.futures as cf
+from concurrent.futures.process import BrokenProcessPool
+
+import numpy as np
+import pytest
+
+from repro.core.faults import BankCorruption
+from repro.core.profile import RunHealth
+from repro.core.render import render_run_health
+from repro.core.supervisor import (
+    ShardSupervisor,
+    SupervisorConfig,
+    _validate_result,
+)
+
+FAST = SupervisorConfig(shard_timeout=0.2, max_retries=2, backoff_base=0.001)
+
+
+def ok_result(shard, n=3):
+    """A worker result whose arrays agree with its reported stats."""
+    arr = np.arange(n, dtype=np.int64)
+    return (shard, arr, arr, arr.astype(np.int32), (1, 4, 9, n), 0.01, 1, 4)
+
+
+def truncated_result(shard, n=3, drop=1):
+    """Arrays one short of the stats' hit count — must be rejected."""
+    good = ok_result(shard, n)
+    return good[:1] + tuple(a[:-drop] for a in good[1:4]) + good[4:]
+
+
+class FakePool:
+    """Pool double: behaviour(shard, attempt) decides each future's fate."""
+
+    def __init__(self, behaviour):
+        self.behaviour = behaviour
+        self.submitted = []
+        self.shutdowns = 0
+
+    def submit(self, fn, shard, attempt, *payload):
+        self.submitted.append((shard, attempt))
+        action, value = self.behaviour(shard, attempt)
+        if action == "broken-submit":
+            raise BrokenProcessPool("pool died at submit")
+        future = cf.Future()
+        if action == "ok":
+            future.set_result(value)
+        elif action == "raise":
+            future.set_exception(value)
+        # "hang": the future never resolves; result(timeout) must trip.
+        return future
+
+    def shutdown(self, wait=True, cancel_futures=False):
+        self.shutdowns += 1
+
+
+class Harness:
+    """Wire a supervisor to fake pools and record construction/fallbacks."""
+
+    def __init__(self, behaviour, config=FAST, shards=(0, 1)):
+        self.pools = []
+        self.local_scored = []
+        self.behaviour = behaviour
+
+        def make_pool():
+            pool = FakePool(self.behaviour)
+            self.pools.append(pool)
+            return pool
+
+        def local_score(shard):
+            self.local_scored.append(shard)
+            return ok_result(shard)
+
+        self.supervisor = ShardSupervisor(
+            config, make_pool, lambda *a: None, local_score
+        )
+        self.payloads = {s: () for s in shards}
+        self.pair_counts = {s: 100 for s in shards}
+
+    def run(self):
+        return self.supervisor.run(self.payloads, self.pair_counts)
+
+
+class TestSupervisorConfig:
+    def test_explicit_timeout_wins(self):
+        cfg = SupervisorConfig(shard_timeout=3.5)
+        assert cfg.deadline_for(0) == 3.5
+        assert cfg.deadline_for(10**9) == 3.5
+
+    def test_derived_deadline_scales_with_pairs(self):
+        cfg = SupervisorConfig(min_timeout=2.0, seconds_per_pair=1e-3)
+        assert cfg.deadline_for(0) == pytest.approx(2.0)
+        assert cfg.deadline_for(1000) == pytest.approx(3.0)
+
+    def test_backoff_is_exponential(self):
+        cfg = SupervisorConfig(backoff_base=0.1, backoff_factor=2.0)
+        assert cfg.backoff(1) == pytest.approx(0.1)
+        assert cfg.backoff(2) == pytest.approx(0.2)
+        assert cfg.backoff(3) == pytest.approx(0.4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="shard_timeout"):
+            SupervisorConfig(shard_timeout=0.0)
+        with pytest.raises(ValueError, match="max_retries"):
+            SupervisorConfig(max_retries=-1)
+
+
+class TestValidateResult:
+    def test_accepts_consistent_result(self):
+        assert _validate_result(ok_result(0))
+
+    def test_rejects_truncated_arrays(self):
+        assert not _validate_result(truncated_result(0))
+
+    def test_rejects_garbage_shapes(self):
+        assert not _validate_result(None)
+        assert not _validate_result((0, 1))
+        assert not _validate_result((0, "a", "b", "c", "d"))
+
+
+class TestShardSupervisor:
+    def test_clean_run(self):
+        h = Harness(lambda s, a: ("ok", ok_result(s)))
+        outcomes, health = h.run()
+        assert [o.shard for o in outcomes] == [0, 1]
+        assert all(o.via == "pool" and o.attempts == 1 for o in outcomes)
+        assert health.healthy and health.shards == 2
+        assert len(h.pools) == 1 and not h.local_scored
+
+    def test_outcomes_sorted_by_shard(self):
+        h = Harness(lambda s, a: ("ok", ok_result(s)), shards=(3, 0, 2))
+        outcomes, _ = h.run()
+        assert [o.shard for o in outcomes] == [0, 2, 3]
+
+    def test_worker_exception_retries_on_same_pool(self):
+        def behaviour(shard, attempt):
+            if shard == 1 and attempt == 0:
+                return "raise", ValueError("flaky")
+            return "ok", ok_result(shard)
+
+        h = Harness(behaviour)
+        outcomes, health = h.run()
+        assert outcomes[1].attempts == 2 and outcomes[1].via == "pool"
+        assert outcomes[0].attempts == 1
+        assert health.crashes == 1 and health.retries == 1
+        assert health.pool_rebuilds == 0 and len(h.pools) == 1
+
+    def test_bank_corruption_counted_separately(self):
+        def behaviour(shard, attempt):
+            if shard == 0 and attempt == 0:
+                return "raise", BankCorruption("digest mismatch")
+            return "ok", ok_result(shard)
+
+        _, health = Harness(behaviour).run()
+        assert health.corrupt == 1 and health.crashes == 0
+        assert health.retries == 1
+
+    def test_truncated_result_rejected_and_retried(self):
+        def behaviour(shard, attempt):
+            if shard == 0 and attempt == 0:
+                return "ok", truncated_result(shard)
+            return "ok", ok_result(shard)
+
+        outcomes, health = Harness(behaviour).run()
+        assert health.truncated == 1 and outcomes[0].attempts == 2
+        assert np.array_equal(outcomes[0].result[3], ok_result(0)[3])
+
+    def test_timeout_tears_pool_down_and_rebuilds(self):
+        def behaviour(shard, attempt):
+            if shard == 1 and attempt == 0:
+                return "hang", None
+            return "ok", ok_result(shard)
+
+        h = Harness(behaviour)
+        outcomes, health = h.run()
+        assert health.timeouts == 1 and health.pool_rebuilds == 1
+        assert len(h.pools) == 2  # hung worker poisons the first pool
+        assert h.pools[0].shutdowns >= 1
+        assert outcomes[1].via == "pool" and outcomes[1].attempts == 2
+
+    def test_broken_pool_future_rebuilds(self):
+        def behaviour(shard, attempt):
+            if attempt == 0:
+                return "raise", BrokenProcessPool("worker died")
+            return "ok", ok_result(shard)
+
+        h = Harness(behaviour)
+        outcomes, health = h.run()
+        assert health.crashes == 2 and health.pool_rebuilds == 1
+        assert all(o.via == "pool" for o in outcomes)
+
+    def test_broken_submit_counts_unsubmitted_as_crashes(self):
+        calls = {"n": 0}
+
+        def behaviour(shard, attempt):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                return "broken-submit", None
+            return "ok", ok_result(shard)
+
+        h = Harness(behaviour)
+        outcomes, health = h.run()
+        assert health.crashes == 2  # neither shard was submitted that round
+        assert health.pool_rebuilds == 1
+        assert [o.via for o in outcomes] == ["pool", "pool"]
+
+    def test_exhausted_retries_fall_back_to_local(self):
+        h = Harness(
+            lambda s, a: ("raise", RuntimeError("always down")),
+            config=SupervisorConfig(
+                shard_timeout=0.2, max_retries=1, backoff_base=0.001
+            ),
+        )
+        outcomes, health = h.run()
+        assert all(o.via == "local" for o in outcomes)
+        assert health.fallback_shards == 2 and health.degraded
+        assert sorted(h.local_scored) == [0, 1]
+        # 1 initial + 1 retry dispatches per shard before giving up.
+        assert health.crashes == 4 and health.retries == 2
+
+    def test_only_failing_shard_falls_back(self):
+        def behaviour(shard, attempt):
+            if shard == 1:
+                return "raise", RuntimeError("shard 1 cursed")
+            return "ok", ok_result(shard)
+
+        h = Harness(behaviour)
+        outcomes, health = h.run()
+        assert outcomes[0].via == "pool" and outcomes[0].attempts == 1
+        assert outcomes[1].via == "local"
+        assert health.fallback_shards == 1
+        assert h.local_scored == [1]
+
+    def test_zero_retries_goes_straight_to_local(self):
+        h = Harness(
+            lambda s, a: ("raise", RuntimeError("down")),
+            config=SupervisorConfig(shard_timeout=0.2, max_retries=0),
+        )
+        outcomes, health = h.run()
+        assert health.retries == 0 and health.fallback_shards == 2
+        assert all(o.via == "local" for o in outcomes)
+
+
+class TestRunHealth:
+    def test_healthy_and_degraded_predicates(self):
+        assert RunHealth(shards=3).healthy
+        assert not RunHealth(shards=3, retries=1).healthy
+        assert not RunHealth(shards=3).degraded
+        faulted = RunHealth(shards=3, fallback_shards=1)
+        assert faulted.degraded and not faulted.healthy
+
+    def test_merge_accumulates_every_counter(self):
+        a = RunHealth(shards=2, retries=1, timeouts=1, crashes=2, truncated=1,
+                      corrupt=1, pool_rebuilds=1, fallback_shards=1)
+        b = RunHealth(shards=3, retries=2, crashes=1)
+        a.merge(b)
+        assert a == RunHealth(shards=5, retries=3, timeouts=1, crashes=3,
+                              truncated=1, corrupt=1, pool_rebuilds=1,
+                              fallback_shards=1)
+
+
+class TestRenderRunHealth:
+    def test_healthy_line(self):
+        assert render_run_health(RunHealth(shards=4)) == "step2 health: 4 shards, ok"
+        assert render_run_health(RunHealth(shards=1)) == "step2 health: 1 shard, ok"
+
+    def test_faulted_line_itemises_causes(self):
+        line = render_run_health(
+            RunHealth(shards=4, retries=2, timeouts=1, crashes=1,
+                      pool_rebuilds=1, fallback_shards=1)
+        )
+        assert line == (
+            "step2 health: 4 shards, 2 retries (1 timeout, 1 crash), "
+            "1 pool rebuild, 1 local fallback [degraded]"
+        )
+
+    def test_irregular_plurals(self):
+        line = render_run_health(RunHealth(shards=3, retries=2, crashes=2))
+        assert "2 crashes" in line
+        line = render_run_health(RunHealth(shards=3, retries=3, truncated=2,
+                                           corrupt=2))
+        assert "2 truncated results" in line and "2 corrupt bank views" in line
+
+    def test_degraded_flag_only_on_fallback(self):
+        assert "[degraded]" not in render_run_health(RunHealth(shards=2, retries=1))
+        assert "[degraded]" in render_run_health(
+            RunHealth(shards=2, fallback_shards=1)
+        )
