@@ -5,9 +5,16 @@ The parallel step-2 engine's headline guarantee — a bit-identical merge for
 any worker count — is an invariant of the *code*, not of any test input.
 This package machine-checks the code properties that guarantee rests on:
 seeded randomness, explicit hot-path dtypes, no mutable defaults, monotonic
-timing, and fully annotated public hot-path APIs.
+timing, and fully annotated public hot-path APIs (RC001–RC005), plus
+cross-module project rules over a call-graph/taint substrate (RC100–RC104:
+nondeterministic order reaching the merge, fork-unsafe module state,
+shared-memory lifecycle, unordered float reductions, ad-hoc retry loops).
+The runtime counterpart is the determinism sanitizer
+(:mod:`repro.analysis.determinism`, ``REPRO_DETSAN=1``): per-stage digest
+manifests and the ``repro-check --verify-determinism`` two-run harness.
 """
 
+from .baseline import Baseline, load_baseline, write_baseline
 from .checker import CheckResult, check_paths, collect_files
 from .contracts import (
     ArraySpec,
@@ -16,13 +23,22 @@ from .contracts import (
     contracted,
     contracts_enabled,
 )
-from .rules import REGISTRY, FileContext, Rule, Violation, register
+from .determinism import (
+    DetsanRecorder,
+    detsan_enabled,
+    diff_manifests,
+    verify_pipeline_determinism,
+)
+from .rules import REGISTRY, FileContext, ProjectRule, Rule, Violation, register
 
 __all__ = [
     "ArraySpec",
+    "Baseline",
     "CheckResult",
     "ContractError",
+    "DetsanRecorder",
     "FileContext",
+    "ProjectRule",
     "REGISTRY",
     "Rule",
     "Violation",
@@ -31,5 +47,10 @@ __all__ = [
     "collect_files",
     "contracted",
     "contracts_enabled",
+    "detsan_enabled",
+    "diff_manifests",
+    "load_baseline",
     "register",
+    "verify_pipeline_determinism",
+    "write_baseline",
 ]

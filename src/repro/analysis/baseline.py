@@ -1,0 +1,121 @@
+"""Committed-baseline suppression for ``repro-check``.
+
+A new rule family must be able to land in one PR without a tree-wide
+fix-up in the same change.  The baseline file records the findings that
+existed when the rule landed; ``repro-check --baseline FILE`` subtracts
+them, so only *new* findings fail the gate while the debt stays visible
+(and shrinks: a baseline entry that no longer matches anything is reported
+as stale so it can be deleted).
+
+Entries are keyed by ``(rule, path, message)`` with a count — deliberately
+**not** by line number, so unrelated edits above a baselined finding do not
+resurrect it.  Paths are stored repo-relative as written by the check run
+that created the file and matched by suffix, so the same baseline works
+from the repo root, from CI, and from an absolute-path test invocation.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+
+from .rules import Violation
+
+__all__ = ["Baseline", "load_baseline", "write_baseline", "baseline_key"]
+
+#: Baseline schema version, bumped on incompatible format changes.
+_VERSION = 1
+
+#: Key identifying one finding class: (rule, posix path, message).
+BaselineKey = tuple[str, str, str]
+
+
+def baseline_key(violation: Violation) -> BaselineKey:
+    """Line-independent identity of a violation."""
+    return (
+        violation.rule,
+        PurePosixPath(violation.path).as_posix(),
+        violation.message,
+    )
+
+
+def _path_matches(stored: str, actual: str) -> bool:
+    """True when *actual* is *stored* or ends with ``/<stored>``."""
+    if stored == actual:
+        return True
+    return actual.endswith("/" + stored)
+
+
+@dataclass
+class Baseline:
+    """Loaded baseline: finding-class counts plus match bookkeeping."""
+
+    entries: Counter[BaselineKey] = field(default_factory=Counter)
+    #: Keys that matched at least one violation during :meth:`filter`.
+    matched: set[BaselineKey] = field(default_factory=set)
+
+    def filter(self, violations: list[Violation]) -> tuple[list[Violation], int]:
+        """Split violations into (kept, suppressed-count).
+
+        Each baseline entry absorbs up to its recorded count of matching
+        violations; any excess beyond the count is kept — a regression
+        that *adds* instances of a baselined finding still fails.
+        """
+        budget = Counter(self.entries)
+        kept: list[Violation] = []
+        suppressed = 0
+        for violation in violations:
+            rule, path, message = baseline_key(violation)
+            hit: BaselineKey | None = None
+            for key in budget:
+                if (
+                    key[0] == rule
+                    and key[2] == message
+                    and budget[key] > 0
+                    and _path_matches(key[1], path)
+                ):
+                    hit = key
+                    break
+            if hit is not None:
+                budget[hit] -= 1
+                suppressed += 1
+                self.matched.add(hit)
+            else:
+                kept.append(violation)
+        return kept, suppressed
+
+    def stale_entries(self) -> list[BaselineKey]:
+        """Entries that matched nothing in the last :meth:`filter` run."""
+        return sorted(set(self.entries) - self.matched)
+
+
+def load_baseline(path: str | Path) -> Baseline:
+    """Read a baseline file; raises ``ValueError`` on a bad schema."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or data.get("version") != _VERSION:
+        raise ValueError(f"unsupported baseline format in {path}")
+    entries: Counter[BaselineKey] = Counter()
+    for item in data.get("entries", []):
+        key = (str(item["rule"]), str(item["path"]), str(item["message"]))
+        entries[key] += int(item.get("count", 1))
+    return Baseline(entries=entries)
+
+
+def write_baseline(violations: list[Violation], path: str | Path) -> int:
+    """Write the baseline recording *violations*; returns the entry count.
+
+    Output is deterministic (sorted by rule, path, message) so regenerating
+    an unchanged tree produces a byte-identical file.
+    """
+    counts = Counter(baseline_key(v) for v in violations)
+    entries = [
+        {"rule": rule, "path": rel, "message": message, "count": count}
+        for (rule, rel, message), count in sorted(counts.items())
+    ]
+    payload = {"version": _VERSION, "entries": entries}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+    )
+    return len(entries)

@@ -1,11 +1,22 @@
 """Tree walker driving the RC rules over files and directories.
 
 :func:`check_paths` is the programmatic API the ``repro-check`` console
-script and the test-suite both use: it expands directories, parses each
-``.py`` file once, runs every (selected) registered rule, honours inline
-``# noqa: RC00X`` suppressions, and returns violations in a deterministic
-(path, line, column, rule) order — determinism of the checker itself is
-held to the same standard it enforces.
+script and the test-suite both use.  It expands directories, parses each
+``.py`` file once, runs every (selected) registered per-file rule, then
+builds the cross-module :class:`~repro.analysis.graph.ProjectGraph` over
+the package files and runs the project rules (RC1xx) on it.  Suppression
+happens at three levels, most local wins:
+
+* inline ``# noqa: RC00X`` on the violating line (codes required — a bare
+  ``noqa`` does not silence RC rules);
+* file-level ``# repro-check: noqa`` (whole file) or
+  ``# repro-check: noqa: RC101`` (listed codes, file-wide) on any line;
+* a committed baseline (:mod:`repro.analysis.baseline`) absorbing known
+  findings so a new rule can land before the tree is fully clean.
+
+Violations return in a deterministic (path, line, column, rule) order —
+determinism of the checker itself is held to the same standard it
+enforces.
 """
 
 from __future__ import annotations
@@ -15,16 +26,32 @@ import re
 from collections.abc import Iterable, Iterator, Sequence
 from pathlib import Path
 
-from .rules import FileContext, Violation, iter_rules, package_relative
+# Importing ``concurrency`` registers the RC1xx project rules.
+from . import concurrency  # noqa: F401  (import-for-registration)
+from .baseline import Baseline
+from .flows import ProjectAnalyses
+from .graph import ProjectGraph
+from .rules import FileContext, ProjectRule, Violation, iter_rules, package_relative
 
 __all__ = ["CheckResult", "check_paths", "collect_files", "parse_file"]
 
-#: Directories never descended into.
-_SKIP_DIRS = frozenset({"__pycache__", ".git", ".ruff_cache", ".mypy_cache"})
+#: Directories never descended into.  ``analysis_fixtures`` holds the
+#: deliberately-violating RC1xx test fixtures — they are checked by the
+#: tests via explicit paths, never swept up in a tree walk.
+_SKIP_DIRS = frozenset(
+    {"__pycache__", ".git", ".ruff_cache", ".mypy_cache", "analysis_fixtures"}
+)
 
 #: ``# noqa: RC001, RC004`` (codes required — a bare ``# noqa`` does not
 #: silence RC rules; invariants are suppressed one at a time, on purpose).
 _NOQA = re.compile(r"#\s*noqa:\s*(?P<codes>RC\d{3}(?:\s*,\s*RC\d{3})*)", re.IGNORECASE)
+
+#: File-level suppression: ``# repro-check: noqa`` silences every rule for
+#: the file; ``# repro-check: noqa: RC101, RC103`` only the listed codes.
+_FILE_NOQA = re.compile(
+    r"#\s*repro-check:\s*noqa(?::\s*(?P<codes>RC\d{3}(?:\s*,\s*RC\d{3})*))?",
+    re.IGNORECASE,
+)
 
 
 class CheckResult:
@@ -34,6 +61,10 @@ class CheckResult:
         self.violations: list[Violation] = []
         self.files_checked: int = 0
         self.parse_errors: list[str] = []
+        #: Findings absorbed by the ``--baseline`` file, if one was given.
+        self.baseline_suppressed: int = 0
+        #: Baseline entries that matched nothing — stale debt to delete.
+        self.baseline_stale: list[tuple[str, str, str]] = []
 
     @property
     def ok(self) -> bool:
@@ -48,7 +79,10 @@ def collect_files(paths: Sequence[str | Path]) -> list[Path]:
         path = Path(raw)
         if path.is_dir():
             for sub in path.rglob("*.py"):
-                if not _SKIP_DIRS.intersection(sub.parts):
+                # Skip components *below* the argument only: explicitly
+                # pointing repro-check inside a skipped directory (the
+                # fixture tests do) must still work.
+                if not _SKIP_DIRS.intersection(sub.relative_to(path).parts[:-1]):
                     out.add(sub)
         elif path.suffix == ".py":
             out.add(path)
@@ -82,17 +116,56 @@ def _suppressed_codes(source: str) -> dict[int, frozenset[str]]:
     return out
 
 
+def _file_suppression(source: str) -> frozenset[str] | None:
+    """File-wide suppression: ``None`` off, empty set = all codes, else codes."""
+    for line in source.splitlines():
+        m = _FILE_NOQA.search(line)
+        if m:
+            codes = m.group("codes")
+            if codes is None:
+                return frozenset()
+            return frozenset(c.strip().upper() for c in codes.split(","))
+    return None
+
+
+class _Suppressions:
+    """Per-file inline and file-level noqa state, keyed by path string."""
+
+    def __init__(self) -> None:
+        self._by_file: dict[str, tuple[dict[int, frozenset[str]], frozenset[str] | None]] = {}
+
+    def scan(self, ctx: FileContext) -> None:
+        self._by_file[str(ctx.path)] = (
+            _suppressed_codes(ctx.source),
+            _file_suppression(ctx.source),
+        )
+
+    def silences(self, violation: Violation) -> bool:
+        lines, file_level = self._by_file.get(violation.path, ({}, None))
+        if file_level is not None and (
+            not file_level or violation.rule in file_level
+        ):
+            return True
+        return violation.rule in lines.get(violation.line, frozenset())
+
+
 def check_paths(
     paths: Sequence[str | Path],
     select: Iterable[str] | None = None,
+    baseline: Baseline | None = None,
 ) -> CheckResult:
     """Run the (selected) RC rules over *paths*.
 
     Parse failures are recorded, not raised: a file the checker cannot read
-    is a finding, never a crash that hides other findings.
+    is a finding, never a crash that hides other findings.  When *baseline*
+    is given its entries absorb matching violations (counted in
+    ``baseline_suppressed``) and entries matching nothing are reported as
+    stale.
     """
     selected = frozenset(s.upper() for s in select) if select is not None else None
     result = CheckResult()
+    suppressions = _Suppressions()
+    contexts: list[FileContext] = []
     for path in collect_files(paths):
         try:
             ctx = parse_file(path)
@@ -100,13 +173,28 @@ def check_paths(
             result.parse_errors.append(f"{path}: {exc}")
             continue
         result.files_checked += 1
-        noqa = _suppressed_codes(ctx.source)
-        for rule in iter_rules(selected):
-            for violation in rule.check(ctx):
-                if violation.rule in noqa.get(violation.line, frozenset()):
-                    continue
-                result.violations.append(violation)
-    result.violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+        suppressions.scan(ctx)
+        contexts.append(ctx)
+
+    violations: list[Violation] = []
+    file_rules = [r for r in iter_rules(selected) if not isinstance(r, ProjectRule)]
+    project_rules = [r for r in iter_rules(selected) if isinstance(r, ProjectRule)]
+    for ctx in contexts:
+        for rule in file_rules:
+            violations.extend(rule.check(ctx))
+    if project_rules:
+        project = ProjectAnalyses(
+            ProjectGraph.from_contexts(c for c in contexts if c.in_package)
+        )
+        for project_rule in project_rules:
+            violations.extend(project_rule.check_project(project))
+
+    violations = [v for v in violations if not suppressions.silences(v)]
+    violations.sort(key=lambda v: (v.path, v.line, v.col, v.rule))
+    if baseline is not None:
+        violations, result.baseline_suppressed = baseline.filter(violations)
+        result.baseline_stale = baseline.stale_entries()
+    result.violations = violations
     return result
 
 

@@ -5,10 +5,19 @@ Usage::
     repro-check src tests            # check trees, exit 1 on violations
     repro-check --select RC002 src   # one rule only
     repro-check --list-rules         # what is enforced, and why
+    repro-check --baseline repro-baseline.json src
+                                     # subtract the committed debt
+    repro-check --write-baseline repro-baseline.json src
+                                     # record today's findings as the debt
+    repro-check --github src         # emit GitHub ::error annotations too
+    repro-check --verify-determinism Q.fasta G.fasta --workers 1,2
+                                     # run the pipeline per worker count
+                                     # and diff the detsan manifests
 
-Exit codes: ``0`` clean, ``1`` violations (or unparsable files) found,
-``2`` usage error (argparse).  Output is one ``path:line:col: RC00X
-message`` line per finding, deterministic across runs.
+Exit codes: ``0`` clean, ``1`` violations (or unparsable files, or a
+determinism diff) found, ``2`` usage error (argparse, missing paths).
+Output is one ``path:line:col: RC00X message`` line per finding,
+deterministic across runs.
 """
 
 from __future__ import annotations
@@ -16,9 +25,11 @@ from __future__ import annotations
 import argparse
 import sys
 from collections.abc import Sequence
+from pathlib import Path
 
-from .checker import check_paths, iter_rendered
-from .rules import REGISTRY
+from .baseline import Baseline, load_baseline, write_baseline
+from .checker import CheckResult, check_paths, iter_rendered
+from .rules import REGISTRY, Violation
 
 __all__ = ["main", "build_parser"]
 
@@ -46,6 +57,37 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the registered rules and exit",
     )
     p.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="suppress findings recorded in this baseline file "
+        "(stale entries are reported)",
+    )
+    p.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write the current findings to FILE as the new baseline "
+        "and exit 0",
+    )
+    p.add_argument(
+        "--github",
+        action="store_true",
+        help="additionally emit GitHub Actions ::error annotations",
+    )
+    p.add_argument(
+        "--verify-determinism",
+        nargs=2,
+        metavar=("QUERIES", "GENOME"),
+        help="instead of linting: run the pipeline on this FASTA pair "
+        "once per worker count and diff the determinism manifests",
+    )
+    p.add_argument(
+        "--workers",
+        default="1,2",
+        metavar="N,M,...",
+        help="worker counts exercised by --verify-determinism "
+        "(default: 1,2)",
+    )
+    p.add_argument(
         "-q",
         "--quiet",
         action="store_true",
@@ -65,6 +107,99 @@ def _validate_select(raw: str, parser: argparse.ArgumentParser) -> list[str]:
     return codes
 
 
+def _github_annotation(violation: Violation) -> str:
+    """One ``::error`` workflow command per finding.
+
+    GitHub renders these inline on the PR diff; ``%`` , CR and LF must be
+    escaped per the workflow-command spec or the message truncates.
+    """
+    message = (
+        f"{violation.rule} {violation.message}".replace("%", "%25")
+        .replace("\r", "%0D")
+        .replace("\n", "%0A")
+    )
+    return (
+        f"::error file={violation.path},line={violation.line},"
+        f"col={violation.col},title=repro-check {violation.rule}::{message}"
+    )
+
+
+def _parse_workers(raw: str, parser: argparse.ArgumentParser) -> list[int]:
+    try:
+        counts = [int(c) for c in raw.split(",") if c.strip()]
+    except ValueError:
+        counts = []
+    if not counts or any(c < 1 for c in counts):
+        parser.error(f"--workers must be positive integers, got {raw!r}")
+    return counts
+
+
+def _run_verify(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    """``--verify-determinism`` mode: N pipeline runs, manifest diff."""
+    # Lazy import: the lint path must not pull in numpy + the pipeline.
+    from .determinism import verify_pipeline_determinism
+
+    queries, genome = args.verify_determinism
+    for path in (queries, genome):
+        if not Path(path).exists():
+            parser.error(f"no such file: {path}")
+    counts = _parse_workers(args.workers, parser)
+    ok, manifests, diffs = verify_pipeline_determinism(
+        queries, genome, worker_counts=counts
+    )
+    if not args.quiet:
+        for manifest in manifests:
+            workers = manifest["meta"].get("workers")
+            for name, stage in manifest["stages"].items():
+                print(
+                    f"workers={workers} {name}: {stage['digest']} "
+                    f"(n={stage['n']})"
+                )
+    if ok:
+        print(
+            f"repro-check: determinism verified across workers="
+            f"{','.join(str(c) for c in counts)}"
+        )
+        return 0
+    for line in diffs:
+        print(f"determinism mismatch: {line}")
+        if args.github:
+            print(f"::error title=repro-check determinism::{line}")
+    return 1
+
+
+def _load_baseline_arg(
+    path: str, parser: argparse.ArgumentParser
+) -> Baseline:
+    try:
+        return load_baseline(path)
+    except FileNotFoundError:
+        parser.error(f"baseline file not found: {path}")
+    except ValueError as exc:
+        parser.error(str(exc))
+    raise AssertionError("parser.error returns NoReturn")  # pragma: no cover
+
+
+def _print_summary(result: CheckResult) -> None:
+    n = len(result.violations)
+    summary = (
+        f"repro-check: {result.files_checked} files, "
+        f"{n} violation{'s' if n != 1 else ''}"
+    )
+    if result.baseline_suppressed:
+        summary += f", {result.baseline_suppressed} baselined"
+    if result.parse_errors:
+        summary += f", {len(result.parse_errors)} unparsable"
+    print(summary)
+    for rule, path, _message in result.baseline_stale:
+        print(
+            f"repro-check: stale baseline entry {rule} for {path} "
+            "matched nothing — delete it"
+        )
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns the process exit code."""
     parser = build_parser()
@@ -73,21 +208,32 @@ def main(argv: Sequence[str] | None = None) -> int:
         for code, rule in REGISTRY.items():
             print(f"{code}  {rule.summary}")
         return 0
+    if args.verify_determinism:
+        return _run_verify(args, parser)
     if not args.paths:
         parser.error("no paths given (try `repro-check src tests`)")
     select = _validate_select(args.select, parser) if args.select else None
-    result = check_paths(args.paths, select=select)
+    baseline = (
+        _load_baseline_arg(args.baseline, parser) if args.baseline else None
+    )
+    try:
+        result = check_paths(args.paths, select=select, baseline=baseline)
+    except FileNotFoundError as exc:
+        parser.error(str(exc))
+    if args.write_baseline:
+        n = write_baseline(result.violations, args.write_baseline)
+        print(
+            f"repro-check: wrote {n} baseline entr"
+            f"{'y' if n == 1 else 'ies'} to {args.write_baseline}"
+        )
+        return 0
     for line in iter_rendered(result):
         print(line)
+    if args.github:
+        for violation in result.violations:
+            print(_github_annotation(violation))
     if not args.quiet:
-        n = len(result.violations)
-        summary = (
-            f"repro-check: {result.files_checked} files, "
-            f"{n} violation{'s' if n != 1 else ''}"
-        )
-        if result.parse_errors:
-            summary += f", {len(result.parse_errors)} unparsable"
-        print(summary)
+        _print_summary(result)
     return 0 if result.ok else 1
 
 

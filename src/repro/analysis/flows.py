@@ -1,0 +1,439 @@
+"""Flow-sensitive hazard framework over :class:`~repro.analysis.graph.ProjectGraph`.
+
+Two families of fixpoint summaries feed the RC1xx rules:
+
+**Order/nondeterminism taints** (:class:`FlowAnalysis`).  A value is tainted
+``unordered`` when its iteration order is hash- or environment-dependent
+(``set``/``frozenset`` literals, comprehensions and constructors, lists
+built by iterating them) and ``nondet`` when it derives from a wall clock,
+filesystem enumeration, entropy, or an unseeded RNG.  Taints propagate
+through assignments *in statement order* (a later ``x = sorted(x)``
+launders the variable), through list/tuple/iter-style passthrough calls,
+and — the part local linters cannot do — through project function calls:
+a function returning ``set(...)`` taints every caller that iterates its
+result, transitively.  Order-insensitive reducers (``sorted``, ``len``,
+``min``, ``max``, ``sum``, ``any``, ``all``, ``np.sort``, ``np.unique``)
+neutralise the taint.
+
+**Resource-release summaries** (:class:`ReleaseAnalysis`).  For RC102 the
+question "does this ``finally`` block release the segment?" must look
+through helpers: ``_release_segments(segments)`` releases because it loops
+over its parameter calling ``_release_segment``, which calls ``.close()``
+and ``.unlink()``.  :meth:`ReleaseAnalysis.releases` answers, per function
+and parameter position, which of ``close``/``unlink`` are (transitively)
+applied to that argument or its elements.
+
+Both analyses are conservative in the linting direction that minimises
+false positives: an unresolved call contributes *no* taint and *no*
+release — rules only act on evidence the resolver actually pinned down.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass, field
+
+from .graph import CallSite, FunctionInfo, ProjectGraph, dotted_name
+
+__all__ = [
+    "Taint",
+    "IterationHazard",
+    "FunctionFlow",
+    "FlowAnalysis",
+    "ReleaseAnalysis",
+    "ProjectAnalyses",
+    "NONDET_CALLS",
+]
+
+#: External calls whose value depends on environment, clock or entropy.
+NONDET_CALLS: dict[str, str] = {
+    "os.listdir": "os.listdir() order is filesystem-dependent",
+    "os.scandir": "os.scandir() order is filesystem-dependent",
+    "os.walk": "os.walk() order is filesystem-dependent",
+    "glob.glob": "glob.glob() order is filesystem-dependent",
+    "glob.iglob": "glob.iglob() order is filesystem-dependent",
+    "os.environ.items": "os.environ content is host-dependent",
+    "time.time": "wall-clock value",
+    "time.time_ns": "wall-clock value",
+    "uuid.uuid4": "entropy-derived value",
+    "os.urandom": "entropy-derived value",
+}
+
+#: Builtin/numpy calls that return an order-independent or sorted value —
+#: applying one of these discharges the hazard.
+NEUTRALIZERS: frozenset[str] = frozenset(
+    {
+        "sorted", "len", "min", "max", "sum", "any", "all",
+        "np.sort", "numpy.sort", "np.unique", "numpy.unique",
+        "math.fsum",
+    }
+)
+
+#: Calls that return their (first) argument's elements in argument order —
+#: taints pass straight through them.
+PASSTHROUGH: frozenset[str] = frozenset(
+    {"list", "tuple", "iter", "reversed", "enumerate", "zip", "np.asarray",
+     "numpy.asarray", "np.concatenate", "numpy.concatenate"}
+)
+
+#: Dict/set views: iterating them iterates the receiver.
+_VIEW_METHODS: frozenset[str] = frozenset({"keys", "values", "items"})
+
+
+@dataclass(frozen=True)
+class Taint:
+    """One hazard carried by a value."""
+
+    kind: str  # "unordered" | "nondet"
+    reason: str
+
+
+_UNORDERED_SET = Taint("unordered", "set/frozenset iteration order is hash-dependent")
+
+
+@dataclass(frozen=True)
+class IterationHazard:
+    """A loop or comprehension iterating a tainted value."""
+
+    node: ast.AST
+    taints: frozenset[Taint]
+
+
+class FunctionFlow:
+    """One statement-ordered taint pass over a single function body.
+
+    ``returns_taints`` accumulates the taints of every ``return``
+    expression; ``hazards`` the tainted iteration sites.  The pass is
+    flow-sensitive along straight-line code (assignments are processed in
+    order, so re-binding to ``sorted(x)`` clears the taint) and unions
+    branches — the conservative merge for an ``if``.
+    """
+
+    def __init__(
+        self,
+        info: FunctionInfo,
+        returns: dict[str, frozenset[Taint]],
+    ) -> None:
+        self._info = info
+        self._returns = returns
+        self._sites: dict[int, CallSite] = {id(s.node): s for s in info.calls}
+        self.env: dict[str, frozenset[Taint]] = {}
+        self.returns_taints: frozenset[Taint] = frozenset()
+        self.hazards: list[IterationHazard] = []
+        self._run()
+
+    # -- expression taint ----------------------------------------------
+    def _call_raw(self, node: ast.Call) -> str | None:
+        site = self._sites.get(id(node))
+        if site is not None:
+            return site.raw
+        return dotted_name(node.func)
+
+    def _call_taints(self, node: ast.Call) -> frozenset[Taint]:
+        site = self._sites.get(id(node))
+        raw = self._call_raw(node)
+        if raw is not None:
+            if raw in NEUTRALIZERS:
+                return frozenset()
+            if raw in ("set", "frozenset"):
+                return frozenset({_UNORDERED_SET})
+            if raw in NONDET_CALLS:
+                return frozenset({Taint("nondet", NONDET_CALLS[raw])})
+            if raw in ("np.random.default_rng", "numpy.random.default_rng") and not (
+                node.args or node.keywords
+            ):
+                return frozenset({Taint("nondet", "unseeded np.random.default_rng()")})
+            if raw in PASSTHROUGH:
+                out: frozenset[Taint] = frozenset()
+                for arg in node.args:
+                    out |= self.expr_taints(arg)
+                return out
+            # ``x.keys()/.values()/.items()`` — iterating the receiver.
+            head, _, tail = raw.rpartition(".")
+            if tail in _VIEW_METHODS and head:
+                return self.env.get(head, frozenset())
+        if site is not None and site.callee is not None:
+            return self._returns.get(site.callee, frozenset())
+        return frozenset()
+
+    def expr_taints(self, node: ast.expr | None) -> frozenset[Taint]:
+        """Taints carried by one expression under the current environment."""
+        if node is None:
+            return frozenset()
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            self._scan_comprehension(node)
+            return frozenset({_UNORDERED_SET})
+        if isinstance(node, ast.Call):
+            return self._call_taints(node)
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, frozenset())
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+            self._scan_comprehension(node)
+            out: frozenset[Taint] = frozenset()
+            for gen in node.generators:
+                out |= self.expr_taints(gen.iter)
+            return out
+        if isinstance(node, ast.DictComp):
+            self._scan_comprehension(node)
+            out = frozenset()
+            for gen in node.generators:
+                out |= self.expr_taints(gen.iter)
+            return out
+        if isinstance(node, ast.BinOp):
+            return self.expr_taints(node.left) | self.expr_taints(node.right)
+        if isinstance(node, ast.IfExp):
+            return self.expr_taints(node.body) | self.expr_taints(node.orelse)
+        if isinstance(node, ast.Attribute):
+            return self.expr_taints(node.value)
+        if isinstance(node, ast.Starred):
+            return self.expr_taints(node.value)
+        if isinstance(node, (ast.Tuple, ast.List)):
+            out = frozenset()
+            for elt in node.elts:
+                out |= self.expr_taints(elt)
+            return out
+        return frozenset()
+
+    # -- statement pass ------------------------------------------------
+    def _scan_comprehension(
+        self, node: ast.SetComp | ast.ListComp | ast.GeneratorExp | ast.DictComp
+    ) -> None:
+        for gen in node.generators:
+            taints = self.expr_taints(gen.iter)
+            if taints:
+                self.hazards.append(IterationHazard(node=gen.iter, taints=taints))
+
+    def _assign_names(self, target: ast.expr, taints: frozenset[Taint]) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = taints
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._assign_names(elt, taints)
+
+    def _visit_stmts(self, body: list[ast.stmt]) -> None:
+        for stmt in body:
+            self._visit_stmt(stmt)
+
+    def _visit_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.Assign):
+            taints = self.expr_taints(stmt.value)
+            for target in stmt.targets:
+                self._assign_names(target, taints)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None and isinstance(stmt.target, ast.Name):
+                self.env[stmt.target.id] = self.expr_taints(stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            if isinstance(stmt.target, ast.Name):
+                self.env[stmt.target.id] = self.env.get(
+                    stmt.target.id, frozenset()
+                ) | self.expr_taints(stmt.value)
+        elif isinstance(stmt, ast.Return):
+            self.returns_taints |= self.expr_taints(stmt.value)
+            if stmt.value is not None:
+                self._scan_expr_for_hazards(stmt.value)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            taints = self.expr_taints(stmt.iter)
+            if taints:
+                self.hazards.append(IterationHazard(node=stmt.iter, taints=taints))
+            # Lists grown while iterating an unordered source inherit the
+            # unordered order: ``for x in s: out.append(x)``.
+            for name in _append_targets(stmt.body):
+                self.env[name] = self.env.get(name, frozenset()) | taints
+            self._visit_stmts(stmt.body)
+            self._visit_stmts(stmt.orelse)
+        elif isinstance(stmt, ast.While):
+            self._visit_stmts(stmt.body)
+            self._visit_stmts(stmt.orelse)
+        elif isinstance(stmt, ast.If):
+            self._visit_stmts(stmt.body)
+            self._visit_stmts(stmt.orelse)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._visit_stmts(stmt.body)
+        elif isinstance(stmt, ast.Try):
+            self._visit_stmts(stmt.body)
+            for handler in stmt.handlers:
+                self._visit_stmts(handler.body)
+            self._visit_stmts(stmt.orelse)
+            self._visit_stmts(stmt.finalbody)
+        elif isinstance(stmt, ast.Expr):
+            self._scan_expr_for_hazards(stmt.value)
+
+    def _scan_expr_for_hazards(self, node: ast.expr) -> None:
+        """Evaluate an expression for its comprehension-iteration hazards."""
+        self.expr_taints(node)
+
+    def _run(self) -> None:
+        self._visit_stmts(self._info.node.body)
+
+
+class FlowAnalysis:
+    """Fixpoint of per-function return taints over the whole project."""
+
+    def __init__(self, graph: ProjectGraph) -> None:
+        self.graph = graph
+        self.returns: dict[str, frozenset[Taint]] = {
+            q: frozenset() for q in graph.functions
+        }
+        self._solve()
+
+    def _solve(self) -> None:
+        # The lattice is finite (few taint kinds) and monotone, so the
+        # fixpoint converges in at most |functions| rounds; in practice 2-3.
+        for _ in range(len(self.graph.functions) + 1):
+            changed = False
+            for qual, info in self.graph.functions.items():
+                flow = FunctionFlow(info, self.returns)
+                if flow.returns_taints - self.returns[qual]:
+                    self.returns[qual] = self.returns[qual] | flow.returns_taints
+                    changed = True
+            if not changed:
+                return
+
+    def function_flow(self, info: FunctionInfo) -> FunctionFlow:
+        """Re-run the statement pass for one function at the fixpoint."""
+        return FunctionFlow(info, self.returns)
+
+
+def _append_targets(body: list[ast.stmt]) -> Iterator[str]:
+    """Names appended/extended to inside a statement list."""
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("append", "extend", "add")
+                and isinstance(node.func.value, ast.Name)
+            ):
+                yield node.func.value.id
+
+
+@dataclass
+class _ReleaseFacts:
+    """Which cleanup methods reach each parameter position of a function."""
+
+    per_param: dict[int, frozenset[str]] = field(default_factory=dict)
+
+    def add(self, index: int, methods: frozenset[str]) -> bool:
+        old = self.per_param.get(index, frozenset())
+        new = old | methods
+        if new != old:
+            self.per_param[index] = new
+            return True
+        return False
+
+
+class ReleaseAnalysis:
+    """Transitive ``close``/``unlink`` coverage of function parameters.
+
+    ``releases(qualname)[i]`` is the subset of ``{"close", "unlink"}``
+    applied — directly, elementwise via a loop, or through a project call —
+    to parameter *i* of the function.  Used by RC102 to accept cleanup
+    helpers like ``_release_segments``.
+    """
+
+    _METHODS: frozenset[str] = frozenset({"close", "unlink"})
+
+    def __init__(self, graph: ProjectGraph) -> None:
+        self.graph = graph
+        self._facts: dict[str, _ReleaseFacts] = {
+            q: _ReleaseFacts() for q in graph.functions
+        }
+        self._solve()
+
+    def releases(self, qualname: str) -> dict[int, frozenset[str]]:
+        """Cleanup methods reaching each parameter of *qualname*."""
+        facts = self._facts.get(qualname)
+        return dict(facts.per_param) if facts is not None else {}
+
+    # ------------------------------------------------------------------
+    def _solve(self) -> None:
+        for _ in range(len(self.graph.functions) + 1):
+            changed = False
+            for qual, info in self.graph.functions.items():
+                if self._update(qual, info):
+                    changed = True
+            if not changed:
+                return
+
+    def _update(self, qual: str, info: FunctionInfo) -> bool:
+        params = {name: i for i, name in enumerate(info.param_names())}
+        # Loop variables ranging over a parameter count as that parameter's
+        # elements; releasing every element releases the container.
+        element_of: dict[str, int] = {}
+        for node in ast.walk(info.node):
+            if (
+                isinstance(node, (ast.For, ast.AsyncFor))
+                and isinstance(node.iter, ast.Name)
+                and node.iter.id in params
+                and isinstance(node.target, ast.Name)
+            ):
+                element_of[node.target.id] = params[node.iter.id]
+        changed = False
+        facts = self._facts[qual]
+
+        def param_index(name: str) -> int | None:
+            if name in params:
+                return params[name]
+            return element_of.get(name)
+
+        for site in info.calls:
+            node = site.node
+            # Direct ``p.close()`` / ``p.unlink()``.
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in self._METHODS
+                and isinstance(node.func.value, ast.Name)
+            ):
+                index = param_index(node.func.value.id)
+                if index is not None and facts.add(
+                    index, frozenset({node.func.attr})
+                ):
+                    changed = True
+            # Transitive: ``helper(p)`` where helper releases its argument.
+            if site.callee is not None:
+                callee_facts = self._facts.get(site.callee)
+                if callee_facts is None:
+                    continue
+                for pos, arg in enumerate(node.args):
+                    if not isinstance(arg, ast.Name):
+                        continue
+                    index = param_index(arg.id)
+                    if index is None:
+                        continue
+                    methods = callee_facts.per_param.get(pos, frozenset())
+                    if methods and facts.add(index, methods):
+                        changed = True
+        return changed
+
+
+#: Callback signature rules use to visit hazards without re-walking.
+HazardVisitor = Callable[[FunctionInfo, IterationHazard], None]
+
+
+class ProjectAnalyses:
+    """The bundle handed to project rules: graph plus lazy fixpoints.
+
+    Several RC1xx rules share the taint and release analyses; computing
+    each at most once per check run keeps ``repro-check`` fast on large
+    trees.  Rules that only need reachability touch neither.
+    """
+
+    def __init__(self, graph: ProjectGraph) -> None:
+        self.graph = graph
+        self._flow: FlowAnalysis | None = None
+        self._release: ReleaseAnalysis | None = None
+
+    @property
+    def flow(self) -> FlowAnalysis:
+        """The (cached) project-wide taint fixpoint."""
+        if self._flow is None:
+            self._flow = FlowAnalysis(self.graph)
+        return self._flow
+
+    @property
+    def release(self) -> ReleaseAnalysis:
+        """The (cached) close/unlink release fixpoint."""
+        if self._release is None:
+            self._release = ReleaseAnalysis(self.graph)
+        return self._release

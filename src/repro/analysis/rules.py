@@ -32,11 +32,16 @@ import ast
 from collections.abc import Iterator
 from dataclasses import dataclass
 from pathlib import Path, PurePosixPath
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .flows import ProjectAnalyses
 
 __all__ = [
     "FileContext",
     "Violation",
     "Rule",
+    "ProjectRule",
     "REGISTRY",
     "register",
     "iter_rules",
@@ -145,6 +150,37 @@ class Rule:
         return Violation(
             rule=self.code,
             path=str(ctx.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+
+
+class ProjectRule(Rule):
+    """Base class for cross-module rules (the RC1xx family).
+
+    Project rules see the whole parsed tree at once — call graph, name
+    resolution, flow summaries — via :class:`~repro.analysis.flows.ProjectAnalyses`
+    instead of one file at a time.  Their per-file :meth:`check` is a
+    no-op; the checker invokes :meth:`check_project` after the file pass.
+    """
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        """Project rules contribute nothing to the per-file pass."""
+        return iter(())
+
+    def check_project(self, project: ProjectAnalyses) -> Iterator[Violation]:
+        """Yield every violation of this rule across the project."""
+        raise NotImplementedError
+        yield  # pragma: no cover
+
+    def violation_at(
+        self, path: Path | str, node: ast.AST, message: str
+    ) -> Violation:
+        """Build a :class:`Violation` at *node*'s location in *path*."""
+        return Violation(
+            rule=self.code,
+            path=str(path),
             line=getattr(node, "lineno", 1),
             col=getattr(node, "col_offset", 0) + 1,
             message=message,
@@ -265,6 +301,11 @@ class ExplicitDtypeRule(Rule):
             mod, _, attr = name.rpartition(".")
             if mod not in ("np", "numpy") or attr not in DTYPE_REQUIRED_FUNCS:
                 continue
+            if any(kw.arg is None for kw in node.keywords):
+                # A ``**kwargs`` splat may well forward dtype= (the batched
+                # kernel's option-forwarding helpers do); absence cannot be
+                # proven statically, so a splatted call is never flagged.
+                continue
             if not any(kw.arg == "dtype" for kw in node.keywords):
                 yield self.violation(
                     ctx,
@@ -314,9 +355,14 @@ class WallClockRule(Rule):
 
     code = "RC004"
     summary = (
-        "time.time() is not monotonic; use time.perf_counter() / "
-        "repro.util.timing.Stopwatch"
+        "time.time() is not monotonic; use time.perf_counter() or "
+        "time.monotonic() (repro.util.timing.Stopwatch)"
     )
+
+    #: Monotonic clocks the rule accepts.  ``perf_counter`` is the project
+    #: default (highest resolution); ``monotonic`` is equally valid for
+    #: deadlines/timeouts where resolution does not matter.
+    ALLOWED_CLOCKS: frozenset[str] = frozenset({"perf_counter", "monotonic"})
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         for node in ast.walk(ctx.tree):
@@ -327,8 +373,8 @@ class WallClockRule(Rule):
                 yield self.violation(
                     ctx,
                     node,
-                    "time.time() is banned; use time.perf_counter() "
-                    "(repro.util.timing.Stopwatch)",
+                    "time.time() is banned; use time.perf_counter() or "
+                    "time.monotonic() (repro.util.timing.Stopwatch)",
                 )
             elif isinstance(node, ast.ImportFrom) and node.module == "time":
                 for alias in node.names:
@@ -337,7 +383,7 @@ class WallClockRule(Rule):
                             ctx,
                             node,
                             "importing time.time is banned; use "
-                            "time.perf_counter()",
+                            "time.perf_counter() or time.monotonic()",
                         )
 
 

@@ -47,6 +47,7 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from ..analysis import determinism as detsan
 from ..analysis.contracts import ArraySpec, check_array
 from ..extend.batched import BatchedUngappedEngine
 from ..extend.ungapped import UngappedConfig, UngappedHits, UngappedStats
@@ -416,6 +417,17 @@ class ShardedStep2Executor:
             )
         ]
         self.last_health = RunHealth(shards=1)
+        if detsan.active() is not None:
+            detsan.record_detail(
+                "shard",
+                shard=0,
+                via="local",
+                attempts=1,
+                hits=hits.stats.hits,
+                digest=detsan.shard_digest(
+                    [hits.offsets0, hits.offsets1, hits.scores]
+                ),
+            )
         return hits
 
     def _run_pool(self, index: TwoBankIndex) -> UngappedHits:
@@ -480,6 +492,17 @@ class ShardedStep2Executor:
             shard, _o0, _o1, _sc, (entries, pairs, cells, hits_n), wall, \
                 batches, max_batch = outcome.result
             results.append(outcome.result)
+            if detsan.active() is not None:
+                # Per-shard digests are diagnostics (shard counts differ
+                # across worker counts), recorded as non-compared detail.
+                detsan.record_detail(
+                    "shard",
+                    shard=shard,
+                    via=outcome.via,
+                    attempts=outcome.attempts,
+                    hits=hits_n,
+                    digest=detsan.shard_digest([_o0, _o1, _sc]),
+                )
             stats.merge(UngappedStats(entries, pairs, cells, hits_n))
             timings.append(
                 ShardTiming(

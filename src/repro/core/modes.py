@@ -22,6 +22,7 @@ on the accelerated pipeline.
 from __future__ import annotations
 
 import enum
+from typing import Any
 
 from ..seqs.alphabet import DNA
 from ..seqs.lowcomplexity import SegConfig, mask_bank
@@ -110,6 +111,17 @@ class BlastFamilySearch:
         if self.last_pipeline is None:
             return RunHealth()
         return self.last_pipeline.profile.run_health
+
+    @property
+    def last_detsan(self) -> dict[str, Any] | None:
+        """Determinism-sanitizer manifest of the most recent search.
+
+        ``None`` when no search ran yet or the sanitizer was inactive
+        (no ``REPRO_DETSAN=1`` and no verify harness).
+        """
+        if self.last_pipeline is None:
+            return None
+        return self.last_pipeline.last_detsan
 
     def _protein_side(
         self, data: Sequence | SequenceBank, is_dna: bool, side: str

@@ -22,9 +22,11 @@ split the paper deploys on the Altix + RASC-100.
 from __future__ import annotations
 
 from collections.abc import Callable
+from typing import Any
 
 import numpy as np
 
+from ..analysis import determinism as detsan
 from ..extend.gapped import xdrop_gapped_extend
 from ..extend.stats import evalue as evalue_of
 from ..extend.stats import gapped_params
@@ -41,6 +43,28 @@ __all__ = ["SeedComparisonPipeline", "gapped_stage"]
 
 #: Type of a step-2 implementation: index → surviving anchor pairs.
 Step2Fn = Callable[[TwoBankIndex], UngappedHits]
+
+
+def _alignment_rows(report: ComparisonReport) -> list[np.ndarray]:
+    """Parallel columns of the final report for the detsan stage digest.
+
+    Floats (bit score, E-value) ride along as float64 columns and are
+    bit-cast by the digest, so the stage asserts bit-identical statistics,
+    not merely equal-within-rounding ones.
+    """
+    alignments = report.alignments
+    return [
+        np.array([a.seq0_id for a in alignments], dtype=np.int64),
+        np.array([a.start0 for a in alignments], dtype=np.int64),
+        np.array([a.end0 for a in alignments], dtype=np.int64),
+        np.array([a.seq1_id for a in alignments], dtype=np.int64),
+        np.array([a.start1 for a in alignments], dtype=np.int64),
+        np.array([a.end1 for a in alignments], dtype=np.int64),
+        np.array([a.raw_score for a in alignments], dtype=np.int64),
+        np.array([a.ungapped_score for a in alignments], dtype=np.int64),
+        np.array([a.bit_score for a in alignments], dtype=np.float64),
+        np.array([a.evalue for a in alignments], dtype=np.float64),
+    ]
 
 
 def gapped_stage(
@@ -146,6 +170,9 @@ class SeedComparisonPipeline:
         self.last_index: TwoBankIndex | None = None
         #: Step-2 hits of the most recent run.
         self.last_hits: UngappedHits | None = None
+        #: Determinism-sanitizer manifest of the most recent run, when the
+        #: sanitizer was active (``REPRO_DETSAN=1`` or a verify harness).
+        self.last_detsan: dict[str, Any] | None = None
 
     def index_banks(self, bank0: SequenceBank, bank1: SequenceBank) -> TwoBankIndex:
         """Step 1 only: build and join both bank indexes."""
@@ -153,6 +180,13 @@ class SeedComparisonPipeline:
             index = TwoBankIndex.build(bank0, bank1, self.config.seed_model)
             ctr.operations += bank0.total_residues + bank1.total_residues
             ctr.items += len(bank0) + len(bank1)
+        # Shared keys are emitted ascending, so the joint index has exactly
+        # one valid byte image — order-sensitive digest.
+        detsan.record_arrays(
+            "step1.index",
+            [index.shared_keys(), index.pair_counts()],
+            order_sensitive=True,
+        )
         return index
 
     def run_step2(self, index: TwoBankIndex) -> UngappedHits:
@@ -177,20 +211,43 @@ class SeedComparisonPipeline:
                 self.profile.run_health.merge(executor.last_health)
             ctr.operations += hits.stats.cells
             ctr.items += hits.stats.pairs
+        # The survivor *set* must not depend on sharding — order-independent
+        # multiset digest.  The merged *arrays* additionally claim a single
+        # canonical emission order — order-sensitive digest over the same
+        # rows.  A merge that scrambles order (RC100's target) keeps the
+        # first digest and breaks the second.
+        hit_rows = [hits.offsets0, hits.offsets1, hits.scores]
+        detsan.record_arrays("step2.survivors", hit_rows, order_sensitive=False)
+        detsan.record_arrays("step2.merged", hit_rows, order_sensitive=True)
         return hits
 
     def compare_banks(
         self, bank0: SequenceBank, bank1: SequenceBank, reset_profile: bool = True
     ) -> ComparisonReport:
-        """Run the full three-step comparison of two protein banks."""
+        """Run the full three-step comparison of two protein banks.
+
+        When the determinism sanitizer is active (an enclosing
+        ``--verify-determinism`` harness, or ``REPRO_DETSAN=1``), every
+        stage records its digest and the run's manifest lands in
+        :attr:`last_detsan` (and ``$REPRO_DETSAN_OUT``, if set).
+        """
         if reset_profile:
             self.profile = PipelineProfile()
-        index = self.index_banks(bank0, bank1)
-        self.last_index = index
-        hits = self.run_step2(index)
-        self.last_hits = hits
-        with self.profile.timing(self.profile.step3):
-            report = gapped_stage(bank0, bank1, hits, self.config, self.profile)
+        recorder, created = detsan.ensure_recorder()
+        with detsan.activate(recorder):
+            index = self.index_banks(bank0, bank1)
+            self.last_index = index
+            hits = self.run_step2(index)
+            self.last_hits = hits
+            with self.profile.timing(self.profile.step3):
+                report = gapped_stage(bank0, bank1, hits, self.config, self.profile)
+            detsan.record_arrays(
+                "step3.alignments", _alignment_rows(report), order_sensitive=True
+            )
+        if recorder is not None:
+            self.last_detsan = recorder.manifest()
+            if created:
+                detsan.maybe_write_manifest(recorder)
         return report
 
     def compare_with_genome(

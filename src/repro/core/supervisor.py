@@ -40,6 +40,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
+from ..analysis import determinism as detsan
 from .faults import BankCorruption
 from .profile import RunHealth
 
@@ -230,6 +231,12 @@ class ShardSupervisor:
                 via="local",
             )
             health.fallback_shards += 1
+            # Detsan detail: the fallback path must be visible in the
+            # manifest, since it is exactly the path most likely to diverge
+            # if the local engine ever stopped matching the pool engine.
+            detsan.record_detail(
+                "supervisor.fallback", shard=shard, attempts=attempts[shard] + 1
+            )
         return [outcomes[s] for s in sorted(outcomes)], health
 
     # ------------------------------------------------------------------

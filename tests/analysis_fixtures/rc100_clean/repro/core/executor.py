@@ -1,0 +1,18 @@
+"""RC100 clean fixture: the merge iterates sorted shard ids."""
+
+from .partition import completed_shards
+
+
+def merge_results(results: dict) -> list:
+    merged = []
+    for shard in sorted({int(k) for k in results}):
+        merged.append(results[shard])
+    return merged
+
+
+def merge_remote(results: dict) -> list:
+    merged = []
+    # sorted() launders the helper's unordered return value.
+    for shard in sorted(completed_shards(results)):
+        merged.append(results[shard])
+    return merged

@@ -1,0 +1,5 @@
+"""RC100 clean fixture helper (same unordered return as the flag tree)."""
+
+
+def completed_shards(results: dict) -> set:
+    return set(results)

@@ -1,0 +1,19 @@
+"""RC100 fixture: hash-ordered values reach the merge."""
+
+from .partition import completed_shards
+
+
+def merge_results(results: dict) -> list:
+    merged = []
+    # Direct hazard: set iteration order is hash order.
+    for shard in {int(k) for k in results}:
+        merged.append(results[shard])
+    return merged
+
+
+def merge_remote(results: dict) -> list:
+    merged = []
+    # Cross-module hazard: the taint rides the helper's return value.
+    for shard in completed_shards(results):
+        merged.append(results[shard])
+    return merged

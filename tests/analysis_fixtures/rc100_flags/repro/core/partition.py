@@ -1,0 +1,5 @@
+"""RC100 fixture helper: returns an unordered collection."""
+
+
+def completed_shards(results: dict) -> set:
+    return set(results)

@@ -1,0 +1,13 @@
+"""RC101 clean fixture: worker state is passed explicitly, not module-global."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def _task(shard: int, scale: int) -> int:
+    return shard * scale
+
+
+def run(shards: list, scale: int) -> list:
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(_task, s, scale) for s in shards]
+        return [f.result() for f in futures]

@@ -1,0 +1,16 @@
+"""RC101 fixture: mutable module state in a worker-dispatched module."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+_CACHE = {}
+
+
+def _task(shard: int) -> int:
+    _CACHE[shard] = shard
+    return shard
+
+
+def run(shards: list) -> list:
+    with ProcessPoolExecutor() as pool:
+        futures = [pool.submit(_task, s) for s in shards]
+        return [f.result() for f in futures]

@@ -1,0 +1,29 @@
+"""RC102 clean fixture: both release paths run in a finally block."""
+
+from multiprocessing import shared_memory
+
+
+def _release(shm) -> None:
+    try:
+        shm.close()
+    finally:
+        shm.unlink()
+
+
+def publish(payload: bytes) -> str:
+    shm = shared_memory.SharedMemory(create=True, size=max(1, len(payload)))
+    try:
+        shm.buf[: len(payload)] = payload
+        return shm.name
+    finally:
+        shm.close()
+        shm.unlink()
+
+
+def publish_via_helper(payload: bytes) -> str:
+    shm = shared_memory.SharedMemory(create=True, size=max(1, len(payload)))
+    try:
+        shm.buf[: len(payload)] = payload
+        return shm.name
+    finally:
+        _release(shm)

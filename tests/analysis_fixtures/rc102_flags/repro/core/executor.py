@@ -1,0 +1,12 @@
+"""RC102 fixture: SharedMemory released only on the happy path."""
+
+from multiprocessing import shared_memory
+
+
+def publish(payload: bytes) -> str:
+    shm = shared_memory.SharedMemory(create=True, size=max(1, len(payload)))
+    shm.buf[: len(payload)] = payload  # raising here leaks the segment
+    name = shm.name
+    shm.close()
+    shm.unlink()
+    return name

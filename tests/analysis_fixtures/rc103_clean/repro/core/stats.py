@@ -1,0 +1,12 @@
+"""RC103 clean fixture: reductions run over sorted sequences."""
+
+
+def total_evalue(by_shard: dict) -> float:
+    return sum(sorted(by_shard.values()))
+
+
+def total_unique(scores: list) -> float:
+    acc = 0.0
+    for score in sorted(set(scores)):
+        acc += score
+    return acc

@@ -1,0 +1,12 @@
+"""RC103 fixture: float reductions over hash-ordered iterations."""
+
+
+def total_evalue(by_shard: dict) -> float:
+    return sum(by_shard.values())
+
+
+def total_unique(scores: list) -> float:
+    acc = 0.0
+    for score in set(scores):
+        acc += score
+    return acc

@@ -1,0 +1,7 @@
+"""RC104 clean fixture: a one-shot sleep outside any loop is fine."""
+
+import time
+
+
+def settle(delay: float) -> None:
+    time.sleep(delay)

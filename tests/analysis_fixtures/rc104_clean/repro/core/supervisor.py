@@ -1,0 +1,12 @@
+"""RC104 clean fixture: only the supervisor module may sleep in a loop."""
+
+import time
+
+
+def dispatch_with_backoff(tries: int) -> int:
+    for attempt in range(tries):
+        try:
+            return attempt
+        except OSError:
+            time.sleep(0.05 * 2**attempt)
+    return -1

@@ -1,0 +1,12 @@
+"""RC104 fixture: ad-hoc sleep/retry loop outside the supervisor."""
+
+import time
+
+
+def fetch_with_retry(tries: int) -> int:
+    for attempt in range(tries):
+        try:
+            return attempt
+        except OSError:
+            time.sleep(0.1 * (attempt + 1))
+    return -1

@@ -1,0 +1,146 @@
+"""repro-check CLI tests: exit codes, baseline flags, --github, verify mode."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.analysis.cli import main
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+EXAMPLES = REPO / "examples" / "data"
+
+
+def write(tmp_path, rel, source):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return path
+
+
+VIOLATING = "import numpy as np\nx = np.zeros(8)\n"
+
+
+class TestExitCodes:
+    def test_clean_is_zero(self, tmp_path):
+        write(tmp_path, "ok.py", "def f(x: int) -> int:\n    return x\n")
+        assert main(["-q", str(tmp_path)]) == 0
+
+    def test_violation_is_one(self, tmp_path):
+        write(tmp_path, "repro/extend/k.py", VIOLATING)
+        assert main(["-q", str(tmp_path)]) == 1
+
+    def test_missing_path_is_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main([str(tmp_path / "does-not-exist")])
+        assert exc.value.code == 2
+
+    def test_select_unknown_code_is_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(["--select", "RC999", str(tmp_path)])
+        assert exc.value.code == 2
+
+    def test_select_restricts(self, tmp_path, capsys):
+        write(tmp_path, "repro/extend/k.py", VIOLATING)
+        assert main(["-q", "--select", "RC001", str(tmp_path)]) == 0
+        assert main(["-q", "--select", "RC002", str(tmp_path)]) == 1
+
+    def test_list_rules_includes_rc1xx(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RC001", "RC100", "RC101", "RC102", "RC103", "RC104"):
+            assert code in out
+
+
+class TestBaselineFlags:
+    def test_write_then_check_roundtrip(self, tmp_path, capsys):
+        write(tmp_path, "repro/extend/k.py", VIOLATING)
+        baseline = tmp_path / "baseline.json"
+        assert main(
+            ["--write-baseline", str(baseline), str(tmp_path)]
+        ) == 0
+        data = json.loads(baseline.read_text())
+        assert data["version"] == 1 and len(data["entries"]) == 1
+        capsys.readouterr()
+        assert main(["--baseline", str(baseline), str(tmp_path)]) == 0
+        assert "1 baselined" in capsys.readouterr().out
+
+    def test_new_finding_still_fails(self, tmp_path):
+        write(tmp_path, "repro/extend/k.py", VIOLATING)
+        baseline = tmp_path / "baseline.json"
+        main(["--write-baseline", str(baseline), str(tmp_path)])
+        write(tmp_path, "repro/extend/k2.py", VIOLATING)
+        assert main(["-q", "--baseline", str(baseline), str(tmp_path)]) == 1
+
+    def test_stale_entry_is_reported(self, tmp_path, capsys):
+        path = write(tmp_path, "repro/extend/k.py", VIOLATING)
+        baseline = tmp_path / "baseline.json"
+        main(["--write-baseline", str(baseline), str(tmp_path)])
+        path.write_text("def f(x: int) -> int:\n    return x\n")
+        capsys.readouterr()
+        assert main(["--baseline", str(baseline), str(tmp_path)]) == 0
+        assert "stale baseline entry" in capsys.readouterr().out
+
+    def test_missing_baseline_is_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(["--baseline", str(tmp_path / "nope.json"), str(tmp_path)])
+        assert exc.value.code == 2
+
+
+class TestGithubAnnotations:
+    def test_error_lines_are_emitted(self, tmp_path, capsys):
+        path = write(tmp_path, "repro/extend/k.py", VIOLATING)
+        assert main(["-q", "--github", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        (annotation,) = [
+            line for line in out.splitlines() if line.startswith("::error ")
+        ]
+        assert f"file={path}" in annotation
+        assert "line=2" in annotation
+        assert "RC002" in annotation
+
+    def test_no_annotations_when_clean(self, tmp_path, capsys):
+        write(tmp_path, "ok.py", "def f(x: int) -> int:\n    return x\n")
+        assert main(["-q", "--github", str(tmp_path)]) == 0
+        assert "::error" not in capsys.readouterr().out
+
+
+class TestVerifyDeterminism:
+    def test_smoke_on_examples_data(self, capsys):
+        code = main(
+            [
+                "--verify-determinism",
+                str(EXAMPLES / "demo_proteins.fasta"),
+                str(EXAMPLES / "demo_genome.fasta"),
+                "--workers",
+                "1,2",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "determinism verified across workers=1,2" in out
+        assert "step2.merged" in out
+
+    def test_missing_fasta_is_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(
+                [
+                    "--verify-determinism",
+                    str(tmp_path / "nope.fasta"),
+                    str(tmp_path / "nope2.fasta"),
+                ]
+            )
+        assert exc.value.code == 2
+
+    def test_bad_workers_is_usage_error(self):
+        with pytest.raises(SystemExit) as exc:
+            main(
+                [
+                    "--verify-determinism",
+                    str(EXAMPLES / "demo_proteins.fasta"),
+                    str(EXAMPLES / "demo_genome.fasta"),
+                    "--workers",
+                    "zero,none",
+                ]
+            )
+        assert exc.value.code == 2
