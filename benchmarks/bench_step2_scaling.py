@@ -38,6 +38,9 @@ from repro.extend.ungapped import (
 )
 from repro.index.kmer import TwoBankIndex
 from repro.index.subset_seed import DEFAULT_SUBSET_SEED
+from repro.obs import metrics as obsmetrics
+from repro.obs import trace
+from repro.obs.export import build_run_report
 from repro.seqs.generate import random_protein_bank
 
 DEFAULT_OUT = Path(__file__).resolve().parent.parent / "BENCH_step2.json"
@@ -103,6 +106,25 @@ def measure_scalar(index: TwoBankIndex, cfg: UngappedConfig) -> dict:
     }
 
 
+def instrumented_rerun(
+    cfg: UngappedConfig, index: TwoBankIndex, n_workers: int
+) -> dict:
+    """One obs-on re-run of a sharded mode, yielding its JSON run report.
+
+    Runs *after* the timed repetitions on a fresh executor, so the wall
+    numbers recorded for the mode stay free of tracing overhead; the report
+    embedded per configuration carries the span tree and merged shard
+    metrics instead of timing claims.
+    """
+    tracer = trace.Tracer(meta={"bench": "step2_scaling", "workers": n_workers})
+    registry = obsmetrics.MetricsRegistry()
+    executor = ShardedStep2Executor(cfg, workers=n_workers)
+    with trace.activate(tracer), obsmetrics.activate(registry):
+        with trace.span("bench.step2", workers=n_workers):
+            executor.run(index)
+    return build_run_report(tracer=tracer, registry=registry)
+
+
 def run_benchmark(
     quick: bool = False,
     workers: tuple[int, ...] = (2, 4),
@@ -163,12 +185,16 @@ def run_benchmark(
                     "pairs": t.pairs,
                     "hits": t.hits,
                     "wall_s": t.wall_seconds,
+                    "retry_wall_s": t.retry_wall_seconds,
                     "batches": t.batches,
                     "max_batch_pairs": t.max_batch_pairs,
                 }
                 for t in executor.last_timings
             ],
         }
+        report["modes"][label]["obs_report"] = instrumented_rerun(
+            cfg, index, n_workers
+        )
         baselines[label] = hits
 
     ref = baselines["per_key"]
@@ -218,9 +244,15 @@ def main(argv=None) -> int:
 
 def test_step2_scaling_smoke(tmp_path):
     """Pytest smoke: quick scale, 2 workers, modes must agree."""
+    from repro.obs.export import validate_report
+
     report = run_benchmark(quick=True, workers=(2,), repeats=1)
     assert report["identical_hit_sets"]
     assert report["modes"]["batched"]["hits"] == report["modes"]["per_key"]["hits"]
+    for label in ("batched", "batched_x2"):
+        embedded = report["modes"][label]["obs_report"]
+        assert validate_report(embedded) == []
+        assert any(s["name"] == "bench.step2" for s in embedded["spans"])
     out = tmp_path / "BENCH_step2.json"
     out.write_text(json.dumps(report))
     assert json.loads(out.read_text())["workload"]["pairs"] > 0

@@ -19,6 +19,9 @@ RC004     Timing goes through ``time.perf_counter`` (see
 RC005     Public functions in ``core/``, ``extend/`` and ``index/`` are
           fully type-annotated, so the mypy gate actually covers the hot
           path instead of inferring ``Any``.
+RC105     Modules instrumented through :mod:`repro.obs` never read the
+          monotonic clock directly — a raw ``time.perf_counter()`` there
+          is wall time that silently escapes span and metric accounting.
 ========  ==================================================================
 
 Rules are registered in :data:`REGISTRY` via :func:`register`; adding a rule
@@ -71,7 +74,27 @@ NP_RANDOM_ALLOWED: frozenset[str] = frozenset(
 )
 
 #: Packages (relative to ``repro``) whose public functions RC005 covers.
-ANNOTATION_SCOPES: tuple[str, ...] = ("core/", "extend/", "index/", "analysis/")
+ANNOTATION_SCOPES: tuple[str, ...] = (
+    "core/",
+    "extend/",
+    "index/",
+    "analysis/",
+    "obs/",
+)
+
+#: Modules instrumented through :mod:`repro.obs` — RC105 scope.  Timing in
+#: these files must go through ``repro.obs.trace`` (``clock``, ``Timer``,
+#: ``span``) so every wall-clock read lands in span/metric accounting;
+#: ``time.sleep`` and other non-clock ``time`` functions remain fine.
+OBS_INSTRUMENTED_FILES: tuple[str, ...] = (
+    "core/pipeline.py",
+    "core/executor.py",
+    "core/supervisor.py",
+    "core/profile.py",
+    "extend/batched.py",
+    "rasc/host.py",
+    "rasc/platform.py",
+)
 
 
 @dataclass(frozen=True)
@@ -438,3 +461,56 @@ class PublicAnnotationRule(Rule):
                         )
 
         yield from visit(ctx.tree.body, is_class=False)
+
+
+@register
+class DirectClockRule(Rule):
+    """RC105 — instrumented modules read the clock through ``repro.obs``."""
+
+    code = "RC105"
+    summary = (
+        "direct time.perf_counter()/time.monotonic() in an obs-instrumented "
+        "module (core/{pipeline,executor,supervisor,profile}.py, "
+        "extend/batched.py, rasc/{host,platform}.py); route timing through "
+        "repro.obs.trace (clock/Timer/span) so it lands in span and metric "
+        "accounting"
+    )
+
+    #: Monotonic clock reads the rule intercepts.  ``time.time`` is already
+    #: banned everywhere by RC004.
+    CLOCKS: frozenset[str] = frozenset(
+        {"perf_counter", "perf_counter_ns", "monotonic", "monotonic_ns"}
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        if ctx.package_rel not in OBS_INSTRUMENTED_FILES:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                name = _dotted(node.func)
+                if (
+                    name is not None
+                    and name.startswith("time.")
+                    and name[len("time.") :] in self.CLOCKS
+                ):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f"direct {name}() in an obs-instrumented module; "
+                        "use repro.obs.trace.clock()/Timer/span so the "
+                        "reading lands in span and metric accounting",
+                    )
+            elif (
+                isinstance(node, ast.ImportFrom)
+                and node.module == "time"
+                and node.level == 0
+            ):
+                for alias in node.names:
+                    if alias.name in self.CLOCKS:
+                        yield self.violation(
+                            ctx,
+                            node,
+                            f"importing time.{alias.name} into an "
+                            "obs-instrumented module is banned; use "
+                            "repro.obs.trace.clock()/Timer/span",
+                        )

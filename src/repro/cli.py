@@ -17,8 +17,11 @@ the schedule breakdown.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
+from contextlib import contextmanager
+from typing import Any
 
 import numpy as np
 
@@ -60,6 +63,22 @@ def positive_float(text: str) -> float:
     if value <= 0:
         raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
     return value
+
+
+def _add_obs_args(sp: argparse.ArgumentParser) -> None:
+    """Observability flags shared by every command that runs a workload."""
+    sp.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write a JSON run report (spans + metrics + profile)",
+    )
+    sp.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write metrics in Prometheus text exposition format",
+    )
+    sp.add_argument(
+        "--obs-summary", action="store_true",
+        help="print the span tree after the run",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -107,6 +126,7 @@ def build_parser() -> argparse.ArgumentParser:
             "--render", type=int, default=0, metavar="N",
             help="render the top N alignments BLAST-style",
         )
+        _add_obs_args(sp)
 
     sc = sub.add_parser("compare", help="run the software pipeline")
     add_compare_args(sc)
@@ -138,7 +158,73 @@ def build_parser() -> argparse.ArgumentParser:
     ss.add_argument("--slot-size", type=int, default=8)
     ss.add_argument("--entries", type=int, default=100)
     ss.add_argument("--seed", type=int, default=0)
+    _add_obs_args(ss)
     return p
+
+
+class _ObsSession:
+    """Live tracing/metrics state for one CLI command.
+
+    Commands attach their profile/health/detsan artefacts before the
+    session closes so the run report can merge them.
+    """
+
+    def __init__(self, tracer: Any, registry: Any) -> None:
+        self.tracer = tracer
+        self.registry = registry
+        self.profile: Any = None
+        self.health: Any = None
+        self.detsan: Any = None
+
+
+def _obs_requested(args: argparse.Namespace) -> bool:
+    return bool(
+        getattr(args, "trace_out", None)
+        or getattr(args, "metrics_out", None)
+        or getattr(args, "obs_summary", False)
+    )
+
+
+@contextmanager
+def _obs_session(args: argparse.Namespace, command: str):
+    """Activate ambient tracing/metrics for one command, when requested.
+
+    Off by default: without one of the obs flags no tracer or registry is
+    installed and the instrumentation throughout the pipeline stays on its
+    no-op paths.  Yields the session (or ``None`` when off); on exit the
+    requested artefacts are written.
+    """
+    if not _obs_requested(args):
+        yield None
+        return
+    from .obs import metrics as obsmetrics
+    from .obs import trace
+    from .obs.export import build_run_report, render_span_tree
+    from .obs.metrics import prometheus_text
+
+    session = _ObsSession(
+        trace.Tracer(meta={"command": command}), obsmetrics.MetricsRegistry()
+    )
+    with trace.activate(session.tracer), obsmetrics.activate(session.registry):
+        yield session
+    if args.trace_out:
+        report = build_run_report(
+            tracer=session.tracer,
+            registry=session.registry,
+            profile=session.profile,
+            health=session.health,
+            detsan=session.detsan,
+        )
+        with open(args.trace_out, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"# wrote run report: {args.trace_out}")
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as fh:
+            fh.write(prometheus_text(session.registry))
+        print(f"# wrote metrics: {args.metrics_out}")
+    if args.obs_summary:
+        print(render_span_tree(session.tracer))
 
 
 def _print_report(report: ComparisonReport, max_hits: int) -> None:
@@ -180,7 +266,12 @@ def _load_compare_inputs(args):
 def _cmd_compare(args) -> int:
     queries, genome, config = _load_compare_inputs(args)
     pipe = SeedComparisonPipeline(config)
-    report = pipe.compare_with_genome(queries, genome)
+    with _obs_session(args, "compare") as obs:
+        report = pipe.compare_with_genome(queries, genome)
+        if obs is not None:
+            obs.profile = pipe.profile
+            obs.health = pipe.profile.run_health
+            obs.detsan = pipe.last_detsan
     _print_report(report, args.max_hits)
     f1, f2, f3 = pipe.profile.wall_fractions()
     print(f"# wall profile: step1={f1:.1%} step2={f2:.1%} step3={f3:.1%}")
@@ -263,7 +354,10 @@ def _cmd_accel(args) -> int:
         matrix=config.matrix,
     )
     pipe = AcceleratedPipeline(config, psc)
-    result = pipe.run_dual(queries, genome) if args.dual else pipe.run(queries, genome)
+    with _obs_session(args, "accel"):
+        result = (
+            pipe.run_dual(queries, genome) if args.dual else pipe.run(queries, genome)
+        )
     _print_report(result.report, args.max_hits)
     print(
         f"# modelled: step1={result.host_seconds.step1:.3f}s "
@@ -279,7 +373,8 @@ def _cmd_baseline(args) -> int:
 
     queries, genome, _config = _load_compare_inputs(args)
     search = TblastnSearch(TblastnConfig(max_evalue=args.evalue))
-    report = search.search_genome(queries, genome)
+    with _obs_session(args, "baseline"):
+        report = search.search_genome(queries, genome)
     _print_report(report, args.max_hits)
     s = search.stats
     print(
@@ -329,7 +424,8 @@ def _cmd_simulate(args) -> int:
     index = TwoBankIndex.build(b0, b1, DEFAULT_SUBSET_SEED)
     cfg = PscArrayConfig(n_pes=args.pes, slot_size=args.slot_size, threshold=20)
     op = PscOperator(cfg)
-    result = op.run(build_jobs(index, flank=12, window=cfg.window))
+    with _obs_session(args, "simulate"):
+        result = op.run(build_jobs(index, flank=12, window=cfg.window))
     b = result.breakdown
     print(f"entries={index.n_shared_keys} pairs={index.total_pairs} hits={len(result)}")
     print(

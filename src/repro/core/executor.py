@@ -52,6 +52,8 @@ from ..analysis.contracts import ArraySpec, check_array
 from ..extend.batched import BatchedUngappedEngine
 from ..extend.ungapped import UngappedConfig, UngappedHits, UngappedStats
 from ..index.kmer import TwoBankIndex
+from ..obs import metrics as obsmetrics
+from ..obs import trace as obstrace
 from .faults import BankCorruption, FaultKind, FaultPlan, FaultSpec, bank_digest
 from .partition import split_entries_contiguous
 from .profile import RunHealth, ShardTiming
@@ -132,8 +134,15 @@ def _init_worker(
     fault_plan: FaultPlan | None = None,
     digest0: int | None = None,
     digest1: int | None = None,
+    obs_enabled: bool = False,
 ) -> None:
     """Pool initializer: map both bank buffers and keep the config."""
+    # Shed any fork-inherited ambient tracer/registry: recordings into
+    # those copy-on-write snapshots would be unreachable from the parent.
+    # When observability is on, each *task* builds fresh per-process
+    # buffers and ships them back through the result tuple instead.
+    obstrace.reset()
+    obsmetrics.reset()
     shm0 = _attach_shared(name0, unregister)
     shm1 = _attach_shared(name1, unregister)
     _WORKER["shm"] = (shm0, shm1)  # keep alive for the process lifetime
@@ -146,6 +155,7 @@ def _init_worker(
     _WORKER["buf1"] = buf1
     _WORKER["config"] = config
     _WORKER["fault_plan"] = fault_plan
+    _WORKER["obs"] = obs_enabled
     _WORKER["digests"] = (
         (digest0, digest1) if digest0 is not None and digest1 is not None else None
     )
@@ -218,8 +228,14 @@ def _entry_stream(
         yield offsets0[b0[i] : b0[i + 1]], offsets1[b1[i] : b1[i + 1]]
 
 
+#: Observability payload riding a shard result: (exported worker spans,
+#: serialized worker metrics), or None when the worker was not observed.
+ObsPayload = tuple[tuple[dict[str, Any], ...], dict[str, Any]]
+
 #: ``_score_shard`` payload: (shard id, hit offsets0/offsets1/scores,
-#: (entries, pairs, cells, hits), wall seconds, batches, max batch pairs).
+#: (entries, pairs, cells, hits), wall seconds, batches, max batch pairs,
+#: obs payload).  Consumers slice (``result[:8]``) rather than unpack the
+#: exact length, so the layout can keep growing at the tail.
 ShardResult = tuple[
     int,
     np.ndarray,
@@ -229,11 +245,16 @@ ShardResult = tuple[
     float,
     int,
     int,
+    Any,
 ]
 
 
 def _package_hits(
-    shard: int, hits: UngappedHits, wall: float, engine: BatchedUngappedEngine
+    shard: int,
+    hits: UngappedHits,
+    wall: float,
+    engine: BatchedUngappedEngine,
+    obs_payload: Any = None,
 ) -> ShardResult:
     """Assemble the wire-format result tuple of one scored shard."""
     s = hits.stats
@@ -246,6 +267,7 @@ def _package_hits(
         wall,
         engine.telemetry.batches,
         engine.telemetry.max_batch_pairs,
+        obs_payload,
     )
 
 
@@ -263,21 +285,42 @@ def _score_shard(
     exists so an injected :class:`~repro.core.faults.FaultPlan` can address
     "shard 2, first attempt" deterministically regardless of which process
     picks the task up.
+
+    When the parent enabled observability, the shard is scored inside a
+    fresh per-process tracer/registry whose contents ride back in the
+    result tuple — the parent adopts the spans under its shard span and
+    merges the metrics (worker ``perf_counter`` readings are meaningless
+    in the parent, so spans are rebased there, not here).
     """
-    t0 = time.perf_counter()
+    t0 = obstrace.clock()
     plan: FaultPlan | None = _WORKER.get("fault_plan")
     spec = plan.worker_fault(shard, attempt) if plan is not None else None
     if spec is not None:
         _apply_worker_fault(spec, shard)
     _verify_bank_views()
-    engine = BatchedUngappedEngine(_WORKER["config"])
-    hits = engine.run_stream(
-        _WORKER["buf0"],
-        _WORKER["buf1"],
-        _entry_stream(offsets0, counts0, offsets1, counts1),
-    )
-    wall = time.perf_counter() - t0
-    result = _package_hits(shard, hits, wall, engine)
+
+    def scored() -> tuple[BatchedUngappedEngine, UngappedHits]:
+        scorer = BatchedUngappedEngine(_WORKER["config"])
+        return scorer, scorer.run_stream(
+            _WORKER["buf0"],
+            _WORKER["buf1"],
+            _entry_stream(offsets0, counts0, offsets1, counts1),
+        )
+
+    obs_payload: ObsPayload | None = None
+    if _WORKER.get("obs"):
+        tracer = obstrace.Tracer()
+        registry = obsmetrics.MetricsRegistry()
+        with obstrace.activate(tracer), obsmetrics.activate(registry):
+            with obstrace.span(
+                "step2.worker", shard=shard, attempt=attempt, pid=os.getpid()
+            ):
+                engine, hits = scored()
+        obs_payload = (tuple(tracer.export()), registry.to_dict())
+    else:
+        engine, hits = scored()
+    wall = obstrace.clock() - t0
+    result = _package_hits(shard, hits, wall, engine, obs_payload)
     if spec is not None and spec.kind is FaultKind.TRUNCATE:
         drop = max(1, int(spec.drop))
         # Short result arrays against untruncated stats: the supervisor's
@@ -297,12 +340,54 @@ def _score_shard_local(
 
     Runs the identical batched engine over the identical payload against
     the parent's own (never-shared) bank buffers, so its result is
-    bit-identical to what a healthy worker would have returned.
+    bit-identical to what a healthy worker would have returned.  Runs in
+    the parent, where the ambient tracer/registry (if any) are live — the
+    worker span is recorded directly, no result-channel payload needed.
     """
-    t0 = time.perf_counter()
+    t0 = obstrace.clock()
     engine = BatchedUngappedEngine(config)
-    hits = engine.run_stream(buf0, buf1, _entry_stream(*payload))
-    return _package_hits(shard, hits, time.perf_counter() - t0, engine)
+    with obstrace.span("step2.worker", shard=shard, via="local"):
+        hits = engine.run_stream(buf0, buf1, _entry_stream(*payload))
+    return _package_hits(shard, hits, obstrace.clock() - t0, engine)
+
+
+def _publish_shard_metrics(
+    registry: obsmetrics.MetricsRegistry,
+    pairs: int,
+    cells: int,
+    hits_n: int,
+    wall: float,
+    retry_wall: float = 0.0,
+) -> None:
+    """Fold one accepted shard into the step-2 metric families."""
+    registry.counter("step2_pairs_total").inc(pairs)
+    registry.counter("step2_cells_total").inc(cells)
+    registry.counter("step2_hits_total").inc(hits_n)
+    registry.counter("step2_shard_wall_seconds_total").inc(wall)
+    registry.histogram("step2_shard_pairs").observe(pairs)
+    if retry_wall > 0:
+        registry.counter("step2_retry_wall_seconds_total").inc(retry_wall)
+
+
+def _publish_health_metrics(
+    registry: obsmetrics.MetricsRegistry, health: RunHealth
+) -> None:
+    """Expose the supervision counters as one labelled counter family.
+
+    Every kind is published (zeros included) so a fault-free run exposes
+    the same series set as a faulty one — dashboards and diffs never have
+    to special-case missing series.
+    """
+    for kind, value in (
+        ("retries", health.retries),
+        ("timeouts", health.timeouts),
+        ("crashes", health.crashes),
+        ("truncated", health.truncated),
+        ("corrupt", health.corrupt),
+        ("pool_rebuilds", health.pool_rebuilds),
+        ("fallback_shards", health.fallback_shards),
+    ):
+        registry.counter("step2_supervisor_events_total", kind=kind).inc(value)
 
 
 def _release_segment(shm: SharedMemory) -> None:
@@ -400,16 +485,23 @@ class ShardedStep2Executor:
 
     # ------------------------------------------------------------------
     def _run_local(self, index: TwoBankIndex) -> UngappedHits:
-        t0 = time.perf_counter()
+        t0 = obstrace.clock()
         engine = BatchedUngappedEngine(self.config)
-        hits = engine.run(index)
+        with obstrace.span("step2.shard", shard=0, via="local"):
+            hits = engine.run(index)
+        wall = obstrace.clock() - t0
+        registry = obsmetrics.active()
+        if registry is not None:
+            _publish_shard_metrics(
+                registry, hits.stats.pairs, hits.stats.cells, hits.stats.hits, wall
+            )
         self.last_timings = [
             ShardTiming(
                 shard=0,
                 entries=hits.stats.entries,
                 pairs=hits.stats.pairs,
                 hits=hits.stats.hits,
-                wall_seconds=time.perf_counter() - t0,
+                wall_seconds=wall,
                 batches=engine.telemetry.batches,
                 max_batch_pairs=engine.telemetry.max_batch_pairs,
                 attempts=1,
@@ -462,6 +554,10 @@ class ShardedStep2Executor:
             np.ndarray(buf0.shape, dtype=np.uint8, buffer=shm0.buf)[:] = buf0
             np.ndarray(buf1.shape, dtype=np.uint8, buffer=shm1.buf)[:] = buf1
 
+            obs_enabled = (
+                obstrace.active() is not None or obsmetrics.active() is not None
+            )
+
             def make_pool() -> ProcessPoolExecutor:
                 return ProcessPoolExecutor(
                     max_workers=len(tasks),
@@ -470,7 +566,7 @@ class ShardedStep2Executor:
                     initargs=(
                         shm0.name, buf0.shape[0], shm1.name, buf1.shape[0],
                         self.config, unregister, self.fault_plan,
-                        digest0, digest1,
+                        digest0, digest1, obs_enabled,
                     ),
                 )
 
@@ -485,12 +581,19 @@ class ShardedStep2Executor:
         finally:
             _release_segments(segments)
         self.last_health = health
+        tracer = obstrace.active()
+        registry = obsmetrics.active()
+        if registry is not None:
+            _publish_health_metrics(registry, health)
         stats = UngappedStats()
         timings: list[ShardTiming] = []
         results: list[ShardResult] = []
         for outcome in outcomes:
+            # Slice, never exact-unpack: the tuple grows at the tail (the
+            # obs payload today) without every consumer changing shape.
             shard, _o0, _o1, _sc, (entries, pairs, cells, hits_n), wall, \
-                batches, max_batch = outcome.result
+                batches, max_batch = outcome.result[:8]
+            obs_payload = outcome.result[8] if len(outcome.result) > 8 else None
             results.append(outcome.result)
             if detsan.active() is not None:
                 # Per-shard digests are diagnostics (shard counts differ
@@ -502,6 +605,36 @@ class ShardedStep2Executor:
                     attempts=outcome.attempts,
                     hits=hits_n,
                     digest=detsan.shard_digest([_o0, _o1, _sc]),
+                )
+            if tracer is not None:
+                # Retrospective shard span: the remote wall is known, the
+                # merge happens immediately after completion, so backdate
+                # the span to end now.  Worker spans reparent under it with
+                # their timeline rebased onto this span's start (worker
+                # perf_counter origins are per-process).
+                shard_span = tracer.record(
+                    "step2.shard",
+                    wall,
+                    shard=shard,
+                    via=outcome.via,
+                    attempts=outcome.attempts,
+                    pairs=pairs,
+                    hits=hits_n,
+                    retry_wall_seconds=outcome.retry_wall_seconds,
+                )
+                if obs_payload is not None and obs_payload[0]:
+                    worker_spans = obs_payload[0]
+                    tracer.adopt(
+                        worker_spans,
+                        shard_span.span_id,
+                        rebase=(worker_spans[0]["start"], shard_span.start),
+                    )
+            if registry is not None:
+                if obs_payload is not None:
+                    registry.merge(obs_payload[1])
+                _publish_shard_metrics(
+                    registry, pairs, cells, hits_n, wall,
+                    retry_wall=outcome.retry_wall_seconds,
                 )
             stats.merge(UngappedStats(entries, pairs, cells, hits_n))
             timings.append(
@@ -515,6 +648,7 @@ class ShardedStep2Executor:
                     max_batch_pairs=max_batch,
                     attempts=outcome.attempts,
                     via=outcome.via,
+                    retry_wall_seconds=outcome.retry_wall_seconds,
                 )
             )
         self.last_timings = timings

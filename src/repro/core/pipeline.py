@@ -22,6 +22,7 @@ split the paper deploys on the Altix + RASC-100.
 from __future__ import annotations
 
 from collections.abc import Callable
+from contextlib import AbstractContextManager, nullcontext
 from typing import Any
 
 import numpy as np
@@ -32,6 +33,7 @@ from ..extend.stats import evalue as evalue_of
 from ..extend.stats import gapped_params
 from ..extend.ungapped import UngappedHits
 from ..index.kmer import TwoBankIndex
+from ..obs import trace
 from ..seqs.sequence import Sequence, SequenceBank
 from ..seqs.translate import translated_bank
 from .config import PipelineConfig
@@ -174,9 +176,20 @@ class SeedComparisonPipeline:
         #: sanitizer was active (``REPRO_DETSAN=1`` or a verify harness).
         self.last_detsan: dict[str, Any] | None = None
 
+    @staticmethod
+    def _root_span() -> AbstractContextManager[Any]:
+        """The run's root ``pipeline`` span, unless one is already open.
+
+        ``compare_with_genome`` opens it around translation + comparison;
+        ``compare_banks`` must then nest under it, not start a second root.
+        """
+        if trace.current_span_id() is not None:
+            return nullcontext()
+        return trace.span("pipeline")
+
     def index_banks(self, bank0: SequenceBank, bank1: SequenceBank) -> TwoBankIndex:
         """Step 1 only: build and join both bank indexes."""
-        with self.profile.timing(self.profile.step1) as ctr:
+        with self.profile.timing(self.profile.step1, "step1.index") as ctr:
             index = TwoBankIndex.build(bank0, bank1, self.config.seed_model)
             ctr.operations += bank0.total_residues + bank1.total_residues
             ctr.items += len(bank0) + len(bank1)
@@ -196,7 +209,7 @@ class SeedComparisonPipeline:
         processes (in-process batched scoring at the default of 1); its
         per-shard timings land in ``profile.step2_shards``.
         """
-        with self.profile.timing(self.profile.step2) as ctr:
+        with self.profile.timing(self.profile.step2, "step2.ungapped") as ctr:
             if self._step2 is not None:
                 hits = self._step2(index)
             else:
@@ -234,12 +247,12 @@ class SeedComparisonPipeline:
         if reset_profile:
             self.profile = PipelineProfile()
         recorder, created = detsan.ensure_recorder()
-        with detsan.activate(recorder):
+        with detsan.activate(recorder), self._root_span():
             index = self.index_banks(bank0, bank1)
             self.last_index = index
             hits = self.run_step2(index)
             self.last_hits = hits
-            with self.profile.timing(self.profile.step3):
+            with self.profile.timing(self.profile.step3, "step3.gapped"):
                 report = gapped_stage(bank0, bank1, hits, self.config, self.profile)
             detsan.record_arrays(
                 "step3.alignments", _alignment_rows(report), order_sensitive=True
@@ -259,7 +272,8 @@ class SeedComparisonPipeline:
         preprocessing in the paper's workflow).
         """
         self.profile = PipelineProfile()
-        with self.profile.timing(self.profile.step1):
-            frames = translated_bank(genome, pad=max(64, self.config.flank + 8))
-        report = self.compare_banks(proteins, frames, reset_profile=False)
+        with self._root_span():
+            with self.profile.timing(self.profile.step1, "step1.translate"):
+                frames = translated_bank(genome, pad=max(64, self.config.flank + 8))
+            report = self.compare_banks(proteins, frames, reset_profile=False)
         return report

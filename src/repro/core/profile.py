@@ -10,10 +10,13 @@ Itanium2/RASC-100 seconds; wall-clock is reported alongside for honesty.
 
 from __future__ import annotations
 
-import time
 from collections.abc import Iterator
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
+from typing import Any
+
+from ..obs import trace
+from ..util.reporting import fractions
 
 __all__ = ["StepCounters", "ShardTiming", "RunHealth", "PipelineProfile"]
 
@@ -35,6 +38,14 @@ class StepCounters:
         self.wall_seconds += other.wall_seconds
         self.operations += other.operations
         self.items += other.items
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able form (run-report ``profile`` section)."""
+        return {
+            "wall_seconds": self.wall_seconds,
+            "operations": self.operations,
+            "items": self.items,
+        }
 
 
 @dataclass(frozen=True)
@@ -61,6 +72,26 @@ class ShardTiming:
     #: process, ``"local"`` for the in-process engine (single-worker runs
     #: and the supervisor's last-resort fallback).
     via: str = "pool"
+    #: Wall seconds the supervisor spent on this shard's *abandoned*
+    #: dispatches (timeouts, crashes, rejected results) before the accepted
+    #: one.  ``wall_seconds`` covers only the accepted attempt, so without
+    #: this the cost of retries vanishes from shard-level accounting.
+    retry_wall_seconds: float = 0.0
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able form (run-report ``profile.step2_shards`` rows)."""
+        return {
+            "shard": self.shard,
+            "entries": self.entries,
+            "pairs": self.pairs,
+            "hits": self.hits,
+            "wall_seconds": self.wall_seconds,
+            "batches": self.batches,
+            "max_batch_pairs": self.max_batch_pairs,
+            "attempts": self.attempts,
+            "via": self.via,
+            "retry_wall_seconds": self.retry_wall_seconds,
+        }
 
 
 @dataclass
@@ -119,6 +150,21 @@ class RunHealth:
         self.pool_rebuilds += other.pool_rebuilds
         self.fallback_shards += other.fallback_shards
 
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able form (run-report ``run_health`` section)."""
+        return {
+            "shards": self.shards,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "crashes": self.crashes,
+            "truncated": self.truncated,
+            "corrupt": self.corrupt,
+            "pool_rebuilds": self.pool_rebuilds,
+            "fallback_shards": self.fallback_shards,
+            "healthy": self.healthy,
+            "degraded": self.degraded,
+        }
+
 
 @dataclass
 class PipelineProfile:
@@ -135,28 +181,43 @@ class PipelineProfile:
     run_health: RunHealth = field(default_factory=RunHealth)
 
     @contextmanager
-    def timing(self, step: StepCounters) -> Iterator[StepCounters]:
-        """Context manager adding elapsed wall time to *step*."""
-        t0 = time.perf_counter()
+    def timing(
+        self, step: StepCounters, span_name: str | None = None, **attrs: Any
+    ) -> Iterator[StepCounters]:
+        """Context manager adding elapsed wall time to *step*.
+
+        With *span_name* the region is also recorded as an observability
+        span (one shared clock read — the span and the counter can never
+        disagree about where time went).  Timing goes through
+        :class:`repro.obs.trace.Timer` rather than ``time.perf_counter``;
+        see repro-check rule RC105.
+        """
+        timer = trace.Timer()
+        cm = trace.span(span_name, **attrs) if span_name else nullcontext()
         try:
-            yield step
+            with cm, timer:
+                yield step
         finally:
-            step.wall_seconds += time.perf_counter() - t0
+            step.wall_seconds += timer.seconds
 
     @property
     def total_wall(self) -> float:
         """Total wall seconds across steps."""
         return self.step1.wall_seconds + self.step2.wall_seconds + self.step3.wall_seconds
 
+    @property
+    def step2_retry_wall(self) -> float:
+        """Wall seconds lost to abandoned step-2 dispatches (retries)."""
+        return sum(s.retry_wall_seconds for s in self.step2_shards)
+
     def wall_fractions(self) -> tuple[float, float, float]:
         """Fractions of wall time per step (the shape of paper Table 1)."""
-        total = self.total_wall
-        if total <= 0:
-            return (0.0, 0.0, 0.0)
-        return (
-            self.step1.wall_seconds / total,
-            self.step2.wall_seconds / total,
-            self.step3.wall_seconds / total,
+        return fractions(
+            (
+                self.step1.wall_seconds,
+                self.step2.wall_seconds,
+                self.step3.wall_seconds,
+            )
         )
 
     def step2_shard_imbalance(self) -> float:
@@ -173,3 +234,17 @@ class PipelineProfile:
         self.step3.merge(other.step3)
         self.step2_shards.extend(other.step2_shards)
         self.run_health.merge(other.run_health)
+
+    def as_dict(self) -> dict[str, Any]:
+        """JSON-able form (run-report ``profile`` section)."""
+        return {
+            "step1": self.step1.as_dict(),
+            "step2": self.step2.as_dict(),
+            "step3": self.step3.as_dict(),
+            "total_wall": self.total_wall,
+            "wall_fractions": list(self.wall_fractions()),
+            "step2_shards": [s.as_dict() for s in self.step2_shards],
+            "step2_retry_wall": self.step2_retry_wall,
+            "step2_shard_imbalance": self.step2_shard_imbalance(),
+            "run_health": self.run_health.as_dict(),
+        }

@@ -41,6 +41,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any
 
 from ..analysis import determinism as detsan
+from ..obs import trace
 from .faults import BankCorruption
 from .profile import RunHealth
 
@@ -112,6 +113,9 @@ class ShardOutcome:
     result: ShardResult
     attempts: int
     via: str  # "pool" | "local"
+    #: Wall seconds consumed by this shard's abandoned dispatches before
+    #: the accepted one (0.0 on a first-try success).
+    retry_wall_seconds: float = 0.0
 
 
 def _stop_pool(pool: ProcessPoolExecutor) -> None:
@@ -197,6 +201,10 @@ class ShardSupervisor:
         health = RunHealth(shards=len(payloads))
         outcomes: dict[int, ShardOutcome] = {}
         attempts: dict[int, int] = dict.fromkeys(payloads, 0)
+        #: Wall seconds burned by each shard's abandoned dispatches — the
+        #: time the retry/fallback machinery costs, which per-shard
+        #: ``wall_seconds`` (accepted attempt only) cannot see.
+        lost: dict[int, float] = dict.fromkeys(payloads, 0.0)
         pending = sorted(payloads)
         pool: ProcessPoolExecutor | None = None
         round_index = 0
@@ -210,7 +218,8 @@ class ShardSupervisor:
                     if round_index > 0:
                         health.pool_rebuilds += 1
                 pending, pool = self._run_round(
-                    pool, pending, payloads, pair_counts, attempts, outcomes, health
+                    pool, pending, payloads, pair_counts, attempts, outcomes,
+                    health, lost,
                 )
                 round_index += 1
         finally:
@@ -224,11 +233,15 @@ class ShardSupervisor:
                 shard,
                 attempts[shard],
             )
+            trace.add_event(
+                "step2.fallback", shard=shard, attempts=attempts[shard] + 1
+            )
             outcomes[shard] = ShardOutcome(
                 shard=shard,
                 result=self._local_score(shard),
                 attempts=attempts[shard] + 1,
                 via="local",
+                retry_wall_seconds=lost[shard],
             )
             health.fallback_shards += 1
             # Detsan detail: the fallback path must be visible in the
@@ -249,6 +262,7 @@ class ShardSupervisor:
         attempts: dict[int, int],
         outcomes: dict[int, ShardOutcome],
         health: RunHealth,
+        lost: dict[int, float],
     ) -> tuple[list[int], ProcessPoolExecutor | None]:
         """Dispatch *pending* once; returns (still-pending, usable pool)."""
         futures: dict[int, cf.Future[ShardResult]] = {}
@@ -262,16 +276,25 @@ class ShardSupervisor:
             # everything not submitted counts as one crashed dispatch.
             _log.warning("step-2 pool unusable at submit (%r); rebuilding", exc)
             health.crashes += len(pending) - len(futures)
-        submit_t = time.perf_counter()
+        submit_t = trace.clock()
         deadlines = {
             shard: submit_t + self.config.deadline_for(pair_counts.get(shard, 0))
             for shard in futures
         }
+
+        def abandon(shard: int, reason: str, until: float | None = None) -> None:
+            # Charge the abandoned dispatch's wall from submission to the
+            # moment it was given up on (its deadline, for timeouts).
+            lost[shard] += (trace.clock() if until is None else until) - submit_t
+            trace.add_event(
+                "step2.retry", shard=shard, reason=reason, attempt=attempts[shard]
+            )
+
         failed: list[int] = [s for s in pending if s not in futures]
         pool_dead = len(failed) > 0
         for shard, future in futures.items():
             attempts[shard] += 1
-            remaining = deadlines[shard] - time.perf_counter()
+            remaining = deadlines[shard] - trace.clock()
             try:
                 result = future.result(timeout=max(0.0, remaining))
             except cf.TimeoutError:
@@ -280,24 +303,28 @@ class ShardSupervisor:
                     shard, deadlines[shard] - submit_t, attempts[shard],
                 )
                 health.timeouts += 1
+                abandon(shard, "timeout", until=deadlines[shard])
                 failed.append(shard)
                 pool_dead = True  # a hung worker poisons the pool
                 continue
             except BrokenProcessPool as exc:
                 _log.warning("shard %d lost to broken pool: %r", shard, exc)
                 health.crashes += 1
+                abandon(shard, "crash")
                 failed.append(shard)
                 pool_dead = True
                 continue
             except BankCorruption as exc:
                 _log.warning("shard %d rejected: %s", shard, exc)
                 health.corrupt += 1
+                abandon(shard, "corrupt")
                 failed.append(shard)
                 continue
             except Exception as exc:  # noqa: BLE001 - any worker error retries
                 _log.warning("shard %d raised %r (attempt %d)",
                              shard, exc, attempts[shard])
                 health.crashes += 1
+                abandon(shard, "error")
                 failed.append(shard)
                 continue
             if not _validate_result(result):
@@ -306,10 +333,12 @@ class ShardSupervisor:
                     "(attempt %d)", shard, attempts[shard],
                 )
                 health.truncated += 1
+                abandon(shard, "truncated")
                 failed.append(shard)
                 continue
             outcomes[shard] = ShardOutcome(
-                shard=shard, result=result, attempts=attempts[shard], via="pool"
+                shard=shard, result=result, attempts=attempts[shard],
+                via="pool", retry_wall_seconds=lost[shard],
             )
         if pool_dead:
             _stop_pool(pool)

@@ -31,6 +31,7 @@ import numpy as np
 
 from ..analysis.contracts import contracted
 from ..index.kmer import TwoBankIndex
+from ..obs import metrics as obsmetrics
 from .ungapped import (
     BankBuffer,
     UngappedConfig,
@@ -180,8 +181,16 @@ class BatchedUngappedEngine:
         out0: list[np.ndarray] = []
         out1: list[np.ndarray] = []
         out_s: list[np.ndarray] = []
+        # The registry (and histogram-family lookup) is resolved once per
+        # run, not per batch — the loop body is the step-2 hot path.
+        registry = obsmetrics.active()
+        batch_hist = (
+            registry.histogram("step2_batch_pairs") if registry is not None else None
+        )
         for p0, p1 in iter_pair_batches(source, cfg.pair_chunk):
             self.telemetry.note(p0.shape[0])
+            if batch_hist is not None:
+                batch_hist.observe(p0.shape[0])
             scores = ungapped_scores_paired(
                 buf0, p0, buf1, p1, cfg.n, cfg.window, cfg.matrix, cfg.semantics
             )

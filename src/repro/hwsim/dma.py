@@ -17,9 +17,11 @@ Two levels of fidelity:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
+from ..obs import metrics as obsmetrics
 from .fifo import FaultHook, SyncFifo
 from .kernel import Component, SimulationError
 
@@ -60,6 +62,7 @@ class LinkModel:
         self.accounting.bytes_in += n_bytes
         self.accounting.transfers += 1
         self.accounting.busy_seconds += t
+        self._publish(n_bytes, "in", t)
         return t
 
     def record_out(self, n_bytes: int) -> float:
@@ -68,7 +71,16 @@ class LinkModel:
         self.accounting.bytes_out += n_bytes
         self.accounting.transfers += 1
         self.accounting.busy_seconds += t
+        self._publish(n_bytes, "out", t)
         return t
+
+    @staticmethod
+    def _publish(n_bytes: int, direction: str, seconds: float) -> None:
+        # One call per DMA transfer (not per cycle) — cheap enough to mirror
+        # straight into the ambient registry; no-op when observability is off.
+        obsmetrics.inc("hwsim_dma_bytes_total", n_bytes, direction=direction)
+        obsmetrics.inc("hwsim_dma_transfers_total", 1, direction=direction)
+        obsmetrics.inc("hwsim_link_busy_seconds_total", seconds)
 
     def sustained_result_rate(self, record_bytes: int) -> float:
         """Records/second the link can sustain on the result path."""
@@ -130,6 +142,18 @@ class DmaStream(Component):
     def words_sent(self) -> int:
         """Words pushed so far."""
         return self._cursor
+
+    def publish_metrics(self, **labels: Any) -> None:
+        """Export stream counters (end-of-run, like ``SyncFifo``'s)."""
+        registry = obsmetrics.active()
+        if registry is None:
+            return
+        registry.counter("hwsim_dma_words_total", stream=self.name, **labels).inc(
+            self.words_sent
+        )
+        registry.counter(
+            "hwsim_dma_stall_cycles_total", stream=self.name, **labels
+        ).inc(self.stall_cycles)
 
 
 class DmaDrain(Component):

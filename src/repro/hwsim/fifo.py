@@ -13,6 +13,7 @@ from collections import deque
 from collections.abc import Callable, Iterable
 from typing import Any
 
+from ..obs import metrics as obsmetrics
 from .kernel import SimulationError
 
 __all__ = ["SyncFifo", "FifoCascade"]
@@ -106,6 +107,24 @@ class SyncFifo:
         out = list(self._items)
         self._items.clear()
         return out
+
+    def publish_metrics(self, **labels: Any) -> None:
+        """Export this FIFO's counters to the active metrics registry.
+
+        Called by the owning component at the *end* of a run — commit()
+        runs once per simulated cycle and must stay registry-free.  The
+        high-water mark max-merges, so repeated publications (and shards)
+        compose; no-op when observability is off.
+        """
+        registry = obsmetrics.active()
+        if registry is None:
+            return
+        registry.gauge("hwsim_fifo_high_water", fifo=self.name, **labels).set_max(
+            self.high_water
+        )
+        registry.counter("hwsim_fifo_pushed_total", fifo=self.name, **labels).inc(
+            self.total_pushed
+        )
 
 
 class FifoCascade:

@@ -1,0 +1,50 @@
+"""Unified observability: tracing, metrics, and exportable run reports.
+
+The paper's entire performance story is per-stage accounting (Table 1
+attributes ~97 % of sequential runtime to step 2; Tables 2–4 only make
+sense because every stage, FPGA and PE slot was independently measurable).
+This package is that discipline as a subsystem, shared by every layer:
+
+* :mod:`repro.obs.trace` — spans (monotonic start/duration, parent ids,
+  attributes, events) with context-manager/decorator APIs, thread- and
+  fork-safe, with per-process buffers that shard workers serialize back
+  through the executor's result channel;
+* :mod:`repro.obs.metrics` — a process-local registry of counters, gauges
+  and fixed-bucket histograms, mergeable across shards with
+  order-independent results;
+* :mod:`repro.obs.export` — the schema-versioned JSON run report (spans +
+  metrics + :class:`~repro.core.profile.PipelineProfile` +
+  :class:`~repro.core.profile.RunHealth` + detsan manifest), a Prometheus
+  text exposition, and a terminal span-tree summary.
+
+Everything is off by default: with no active tracer/registry each
+instrumentation point costs one module-attribute check.  The CLI's
+``--trace-out``/``--metrics-out``/``--obs-summary`` flags activate it.
+"""
+
+from __future__ import annotations
+
+from . import export, metrics, trace
+from .export import build_run_report, prometheus_text, render_span_tree, validate_report
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .trace import Span, Timer, Tracer, clock, span, traced
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Timer",
+    "Tracer",
+    "build_run_report",
+    "clock",
+    "export",
+    "metrics",
+    "prometheus_text",
+    "render_span_tree",
+    "span",
+    "trace",
+    "traced",
+    "validate_report",
+]

@@ -1,0 +1,265 @@
+"""Run reports: schema-versioned JSON, Prometheus text, span-tree summary.
+
+The run report is the single document that merges everything one run
+produced: the span timeline, the merged metrics, the
+:class:`~repro.core.profile.PipelineProfile` and
+:class:`~repro.core.profile.RunHealth` aggregates, and (when the
+determinism sanitizer ran) the detsan manifest.  ``version`` is bumped on
+any breaking shape change; consumers (the benchmark trajectory, CI's
+schema gate) pin against it.
+
+:data:`REPORT_SCHEMA` is the authoritative schema, embedded here so the
+validator has no file dependency; ``schemas/run_report.schema.json`` is
+the checked-in copy CI validates against, and a golden test keeps the two
+identical.  :func:`validate_report` implements the small JSON-Schema
+subset the schema uses (``type``/``required``/``properties``/``items``/
+``enum``/``minimum``) — the container deliberately has no ``jsonschema``
+dependency.
+
+Run ``python -m repro.obs.export report.json --schema schemas/...`` to
+validate a report from the command line (the CI ``obs`` job does).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any
+
+from .metrics import MetricsRegistry, prometheus_text
+from .trace import SpanDict, Tracer
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "REPORT_VERSION",
+    "build_run_report",
+    "main",
+    "prometheus_text",
+    "render_span_tree",
+    "validate_report",
+]
+
+#: Bumped on any breaking change to the report shape.
+REPORT_VERSION = 1
+
+
+def _as_dict(obj: Any) -> Any:
+    """Duck-typed serialization so this module never imports core/."""
+    if obj is None or isinstance(obj, dict):
+        return obj
+    as_dict = getattr(obj, "as_dict", None)
+    if callable(as_dict):
+        return as_dict()
+    raise TypeError(f"cannot serialize {type(obj).__name__} into a run report")
+
+
+def build_run_report(
+    *,
+    tracer: Tracer | None = None,
+    registry: MetricsRegistry | None = None,
+    profile: Any = None,
+    health: Any = None,
+    detsan: Any = None,
+    meta: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Assemble the schema-versioned run report.
+
+    *profile*, *health* and *detsan* may be the live objects (anything
+    with ``as_dict()`` / ``manifest()``), pre-serialized dicts, or None.
+    """
+    merged_meta: dict[str, Any] = {}
+    if tracer is not None:
+        merged_meta.update(tracer.meta)
+    if meta:
+        merged_meta.update(meta)
+    if detsan is not None and not isinstance(detsan, dict):
+        manifest = getattr(detsan, "manifest", None)
+        detsan = manifest() if callable(manifest) else _as_dict(detsan)
+    return {
+        "version": REPORT_VERSION,
+        "meta": merged_meta,
+        "spans": tracer.export() if tracer is not None else [],
+        "metrics": registry.to_dict() if registry is not None else {"metrics": []},
+        "profile": _as_dict(profile),
+        "run_health": _as_dict(health),
+        "detsan": detsan,
+    }
+
+
+def render_span_tree(spans: list[SpanDict] | Tracer) -> str:
+    """Indented terminal summary of the span forest, durations aligned.
+
+    Children render under their parent in recorded order; orphans (parent
+    id missing from the export) render as roots rather than vanishing.
+    """
+    rows = spans.export() if isinstance(spans, Tracer) else list(spans)
+    ids = {row["span_id"] for row in rows}
+    children: dict[int | None, list[SpanDict]] = {}
+    for row in rows:
+        parent = row.get("parent_id")
+        children.setdefault(parent if parent in ids else None, []).append(row)
+
+    lines: list[str] = []
+
+    def walk(parent: int | None, depth: int) -> None:
+        for row in children.get(parent, ()):  # recorded order
+            duration = row.get("duration")
+            took = "open" if duration is None else f"{duration * 1e3:10.3f} ms"
+            attrs = row.get("attributes") or {}
+            decor = (
+                " [" + " ".join(f"{k}={attrs[k]}" for k in sorted(attrs)) + "]"
+                if attrs
+                else ""
+            )
+            events = row.get("events") or ()
+            suffix = f" ({len(events)} events)" if events else ""
+            lines.append(f"{'  ' * depth}{row['name']:<{32 - 2 * depth}} {took}{decor}{suffix}")
+            walk(row["span_id"], depth + 1)
+
+    walk(None, 0)
+    return "\n".join(lines)
+
+
+_SPAN_SCHEMA: dict[str, Any] = {
+    "type": "object",
+    "required": ["name", "span_id", "parent_id", "start", "duration"],
+    "properties": {
+        "name": {"type": "string"},
+        "span_id": {"type": "integer", "minimum": 1},
+        "parent_id": {"type": ["integer", "null"]},
+        "start": {"type": "number"},
+        "duration": {"type": ["number", "null"], "minimum": 0},
+        "attributes": {"type": "object"},
+        "events": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["name", "offset"],
+                "properties": {
+                    "name": {"type": "string"},
+                    "offset": {"type": "number"},
+                },
+            },
+        },
+    },
+}
+
+_METRIC_SCHEMA: dict[str, Any] = {
+    "type": "object",
+    "required": ["name", "kind", "labels"],
+    "properties": {
+        "name": {"type": "string"},
+        "kind": {"enum": ["counter", "gauge", "histogram"]},
+        "labels": {"type": "object"},
+        "value": {"type": "number"},
+        "boundaries": {"type": "array", "items": {"type": "number"}},
+        "counts": {"type": "array", "items": {"type": "integer", "minimum": 0}},
+        "total": {"type": "number"},
+        "samples": {"type": "integer", "minimum": 0},
+    },
+}
+
+#: The authoritative run-report schema.  ``schemas/run_report.schema.json``
+#: is the checked-in copy; a golden test asserts the two stay identical.
+REPORT_SCHEMA: dict[str, Any] = {
+    "$schema": "https://json-schema.org/draft/2020-12/schema",
+    "title": "repro run report",
+    "type": "object",
+    "required": ["version", "meta", "spans", "metrics"],
+    "properties": {
+        "version": {"type": "integer", "minimum": 1},
+        "meta": {"type": "object"},
+        "spans": {"type": "array", "items": _SPAN_SCHEMA},
+        "metrics": {
+            "type": "object",
+            "required": ["metrics"],
+            "properties": {
+                "metrics": {"type": "array", "items": _METRIC_SCHEMA},
+            },
+        },
+        "profile": {"type": ["object", "null"]},
+        "run_health": {"type": ["object", "null"]},
+        "detsan": {"type": ["object", "null"]},
+    },
+}
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def _validate(value: Any, schema: dict[str, Any], path: str, errors: list[str]) -> None:
+    expected = schema.get("type")
+    if expected is not None:
+        types = expected if isinstance(expected, list) else [expected]
+        if not any(_TYPE_CHECKS[t](value) for t in types):
+            errors.append(f"{path}: expected {'/'.join(types)}, got {type(value).__name__}")
+            return
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']!r}")
+    if "minimum" in schema and isinstance(value, (int, float)) and not isinstance(value, bool):
+        if value < schema["minimum"]:
+            errors.append(f"{path}: {value!r} < minimum {schema['minimum']!r}")
+    if isinstance(value, dict):
+        for name in schema.get("required", ()):
+            if name not in value:
+                errors.append(f"{path}: missing required key {name!r}")
+        for name, sub in schema.get("properties", {}).items():
+            if name in value:
+                _validate(value[name], sub, f"{path}.{name}", errors)
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            _validate(item, schema["items"], f"{path}[{i}]", errors)
+
+
+def validate_report(
+    report: dict[str, Any], schema: dict[str, Any] | None = None
+) -> list[str]:
+    """Validate a run report; returns error strings (empty = valid)."""
+    errors: list[str] = []
+    _validate(report, REPORT_SCHEMA if schema is None else schema, "$", errors)
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.obs.export report.json [--schema FILE]``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.export",
+        description="Validate a run report against the report schema.",
+    )
+    parser.add_argument("report", help="path to a run-report JSON file")
+    parser.add_argument(
+        "--schema",
+        help="validate against this JSON Schema file instead of the embedded one",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.report, encoding="utf-8") as fh:
+        report = json.load(fh)
+    schema = None
+    if args.schema:
+        with open(args.schema, encoding="utf-8") as fh:
+            schema = json.load(fh)
+    errors = validate_report(report, schema)
+    for err in errors:
+        print(f"invalid: {err}", file=sys.stderr)
+    if not errors:
+        spans = report.get("spans", [])
+        metrics = report.get("metrics", {}).get("metrics", [])
+        print(
+            f"ok: version {report.get('version')} report, "
+            f"{len(spans)} spans, {len(metrics)} metric series"
+        )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI job
+    raise SystemExit(main())

@@ -1,0 +1,376 @@
+"""Counters, gauges and fixed-bucket histograms (the counting half of obs).
+
+A :class:`MetricsRegistry` is process-local and lock-guarded; shard workers
+each build their own and the executor merges the serialized dicts back in
+the parent.  Merging is **commutative and associative** — counters and
+histogram cells add, gauges keep the max — so the merged result is
+identical no matter which order shard results arrive in.  Histogram bucket
+boundaries are fixed at creation (never derived from observed data), which
+is what makes repeated runs of a deterministic workload produce
+bit-identical histograms.
+
+Like :mod:`repro.obs.trace`, everything is a no-op while no registry is
+active: the module-level helpers (:func:`inc`, :func:`observe`,
+:func:`gauge_set`, :func:`gauge_max`) cost one attribute check when
+observability is off, which is what lets the hwsim/psc hardware models
+stay instrumented unconditionally.
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from collections.abc import Iterator, Mapping, Sequence
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "PAIR_BUCKETS",
+    "SECONDS_BUCKETS",
+    "activate",
+    "active",
+    "gauge_max",
+    "gauge_set",
+    "inc",
+    "observe",
+    "prometheus_text",
+]
+
+#: Default buckets for pair/cell counts: powers of four from 1 to ~16M.
+#: Geometric, fixed, and wide enough that the demo and the benchmarks land
+#: in interior buckets.
+PAIR_BUCKETS: tuple[float, ...] = tuple(4.0**k for k in range(13))
+
+#: Default buckets for wall-clock seconds: 1 µs .. ~1000 s, powers of ten
+#: with a 1/3/10 subdivision.
+SECONDS_BUCKETS: tuple[float, ...] = tuple(
+    m * 10.0**e for e in range(-6, 3) for m in (1.0, 3.0)
+)
+
+#: Label sets are stored canonically as a sorted tuple of (key, value).
+LabelItems = tuple[tuple[str, str], ...]
+
+
+def _labels_key(labels: dict[str, Any]) -> LabelItems:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+@dataclass
+class Counter:
+    """Monotonically increasing count; merge adds."""
+
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter increment must be >= 0, got {amount}")
+        self.value += amount
+
+    def merge(self, other: Counter) -> None:
+        self.value += other.value
+
+
+@dataclass
+class Gauge:
+    """Last-or-extreme value; merge keeps the max.
+
+    High-water marks (FIFO depth, batch size) are the dominant gauge use
+    here, and max-merge is the only commutative choice for them.
+    """
+
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def set_max(self, value: float) -> None:
+        if value > self.value:
+            self.value = value
+
+    def merge(self, other: Gauge) -> None:
+        self.set_max(other.value)
+
+
+@dataclass
+class Histogram:
+    """Fixed-boundary histogram; merge adds cell-wise.
+
+    ``boundaries`` are upper bucket edges (inclusive, Prometheus ``le``
+    convention); ``counts`` has ``len(boundaries) + 1`` cells, the last
+    being the overflow (``+Inf``) bucket.
+    """
+
+    boundaries: tuple[float, ...]
+    counts: list[int] = field(default_factory=list)
+    total: float = 0.0
+    samples: int = 0
+
+    def __post_init__(self) -> None:
+        if tuple(sorted(self.boundaries)) != tuple(self.boundaries):
+            raise ValueError("histogram boundaries must be sorted ascending")
+        if not self.counts:
+            self.counts = [0] * (len(self.boundaries) + 1)
+        elif len(self.counts) != len(self.boundaries) + 1:
+            raise ValueError("histogram counts/boundaries length mismatch")
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.boundaries, value)] += 1
+        self.total += value
+        self.samples += 1
+
+    def merge(self, other: Histogram) -> None:
+        if other.boundaries != self.boundaries:
+            raise ValueError(
+                "cannot merge histograms with different boundaries: "
+                f"{self.boundaries!r} vs {other.boundaries!r}"
+            )
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.total += other.total
+        self.samples += other.samples
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+# Read-only (workers fork with this module imported; RC101 scope).
+_KINDS: Mapping[str, type] = MappingProxyType(
+    {
+        "counter": Counter,
+        "gauge": Gauge,
+        "histogram": Histogram,
+    }
+)
+
+
+class MetricsRegistry:
+    """Process-local registry of metrics keyed by (name, labels).
+
+    One metric *family* (a name) has one kind; requesting the same name
+    with a conflicting kind is a programming error and raises.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, LabelItems], Metric] = {}
+        self._kinds: dict[str, str] = {}
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def _get(
+        self, kind: str, name: str, labels: dict[str, Any], **init: Any
+    ) -> Metric:
+        key = (name, _labels_key(labels))
+        with self._lock:
+            known = self._kinds.get(name)
+            if known is None:
+                self._kinds[name] = kind
+            elif known != kind:
+                raise ValueError(
+                    f"metric {name!r} already registered as {known}, not {kind}"
+                )
+            metric = self._metrics.get(key)
+            if metric is None:
+                metric = self._metrics[key] = _KINDS[kind](**init)
+            return metric
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        metric = self._get("counter", name, labels)
+        assert isinstance(metric, Counter)
+        return metric
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        metric = self._get("gauge", name, labels)
+        assert isinstance(metric, Gauge)
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        boundaries: Sequence[float] | None = None,
+        **labels: Any,
+    ) -> Histogram:
+        metric = self._get(
+            "histogram",
+            name,
+            labels,
+            boundaries=tuple(boundaries) if boundaries is not None else PAIR_BUCKETS,
+        )
+        assert isinstance(metric, Histogram)
+        return metric
+
+    def merge(self, other: MetricsRegistry | dict[str, Any]) -> None:
+        """Fold another registry (or its :meth:`to_dict`) into this one."""
+        if isinstance(other, MetricsRegistry):
+            other = other.to_dict()
+        for row in other.get("metrics", ()):
+            name = row["name"]
+            kind = row["kind"]
+            labels = dict(row.get("labels", {}))
+            if kind == "counter":
+                self.counter(name, **labels).inc(float(row["value"]))
+            elif kind == "gauge":
+                self.gauge(name, **labels).set_max(float(row["value"]))
+            elif kind == "histogram":
+                hist = self.histogram(
+                    name, boundaries=tuple(row["boundaries"]), **labels
+                )
+                hist.merge(
+                    Histogram(
+                        boundaries=tuple(row["boundaries"]),
+                        counts=[int(n) for n in row["counts"]],
+                        total=float(row["total"]),
+                        samples=int(row["samples"]),
+                    )
+                )
+            else:  # pragma: no cover - to_dict never emits other kinds
+                raise ValueError(f"unknown metric kind {kind!r}")
+
+    def to_dict(self) -> dict[str, Any]:
+        """Deterministic JSON-able form (rows sorted by name then labels)."""
+        rows: list[dict[str, Any]] = []
+        with self._lock:
+            items = sorted(self._metrics.items())
+        for (name, labels), metric in items:
+            row: dict[str, Any] = {
+                "name": name,
+                "kind": self._kinds[name],
+                "labels": {k: v for k, v in labels},
+            }
+            if isinstance(metric, Histogram):
+                row.update(
+                    boundaries=list(metric.boundaries),
+                    counts=list(metric.counts),
+                    total=metric.total,
+                    samples=metric.samples,
+                )
+            else:
+                row["value"] = metric.value
+            rows.append(row)
+        return {"metrics": rows}
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> MetricsRegistry:
+        """Inverse of :meth:`to_dict`."""
+        registry = cls()
+        registry.merge(data)
+        return registry
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format.
+
+    Families sort by name, series by label set; histograms expand into
+    cumulative ``_bucket{le=...}`` series plus ``_sum``/``_count``.  The
+    output is deterministic for a deterministic workload, which is what
+    lets a golden-file test pin it down.
+    """
+    data = registry.to_dict()["metrics"]
+    by_family: dict[str, list[dict[str, Any]]] = {}
+    for row in data:
+        by_family.setdefault(row["name"], []).append(row)
+
+    def fmt_labels(labels: dict[str, str], extra: tuple[str, str] | None = None) -> str:
+        items = sorted(labels.items())
+        if extra is not None:
+            items.append(extra)
+        if not items:
+            return ""
+        body = ",".join(f'{k}="{v}"' for k, v in items)
+        return "{" + body + "}"
+
+    def fmt_value(value: float) -> str:
+        return repr(int(value)) if float(value).is_integer() else repr(value)
+
+    lines: list[str] = []
+    for name in sorted(by_family):
+        rows = by_family[name]
+        lines.append(f"# TYPE {name} {rows[0]['kind']}")
+        for row in rows:
+            labels = dict(row.get("labels", {}))
+            if row["kind"] == "histogram":
+                running = 0
+                for edge, n in zip(row["boundaries"], row["counts"]):
+                    running += n
+                    lines.append(
+                        f"{name}_bucket"
+                        f"{fmt_labels(labels, ('le', fmt_value(edge)))}"
+                        f" {running}"
+                    )
+                running += row["counts"][-1]
+                lines.append(
+                    f"{name}_bucket{fmt_labels(labels, ('le', '+Inf'))} {running}"
+                )
+                lines.append(f"{name}_sum{fmt_labels(labels)} {fmt_value(row['total'])}")
+                lines.append(f"{name}_count{fmt_labels(labels)} {row['samples']}")
+            else:
+                lines.append(f"{name}{fmt_labels(labels)} {fmt_value(row['value'])}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+#: The registry of the run in flight, or None (observability off).  Same
+#: ambient pattern — and the same ``activate(None)`` deactivation
+#: semantics — as :mod:`repro.obs.trace`.
+_ACTIVE: MetricsRegistry | None = None
+
+
+def active() -> MetricsRegistry | None:
+    """The currently active registry, if any."""
+    return _ACTIVE
+
+
+@contextmanager
+def activate(registry: MetricsRegistry | None) -> Iterator[MetricsRegistry | None]:
+    """Make *registry* current for the dynamic extent (None deactivates)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = registry
+    try:
+        yield registry
+    finally:
+        _ACTIVE = previous
+
+
+def reset() -> None:
+    """Drop the ambient registry unconditionally (see ``trace.reset``)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def inc(name: str, amount: float = 1.0, **labels: Any) -> None:
+    """Increment a counter on the active registry; no-op when off."""
+    registry = _ACTIVE
+    if registry is not None:
+        registry.counter(name, **labels).inc(amount)
+
+
+def observe(
+    name: str,
+    value: float,
+    boundaries: Sequence[float] | None = None,
+    **labels: Any,
+) -> None:
+    """Observe into a histogram on the active registry; no-op when off."""
+    registry = _ACTIVE
+    if registry is not None:
+        registry.histogram(name, boundaries=boundaries, **labels).observe(value)
+
+
+def gauge_set(name: str, value: float, **labels: Any) -> None:
+    """Set a gauge on the active registry; no-op when off."""
+    registry = _ACTIVE
+    if registry is not None:
+        registry.gauge(name, **labels).set(value)
+
+
+def gauge_max(name: str, value: float, **labels: Any) -> None:
+    """Raise a high-water gauge on the active registry; no-op when off."""
+    registry = _ACTIVE
+    if registry is not None:
+        registry.gauge(name, **labels).set_max(value)

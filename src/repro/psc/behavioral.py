@@ -35,6 +35,7 @@ from .schedule import (
     PscArrayConfig,
     ScheduleBreakdown,
     drain_completion,
+    publish_run_metrics,
     schedule_cycles,
 )
 from .workload import EntryJob, build_jobs
@@ -114,6 +115,7 @@ class PscBehavioral:
             busy_pe_cycles=busy,
             offered_pe_cycles=offered,
         )
+        publish_run_metrics(cfg, breakdown, int(offsets0.shape[0]), model="behavioral")
         return PscRunResult(
             offsets0=offsets0,
             offsets1=offsets1,

@@ -28,12 +28,14 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..hwsim.memory import Rom
+from ..obs import metrics as obsmetrics
 from .pe import ProcessingElement
 from .schedule import (
     ENTRY_OVERHEAD,
     PscArrayConfig,
     ScheduleBreakdown,
     drain_completion,
+    publish_run_metrics,
 )
 from .slot import PESlot
 from .workload import EntryJob
@@ -97,6 +99,8 @@ class PscOperator:
         hits1: list[int] = []
         hit_scores: list[int] = []
         arrivals: list[int] = []
+        slot_busy = [0] * len(self.slots)
+        slot_results0 = [slot.results_produced for slot in self.slots]
         for job in jobs:
             # Master controller: entry setup.
             cycle += ENTRY_OVERHEAD
@@ -117,6 +121,8 @@ class PscOperator:
                         cycle += 1
                         load_cycles += 1
                 active = self.pes[:n_active]
+                for s, slot in enumerate(self.slots):
+                    slot_busy[s] += len(slot.active_pes(n_active)) * job.k1 * L
                 # Computation phase: input controller 1 broadcasts IL1.
                 for j in range(job.k1):
                     w1 = job.windows1[j]
@@ -156,6 +162,7 @@ class PscOperator:
             busy_pe_cycles=busy,
             offered_pe_cycles=offered,
         )
+        self._publish_metrics(breakdown, len(hits0), slot_busy, slot_results0)
         return PscRunResult(
             offsets0=np.array(hits0, dtype=np.int64),
             offsets1=np.array(hits1, dtype=np.int64),
@@ -163,3 +170,30 @@ class PscOperator:
             breakdown=breakdown,
             arrival_cycles=arrivals_arr,
         )
+
+    def _publish_metrics(
+        self,
+        breakdown: ScheduleBreakdown,
+        n_hits: int,
+        slot_busy: list[int],
+        slot_results0: list[int],
+    ) -> None:
+        """Array-level counters via the shared contract, plus per-slot detail
+        only the cycle simulator can resolve.
+
+        ``results_produced`` is cumulative over the operator's lifetime, so
+        the counter gets this run's delta against the *slot_results0*
+        snapshot taken at run start.
+        """
+        publish_run_metrics(self.config, breakdown, n_hits, model="operator")
+        registry = obsmetrics.active()
+        if registry is None:
+            return
+        for slot, before in zip(self.slots, slot_results0):
+            sid = slot.slot_id
+            registry.counter("psc_slot_busy_cycles_total", slot=sid).inc(
+                slot_busy[sid]
+            )
+            registry.counter("psc_slot_results_total", slot=sid).inc(
+                slot.results_produced - before
+            )

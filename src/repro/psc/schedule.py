@@ -33,6 +33,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..extend.ungapped import ScoreSemantics
+from ..obs import metrics as obsmetrics
 from ..seqs.matrices import BLOSUM62, SubstitutionMatrix
 
 __all__ = [
@@ -44,6 +45,7 @@ __all__ = [
     "schedule_cycles",
     "occupancy",
     "drain_completion",
+    "publish_run_metrics",
     "ScheduleBreakdown",
 ]
 
@@ -188,6 +190,49 @@ def schedule_cycles(
         busy_pe_cycles=busy,
         offered_pe_cycles=offered,
     )
+
+
+def publish_run_metrics(
+    config: PscArrayConfig,
+    breakdown: ScheduleBreakdown,
+    n_hits: int,
+    model: str,
+) -> None:
+    """Export one PSC run's hardware counters to the active registry.
+
+    Shared by the cycle simulator and the behavioural model (labelled by
+    *model*) so both expose the same series — part of the timing contract
+    this module owns.  ``busy_pe_cycles`` is exactly ``pairs × L``, so the
+    pair count is recovered without re-deriving it from the workload.
+    No-op when observability is off.
+    """
+    registry = obsmetrics.active()
+    if registry is None:
+        return
+    pairs = breakdown.busy_pe_cycles // config.window
+    seconds = breakdown.seconds(config)
+    registry.counter("psc_pairs_scored_total", model=model).inc(pairs)
+    registry.counter("psc_hits_total", model=model).inc(n_hits)
+    registry.counter("psc_busy_pe_cycles_total", model=model).inc(
+        breakdown.busy_pe_cycles
+    )
+    registry.counter("psc_offered_pe_cycles_total", model=model).inc(
+        breakdown.offered_pe_cycles
+    )
+    registry.counter("psc_modeled_seconds_total", model=model).inc(seconds)
+    registry.gauge("psc_utilization", model=model).set_max(breakdown.utilization)
+    if pairs > 0:
+        registry.gauge("psc_cycles_per_pair", model=model).set_max(
+            breakdown.total_cycles / pairs
+        )
+    if seconds > 0:
+        registry.gauge("psc_pairs_per_second_per_pe", model=model).set_max(
+            pairs / seconds / config.n_pes
+        )
+        # GCUPS-equivalent: every pair scores L cells at one cell/cycle/PE.
+        registry.gauge("psc_gcups_equivalent", model=model).set_max(
+            pairs * config.window / seconds / 1e9
+        )
 
 
 def occupancy(k0s: np.ndarray, k1s: np.ndarray, config: PscArrayConfig) -> float:

@@ -25,9 +25,11 @@ from ..core.config import PipelineConfig
 from ..core.partition import split_bank
 from ..core.pipeline import SeedComparisonPipeline, gapped_stage
 from ..core.results import ComparisonReport
+from ..obs import trace
 from ..psc.schedule import PscArrayConfig
 from ..seqs.sequence import Sequence, SequenceBank
 from ..seqs.translate import translated_bank
+from ..util.reporting import fractions
 from .host import HostCostModel, HostStepSeconds
 from .platform import AcceleratorRun, Rasc100
 
@@ -49,15 +51,10 @@ class AcceleratedResult:
         sequential on one core, step 2 on the accelerator)."""
         return self.host_seconds.step1 + self.accel_seconds + self.host_seconds.step3
 
-    def step_fractions(self) -> tuple[float, float, float]:
+    def step_fractions(self) -> tuple[float, ...]:
         """Per-step share of total time (paper Table 7 shape)."""
-        t = self.total_seconds
-        if t <= 0:
-            return (0.0, 0.0, 0.0)
-        return (
-            self.host_seconds.step1 / t,
-            self.accel_seconds / t,
-            self.host_seconds.step3 / t,
+        return fractions(
+            (self.host_seconds.step1, self.accel_seconds, self.host_seconds.step3)
         )
 
 
@@ -98,12 +95,16 @@ class AcceleratedPipeline:
         *subject* may be a DNA genome (translated on the host) or an
         already-translated protein bank.
         """
-        bank1, nucleotides = self._subject_bank(subject)
-        sw = SeedComparisonPipeline(self.config)
-        index = sw.index_banks(proteins, bank1)
-        accel = self.platform.run_step2(index, self.config.flank, fpga_id=0)
-        profile = sw.profile
-        report = gapped_stage(proteins, bank1, accel.hits, self.config, profile)
+        with trace.span("pipeline", mode="accel"):
+            bank1, nucleotides = self._subject_bank(subject)
+            sw = SeedComparisonPipeline(self.config)
+            index = sw.index_banks(proteins, bank1)
+            accel = self.platform.run_step2(index, self.config.flank, fpga_id=0)
+            profile = sw.profile
+            with trace.span("step3.gapped"):
+                report = gapped_stage(
+                    proteins, bank1, accel.hits, self.config, profile
+                )
         host_seconds = self.host.steps(
             step1_residues=profile.step1.operations,
             step2_cells=0,
@@ -122,24 +123,28 @@ class AcceleratedPipeline:
     ) -> AcceleratedResult:
         """Dual-FPGA comparison: protein bank split across both FPGAs."""
         self.platform.load_bitstream(self.psc_config, fpga_id=1, model=self.model)
-        bank1, nucleotides = self._subject_bank(subject)
-        halves = split_bank(proteins, 2)
-        indexes = []
-        step1_residues = 0
-        for half in halves:
-            sw = SeedComparisonPipeline(self.config)
-            indexes.append(sw.index_banks(half, bank1))
-            step1_residues += sw.profile.step1.operations
-        runs, accel_wall = self.platform.run_step2_dual(indexes, self.config.flank)
-        reports = []
-        step3_cells = 0
-        for half, _index, run in zip(halves, indexes, runs, strict=True):
-            profile_sink = SeedComparisonPipeline(self.config).profile
-            reports.append(
-                gapped_stage(half, bank1, run.hits, self.config, profile_sink)
+        with trace.span("pipeline", mode="accel-dual"):
+            bank1, nucleotides = self._subject_bank(subject)
+            halves = split_bank(proteins, 2)
+            indexes = []
+            step1_residues = 0
+            for half in halves:
+                sw = SeedComparisonPipeline(self.config)
+                indexes.append(sw.index_banks(half, bank1))
+                step1_residues += sw.profile.step1.operations
+            runs, accel_wall = self.platform.run_step2_dual(
+                indexes, self.config.flank
             )
-            step3_cells += profile_sink.step3.operations
-        report = ComparisonReport.merged(reports)
+            reports = []
+            step3_cells = 0
+            with trace.span("step3.gapped"):
+                for half, _index, run in zip(halves, indexes, runs, strict=True):
+                    profile_sink = SeedComparisonPipeline(self.config).profile
+                    reports.append(
+                        gapped_stage(half, bank1, run.hits, self.config, profile_sink)
+                    )
+                    step3_cells += profile_sink.step3.operations
+            report = ComparisonReport.merged(reports)
         host_seconds = self.host.steps(
             step1_residues=step1_residues,
             step2_cells=0,

@@ -29,6 +29,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+from ..util.reporting import fractions
+
 __all__ = ["HostCostModel", "HostStepSeconds"]
 
 
@@ -45,12 +47,9 @@ class HostStepSeconds:
         """Sum over steps."""
         return self.step1 + self.step2 + self.step3
 
-    def fractions(self) -> tuple[float, float, float]:
+    def fractions(self) -> tuple[float, ...]:
         """Per-step shares (Table 1 / Table 7 shape)."""
-        t = self.total
-        if t <= 0:
-            return (0.0, 0.0, 0.0)
-        return (self.step1 / t, self.step2 / t, self.step3 / t)
+        return fractions((self.step1, self.step2, self.step3))
 
 
 @dataclass(frozen=True)

@@ -21,6 +21,8 @@ import numpy as np
 from ..extend.ungapped import UngappedHits
 from ..hwsim.memory import Sram
 from ..index.kmer import TwoBankIndex
+from ..obs import metrics as obsmetrics
+from ..obs import trace
 from ..psc.behavioral import PscBehavioral
 from ..psc.operator import PscOperator, PscRunResult
 from ..psc.schedule import PscArrayConfig, ScheduleBreakdown, schedule_cycles
@@ -128,26 +130,31 @@ class Rasc100:
         self, index: TwoBankIndex, flank: int, fpga_id: int = 0
     ) -> AcceleratorRun:
         """Run one step-2 workload on one FPGA with exclusive link use."""
-        unit = self.fpgas[fpga_id]
-        config = unit._require_loaded()
-        result = unit.execute(index, flank)
-        plan = self._plan_for(index, len(result), config.window)
-        self.fabric.record(plan)
-        compute = config.seconds(result.breakdown.total_cycles)
-        io = self.fabric.io_seconds(plan)
-        # Input streaming overlaps compute (double-buffered DMA); only the
-        # slower of the two binds, plus the result tail.
-        in_s = plan.bytes_in / self.fabric.link.bandwidth_bytes_per_s
-        out_s = plan.bytes_out / self.fabric.link.bandwidth_bytes_per_s
-        overlapped = max(compute, in_s) + out_s + 2 * self.fabric.link.latency_s
-        hits = self._hits_from(result, index, config)
-        return AcceleratorRun(
-            hits=hits,
-            breakdown=result.breakdown,
-            compute_seconds=compute,
-            io_seconds=overlapped - compute if overlapped > compute else 0.0,
-            plan=plan,
-        )
+        with trace.span("rasc.step2", fpga=fpga_id) as sp:
+            unit = self.fpgas[fpga_id]
+            config = unit._require_loaded()
+            result = unit.execute(index, flank)
+            plan = self._plan_for(index, len(result), config.window)
+            self.fabric.record(plan)
+            compute = config.seconds(result.breakdown.total_cycles)
+            io = self.fabric.io_seconds(plan)
+            # Input streaming overlaps compute (double-buffered DMA); only the
+            # slower of the two binds, plus the result tail.
+            in_s = plan.bytes_in / self.fabric.link.bandwidth_bytes_per_s
+            out_s = plan.bytes_out / self.fabric.link.bandwidth_bytes_per_s
+            overlapped = max(compute, in_s) + out_s + 2 * self.fabric.link.latency_s
+            hits = self._hits_from(result, index, config)
+            run = AcceleratorRun(
+                hits=hits,
+                breakdown=result.breakdown,
+                compute_seconds=compute,
+                io_seconds=overlapped - compute if overlapped > compute else 0.0,
+                plan=plan,
+            )
+            if sp is not None:
+                sp.set_attrs(hits=len(hits), model=unit.model)
+            self._publish_run(run, fpga_id)
+        return run
 
     def run_step2_dual(
         self,
@@ -166,23 +173,24 @@ class Rasc100:
         plans: list[TransferPlan] = []
         computes: list[float] = []
         for fpga_id, index in enumerate(indexes):
-            unit = self.fpgas[fpga_id]
-            config = unit._require_loaded()
-            result = unit.execute(index, flank)
-            plan = self._plan_for(index, len(result), config.window)
-            self.fabric.record(plan)
-            compute = config.seconds(result.breakdown.total_cycles)
-            computes.append(compute)
-            plans.append(plan)
-            runs.append(
-                AcceleratorRun(
+            with trace.span("rasc.step2", fpga=fpga_id, concurrency="dual"):
+                unit = self.fpgas[fpga_id]
+                config = unit._require_loaded()
+                result = unit.execute(index, flank)
+                plan = self._plan_for(index, len(result), config.window)
+                self.fabric.record(plan)
+                compute = config.seconds(result.breakdown.total_cycles)
+                computes.append(compute)
+                plans.append(plan)
+                run = AcceleratorRun(
                     hits=self._hits_from(result, index, config),
                     breakdown=result.breakdown,
                     compute_seconds=compute,
                     io_seconds=0.0,
                     plan=plan,
                 )
-            )
+                self._publish_run(run, fpga_id)
+                runs.append(run)
         wall = max(
             max(c, io_in) + io_out
             for c, io_in, io_out in zip(
@@ -222,25 +230,51 @@ class Rasc100:
         queue_walls = [0.0] * self.N_FPGAS
         for i, index in enumerate(indexes):
             fpga_id = i % self.N_FPGAS
-            unit = self.fpgas[fpga_id]
-            config = unit._require_loaded()
-            result = unit.execute(index, flank)
-            plan = self._plan_for(index, len(result), config.window)
-            self.fabric.record(plan)
-            compute = config.seconds(result.breakdown.total_cycles)
-            in_s = plan.bytes_in / bw
-            out_s = plan.bytes_out / bw + 2 * self.fabric.link.latency_s
-            queue_walls[fpga_id] += max(compute, in_s) + out_s
-            runs.append(
-                AcceleratorRun(
+            with trace.span("rasc.step2", fpga=fpga_id, shard=i):
+                unit = self.fpgas[fpga_id]
+                config = unit._require_loaded()
+                result = unit.execute(index, flank)
+                plan = self._plan_for(index, len(result), config.window)
+                self.fabric.record(plan)
+                compute = config.seconds(result.breakdown.total_cycles)
+                in_s = plan.bytes_in / bw
+                out_s = plan.bytes_out / bw + 2 * self.fabric.link.latency_s
+                queue_walls[fpga_id] += max(compute, in_s) + out_s
+                run = AcceleratorRun(
                     hits=self._hits_from(result, index, config),
                     breakdown=result.breakdown,
                     compute_seconds=compute,
                     io_seconds=max(compute, in_s) + out_s - compute,
                     plan=plan,
                 )
-            )
+                self._publish_run(run, fpga_id)
+                runs.append(run)
         return runs, max(queue_walls)
+
+    def _publish_run(self, run: AcceleratorRun, fpga_id: int) -> None:
+        """Per-FPGA timing counters for one step-2 run.
+
+        DMA byte/transfer counters are published by the link model itself
+        (``fabric.record`` → ``LinkModel.record_in/out``); modelled seconds
+        here are *simulated* hardware time, deliberately distinct from the
+        host wall-clock seconds the span records.
+        """
+        registry = obsmetrics.active()
+        if registry is None:
+            return
+        config = self.fpgas[fpga_id].config
+        registry.counter("rasc_compute_seconds_total", fpga=fpga_id).inc(
+            run.compute_seconds
+        )
+        registry.counter("rasc_io_seconds_total", fpga=fpga_id).inc(run.io_seconds)
+        registry.counter("rasc_result_records_total", fpga=fpga_id).inc(
+            len(run.hits)
+        )
+        if config is not None and run.compute_seconds > 0:
+            pairs = run.breakdown.busy_pe_cycles // config.window
+            registry.gauge("rasc_pairs_per_second_per_pe", fpga=fpga_id).set_max(
+                pairs / run.wall_seconds / config.n_pes
+            )
 
     @staticmethod
     def _hits_from(

@@ -1,15 +1,18 @@
-"""Wall-clock helpers."""
+"""Wall-clock helpers.
+
+:class:`Stopwatch` predates the observability subsystem and is kept as a
+thin shim over :class:`repro.obs.trace.Timer` for external users; new code
+should use :class:`~repro.obs.trace.Timer` (or a span) directly.
+"""
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
+from ..obs.trace import Timer
 
 __all__ = ["Stopwatch"]
 
 
-@dataclass
-class Stopwatch:
+class Stopwatch(Timer):
     """Accumulating stopwatch usable as a context manager.
 
     >>> sw = Stopwatch()
@@ -19,16 +22,6 @@ class Stopwatch:
     True
     """
 
-    seconds: float = 0.0
-    _t0: float = field(default=0.0, repr=False)
-
     def __enter__(self) -> Stopwatch:
-        self._t0 = time.perf_counter()
+        super().__enter__()
         return self
-
-    def __exit__(self, *exc) -> None:
-        self.seconds += time.perf_counter() - self._t0
-
-    def reset(self) -> None:
-        """Zero the accumulator."""
-        self.seconds = 0.0

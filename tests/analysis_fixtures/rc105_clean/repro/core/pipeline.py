@@ -1,0 +1,12 @@
+"""RC105 clean twin: timing routed through repro.obs; time.sleep is fine."""
+
+import time
+
+from ..obs import trace
+
+
+def run_step(step: object) -> float:
+    timer = trace.Timer()
+    with trace.span("step"), timer:
+        time.sleep(0.0)
+    return timer.seconds

@@ -1,0 +1,10 @@
+"""RC105 fixture: raw monotonic-clock reads in an instrumented module."""
+
+import time
+from time import perf_counter
+
+
+def run_step(step: object) -> float:
+    t0 = time.perf_counter()
+    t1 = time.monotonic()
+    return perf_counter() - t0 + t1

@@ -1,0 +1,266 @@
+"""Run-report tests: schema golden, span depth, retry survival, hwsim counters."""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.core.config import PipelineConfig
+from repro.core.executor import ShardedStep2Executor
+from repro.core.faults import FaultKind, FaultPlan, FaultSpec
+from repro.core.pipeline import SeedComparisonPipeline
+from repro.core.supervisor import SupervisorConfig
+from repro.extend.ungapped import UngappedConfig
+from repro.hwsim.dma import DmaDrain, DmaStream
+from repro.hwsim.fifo import SyncFifo
+from repro.hwsim.kernel import Simulator
+from repro.index.kmer import ContiguousSeedModel, TwoBankIndex
+from repro.obs import metrics as obsmetrics
+from repro.obs import trace
+from repro.obs.export import (
+    REPORT_SCHEMA,
+    build_run_report,
+    main as export_main,
+    render_span_tree,
+    validate_report,
+)
+from repro.seqs.generate import random_protein_bank
+
+REPO = Path(__file__).resolve().parent.parent
+
+CFG = UngappedConfig(w=3, n=8, threshold=20)
+
+
+@pytest.fixture(autouse=True)
+def _obs_off():
+    trace.reset()
+    obsmetrics.reset()
+    yield
+    trace.reset()
+    obsmetrics.reset()
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(42)
+    b0 = random_protein_bank(rng, 25, mean_length=140, name_prefix="q")
+    b1 = random_protein_bank(rng, 35, mean_length=140, name_prefix="s")
+    return b0, b1, TwoBankIndex.build(b0, b1, ContiguousSeedModel(3))
+
+
+def span_depth(spans: list[dict]) -> int:
+    """Levels in the deepest root-to-leaf chain of an exported span forest."""
+    parents = {s["span_id"]: s["parent_id"] for s in spans}
+
+    def depth(sid):
+        n = 0
+        while sid is not None:
+            n += 1
+            sid = parents.get(sid)
+        return n
+
+    return max((depth(sid) for sid in parents), default=0)
+
+
+class TestSchema:
+    def test_checked_in_schema_matches_embedded(self):
+        on_disk = json.loads(
+            (REPO / "schemas" / "run_report.schema.json").read_text()
+        )
+        assert on_disk == REPORT_SCHEMA
+
+    def test_empty_report_is_valid(self):
+        report = build_run_report()
+        assert validate_report(report) == []
+        assert report["version"] == 1
+        assert report["spans"] == [] and report["metrics"] == {"metrics": []}
+
+    def test_validator_flags_shape_violations(self):
+        report = build_run_report()
+        report["version"] = True  # bool is not an integer here
+        errors = validate_report(report)
+        assert any("$.version" in e for e in errors)
+
+        report = build_run_report()
+        del report["spans"]
+        assert any("spans" in e for e in validate_report(report))
+
+        report = build_run_report()
+        report["metrics"]["metrics"] = [{"name": 1, "kind": "counter"}]
+        errors = validate_report(report)
+        assert any("name" in e for e in errors)
+        assert any("labels" in e for e in errors)
+
+    def test_export_cli_validates(self, tmp_path, capsys):
+        tracer = trace.Tracer()
+        tracer.record("pipeline", 0.5)
+        path = tmp_path / "report.json"
+        path.write_text(json.dumps(build_run_report(tracer=tracer)))
+        schema = str(REPO / "schemas" / "run_report.schema.json")
+        assert export_main([str(path), "--schema", schema]) == 0
+        assert "ok: version 1 report, 1 spans" in capsys.readouterr().out
+        path.write_text(json.dumps({"version": 1}))
+        assert export_main([str(path)]) == 1
+
+
+class TestPipelineReport:
+    def test_two_worker_run_yields_deep_valid_report(self, workload):
+        b0, b1, _ = workload
+        pipe = SeedComparisonPipeline(
+            PipelineConfig(seed_model=ContiguousSeedModel(3), workers=2)
+        )
+        tracer = trace.Tracer(meta={"command": "test"})
+        registry = obsmetrics.MetricsRegistry()
+        with trace.activate(tracer), obsmetrics.activate(registry):
+            pipe.compare_banks(b0, b1)
+        report = build_run_report(
+            tracer=tracer,
+            registry=registry,
+            profile=pipe.profile,
+            health=pipe.profile.run_health,
+            detsan=pipe.last_detsan,
+        )
+        assert validate_report(report) == []
+        names = {s["name"] for s in report["spans"]}
+        assert {"pipeline", "step1.index", "step2.ungapped",
+                "step2.shard", "step2.worker", "step3.gapped"} <= names
+        # pipeline -> step2.ungapped -> step2.shard -> step2.worker
+        assert span_depth(report["spans"]) >= 4
+        series = {m["name"] for m in report["metrics"]["metrics"]}
+        assert "step2_pairs_total" in series and "step2_shard_pairs" in series
+        pairs = next(
+            m for m in report["metrics"]["metrics"]
+            if m["name"] == "step2_pairs_total"
+        )
+        assert pairs["value"] > 0
+        assert report["profile"] is not None
+        assert report["run_health"] is not None
+
+    def test_spans_survive_a_shard_retry(self, workload):
+        _, _, idx = workload
+        plan = FaultPlan((FaultSpec(FaultKind.CRASH, shard=0, attempt=0),), seed=3)
+        ex = ShardedStep2Executor(
+            CFG, workers=2,
+            supervisor=SupervisorConfig(shard_timeout=5.0, max_retries=2),
+            fault_plan=plan,
+        )
+        tracer = trace.Tracer()
+        with trace.activate(tracer), obsmetrics.activate(
+            obsmetrics.MetricsRegistry()
+        ):
+            with trace.span("step2.run"):
+                ex.run(idx)
+        spans = tracer.export()
+        shard0 = next(
+            s for s in spans
+            if s["name"] == "step2.shard" and s["attributes"]["shard"] == 0
+        )
+        assert shard0["attributes"]["attempts"] == 2
+        assert shard0["attributes"]["via"] == "pool"
+        assert shard0["attributes"]["retry_wall_seconds"] > 0
+        # The retried shard's worker spans still come home and reparent.
+        shard_ids = {s["span_id"] for s in spans if s["name"] == "step2.shard"}
+        workers = [s for s in spans if s["name"] == "step2.worker"]
+        assert len(workers) == 2
+        assert all(s["parent_id"] in shard_ids for s in workers)
+        assert any(s["parent_id"] == shard0["span_id"] for s in workers)
+        # The supervisor's retry lands as an event on the enclosing span.
+        root = next(s for s in spans if s["name"] == "step2.run")
+        retries = [e for e in root["events"] if e["name"] == "step2.retry"]
+        assert any(e["shard"] == 0 for e in retries)
+
+
+class TestHwsimCounters:
+    @staticmethod
+    def run_fixed_workload() -> obsmetrics.MetricsRegistry:
+        """64 words through a depth-4 FIFO, producer 2x faster than drain."""
+        registry = obsmetrics.MetricsRegistry()
+        data = np.arange(64, dtype=np.int64)
+        fifo = SyncFifo(4, name="results")
+        stream = DmaStream(data, fifo, words_per_cycle=2, name="in")
+        drain = DmaDrain(fifo, words_per_cycle=1, name="out")
+        sim = Simulator()
+        sim.add(stream)
+        sim.add(drain)
+        with obsmetrics.activate(registry):
+            sim.run_until_idle()
+            stream.publish_metrics()
+            fifo.publish_metrics()
+        assert len(drain.received) == 64
+        return registry
+
+    def test_counters_nonzero_and_match_components(self):
+        registry = self.run_fixed_workload()
+        assert registry.counter("hwsim_dma_words_total", stream="in").value == 64
+        assert registry.counter("hwsim_fifo_pushed_total", fifo="results").value == 64
+        # Steady state: +2 pushes, -1 pop per committed cycle caps the
+        # committed occupancy at 3 before backpressure bites.
+        assert registry.gauge("hwsim_fifo_high_water", fifo="results").value == 3
+        # Producer outruns the drain, so backpressure stalls must register.
+        assert registry.counter(
+            "hwsim_dma_stall_cycles_total", stream="in"
+        ).value > 0
+
+    def test_fixed_workload_is_deterministic(self):
+        a = self.run_fixed_workload().to_dict()
+        b = self.run_fixed_workload().to_dict()
+        assert a == b
+
+
+class TestRenderSpanTree:
+    SPANS = [
+        {"name": "pipeline", "span_id": 1, "parent_id": None, "start": 0.0,
+         "duration": 0.004, "attributes": {}, "events": []},
+        {"name": "step2", "span_id": 2, "parent_id": 1, "start": 0.001,
+         "duration": 0.003, "attributes": {"workers": 2},
+         "events": [{"name": "retry", "offset": 0.001}]},
+        {"name": "orphan", "span_id": 9, "parent_id": 77, "start": 0.0,
+         "duration": None, "attributes": {}, "events": []},
+    ]
+
+    def test_tree_indents_children_and_keeps_orphans(self):
+        lines = render_span_tree(self.SPANS).splitlines()
+        assert lines[0].startswith("pipeline") and "4.000 ms" in lines[0]
+        assert lines[1].startswith("  step2")
+        assert "[workers=2]" in lines[1] and "(1 events)" in lines[1]
+        assert lines[2].startswith("orphan") and "open" in lines[2]
+
+
+class TestCliFlags:
+    @pytest.fixture(scope="class")
+    def workload_files(self, tmp_path_factory):
+        d = tmp_path_factory.mktemp("obs_cli")
+        assert main([
+            "synth", str(d / "w"), "--proteins", "4", "--genome-nt", "24000",
+            "--families", "2", "--seed", "11",
+        ]) == 0
+        return str(d / "w_proteins.fasta"), str(d / "w_genome.fasta")
+
+    def test_compare_writes_report_and_metrics(
+        self, workload_files, tmp_path, capsys
+    ):
+        proteins, genome = workload_files
+        trace_out = tmp_path / "report.json"
+        metrics_out = tmp_path / "metrics.prom"
+        assert main([
+            "compare", proteins, genome, "--workers", "2", "--max-hits", "2",
+            "--trace-out", str(trace_out), "--metrics-out", str(metrics_out),
+            "--obs-summary",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "# wrote run report:" in out and "# wrote metrics:" in out
+        assert "pipeline" in out  # --obs-summary span tree
+        report = json.loads(trace_out.read_text())
+        assert validate_report(report) == []
+        assert report["meta"]["command"] == "compare"
+        assert span_depth(report["spans"]) >= 3
+        assert report["profile"] is not None and report["run_health"] is not None
+        assert metrics_out.read_text().startswith("# TYPE")
+
+    def test_flags_off_writes_nothing(self, workload_files, tmp_path, capsys):
+        proteins, genome = workload_files
+        assert main(["compare", proteins, genome, "--max-hits", "1"]) == 0
+        assert "# wrote run report" not in capsys.readouterr().out
+        assert list(tmp_path.iterdir()) == []

@@ -1,0 +1,195 @@
+"""Metrics tests: primitives, merge algebra, determinism, exposition golden."""
+
+import pytest
+
+from repro.obs import metrics as obsmetrics
+from repro.obs.metrics import (
+    PAIR_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    prometheus_text,
+)
+from repro.util.reporting import fractions
+
+
+@pytest.fixture(autouse=True)
+def _no_ambient_registry():
+    obsmetrics.reset()
+    yield
+    obsmetrics.reset()
+
+
+class TestPrimitives:
+    def test_counter_adds_and_rejects_negative(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == pytest.approx(3.5)
+        with pytest.raises(ValueError, match=">= 0"):
+            c.inc(-1)
+        other = Counter(value=4.0)
+        c.merge(other)
+        assert c.value == pytest.approx(7.5)
+
+    def test_gauge_set_max_and_merge_keep_high_water(self):
+        g = Gauge()
+        g.set(5.0)
+        g.set_max(3.0)
+        assert g.value == 5.0
+        g.set(2.0)  # plain set may lower
+        g.merge(Gauge(value=4.0))
+        assert g.value == 4.0
+
+    def test_histogram_buckets_are_le_inclusive(self):
+        h = Histogram(boundaries=(1.0, 4.0, 16.0))
+        for v in (1.0, 2.0, 100.0):
+            h.observe(v)
+        assert h.counts == [1, 1, 0, 1]  # 1.0 lands in le=1, 100 overflows
+        assert h.total == pytest.approx(103.0)
+        assert h.samples == 3
+
+    def test_histogram_validates_shape(self):
+        with pytest.raises(ValueError, match="sorted ascending"):
+            Histogram(boundaries=(4.0, 1.0))
+        with pytest.raises(ValueError, match="length mismatch"):
+            Histogram(boundaries=(1.0, 2.0), counts=[0, 0])
+
+    def test_histogram_merge_requires_equal_boundaries(self):
+        a = Histogram(boundaries=(1.0, 4.0))
+        a.observe(2.0)
+        b = Histogram(boundaries=(1.0, 4.0))
+        b.observe(8.0)
+        a.merge(b)
+        assert a.counts == [0, 1, 1] and a.samples == 2
+        with pytest.raises(ValueError, match="different boundaries"):
+            a.merge(Histogram(boundaries=(1.0, 2.0)))
+
+    def test_default_buckets_fixed_and_sorted(self):
+        assert PAIR_BUCKETS[0] == 1.0 and len(PAIR_BUCKETS) == 13
+        assert tuple(sorted(PAIR_BUCKETS)) == PAIR_BUCKETS
+
+
+def shard_registry(pairs: int, hits: int, high_water: int) -> MetricsRegistry:
+    """A deterministic stand-in for one worker's metrics."""
+    r = MetricsRegistry()
+    r.counter("step2_pairs_total").inc(pairs)
+    r.counter("step2_hits_total", engine="batched").inc(hits)
+    r.gauge("fifo_high_water", fifo="results").set_max(high_water)
+    h = r.histogram("step2_batch_pairs")
+    for v in (1, pairs, pairs * 3):
+        h.observe(float(v))
+    return r
+
+
+class TestRegistry:
+    def test_same_name_and_labels_is_one_series(self):
+        r = MetricsRegistry()
+        assert r.counter("x", a=1) is r.counter("x", a=1)
+        assert r.counter("x", a=1) is not r.counter("x", a=2)
+        assert len(r) == 2
+
+    def test_kind_conflict_raises(self):
+        r = MetricsRegistry()
+        r.counter("x")
+        with pytest.raises(ValueError, match="already registered as counter"):
+            r.gauge("x")
+
+    def test_dict_roundtrip(self):
+        r = shard_registry(64, 5, 3)
+        assert MetricsRegistry.from_dict(r.to_dict()).to_dict() == r.to_dict()
+
+    def test_merge_is_order_independent(self):
+        shards = [shard_registry(16, 2, 3), shard_registry(64, 7, 9),
+                  shard_registry(4, 0, 1)]
+        forward = MetricsRegistry()
+        for s in shards:
+            forward.merge(s)
+        backward = MetricsRegistry()
+        for s in reversed(shards):
+            backward.merge(s.to_dict())  # dict form must merge identically
+        assert forward.to_dict() == backward.to_dict()
+        assert forward.counter("step2_pairs_total").value == 84.0
+        assert forward.gauge("fifo_high_water", fifo="results").value == 9.0
+        assert forward.histogram("step2_batch_pairs").samples == 9
+
+    def test_repeated_runs_produce_bit_identical_histograms(self):
+        # Fixed boundaries + a deterministic workload: the merged registry
+        # (and its exposition) must not vary from run to run.
+        def run():
+            merged = MetricsRegistry()
+            for args in ((16, 2, 3), (64, 7, 9)):
+                merged.merge(shard_registry(*args))
+            return merged
+
+        a, b = run(), run()
+        assert a.to_dict() == b.to_dict()
+        assert prometheus_text(a) == prometheus_text(b)
+
+
+class TestPrometheusText:
+    def test_golden_exposition(self):
+        r = MetricsRegistry()
+        r.counter("pairs_total", engine="batched").inc(7)
+        r.gauge("fifo_high_water", fifo="results").set_max(3)
+        h = r.histogram("batch_pairs", boundaries=(1.0, 4.0))
+        for v in (1.0, 3.0, 9.0):
+            h.observe(v)
+        assert prometheus_text(r) == (
+            "# TYPE batch_pairs histogram\n"
+            'batch_pairs_bucket{le="1"} 1\n'
+            'batch_pairs_bucket{le="4"} 2\n'
+            'batch_pairs_bucket{le="+Inf"} 3\n'
+            "batch_pairs_sum 13\n"
+            "batch_pairs_count 3\n"
+            "# TYPE fifo_high_water gauge\n"
+            'fifo_high_water{fifo="results"} 3\n'
+            "# TYPE pairs_total counter\n"
+            'pairs_total{engine="batched"} 7\n'
+        )
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(MetricsRegistry()) == ""
+
+    def test_non_integer_values_keep_full_precision(self):
+        r = MetricsRegistry()
+        r.counter("seconds_total").inc(0.125)
+        assert "seconds_total 0.125" in prometheus_text(r)
+
+
+class TestModuleHelpers:
+    def test_noop_when_inactive(self):
+        assert obsmetrics.active() is None
+        obsmetrics.inc("x")
+        obsmetrics.observe("y", 1.0)
+        obsmetrics.gauge_set("z", 1.0)
+        obsmetrics.gauge_max("z", 2.0)  # nothing raised, nothing recorded
+
+    def test_helpers_land_on_active_registry(self):
+        r = MetricsRegistry()
+        with obsmetrics.activate(r):
+            obsmetrics.inc("pairs_total", 3, engine="batched")
+            obsmetrics.observe("batch_pairs", 2.0)
+            obsmetrics.gauge_set("depth", 4.0)
+            obsmetrics.gauge_max("depth", 2.0)
+        obsmetrics.inc("pairs_total", 99, engine="batched")  # after: inert
+        assert r.counter("pairs_total", engine="batched").value == 3.0
+        assert r.histogram("batch_pairs").samples == 1
+        assert r.gauge("depth").value == 4.0
+
+    def test_activate_none_deactivates(self):
+        r = MetricsRegistry()
+        with obsmetrics.activate(r):
+            with obsmetrics.activate(None):
+                obsmetrics.inc("hidden")
+        assert len(r) == 0
+
+
+class TestFractions:
+    def test_shares_of_total(self):
+        assert fractions((1.0, 1.0, 2.0)) == (0.25, 0.25, 0.5)
+
+    def test_zero_total_is_all_zero(self):
+        assert fractions((0.0, 0.0)) == (0.0, 0.0)
+        assert fractions(()) == ()

@@ -103,14 +103,20 @@ class TestRC004WallClock:
         src = "from time import time\n"
         assert codes_in(tmp_path, "bench.py", src) == ["RC004"]
 
+    # RC004-clean paths below avoid core/profile.py: it sits in RC105's
+    # instrumented scope, where a direct perf_counter() call now fires.
     def test_perf_counter_clean(self, tmp_path):
         src = "import time\nt = time.perf_counter()\n"
-        assert codes_in(tmp_path, "repro/core/profile.py", src) == []
+        assert codes_in(tmp_path, "repro/core/results.py", src) == []
 
     def test_monotonic_clean(self, tmp_path):
         # time.monotonic() is as deadline-safe as perf_counter().
         src = "import time\nt = time.monotonic()\n"
-        assert codes_in(tmp_path, "repro/core/profile.py", src) == []
+        assert codes_in(tmp_path, "repro/core/results.py", src) == []
+
+    def test_perf_counter_in_instrumented_module_fires_rc105(self, tmp_path):
+        src = "import time\nt = time.perf_counter()\n"
+        assert codes_in(tmp_path, "repro/core/profile.py", src) == ["RC105"]
 
 
 class TestRC005PublicAnnotations:
