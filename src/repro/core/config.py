@@ -66,6 +66,16 @@ class PipelineConfig:
     fault_plan:
         Deterministic fault injection for chaos testing (the CLI's
         ``--fault-plan``); ``None`` in production.
+    step2_backend:
+        Step-2 scoring-kernel registry name (the CLI's
+        ``--step2-backend``); ``"auto"`` selects the best available
+        backend.  Every backend is bit-identical by construction (see
+        :mod:`repro.extend.backends`), so this is purely a speed knob.
+    min_pairs_per_shard:
+        Pair-count floor below which a ``workers > 1`` run scores
+        in-process instead of paying pool spawn + shared-memory staging
+        (the CLI's ``--min-pairs-per-shard``); ``0`` disables the
+        heuristic.
     """
 
     seed_model: SeedModel = field(default_factory=lambda: DEFAULT_SUBSET_SEED)
@@ -81,6 +91,8 @@ class PipelineConfig:
     shard_timeout: float | None = None
     max_retries: int = 2
     fault_plan: FaultPlan | None = None
+    step2_backend: str = "auto"
+    min_pairs_per_shard: int = 1 << 18
 
     @property
     def window(self) -> int:
@@ -101,6 +113,7 @@ class PipelineConfig:
             matrix=self.matrix,
             semantics=self.semantics,
             pair_chunk=self.pair_chunk,
+            backend=self.step2_backend,
         )
 
     def supervisor_config(self) -> SupervisorConfig:

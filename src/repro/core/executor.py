@@ -42,14 +42,15 @@ import logging
 import os
 import time
 import warnings
-from collections.abc import Iterator
+from dataclasses import replace
 from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
 from ..analysis import determinism as detsan
 from ..analysis.contracts import ArraySpec, check_array
-from ..extend.batched import BatchedUngappedEngine
+from ..extend.backends import resolve_backend
+from ..extend.batched import BatchedUngappedEngine, EntryBlock
 from ..extend.ungapped import UngappedConfig, UngappedHits, UngappedStats
 from ..index.kmer import TwoBankIndex
 from ..obs import metrics as obsmetrics
@@ -215,19 +216,6 @@ def _apply_worker_fault(spec: FaultSpec, shard: int) -> None:
         _WORKER["buf0"] = bad  # private copy: shm stays clean for peers
 
 
-def _entry_stream(
-    offsets0: np.ndarray,
-    counts0: np.ndarray,
-    offsets1: np.ndarray,
-    counts1: np.ndarray,
-) -> Iterator[tuple[np.ndarray, np.ndarray]]:
-    """Re-segment a shard payload into per-entry (IL0, IL1) list pairs."""
-    b0 = np.concatenate(([0], np.cumsum(counts0, dtype=np.int64)))
-    b1 = np.concatenate(([0], np.cumsum(counts1, dtype=np.int64)))
-    for i in range(counts0.shape[0]):
-        yield offsets0[b0[i] : b0[i + 1]], offsets1[b1[i] : b1[i + 1]]
-
-
 #: Observability payload riding a shard result: (exported worker spans,
 #: serialized worker metrics), or None when the worker was not observed.
 ObsPayload = tuple[tuple[dict[str, Any], ...], dict[str, Any]]
@@ -300,11 +288,14 @@ def _score_shard(
     _verify_bank_views()
 
     def scored() -> tuple[BatchedUngappedEngine, UngappedHits]:
+        # The config rode the pool initargs with its backend name already
+        # resolved to a concrete registry key by the parent, so every
+        # worker honors the parent's backend choice.
         scorer = BatchedUngappedEngine(_WORKER["config"])
         return scorer, scorer.run_stream(
             _WORKER["buf0"],
             _WORKER["buf1"],
-            _entry_stream(offsets0, counts0, offsets1, counts1),
+            EntryBlock(offsets0, counts0, offsets1, counts1),
         )
 
     obs_payload: ObsPayload | None = None
@@ -347,7 +338,7 @@ def _score_shard_local(
     t0 = obstrace.clock()
     engine = BatchedUngappedEngine(config)
     with obstrace.span("step2.worker", shard=shard, via="local"):
-        hits = engine.run_stream(buf0, buf1, _entry_stream(*payload))
+        hits = engine.run_stream(buf0, buf1, EntryBlock(*payload))
     return _package_hits(shard, hits, obstrace.clock() - t0, engine)
 
 
@@ -386,6 +377,7 @@ def _publish_health_metrics(
         ("corrupt", health.corrupt),
         ("pool_rebuilds", health.pool_rebuilds),
         ("fallback_shards", health.fallback_shards),
+        ("small_workload_fallbacks", health.small_workload_fallbacks),
     ):
         registry.counter("step2_supervisor_events_total", kind=kind).inc(value)
 
@@ -439,6 +431,19 @@ class ShardedStep2Executor:
         Optional deterministic fault injection
         (:class:`~repro.core.faults.FaultPlan`) applied inside the worker
         tasks — the chaos-testing hook.
+    min_pairs_per_shard:
+        Pair-count floor below which a multi-worker run scores in-process
+        instead of paying pool spawn + shared-memory staging (on small
+        workloads those fixed costs exceed the scoring itself, making 2
+        workers *slower* than 1).  ``0`` disables the heuristic.  The
+        decision is recorded as ``RunHealth.small_workload_fallbacks`` and
+        the matching supervisor-event metric.
+
+    The configured backend name (``config.backend``, possibly ``"auto"``)
+    is resolved once, eagerly, at construction: an unknown or unavailable
+    backend fails here rather than inside a worker, and the concrete
+    registry name then rides the pool initargs so workers honor the
+    parent's choice instead of re-running ``"auto"`` selection.
 
     The merged :class:`~repro.extend.ungapped.UngappedHits` is bit-identical
     — offsets, scores and order — to the single-process batched run for any
@@ -454,11 +459,17 @@ class ShardedStep2Executor:
         workers: int = 1,
         supervisor: SupervisorConfig | None = None,
         fault_plan: FaultPlan | None = None,
+        min_pairs_per_shard: int = 1 << 18,
     ) -> None:
-        self.config = config or UngappedConfig()
+        config = config or UngappedConfig()
+        resolved = resolve_backend(config.backend, config)
+        if config.backend != resolved.info.name:
+            config = replace(config, backend=resolved.info.name)
+        self.config = config
         self.workers = max(1, int(workers))
         self.supervisor = supervisor or SupervisorConfig()
         self.fault_plan = fault_plan
+        self.min_pairs_per_shard = max(0, int(min_pairs_per_shard))
         #: Per-shard timings of the most recent :meth:`run`.
         self.last_timings: list[ShardTiming] = []
         #: Supervision counters of the most recent :meth:`run`.
@@ -470,6 +481,13 @@ class ShardedStep2Executor:
         if self.workers == 1 or n_entries < 2 * self.workers:
             # Pool overhead cannot pay for itself on a near-empty work list.
             return self._run_local(index)
+        if self.min_pairs_per_shard > 0:
+            n_shards = max(1, min(self.workers, n_entries))
+            if index.total_pairs < n_shards * self.min_pairs_per_shard:
+                # Too few pairs per shard for pool spawn + shared-memory
+                # staging to pay for itself (the BENCH_step2 2-worker
+                # regression): score in-process and record the decision.
+                return self._run_local(index, small_workload=True)
         try:
             return self._run_pool(index)
         except (OSError, PermissionError) as exc:  # pragma: no cover
@@ -484,17 +502,26 @@ class ShardedStep2Executor:
             return self._run_local(index)
 
     # ------------------------------------------------------------------
-    def _run_local(self, index: TwoBankIndex) -> UngappedHits:
+    def _run_local(
+        self, index: TwoBankIndex, small_workload: bool = False
+    ) -> UngappedHits:
         t0 = obstrace.clock()
         engine = BatchedUngappedEngine(self.config)
         with obstrace.span("step2.shard", shard=0, via="local"):
             hits = engine.run(index)
         wall = obstrace.clock() - t0
+        self.last_health = RunHealth(
+            shards=1, small_workload_fallbacks=1 if small_workload else 0
+        )
         registry = obsmetrics.active()
         if registry is not None:
             _publish_shard_metrics(
                 registry, hits.stats.pairs, hits.stats.cells, hits.stats.hits, wall
             )
+            if small_workload:
+                # Surface the sizing decision in the same event family the
+                # supervisor uses, so dashboards see why no pool ran.
+                _publish_health_metrics(registry, self.last_health)
         self.last_timings = [
             ShardTiming(
                 shard=0,
@@ -506,9 +533,9 @@ class ShardedStep2Executor:
                 max_batch_pairs=engine.telemetry.max_batch_pairs,
                 attempts=1,
                 via="local",
+                backend=engine.telemetry.backend or self.config.backend,
             )
         ]
-        self.last_health = RunHealth(shards=1)
         if detsan.active() is not None:
             detsan.record_detail(
                 "shard",
@@ -649,6 +676,7 @@ class ShardedStep2Executor:
                     attempts=outcome.attempts,
                     via=outcome.via,
                     retry_wall_seconds=outcome.retry_wall_seconds,
+                    backend=self.config.backend,
                 )
             )
         self.last_timings = timings

@@ -218,6 +218,7 @@ class SeedComparisonPipeline:
                     workers=self.config.workers,
                     supervisor=self.config.supervisor_config(),
                     fault_plan=self.config.fault_plan,
+                    min_pairs_per_shard=self.config.min_pairs_per_shard,
                 )
                 hits = executor.run(index)
                 self.profile.step2_shards.extend(executor.last_timings)

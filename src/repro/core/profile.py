@@ -77,6 +77,9 @@ class ShardTiming:
     #: one.  ``wall_seconds`` covers only the accepted attempt, so without
     #: this the cost of retries vanishes from shard-level accounting.
     retry_wall_seconds: float = 0.0
+    #: Scoring-kernel registry name the shard ran with (see
+    #: :mod:`repro.extend.backends`).
+    backend: str = "batched"
 
     def as_dict(self) -> dict[str, Any]:
         """JSON-able form (run-report ``profile.step2_shards`` rows)."""
@@ -91,6 +94,7 @@ class ShardTiming:
             "attempts": self.attempts,
             "via": self.via,
             "retry_wall_seconds": self.retry_wall_seconds,
+            "backend": self.backend,
         }
 
 
@@ -120,6 +124,10 @@ class RunHealth:
     pool_rebuilds: int = 0
     #: Shards completed by the in-process engine after retries ran out.
     fallback_shards: int = 0
+    #: Multi-worker runs routed straight to the in-process engine because
+    #: the workload fell below ``min_pairs_per_shard`` — a sizing decision,
+    #: not a fault, so it does not affect :attr:`healthy`.
+    small_workload_fallbacks: int = 0
 
     @property
     def healthy(self) -> bool:
@@ -149,6 +157,7 @@ class RunHealth:
         self.corrupt += other.corrupt
         self.pool_rebuilds += other.pool_rebuilds
         self.fallback_shards += other.fallback_shards
+        self.small_workload_fallbacks += other.small_workload_fallbacks
 
     def as_dict(self) -> dict[str, Any]:
         """JSON-able form (run-report ``run_health`` section)."""
@@ -161,6 +170,7 @@ class RunHealth:
             "corrupt": self.corrupt,
             "pool_rebuilds": self.pool_rebuilds,
             "fallback_shards": self.fallback_shards,
+            "small_workload_fallbacks": self.small_workload_fallbacks,
             "healthy": self.healthy,
             "degraded": self.degraded,
         }

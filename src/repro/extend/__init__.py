@@ -1,7 +1,20 @@
 """Extension kernels: vectorised ungapped window scoring (step 2), gapped
 X-drop / Smith-Waterman (step 3), and Karlin-Altschul statistics."""
 
-from .batched import BatchedUngappedEngine, BatchTelemetry, iter_pair_batches
+from .backends import (
+    BackendInfo,
+    BackendUnavailable,
+    backend_names,
+    list_backends,
+    register_backend,
+    resolve_backend,
+)
+from .batched import (
+    BatchedUngappedEngine,
+    BatchTelemetry,
+    EntryBlock,
+    iter_pair_batches,
+)
 from .gapped import (
     NEG_INF,
     GappedExtension,
@@ -34,8 +47,15 @@ from .ungapped import (
 )
 
 __all__ = [
+    "BackendInfo",
+    "BackendUnavailable",
+    "backend_names",
+    "list_backends",
+    "register_backend",
+    "resolve_backend",
     "BatchedUngappedEngine",
     "BatchTelemetry",
+    "EntryBlock",
     "iter_pair_batches",
     "ScoreSemantics",
     "UngappedConfig",

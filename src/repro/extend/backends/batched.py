@@ -1,0 +1,57 @@
+"""``batched`` backend — the reference paired kernel, registered.
+
+A thin adapter around
+:func:`~repro.extend.ungapped.ungapped_scores_paired`: per window column,
+gather a residue from each buffer and index the 2-D substitution matrix.
+This module is the **one sanctioned call site** of the raw paired kernel
+outside its defining module (repro-check rule RC106) — everything else
+selects a backend through :func:`~repro.extend.backends.resolve_backend`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ungapped import UngappedConfig, ungapped_scores_paired
+from .registry import register_backend
+
+
+class PairedKernel:
+    """Delegates to the contract-checked reference paired kernel."""
+
+    def __init__(self, config: UngappedConfig) -> None:
+        self._config = config
+        self._buf0: np.ndarray | None = None
+        self._buf1: np.ndarray | None = None
+
+    def prepare(self, buf0: np.ndarray, buf1: np.ndarray) -> None:
+        """Bind the bank buffers for the coming batches."""
+        self._buf0 = buf0
+        self._buf1 = buf1
+
+    def score(self, anchors0: np.ndarray, anchors1: np.ndarray) -> np.ndarray:
+        """Score paired anchors with the reference paired kernel."""
+        cfg = self._config
+        buf0, buf1 = self._buf0, self._buf1
+        assert buf0 is not None and buf1 is not None, "score() before prepare()"
+        return ungapped_scores_paired(
+            buf0,
+            anchors0,
+            buf1,
+            anchors1,
+            cfg.n,
+            cfg.window,
+            cfg.matrix,
+            cfg.semantics,
+        )
+
+
+@register_backend(
+    "batched",
+    description="reference paired kernel (2-D matrix lookup per column)",
+    score_dtype="int32",
+    priority=30,
+)
+def make_batched(config: UngappedConfig) -> PairedKernel:
+    """Build the reference paired kernel adapter."""
+    return PairedKernel(config)

@@ -1,0 +1,177 @@
+"""``fused`` and ``int16`` backends — shifted-view fused scan kernel.
+
+The reference paired kernel pays three gathers per window column (two
+residues, one 2-D matrix cell) plus temporaries.  This kernel fuses the
+column step into fewer, allocation-free passes:
+
+* **Pre-scaled bank.**  ``prepare`` multiplies bank 0 once into an int16
+  row-offset table (``code * stride``), so the per-column substitution
+  lookup becomes *one* flat gather: ``sub_flat[scaled0[b0 + t] + buf1[b1 + t]]``.
+* **Shifted views.**  Column ``t`` gathers through ``scaled0[t:]`` /
+  ``buf1[t:]`` views instead of adding ``t`` to the anchor arrays — no
+  index arithmetic pass at all.  The shared bounds check guarantees
+  ``base.max() + window <= len(buf)``, so every shifted gather with
+  ``t < window`` stays in range.
+* **Preallocated scratch.**  All intermediates live in scratch buffers
+  grown monotonically and reused across batches; the steady-state batch
+  loop performs no allocation.
+
+``fused`` scans with int32 accumulators.  ``int16`` additionally keeps the
+running score and best in int16 — halving accumulator bandwidth — which is
+sound only when ``window × max|substitution score|`` fits int16; its probe
+asserts that overflow impossibility from the window length at config time
+and refuses the config otherwise (BLOSUM62's bound is 16, so the default
+window of 28 sits far inside the limit).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ungapped import ScoreSemantics, UngappedConfig
+from .registry import check_anchor_bounds, register_backend
+
+
+def _probe_fused(config: UngappedConfig) -> "str | None":
+    """Shared availability check: the scaled-bank table must fit int16."""
+    scores = config.matrix.scores
+    if scores.ndim != 2:
+        return "substitution matrix must be 2-D"
+    stride = int(scores.shape[1])
+    # Any uint8 bank byte may be scaled, pad sentinels included.
+    if 255 * stride > np.iinfo(np.int16).max:
+        return (
+            f"substitution matrix stride {stride} overflows the int16 "
+            "scaled-bank table"
+        )
+    return None
+
+
+def _probe_int16(config: UngappedConfig) -> "str | None":
+    """``fused`` checks plus int16 accumulator overflow impossibility."""
+    reason = _probe_fused(config)
+    if reason is not None:
+        return reason
+    max_abs = int(np.abs(config.matrix.scores).max())
+    peak = config.window * max_abs
+    if peak > np.iinfo(np.int16).max:
+        return (
+            f"window {config.window} x max |score| {max_abs} can reach "
+            f"{peak}, overflowing int16 accumulators"
+        )
+    return None
+
+
+class FusedKernel:
+    """Shifted-view fused scan over a pre-scaled bank-0 table."""
+
+    def __init__(self, config: UngappedConfig, accum_dtype: np.dtype) -> None:
+        self._config = config
+        self._accum_dtype = np.dtype(accum_dtype)
+        scores = config.matrix.scores
+        self._stride = int(scores.shape[1])
+        self._sub_flat = np.ascontiguousarray(scores, dtype=np.int16).reshape(-1)
+        self._buf1: np.ndarray | None = None
+        self._scaled0: np.ndarray | None = None
+        self._capacity = 0
+        self._base0 = np.empty(0, dtype=np.int64)
+        self._base1 = np.empty(0, dtype=np.int64)
+        self._x = np.empty(0, dtype=np.int16)
+        self._y = np.empty(0, dtype=np.uint8)
+        self._idx = np.empty(0, dtype=np.intp)
+        self._cost = np.empty(0, dtype=np.int16)
+        self._score = np.empty(0, dtype=self._accum_dtype)
+        self._best = np.empty(0, dtype=self._accum_dtype)
+        self._out = np.empty(0, dtype=np.int32)
+
+    def prepare(self, buf0: np.ndarray, buf1: np.ndarray) -> None:
+        """Bind the buffers and pre-scale bank 0 into row offsets."""
+        self._buf1 = buf1
+        # dtype= must go to the ufunc itself: under NEP 50,
+        # ``np.multiply(uint8, 25)`` computes in uint8 and wraps at 255.
+        self._scaled0 = np.multiply(buf0, self._stride, dtype=np.int16)
+
+    def _ensure(self, n: int) -> None:
+        """Grow the batch scratch buffers to hold *n* pairs."""
+        if n <= self._capacity:
+            return
+        self._base0 = np.empty(n, dtype=np.int64)
+        self._base1 = np.empty(n, dtype=np.int64)
+        self._x = np.empty(n, dtype=np.int16)
+        self._y = np.empty(n, dtype=np.uint8)
+        self._idx = np.empty(n, dtype=np.intp)
+        self._cost = np.empty(n, dtype=np.int16)
+        self._score = np.empty(n, dtype=self._accum_dtype)
+        self._best = np.empty(n, dtype=self._accum_dtype)
+        self._out = np.empty(n, dtype=np.int32)
+        self._capacity = n
+
+    def score(self, anchors0: np.ndarray, anchors1: np.ndarray) -> np.ndarray:
+        """Score paired anchors; returns a scratch view (copy to keep)."""
+        cfg = self._config
+        scaled0, buf1 = self._scaled0, self._buf1
+        assert scaled0 is not None and buf1 is not None, "score() before prepare()"
+        if anchors0.shape != anchors1.shape:
+            raise ValueError("anchor arrays must have equal shapes")
+        window = cfg.window
+        n = int(anchors0.shape[0])
+        self._ensure(n)
+        base0 = self._base0[:n]
+        base1 = self._base1[:n]
+        np.subtract(anchors0, cfg.n, out=base0)
+        np.subtract(anchors1, cfg.n, out=base1)
+        # The scaled bank mirrors buf0 element-for-element, so bounds
+        # checked against it cover every shifted view with t < window.
+        check_anchor_bounds(scaled0, base0, buf1, base1, window)
+        x = self._x[:n]
+        y = self._y[:n]
+        idx = self._idx[:n]
+        cost = self._cost[:n]
+        score = self._score[:n]
+        sub_flat = self._sub_flat
+        score[...] = 0
+        kadane = cfg.semantics is ScoreSemantics.KADANE
+        if kadane:
+            best = self._best[:n]
+            best[...] = 0
+        for t in range(window):
+            np.take(scaled0[t:], base0, out=x)
+            np.take(buf1[t:], base1, out=y)
+            # int16 + uint8 promotes to int16 (values stay < stride²), the
+            # unsafe cast just widens to the take index dtype in-pass.
+            np.add(x, y, out=idx, casting="unsafe")
+            np.take(sub_flat, idx, out=cost)
+            if kadane:
+                np.add(score, cost, out=score)
+                np.maximum(score, 0, out=score)
+                np.maximum(best, score, out=best)
+            else:
+                np.maximum(cost, 0, out=cost)
+                np.add(score, cost, out=score)
+        out = self._out[:n]
+        np.copyto(out, best if kadane else score, casting="same_kind")
+        return out
+
+
+@register_backend(
+    "fused",
+    description="shifted-view fused scan (flat int16 cost table, int32 accumulators)",
+    score_dtype="int32",
+    priority=50,
+    probe=_probe_fused,
+)
+def make_fused(config: UngappedConfig) -> FusedKernel:
+    """Build the fused kernel with int32 accumulators."""
+    return FusedKernel(config, np.dtype(np.int32))
+
+
+@register_backend(
+    "int16",
+    description="fused scan with int16 accumulators (overflow-checked at config time)",
+    score_dtype="int16",
+    priority=40,
+    probe=_probe_int16,
+)
+def make_int16(config: UngappedConfig) -> FusedKernel:
+    """Build the fused kernel with int16 accumulators (bounded scores)."""
+    return FusedKernel(config, np.dtype(np.int16))

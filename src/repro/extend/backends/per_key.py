@@ -1,0 +1,73 @@
+"""``per_key`` backend — window-matrix gather kernel.
+
+The numpy formulation the original per-key path
+(:meth:`~repro.extend.ungapped.UngappedExtender.extend_entry`) builds on:
+materialise both ``(pairs, window)`` residue matrices up front, then scan
+their columns.  Registered so the historical mid-fidelity shape stays one
+switch away and on the bench chart; the gathers make it memory-bound, which
+is exactly what the ``fused`` backend removes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ungapped import ScoreSemantics, UngappedConfig
+from .registry import check_anchor_bounds, register_backend
+
+
+class WindowGatherKernel:
+    """Scans explicit window matrices gathered from the bank buffers."""
+
+    def __init__(self, config: UngappedConfig) -> None:
+        self._config = config
+        self._sub = config.matrix.scores.astype(np.int32)
+        self._buf0: np.ndarray | None = None
+        self._buf1: np.ndarray | None = None
+
+    def prepare(self, buf0: np.ndarray, buf1: np.ndarray) -> None:
+        """Bind the bank buffers for the coming batches."""
+        self._buf0 = buf0
+        self._buf1 = buf1
+
+    def score(self, anchors0: np.ndarray, anchors1: np.ndarray) -> np.ndarray:
+        """Score paired anchors via materialised window matrices."""
+        cfg = self._config
+        buf0, buf1 = self._buf0, self._buf1
+        assert buf0 is not None and buf1 is not None, "score() before prepare()"
+        if anchors0.shape != anchors1.shape:
+            raise ValueError("anchor arrays must have equal shapes")
+        window = cfg.window
+        base0 = np.asarray(anchors0, dtype=np.int64) - cfg.n
+        base1 = np.asarray(anchors1, dtype=np.int64) - cfg.n
+        check_anchor_bounds(buf0, base0, buf1, base1, window)
+        span = np.arange(window, dtype=np.int64)
+        w0 = buf0[base0[:, None] + span]
+        w1 = buf1[base1[:, None] + span]
+        n = base0.shape[0]
+        sub = self._sub
+        score = np.zeros(n, dtype=np.int32)
+        if cfg.semantics is ScoreSemantics.KADANE:
+            best = np.zeros(n, dtype=np.int32)
+            for t in range(window):
+                np.add(score, sub[w0[:, t], w1[:, t]], out=score)
+                np.maximum(score, 0, out=score)
+                np.maximum(best, score, out=best)
+            return best
+        for t in range(window):
+            cost = sub[w0[:, t], w1[:, t]]
+            np.add(score, np.maximum(cost, 0), out=score)
+        return score
+
+
+@register_backend(
+    "per_key",
+    description="window-matrix gather kernel (the per-key path's formulation)",
+    score_dtype="int32",
+    priority=20,
+    # Both window matrices live at once: cap the batch so they stay a few MB.
+    max_batch_pairs=1 << 16,
+)
+def make_per_key(config: UngappedConfig) -> WindowGatherKernel:
+    """Build the window-gather kernel."""
+    return WindowGatherKernel(config)

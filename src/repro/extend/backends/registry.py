@@ -1,0 +1,302 @@
+"""Step-2 kernel backend registry.
+
+The batched engine (:class:`repro.extend.batched.BatchedUngappedEngine`)
+owns batching, threshold filtering and emission order; the inner scoring
+kernel — "given two bank buffers and flat anchor arrays, return one int32
+score per pair" — is pluggable.  This module is the registry those kernels
+plug into, mirroring how the paper swaps the software scoring loop for the
+RASC-100 PE array without touching the surrounding dataflow:
+
+* :func:`register_backend` — decorator registering a kernel factory under a
+  name, with capability metadata (:class:`BackendInfo`): accumulator dtype,
+  per-batch pair limit, selection priority and an availability probe.
+* :func:`resolve_backend` — turns a configured name (or ``"auto"``) into a
+  ready :class:`ResolvedBackend`.  ``"auto"`` walks registered backends in
+  descending priority and picks the first whose probe, construction **and
+  accuracy self-check** all pass; an explicit name that fails any of those
+  raises :exc:`BackendUnavailable` instead of silently substituting.
+
+Accuracy gate
+-------------
+Every resolution — auto or explicit — scores a small seeded workload and
+compares bit-for-bit against :func:`repro.extend.ungapped.ungapped_score_reference`
+(the scalar hardware oracle) under the *actual* config (matrix, window,
+semantics).  A backend that would produce different scores can therefore
+never be selected, which is what lets the engine treat every backend as
+interchangeable for determinism purposes.
+
+Kernel protocol
+---------------
+A kernel exposes ``prepare(buf0, buf1)`` (once per entry stream; may build
+derived tables from the buffers) and ``score(anchors0, anchors1)`` (once
+per batch; returns an int32 array that may be a view into scratch storage
+valid only until the next ``score`` call — callers that keep scores copy
+them, as the engine's threshold filter does).  ``score`` must raise
+``IndexError("window exceeds bank buffer; increase pad")`` for anchors
+whose flanked window leaves a buffer, exactly like the reference kernel.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+from ..ungapped import UngappedConfig, ungapped_score_reference
+
+__all__ = [
+    "BackendInfo",
+    "BackendUnavailable",
+    "KernelBackend",
+    "ResolvedBackend",
+    "backend_names",
+    "check_anchor_bounds",
+    "get_backend",
+    "list_backends",
+    "register_backend",
+    "resolve_backend",
+    "temporary_backend",
+]
+
+
+class KernelBackend(Protocol):
+    """Structural type of a registered step-2 scoring kernel."""
+
+    def prepare(self, buf0: np.ndarray, buf1: np.ndarray) -> None:
+        """Bind the bank buffers for the coming batches (once per stream)."""
+        ...
+
+    def score(self, anchors0: np.ndarray, anchors1: np.ndarray) -> np.ndarray:
+        """Score paired anchors; int32 result, valid until the next call."""
+        ...
+
+
+#: Availability probe: None means available, a string is the human-readable
+#: reason the backend cannot serve this config.
+ProbeFn = Callable[[UngappedConfig], "str | None"]
+#: Kernel factory: build a fresh kernel for one config.
+FactoryFn = Callable[[UngappedConfig], KernelBackend]
+
+
+@dataclass(frozen=True)
+class BackendInfo:
+    """Capability metadata of one registered backend."""
+
+    #: Registry key (what ``--step2-backend`` selects).
+    name: str
+    #: One-line description for docs / bench output.
+    description: str
+    #: Accumulator dtype the kernel scans with (scores are always int32 out).
+    score_dtype: str
+    #: ``"auto"`` preference: higher wins among available backends.
+    priority: int
+    #: Kernel-imposed per-batch pair cap (None: only ``pair_chunk`` applies).
+    max_batch_pairs: int | None
+    #: Builds a kernel for a config (may raise; treated as unavailable).
+    factory: FactoryFn
+    #: Config-time availability check, e.g. int16 overflow impossibility.
+    probe: ProbeFn | None
+
+
+@dataclass(frozen=True)
+class ResolvedBackend:
+    """A backend selected for a config: metadata plus a ready kernel."""
+
+    info: BackendInfo
+    kernel: KernelBackend
+
+
+class BackendUnavailable(RuntimeError):
+    """Requested backend missing, probe-failed, or accuracy-check-failed."""
+
+
+#: Registered backends by name.  Module-level mutable state in a
+#: worker-reachable module (RC101 scope): populated only at import time by
+#: the ``register_backend`` decorators in this package, then treated as
+#: read-only — fork-inherited copies cannot diverge.  Tests extend it only
+#: through the self-cleaning :func:`temporary_backend` context manager.
+_BACKENDS: dict[str, BackendInfo] = {}
+
+
+def register_backend(
+    name: str,
+    *,
+    description: str,
+    score_dtype: str,
+    priority: int,
+    max_batch_pairs: int | None = None,
+    probe: ProbeFn | None = None,
+) -> Callable[[FactoryFn], FactoryFn]:
+    """Decorator: register *factory* as the backend called *name*."""
+
+    def decorate(factory: FactoryFn) -> FactoryFn:
+        if name in _BACKENDS:
+            raise ValueError(f"step-2 backend {name!r} is already registered")
+        _BACKENDS[name] = BackendInfo(
+            name=name,
+            description=description,
+            score_dtype=score_dtype,
+            priority=priority,
+            max_batch_pairs=max_batch_pairs,
+            factory=factory,
+            probe=probe,
+        )
+        return factory
+
+    return decorate
+
+
+def list_backends() -> list[BackendInfo]:
+    """All registered backends, best ``"auto"`` candidate first."""
+    return sorted(_BACKENDS.values(), key=lambda b: (-b.priority, b.name))
+
+
+def backend_names() -> list[str]:
+    """Registered names in :func:`list_backends` order."""
+    return [info.name for info in list_backends()]
+
+
+def get_backend(name: str) -> BackendInfo:
+    """Metadata for *name*; raises :exc:`BackendUnavailable` if unknown."""
+    info = _BACKENDS.get(name)
+    if info is None:
+        known = ", ".join(backend_names())
+        raise BackendUnavailable(
+            f"unknown step-2 backend {name!r}; registered: {known}"
+        )
+    return info
+
+
+def check_anchor_bounds(
+    buf0: np.ndarray,
+    base0: np.ndarray,
+    buf1: np.ndarray,
+    base1: np.ndarray,
+    window: int,
+) -> None:
+    """Reject windows leaving either bank buffer (shared backend contract).
+
+    *base0*/*base1* are flank-subtracted window starts.  Raises the same
+    ``IndexError`` as :func:`repro.extend.ungapped.ungapped_scores_paired`
+    and :meth:`repro.seqs.sequence.SequenceBank.windows` — an out-of-buffer
+    window is a caller error, never a silent wrap-around gather.
+    """
+    if base0.size == 0:
+        return
+    if int(base0.min()) < 0 or int(base0.max()) + window > buf0.shape[0]:
+        raise IndexError("window exceeds bank buffer; increase pad")
+    if int(base1.min()) < 0 or int(base1.max()) + window > buf1.shape[0]:
+        raise IndexError("window exceeds bank buffer; increase pad")
+
+
+#: Pairs in the accuracy self-check workload (kept tiny: resolution runs
+#: once per entry stream, and the check is O(pairs × window) scalar work).
+_SELF_CHECK_PAIRS = 4
+
+
+def _self_check(kernel: KernelBackend, config: UngappedConfig) -> str | None:
+    """Score a seeded workload and compare against the scalar oracle.
+
+    Returns None on bit-identity, else the reason string.  The workload is
+    derived from the config's window so short and long windows both get a
+    genuine scan; residues stay in the canonical 0..19 range.
+    """
+    window = config.window
+    flank = config.n
+    rng = np.random.default_rng(20090 + window)
+    size0 = flank + window + _SELF_CHECK_PAIRS + 4
+    size1 = size0 + 3
+    buf0 = rng.integers(0, 20, size0, dtype=np.uint8)
+    buf1 = rng.integers(0, 20, size1, dtype=np.uint8)
+    anchors0 = flank + rng.integers(
+        0, _SELF_CHECK_PAIRS + 4, _SELF_CHECK_PAIRS
+    ).astype(np.int64)
+    anchors1 = flank + rng.integers(
+        0, _SELF_CHECK_PAIRS + 4, _SELF_CHECK_PAIRS
+    ).astype(np.int64)
+    kernel.prepare(buf0, buf1)
+    got = np.asarray(kernel.score(anchors0, anchors1))
+    if got.dtype != np.int32 or got.shape != (_SELF_CHECK_PAIRS,):
+        return (
+            "accuracy self-check failed: expected int32 shape "
+            f"({_SELF_CHECK_PAIRS},), got {got.dtype} {got.shape}"
+        )
+    for i in range(_SELF_CHECK_PAIRS):
+        s0 = int(anchors0[i]) - flank
+        s1 = int(anchors1[i]) - flank
+        want = ungapped_score_reference(
+            buf0[s0 : s0 + window],
+            buf1[s1 : s1 + window],
+            config.matrix,
+            config.semantics,
+        )
+        if int(got[i]) != want:
+            return (
+                "accuracy self-check failed: pair "
+                f"{i} scored {int(got[i])}, oracle says {want}"
+            )
+    return None
+
+
+def _try_resolve(
+    info: BackendInfo, config: UngappedConfig
+) -> "ResolvedBackend | str":
+    """Probe, build and self-check one backend; kernel or reason string."""
+    if info.probe is not None:
+        reason = info.probe(config)
+        if reason is not None:
+            return reason
+    try:
+        kernel = info.factory(config)
+    except Exception as exc:  # noqa: BLE001 - any factory failure disables it
+        return f"factory raised {type(exc).__name__}: {exc}"
+    try:
+        reason = _self_check(kernel, config)
+    except Exception as exc:  # noqa: BLE001 - a crashing kernel is unavailable
+        return f"accuracy self-check raised {type(exc).__name__}: {exc}"
+    if reason is not None:
+        return reason
+    return ResolvedBackend(info=info, kernel=kernel)
+
+
+def resolve_backend(name: str, config: UngappedConfig) -> ResolvedBackend:
+    """Resolve *name* (a registry key or ``"auto"``) for *config*.
+
+    Explicit names raise :exc:`BackendUnavailable` when the backend is
+    unknown, fails its probe, or fails the accuracy gate; ``"auto"`` falls
+    through to the next-priority backend instead and only raises when no
+    registered backend survives.
+    """
+    if name != "auto":
+        info = get_backend(name)
+        outcome = _try_resolve(info, config)
+        if isinstance(outcome, str):
+            raise BackendUnavailable(
+                f"step-2 backend {name!r} unavailable: {outcome}"
+            )
+        return outcome
+    failures: list[str] = []
+    for info in list_backends():
+        outcome = _try_resolve(info, config)
+        if isinstance(outcome, ResolvedBackend):
+            return outcome
+        failures.append(f"{info.name}: {outcome}")
+    detail = "; ".join(failures) if failures else "registry is empty"
+    raise BackendUnavailable(
+        f"no step-2 backend available under 'auto': {detail}"
+    )
+
+
+@contextmanager
+def temporary_backend(info: BackendInfo) -> Iterator[BackendInfo]:
+    """Register *info* for a test's dynamic extent, then remove it."""
+    if info.name in _BACKENDS:
+        raise ValueError(f"step-2 backend {info.name!r} is already registered")
+    _BACKENDS[info.name] = info
+    try:
+        yield info
+    finally:
+        _BACKENDS.pop(info.name, None)

@@ -1,0 +1,64 @@
+"""``scalar`` backend — pair-at-a-time loop over the hardware oracle.
+
+One Python-level call to
+:func:`~repro.extend.ungapped.ungapped_score_reference` per pair: the
+slowest registered backend by orders of magnitude, kept registered so the
+full accuracy ladder (scalar → per_key → batched → fused) is selectable
+through one switch and the bench sweep can chart it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ungapped import UngappedConfig, ungapped_score_reference
+from .registry import check_anchor_bounds, register_backend
+
+
+class ScalarKernel:
+    """Scores each pair with the scalar PE recurrence (the oracle itself)."""
+
+    def __init__(self, config: UngappedConfig) -> None:
+        self._config = config
+        self._buf0: np.ndarray | None = None
+        self._buf1: np.ndarray | None = None
+
+    def prepare(self, buf0: np.ndarray, buf1: np.ndarray) -> None:
+        """Bind the bank buffers for the coming batches."""
+        self._buf0 = buf0
+        self._buf1 = buf1
+
+    def score(self, anchors0: np.ndarray, anchors1: np.ndarray) -> np.ndarray:
+        """Score paired anchors one at a time with the reference recurrence."""
+        cfg = self._config
+        buf0, buf1 = self._buf0, self._buf1
+        assert buf0 is not None and buf1 is not None, "score() before prepare()"
+        if anchors0.shape != anchors1.shape:
+            raise ValueError("anchor arrays must have equal shapes")
+        window = cfg.window
+        base0 = np.asarray(anchors0, dtype=np.int64) - cfg.n
+        base1 = np.asarray(anchors1, dtype=np.int64) - cfg.n
+        check_anchor_bounds(buf0, base0, buf1, base1, window)
+        out = np.empty(base0.shape[0], dtype=np.int32)
+        for i in range(base0.shape[0]):
+            s0 = int(base0[i])
+            s1 = int(base1[i])
+            out[i] = ungapped_score_reference(
+                buf0[s0 : s0 + window],
+                buf1[s1 : s1 + window],
+                cfg.matrix,
+                cfg.semantics,
+            )
+        return out
+
+
+@register_backend(
+    "scalar",
+    description="pair-at-a-time Python loop over the hardware oracle",
+    score_dtype="python-int",
+    priority=10,
+    max_batch_pairs=1 << 12,
+)
+def make_scalar(config: UngappedConfig) -> ScalarKernel:
+    """Build the scalar oracle kernel."""
+    return ScalarKernel(config)

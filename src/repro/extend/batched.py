@@ -9,17 +9,27 @@ they came from.  This module is the software image of that stream:
 
 * :func:`iter_pair_batches` expands ``IL0[k] × IL1[k]`` cross products from
   *many* entries into flat anchor arrays, cut into batches bounded by a
-  pair budget (the analogue of filling the PE array's input FIFO);
-* :class:`BatchedUngappedEngine` drives those batches through
-  :func:`~repro.extend.ungapped.ungapped_scores_paired` — one running-max
-  scan over the whole batch — and concatenates the survivors in exactly the
-  order the per-key path would have emitted them.
+  pair budget (the analogue of filling the PE array's input FIFO).  Raw
+  index lists are accumulated and expanded once per batch with a handful of
+  vectorised passes; an entry larger than the budget is split lazily along
+  its ``offsets0`` rows (and along ``offsets1`` when a single row exceeds
+  the budget) without ever materialising its full cross product.
+* :class:`EntryBlock` is the flat CSR shard payload form
+  (:meth:`~repro.index.kmer.TwoBankIndex.shard_arrays`); the engine batches
+  it by ``searchsorted`` over cumulative pair counts — no per-entry Python
+  loop at all.
+* :class:`BatchedUngappedEngine` drives the batches through a scoring
+  kernel selected from the backend registry
+  (:mod:`repro.extend.backends`, ``config.backend``) and concatenates the
+  survivors in exactly the order the per-key path would have emitted them.
+  The engine owns batching, threshold filtering and emission order, so
+  every registered backend inherits the bit-identity guarantee
+  structurally.
 
 Degenerate cases are handled identically to the per-key path: an empty
-shared key set yields an empty, dtype-correct result; a single entry whose
-cross product exceeds the budget is split along its ``offsets0`` rows; an
-anchor whose window would leave the bank buffer raises ``IndexError`` (the
-same error :meth:`~repro.seqs.sequence.SequenceBank.windows` raises).
+shared key set yields an empty, dtype-correct result; an anchor whose
+window would leave the bank buffer raises ``IndexError`` (the same error
+:meth:`~repro.seqs.sequence.SequenceBank.windows` raises).
 """
 
 from __future__ import annotations
@@ -32,19 +42,51 @@ import numpy as np
 from ..analysis.contracts import contracted
 from ..index.kmer import TwoBankIndex
 from ..obs import metrics as obsmetrics
+from .backends import resolve_backend
 from .ungapped import (
     BankBuffer,
     UngappedConfig,
     UngappedHits,
     UngappedStats,
-    ungapped_scores_paired,
 )
 
-__all__ = ["BatchTelemetry", "BatchedUngappedEngine", "iter_pair_batches"]
+__all__ = [
+    "BatchTelemetry",
+    "BatchedUngappedEngine",
+    "EntryBlock",
+    "iter_pair_batches",
+]
 
 #: An entry's two index lists, as produced by ``TwoBankIndex.entries()`` or
 #: reconstructed from a shard payload: ``(offsets0, offsets1)``.
 EntryLists = tuple[np.ndarray, np.ndarray]
+
+
+@dataclass(frozen=True)
+class EntryBlock:
+    """A contiguous run of entries in flat CSR form (the shard payload).
+
+    ``counts0[i]``/``counts1[i]`` are entry *i*'s index-list lengths;
+    ``offsets0``/``offsets1`` are the concatenated lists.  Exactly the
+    tuple :meth:`~repro.index.kmer.TwoBankIndex.shard_arrays` returns, as
+    one object the engine can batch without re-segmenting per entry.
+    """
+
+    offsets0: np.ndarray
+    counts0: np.ndarray
+    offsets1: np.ndarray
+    counts1: np.ndarray
+
+    @property
+    def n_entries(self) -> int:
+        """Number of entries in the block."""
+        return int(self.counts0.shape[0])
+
+    def pair_counts(self) -> np.ndarray:
+        """K0×K1 per entry (int64)."""
+        return self.counts0.astype(np.int64, copy=False) * self.counts1.astype(
+            np.int64, copy=False
+        )
 
 
 @dataclass
@@ -53,6 +95,11 @@ class BatchTelemetry:
 
     batches: int = 0
     pair_counts: list[int] = field(default_factory=list)
+    #: Registry name of the kernel that scored the run ("" before any run).
+    backend: str = ""
+    #: Batches emitted by splitting an entry whose cross product exceeded
+    #: the pair budget (row slices and column slices both count).
+    oversized_splits: int = 0
 
     def note(self, pairs: int) -> None:
         """Record one kernel invocation of *pairs* pairs."""
@@ -72,28 +119,96 @@ class BatchTelemetry:
         return float(np.mean(self.pair_counts))
 
 
+def _expand_entries(
+    flat0: np.ndarray,
+    counts0: np.ndarray,
+    flat1: np.ndarray,
+    counts1: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Cross-product expansion of a run of entries, fully vectorised.
+
+    Emits the exact enumeration order of the per-key path — entries in
+    sequence, ``offsets0``-major within an entry — in a handful of numpy
+    passes over the output length instead of a Python loop per entry.
+    """
+    c0 = counts0.astype(np.int64, copy=False)
+    c1 = counts1.astype(np.int64, copy=False)
+    # Each bank-0 offset becomes K1 consecutive pairs (its entry's K1).
+    row_rep = np.repeat(c1, c0)
+    anchors0 = np.repeat(flat0, row_rep)
+    total = int(anchors0.shape[0])
+    # Position of each pair within its bank-0 row, then within flat1.
+    row_starts = np.concatenate(([0], np.cumsum(row_rep, dtype=np.int64)[:-1]))
+    pos = np.arange(total, dtype=np.int64) - np.repeat(row_starts, row_rep)
+    entry_starts1 = np.concatenate(([0], np.cumsum(c1, dtype=np.int64)[:-1]))
+    anchors1 = flat1[np.repeat(np.repeat(entry_starts1, c0), row_rep) + pos]
+    return anchors0, anchors1
+
+
+def _split_oversized(
+    off0: np.ndarray,
+    off1: np.ndarray,
+    budget: int,
+    telemetry: BatchTelemetry | None,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Slice one oversized entry's cross product lazily.
+
+    Rows of ``offsets0`` are grouped so each slice stays within *budget*
+    where ``K1`` permits; a single row wider than the budget is further
+    cut along ``offsets1`` into column slices, so no batch ever exceeds
+    the budget.  Only the slice being yielded is ever materialised.
+    """
+    k0 = int(off0.shape[0])
+    k1 = int(off1.shape[0])
+    if k1 > budget:
+        for i in range(k0):
+            for lo in range(0, k1, budget):
+                cols = off1[lo : lo + budget]
+                if telemetry is not None:
+                    telemetry.oversized_splits += 1
+                yield np.full(cols.shape[0], off0[i], dtype=np.int64), cols
+        return
+    rows = max(1, budget // k1)
+    for lo in range(0, k0, rows):
+        sl = off0[lo : lo + rows]
+        if telemetry is not None:
+            telemetry.oversized_splits += 1
+        yield np.repeat(sl, k1), np.tile(off1, sl.shape[0])
+
+
 def iter_pair_batches(
-    entries: Iterable[EntryLists], batch_pairs: int
+    entries: Iterable[EntryLists],
+    batch_pairs: int,
+    telemetry: BatchTelemetry | None = None,
 ) -> Iterator[tuple[np.ndarray, np.ndarray]]:
     """Yield flat ``(anchors0, anchors1)`` batches of ≤ *batch_pairs* pairs.
 
     Entries are consumed in order; each contributes its full ``K0 × K1``
     cross product in offsets0-major order, so the concatenation of all
-    batches enumerates pairs exactly as the per-key path does.  An entry
-    larger than the budget is emitted in row slices of ``offsets0`` (never
-    silently as one oversized batch), each slice at most *batch_pairs*
-    pairs where ``K1`` permits.
+    batches enumerates pairs exactly as the per-key path does.  Pending
+    entries are kept as raw index lists and expanded only when a batch
+    drains; an entry larger than the budget is emitted via
+    :func:`_split_oversized` (never silently as one oversized batch).
     """
     budget = max(1, int(batch_pairs))
-    acc0: list[np.ndarray] = []
-    acc1: list[np.ndarray] = []
+    pend0: list[np.ndarray] = []
+    pend1: list[np.ndarray] = []
+    pend_c0: list[int] = []
+    pend_c1: list[int] = []
     acc_pairs = 0
 
     def drain() -> tuple[np.ndarray, np.ndarray]:
         nonlocal acc_pairs
-        batch = np.concatenate(acc0), np.concatenate(acc1)
-        acc0.clear()
-        acc1.clear()
+        batch = _expand_entries(
+            np.concatenate(pend0),
+            np.array(pend_c0, dtype=np.int64),
+            np.concatenate(pend1),
+            np.array(pend_c1, dtype=np.int64),
+        )
+        pend0.clear()
+        pend1.clear()
+        pend_c0.clear()
+        pend_c1.clear()
         acc_pairs = 0
         return batch
 
@@ -103,48 +218,95 @@ def iter_pair_batches(
         if k0 == 0 or k1 == 0:
             continue
         if k0 * k1 > budget:
-            # Giant entry: flush what's pending, then slice its rows so no
-            # single kernel call exceeds the budget (one row minimum).
-            if acc0:
+            # Giant entry: flush what's pending, then slice it.
+            if pend0:
                 yield drain()
-            rows = max(1, budget // k1)
-            for lo in range(0, k0, rows):
-                sl = off0[lo : lo + rows]
-                yield np.repeat(sl, k1), np.tile(off1, sl.shape[0])
+            yield from _split_oversized(off0, off1, budget, telemetry)
             continue
-        acc0.append(np.repeat(off0, k1))
-        acc1.append(np.tile(off1, k0))
+        pend0.append(off0)
+        pend1.append(off1)
+        pend_c0.append(k0)
+        pend_c1.append(k1)
         acc_pairs += k0 * k1
         if acc_pairs >= budget:
             yield drain()
-    if acc0:
+    if pend0:
         yield drain()
+
+
+def _iter_block_batches(
+    block: EntryBlock,
+    batch_pairs: int,
+    telemetry: BatchTelemetry | None = None,
+) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+    """Batch an :class:`EntryBlock` with the same boundaries as the
+    accumulate-and-drain stream path.
+
+    Batch ends fall on the first entry where the running pair count
+    reaches the budget (found by ``searchsorted`` on the cumulative pair
+    counts), segmented around giant entries, which are sliced via
+    :func:`_split_oversized` exactly like the stream path.
+    """
+    budget = max(1, int(batch_pairs))
+    n = block.n_entries
+    if n == 0:
+        return
+    c0 = block.counts0.astype(np.int64, copy=False)
+    c1 = block.counts1.astype(np.int64, copy=False)
+    pc = c0 * c1
+    starts0 = np.concatenate(([0], np.cumsum(c0, dtype=np.int64)))
+    starts1 = np.concatenate(([0], np.cumsum(c1, dtype=np.int64)))
+    cum = np.cumsum(pc, dtype=np.int64)
+    giants = np.flatnonzero(pc > budget)
+    gi = 0
+    i = 0
+    while i < n:
+        if gi < giants.shape[0] and int(giants[gi]) == i:
+            off0 = block.offsets0[starts0[i] : starts0[i + 1]]
+            off1 = block.offsets1[starts1[i] : starts1[i + 1]]
+            yield from _split_oversized(off0, off1, budget, telemetry)
+            i += 1
+            gi += 1
+            continue
+        seg_end = int(giants[gi]) if gi < giants.shape[0] else n
+        base = int(cum[i - 1]) if i > 0 else 0
+        # First entry index at which the running count reaches the budget.
+        j = int(np.searchsorted(cum[i:seg_end], base + budget, side="left"))
+        end = i + j + 1 if i + j < seg_end else seg_end
+        if int(cum[end - 1]) - base > 0:
+            yield _expand_entries(
+                block.offsets0[starts0[i] : starts0[end]],
+                c0[i:end],
+                block.offsets1[starts1[i] : starts1[end]],
+                c1[i:end],
+            )
+        i = end
 
 
 class BatchedUngappedEngine:
     """Step-2 engine scoring many index entries per kernel invocation.
 
-    Produces bit-identical hits, scores and emission order to the per-key
-    path; :attr:`telemetry` records the batch shapes of the last run.
+    The inner scoring kernel is selected from the backend registry by
+    ``config.backend`` (``"auto"`` picks the best available; see
+    :mod:`repro.extend.backends`).  Every backend produces bit-identical
+    hits, scores and emission order to the per-key path — the registry's
+    accuracy gate enforces the scores, and the engine owns enumeration
+    order and threshold filtering.  :attr:`telemetry` records the batch
+    shapes and kernel of the last run.
     """
 
     def __init__(self, config: UngappedConfig | None = None) -> None:
         self.config = config or UngappedConfig()
-        #: Batch shapes of the most recent run.
+        #: Batch shapes and backend of the most recent run.
         self.telemetry = BatchTelemetry()
 
     def run(self, index: TwoBankIndex) -> UngappedHits:
         """Run step 2 over every shared entry of *index*."""
-        stats = UngappedStats()
-
-        def stream() -> Iterator[EntryLists]:
-            for entry in index.entries():
-                stats.entries += 1
-                stats.pairs += entry.pair_count
-                yield entry.offsets0, entry.offsets1
-
+        n = index.n_shared_keys
+        block = EntryBlock(*index.shard_arrays(0, n))
+        stats = UngappedStats(entries=n, pairs=index.total_pairs)
         return self.run_stream(
-            index.index0.bank.buffer, index.index1.bank.buffer, stream(), stats
+            index.index0.bank.buffer, index.index1.bank.buffer, block, stats
         )
 
     @contracted
@@ -152,48 +314,68 @@ class BatchedUngappedEngine:
         self,
         buf0: BankBuffer,
         buf1: BankBuffer,
-        entries: Iterable[EntryLists],
+        entries: Iterable[EntryLists] | EntryBlock,
         stats: UngappedStats | None = None,
     ) -> UngappedHits:
-        """Run step 2 over an explicit entry stream against raw bank buffers.
+        """Run step 2 over an entry stream or block against raw buffers.
 
-        The sharded executor calls this form in worker processes, where only
-        the shared-memory buffers and the shard's entry lists exist — no
+        The sharded executor calls this form in worker processes, where
+        only the shared-memory buffers and the shard's
+        :class:`EntryBlock` payload exist — no
         :class:`~repro.index.kmer.TwoBankIndex` is reconstructed.  When
         *stats* is None, entry/pair counts are accumulated here; callers
-        whose stream already counts them pass their own block.
+        whose counts are already known pass their own block.
         """
         cfg = self.config
-        self.telemetry = BatchTelemetry()
+        resolved = resolve_backend(cfg.backend, cfg)
+        self.telemetry = BatchTelemetry(backend=resolved.info.name)
         own_stats = stats is None
         if own_stats:
             stats = UngappedStats()
-
-            def counted() -> Iterator[EntryLists]:
-                for off0, off1 in entries:
-                    stats.entries += 1
-                    stats.pairs += int(off0.shape[0]) * int(off1.shape[0])
-                    yield off0, off1
-
-            source: Iterable[EntryLists] = counted()
+        budget = cfg.pair_chunk
+        if resolved.info.max_batch_pairs is not None:
+            budget = min(budget, resolved.info.max_batch_pairs)
+        if isinstance(entries, EntryBlock):
+            if own_stats:
+                stats.entries = entries.n_entries
+                stats.pairs = int(entries.pair_counts().sum())
+            batches: Iterator[tuple[np.ndarray, np.ndarray]] = (
+                _iter_block_batches(entries, budget, self.telemetry)
+            )
         else:
-            source = entries
+            source: Iterable[EntryLists] = entries
+            if own_stats:
+
+                def counted() -> Iterator[EntryLists]:
+                    for off0, off1 in entries:
+                        stats.entries += 1
+                        stats.pairs += int(off0.shape[0]) * int(off1.shape[0])
+                        yield off0, off1
+
+                source = counted()
+            batches = iter_pair_batches(source, budget, self.telemetry)
+        kernel = resolved.kernel
+        kernel.prepare(buf0, buf1)
         out0: list[np.ndarray] = []
         out1: list[np.ndarray] = []
         out_s: list[np.ndarray] = []
         # The registry (and histogram-family lookup) is resolved once per
-        # run, not per batch — the loop body is the step-2 hot path.
+        # run, not per batch — the loop body is the step-2 hot path.  The
+        # backend name rides as a metric label so per-backend batch-shape
+        # series stay separable after merging.
         registry = obsmetrics.active()
         batch_hist = (
-            registry.histogram("step2_batch_pairs") if registry is not None else None
+            registry.histogram("step2_batch_pairs", backend=resolved.info.name)
+            if registry is not None
+            else None
         )
-        for p0, p1 in iter_pair_batches(source, cfg.pair_chunk):
+        for p0, p1 in batches:
             self.telemetry.note(p0.shape[0])
             if batch_hist is not None:
                 batch_hist.observe(p0.shape[0])
-            scores = ungapped_scores_paired(
-                buf0, p0, buf1, p1, cfg.n, cfg.window, cfg.matrix, cfg.semantics
-            )
+            scores = kernel.score(p0, p1)
+            # Boolean selection copies, so a backend returning a scratch
+            # view stays safe past the next score() call.
             keep = scores >= cfg.threshold
             out0.append(p0[keep])
             out1.append(p1[keep])

@@ -214,6 +214,10 @@ class UngappedConfig:
         Recurrence variant; see :class:`ScoreSemantics`.
     pair_chunk:
         Upper bound on ``K0 × K1`` scored per kernel call (memory control).
+    backend:
+        Scoring-kernel registry name, or ``"auto"`` to pick the best
+        available (see :mod:`repro.extend.backends`).  Every backend is
+        bit-identical by construction, so this is purely a speed knob.
     """
 
     w: int = 4
@@ -222,6 +226,7 @@ class UngappedConfig:
     matrix: SubstitutionMatrix = BLOSUM62
     semantics: ScoreSemantics = ScoreSemantics.KADANE
     pair_chunk: int = 1 << 20
+    backend: str = "auto"
 
     @property
     def window(self) -> int:

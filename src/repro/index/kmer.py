@@ -177,6 +177,23 @@ class BankIndex:
         )
 
 
+def _gather_ranges(
+    values: np.ndarray, starts: np.ndarray, counts: np.ndarray
+) -> np.ndarray:
+    """Concatenate ``values[starts[i] : starts[i] + counts[i]]`` for all i.
+
+    The ranges-to-indices trick: each output position gets its source index
+    as ``repeat(starts - output_starts, counts) + arange(total)`` — a fixed
+    number of numpy passes regardless of how many ranges there are.
+    """
+    total = int(counts.sum())
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    out_starts = np.concatenate(([0], np.cumsum(counts, dtype=np.int64)[:-1]))
+    idx = np.repeat(starts - out_starts, counts) + np.arange(total, dtype=np.int64)
+    return values[idx]
+
+
 @dataclass(frozen=True)
 class SeedEntry:
     """One unit of step-2 work: a shared key with both index lists."""
@@ -277,12 +294,11 @@ class TwoBankIndex:
         i1 = self._i1[lo:hi]
         counts0 = self.index0.list_lengths()[i0]
         counts1 = self.index1.list_lengths()[i1]
-        empty = np.empty(0, dtype=np.int64)
-        offsets0 = (
-            np.concatenate([self.index0.slice(int(j)) for j in i0]) if i0.size else empty
+        offsets0 = _gather_ranges(
+            self.index0._offsets, self.index0._indptr[i0], counts0
         )
-        offsets1 = (
-            np.concatenate([self.index1.slice(int(j)) for j in i1]) if i1.size else empty
+        offsets1 = _gather_ranges(
+            self.index1._offsets, self.index1._indptr[i1], counts1
         )
         return offsets0, counts0, offsets1, counts1
 

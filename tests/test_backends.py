@@ -1,0 +1,207 @@
+"""Step-2 backend registry tests: metadata, resolution, bit-identity.
+
+Every registered backend must produce the same hits, the same scores and
+the same emission order as the per-key reference path — the registry's
+whole value is that ``--step2-backend`` is purely a speed knob.
+"""
+
+import numpy as np
+import pytest
+
+from repro.extend.backends import (
+    BackendInfo,
+    BackendUnavailable,
+    backend_names,
+    list_backends,
+    resolve_backend,
+)
+from repro.extend.backends.registry import register_backend, temporary_backend
+from repro.extend.batched import BatchedUngappedEngine
+from repro.extend.ungapped import (
+    ScoreSemantics,
+    UngappedConfig,
+    UngappedExtender,
+)
+from repro.index.kmer import ContiguousSeedModel, TwoBankIndex
+from repro.seqs.generate import random_protein_bank
+from repro.seqs.sequence import Sequence, SequenceBank
+
+ALL_BACKENDS = ("fused", "int16", "batched", "per_key", "scalar")
+
+
+def make_index(rng, n0=12, n1=16, mean=110, span=3):
+    b0 = random_protein_bank(rng, n0, mean_length=mean, name_prefix="q")
+    b1 = random_protein_bank(rng, n1, mean_length=mean, name_prefix="s")
+    return b0, b1, TwoBankIndex.build(b0, b1, ContiguousSeedModel(span))
+
+
+def assert_identical_hits(ref, got):
+    assert np.array_equal(ref.offsets0, got.offsets0)
+    assert np.array_equal(ref.offsets1, got.offsets1)
+    assert np.array_equal(ref.scores, got.scores)
+    assert got.offsets0.dtype == np.int64
+    assert got.scores.dtype == np.int32
+
+
+class TestRegistry:
+    def test_all_backends_registered(self):
+        assert set(ALL_BACKENDS) <= set(backend_names())
+
+    def test_priority_order(self):
+        infos = list_backends()
+        priorities = [b.priority for b in infos]
+        assert priorities == sorted(priorities, reverse=True)
+        assert infos[0].name == "fused"
+
+    def test_unknown_backend_raises(self):
+        cfg = UngappedConfig(w=3, n=4)
+        with pytest.raises(BackendUnavailable, match="unknown step-2 backend 'warp'"):
+            resolve_backend("warp", cfg)
+
+    def test_auto_resolves_to_highest_priority_available(self):
+        resolved = resolve_backend("auto", UngappedConfig(w=3, n=8))
+        assert resolved.info.name == "fused"
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend(
+                "batched", description="dup", score_dtype="int32", priority=1
+            )(lambda cfg: None)
+
+    def test_metadata_complete(self):
+        for info in list_backends():
+            assert info.description
+            assert info.score_dtype
+            assert info.max_batch_pairs is None or info.max_batch_pairs > 0
+
+
+class TestBitIdentity:
+    """Same hits, same scores, same order — every backend, both semantics."""
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    @pytest.mark.parametrize("semantics", list(ScoreSemantics))
+    def test_matches_per_key_reference(self, rng, backend, semantics):
+        _, _, idx = make_index(rng)
+        base = UngappedConfig(w=3, n=8, threshold=18, semantics=semantics)
+        ref = UngappedExtender(base).run_per_key(idx)
+        cfg = UngappedConfig(
+            w=3, n=8, threshold=18, semantics=semantics, backend=backend
+        )
+        engine = BatchedUngappedEngine(cfg)
+        got = engine.run(idx)
+        assert len(ref) > 0
+        assert_identical_hits(ref, got)
+        assert engine.telemetry.backend == backend
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_empty_shared_key_set(self, backend):
+        b0 = SequenceBank([Sequence.from_text("q", "AAAAAAAAAA")], pad=32)
+        b1 = SequenceBank([Sequence.from_text("s", "WWWWWWWWWW")], pad=32)
+        idx = TwoBankIndex.build(b0, b1, ContiguousSeedModel(4))
+        assert idx.n_shared_keys == 0
+        cfg = UngappedConfig(w=4, n=4, threshold=1, backend=backend)
+        hits = BatchedUngappedEngine(cfg).run(idx)
+        assert len(hits) == 0
+        assert hits.offsets0.dtype == np.int64
+        assert hits.scores.dtype == np.int32
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_single_oversized_entry(self, backend):
+        # One shared key, 12×12 = 144 pairs against a 10-pair budget: the
+        # giant-entry slicer feeds every backend identical sub-batches.
+        b0 = SequenceBank([Sequence.from_text("q", "MKVL" * 12)], pad=32)
+        b1 = SequenceBank([Sequence.from_text("s", "MKVL" * 12)], pad=32)
+        idx = TwoBankIndex.build(b0, b1, ContiguousSeedModel(4))
+        big = UngappedConfig(w=4, n=4, threshold=10)
+        tiny = UngappedConfig(w=4, n=4, threshold=10, pair_chunk=10,
+                              backend=backend)
+        ref = BatchedUngappedEngine(big).run(idx)
+        got = BatchedUngappedEngine(tiny).run(idx)
+        assert len(ref) > 0
+        assert_identical_hits(ref, got)
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_one_residue_windows(self, backend):
+        # w=1, n=0: the degenerate single-column window (window == 1).
+        rng = np.random.default_rng(5)
+        b0 = random_protein_bank(rng, 3, mean_length=30, name_prefix="q")
+        b1 = random_protein_bank(rng, 3, mean_length=30, name_prefix="s")
+        idx = TwoBankIndex.build(b0, b1, ContiguousSeedModel(1))
+        base = UngappedConfig(w=1, n=0, threshold=4)
+        ref = UngappedExtender(base).run_per_key(idx)
+        cfg = UngappedConfig(w=1, n=0, threshold=4, backend=backend)
+        got = BatchedUngappedEngine(cfg).run(idx)
+        assert len(ref) > 0
+        assert_identical_hits(ref, got)
+
+    @pytest.mark.parametrize("backend", ALL_BACKENDS)
+    def test_window_overrun_raises(self, backend):
+        # pad=2 < flank: every backend must reject the out-of-buffer
+        # window with the reference kernel's IndexError, not wrap around.
+        b0 = SequenceBank([Sequence.from_text("q", "MKVLAW")], pad=2)
+        b1 = SequenceBank([Sequence.from_text("s", "MKVLAW")], pad=2)
+        idx = TwoBankIndex.build(b0, b1, ContiguousSeedModel(4))
+        cfg = UngappedConfig(w=4, n=8, threshold=1, backend=backend)
+        with pytest.raises(IndexError, match="increase pad"):
+            BatchedUngappedEngine(cfg).run(idx)
+
+
+class TestAvailability:
+    def _failing_info(self, name, probe=None, factory=None):
+        return BackendInfo(
+            name=name,
+            description="test-only backend",
+            score_dtype="int32",
+            priority=99,  # above fused: auto must consider it first
+            max_batch_pairs=None,
+            factory=factory or (lambda cfg: (_ for _ in ()).throw(
+                RuntimeError("no device"))),
+            probe=probe,
+        )
+
+    def test_probe_failure_falls_back_under_auto(self):
+        info = self._failing_info(
+            "probefail", probe=lambda cfg: "hardware not present"
+        )
+        with temporary_backend(info):
+            resolved = resolve_backend("auto", UngappedConfig(w=3, n=8))
+            assert resolved.info.name == "fused"
+            with pytest.raises(BackendUnavailable, match="hardware not present"):
+                resolve_backend("probefail", UngappedConfig(w=3, n=8))
+
+    def test_factory_failure_falls_back_under_auto(self):
+        info = self._failing_info("bornbroken")
+        with temporary_backend(info):
+            resolved = resolve_backend("auto", UngappedConfig(w=3, n=8))
+            assert resolved.info.name == "fused"
+            with pytest.raises(BackendUnavailable, match="no device"):
+                resolve_backend("bornbroken", UngappedConfig(w=3, n=8))
+
+    def test_accuracy_gate_rejects_wrong_scores(self):
+        class WrongKernel:
+            def prepare(self, buf0, buf1):
+                pass
+
+            def score(self, anchors0, anchors1):
+                return np.zeros(anchors0.shape[0], dtype=np.int32)
+
+        info = self._failing_info("allzero", factory=lambda cfg: WrongKernel())
+        with temporary_backend(info):
+            resolved = resolve_backend("auto", UngappedConfig(w=3, n=8))
+            assert resolved.info.name == "fused"
+            with pytest.raises(BackendUnavailable, match="accuracy self-check"):
+                resolve_backend("allzero", UngappedConfig(w=3, n=8))
+
+    def test_int16_overflow_gate(self):
+        # window = 4 + 2*2000 large enough that |score| could exceed int16.
+        cfg = UngappedConfig(w=4, n=2000)
+        with pytest.raises(BackendUnavailable, match="int16"):
+            resolve_backend("int16", cfg)
+        # auto still works: fused scans in int32 at any window.
+        assert resolve_backend("auto", cfg).info.name == "fused"
+
+    def test_engine_run_with_explicit_bad_backend_raises(self, rng):
+        _, _, idx = make_index(rng, n0=4, n1=4)
+        cfg = UngappedConfig(w=3, n=8, backend="warp")
+        with pytest.raises(BackendUnavailable, match="unknown"):
+            BatchedUngappedEngine(cfg).run(idx)

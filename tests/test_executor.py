@@ -23,6 +23,10 @@ def workload():
 
 CFG = UngappedConfig(w=3, n=8, threshold=20)
 
+#: Test workloads are far below the small-workload floor; pool-behaviour
+#: tests disable the heuristic so they exercise real worker processes.
+POOL = {"min_pairs_per_shard": 0}
+
 
 class TestContiguousSplit:
     def test_ranges_cover_in_order(self, workload):
@@ -83,7 +87,7 @@ class TestShardedExecutor:
         b0, b1, idx = workload
         single = ShardedStep2Executor(CFG, workers=1).run(idx)
         for workers in (2, 3, 5):
-            sharded = ShardedStep2Executor(CFG, workers=workers).run(idx)
+            sharded = ShardedStep2Executor(CFG, workers=workers, **POOL).run(idx)
             assert np.array_equal(single.offsets0, sharded.offsets0), workers
             assert np.array_equal(single.offsets1, sharded.offsets1), workers
             assert np.array_equal(single.scores, sharded.scores), workers
@@ -103,13 +107,13 @@ class TestShardedExecutor:
     def test_stats_match_single_process(self, workload):
         _, _, idx = workload
         single = ShardedStep2Executor(CFG, workers=1).run(idx)
-        sharded = ShardedStep2Executor(CFG, workers=3).run(idx)
+        sharded = ShardedStep2Executor(CFG, workers=3, **POOL).run(idx)
         for field in ("entries", "pairs", "cells", "hits"):
             assert getattr(single.stats, field) == getattr(sharded.stats, field)
 
     def test_timings_recorded_per_shard(self, workload):
         _, _, idx = workload
-        ex = ShardedStep2Executor(CFG, workers=3)
+        ex = ShardedStep2Executor(CFG, workers=3, **POOL)
         hits = ex.run(idx)
         assert len(ex.last_timings) == 3
         assert [t.shard for t in ex.last_timings] == [0, 1, 2]
@@ -168,6 +172,81 @@ class TestShardedExecutor:
         assert all(t.entries > 0 for t in ex.last_timings)
 
 
+class TestSmallWorkloadHeuristic:
+    """BENCH_step2 2-worker regression fix: tiny workloads skip the pool."""
+
+    def test_small_workload_routes_to_local(self, workload):
+        _, _, idx = workload
+        assert idx.total_pairs < 1 << 18  # precondition for the default
+        ex = ShardedStep2Executor(CFG, workers=3)
+        hits = ex.run(idx)
+        ref = ShardedStep2Executor(CFG, workers=1).run(idx)
+        assert np.array_equal(ref.offsets0, hits.offsets0)
+        assert np.array_equal(ref.scores, hits.scores)
+        assert [t.via for t in ex.last_timings] == ["local"]
+        health = ex.last_health
+        assert health.shards == 1
+        assert health.small_workload_fallbacks == 1
+        assert health.healthy  # a sizing decision, not a fault
+        assert not health.degraded
+
+    def test_zero_disables_heuristic(self, workload):
+        _, _, idx = workload
+        ex = ShardedStep2Executor(CFG, workers=3, min_pairs_per_shard=0)
+        ex.run(idx)
+        assert all(t.via == "pool" for t in ex.last_timings)
+        assert ex.last_health.small_workload_fallbacks == 0
+
+    def test_tiny_floor_keeps_pool(self, workload):
+        _, _, idx = workload
+        ex = ShardedStep2Executor(CFG, workers=3, min_pairs_per_shard=1)
+        ex.run(idx)
+        assert all(t.via == "pool" for t in ex.last_timings)
+
+    def test_decision_reaches_metrics(self, workload):
+        from repro.obs.metrics import MetricsRegistry, activate
+
+        _, _, idx = workload
+        registry = MetricsRegistry()
+        with activate(registry):
+            ShardedStep2Executor(CFG, workers=3).run(idx)
+        counter = registry.counter(
+            "step2_supervisor_events_total", kind="small_workload_fallbacks"
+        )
+        assert counter.value == 1
+
+
+class TestBackendPlumbing:
+    def test_auto_is_resolved_eagerly(self):
+        ex = ShardedStep2Executor(UngappedConfig(w=3, n=8, backend="auto"))
+        assert ex.config.backend == "fused"
+
+    def test_unknown_backend_fails_at_construction(self):
+        from repro.extend.backends import BackendUnavailable
+
+        with pytest.raises(BackendUnavailable, match="unknown"):
+            ShardedStep2Executor(UngappedConfig(w=3, n=8, backend="warp"))
+
+    @pytest.mark.parametrize("backend", ["per_key", "int16"])
+    def test_workers_honor_parent_backend(self, workload, backend):
+        _, _, idx = workload
+        cfg = UngappedConfig(w=3, n=8, threshold=20, backend=backend)
+        ex = ShardedStep2Executor(cfg, workers=2, **POOL)
+        hits = ex.run(idx)
+        ref = ShardedStep2Executor(CFG, workers=1).run(idx)
+        assert np.array_equal(ref.offsets0, hits.offsets0)
+        assert np.array_equal(ref.offsets1, hits.offsets1)
+        assert np.array_equal(ref.scores, hits.scores)
+        assert [t.backend for t in ex.last_timings] == [backend, backend]
+        assert all(t.via == "pool" for t in ex.last_timings)
+
+    def test_local_timing_records_backend(self, workload):
+        _, _, idx = workload
+        ex = ShardedStep2Executor(CFG, workers=1)
+        ex.run(idx)
+        assert ex.last_timings[0].backend == "fused"
+
+
 class TestFaultInjection:
     """End-to-end chaos runs: real worker processes, injected faults.
 
@@ -205,7 +284,7 @@ class TestFaultInjection:
         ex = ShardedStep2Executor(
             CFG, workers=3,
             supervisor=SupervisorConfig(shard_timeout=2.0, max_retries=2),
-            fault_plan=plan,
+            fault_plan=plan, **POOL,
         )
         self.assert_bit_identical(baseline, ex.run(idx))
         health = ex.last_health
@@ -231,7 +310,7 @@ class TestFaultInjection:
             ),
             seed=5,
         )
-        ex = ShardedStep2Executor(CFG, workers=3, fault_plan=plan)
+        ex = ShardedStep2Executor(CFG, workers=3, fault_plan=plan, **POOL)
         self.assert_bit_identical(baseline, ex.run(idx))
         health = ex.last_health
         assert health.truncated == 1
@@ -252,7 +331,7 @@ class TestFaultInjection:
         ex = ShardedStep2Executor(
             CFG, workers=3,
             supervisor=SupervisorConfig(max_retries=1, backoff_base=0.001),
-            fault_plan=plan,
+            fault_plan=plan, **POOL,
         )
         self.assert_bit_identical(baseline, ex.run(idx))
         health = ex.last_health
@@ -279,7 +358,7 @@ class TestFaultInjection:
             CFG, workers=3,
             supervisor=SupervisorConfig(shard_timeout=1.0, max_retries=3,
                                         backoff_base=0.01),
-            fault_plan=plan,
+            fault_plan=plan, **POOL,
         )
         self.assert_bit_identical(baseline, ex.run(idx))
         assert ex.last_health.shards == 3
@@ -288,7 +367,7 @@ class TestFaultInjection:
         self, workload, baseline, monkeypatch
     ):
         _, _, idx = workload
-        ex = ShardedStep2Executor(CFG, workers=3)
+        ex = ShardedStep2Executor(CFG, workers=3, **POOL)
 
         def no_pool(index):
             raise OSError("no /dev/shm in this environment")
@@ -319,10 +398,10 @@ class TestFaultInjection:
 
         _, _, idx = workload
         plan = FaultPlan((FaultSpec(FaultKind.TRUNCATE, shard=1, attempt=0),))
-        faulted = ShardedStep2Executor(CFG, workers=3, fault_plan=plan)
+        faulted = ShardedStep2Executor(CFG, workers=3, fault_plan=plan, **POOL)
         faulted.run(idx)
         assert not faulted.last_health.healthy
-        clean = ShardedStep2Executor(CFG, workers=3)
+        clean = ShardedStep2Executor(CFG, workers=3, **POOL)
         clean.run(idx)
         assert clean.last_health.healthy
         assert clean.last_health.shards == 3
@@ -345,7 +424,7 @@ class TestPipelineIntegration:
     def test_profile_carries_shard_timings(self, workload):
         b0, b1, _ = workload
         cfg = PipelineConfig.exact_seed(3, flank=8, ungapped_threshold=20,
-                                        workers=2)
+                                        workers=2, min_pairs_per_shard=0)
         pipe = SeedComparisonPipeline(cfg)
         pipe.compare_banks(b0, b1)
         shards = pipe.profile.step2_shards
@@ -356,7 +435,7 @@ class TestPipelineIntegration:
     def test_profile_carries_run_health(self, workload):
         b0, b1, _ = workload
         cfg = PipelineConfig.exact_seed(3, flank=8, ungapped_threshold=20,
-                                        workers=2)
+                                        workers=2, min_pairs_per_shard=0)
         pipe = SeedComparisonPipeline(cfg)
         pipe.compare_banks(b0, b1)
         health = pipe.profile.run_health
@@ -368,7 +447,7 @@ class TestPipelineIntegration:
 
         b0, b1, _ = workload
         cfg = PipelineConfig.exact_seed(3, flank=8, ungapped_threshold=20,
-                                        workers=2)
+                                        workers=2, min_pairs_per_shard=0)
         search = BlastFamilySearch(cfg, seg=None)
         assert search.last_run_health.shards == 0  # nothing ran yet
         search.blastp(b0, b1)
@@ -390,7 +469,7 @@ class TestPipelineIntegration:
     def test_profile_merge_concatenates_shards(self, workload):
         b0, b1, _ = workload
         cfg = PipelineConfig.exact_seed(3, flank=8, ungapped_threshold=20,
-                                        workers=2)
+                                        workers=2, min_pairs_per_shard=0)
         p1 = SeedComparisonPipeline(cfg)
         p1.compare_banks(b0, b1)
         p2 = SeedComparisonPipeline(cfg)
@@ -464,7 +543,7 @@ class TestCli:
             [
                 "compare", str(qpath), str(gpath),
                 "--workers", "2", "--batch-pairs", "4096",
-                "--threshold", "30",
+                "--threshold", "30", "--min-pairs-per-shard", "0",
             ]
         )
         assert rc == 0
@@ -497,6 +576,7 @@ class TestCli:
                 "--workers", "2", "--threshold", "30",
                 "--shard-timeout", "30", "--max-retries", "3",
                 "--fault-plan", str(plan_path),
+                "--min-pairs-per-shard", "0",
             ]
         )
         assert rc == 0

@@ -109,7 +109,10 @@ class TestPipelineReport:
     def test_two_worker_run_yields_deep_valid_report(self, workload):
         b0, b1, _ = workload
         pipe = SeedComparisonPipeline(
-            PipelineConfig(seed_model=ContiguousSeedModel(3), workers=2)
+            PipelineConfig(
+                seed_model=ContiguousSeedModel(3), workers=2,
+                min_pairs_per_shard=0,
+            )
         )
         tracer = trace.Tracer(meta={"command": "test"})
         registry = obsmetrics.MetricsRegistry()
@@ -144,7 +147,7 @@ class TestPipelineReport:
         ex = ShardedStep2Executor(
             CFG, workers=2,
             supervisor=SupervisorConfig(shard_timeout=5.0, max_retries=2),
-            fault_plan=plan,
+            fault_plan=plan, min_pairs_per_shard=0,
         )
         tracer = trace.Tracer()
         with trace.activate(tracer), obsmetrics.activate(
