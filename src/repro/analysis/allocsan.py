@@ -1,0 +1,310 @@
+"""Runtime allocation sanitizer (``REPRO_ALLOCSAN=1``).
+
+The static RC201/RC203 rules prove the kernel *code* cannot allocate per
+batch; this module proves it about a *run*.  When enabled, tracemalloc
+deltas are recorded around each instrumented scope — one entry per kernel
+``score`` call site, plus the engine / merge / gapped-stage spans — into a
+JSON-able manifest:
+
+=============================  ========================================
+``kernel.<backend>.score``     per-batch kernel scoring (the zero-churn
+                               claim itself: steady-state growth ≈ 0)
+``step2.engine.run_stream``    the whole batched-engine sweep
+``step2.merge``                the executor's shard merge
+``step3.gapped``               gapped extension of the survivors
+=============================  ========================================
+
+Each scope accumulates ``calls`` (how many times it ran), ``alloc_bytes``
+(net traced-memory growth across all runs of the scope) and ``peak_bytes``
+(the largest single-run peak above the scope's entry point).  A committed
+*budget* manifest pins the expected numbers for the example workload;
+:func:`verify_pipeline_allocs` (the ``repro-check --verify-allocs`` mode)
+re-runs the pipeline under the recorder and diffs against the budget:
+call counts must match exactly (a drift means the batching changed) and
+byte counts may exceed the budget only by the tolerance factor plus a
+fixed slack (Python-version allocator noise).
+
+Nesting caveat: scopes nest (the engine span contains every kernel span),
+and ``tracemalloc.reset_peak`` is global, so an *outer* scope's
+``peak_bytes`` is measured from its last inner scope's exit rather than
+its own entry.  Net ``alloc_bytes`` is exact for every scope; treat peaks
+as per-leaf-scope numbers.
+
+Like the determinism sanitizer, all recording hooks are no-ops without an
+active recorder — one module-attribute check per scope when off — so the
+instrumented hot paths cost nothing in timed benchmark repetitions, which
+activate the recorder only for separate instrumented re-runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tracemalloc
+from collections.abc import Iterator
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "AllocsanRecorder",
+    "activate",
+    "active",
+    "allocsan_enabled",
+    "compare_budgets",
+    "ensure_recorder",
+    "load_budget",
+    "measure",
+    "verify_pipeline_allocs",
+    "write_budget",
+]
+
+#: Enables the sanitizer for plain pipeline runs (tests, production).
+ALLOCSAN_ENV = "REPRO_ALLOCSAN"
+#: Optional path the pipeline writes its manifest to after each run.
+ALLOCSAN_OUT_ENV = "REPRO_ALLOCSAN_OUT"
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+#: Manifest/budget schema version.
+_VERSION = 1
+
+#: A measured scope may exceed its budgeted bytes by this factor…
+TOLERANCE = 1.5
+#: …plus this absolute slack (allocator noise, interpreter version drift).
+SLACK_BYTES = 1 << 18
+
+
+def allocsan_enabled() -> bool:
+    """True when ``REPRO_ALLOCSAN`` asks for per-run allocation manifests."""
+    return os.environ.get(ALLOCSAN_ENV, "").strip().lower() in _TRUTHY
+
+
+class AllocsanRecorder:
+    """Accumulates one run's per-scope allocation counters."""
+
+    def __init__(self, meta: dict[str, Any] | None = None) -> None:
+        self.meta: dict[str, Any] = dict(meta or {})
+        self._scopes: dict[str, dict[str, int]] = {}
+        self._started_tracing = False
+
+    def note(self, scope: str, alloc_bytes: int, peak_bytes: int) -> None:
+        """Fold one scope execution into the counters."""
+        entry = self._scopes.setdefault(
+            scope, {"calls": 0, "alloc_bytes": 0, "peak_bytes": 0}
+        )
+        entry["calls"] += 1
+        entry["alloc_bytes"] += max(0, int(alloc_bytes))
+        entry["peak_bytes"] = max(entry["peak_bytes"], max(0, int(peak_bytes)))
+
+    def manifest(self) -> dict[str, Any]:
+        """The JSON-able manifest of everything recorded so far."""
+        return {
+            "version": _VERSION,
+            "meta": dict(self.meta),
+            "scopes": {k: dict(v) for k, v in sorted(self._scopes.items())},
+        }
+
+    def write(self, path: str | Path) -> None:
+        """Write the manifest as JSON to *path* (sorted, deterministic)."""
+        Path(path).write_text(
+            json.dumps(self.manifest(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+
+#: The recorder of the run in flight, or None — module state on purpose,
+#: mirroring the determinism sanitizer: scopes span pipeline, engine and
+#: executor without threading a recorder through every signature.
+#: Recording happens in the parent process only; pool workers run without
+#: an active recorder and their scopes are simply absent.
+_ACTIVE: AllocsanRecorder | None = None
+
+
+def active() -> AllocsanRecorder | None:
+    """The currently active recorder, if any."""
+    return _ACTIVE
+
+
+@contextmanager
+def activate(
+    recorder: AllocsanRecorder | None,
+) -> Iterator[AllocsanRecorder | None]:
+    """Make *recorder* current for the dynamic extent; ``None`` is a no-op.
+
+    Starts tracemalloc if it is not already tracing and stops it again on
+    exit in that case, so activation is hermetic.
+    """
+    global _ACTIVE
+    if recorder is None:
+        yield _ACTIVE
+        return
+    previous = _ACTIVE
+    _ACTIVE = recorder
+    started = False
+    if not tracemalloc.is_tracing():
+        tracemalloc.start()
+        started = True
+    try:
+        yield recorder
+    finally:
+        _ACTIVE = previous
+        if started:
+            tracemalloc.stop()
+
+
+@contextmanager
+def measure(scope: str) -> Iterator[None]:
+    """Record the traced-memory delta of the ``with`` body under *scope*.
+
+    No-op (one attribute check) when no recorder is active or tracemalloc
+    is not tracing.
+    """
+    recorder = _ACTIVE
+    if recorder is None or not tracemalloc.is_tracing():
+        yield
+        return
+    before, _ = tracemalloc.get_traced_memory()
+    tracemalloc.reset_peak()
+    try:
+        yield
+    finally:
+        after, peak = tracemalloc.get_traced_memory()
+        recorder.note(scope, after - before, peak - before)
+
+
+def maybe_write_manifest(recorder: AllocsanRecorder) -> Path | None:
+    """Write the manifest to ``$REPRO_ALLOCSAN_OUT`` if configured."""
+    out = os.environ.get(ALLOCSAN_OUT_ENV, "").strip()
+    if not out:
+        return None
+    path = Path(out)
+    recorder.write(path)
+    return path
+
+
+def ensure_recorder() -> tuple[AllocsanRecorder | None, bool]:
+    """Recorder for a pipeline run: ``(recorder, this_run_created_it)``.
+
+    An already-active recorder (a ``--verify-allocs`` harness) is reused;
+    otherwise a new one is created when ``REPRO_ALLOCSAN`` is set.
+    """
+    current = active()
+    if current is not None:
+        return current, False
+    if allocsan_enabled():
+        return AllocsanRecorder(), True
+    return None, False
+
+
+# -- budgets ------------------------------------------------------------
+
+def write_budget(manifest: dict[str, Any], path: str | Path) -> None:
+    """Commit *manifest* as the allocation budget (sorted, deterministic)."""
+    Path(path).write_text(
+        json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def load_budget(path: str | Path) -> dict[str, Any]:
+    """Load a committed budget manifest, checking its version."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    version = data.get("version")
+    if version != _VERSION:
+        raise ValueError(
+            f"allocation budget {path} has version {version!r}; "
+            f"this build expects {_VERSION}"
+        )
+    return dict(data)
+
+
+def compare_budgets(
+    measured: dict[str, Any],
+    budget: dict[str, Any],
+    tolerance: float = TOLERANCE,
+    slack_bytes: int = SLACK_BYTES,
+) -> list[str]:
+    """Problems a measured manifest has against the committed budget.
+
+    Call counts compare exactly (the example workload is deterministic, so
+    a drift means the batching itself changed); byte counters may exceed
+    the budget by ``tolerance × budget + slack`` before failing.  Scopes
+    present on only one side always fail — a vanished scope means the
+    instrumentation moved, a new one means the budget must be regenerated.
+    """
+    problems: list[str] = []
+    scopes_m: dict[str, Any] = measured.get("scopes", {})
+    scopes_b: dict[str, Any] = budget.get("scopes", {})
+    for name in sorted(set(scopes_m) | set(scopes_b)):
+        got, want = scopes_m.get(name), scopes_b.get(name)
+        if want is None:
+            problems.append(
+                f"{name}: scope not in the committed budget — regenerate "
+                "the budget if this instrumentation point is intended"
+            )
+            continue
+        if got is None:
+            problems.append(
+                f"{name}: budgeted scope never ran — instrumentation "
+                "removed or the workload no longer reaches it"
+            )
+            continue
+        if int(got["calls"]) != int(want["calls"]):
+            problems.append(
+                f"{name}: ran {got['calls']} times, budget says "
+                f"{want['calls']} — batching behaviour drifted"
+            )
+        for key in ("alloc_bytes", "peak_bytes"):
+            limit = int(int(want[key]) * tolerance) + slack_bytes
+            if int(got[key]) > limit:
+                problems.append(
+                    f"{name}: {key} {got[key]} exceeds budget "
+                    f"{want[key]} (limit {limit})"
+                )
+    return problems
+
+
+def verify_pipeline_allocs(
+    queries_path: str,
+    genome_path: str,
+    budget_path: str | Path,
+    workers: int = 2,
+    threshold: int = 45,
+    flank: int = 12,
+    update: bool = False,
+) -> tuple[bool, dict[str, Any], list[str]]:
+    """Run the pipeline under the recorder and diff against the budget.
+
+    With ``update=True`` the measured manifest replaces the committed
+    budget instead of being compared to it (always "ok").  Returns
+    ``(ok, measured manifest, problem lines)``.
+    """
+    # Imported lazily for the same reason as the determinism verifier:
+    # repro.core records into this module, so a top-level import of the
+    # pipeline here would be circular.
+    from ..core.config import PipelineConfig
+    from ..core.pipeline import SeedComparisonPipeline
+    from ..seqs.alphabet import DNA
+    from ..seqs.fasta import load_bank, read_fasta
+
+    queries = load_bank(queries_path)
+    genome = next(iter(read_fasta(genome_path, DNA)))
+    recorder = AllocsanRecorder(
+        meta={
+            "workers": int(workers),
+            "queries": os.path.basename(queries_path),
+            "genome": os.path.basename(genome_path),
+        }
+    )
+    config = PipelineConfig(
+        workers=int(workers), ungapped_threshold=threshold, flank=flank
+    )
+    with activate(recorder):
+        SeedComparisonPipeline(config).compare_with_genome(queries, genome)
+    manifest = recorder.manifest()
+    if update:
+        write_budget(manifest, budget_path)
+        return True, manifest, []
+    budget = load_budget(budget_path)
+    problems = compare_budgets(manifest, budget)
+    return not problems, manifest, problems

@@ -23,7 +23,13 @@ from pathlib import Path, PurePosixPath
 
 from .rules import Violation
 
-__all__ = ["Baseline", "load_baseline", "write_baseline", "baseline_key"]
+__all__ = [
+    "Baseline",
+    "baseline_key",
+    "load_baseline",
+    "prune_baseline",
+    "write_baseline",
+]
 
 #: Baseline schema version, bumped on incompatible format changes.
 _VERSION = 1
@@ -55,6 +61,8 @@ class Baseline:
     entries: Counter[BaselineKey] = field(default_factory=Counter)
     #: Keys that matched at least one violation during :meth:`filter`.
     matched: set[BaselineKey] = field(default_factory=set)
+    #: How many violations each key actually absorbed — the pruned counts.
+    matched_counts: Counter[BaselineKey] = field(default_factory=Counter)
 
     def filter(self, violations: list[Violation]) -> tuple[list[Violation], int]:
         """Split violations into (kept, suppressed-count).
@@ -82,6 +90,7 @@ class Baseline:
                 budget[hit] -= 1
                 suppressed += 1
                 self.matched.add(hit)
+                self.matched_counts[hit] += 1
             else:
                 kept.append(violation)
         return kept, suppressed
@@ -119,3 +128,25 @@ def write_baseline(violations: list[Violation], path: str | Path) -> int:
         json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8"
     )
     return len(entries)
+
+
+def prune_baseline(baseline: Baseline, path: str | Path) -> tuple[int, int]:
+    """Rewrite *path* keeping only the entries the last check run matched.
+
+    Each kept entry's count is lowered to the number of violations it
+    actually absorbed, so paid-down debt shrinks the file instead of
+    lingering as stale headroom.  Output ordering matches
+    :func:`write_baseline` (sorted by rule, path, message), so pruning an
+    already-tight baseline is byte-identical a no-op.  Returns
+    ``(entries kept, entries dropped)``.
+    """
+    kept = [
+        {"rule": rule, "path": rel, "message": message, "count": count}
+        for (rule, rel, message), count in sorted(baseline.matched_counts.items())
+        if count > 0
+    ]
+    payload = {"version": _VERSION, "entries": kept}
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+    )
+    return len(kept), len(baseline.entries) - len(kept)

@@ -26,8 +26,10 @@ import re
 from collections.abc import Iterable, Iterator, Sequence
 from pathlib import Path
 
-# Importing ``concurrency`` registers the RC1xx project rules.
+# Importing ``concurrency`` / ``kernels`` registers the RC1xx concurrency
+# and RC2xx kernel-dtype project rules respectively.
 from . import concurrency  # noqa: F401  (import-for-registration)
+from . import kernels  # noqa: F401  (import-for-registration)
 from .baseline import Baseline
 from .flows import ProjectAnalyses
 from .graph import ProjectGraph

@@ -13,9 +13,18 @@ Usage::
     repro-check --verify-determinism Q.fasta G.fasta --workers 1,2
                                      # run the pipeline per worker count
                                      # and diff the detsan manifests
+    repro-check --verify-allocs Q.fasta G.fasta --workers 2
+                                     # run the pipeline under the
+                                     # allocation sanitizer and diff the
+                                     # manifest against the committed
+                                     # allocsan-budget.json
+    repro-check --baseline FILE --prune-baseline src tests
+                                     # drop baseline entries the run no
+                                     # longer needs
 
 Exit codes: ``0`` clean, ``1`` violations (or unparsable files, or a
-determinism diff) found, ``2`` usage error (argparse, missing paths).
+determinism/allocation diff) found, ``2`` usage error (argparse, missing
+paths).
 Output is one ``path:line:col: RC00X message`` line per finding,
 deterministic across runs.
 """
@@ -27,7 +36,7 @@ import sys
 from collections.abc import Sequence
 from pathlib import Path
 
-from .baseline import Baseline, load_baseline, write_baseline
+from .baseline import Baseline, load_baseline, prune_baseline, write_baseline
 from .checker import CheckResult, check_paths, iter_rendered
 from .rules import REGISTRY, Violation
 
@@ -69,6 +78,12 @@ def build_parser() -> argparse.ArgumentParser:
         "and exit 0",
     )
     p.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help="after checking, rewrite the --baseline file keeping only "
+        "the entries this run still needed (stale debt is dropped)",
+    )
+    p.add_argument(
         "--github",
         action="store_true",
         help="additionally emit GitHub Actions ::error annotations",
@@ -81,11 +96,32 @@ def build_parser() -> argparse.ArgumentParser:
         "once per worker count and diff the determinism manifests",
     )
     p.add_argument(
+        "--verify-allocs",
+        nargs=2,
+        metavar=("QUERIES", "GENOME"),
+        help="instead of linting: run the pipeline on this FASTA pair "
+        "under the allocation sanitizer and diff the per-scope "
+        "allocation manifest against the committed budget",
+    )
+    p.add_argument(
+        "--allocs-budget",
+        default="allocsan-budget.json",
+        metavar="FILE",
+        help="budget file --verify-allocs compares against "
+        "(default: allocsan-budget.json)",
+    )
+    p.add_argument(
+        "--update-allocs-budget",
+        action="store_true",
+        help="with --verify-allocs: write the measured manifest as the "
+        "new budget instead of comparing",
+    )
+    p.add_argument(
         "--workers",
         default="1,2",
         metavar="N,M,...",
-        help="worker counts exercised by --verify-determinism "
-        "(default: 1,2)",
+        help="worker counts exercised by --verify-determinism; "
+        "--verify-allocs uses the highest count given (default: 1,2)",
     )
     p.add_argument(
         "-q",
@@ -170,6 +206,52 @@ def _run_verify(
     return 1
 
 
+def _run_verify_allocs(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    """``--verify-allocs`` mode: one recorded run, budget diff."""
+    # Lazy import: the lint path must not pull in numpy + the pipeline.
+    from .allocsan import verify_pipeline_allocs
+
+    queries, genome = args.verify_allocs
+    for path in (queries, genome):
+        if not Path(path).exists():
+            parser.error(f"no such file: {path}")
+    workers = max(_parse_workers(args.workers, parser))
+    budget_path = Path(args.allocs_budget)
+    if not args.update_allocs_budget and not budget_path.exists():
+        parser.error(
+            f"allocation budget not found: {budget_path} "
+            "(generate one with --update-allocs-budget)"
+        )
+    ok, manifest, problems = verify_pipeline_allocs(
+        queries,
+        genome,
+        budget_path,
+        workers=workers,
+        update=args.update_allocs_budget,
+    )
+    if not args.quiet:
+        for name, scope in manifest["scopes"].items():
+            print(
+                f"workers={workers} {name}: calls={scope['calls']} "
+                f"alloc={scope['alloc_bytes']}B peak={scope['peak_bytes']}B"
+            )
+    if args.update_allocs_budget:
+        print(f"repro-check: wrote allocation budget to {budget_path}")
+        return 0
+    if ok:
+        print(
+            f"repro-check: allocation budget verified against {budget_path}"
+        )
+        return 0
+    for line in problems:
+        print(f"allocation budget: {line}")
+        if args.github:
+            print(f"::error title=repro-check allocs::{line}")
+    return 1
+
+
 def _load_baseline_arg(
     path: str, parser: argparse.ArgumentParser
 ) -> Baseline:
@@ -210,8 +292,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         return 0
     if args.verify_determinism:
         return _run_verify(args, parser)
+    if args.verify_allocs:
+        return _run_verify_allocs(args, parser)
     if not args.paths:
         parser.error("no paths given (try `repro-check src tests`)")
+    if args.prune_baseline and not args.baseline:
+        parser.error("--prune-baseline requires --baseline FILE")
     select = _validate_select(args.select, parser) if args.select else None
     baseline = (
         _load_baseline_arg(args.baseline, parser) if args.baseline else None
@@ -227,6 +313,13 @@ def main(argv: Sequence[str] | None = None) -> int:
             f"{'y' if n == 1 else 'ies'} to {args.write_baseline}"
         )
         return 0
+    if args.prune_baseline:
+        assert baseline is not None
+        kept, dropped = prune_baseline(baseline, args.baseline)
+        print(
+            f"repro-check: pruned baseline {args.baseline}: "
+            f"{kept} kept, {dropped} dropped"
+        )
     for line in iter_rendered(result):
         print(line)
     if args.github:

@@ -33,8 +33,12 @@ from __future__ import annotations
 import ast
 from collections.abc import Callable, Iterator
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from .graph import CallSite, FunctionInfo, ProjectGraph, dotted_name
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard for annotations
+    from .dtypes import DtypeAnalysis
 
 __all__ = [
     "Taint",
@@ -161,7 +165,9 @@ class FunctionFlow:
         """Taints carried by one expression under the current environment."""
         if node is None:
             return frozenset()
-        if isinstance(node, (ast.Set, ast.SetComp)):
+        if isinstance(node, ast.Set):
+            return frozenset({_UNORDERED_SET})
+        if isinstance(node, ast.SetComp):
             self._scan_comprehension(node)
             return frozenset({_UNORDERED_SET})
         if isinstance(node, ast.Call):
@@ -423,6 +429,7 @@ class ProjectAnalyses:
         self.graph = graph
         self._flow: FlowAnalysis | None = None
         self._release: ReleaseAnalysis | None = None
+        self._dtypes: DtypeAnalysis | None = None
 
     @property
     def flow(self) -> FlowAnalysis:
@@ -437,3 +444,12 @@ class ProjectAnalyses:
         if self._release is None:
             self._release = ReleaseAnalysis(self.graph)
         return self._release
+
+    @property
+    def dtypes(self) -> DtypeAnalysis:
+        """The (cached) dtype/value-range fixpoint (RC2xx substrate)."""
+        if self._dtypes is None:
+            from .dtypes import DtypeAnalysis
+
+            self._dtypes = DtypeAnalysis(self.graph)
+        return self._dtypes

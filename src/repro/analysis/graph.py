@@ -36,6 +36,7 @@ from .rules import FileContext
 
 __all__ = [
     "CallSite",
+    "DecoratorInfo",
     "FunctionInfo",
     "ModuleInfo",
     "ProjectGraph",
@@ -85,6 +86,27 @@ class CallSite:
     callee: str | None
 
 
+@dataclass(frozen=True)
+class DecoratorInfo:
+    """One decorator on a function, with its resolution.
+
+    ``call`` is the ``ast.Call`` node for parameterised decorators
+    (``@register_backend("fused", ...)``) and ``None`` for bare ones.
+    ``raw`` is the decorator's dotted name after import expansion;
+    ``target`` the project function it resolves to, when any.
+    """
+
+    node: ast.expr
+    call: ast.Call | None
+    raw: str | None
+    target: str | None
+
+    @property
+    def leaf(self) -> str | None:
+        """Last dotted component of the decorator name."""
+        return self.raw.rpartition(".")[2] if self.raw else None
+
+
 @dataclass
 class FunctionInfo:
     """One function or method of the project."""
@@ -95,6 +117,7 @@ class FunctionInfo:
     class_name: str | None
     node: ast.FunctionDef | ast.AsyncFunctionDef
     calls: list[CallSite] = field(default_factory=list)
+    decorators: list[DecoratorInfo] = field(default_factory=list)
 
     @property
     def name(self) -> str:
@@ -121,13 +144,20 @@ class ModuleInfo:
     classes: dict[str, dict[str, str]] = field(default_factory=dict)
 
 
-def _resolve_relative(module: str, level: int, target: str | None) -> str:
+def _resolve_relative(
+    module: str, level: int, target: str | None, *, is_package: bool = False
+) -> str:
     """Absolute dotted base of a ``from ... import`` with *level* leading dots.
 
     Relative imports are resolved against the importing module's package
     (``repro.core.executor`` importing ``from .partition`` → the base is
-    ``repro.core.partition``).
+    ``repro.core.partition``).  For a package ``__init__`` the module name
+    *is* the package, so one less component is stripped
+    (``repro.extend.backends`` importing ``from .registry`` → the base is
+    ``repro.extend.backends.registry``, not ``repro.extend.registry``).
     """
+    if is_package:
+        level -= 1
     parts = module.split(".")
     base = parts[: len(parts) - level] if level <= len(parts) else []
     if target:
@@ -141,6 +171,14 @@ class ProjectGraph:
     def __init__(self) -> None:
         self.modules: dict[str, ModuleInfo] = {}
         self.functions: dict[str, FunctionInfo] = {}
+        #: Synthetic call edges (caller qualname → callee qualnames) added
+        #: for registry-style dynamic dispatch the resolver cannot see.
+        self.extra_edges: dict[str, set[str]] = {}
+        #: ``@register_backend``-decorated factory qualname → the method
+        #: table of the kernel class its return statement constructs.
+        self.backend_factories: dict[str, dict[str, str]] = {}
+        #: Factory qualname → kernel class qualified prefix (``module.Class``).
+        self.backend_kernel_of: dict[str, str | None] = {}
 
     # -- construction --------------------------------------------------
     @classmethod
@@ -158,6 +196,7 @@ class ProjectGraph:
             graph._register_module(ctx)
         for ctx in package:
             graph._collect_functions(ctx)
+        graph._link_backend_dispatch()
         return graph
 
     def _register_module(self, ctx: FileContext) -> None:
@@ -170,8 +209,11 @@ class ProjectGraph:
                     target = alias.name if alias.asname else alias.name.split(".")[0]
                     mod.imports[local] = target
             elif isinstance(node, ast.ImportFrom):
+                is_package = ctx.package_rel.endswith("__init__.py")
                 base = (
-                    _resolve_relative(mod.name, node.level, node.module)
+                    _resolve_relative(
+                        mod.name, node.level, node.module, is_package=is_package
+                    )
                     if node.level
                     else (node.module or "")
                 )
@@ -209,11 +251,16 @@ class ProjectGraph:
                         class_name=class_name,
                         node=stmt,
                     )
+                    local_types = self._local_instance_types(mod, stmt)
                     for call in (
                         n for n in ast.walk(stmt) if isinstance(n, ast.Call)
                     ):
                         info.calls.append(
-                            self.resolve_call(mod, class_name, call)
+                            self.resolve_call(mod, class_name, call, local_types)
+                        )
+                    for deco in stmt.decorator_list:
+                        info.decorators.append(
+                            self._resolve_decorator(mod, deco)
                         )
                     self.functions[info.qualname] = info
                     # Nested defs are rare; their calls are attributed to
@@ -222,9 +269,74 @@ class ProjectGraph:
 
         collect(ctx.tree.body, None)
 
+    def _local_instance_types(
+        self, mod: ModuleInfo, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> dict[str, str]:
+        """Map local names to class prefixes for ``x = ClassName(...)`` binds.
+
+        Only single-target assignments from a direct constructor call are
+        typed; anything reassigned to a non-constructor later drops back to
+        untyped (conservative: last writer wins, unknown wins ties).
+        """
+        types: dict[str, str] = {}
+        for node in ast.walk(func):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+            ):
+                name = node.targets[0].id
+                cls_prefix = (
+                    self._class_prefix_of(mod, dotted_name(node.value.func))
+                    if isinstance(node.value, ast.Call)
+                    else None
+                )
+                if cls_prefix is not None:
+                    types[name] = cls_prefix
+                else:
+                    types.pop(name, None)
+        return types
+
+    def _class_prefix_of(self, mod: ModuleInfo, raw: str | None) -> str | None:
+        """``module.Class`` prefix a dotted constructor name denotes, if any."""
+        if raw is None:
+            return None
+        head, _, rest = raw.partition(".")
+        if not rest and raw in mod.classes:
+            return f"{mod.name}.{raw}"
+        expanded = raw
+        if head in mod.imports:
+            expanded = mod.imports[head] + ("." + rest if rest else "")
+        expanded = self._chase_reexports(expanded)
+        scope, _, leaf = expanded.rpartition(".")
+        owner = self.modules.get(scope)
+        if owner is not None and leaf in owner.classes:
+            return f"{scope}.{leaf}"
+        return None
+
+    def _resolve_decorator(self, mod: ModuleInfo, deco: ast.expr) -> DecoratorInfo:
+        """Resolve one decorator expression against the module tables."""
+        call = deco if isinstance(deco, ast.Call) else None
+        func_expr = deco.func if isinstance(deco, ast.Call) else deco
+        raw = dotted_name(func_expr)
+        if raw is None:
+            return DecoratorInfo(node=deco, call=call, raw=None, target=None)
+        head, _, rest = raw.partition(".")
+        expanded = raw
+        if head in mod.imports:
+            expanded = mod.imports[head] + ("." + rest if rest else "")
+        target = self._project_function(expanded)
+        if target is None and not rest and raw in mod.functions:
+            target = mod.functions[raw]
+        return DecoratorInfo(node=deco, call=call, raw=expanded, target=target)
+
     # -- resolution ----------------------------------------------------
     def resolve_call(
-        self, mod: ModuleInfo, class_name: str | None, node: ast.Call
+        self,
+        mod: ModuleInfo,
+        class_name: str | None,
+        node: ast.Call,
+        local_types: dict[str, str] | None = None,
     ) -> CallSite:
         """Resolve one call site against the module's name tables."""
         raw = dotted_name(node.func)
@@ -235,6 +347,11 @@ class ProjectGraph:
         if head in ("self", "cls") and class_name is not None and rest:
             method = rest.split(".")[0]
             qual = self.modules[mod.name].classes.get(class_name, {}).get(method)
+            return CallSite(node=node, raw=raw, callee=qual)
+        # x.method() on a locally constructed instance (x = ClassName(...)).
+        if local_types and head in local_types and rest:
+            method = rest.split(".")[0]
+            qual = self._project_function(f"{local_types[head]}.{method}")
             return CallSite(node=node, raw=raw, callee=qual)
         expanded = raw
         if head in mod.imports:
@@ -247,13 +364,35 @@ class ProjectGraph:
                 callee = mod.classes[raw].get("__init__")
         return CallSite(node=node, raw=expanded, callee=callee)
 
+    def _chase_reexports(self, qualified: str, depth: int = 0) -> str:
+        """Follow re-export chains to the defining module.
+
+        ``from .registry import resolve_backend`` in a package ``__init__``
+        makes ``repro.extend.backends.resolve_backend`` a valid qualified
+        name whose definition lives in ``repro.extend.backends.registry``;
+        callers resolve through the package boundary by following the
+        importing module's own import table.  Bounded depth guards against
+        pathological import cycles.
+        """
+        if depth >= 8:
+            return qualified
+        scope, _, leaf = qualified.rpartition(".")
+        mod = self.modules.get(scope)
+        if mod is None or leaf in mod.functions or leaf in mod.classes:
+            return qualified
+        if leaf in mod.imports and mod.imports[leaf] != qualified:
+            return self._chase_reexports(mod.imports[leaf], depth + 1)
+        return qualified
+
     def _project_function(self, qualified: str) -> str | None:
         """Qualified dotted name → project function qualname, if defined.
 
         Resolved against the pass-one registration tables (never
         ``self.functions``, which is still filling during pass two), so
         cross-module edges resolve regardless of file collection order.
+        Re-exported names are chased to their defining module first.
         """
+        qualified = self._chase_reexports(qualified)
         scope, _, leaf = qualified.rpartition(".")
         mod = self.modules.get(scope)
         if mod is not None:
@@ -263,21 +402,83 @@ class ProjectGraph:
             if leaf in mod.classes:
                 return mod.classes[leaf].get("__init__")
         # ``module.ClassName.method`` — one level deeper.
+        scope = self._chase_reexports(scope)
         mod_name, _, cls = scope.rpartition(".")
         outer = self.modules.get(mod_name)
         if outer is not None and cls in outer.classes:
             return outer.classes[cls].get(leaf)
         return None
 
+    # -- registry dispatch ---------------------------------------------
+    def _link_backend_dispatch(self) -> None:
+        """Add synthetic call edges for the backend-registry indirection.
+
+        ``resolve_backend`` invokes ``info.factory(config)`` where
+        ``factory`` was captured by a ``@register_backend`` decorator, and
+        the batched engine then calls ``kernel.score`` / ``kernel.prepare``
+        on whatever kernel object the factory returned.  Neither hop is a
+        static call the resolver can pin, so reachability rules would stop
+        at the registry without these edges: every unresolved
+        ``*.factory(...)`` inside ``extend/`` fans out to all registered
+        factories, and every unresolved ``*.score`` / ``*.prepare`` there
+        fans out to the matching methods of every kernel class a factory
+        constructs (over-approximate by design — reachability rules only
+        need a superset of the true edges).
+        """
+        for info in self.functions.values():
+            if not any(d.leaf == "register_backend" for d in info.decorators):
+                continue
+            kernel = self._factory_kernel_class(info)
+            methods: dict[str, str] = {}
+            if kernel is not None:
+                scope, _, cls = kernel.rpartition(".")
+                owner = self.modules.get(scope)
+                if owner is not None:
+                    methods = owner.classes.get(cls, {})
+            self.backend_factories[info.qualname] = methods
+            self.backend_kernel_of[info.qualname] = kernel
+        if not self.backend_factories:
+            return
+        kernel_methods: dict[str, set[str]] = {}
+        for methods in self.backend_factories.values():
+            for name, qual in methods.items():
+                kernel_methods.setdefault(name, set()).add(qual)
+        for info in self.functions.values():
+            if not info.package_rel.startswith("extend/"):
+                continue
+            for site in info.calls:
+                if site.callee is not None or site.raw is None:
+                    continue
+                leaf = site.raw.rpartition(".")[2]
+                if leaf == "factory":
+                    self.extra_edges.setdefault(info.qualname, set()).update(
+                        self.backend_factories
+                    )
+                elif leaf in ("score", "prepare") and leaf in kernel_methods:
+                    self.extra_edges.setdefault(info.qualname, set()).update(
+                        kernel_methods[leaf]
+                    )
+
+    def _factory_kernel_class(self, info: FunctionInfo) -> str | None:
+        """Class prefix of the kernel a factory's return statements build."""
+        mod = self.modules[info.module]
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Return) and isinstance(node.value, ast.Call):
+                prefix = self._class_prefix_of(mod, dotted_name(node.value.func))
+                if prefix is not None:
+                    return prefix
+        return None
+
     # -- graph queries -------------------------------------------------
     def callees(self, qualname: str) -> Iterator[str]:
-        """Resolved project callees of one function."""
+        """Resolved project callees of one function (synthetic edges too)."""
         info = self.functions.get(qualname)
         if info is None:
             return
         for site in info.calls:
             if site.callee is not None:
                 yield site.callee
+        yield from sorted(self.extra_edges.get(qualname, ()))
 
     def reachable_from(self, seeds: Iterable[str]) -> set[str]:
         """All project functions reachable from *seeds* via call edges."""

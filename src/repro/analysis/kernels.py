@@ -1,0 +1,729 @@
+"""RC2xx — kernel dtype & allocation rules for the step-2 backends.
+
+The step-2 scoring kernels imitate the paper's processing elements:
+fixed-width integer accumulators and zero per-pair buffer churn.  The
+registry enforces both *at runtime* (the ``int16`` probe, the bit-identity
+self-check); this module enforces them *statically*, on every tree state
+CI sees, using the :mod:`repro.analysis.dtypes` abstract domain over the
+:class:`~repro.analysis.graph.ProjectGraph`:
+
+* **RC200** — accumulator overflow: a backend declaring an integer
+  ``score_dtype`` must provably hold ``window × max|score|`` at the
+  default configuration, and narrow (< 32-bit) dtypes must also register
+  a config-time ``probe`` so non-default windows are refused rather than
+  silently wrapped.
+* **RC201** — hidden copies on the per-batch path: fancy indexing,
+  ``astype`` without ``copy=False``, ``flatten()``, and concatenating
+  constructors inside functions reachable from a kernel ``score`` entry
+  point.  Setup code (``__init__``, ``prepare``, factories) is exempt —
+  the kernel protocol allows allocation there.
+* **RC202** — silent dtype promotion: arithmetic mixing two known,
+  different array dtypes without ``out=``/``dtype=``/``casting=``, or a
+  narrow-dtype array combined with a constant beyond its bounds.
+* **RC203** — per-batch allocation: ``np.empty``/``zeros``/… into a local
+  variable inside a loop body or inside any function the engine's batch
+  loop calls per batch; scratch stored on ``self`` (monotone growth) is
+  the sanctioned pattern and is exempt.
+* **RC204** — backend-contract conformance: the accumulator dtype a
+  kernel's body actually uses must match the ``score_dtype`` its
+  ``@register_backend`` decorator declares, and a kernel that
+  materialises per-pair window matrices must declare a
+  ``max_batch_pairs`` cap.
+
+All rules follow the house conservatism: no information ⇒ no finding.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass
+from pathlib import Path
+
+from .dtypes import (
+    AbstractValue,
+    Env,
+    Evaluator,
+    call_arg_env,
+    class_attr_env,
+    default_window,
+    dtype_bounds,
+    interpret,
+    matrix_score_bound,
+)
+from .flows import ProjectAnalyses
+from .graph import FunctionInfo, ProjectGraph, dotted_name
+from .rules import ProjectRule, Violation, register
+
+__all__ = [
+    "BackendDecl",
+    "accumulator_peak",
+    "collect_backends",
+]
+
+#: Dtypes narrow enough that a config-time probe must guard non-default
+#: windows (32-bit and wider accumulators absorb any plausible config).
+_NARROW_BITS = 32
+
+#: Allocating constructors RC203 polices on the per-batch path.
+_ALLOC_FUNCS = frozenset({"empty", "zeros", "ones", "full", "arange"})
+
+#: Constructors that concatenate (always allocate + copy) for RC201.
+_CONCAT_FUNCS = frozenset({"concatenate", "stack", "vstack", "hstack"})
+
+
+@dataclass(frozen=True)
+class BackendDecl:
+    """One ``@register_backend`` registration, statically decoded."""
+
+    name: str
+    factory: FunctionInfo
+    decorator: ast.Call
+    score_dtype: str | None
+    max_batch_pairs: int | None
+    has_probe: bool
+    kernel_class: str | None
+    kernel_methods: dict[str, str]
+
+
+def _const_of(node: ast.expr) -> object | None:
+    """Literal constant value of a decorator argument, if any."""
+    if isinstance(node, ast.Constant):
+        return node.value
+    if isinstance(node, ast.BinOp) and isinstance(node.op, ast.LShift):
+        left, right = _const_of(node.left), _const_of(node.right)
+        if isinstance(left, int) and isinstance(right, int):
+            return left << right
+    return None
+
+
+def collect_backends(graph: ProjectGraph) -> list[BackendDecl]:
+    """Every backend registration the graph discovered, decoded.
+
+    Uses the decorator call's literal keyword arguments only; anything
+    computed stays ``None`` and downstream rules skip the check.
+    """
+    decls: list[BackendDecl] = []
+    for qual in sorted(graph.backend_factories):
+        info = graph.functions[qual]
+        deco = next(
+            (
+                d.call
+                for d in info.decorators
+                if d.leaf == "register_backend" and d.call is not None
+            ),
+            None,
+        )
+        if deco is None:
+            continue
+        name = None
+        if deco.args:
+            value = _const_of(deco.args[0])
+            if isinstance(value, str):
+                name = value
+        kwargs = {kw.arg: kw.value for kw in deco.keywords if kw.arg}
+        score_dtype = None
+        if "score_dtype" in kwargs:
+            value = _const_of(kwargs["score_dtype"])
+            if isinstance(value, str):
+                score_dtype = value
+        max_batch = None
+        if "max_batch_pairs" in kwargs:
+            value = _const_of(kwargs["max_batch_pairs"])
+            if isinstance(value, int):
+                max_batch = value
+        has_probe = "probe" in kwargs and not (
+            isinstance(kwargs["probe"], ast.Constant)
+            and kwargs["probe"].value is None
+        )
+        decls.append(
+            BackendDecl(
+                name=name or info.name,
+                factory=info,
+                decorator=deco,
+                score_dtype=score_dtype,
+                max_batch_pairs=max_batch,
+                has_probe=has_probe,
+                kernel_class=graph.backend_kernel_of.get(qual),
+                kernel_methods=graph.backend_factories.get(qual, {}),
+            )
+        )
+    return decls
+
+
+def accumulator_peak(graph: ProjectGraph) -> int | None:
+    """``window × max|score|`` at the default configuration, or ``None``.
+
+    The two factors come straight from the source (the embedded matrix
+    texts and the ``UngappedConfig`` defaults), so this is the statically
+    proven worst-case magnitude any score accumulator must hold.
+    """
+    bound = matrix_score_bound(graph)
+    window = default_window(graph)
+    if bound is None or window is None:
+        return None
+    return window * bound
+
+
+def _score_scope(graph: ProjectGraph) -> set[str]:
+    """Functions reachable from any kernel ``score`` entry point.
+
+    This is the per-batch hot path: the engine calls ``score`` once per
+    batch, so everything it reaches runs with per-batch frequency.
+    """
+    seeds = [
+        methods["score"]
+        for methods in graph.backend_factories.values()
+        if "score" in methods
+    ]
+    return graph.reachable_from(seeds)
+
+
+def _function_env(
+    project: ProjectAnalyses, info: FunctionInfo, self_env: Env | None = None
+) -> Env:
+    """Final local environment of *info* (self attrs seeded when given)."""
+    env: Env = dict(self_env or {})
+    analysis = project.dtypes
+    by_node = {id(site.node): site.callee for site in info.calls}
+
+    def lookup(node: ast.Call) -> AbstractValue | None:
+        callee = by_node.get(id(node))
+        if callee is None:
+            return None
+        summary = analysis.summaries.get(callee)
+        if summary is None or summary.returns.is_unknown:
+            return None
+        return summary.returns
+
+    interpret(list(info.node.body), env, lookup, None)
+    return env
+
+
+def _kernel_self_envs(project: ProjectAnalyses) -> dict[str, Env]:
+    """``self.*`` environment per kernel class, under its factory's args.
+
+    The factory's return statement pins the constructor arguments
+    (``FusedKernel(config, np.dtype(np.int16))``), which seed the
+    ``__init__`` parameters; the resulting attribute table is what makes
+    ``self._score``'s dtype knowable inside ``score``.
+    """
+    graph = project.graph
+    envs: dict[str, Env] = {}
+    for qual in sorted(graph.backend_factories):
+        cls = graph.backend_kernel_of.get(qual)
+        if cls is None or cls in envs:
+            continue
+        factory = graph.functions[qual]
+        init_args: dict[str, AbstractValue] = {}
+        init_qual = f"{cls}.__init__"
+        init_info = graph.functions.get(init_qual)
+        if init_info is not None:
+            fenv = _function_env(project, factory)
+            ev = Evaluator(fenv)
+            for node in ast.walk(factory.node):
+                if (
+                    isinstance(node, ast.Return)
+                    and isinstance(node.value, ast.Call)
+                ):
+                    init_args = call_arg_env(node.value, init_info, ev)
+                    break
+        envs[cls] = class_attr_env(graph, cls, init_args)
+    return envs
+
+
+def _loop_line_spans(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+) -> list[tuple[int, int]]:
+    """(first, last) line spans of every loop body in *func*."""
+    spans: list[tuple[int, int]] = []
+    for node in ast.walk(func):
+        if isinstance(node, (ast.For, ast.While)):
+            last = max(
+                (n.end_lineno or n.lineno)
+                for n in ast.walk(node)
+                if hasattr(n, "lineno")
+            )
+            spans.append((node.lineno, last))
+    return spans
+
+
+def _in_loop(spans: list[tuple[int, int]], node: ast.AST) -> bool:
+    line = getattr(node, "lineno", None)
+    if line is None:
+        return False
+    return any(lo < line <= hi for lo, hi in spans)
+
+
+def _called_in_loop(graph: ProjectGraph, scope: set[str]) -> set[str]:
+    """Functions in *scope* invoked (transitively) from inside a loop body.
+
+    The engine's ``for p0, p1 in batches: kernel.score(...)`` makes the
+    whole ``score`` call tree per-batch even though no loop is lexically
+    visible inside the kernels; synthetic dispatch edges carry the
+    "inside a loop" property across the registry indirection.
+    """
+    in_loop: set[str] = set()
+    for info in graph.functions.values():
+        spans = _loop_line_spans(info.node)
+        if not spans:
+            continue
+        loop_calls = [
+            site for site in info.calls if _in_loop(spans, site.node)
+        ]
+        for site in loop_calls:
+            if site.callee is not None and site.callee in scope:
+                in_loop.add(site.callee)
+        if any(site.callee is None for site in loop_calls):
+            # Unresolved calls inside the loop: the synthetic edges know
+            # which kernels they may dispatch to.
+            raws = {
+                site.raw.rpartition(".")[2]
+                for site in loop_calls
+                if site.callee is None and site.raw is not None
+            }
+            for target in graph.extra_edges.get(info.qualname, ()):
+                leaf = target.rpartition(".")[2]
+                if leaf in raws and target in scope:
+                    in_loop.add(target)
+    # Transitive closure: a per-batch function's callees are per-batch.
+    frontier = list(in_loop)
+    while frontier:
+        qual = frontier.pop()
+        for callee in graph.callees(qual):
+            if callee in scope and callee not in in_loop:
+                in_loop.add(callee)
+                frontier.append(callee)
+    return in_loop
+
+
+def _array_index(ev: Evaluator, index: ast.expr) -> bool:
+    """True when a subscript index is (or contains) an array expression."""
+    parts = (
+        list(index.elts) if isinstance(index, ast.Tuple) else [index]
+    )
+    for part in parts:
+        if isinstance(part, ast.Slice) or (
+            isinstance(part, ast.Constant) and part.value is None
+        ):
+            continue
+        if isinstance(part, ast.BinOp):
+            left, right = ev.eval(part.left), ev.eval(part.right)
+            if left.kind == "array" or right.kind == "array":
+                return True
+            continue
+        if ev.eval(part).kind == "array":
+            return True
+    return False
+
+
+def _path_of(graph: ProjectGraph, info: FunctionInfo) -> Path:
+    return graph.modules[info.module].ctx.path
+
+
+@register
+class AccumulatorOverflowRule(ProjectRule):
+    """RC200 — declared score dtypes must hold the proven window peak."""
+
+    code = "RC200"
+    summary = (
+        "backend score_dtype must provably hold window x max|score| at the "
+        "default config, and narrow dtypes must register a probe"
+    )
+
+    def check_project(self, project: ProjectAnalyses) -> Iterator[Violation]:
+        """Prove (or refute) the overflow bound per registered backend."""
+        graph = project.graph
+        peak = accumulator_peak(graph)
+        if peak is None:
+            return
+        for decl in collect_backends(graph):
+            if decl.score_dtype is None:
+                continue
+            bounds = dtype_bounds(decl.score_dtype)
+            if bounds is None:  # python-int / float: no fixed width to prove
+                continue
+            lo, hi = bounds
+            path = _path_of(graph, decl.factory)
+            if peak > hi or -peak < lo:
+                yield self.violation_at(
+                    path,
+                    decl.decorator,
+                    f"backend '{decl.name}' declares score_dtype "
+                    f"'{decl.score_dtype}' but the default window peak "
+                    f"{peak} exceeds its range [{lo}, {hi}] — scores can "
+                    "overflow; widen the dtype or shrink the window",
+                )
+            elif (hi - lo + 1).bit_length() - 1 < _NARROW_BITS and not decl.has_probe:
+                yield self.violation_at(
+                    path,
+                    decl.decorator,
+                    f"backend '{decl.name}' uses narrow score_dtype "
+                    f"'{decl.score_dtype}' (safe at the default window: "
+                    f"peak {peak} fits [{lo}, {hi}]) but registers no "
+                    "probe — non-default windows would overflow silently; "
+                    "add a config-time probe",
+                )
+
+
+@register
+class HiddenCopyRule(ProjectRule):
+    """RC201 — no hidden copies on the per-batch kernel path."""
+
+    code = "RC201"
+    summary = (
+        "functions reachable from kernel score entry points must not use "
+        "fancy indexing, astype without copy=False, flatten, or "
+        "concatenating constructors"
+    )
+
+    def check_project(self, project: ProjectAnalyses) -> Iterator[Violation]:
+        """Flag copy-making constructs reachable from ``score``."""
+        graph = project.graph
+        scope = _score_scope(graph)
+        self_envs = _kernel_self_envs(project)
+        for qual in sorted(scope):
+            info = graph.functions[qual]
+            if info.name in ("__init__", "prepare"):
+                continue  # setup code may allocate/copy by design
+            cls_prefix = (
+                f"{info.module}.{info.class_name}" if info.class_name else None
+            )
+            env = _function_env(
+                project, info, self_envs.get(cls_prefix or "", None)
+            )
+            ev = Evaluator(env)
+            path = _path_of(graph, info)
+            for node in ast.walk(info.node):
+                if isinstance(node, ast.Subscript) and isinstance(
+                    node.ctx, ast.Load
+                ):
+                    if _array_index(ev, node.slice):
+                        yield self.violation_at(
+                            path,
+                            node,
+                            f"{info.name}() gathers with fancy indexing on "
+                            "the per-batch path — this allocates a copy "
+                            "per call; use np.take(..., out=) into scratch",
+                        )
+                elif isinstance(node, ast.Call):
+                    raw = dotted_name(node.func)
+                    if raw is None:
+                        continue
+                    head, _, leaf = raw.rpartition(".")
+                    if leaf == "astype" and head:
+                        kwargs = {kw.arg for kw in node.keywords}
+                        if "copy" not in kwargs:
+                            yield self.violation_at(
+                                path,
+                                node,
+                                f"{info.name}() calls astype without "
+                                "copy=False on the per-batch path — it "
+                                "copies even when the dtype already "
+                                "matches",
+                            )
+                    elif leaf == "flatten" and head:
+                        yield self.violation_at(
+                            path,
+                            node,
+                            f"{info.name}() calls flatten() (always a "
+                            "copy) on the per-batch path — use ravel() "
+                            "or reshape(-1)",
+                        )
+                    elif head in ("np", "numpy") and leaf in _CONCAT_FUNCS:
+                        yield self.violation_at(
+                            path,
+                            node,
+                            f"{info.name}() calls np.{leaf} on the "
+                            "per-batch path — concatenation allocates "
+                            "and copies every batch; write into "
+                            "preallocated scratch instead",
+                        )
+
+
+@register
+class SilentPromotionRule(ProjectRule):
+    """RC202 — no silent dtype promotion in kernel arithmetic."""
+
+    code = "RC202"
+    summary = (
+        "kernel arithmetic mixing known different array dtypes must pin "
+        "the result dtype with out=, dtype=, or casting="
+    )
+
+    _UFUNCS = frozenset({"add", "subtract", "multiply", "maximum", "minimum"})
+
+    def check_project(self, project: ProjectAnalyses) -> Iterator[Violation]:
+        """Flag mixed-dtype arithmetic with an unpinned result dtype."""
+        graph = project.graph
+        scope = _score_scope(graph)
+        seeds = {
+            methods[name]
+            for methods in graph.backend_factories.values()
+            for name in ("score", "prepare")
+            if name in methods
+        }
+        scope = scope | graph.reachable_from(seeds)
+        self_envs = _kernel_self_envs(project)
+        for qual in sorted(scope):
+            info = graph.functions[qual]
+            cls_prefix = (
+                f"{info.module}.{info.class_name}" if info.class_name else None
+            )
+            env = _function_env(
+                project, info, self_envs.get(cls_prefix or "", None)
+            )
+            ev = Evaluator(env)
+            path = _path_of(graph, info)
+            for node in ast.walk(info.node):
+                finding = self._check_node(ev, node)
+                if finding is not None:
+                    yield self.violation_at(
+                        path, node, f"{info.name}() {finding}"
+                    )
+
+    def _check_node(self, ev: Evaluator, node: ast.AST) -> str | None:
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.Add, ast.Sub, ast.Mult)
+        ):
+            return self._check_pair(ev, node.left, node.right, pinned=False)
+        if isinstance(node, ast.Call):
+            raw = dotted_name(node.func)
+            if raw is None:
+                return None
+            head, _, leaf = raw.rpartition(".")
+            if head not in ("np", "numpy") or leaf not in self._UFUNCS:
+                return None
+            if len(node.args) < 2:
+                return None
+            kwargs = {kw.arg for kw in node.keywords if kw.arg}
+            pinned = bool(kwargs & {"out", "dtype", "casting"})
+            return self._check_pair(
+                ev, node.args[0], node.args[1], pinned=pinned
+            )
+        return None
+
+    @staticmethod
+    def _check_pair(
+        ev: Evaluator, left: ast.expr, right: ast.expr, *, pinned: bool
+    ) -> str | None:
+        if pinned:
+            return None
+        lv, rv = ev.eval(left), ev.eval(right)
+        if (
+            lv.kind == "array"
+            and rv.kind == "array"
+            and lv.dtype is not None
+            and rv.dtype is not None
+            and lv.dtype != rv.dtype
+        ):
+            return (
+                f"mixes array dtypes {lv.dtype} and {rv.dtype} without "
+                "out=/dtype=/casting= — the promoted dtype is implicit "
+                "and version-dependent; pin it explicitly"
+            )
+        for array, scalar in ((lv, rv), (rv, lv)):
+            if array.kind != "array" or scalar.kind != "scalar":
+                continue
+            bounds = dtype_bounds(array.dtype) if array.dtype else None
+            if bounds is None:
+                continue
+            lo, hi = bounds
+            s = scalar.range
+            if s.lo is None or s.hi is None:
+                continue
+            if s.hi > hi or s.lo < lo:
+                return (
+                    f"combines a {array.dtype} array with constant range "
+                    f"[{s.lo}, {s.hi}] outside [{lo}, {hi}] without "
+                    "dtype=/out= — NEP 50 keeps the narrow dtype and the "
+                    "value wraps; widen explicitly"
+                )
+        return None
+
+
+@register
+class BatchLoopAllocRule(ProjectRule):
+    """RC203 — no per-batch allocation into locals; scratch lives on self."""
+
+    code = "RC203"
+    summary = (
+        "allocating constructors on the per-batch path must fill reused "
+        "self.* scratch, not fresh locals"
+    )
+
+    def check_project(self, project: ProjectAnalyses) -> Iterator[Violation]:
+        """Flag constructor calls that allocate once per batch."""
+        graph = project.graph
+        scope = _score_scope(graph)
+        per_batch = _called_in_loop(graph, scope)
+        for qual in sorted(scope):
+            info = graph.functions[qual]
+            spans = _loop_line_spans(info.node)
+            scratch_lines = self._scratch_assign_lines(info)
+            path = _path_of(graph, info)
+            for node in ast.walk(info.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                raw = dotted_name(node.func)
+                if raw is None:
+                    continue
+                head, _, leaf = raw.rpartition(".")
+                if head not in ("np", "numpy") or leaf not in _ALLOC_FUNCS:
+                    continue
+                if node.lineno in scratch_lines:
+                    continue  # monotone self-scratch growth is the pattern
+                if qual in per_batch or _in_loop(spans, node):
+                    yield self.violation_at(
+                        path,
+                        node,
+                        f"{info.name}() allocates with np.{leaf} on the "
+                        "per-batch path — reuse preallocated self scratch "
+                        "(grow monotonically, slice per batch) instead of "
+                        "allocating every batch",
+                    )
+
+    @staticmethod
+    def _scratch_assign_lines(info: FunctionInfo) -> set[int]:
+        """Lines whose allocation lands in a ``self.*`` attribute."""
+        lines: set[int] = set()
+        for node in ast.walk(info.node):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, ast.AnnAssign):
+                targets = [node.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    lines.add(node.lineno)
+        return lines
+
+
+@register
+class BackendContractRule(ProjectRule):
+    """RC204 — kernel bodies must match their registered metadata."""
+
+    code = "RC204"
+    summary = (
+        "a kernel's actual accumulator dtype and batching behaviour must "
+        "match its register_backend declaration"
+    )
+
+    def check_project(self, project: ProjectAnalyses) -> Iterator[Violation]:
+        """Cross-check each registration against the kernel body."""
+        graph = project.graph
+        self_envs = _kernel_self_envs(project)
+        for decl in collect_backends(graph):
+            path = _path_of(graph, decl.factory)
+            declared = decl.score_dtype
+            if declared is None:
+                continue
+            declared_bounds = dtype_bounds(declared)
+            score_qual = decl.kernel_methods.get("score")
+            if score_qual is None:
+                continue
+            actual = self._actual_accumulator(
+                project, score_qual, self_envs, decl
+            )
+            if declared_bounds is None:
+                # "python-int" etc.: a numpy accumulator contradicts it.
+                if actual is not None:
+                    yield self.violation_at(
+                        path,
+                        decl.decorator,
+                        f"backend '{decl.name}' declares score_dtype "
+                        f"'{declared}' but its kernel accumulates into a "
+                        f"numpy {actual} array — the metadata misleads "
+                        "probe/overflow reasoning; declare the real dtype",
+                    )
+            elif actual is not None and actual != declared:
+                yield self.violation_at(
+                    path,
+                    decl.decorator,
+                    f"backend '{decl.name}' declares score_dtype "
+                    f"'{declared}' but its kernel accumulates into "
+                    f"{actual} — declaration and body must agree",
+                )
+            yield from self._check_batching(project, decl, path)
+
+    @staticmethod
+    def _actual_accumulator(
+        project: ProjectAnalyses,
+        score_qual: str,
+        self_envs: dict[str, Env],
+        decl: BackendDecl,
+    ) -> str | None:
+        graph = project.graph
+        info = graph.functions.get(score_qual)
+        if info is None:
+            return None
+        summary = project.dtypes.summaries.get(score_qual)
+        if summary is not None and summary.accumulator_dtype is not None:
+            return summary.accumulator_dtype
+        # Re-derive with the factory-seeded self.* environment, which the
+        # generic per-function pass (unknown self) could not see.
+        if decl.kernel_class is None:
+            return None
+        self_env = self_envs.get(decl.kernel_class)
+        if not self_env:
+            return None
+        env = _function_env(project, info, self_env)
+        ev = Evaluator(env)
+        dtypes: set[str] = set()
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            raw = dotted_name(node.func)
+            if raw is None or raw.rpartition(".")[2] != "add":
+                continue
+            head = raw.rpartition(".")[0]
+            if head not in ("np", "numpy"):
+                continue
+            out = next(
+                (kw.value for kw in node.keywords if kw.arg == "out"), None
+            )
+            if out is None:
+                continue
+            value = ev.eval(out)
+            if value.kind == "array" and value.dtype is not None:
+                dtypes.add(value.dtype)
+        return next(iter(dtypes)) if len(dtypes) == 1 else None
+
+    def _check_batching(
+        self, project: ProjectAnalyses, decl: BackendDecl, path: Path
+    ) -> Iterator[Violation]:
+        """A kernel materialising per-pair windows must cap its batches."""
+        if decl.max_batch_pairs is not None:
+            return
+        graph = project.graph
+        score_qual = decl.kernel_methods.get("score")
+        if score_qual is None:
+            return
+        info = graph.functions.get(score_qual)
+        if info is None:
+            return
+        self_envs = _kernel_self_envs(project)
+        self_env = (
+            self_envs.get(decl.kernel_class) if decl.kernel_class else None
+        )
+        env = _function_env(project, info, self_env)
+        ev = Evaluator(env)
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Subscript) and isinstance(
+                node.ctx, ast.Load
+            ):
+                if _array_index(ev, node.slice):
+                    yield self.violation_at(
+                        path,
+                        decl.decorator,
+                        f"backend '{decl.name}' gathers per-pair window "
+                        "matrices in score() but declares no "
+                        "max_batch_pairs cap — unbounded batches make "
+                        "the gather's memory footprint unbounded; "
+                        "declare a cap in register_backend",
+                    )
+                    return

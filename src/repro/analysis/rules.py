@@ -65,9 +65,10 @@ HOT_PATH_FILES: tuple[str, ...] = (
     "core/faults.py",
 )
 
-#: numpy constructors whose default dtype is platform- or input-dependent.
+#: numpy constructors whose default dtype is platform- or input-dependent
+#: (or, for ``ones``, silently float64 where the kernels expect integers).
 DTYPE_REQUIRED_FUNCS: frozenset[str] = frozenset(
-    {"zeros", "empty", "full", "arange", "array"}
+    {"zeros", "empty", "full", "ones", "arange", "array"}
 )
 
 #: ``np.random`` attributes that are allowed: the seeded-generator

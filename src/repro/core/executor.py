@@ -47,6 +47,7 @@ from typing import TYPE_CHECKING, Any
 
 import numpy as np
 
+from ..analysis import allocsan
 from ..analysis import determinism as detsan
 from ..analysis.contracts import ArraySpec, check_array
 from ..extend.backends import resolve_backend
@@ -680,7 +681,8 @@ class ShardedStep2Executor:
                 )
             )
         self.last_timings = timings
-        offsets0 = np.concatenate([r[1] for r in results])
-        offsets1 = np.concatenate([r[2] for r in results])
-        scores = np.concatenate([r[3] for r in results]).astype(np.int32)
+        with allocsan.measure("step2.merge"):
+            offsets0 = np.concatenate([r[1] for r in results])
+            offsets1 = np.concatenate([r[2] for r in results])
+            scores = np.concatenate([r[3] for r in results]).astype(np.int32)
         return UngappedHits(offsets0, offsets1, scores, stats)

@@ -24,11 +24,22 @@ class WindowGatherKernel:
         self._sub = config.matrix.scores.astype(np.int32)
         self._buf0: np.ndarray | None = None
         self._buf1: np.ndarray | None = None
+        # The window width is fixed by the config, so the gather span and
+        # the accumulator scratch live for the kernel's lifetime.
+        self._span = np.arange(config.window, dtype=np.int64)
+        self._score = np.empty(0, dtype=np.int32)
+        self._best = np.empty(0, dtype=np.int32)
 
     def prepare(self, buf0: np.ndarray, buf1: np.ndarray) -> None:
         """Bind the bank buffers for the coming batches."""
         self._buf0 = buf0
         self._buf1 = buf1
+
+    def _ensure(self, n: int) -> None:
+        """Grow the accumulator scratch monotonically."""
+        if n > self._score.shape[0]:
+            self._score = np.empty(n, dtype=np.int32)
+            self._best = np.empty(n, dtype=np.int32)
 
     def score(self, anchors0: np.ndarray, anchors1: np.ndarray) -> np.ndarray:
         """Score paired anchors via materialised window matrices."""
@@ -41,14 +52,21 @@ class WindowGatherKernel:
         base0 = np.asarray(anchors0, dtype=np.int64) - cfg.n
         base1 = np.asarray(anchors1, dtype=np.int64) - cfg.n
         check_anchor_bounds(buf0, base0, buf1, base1, window)
-        span = np.arange(window, dtype=np.int64)
-        w0 = buf0[base0[:, None] + span]
-        w1 = buf1[base1[:, None] + span]
+        # The two gathers below ARE this backend: the historical per-key
+        # formulation materialises both (pairs, window) matrices, and the
+        # fused backend exists precisely to delete these copies — so the
+        # hidden-copy findings are by design here (RC201), while the
+        # accumulators still reuse monotone scratch like every kernel.
+        w0 = buf0[base0[:, None] + self._span]  # noqa: RC201
+        w1 = buf1[base1[:, None] + self._span]  # noqa: RC201
         n = base0.shape[0]
         sub = self._sub
-        score = np.zeros(n, dtype=np.int32)
+        self._ensure(n)
+        score = self._score[:n]
+        score[:] = 0
         if cfg.semantics is ScoreSemantics.KADANE:
-            best = np.zeros(n, dtype=np.int32)
+            best = self._best[:n]
+            best[:] = 0
             for t in range(window):
                 np.add(score, sub[w0[:, t], w1[:, t]], out=score)
                 np.maximum(score, 0, out=score)

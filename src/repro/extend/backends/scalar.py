@@ -22,11 +22,17 @@ class ScalarKernel:
         self._config = config
         self._buf0: np.ndarray | None = None
         self._buf1: np.ndarray | None = None
+        self._out = np.empty(0, dtype=np.int32)
 
     def prepare(self, buf0: np.ndarray, buf1: np.ndarray) -> None:
         """Bind the bank buffers for the coming batches."""
         self._buf0 = buf0
         self._buf1 = buf1
+
+    def _ensure(self, n: int) -> None:
+        """Grow the output scratch monotonically (no per-batch allocation)."""
+        if n > self._out.shape[0]:
+            self._out = np.empty(n, dtype=np.int32)
 
     def score(self, anchors0: np.ndarray, anchors1: np.ndarray) -> np.ndarray:
         """Score paired anchors one at a time with the reference recurrence."""
@@ -39,7 +45,9 @@ class ScalarKernel:
         base0 = np.asarray(anchors0, dtype=np.int64) - cfg.n
         base1 = np.asarray(anchors1, dtype=np.int64) - cfg.n
         check_anchor_bounds(buf0, base0, buf1, base1, window)
-        out = np.empty(base0.shape[0], dtype=np.int32)
+        n = base0.shape[0]
+        self._ensure(n)
+        out = self._out[:n]
         for i in range(base0.shape[0]):
             s0 = int(base0[i])
             s1 = int(base1[i])

@@ -1,0 +1,49 @@
+"""Two RC200 violations: an overflowing dtype and a probe-less narrow one."""
+
+import numpy as np
+
+from .registry import register_backend
+
+
+class TinyKernel:
+    def __init__(self, config):
+        self._config = config
+        self._score = np.empty(0, dtype=np.int8)
+
+    def prepare(self, buf0, buf1):
+        self._buf0 = buf0
+        self._buf1 = buf1
+
+    def score(self, anchors0, anchors1):
+        score = self._score[: anchors0.shape[0]]
+        score[:] = 0
+        np.add(score, 1, out=score)
+        return score
+
+
+class NarrowKernel:
+    def __init__(self, config):
+        self._config = config
+        self._score = np.empty(0, dtype=np.int16)
+
+    def prepare(self, buf0, buf1):
+        self._buf0 = buf0
+        self._buf1 = buf1
+
+    def score(self, anchors0, anchors1):
+        score = self._score[: anchors0.shape[0]]
+        score[:] = 0
+        np.add(score, 1, out=score)
+        return score
+
+
+# Overflow: peak 140 exceeds int8's [-128, 127].
+@register_backend("tiny8", score_dtype="int8")
+def make_tiny(config):
+    return TinyKernel(config)
+
+
+# Probe-less narrow dtype: 140 fits int16, but nothing guards other windows.
+@register_backend("narrow16", score_dtype="int16")
+def make_narrow(config):
+    return NarrowKernel(config)

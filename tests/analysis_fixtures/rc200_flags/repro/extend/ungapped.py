@@ -1,0 +1,10 @@
+"""Mini config module: default window = w + 2n = 4 + 24 = 28."""
+
+
+class UngappedConfig:
+    w: int = 4
+    n: int = 12
+
+    @property
+    def window(self) -> int:
+        return self.w + 2 * self.n

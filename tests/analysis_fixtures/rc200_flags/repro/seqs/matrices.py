@@ -1,0 +1,10 @@
+"""Mini matrix module: bound = max(|entries|, |GAP_SCORE|) = 5."""
+
+GAP_SCORE = -5
+
+_TINY_TEXT = """
+# tiny fixture matrix
+   A  R
+A  4 -1
+R -1  5
+"""

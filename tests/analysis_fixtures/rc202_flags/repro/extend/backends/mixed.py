@@ -1,0 +1,25 @@
+"""RC202 violation: arithmetic mixing known array dtypes, result unpinned."""
+
+import numpy as np
+
+from .registry import register_backend
+
+
+class MixedKernel:
+    def __init__(self, config):
+        self._config = config
+        self._acc = np.empty(0, dtype=np.int16)
+        self._bonus = np.empty(0, dtype=np.int32)
+
+    def prepare(self, buf0, buf1):
+        self._buf0 = buf0
+        self._buf1 = buf1
+
+    def score(self, anchors0, anchors1):
+        total = self._acc + self._bonus  # int16 + int32: promoted implicitly
+        return total
+
+
+@register_backend("mixed", score_dtype="int32")
+def make_mixed(config):
+    return MixedKernel(config)

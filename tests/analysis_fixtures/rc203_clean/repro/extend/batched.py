@@ -1,0 +1,9 @@
+"""Mini engine: the batch loop that makes kernel.score per-batch code."""
+
+
+class Engine:
+    def run_stream(self, kernel, batches):
+        scores = None
+        for p0, p1 in batches:
+            scores = kernel.score(p0, p1)
+        return scores

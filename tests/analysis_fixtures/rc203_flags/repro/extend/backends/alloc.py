@@ -1,0 +1,23 @@
+"""RC203 violation: a fresh output buffer allocated every batch."""
+
+import numpy as np
+
+from .registry import register_backend
+
+
+class AllocKernel:
+    def __init__(self, config):
+        self._config = config
+
+    def prepare(self, buf0, buf1):
+        self._buf0 = buf0
+        self._buf1 = buf1
+
+    def score(self, anchors0, anchors1):
+        out = np.zeros(anchors0.shape[0], dtype=np.int32)
+        return out
+
+
+@register_backend("alloc", score_dtype="int32")
+def make_alloc(config):
+    return AllocKernel(config)

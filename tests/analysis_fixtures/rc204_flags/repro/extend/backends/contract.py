@@ -1,0 +1,49 @@
+"""RC204 violations: metadata contradicting the kernel body."""
+
+import numpy as np
+
+from .registry import register_backend
+
+
+class LyingKernel:
+    def __init__(self, config):
+        self._config = config
+        self._score = np.empty(0, dtype=np.int32)
+
+    def prepare(self, buf0, buf1):
+        self._buf0 = buf0
+        self._buf1 = buf1
+
+    def score(self, anchors0, anchors1):
+        score = self._score[: anchors0.shape[0]]
+        score[:] = 0
+        np.add(score, 1, out=score)
+        return score
+
+
+class UncappedKernel:
+    def __init__(self, config):
+        self._config = config
+        self._buf0 = None
+        self._buf1 = None
+
+    def prepare(self, buf0, buf1):
+        self._buf0 = buf0
+        self._buf1 = buf1
+
+    def score(self, anchors0, anchors1):
+        idx = np.asarray(anchors0, dtype=np.int64)
+        w0 = self._buf0[idx]  # noqa: RC201  (the gather is the point here)
+        return w0
+
+
+# Declares int16 while the kernel accumulates into int32 scratch.
+@register_backend("liar", score_dtype="int16")
+def make_liar(config):
+    return LyingKernel(config)
+
+
+# Materialises per-pair windows but declares no max_batch_pairs cap.
+@register_backend("uncapped", score_dtype="int32")
+def make_uncapped(config):
+    return UncappedKernel(config)

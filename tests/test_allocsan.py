@@ -1,0 +1,195 @@
+"""Unit tests for the runtime allocation sanitizer (allocsan)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import allocsan
+from repro.analysis.allocsan import (
+    ALLOCSAN_ENV,
+    ALLOCSAN_OUT_ENV,
+    AllocsanRecorder,
+    activate,
+    allocsan_enabled,
+    compare_budgets,
+    ensure_recorder,
+    load_budget,
+    maybe_write_manifest,
+    measure,
+    write_budget,
+)
+
+
+class TestRecorder:
+    def test_note_accumulates_and_manifest_is_sorted(self):
+        rec = AllocsanRecorder(meta={"workers": 2})
+        rec.note("z.scope", 100, 150)
+        rec.note("a.scope", 10, 20)
+        rec.note("z.scope", 50, 120)
+        manifest = rec.manifest()
+        assert manifest["version"] == 1
+        assert manifest["meta"] == {"workers": 2}
+        assert list(manifest["scopes"]) == ["a.scope", "z.scope"]
+        z = manifest["scopes"]["z.scope"]
+        assert z == {"calls": 2, "alloc_bytes": 150, "peak_bytes": 150}
+
+    def test_negative_deltas_clamp_to_zero(self):
+        # A scope that nets a free (releases more than it allocates) must
+        # not drive the accumulated counter negative.
+        rec = AllocsanRecorder()
+        rec.note("s", -512, -1)
+        assert rec.manifest()["scopes"]["s"] == {
+            "calls": 1,
+            "alloc_bytes": 0,
+            "peak_bytes": 0,
+        }
+
+    def test_write_is_deterministic(self, tmp_path):
+        rec = AllocsanRecorder(meta={"b": 1, "a": 2})
+        rec.note("s", 10, 10)
+        p1, p2 = tmp_path / "m1.json", tmp_path / "m2.json"
+        rec.write(p1)
+        rec.write(p2)
+        assert p1.read_text() == p2.read_text()
+        assert json.loads(p1.read_text())["scopes"]["s"]["alloc_bytes"] == 10
+
+
+class TestMeasure:
+    def test_measure_without_recorder_is_noop(self):
+        assert allocsan.active() is None
+        with measure("orphan"):
+            np.zeros(1024)
+        assert allocsan.active() is None
+
+    def test_measure_records_numpy_allocation(self):
+        rec = AllocsanRecorder()
+        with activate(rec), measure("alloc"):
+            buf = np.zeros(1 << 16, dtype=np.int64)
+        scope = rec.manifest()["scopes"]["alloc"]
+        assert scope["calls"] == 1
+        # tracemalloc sees the ~512 KiB backing buffer.
+        assert scope["alloc_bytes"] >= (1 << 19)
+        assert scope["peak_bytes"] >= scope["alloc_bytes"]
+        del buf
+
+    def test_transient_allocation_shows_in_peak_not_alloc(self):
+        rec = AllocsanRecorder()
+        with activate(rec), measure("transient"):
+            tmp = np.zeros(1 << 16, dtype=np.int64)
+            del tmp
+        scope = rec.manifest()["scopes"]["transient"]
+        assert scope["peak_bytes"] >= (1 << 19)
+        assert scope["alloc_bytes"] < (1 << 19)
+
+    def test_activate_none_passes_through(self):
+        with activate(None) as current:
+            assert current is allocsan.active()
+
+    def test_activate_restores_previous_recorder(self):
+        outer, inner = AllocsanRecorder(), AllocsanRecorder()
+        with activate(outer):
+            with activate(inner):
+                assert allocsan.active() is inner
+            assert allocsan.active() is outer
+        assert allocsan.active() is None
+
+
+class TestEnvGating:
+    @pytest.mark.parametrize("value", ["1", "true", "YES", " on "])
+    def test_truthy_values_enable(self, value, monkeypatch):
+        monkeypatch.setenv(ALLOCSAN_ENV, value)
+        assert allocsan_enabled()
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "off"])
+    def test_falsy_values_disable(self, value, monkeypatch):
+        monkeypatch.setenv(ALLOCSAN_ENV, value)
+        assert not allocsan_enabled()
+
+    def test_ensure_recorder_disabled(self, monkeypatch):
+        monkeypatch.delenv(ALLOCSAN_ENV, raising=False)
+        assert ensure_recorder() == (None, False)
+
+    def test_ensure_recorder_creates_when_enabled(self, monkeypatch):
+        monkeypatch.setenv(ALLOCSAN_ENV, "1")
+        rec, created = ensure_recorder()
+        assert isinstance(rec, AllocsanRecorder)
+        assert created
+
+    def test_ensure_recorder_reuses_active(self, monkeypatch):
+        # A --verify-allocs harness activates its own recorder; nested
+        # pipeline runs must fold into it, even with the env unset.
+        monkeypatch.delenv(ALLOCSAN_ENV, raising=False)
+        harness = AllocsanRecorder()
+        with activate(harness):
+            rec, created = ensure_recorder()
+        assert rec is harness
+        assert not created
+
+    def test_maybe_write_manifest(self, tmp_path, monkeypatch):
+        rec = AllocsanRecorder()
+        rec.note("s", 1, 1)
+        monkeypatch.delenv(ALLOCSAN_OUT_ENV, raising=False)
+        assert maybe_write_manifest(rec) is None
+        out = tmp_path / "manifest.json"
+        monkeypatch.setenv(ALLOCSAN_OUT_ENV, str(out))
+        assert maybe_write_manifest(rec) == out
+        assert json.loads(out.read_text())["scopes"]["s"]["calls"] == 1
+
+
+class TestBudgets:
+    def _manifest(self, **scopes):
+        return {
+            "version": 1,
+            "meta": {},
+            "scopes": {
+                name: {"calls": c, "alloc_bytes": a, "peak_bytes": p}
+                for name, (c, a, p) in scopes.items()
+            },
+        }
+
+    def test_round_trip(self, tmp_path):
+        manifest = self._manifest(s=(1, 100, 200))
+        path = tmp_path / "budget.json"
+        write_budget(manifest, path)
+        assert load_budget(path) == manifest
+
+    def test_load_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "budget.json"
+        write_budget({"version": 99, "scopes": {}}, path)
+        with pytest.raises(ValueError, match="version"):
+            load_budget(path)
+
+    def test_identical_manifests_pass(self):
+        m = self._manifest(s=(2, 1000, 2000))
+        assert compare_budgets(m, m) == []
+
+    def test_bytes_within_tolerance_pass(self):
+        got = self._manifest(s=(1, 1400, 1400))
+        want = self._manifest(s=(1, 1000, 1000))
+        assert compare_budgets(got, want, tolerance=1.5, slack_bytes=0) == []
+
+    def test_bytes_over_limit_fail(self):
+        got = self._manifest(s=(1, 2000, 1000))
+        want = self._manifest(s=(1, 1000, 1000))
+        problems = compare_budgets(got, want, tolerance=1.5, slack_bytes=0)
+        assert len(problems) == 1
+        assert "alloc_bytes" in problems[0]
+
+    def test_call_drift_is_exact(self):
+        got = self._manifest(s=(3, 100, 100))
+        want = self._manifest(s=(2, 100, 100))
+        problems = compare_budgets(got, want)
+        assert any("batching behaviour drifted" in p for p in problems)
+
+    def test_missing_scopes_fail_both_directions(self):
+        got = self._manifest(new=(1, 0, 0))
+        want = self._manifest(old=(1, 0, 0))
+        problems = compare_budgets(got, want)
+        assert any("not in the committed budget" in p for p in problems)
+        assert any("never ran" in p for p in problems)
+
+    def test_slack_absorbs_small_jitter(self):
+        got = self._manifest(s=(1, 1000 + (1 << 17), 1000))
+        want = self._manifest(s=(1, 1000, 1000))
+        assert compare_budgets(got, want, tolerance=1.0) == []

@@ -144,3 +144,105 @@ class TestVerifyDeterminism:
                 ]
             )
         assert exc.value.code == 2
+
+
+class TestPruneBaseline:
+    def test_requires_baseline_flag(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(["--prune-baseline", str(tmp_path)])
+        assert exc.value.code == 2
+
+    def test_drops_stale_keeps_live(self, tmp_path, capsys):
+        live = write(tmp_path, "repro/extend/k.py", VIOLATING)
+        stale = write(tmp_path, "repro/extend/k2.py", VIOLATING)
+        baseline = tmp_path / "baseline.json"
+        main(["--write-baseline", str(baseline), str(tmp_path)])
+        stale.write_text("def f(x: int) -> int:\n    return x\n")
+        capsys.readouterr()
+        code = main(
+            ["--baseline", str(baseline), "--prune-baseline", str(tmp_path)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "1 kept, 1 dropped" in out
+        data = json.loads(baseline.read_text())
+        assert len(data["entries"]) == 1
+        assert data["entries"][0]["path"].endswith("k.py")
+        assert live.exists()
+
+    def test_tight_baseline_is_byte_identical_noop(self, tmp_path):
+        write(tmp_path, "repro/extend/k.py", VIOLATING)
+        baseline = tmp_path / "baseline.json"
+        main(["--write-baseline", str(baseline), str(tmp_path)])
+        before = baseline.read_text()
+        assert main(
+            ["-q", "--baseline", str(baseline), "--prune-baseline", str(tmp_path)]
+        ) == 0
+        assert baseline.read_text() == before
+
+
+class TestVerifyAllocs:
+    def test_missing_budget_is_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(
+                [
+                    "--verify-allocs",
+                    str(EXAMPLES / "demo_proteins.fasta"),
+                    str(EXAMPLES / "demo_genome.fasta"),
+                    "--allocs-budget",
+                    str(tmp_path / "nope.json"),
+                ]
+            )
+        assert exc.value.code == 2
+
+    def test_missing_fasta_is_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(
+                [
+                    "--verify-allocs",
+                    str(tmp_path / "nope.fasta"),
+                    str(tmp_path / "nope2.fasta"),
+                ]
+            )
+        assert exc.value.code == 2
+
+    def test_update_then_verify_roundtrip(self, tmp_path, capsys):
+        budget = tmp_path / "budget.json"
+        base = [
+            "--verify-allocs",
+            str(EXAMPLES / "demo_proteins.fasta"),
+            str(EXAMPLES / "demo_genome.fasta"),
+            "--workers",
+            "2",
+            "--allocs-budget",
+            str(budget),
+        ]
+        assert main(base + ["--update-allocs-budget"]) == 0
+        out = capsys.readouterr().out
+        assert "wrote allocation budget" in out
+        data = json.loads(budget.read_text())
+        assert any(
+            name.startswith("kernel.") and name.endswith(".score")
+            for name in data["scopes"]
+        )
+        assert "step2.engine.run_stream" in data["scopes"]
+        assert main(base) == 0
+        assert "allocation budget verified" in capsys.readouterr().out
+
+    def test_committed_budget_verifies(self, capsys):
+        # The acceptance gate: the budget checked into the repo must hold
+        # for the demo workload at the CI worker count.
+        code = main(
+            [
+                "--verify-allocs",
+                str(EXAMPLES / "demo_proteins.fasta"),
+                str(EXAMPLES / "demo_genome.fasta"),
+                "--workers",
+                "2",
+                "--allocs-budget",
+                str(REPO / "allocsan-budget.json"),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "allocation budget verified" in out

@@ -1,0 +1,205 @@
+"""Property-based tests (hypothesis) on the dtype/value-range lattice.
+
+The RC200 proof rests on these algebraic guarantees: ``join`` is a least
+upper bound, ``widen`` over-approximates it and stabilises, and the
+interval arithmetic is sound (real results land inside abstract ranges).
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.dtypes import (
+    DTYPE_BOUNDS,
+    TOP_RANGE,
+    AbstractValue,
+    ValueRange,
+    dtype_bounds,
+    promote,
+)
+
+bound = st.one_of(st.none(), st.integers(-1_000, 1_000))
+
+
+@st.composite
+def ranges(draw):
+    lo, hi = draw(bound), draw(bound)
+    if lo is not None and hi is not None and lo > hi:
+        lo, hi = hi, lo
+    return ValueRange(lo, hi)
+
+
+@st.composite
+def nonempty_ranges_with_point(draw):
+    """A finite-or-open range plus one concrete int inside it."""
+    rng = draw(ranges())
+    lo = rng.lo if rng.lo is not None else -2_000
+    hi = rng.hi if rng.hi is not None else 2_000
+    x = draw(st.integers(lo, hi))
+    return rng, x
+
+
+HYPO = settings(max_examples=200, deadline=None)
+
+
+class TestJoin:
+    @given(ranges(), ranges())
+    @HYPO
+    def test_join_is_upper_bound_and_commutative(self, a, b):
+        j = a.join(b)
+        assert j.contains(a)
+        assert j.contains(b)
+        assert j == b.join(a)
+
+    @given(ranges())
+    @HYPO
+    def test_join_is_idempotent(self, a):
+        assert a.join(a) == a
+
+    @given(ranges(), ranges(), ranges())
+    @HYPO
+    def test_join_is_associative(self, a, b, c):
+        assert a.join(b).join(c) == a.join(b.join(c))
+
+    @given(ranges())
+    @HYPO
+    def test_top_absorbs(self, a):
+        assert a.join(TOP_RANGE) == TOP_RANGE
+        assert TOP_RANGE.contains(a)
+
+    @given(ranges())
+    @HYPO
+    def test_contains_is_reflexive(self, a):
+        assert a.contains(a)
+
+
+class TestWiden:
+    @given(ranges(), ranges())
+    @HYPO
+    def test_widen_over_approximates_join(self, a, b):
+        assert a.widen(b).contains(a.join(b))
+
+    @given(ranges(), ranges())
+    @HYPO
+    def test_widen_covers_both_operands(self, a, b):
+        w = a.widen(b)
+        assert w.contains(a)
+        assert w.contains(b)
+
+    @given(ranges(), st.lists(ranges(), min_size=1, max_size=8))
+    @HYPO
+    def test_widening_chain_stabilises(self, start, steps):
+        # Each strict growth drops at least one bound to infinity, so any
+        # ascending chain changes at most twice (once per side).
+        current, changes = start, 0
+        for step in steps:
+            widened = current.widen(step)
+            assert widened.contains(current)
+            if widened != current:
+                changes += 1
+            current = widened
+        assert changes <= 2
+
+    @given(ranges(), ranges())
+    @HYPO
+    def test_widened_bounds_come_from_self_or_infinity(self, a, b):
+        w = a.widen(b)
+        assert w.lo in (a.lo, None)
+        assert w.hi in (a.hi, None)
+
+
+class TestArithmeticSoundness:
+    """Concrete results must land inside the abstract result range."""
+
+    @given(nonempty_ranges_with_point(), nonempty_ranges_with_point())
+    @HYPO
+    def test_add_sub_mul(self, ax, by):
+        a, x = ax
+        b, y = by
+        assert a.add(b).contains(ValueRange.const(x + y))
+        assert a.sub(b).contains(ValueRange.const(x - y))
+        assert a.mul(b).contains(ValueRange.const(x * y))
+
+    @given(nonempty_ranges_with_point())
+    @HYPO
+    def test_neg_and_abs(self, ax):
+        a, x = ax
+        assert a.neg().contains(ValueRange.const(-x))
+        assert a.abs().contains(ValueRange.const(abs(x)))
+
+    @given(nonempty_ranges_with_point())
+    @HYPO
+    def test_max_abs_dominates_members(self, ax):
+        a, x = ax
+        m = a.max_abs()
+        if m is not None:
+            assert abs(x) <= m
+
+    @given(ranges(), st.sampled_from(sorted(DTYPE_BOUNDS)))
+    @HYPO
+    def test_clip_lands_inside_dtype_bounds(self, a, name):
+        bounds = dtype_bounds(name)
+        assert bounds is not None
+        clipped = a.clip(bounds)
+        assert ValueRange(*bounds).contains(clipped)
+
+
+class TestAbstractValue:
+    @given(ranges(), ranges())
+    @HYPO
+    def test_join_covers_ranges(self, ra, rb):
+        a = AbstractValue.array("int32", ra)
+        b = AbstractValue.array("int32", rb)
+        j = a.join(b)
+        assert j.kind == "array"
+        assert j.dtype == "int32"
+        assert j.range.contains(ra)
+        assert j.range.contains(rb)
+
+    @given(ranges(), ranges())
+    @HYPO
+    def test_dtype_mismatch_forgets_dtype_keeps_range(self, ra, rb):
+        a = AbstractValue.array("int16", ra)
+        b = AbstractValue.array("int32", rb)
+        j = a.join(b)
+        assert j.dtype is None
+        assert j.range.contains(ra.join(rb))
+
+    @given(ranges())
+    @HYPO
+    def test_unknown_absorbs(self, ra):
+        a = AbstractValue.array("int32", ra)
+        assert a.join(AbstractValue.unknown()).is_unknown
+        assert AbstractValue.unknown().join(a).is_unknown
+
+    @given(ranges(), ranges())
+    @HYPO
+    def test_widen_over_approximates_join(self, ra, rb):
+        a = AbstractValue.scalar(ra)
+        b = AbstractValue.scalar(rb)
+        assert a.widen(b).range.contains(a.join(b).range)
+
+
+def test_promote_is_symmetric_and_total_on_table():
+    names = sorted(DTYPE_BOUNDS) + ["float32", "float64"]
+    for a, b in itertools.product(names, names):
+        assert promote(a, b) == promote(b, a)
+        if a == b:
+            assert promote(a, b) == a
+
+
+def test_promotion_result_contains_both_integer_ranges():
+    ints = [n for n in DTYPE_BOUNDS if n != "bool"]
+    for a, b in itertools.product(ints, ints):
+        out = promote(a, b)
+        assert out is not None
+        out_bounds = dtype_bounds(out)
+        if out_bounds is None:
+            # Mixed signedness with no common signed container promotes
+            # to float64 (NEP 50): int64/uint64 is the only such pair.
+            assert out == "float64"
+            continue
+        for name in (a, b):
+            lo, hi = dtype_bounds(name)
+            assert out_bounds[0] <= lo and hi <= out_bounds[1]
