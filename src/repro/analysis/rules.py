@@ -26,6 +26,12 @@ RC106     ``ungapped_scores_paired`` is only called through the step-2
           backend registry (:mod:`repro.extend.backends`) — a direct call
           elsewhere in the package bypasses backend selection and the
           registry's bit-identity accuracy gate.
+RC107     No unbounded blocking calls under ``serve/`` — every
+          ``queue.get/put``, ``Event.wait``, ``Thread.join``,
+          ``Lock.acquire`` and ``Future.result`` in the long-lived service
+          must carry ``timeout=`` or be non-blocking, so a stuck
+          dispatcher or dead worker surfaces as a deadline miss instead of
+          a wedged handler thread.
 ========  ==================================================================
 
 Rules are registered in :data:`REGISTRY` via :func:`register`; adding a rule
@@ -527,6 +533,82 @@ class DirectClockRule(Rule):
                             "obs-instrumented module is banned; use "
                             "repro.obs.trace.clock()/Timer/span",
                         )
+
+
+#: Package prefix RC107 covers: the long-lived service, where one wedged
+#: blocking call stalls every subsequent request.
+SERVE_SCOPE_PREFIX = "serve/"
+
+
+@register
+class UnboundedBlockingRule(Rule):
+    """RC107 — no unbounded blocking calls in the serving layer."""
+
+    code = "RC107"
+    summary = (
+        "potentially-unbounded blocking call under serve/; every "
+        "queue.get/put, Event.wait, Thread.join, Lock.acquire and "
+        "Future.result in the service must pass timeout= (not None) or be "
+        "non-blocking (block=False / blocking=False) so a stuck component "
+        "degrades into a deadline miss, never a wedged thread"
+    )
+
+    #: Methods that block forever when called bare.  For all but ``put``
+    #: the call is only suspicious with zero positional arguments —
+    #: ``dict.get(key)``, ``str.join(parts)`` and ``Lock.acquire(False)``
+    #: all carry one, a bare blocking ``queue.get()`` / ``thread.join()``
+    #: / ``future.result()`` carries none.  ``put`` always takes the item
+    #: positionally, so it is checked regardless.
+    ZERO_ARG_METHODS: frozenset[str] = frozenset(
+        {"get", "wait", "join", "acquire", "result"}
+    )
+
+    def _is_bounded(self, node: ast.Call) -> bool:
+        for kw in node.keywords:
+            if kw.arg is None:
+                return True  # **kwargs splat may forward a timeout
+            if kw.arg == "timeout":
+                # An explicit timeout bounds the call — unless it is the
+                # literal None, which spells "block forever" out loud.
+                return not (
+                    isinstance(kw.value, ast.Constant) and kw.value.value is None
+                )
+            if kw.arg in ("block", "blocking") and (
+                isinstance(kw.value, ast.Constant) and kw.value.value is False
+            ):
+                return True
+        return False
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        rel = ctx.package_rel
+        if rel is None or not rel.startswith(SERVE_SCOPE_PREFIX):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or not isinstance(
+                node.func, ast.Attribute
+            ):
+                continue
+            method = node.func.attr
+            if method == "put":
+                if not self._is_bounded(node):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        ".put(...) without timeout= or block=False in the "
+                        "serving layer can wedge a handler thread forever; "
+                        "bound it or make it non-blocking",
+                    )
+            elif method in self.ZERO_ARG_METHODS:
+                if node.args:
+                    continue
+                if not self._is_bounded(node):
+                    yield self.violation(
+                        ctx,
+                        node,
+                        f".{method}() without timeout= in the serving layer "
+                        "blocks forever if the other side is stuck; pass an "
+                        "explicit timeout",
+                    )
 
 
 @register

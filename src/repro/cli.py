@@ -7,6 +7,7 @@ Subcommands mirror the deployment stages of the paper's system::
     repro-psc baseline QUERIES.fasta GENOME.fasta   # tblastn-like baseline
     repro-psc synth    --proteins 50 --genome-nt 100000 out_prefix
     repro-psc simulate --pes 64 --entries 200       # PSC cycle simulation
+    repro-psc serve    RESIDENT.fasta --port 8641   # warm-bank service
 
 ``compare``/``accel``/``baseline`` print alignments in a BLAST-tabular-like
 format; ``synth`` writes a reproducible synthetic workload to FASTA files;
@@ -26,10 +27,17 @@ from typing import Any
 import numpy as np
 
 from .core.config import PipelineConfig
+from .core.errors import (
+    EXIT_OK,
+    CliError,
+    ConfigError,
+    InputError,
+    RuntimeFault,
+)
 from .core.pipeline import SeedComparisonPipeline
 from .core.results import ComparisonReport
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "serve_main", "build_parser"]
 
 
 def positive_int(text: str) -> int:
@@ -171,6 +179,42 @@ def build_parser() -> argparse.ArgumentParser:
     ss.add_argument("--entries", type=int, default=100)
     ss.add_argument("--seed", type=int, default=0)
     _add_obs_args(ss)
+
+    sv = sub.add_parser(
+        "serve", help="run the warm-bank search service (see also repro-serve)"
+    )
+    sv.add_argument("bank", help="resident protein FASTA held warm in memory")
+    sv.add_argument("--host", default="127.0.0.1")
+    sv.add_argument("--port", type=nonnegative_int, default=8641)
+    sv.add_argument(
+        "--workers", type=positive_int, default=2,
+        help="warm step-2 worker processes (1 = in-process only)",
+    )
+    sv.add_argument(
+        "--queue-depth", type=positive_int, default=8,
+        help="admission queue depth; beyond it requests shed with 429",
+    )
+    sv.add_argument(
+        "--default-deadline-ms", type=positive_float, default=None,
+        help="deadline applied to requests that do not carry their own",
+    )
+    sv.add_argument(
+        "--breaker-threshold", type=positive_int, default=3,
+        help="consecutive pool failures that open the circuit breaker",
+    )
+    sv.add_argument(
+        "--breaker-reset-seconds", type=positive_float, default=5.0,
+        help="open-state dwell before a half-open probe",
+    )
+    sv.add_argument(
+        "--fault-plan", default=None, metavar="JSON|FILE",
+        help="deterministic fault plan (worker + service kinds) — chaos only",
+    )
+    sv.add_argument(
+        "--threshold", type=int, default=45, help="ungapped score threshold"
+    )
+    sv.add_argument("--flank", type=int, default=12, help="window flank N")
+    sv.add_argument("--evalue", type=float, default=1e-3, help="E-value cutoff")
     return p
 
 
@@ -254,13 +298,38 @@ def _print_report(report: ComparisonReport, max_hits: int) -> None:
         )
 
 
-def _load_compare_inputs(args):
+def _parse_fault_plan(text: str):
+    """Parse a ``--fault-plan`` argument; malformed plans are config errors."""
     from .core.faults import FaultPlan
-    from .seqs.alphabet import DNA
-    from .seqs.fasta import load_bank, read_fasta
 
-    queries = load_bank(args.queries)
-    genome = next(iter(read_fasta(args.genome, DNA)))
+    try:
+        return FaultPlan.parse(text)
+    except (ValueError, KeyError, TypeError, OSError) as exc:
+        raise ConfigError(f"bad --fault-plan: {exc}") from exc
+
+
+def _load_fasta_bank(path: str, alphabet=None):
+    """Load a FASTA bank; missing/unreadable/empty files are input errors."""
+    from .seqs.fasta import load_bank
+
+    try:
+        bank = load_bank(path) if alphabet is None else load_bank(path, alphabet)
+    except (OSError, ValueError) as exc:
+        raise InputError(f"cannot load {path}: {exc}") from exc
+    if len(bank) == 0:
+        raise InputError(f"no sequences in {path}")
+    return bank
+
+
+def _load_compare_inputs(args):
+    from .seqs.alphabet import DNA
+    from .seqs.fasta import read_fasta
+
+    queries = _load_fasta_bank(args.queries)
+    try:
+        genome = next(iter(read_fasta(args.genome, DNA)))
+    except (OSError, ValueError, StopIteration) as exc:
+        raise InputError(f"cannot load {args.genome}: {exc}") from exc
     plan_arg = getattr(args, "fault_plan", None)
     config = PipelineConfig(
         flank=args.flank,
@@ -270,7 +339,7 @@ def _load_compare_inputs(args):
         pair_chunk=getattr(args, "batch_pairs", 1 << 20),
         shard_timeout=getattr(args, "shard_timeout", None),
         max_retries=getattr(args, "max_retries", 2),
-        fault_plan=FaultPlan.parse(plan_arg) if plan_arg else None,
+        fault_plan=_parse_fault_plan(plan_arg) if plan_arg else None,
         step2_backend=getattr(args, "step2_backend", "auto"),
         min_pairs_per_shard=getattr(args, "min_pairs_per_shard", 1 << 18),
     )
@@ -319,16 +388,20 @@ def _cmd_index(args) -> int:
     from .index.kmer import BankIndex, ContiguousSeedModel
     from .index.persist import load_index, save_index
     from .index.subset_seed import SubsetSeedModel
-    from .seqs.fasta import load_bank
 
     if args.action == "build":
         if not args.fasta:
-            raise SystemExit("index build requires --fasta")
-        if args.seed_pattern.startswith("contiguous:"):
-            model = ContiguousSeedModel(int(args.seed_pattern.split(":")[1]))
-        else:
-            model = SubsetSeedModel.from_pattern(args.seed_pattern)
-        bank = load_bank(args.fasta)
+            raise ConfigError("index build requires --fasta")
+        try:
+            if args.seed_pattern.startswith("contiguous:"):
+                model = ContiguousSeedModel(int(args.seed_pattern.split(":")[1]))
+            else:
+                model = SubsetSeedModel.from_pattern(args.seed_pattern)
+        except (ValueError, IndexError, KeyError) as exc:
+            raise ConfigError(
+                f"bad --seed pattern {args.seed_pattern!r}: {exc}"
+            ) from exc
+        bank = _load_fasta_bank(args.fasta)
         index = BankIndex(bank, model)
         save_index(index, args.path)
         print(
@@ -337,7 +410,10 @@ def _cmd_index(args) -> int:
             f"{len(index.unique_keys):,} distinct keys -> {args.path}"
         )
         return 0
-    index = load_index(args.path)
+    try:
+        index = load_index(args.path)
+    except (OSError, ValueError, KeyError) as exc:
+        raise InputError(f"cannot load index {args.path}: {exc}") from exc
     lengths = index.list_lengths()
     print(f"sequences   : {len(index.bank)}")
     print(f"residues    : {index.bank.total_residues:,}")
@@ -451,6 +527,58 @@ def _cmd_simulate(args) -> int:
     return 0
 
 
+def _cmd_serve(args) -> int:
+    from .serve import (
+        BreakerConfig,
+        SearchHTTPServer,
+        SearchService,
+        ServiceConfig,
+        serve_forever,
+    )
+
+    resident = _load_fasta_bank(args.bank)
+    plan = _parse_fault_plan(args.fault_plan) if args.fault_plan else None
+    config = PipelineConfig(
+        flank=args.flank,
+        ungapped_threshold=args.threshold,
+        max_evalue=args.evalue,
+        workers=args.workers,
+        fault_plan=plan,
+    )
+    deadline = args.default_deadline_ms
+    service = SearchService(
+        config,
+        resident,
+        ServiceConfig(
+            workers=args.workers,
+            queue_depth=args.queue_depth,
+            default_deadline_seconds=None if deadline is None else deadline / 1e3,
+            breaker=BreakerConfig(
+                failure_threshold=args.breaker_threshold,
+                reset_seconds=args.breaker_reset_seconds,
+            ),
+        ),
+        fault_plan=plan,
+    )
+    service.start(warm=True)
+    try:
+        server = SearchHTTPServer((args.host, args.port), service)
+    except OSError as exc:
+        service.drain(timeout=5.0)
+        raise RuntimeFault(
+            f"cannot bind {args.host}:{args.port}: {exc}"
+        ) from exc
+    host, port = server.server_address[:2]
+    print(
+        f"serving {len(resident)} resident sequences "
+        f"({resident.total_residues:,} aa) on http://{host}:{port} "
+        f"(workers={args.workers}, queue={args.queue_depth})",
+        flush=True,
+    )
+    serve_forever(server)
+    return 0
+
+
 _COMMANDS = {
     "compare": _cmd_compare,
     "index": _cmd_index,
@@ -458,13 +586,38 @@ _COMMANDS = {
     "baseline": _cmd_baseline,
     "synth": _cmd_synth,
     "simulate": _cmd_simulate,
+    "serve": _cmd_serve,
 }
 
 
 def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Exit codes follow the contract in :mod:`repro.core.errors`: 0 ok,
+    2 config error, 3 input error, 4 runtime fault; an uncaught exception
+    keeps Python's traceback and exit code 1 (a bug, not an outcome).
+    """
+    from .core.faults import BankCorruption
+    from .core.supervisor import DeadlineExceeded
+
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except CliError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return exc.exit_code
+    except (DeadlineExceeded, BankCorruption) as exc:
+        print(f"error: runtime fault: {exc}", file=sys.stderr)
+        return RuntimeFault.exit_code
+    except BrokenPipeError:  # downstream pager/head closed the pipe
+        return EXIT_OK
+
+
+def serve_main(argv: Sequence[str] | None = None) -> int:
+    """``repro-serve`` entry point: ``repro-psc serve`` without the prefix."""
+    if argv is None:
+        argv = sys.argv[1:]
+    return main(["serve", *argv])
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,62 @@
+"""Typed CLI errors and the exit-code contract.
+
+Every console script in this repo maps failures onto the same small exit
+code vocabulary, so callers (CI jobs, the serve-chaos harness, shell
+pipelines) can branch on *why* a run failed without parsing stderr::
+
+    0   success
+    2   configuration error — the invocation itself is wrong (bad flag
+        combination, malformed fault plan, invalid seed pattern)
+    3   input error — the invocation is fine but an input is not
+        (missing FASTA, unreadable index file, empty bank)
+    4   runtime fault — inputs and config are fine but execution failed
+        (deadline exceeded, unrecoverable corruption, pool loss)
+
+Commands raise the typed exceptions below instead of ``SystemExit`` with
+a bare string; :func:`repro.cli.main` catches them at the top level,
+prints ``error: <message>`` to stderr and returns the mapped code.
+Anything escaping uncaught is a bug and keeps Python's traceback + exit
+code 1, which CI treats as "investigate", distinct from all of the above.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "EXIT_OK",
+    "EXIT_CONFIG",
+    "EXIT_INPUT",
+    "EXIT_RUNTIME",
+    "CliError",
+    "ConfigError",
+    "InputError",
+    "RuntimeFault",
+]
+
+EXIT_OK = 0
+EXIT_CONFIG = 2
+EXIT_INPUT = 3
+EXIT_RUNTIME = 4
+
+
+class CliError(Exception):
+    """Base for failures with a defined exit code (never raised bare)."""
+
+    exit_code: int = 1
+
+
+class ConfigError(CliError):
+    """The invocation is self-contradictory or malformed (exit 2)."""
+
+    exit_code = EXIT_CONFIG
+
+
+class InputError(CliError):
+    """A referenced input is missing, unreadable or empty (exit 3)."""
+
+    exit_code = EXIT_INPUT
+
+
+class RuntimeFault(CliError):
+    """Execution failed despite valid config and inputs (exit 4)."""
+
+    exit_code = EXIT_RUNTIME

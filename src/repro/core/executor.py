@@ -38,8 +38,10 @@ garbage.
 
 from __future__ import annotations
 
+import atexit
 import logging
 import os
+import signal
 import time
 import warnings
 from dataclasses import replace
@@ -59,18 +61,34 @@ from ..obs import trace as obstrace
 from .faults import BankCorruption, FaultKind, FaultPlan, FaultSpec, bank_digest
 from .partition import split_entries_contiguous
 from .profile import RunHealth, ShardTiming
-from .supervisor import ShardSupervisor, SupervisorConfig
+from .supervisor import DeadlineExceeded, ShardSupervisor, SupervisorConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from multiprocessing.context import BaseContext
     from multiprocessing.shared_memory import SharedMemory
 
-__all__ = ["ShardedStep2Executor"]
+__all__ = [
+    "ShardedStep2Executor",
+    "live_segment_names",
+    "release_all_segments",
+    "install_signal_cleanup",
+]
 
 _log = logging.getLogger(__name__)
 
 #: Per-process worker state installed by the pool initializer.
 _WORKER: dict[str, Any] = {}
+
+#: Shared-memory segments this process *created* and has not yet released,
+#: keyed by segment name and stamped with the creating pid.  The per-run
+#: ``try/finally`` remains the primary cleanup; this registry is the
+#: backstop for long-lived processes (the serving layer) that die between
+#: runs — its :func:`release_all_segments` hook runs at interpreter exit
+#: and, when installed, on SIGTERM, so a killed server never leaks
+#: ``/dev/shm``.  The pid stamp keeps forked pool workers (which inherit a
+#: copy-on-write view of this dict and run their own atexit handlers) from
+#: unlinking segments the parent still owns.
+_LIVE_SEGMENTS: dict[str, tuple[int, SharedMemory]] = {}
 
 #: Contract every shared-memory bank view must satisfy: the batched kernel
 #: gathers residues straight out of these buffers, so a wrong dtype here is
@@ -145,6 +163,10 @@ def _init_worker(
     # buffers and ships them back through the result tuple instead.
     obstrace.reset()
     obsmetrics.reset()
+    # Likewise shed the fork-inherited segment registry: these segments
+    # belong to the parent, and the pid stamps alone already stop a worker
+    # from unlinking them — clearing also drops the stale references.
+    _LIVE_SEGMENTS.clear()
     shm0 = _attach_shared(name0, unregister)
     shm1 = _attach_shared(name1, unregister)
     _WORKER["shm"] = (shm0, shm1)  # keep alive for the process lifetime
@@ -378,17 +400,91 @@ def _publish_health_metrics(
         ("corrupt", health.corrupt),
         ("pool_rebuilds", health.pool_rebuilds),
         ("fallback_shards", health.fallback_shards),
+        ("cancelled", health.cancelled),
         ("small_workload_fallbacks", health.small_workload_fallbacks),
     ):
         registry.counter("step2_supervisor_events_total", kind=kind).inc(value)
+
+
+def _track_segment(shm: SharedMemory) -> None:
+    """Record a freshly created segment for exit-time cleanup."""
+    _LIVE_SEGMENTS[shm.name] = (os.getpid(), shm)
+
+
+def live_segment_names() -> tuple[str, ...]:
+    """Names of the shared-memory segments this process currently owns.
+
+    Empty outside an active sharded run — the serving layer's leak checks
+    (and the ``serve-chaos`` CI job) assert exactly that after a drain.
+    """
+    pid = os.getpid()
+    return tuple(
+        sorted(n for n, (owner, _) in _LIVE_SEGMENTS.items() if owner == pid)
+    )
+
+
+def release_all_segments() -> None:
+    """Release every tracked segment owned by this process.
+
+    Registered with :mod:`atexit` at import and chained onto SIGTERM by
+    :func:`install_signal_cleanup`.  Idempotent — the per-run
+    ``try/finally`` in :meth:`ShardedStep2Executor._run_pool` untracks
+    segments as it releases them, so on a clean run this finds nothing.
+    Never raises: it runs on the way down, where a cleanup error must not
+    mask the original exit reason.
+    """
+    pid = os.getpid()
+    for name, (owner, shm) in list(_LIVE_SEGMENTS.items()):
+        if owner != pid:
+            continue
+        _LIVE_SEGMENTS.pop(name, None)
+        try:
+            _release_segment(shm)
+        except OSError as exc:
+            _log.warning(
+                "exit-time shared-memory cleanup failed for %s: %r", name, exc
+            )
+
+
+def install_signal_cleanup(
+    signums: tuple[int, ...] = (signal.SIGTERM,),
+) -> None:
+    """Chain shared-memory cleanup onto termination signals.
+
+    For each signal the previous disposition is preserved: a callable
+    handler runs after the cleanup; ``SIG_DFL``/``SIG_IGN`` are restored
+    and the signal re-raised so the process still dies with the correct
+    wait status.  Long-lived hosts (``repro-serve``) call this once at
+    startup; one-shot CLI runs rely on the per-run ``finally`` plus the
+    atexit hook instead.
+    """
+    for signum in signums:
+        previous = signal.getsignal(signum)
+
+        def _handler(
+            num: int, frame: Any, _previous: Any = previous
+        ) -> None:
+            release_all_segments()
+            if callable(_previous):
+                _previous(num, frame)
+            else:
+                signal.signal(num, signal.SIG_DFL)
+                os.kill(os.getpid(), num)
+
+        signal.signal(signum, _handler)
+
+
+atexit.register(release_all_segments)
 
 
 def _release_segment(shm: SharedMemory) -> None:
     """Close and unlink one shared-memory segment.
 
     ``close`` and ``unlink`` are chained in a ``try/finally`` so a failing
-    close can never leak the underlying segment — unlink always runs.
+    close can never leak the underlying segment — unlink always runs, and
+    the segment leaves the exit-time registry either way.
     """
+    _LIVE_SEGMENTS.pop(shm.name, None)
     try:
         shm.close()
     finally:
@@ -577,8 +673,10 @@ class ShardedStep2Executor:
         try:
             shm0 = shared_memory.SharedMemory(create=True, size=max(1, buf0.nbytes))
             segments.append(shm0)
+            _track_segment(shm0)
             shm1 = shared_memory.SharedMemory(create=True, size=max(1, buf1.nbytes))
             segments.append(shm1)
+            _track_segment(shm1)
             np.ndarray(buf0.shape, dtype=np.uint8, buffer=shm0.buf)[:] = buf0
             np.ndarray(buf1.shape, dtype=np.uint8, buffer=shm1.buf)[:] = buf1
 
@@ -606,6 +704,16 @@ class ShardedStep2Executor:
             outcomes, health = ShardSupervisor(
                 self.supervisor, make_pool, _score_shard, local_score
             ).run(payloads, pair_counts)
+        except DeadlineExceeded as exc:
+            # The request-level deadline fired: record what the partial run
+            # cost (cancellations included) before the error propagates —
+            # the segments release in the finally either way.
+            self.last_health = exc.health
+            self.last_timings = []
+            registry = obsmetrics.active()
+            if registry is not None:
+                _publish_health_metrics(registry, exc.health)
+            raise
         finally:
             _release_segments(segments)
         self.last_health = health

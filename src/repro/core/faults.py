@@ -36,6 +36,9 @@ __all__ = [
     "FaultError",
     "BankCorruption",
     "bank_digest",
+    "WORKER_KINDS",
+    "HWSIM_KINDS",
+    "SERVICE_KINDS",
 ]
 
 
@@ -66,6 +69,20 @@ class FaultKind(enum.Enum):
     #: hwsim: a :class:`~repro.hwsim.dma.DmaStream` raises a transfer error
     #: at the ``at_count``-th word.
     DMA_ERROR = "dma-error"
+    #: serve: the load client stalls ``hang_seconds`` mid-request (models a
+    #: slow reader holding a handler thread; applied client-side).
+    SLOW_CLIENT = "slow-client"
+    #: serve: the admission queue reports itself full for this request, so
+    #: the service must shed it with 429 + ``Retry-After``.
+    QUEUE_OVERFLOW = "queue-overflow"
+    #: serve: every warm-pool worker process is killed immediately before
+    #: the request dispatches (models the pool dying mid-request; the
+    #: supervisor's rebuild path must recover).
+    POOL_DEATH = "pool-death"
+    #: serve: the resident warm bank's staged shared-memory copy is
+    #: overwritten with seeded garbage before the request; the service's
+    #: CRC check must detect it and self-heal by re-staging.
+    CORRUPT_WARM_BANK = "corrupt-warm-bank"
 
 
 #: Kinds applied inside step-2 worker processes.
@@ -74,6 +91,15 @@ WORKER_KINDS = frozenset(
 )
 #: Kinds applied inside the cycle simulator.
 HWSIM_KINDS = frozenset({FaultKind.FIFO_OVERFLOW, FaultKind.DMA_ERROR})
+#: Kinds applied at the serving layer (addressed by request index).
+SERVICE_KINDS = frozenset(
+    {
+        FaultKind.SLOW_CLIENT,
+        FaultKind.QUEUE_OVERFLOW,
+        FaultKind.POOL_DEATH,
+        FaultKind.CORRUPT_WARM_BANK,
+    }
+)
 
 
 @dataclass(frozen=True)
@@ -85,22 +111,31 @@ class FaultSpec:
     ``attempt``-th time (``None`` = every attempt — an *unrecoverable*
     fault that forces the supervisor's in-process fallback).  Simulator
     faults are addressed by ``at_count``, the 0-based event index at the
-    hook site.
+    hook site.  Service faults are addressed by ``request``, the 0-based
+    index of the search request as admitted by the server (``None`` =
+    every request).
     """
 
     kind: FaultKind
     shard: int | None = None
     attempt: int | None = 0
     at_count: int | None = None
-    #: ``HANG`` stall duration; keep well above any test deadline.
+    #: Service faults: 0-based request index the fault fires on.
+    request: int | None = None
+    #: ``HANG``/``SLOW_CLIENT`` stall duration; keep well above any test
+    #: deadline (service plans use sub-second stalls).
     hang_seconds: float = 30.0
     #: ``TRUNCATE``: hits dropped from the tail of the result arrays.
     drop: int = 1
 
     @property
     def site(self) -> str:
-        """Where the fault applies: ``"worker"`` or ``"hwsim"``."""
-        return "worker" if self.kind in WORKER_KINDS else "hwsim"
+        """Where the fault applies: ``"worker"``, ``"service"`` or ``"hwsim"``."""
+        if self.kind in WORKER_KINDS:
+            return "worker"
+        if self.kind in SERVICE_KINDS:
+            return "service"
+        return "hwsim"
 
     def matches(self, shard: int, attempt: int) -> bool:
         """True when this worker fault fires for ``(shard, attempt)``."""
@@ -110,6 +145,12 @@ class FaultSpec:
             return False
         return self.attempt is None or self.attempt == attempt
 
+    def matches_request(self, request: int) -> bool:
+        """True when this service fault fires for request index *request*."""
+        if self.kind not in SERVICE_KINDS:
+            return False
+        return self.request is None or self.request == request
+
     def to_dict(self) -> dict[str, Any]:
         """JSON-ready representation."""
         return {
@@ -117,6 +158,7 @@ class FaultSpec:
             "shard": self.shard,
             "attempt": self.attempt,
             "at_count": self.at_count,
+            "request": self.request,
             "hang_seconds": self.hang_seconds,
             "drop": self.drop,
         }
@@ -167,6 +209,28 @@ class FaultPlan:
         """Seeded garbage bytes used by ``CORRUPT_BANK`` on *shard*."""
         rng = np.random.default_rng(self.seed * 1_000_003 + shard)
         return rng.integers(0, 256, size=n, dtype=np.uint8)
+
+    # Service-side addressing -----------------------------------------------
+    def service_fault(
+        self, request: int, kind: FaultKind | None = None
+    ) -> FaultSpec | None:
+        """First service fault firing for *request*, optionally of *kind*.
+
+        The serving layer consults this at each fault site with the site's
+        own kind (admission asks for ``QUEUE_OVERFLOW``, dispatch for
+        ``POOL_DEATH``, …), so one request can carry several service faults
+        without them shadowing each other.
+        """
+        for spec in self.specs:
+            if kind is not None and spec.kind is not kind:
+                continue
+            if spec.matches_request(request):
+                return spec
+        return None
+
+    def service_faults(self, request: int) -> tuple[FaultSpec, ...]:
+        """Every service fault firing for *request*, in plan order."""
+        return tuple(s for s in self.specs if s.matches_request(request))
 
     # hwsim addressing ------------------------------------------------------
     def hwsim_hook(self, kind: FaultKind) -> HwFaultHook | None:

@@ -33,7 +33,7 @@ from ..extend.gapped import xdrop_gapped_extend
 from ..extend.stats import evalue as evalue_of
 from ..extend.stats import gapped_params
 from ..extend.ungapped import UngappedHits
-from ..index.kmer import TwoBankIndex
+from ..index.kmer import BankIndex, TwoBankIndex
 from ..obs import trace
 from ..seqs.sequence import Sequence, SequenceBank
 from ..seqs.translate import translated_bank
@@ -270,6 +270,68 @@ class SeedComparisonPipeline:
                 allocsan.measure("step3.gapped"),
             ):
                 report = gapped_stage(bank0, bank1, hits, self.config, self.profile)
+            detsan.record_arrays(
+                "step3.alignments", _alignment_rows(report), order_sensitive=True
+            )
+        if recorder is not None:
+            self.last_detsan = recorder.manifest()
+            if created:
+                detsan.maybe_write_manifest(recorder)
+        if alloc_rec is not None:
+            self.last_allocsan = alloc_rec.manifest()
+            if alloc_created:
+                allocsan.maybe_write_manifest(alloc_rec)
+        return report
+
+    def compare_against_index(
+        self,
+        bank0: SequenceBank,
+        resident: BankIndex,
+        reset_profile: bool = True,
+    ) -> ComparisonReport:
+        """Compare *bank0* against a bank whose index is already built.
+
+        The warm-serving path: the server indexes the resident bank once
+        at startup and every request pays only its own (small) query-side
+        indexing before the join.  Because :class:`TwoBankIndex.build` is
+        nothing but ``TwoBankIndex(BankIndex(bank0, m), BankIndex(bank1,
+        m))``, joining a fresh query index with the prebuilt resident index
+        yields the identical joint index — and therefore bit-identical
+        hits and alignments — to a cold :meth:`compare_banks` run of the
+        same pair.
+        """
+        if reset_profile:
+            self.profile = PipelineProfile()
+        recorder, created = detsan.ensure_recorder()
+        alloc_rec, alloc_created = allocsan.ensure_recorder()
+        with (
+            detsan.activate(recorder),
+            allocsan.activate(alloc_rec),
+            self._root_span(),
+        ):
+            with self.profile.timing(self.profile.step1, "step1.index") as ctr:
+                index = TwoBankIndex(
+                    BankIndex(bank0, resident.model), resident
+                )
+                # Only the query side is indexed per request; the resident
+                # side was charged once at server startup.
+                ctr.operations += bank0.total_residues
+                ctr.items += len(bank0)
+            detsan.record_arrays(
+                "step1.index",
+                [index.shared_keys(), index.pair_counts()],
+                order_sensitive=True,
+            )
+            self.last_index = index
+            hits = self.run_step2(index)
+            self.last_hits = hits
+            with (
+                self.profile.timing(self.profile.step3, "step3.gapped"),
+                allocsan.measure("step3.gapped"),
+            ):
+                report = gapped_stage(
+                    bank0, resident.bank, hits, self.config, self.profile
+                )
             detsan.record_arrays(
                 "step3.alignments", _alignment_rows(report), order_sensitive=True
             )

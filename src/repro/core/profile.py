@@ -124,6 +124,11 @@ class RunHealth:
     pool_rebuilds: int = 0
     #: Shards completed by the in-process engine after retries ran out.
     fallback_shards: int = 0
+    #: Shards abandoned because a request-level deadline
+    #: (:attr:`~repro.core.supervisor.SupervisorConfig.deadline`) expired.
+    #: Each cancelled shard is counted here exactly once — never *also* as a
+    #: timeout or crash for the dispatch the cancellation interrupted.
+    cancelled: int = 0
     #: Multi-worker runs routed straight to the in-process engine because
     #: the workload fell below ``min_pairs_per_shard`` — a sizing decision,
     #: not a fault, so it does not affect :attr:`healthy`.
@@ -140,6 +145,7 @@ class RunHealth:
             and self.corrupt == 0
             and self.pool_rebuilds == 0
             and self.fallback_shards == 0
+            and self.cancelled == 0
         )
 
     @property
@@ -157,6 +163,7 @@ class RunHealth:
         self.corrupt += other.corrupt
         self.pool_rebuilds += other.pool_rebuilds
         self.fallback_shards += other.fallback_shards
+        self.cancelled += other.cancelled
         self.small_workload_fallbacks += other.small_workload_fallbacks
 
     def as_dict(self) -> dict[str, Any]:
@@ -170,6 +177,7 @@ class RunHealth:
             "corrupt": self.corrupt,
             "pool_rebuilds": self.pool_rebuilds,
             "fallback_shards": self.fallback_shards,
+            "cancelled": self.cancelled,
             "small_workload_fallbacks": self.small_workload_fallbacks,
             "healthy": self.healthy,
             "degraded": self.degraded,

@@ -56,6 +56,11 @@ def render_run_health(health: RunHealth) -> str:
         )
         if count
     ]
+    if health.cancelled:
+        causes.append(
+            f"{health.cancelled} "
+            f"{'cancelled shard' if health.cancelled == 1 else 'cancelled shards'}"
+        )
     parts = [head]
     if health.retries:
         suffix = f" ({', '.join(causes)})" if causes else ""

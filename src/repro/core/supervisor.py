@@ -48,7 +48,12 @@ from .profile import RunHealth
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from concurrent.futures import ProcessPoolExecutor
 
-__all__ = ["SupervisorConfig", "ShardOutcome", "ShardSupervisor"]
+__all__ = [
+    "SupervisorConfig",
+    "ShardOutcome",
+    "ShardSupervisor",
+    "DeadlineExceeded",
+]
 
 _log = logging.getLogger(__name__)
 
@@ -79,6 +84,14 @@ class SupervisorConfig:
         Parameters of the derived deadline.  The defaults are deliberately
         generous (~20k pairs/s floor) so loaded CI machines do not trip
         false timeouts; tighten ``shard_timeout`` explicitly for chaos runs.
+    deadline:
+        Absolute run-level deadline on the :func:`repro.obs.trace.clock`
+        timeline (``None`` = unbounded).  Unlike ``shard_timeout`` — which
+        bounds one *dispatch* and triggers a retry — crossing ``deadline``
+        abandons the whole run: remaining shard work is cancelled, hung
+        workers are terminated rather than orphaned, and
+        :class:`DeadlineExceeded` is raised.  This is the hook the serving
+        layer uses to plumb a request's deadline down to shard granularity.
     """
 
     shard_timeout: float | None = None
@@ -87,6 +100,7 @@ class SupervisorConfig:
     backoff_factor: float = 2.0
     min_timeout: float = 10.0
     seconds_per_pair: float = 5e-5
+    deadline: float | None = None
 
     def __post_init__(self) -> None:
         if self.shard_timeout is not None and self.shard_timeout <= 0:
@@ -116,6 +130,26 @@ class ShardOutcome:
     #: Wall seconds consumed by this shard's abandoned dispatches before
     #: the accepted one (0.0 on a first-try success).
     retry_wall_seconds: float = 0.0
+
+
+class DeadlineExceeded(RuntimeError):
+    """A run-level deadline expired before every shard completed.
+
+    Raised by :meth:`ShardSupervisor.run` when
+    :attr:`SupervisorConfig.deadline` passes.  Carries the run's
+    :class:`~repro.core.profile.RunHealth` (with
+    :attr:`~repro.core.profile.RunHealth.cancelled` covering every
+    abandoned shard exactly once — cancellation never double-counts as a
+    timeout or crash for the dispatch it interrupted) and the cancelled
+    shard ids, so callers can account for the partial run they paid for.
+    """
+
+    def __init__(
+        self, message: str, health: RunHealth, cancelled_shards: tuple[int, ...]
+    ) -> None:
+        super().__init__(message)
+        self.health = health
+        self.cancelled_shards = cancelled_shards
 
 
 def _stop_pool(pool: ProcessPoolExecutor) -> None:
@@ -173,6 +207,15 @@ class ShardSupervisor:
         Last-resort scorer: ``local_score(shard) -> ShardResult`` computed
         in-process (must be bit-identical to the pool result; it is — both
         run the same batched engine over the same payload).
+    initial_pool:
+        An already-initialised pool to use for the first round instead of
+        calling *make_pool* (the warm-serving path).  When it dies or hangs
+        it is torn down and *make_pool* takes over — that first fresh build
+        counts as a ``pool_rebuild`` because warm state was lost.
+    keep_pool:
+        When true the surviving pool is *not* shut down after the run; it
+        is published on :attr:`final_pool` (``None`` if the run consumed or
+        killed it) for the caller to reuse on the next request.
     """
 
     def __init__(
@@ -181,11 +224,25 @@ class ShardSupervisor:
         make_pool: Callable[[], ProcessPoolExecutor],
         task: TaskFn,
         local_score: Callable[[int], ShardResult],
+        *,
+        initial_pool: ProcessPoolExecutor | None = None,
+        keep_pool: bool = False,
     ) -> None:
         self.config = config
         self._make_pool = make_pool
         self._task = task
         self._local_score = local_score
+        self._initial_pool = initial_pool
+        self._keep_pool = keep_pool
+        #: After :meth:`run` with ``keep_pool=True``: the still-usable pool,
+        #: or ``None`` when every pool the run touched was torn down.
+        self.final_pool: ProcessPoolExecutor | None = None
+
+    def _remaining(self) -> float | None:
+        """Seconds left until the run deadline (``None`` = unbounded)."""
+        if self.config.deadline is None:
+            return None
+        return self.config.deadline - trace.clock()
 
     def run(
         self,
@@ -196,7 +253,9 @@ class ShardSupervisor:
 
         Returns the outcomes sorted by shard id (the merge order) and the
         run's health counters.  Never raises for worker-side failures; pool
-        *construction* errors propagate to the caller's own fallback.
+        *construction* errors propagate to the caller's own fallback, and a
+        crossed :attr:`SupervisorConfig.deadline` raises
+        :class:`DeadlineExceeded` after cancelling the remaining shards.
         """
         health = RunHealth(shards=len(payloads))
         outcomes: dict[int, ShardOutcome] = {}
@@ -206,51 +265,102 @@ class ShardSupervisor:
         #: ``wall_seconds`` (accepted attempt only) cannot see.
         lost: dict[int, float] = dict.fromkeys(payloads, 0.0)
         pending = sorted(payloads)
-        pool: ProcessPoolExecutor | None = None
+        pool: ProcessPoolExecutor | None = self._initial_pool
+        warm_start = pool is not None
+        self._initial_pool = None
+        self.final_pool = None
         round_index = 0
         try:
             while pending and round_index <= self.config.max_retries:
                 if round_index > 0:
+                    remaining = self._remaining()
+                    backoff = self.config.backoff(round_index)
+                    if remaining is not None:
+                        backoff = min(backoff, max(0.0, remaining))
+                    time.sleep(backoff)
+                if self._deadline_expired():
+                    self._cancel(pending, health)
+                if round_index > 0:
                     health.retries += len(pending)
-                    time.sleep(self.config.backoff(round_index))
                 if pool is None:
                     pool = self._make_pool()
-                    if round_index > 0:
+                    # A fresh build replacing warm state is a rebuild even
+                    # on round 0 — the warm pool this run was handed died.
+                    if round_index > 0 or warm_start:
                         health.pool_rebuilds += 1
-                pending, pool = self._run_round(
+                pending, pool, deadline_hit = self._run_round(
                     pool, pending, payloads, pair_counts, attempts, outcomes,
                     health, lost,
                 )
+                if deadline_hit:
+                    self._cancel(pending, health, already_counted=True)
                 round_index += 1
+            for index, shard in enumerate(pending):
+                if self._deadline_expired():
+                    self._cancel(pending[index:], health)
+                # Retries exhausted: complete the run with the
+                # identical-output in-process engine rather than fail the
+                # whole step.
+                _log.warning(
+                    "shard %d failed %d dispatch(es); scoring in-process",
+                    shard,
+                    attempts[shard],
+                )
+                trace.add_event(
+                    "step2.fallback", shard=shard, attempts=attempts[shard] + 1
+                )
+                outcomes[shard] = ShardOutcome(
+                    shard=shard,
+                    result=self._local_score(shard),
+                    attempts=attempts[shard] + 1,
+                    via="local",
+                    retry_wall_seconds=lost[shard],
+                )
+                health.fallback_shards += 1
+                # Detsan detail: the fallback path must be visible in the
+                # manifest, since it is exactly the path most likely to
+                # diverge if the local engine ever stopped matching the
+                # pool engine.
+                detsan.record_detail(
+                    "supervisor.fallback", shard=shard, attempts=attempts[shard] + 1
+                )
         finally:
-            if pool is not None:
+            if self._keep_pool:
+                self.final_pool = pool
+            elif pool is not None:
                 _stop_pool(pool)
-        for shard in pending:
-            # Retries exhausted: complete the run with the identical-output
-            # in-process engine rather than fail the whole step.
-            _log.warning(
-                "shard %d failed %d dispatch(es); scoring in-process",
-                shard,
-                attempts[shard],
-            )
-            trace.add_event(
-                "step2.fallback", shard=shard, attempts=attempts[shard] + 1
-            )
-            outcomes[shard] = ShardOutcome(
-                shard=shard,
-                result=self._local_score(shard),
-                attempts=attempts[shard] + 1,
-                via="local",
-                retry_wall_seconds=lost[shard],
-            )
-            health.fallback_shards += 1
-            # Detsan detail: the fallback path must be visible in the
-            # manifest, since it is exactly the path most likely to diverge
-            # if the local engine ever stopped matching the pool engine.
-            detsan.record_detail(
-                "supervisor.fallback", shard=shard, attempts=attempts[shard] + 1
-            )
         return [outcomes[s] for s in sorted(outcomes)], health
+
+    def _deadline_expired(self) -> bool:
+        remaining = self._remaining()
+        return remaining is not None and remaining <= 0
+
+    def _cancel(
+        self,
+        shards: list[int],
+        health: RunHealth,
+        already_counted: bool = False,
+    ) -> None:
+        """Abandon *shards* at the run deadline and raise.
+
+        ``already_counted`` skips the counter bump when the caller (the
+        mid-wait path in :meth:`_run_round`) classified the shards itself —
+        each cancelled shard lands in ``health.cancelled`` exactly once and
+        never also in ``timeouts``/``crashes`` for the dispatch it cut off.
+        """
+        if not already_counted:
+            health.cancelled += len(shards)
+        trace.add_event("step2.cancelled", shards=len(shards))
+        _log.warning(
+            "run deadline expired; cancelling %d remaining shard(s): %s",
+            len(shards),
+            shards,
+        )
+        raise DeadlineExceeded(
+            f"run deadline expired with {len(shards)} shard(s) unfinished",
+            health,
+            tuple(shards),
+        )
 
     # ------------------------------------------------------------------
     def _run_round(
@@ -263,8 +373,15 @@ class ShardSupervisor:
         outcomes: dict[int, ShardOutcome],
         health: RunHealth,
         lost: dict[int, float],
-    ) -> tuple[list[int], ProcessPoolExecutor | None]:
-        """Dispatch *pending* once; returns (still-pending, usable pool)."""
+    ) -> tuple[list[int], ProcessPoolExecutor | None, bool]:
+        """Dispatch *pending* once.
+
+        Returns ``(still-pending, usable pool, deadline_hit)``.  When the
+        run deadline expires mid-wait the current and every uncollected
+        shard are counted as ``cancelled`` (never as timeouts), their
+        futures cancelled, the pool torn down so no orphaned worker keeps
+        computing for a dead request, and ``deadline_hit`` comes back true.
+        """
         futures: dict[int, cf.Future[ShardResult]] = {}
         try:
             for shard in pending:
@@ -277,6 +394,7 @@ class ShardSupervisor:
             _log.warning("step-2 pool unusable at submit (%r); rebuilding", exc)
             health.crashes += len(pending) - len(futures)
         submit_t = trace.clock()
+        run_deadline = self.config.deadline
         deadlines = {
             shard: submit_t + self.config.deadline_for(pair_counts.get(shard, 0))
             for shard in futures
@@ -292,12 +410,27 @@ class ShardSupervisor:
 
         failed: list[int] = [s for s in pending if s not in futures]
         pool_dead = len(failed) > 0
-        for shard, future in futures.items():
+        collected = list(futures.items())
+        for index, (shard, future) in enumerate(collected):
             attempts[shard] += 1
             remaining = deadlines[shard] - trace.clock()
+            if run_deadline is not None:
+                remaining = min(remaining, run_deadline - trace.clock())
             try:
                 result = future.result(timeout=max(0.0, remaining))
             except cf.TimeoutError:
+                if run_deadline is not None and trace.clock() >= run_deadline:
+                    # Request-level cancellation, not a shard fault: this
+                    # dispatch and every uncollected one count *only* as
+                    # cancelled, and the pool is killed so no worker keeps
+                    # burning CPU for a request nobody is waiting on.
+                    cancelled = [shard]
+                    for later_shard, later_future in collected[index + 1 :]:
+                        later_future.cancel()
+                        cancelled.append(later_shard)
+                    health.cancelled += len(cancelled)
+                    _stop_pool(pool)
+                    return sorted(failed + cancelled), None, True
                 _log.warning(
                     "shard %d exceeded its %.2fs deadline (attempt %d)",
                     shard, deadlines[shard] - submit_t, attempts[shard],
@@ -342,5 +475,5 @@ class ShardSupervisor:
             )
         if pool_dead:
             _stop_pool(pool)
-            return sorted(failed), None
-        return sorted(failed), pool
+            return sorted(failed), None, False
+        return sorted(failed), pool, False

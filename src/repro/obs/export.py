@@ -32,11 +32,13 @@ from .trace import SpanDict, Tracer
 __all__ = [
     "REPORT_SCHEMA",
     "REPORT_VERSION",
+    "SERVE_METRICS_SCHEMA",
     "build_run_report",
     "main",
     "prometheus_text",
     "render_span_tree",
     "validate_report",
+    "validate_serve_metrics",
 ]
 
 #: Bumped on any breaking change to the report shape.
@@ -227,27 +229,135 @@ def validate_report(
     return errors
 
 
+#: The authoritative serving-metrics contract.  Keys under ``families``
+#: name every metric family the service may expose with its exposition
+#: kind; ``required`` lists the subset that must exist on any serving
+#: process that completed at least one request (the rest appear once
+#: their event fires).  ``schemas/serve_metrics.schema.json`` is the
+#: checked-in copy; a golden test keeps the two identical, and the CI
+#: ``serve-chaos`` job validates a live ``/metrics`` scrape against it.
+SERVE_METRICS_SCHEMA: dict[str, Any] = {
+    "version": 1,
+    "prefix": "serve_",
+    "families": {
+        "serve_requests_total": "counter",
+        "serve_shed_total": "counter",
+        "serve_queue_depth": "gauge",
+        "serve_queue_wait_seconds": "histogram",
+        "serve_request_seconds": "histogram",
+        "serve_breaker_state": "gauge",
+        "serve_breaker_trips_total": "counter",
+        "serve_breaker_probes_total": "counter",
+        "serve_degraded_requests_total": "counter",
+        "serve_bank_heals_total": "counter",
+    },
+    "required": [
+        "serve_requests_total",
+        "serve_shed_total",
+        "serve_queue_depth",
+        "serve_queue_wait_seconds",
+        "serve_request_seconds",
+        "serve_breaker_state",
+        "serve_breaker_trips_total",
+        "serve_degraded_requests_total",
+        "serve_bank_heals_total",
+    ],
+}
+
+
+def validate_serve_metrics(
+    text: str, schema: dict[str, Any] | None = None
+) -> list[str]:
+    """Validate a ``/metrics`` Prometheus scrape against the serve contract.
+
+    Checks, over every family whose name carries the schema's prefix:
+    the required families are all present, each declared kind matches the
+    schema, and no undeclared family exists (new serving metrics must land
+    in the schema in the same change).  Returns error strings (empty =
+    valid); non-serve families in the scrape are ignored.
+    """
+    if schema is None:
+        schema = SERVE_METRICS_SCHEMA
+    prefix = schema["prefix"]
+    families: dict[str, str] = schema["families"]
+    declared: dict[str, str] = {}
+    errors: list[str] = []
+    for line in text.splitlines():
+        if not line.startswith("# TYPE "):
+            continue
+        try:
+            _, _, name, kind = line.split(None, 3)
+        except ValueError:
+            errors.append(f"malformed TYPE line: {line!r}")
+            continue
+        if not name.startswith(prefix):
+            continue
+        if name in declared:
+            errors.append(f"{name}: declared twice")
+        declared[name] = kind
+    for name in schema["required"]:
+        if name not in declared:
+            errors.append(f"{name}: required family missing from exposition")
+    for name, kind in declared.items():
+        expected = families.get(name)
+        if expected is None:
+            errors.append(
+                f"{name}: not in the serve metrics schema — new serving "
+                "metrics must be added to SERVE_METRICS_SCHEMA and "
+                "schemas/serve_metrics.schema.json"
+            )
+        elif kind != expected:
+            errors.append(f"{name}: kind {kind!r}, schema says {expected!r}")
+    return errors
+
+
 def main(argv: list[str] | None = None) -> int:
-    """``python -m repro.obs.export report.json [--schema FILE]``."""
+    """``python -m repro.obs.export report.json [--schema FILE]``.
+
+    With ``--kind serve-metrics`` the positional file is a Prometheus
+    text scrape of a serving process instead of a run report, validated
+    via :func:`validate_serve_metrics`.
+    """
     import argparse
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.export",
-        description="Validate a run report against the report schema.",
+        description="Validate a run report (or a serve /metrics scrape) "
+        "against its schema.",
     )
-    parser.add_argument("report", help="path to a run-report JSON file")
+    parser.add_argument("report", help="run-report JSON (or scrape text) file")
     parser.add_argument(
         "--schema",
-        help="validate against this JSON Schema file instead of the embedded one",
+        help="validate against this schema file instead of the embedded one",
+    )
+    parser.add_argument(
+        "--kind",
+        choices=["report", "serve-metrics"],
+        default="report",
+        help="what the positional file is (default: run report)",
     )
     args = parser.parse_args(argv)
 
-    with open(args.report, encoding="utf-8") as fh:
-        report = json.load(fh)
     schema = None
     if args.schema:
         with open(args.schema, encoding="utf-8") as fh:
             schema = json.load(fh)
+    if args.kind == "serve-metrics":
+        with open(args.report, encoding="utf-8") as fh:
+            text = fh.read()
+        errors = validate_serve_metrics(text, schema)
+        for err in errors:
+            print(f"invalid: {err}", file=sys.stderr)
+        if not errors:
+            n = sum(
+                1
+                for line in text.splitlines()
+                if line.startswith("# TYPE ")
+            )
+            print(f"ok: serve metrics scrape, {n} families")
+        return 1 if errors else 0
+    with open(args.report, encoding="utf-8") as fh:
+        report = json.load(fh)
     errors = validate_report(report, schema)
     for err in errors:
         print(f"invalid: {err}", file=sys.stderr)

@@ -1,0 +1,51 @@
+"""Long-lived search-as-a-service layer over the comparison pipeline.
+
+The paper's deployment model is a host that stays up: banks are staged
+onto the RASC-100 blades once and queries stream against them, so the
+per-query cost is scoring, not setup.  Every one-shot CLI run of this
+reproduction instead pays bank indexing, pool spawn and shared-memory
+staging from scratch — the cost that makes 2-worker sharding *lose* to 1
+worker on small workloads (see ``BENCH_step2.json``).  This package is
+the serving architecture that makes the resident-bank framing concrete:
+
+* :mod:`repro.serve.pool` — the warm bank + warm worker pool: the
+  resident bank is indexed once, staged into shared memory once, and a
+  persistent supervised pool scores request after request against it;
+* :mod:`repro.serve.admission` — a bounded admission queue with explicit
+  backpressure (full queue → shed with 429 + ``Retry-After``);
+* :mod:`repro.serve.breaker` — a consecutive-failure circuit breaker
+  around the pool; while open, requests are served by the bit-identical
+  in-process degraded path;
+* :mod:`repro.serve.service` — :class:`~repro.serve.service.SearchService`
+  wiring queue → breaker → supervisor, with per-request deadlines plumbed
+  into :class:`~repro.core.supervisor.SupervisorConfig` and service-level
+  fault injection (:data:`repro.core.faults.SERVICE_KINDS`);
+* :mod:`repro.serve.server` — the stdlib HTTP front end (``POST
+  /search``, ``/healthz``, ``/readyz``, ``/metrics``) with graceful drain
+  on SIGTERM;
+* :mod:`repro.serve.client` — the stdlib load-generator client behind
+  ``repro-serve-bench``.
+
+Everything here is zero-dependency beyond numpy (which the pipeline
+already requires): HTTP is :mod:`http.server`, concurrency is
+:mod:`threading` + the existing supervised process pool.
+"""
+
+from .admission import AdmissionQueue, Ticket
+from .breaker import BreakerConfig, BreakerState, CircuitBreaker
+from .pool import WarmPool
+from .service import SearchService, ServiceConfig
+from .server import SearchHTTPServer, serve_forever
+
+__all__ = [
+    "AdmissionQueue",
+    "Ticket",
+    "BreakerConfig",
+    "BreakerState",
+    "CircuitBreaker",
+    "WarmPool",
+    "SearchService",
+    "ServiceConfig",
+    "SearchHTTPServer",
+    "serve_forever",
+]

@@ -1,0 +1,120 @@
+"""Bounded admission queue with explicit backpressure.
+
+A long-lived service must shed load it cannot serve instead of queueing
+unboundedly and missing every deadline at once.  Admission here is a
+fixed-depth FIFO: a full queue rejects the request immediately (the HTTP
+layer turns that into 429 + ``Retry-After``) and the shed is counted, so
+overload is visible in ``/metrics`` rather than as mystery latency.
+
+Every blocking operation in this module carries an explicit timeout or is
+non-blocking (repro-check rule RC107): a stuck dispatcher must surface as
+a deadline miss, never as a handler thread wedged forever in ``get()``.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import TYPE_CHECKING, Any
+
+from ..obs import metrics as obsmetrics
+from ..obs import trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..seqs.sequence import SequenceBank
+
+__all__ = ["Ticket", "AdmissionQueue"]
+
+
+class Ticket:
+    """One admitted request travelling handler thread → dispatcher.
+
+    The handler thread parks on :attr:`done` (with a timeout) after
+    enqueueing; the dispatcher fills :attr:`result` or :attr:`error` and
+    sets the event.  ``deadline_at`` is the request's absolute deadline on
+    the :func:`repro.obs.trace.clock` timeline (``None`` = unbounded) —
+    the same value later plumbed into
+    :attr:`~repro.core.supervisor.SupervisorConfig.deadline`.
+    """
+
+    def __init__(
+        self,
+        request_index: int,
+        queries: SequenceBank,
+        deadline_at: float | None = None,
+        max_alignments: int | None = None,
+    ) -> None:
+        self.request_index = request_index
+        self.queries = queries
+        self.deadline_at = deadline_at
+        self.max_alignments = max_alignments
+        self.enqueued_at = trace.clock()
+        self.done = threading.Event()
+        self.result: dict[str, Any] | None = None
+        self.error: str | None = None
+        #: Machine-readable outcome: ok | deadline | error.
+        self.status = "ok"
+
+    def expired(self) -> bool:
+        """True when the request's deadline has already passed."""
+        return self.deadline_at is not None and trace.clock() >= self.deadline_at
+
+    def remaining(self) -> float | None:
+        """Seconds until the deadline (``None`` = unbounded)."""
+        if self.deadline_at is None:
+            return None
+        return max(0.0, self.deadline_at - trace.clock())
+
+
+class AdmissionQueue:
+    """Fixed-depth FIFO between HTTP handler threads and the dispatcher.
+
+    Parameters
+    ----------
+    depth:
+        Maximum queued (admitted but not yet dispatched) requests.
+    registry:
+        Metrics registry receiving ``serve_queue_depth`` (high-water
+        gauge), ``serve_shed_total`` and ``serve_queue_wait_seconds``.
+    """
+
+    def __init__(self, depth: int, registry: obsmetrics.MetricsRegistry) -> None:
+        if depth < 1:
+            raise ValueError("queue depth must be >= 1")
+        self.depth = depth
+        self._registry = registry
+        self._queue: queue.Queue[Ticket] = queue.Queue(maxsize=depth)
+
+    def offer(self, ticket: Ticket, force_shed: bool = False) -> bool:
+        """Admit *ticket* or shed it; never blocks.
+
+        ``force_shed`` is the :data:`~repro.core.faults.FaultKind.QUEUE_OVERFLOW`
+        injection point: the queue reports itself full for this request so
+        the shedding path is exercised without needing real overload.
+        """
+        if not force_shed:
+            try:
+                self._queue.put(ticket, block=False)
+            except queue.Full:
+                force_shed = True
+        if force_shed:
+            self._registry.counter("serve_shed_total").inc()
+            trace.add_event("serve.shed", request=ticket.request_index)
+            return False
+        self._registry.gauge("serve_queue_depth").set_max(self._queue.qsize())
+        return True
+
+    def take(self, timeout: float) -> Ticket | None:
+        """Dequeue the next ticket, or ``None`` after *timeout* seconds."""
+        try:
+            ticket = self._queue.get(timeout=timeout)
+        except queue.Empty:
+            return None
+        self._registry.histogram(
+            "serve_queue_wait_seconds", boundaries=obsmetrics.SECONDS_BUCKETS
+        ).observe(trace.clock() - ticket.enqueued_at)
+        return ticket
+
+    def empty(self) -> bool:
+        """True when no admitted request is waiting for dispatch."""
+        return self._queue.empty()

@@ -1,0 +1,241 @@
+"""Stdlib load-generator client for the search service (``repro-serve-bench``).
+
+Drives ``POST /search`` with a configurable number of concurrent client
+threads, records per-request latency / status / time-to-first-hit, and
+summarises QPS and shed rate.  Used three ways:
+
+* as the ``repro-serve-bench`` console script against a running server;
+* by ``benchmarks/bench_serve.py`` to produce ``BENCH_serve.json``
+  (warm-service throughput vs the cold one-shot path);
+* by the ``serve-chaos`` CI job to drive a server booted under a pinned
+  fault plan and assert recovery.
+
+The client honors the same :class:`~repro.core.faults.FaultPlan` chaos
+model as everything else: a ``SLOW_CLIENT`` spec addressed at request
+``i`` makes *this side* stall mid-request (headers sent, body withheld),
+which is how a slow reader is simulated deterministically — the server's
+connection timeout, not the admission queue, must absorb it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import queue
+import threading
+from typing import Any
+
+from ..core.faults import FaultKind, FaultPlan
+from ..obs import trace
+
+__all__ = ["search_request", "run_load", "main"]
+
+#: Client-side socket timeout per request (seconds).
+DEFAULT_TIMEOUT = 30.0
+
+
+def search_request(
+    host: str,
+    port: int,
+    queries: list[tuple[str, str]],
+    deadline_ms: float | None = None,
+    max_alignments: int | None = None,
+    timeout: float = DEFAULT_TIMEOUT,
+    stall_seconds: float = 0.0,
+) -> dict[str, Any]:
+    """One ``POST /search``; returns the decoded body plus timing fields.
+
+    ``stall_seconds > 0`` sends the headers, then withholds the body for
+    that long before completing the request (the ``SLOW_CLIENT`` fault).
+    """
+    body = {"queries": [[n, s] for n, s in queries]}
+    if deadline_ms is not None:
+        body["deadline_ms"] = deadline_ms
+    if max_alignments is not None:
+        body["max_alignments"] = max_alignments
+    payload = json.dumps(body).encode("utf-8")
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    t0 = trace.clock()
+    try:
+        conn.putrequest("POST", "/search")
+        conn.putheader("Content-Type", "application/json")
+        conn.putheader("Content-Length", str(len(payload)))
+        conn.endheaders()
+        if stall_seconds > 0:
+            # Deterministic slow-client stall: headers are on the wire, the
+            # server-side handler is blocked reading a body that is not
+            # coming yet.  Event.wait is the sanctioned bounded sleep.
+            threading.Event().wait(timeout=stall_seconds)
+        conn.send(payload)
+        response = conn.getresponse()
+        raw = response.read()
+        wall = trace.clock() - t0
+        try:
+            decoded = json.loads(raw) if raw else {}
+        except json.JSONDecodeError:
+            decoded = {"error": "undecodable body"}
+        decoded["http_status"] = response.status
+        decoded["wall_seconds"] = wall
+        decoded["retry_after_header"] = response.headers.get("Retry-After")
+        return decoded
+    except OSError as exc:
+        return {
+            "http_status": 0,
+            "error": repr(exc),
+            "wall_seconds": trace.clock() - t0,
+        }
+    finally:
+        conn.close()
+
+
+def run_load(
+    host: str,
+    port: int,
+    workloads: list[list[tuple[str, str]]],
+    concurrency: int = 2,
+    deadline_ms: float | None = None,
+    timeout: float = DEFAULT_TIMEOUT,
+    fault_plan: FaultPlan | None = None,
+) -> dict[str, Any]:
+    """Drive one request per workload through *concurrency* client threads.
+
+    Requests are issued in index order from a shared feed; per-request
+    records land in ``results`` (index order restored) and the summary
+    carries QPS, shed rate and time-to-first-hit (wall of the first
+    request that returned at least one alignment).
+    """
+    feed: queue.Queue[tuple[int, list[tuple[str, str]]]] = queue.Queue()
+    for i, workload in enumerate(workloads):
+        feed.put((i, workload), block=False)
+    records: list[dict[str, Any] | None] = [None] * len(workloads)
+
+    def worker() -> None:
+        while True:
+            try:
+                i, workload = feed.get(block=False)
+            except queue.Empty:
+                return
+            stall = 0.0
+            if fault_plan is not None:
+                spec = fault_plan.service_fault(i, FaultKind.SLOW_CLIENT)
+                if spec is not None:
+                    stall = spec.hang_seconds
+            record = search_request(
+                host,
+                port,
+                workload,
+                deadline_ms=deadline_ms,
+                timeout=timeout,
+                stall_seconds=stall,
+            )
+            record["request"] = i
+            records[i] = record
+
+    threads = [
+        threading.Thread(target=worker, name=f"load-{t}", daemon=True)
+        for t in range(max(1, concurrency))
+    ]
+    t0 = trace.clock()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=timeout * (len(workloads) + 1))
+    wall = trace.clock() - t0
+    results = [r if r is not None else {"http_status": 0} for r in records]
+    served = [r for r in results if r.get("http_status") == 200]
+    shed = [r for r in results if r.get("http_status") == 429]
+    deadline_missed = [r for r in results if r.get("http_status") == 504]
+    first_hit = next(
+        (
+            r["wall_seconds"]
+            for r in results
+            if r.get("http_status") == 200 and r.get("n_alignments", 0) > 0
+        ),
+        None,
+    )
+    return {
+        "requests": len(results),
+        "served": len(served),
+        "shed": len(shed),
+        "deadline_missed": len(deadline_missed),
+        "errors": len(results) - len(served) - len(shed) - len(deadline_missed),
+        "wall_seconds": wall,
+        "qps": len(served) / wall if wall > 0 else 0.0,
+        "shed_rate": len(shed) / len(results) if results else 0.0,
+        "time_to_first_hit_seconds": first_hit,
+        "mean_latency_seconds": (
+            sum(r["wall_seconds"] for r in served) / len(served)
+            if served
+            else None
+        ),
+        "results": results,
+    }
+
+
+def _chunk_queries(
+    queries: list[tuple[str, str]], per_request: int, requests: int
+) -> list[list[tuple[str, str]]]:
+    """Round-robin the query set into *requests* fixed-size workloads."""
+    if not queries:
+        raise ValueError("no query sequences")
+    workloads = []
+    for r in range(requests):
+        workloads.append(
+            [queries[(r * per_request + k) % len(queries)] for k in range(per_request)]
+        )
+    return workloads
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``repro-serve-bench``: load-generate against a running server."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve-bench",
+        description="stdlib load generator for the repro search service",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument(
+        "--fasta", required=True, help="FASTA of query proteins to cycle through"
+    )
+    parser.add_argument("--requests", type=int, default=16)
+    parser.add_argument("--per-request", type=int, default=4)
+    parser.add_argument("--concurrency", type=int, default=2)
+    parser.add_argument("--deadline-ms", type=float, default=None)
+    parser.add_argument("--timeout", type=float, default=DEFAULT_TIMEOUT)
+    parser.add_argument(
+        "--fault-plan",
+        default=None,
+        help="FaultPlan JSON/file for client-side faults (SLOW_CLIENT)",
+    )
+    parser.add_argument("--out", default=None, help="write the summary JSON here")
+    args = parser.parse_args(argv)
+
+    from ..seqs.fasta import load_bank
+
+    bank = load_bank(args.fasta)
+    queries = [
+        (bank.names[i], bank[i].text()) for i in range(len(bank))
+    ]
+    plan = FaultPlan.parse(args.fault_plan) if args.fault_plan else None
+    summary = run_load(
+        args.host,
+        args.port,
+        _chunk_queries(queries, args.per_request, args.requests),
+        concurrency=args.concurrency,
+        deadline_ms=args.deadline_ms,
+        timeout=args.timeout,
+        fault_plan=plan,
+    )
+    text = json.dumps(
+        {k: v for k, v in summary.items() if k != "results"}, indent=2
+    )
+    print(text)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(summary, fh, indent=2)
+    return 0 if summary["errors"] == 0 else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - manual tool
+    raise SystemExit(main())

@@ -1,0 +1,421 @@
+"""Warm bank + warm worker pool: the resident side of the service.
+
+A one-shot :class:`~repro.core.executor.ShardedStep2Executor` run pays,
+per call: indexing both banks, creating two shared-memory segments,
+copying both buffers in, and spawning a fresh worker pool.  For a server
+answering many small queries against one large resident bank, all of that
+is per-*bank* cost being paid per-*request*.  :class:`WarmPool` hoists it:
+
+* the resident bank is indexed once (``BankIndex``) and its buffer staged
+  into one shared-memory segment once, with a CRC recorded at staging;
+* worker processes map that segment in their initializer and stay alive
+  across requests (``initial_pool``/``keep_pool`` on
+  :class:`~repro.core.supervisor.ShardSupervisor`);
+* each request ships only its (small) query buffer inside the task
+  payload — no per-request segments, no per-request pool.
+
+Bit-identity is inherited, not re-proven: the warm task runs the same
+:class:`~repro.extend.batched.BatchedUngappedEngine` over the same shard
+payloads as the one-shot executor, and shards merge in shard order, so
+the merged hits equal a cold run's bit for bit (see
+``tests/test_serve_service.py``).
+
+Chaos hooks mirror the executor's: worker-addressed
+:class:`~repro.core.faults.FaultSpec` records fire inside the warm task
+(crash/hang/truncate/corrupt view), and the service-level
+``POOL_DEATH`` / ``CORRUPT_WARM_BANK`` kinds are applied here via
+:meth:`WarmPool.kill_workers` and :meth:`WarmPool.corrupt_staged_bank`,
+with :meth:`WarmPool.heal_if_corrupt` as the CRC self-heal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..analysis.contracts import check_array
+from ..core import executor as core_executor
+from ..core.config import PipelineConfig
+from ..core.executor import (
+    ShardResult,
+    _attach_shared,
+    _package_hits,
+    _pool_context,
+    _score_shard_local,
+)
+from ..core.faults import BankCorruption, FaultKind, FaultPlan, bank_digest
+from ..core.partition import split_entries_contiguous
+from ..core.profile import RunHealth
+from ..core.supervisor import (
+    DeadlineExceeded,
+    ShardSupervisor,
+    SupervisorConfig,
+    _stop_pool,
+)
+from ..extend.backends import resolve_backend
+from ..extend.batched import BatchedUngappedEngine, EntryBlock
+from ..extend.ungapped import UngappedHits, UngappedStats
+from ..index.kmer import BankIndex, TwoBankIndex
+from ..obs import metrics as obsmetrics
+from ..obs import trace as obstrace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from concurrent.futures import ProcessPoolExecutor
+    from multiprocessing.shared_memory import SharedMemory
+
+    from ..seqs.sequence import SequenceBank
+
+__all__ = ["WarmPool"]
+
+
+def _init_warm_worker(
+    name1: str,
+    size1: int,
+    config: object,
+    unregister: bool,
+    fault_plan: FaultPlan | None,
+    digest1: int,
+) -> None:
+    """Warm-pool initializer: map only the resident bank segment.
+
+    State lands in the executor's per-process ``_WORKER`` dict (one
+    fork-unsafe module global for the whole codebase, already baselined
+    for RC101) under warm-specific keys; the query side arrives per task.
+    """
+    import signal
+
+    # Workers forked after serve_forever() installed the server's
+    # SIGTERM/SIGINT drain handler inherit it — a worker that catches
+    # SIGTERM survives kills and starts a drain thread of its own.
+    # Reset to the default disposition: workers die when told to.
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_DFL)
+    obstrace.reset()
+    obsmetrics.reset()
+    core_executor._LIVE_SEGMENTS.clear()
+    shm1 = _attach_shared(name1, unregister)
+    state = core_executor._WORKER
+    state.clear()
+    state["shm1"] = shm1
+    state["size1"] = size1
+    buf1 = np.ndarray((size1,), dtype=np.uint8, buffer=shm1.buf)
+    check_array(
+        "warm-pool resident bank view", buf1, core_executor._BANK_VIEW_SPEC
+    )
+    state["buf1"] = buf1
+    state["config"] = config
+    state["fault_plan"] = fault_plan
+    state["digest1"] = digest1
+
+
+def _warm_probe() -> bool:
+    """No-op task whose only job is forcing worker processes to spawn."""
+    return "buf1" in core_executor._WORKER
+
+
+def _verify_resident_view() -> None:
+    """Digest-check the worker's resident view; re-map and raise if bad."""
+    state = core_executor._WORKER
+    expect = state["digest1"]
+    if bank_digest(state["buf1"]) == expect:
+        return
+    fresh = np.ndarray(
+        (state["size1"],), dtype=np.uint8, buffer=state["shm1"].buf
+    )
+    if bank_digest(fresh) != expect:  # pragma: no cover - shm itself bad
+        raise BankCorruption(
+            "shared resident-bank segment is corrupt beyond repair"
+        )
+    state["buf1"] = fresh
+    raise BankCorruption(
+        "warm worker's resident bank view failed the digest check; "
+        "view re-mapped from the shared segment"
+    )
+
+
+def _score_warm_shard(
+    shard: int,
+    attempt: int,
+    query_bytes: bytes,
+    offsets0: np.ndarray,
+    counts0: np.ndarray,
+    offsets1: np.ndarray,
+    counts1: np.ndarray,
+) -> ShardResult:
+    """Warm worker task: score one shard of a request.
+
+    The resident bank is the process-lifetime shared-memory view; the
+    query bank rides the payload as raw bytes (queries are small — this
+    is the whole point of the warm split).  Fault addressing matches the
+    cold task: ``(shard, attempt)``, with ``CORRUPT_BANK`` redirected at
+    the *resident* view so the digest-check/re-map path is what recovers.
+    """
+    t0 = obstrace.clock()
+    state = core_executor._WORKER
+    plan: FaultPlan | None = state.get("fault_plan")
+    spec = plan.worker_fault(shard, attempt) if plan is not None else None
+    if spec is not None:
+        if spec.kind is FaultKind.CORRUPT_BANK:
+            assert plan is not None
+            bad = state["buf1"].copy()
+            n = min(64, bad.shape[0])
+            bad[:n] ^= plan.corruption(shard, n) | np.uint8(1)
+            state["buf1"] = bad  # private copy: shm stays clean for peers
+        else:
+            core_executor._apply_worker_fault(spec, shard)
+    _verify_resident_view()
+    buf0 = np.frombuffer(query_bytes, dtype=np.uint8)
+    engine = BatchedUngappedEngine(state["config"])
+    with obstrace.span("step2.worker", shard=shard, attempt=attempt):
+        hits = engine.run_stream(
+            buf0, state["buf1"], EntryBlock(offsets0, counts0, offsets1, counts1)
+        )
+    result = _package_hits(shard, hits, obstrace.clock() - t0, engine)
+    if spec is not None and spec.kind is FaultKind.TRUNCATE:
+        drop = max(1, int(spec.drop))
+        result = (
+            result[:1] + tuple(a[:-drop] for a in result[1:4]) + result[4:]
+        )
+    return result
+
+
+class WarmPool:
+    """Resident bank staged once + persistent supervised worker pool.
+
+    Parameters
+    ----------
+    config:
+        Pipeline configuration; its derived
+        :class:`~repro.extend.ungapped.UngappedConfig` (backend resolved
+        eagerly, as the executor does) rides the pool initargs.
+    resident:
+        The resident bank (bank 1 of every comparison — e.g. the
+        translated genome).
+    workers:
+        Warm worker process count (>= 1; 1 still stages the bank but
+        scores in-process).
+    fault_plan:
+        Worker-addressed deterministic faults for the warm tasks.
+    supervisor:
+        Per-request supervision policy template; each request overlays
+        its own absolute deadline via :func:`dataclasses.replace`.
+    """
+
+    def __init__(
+        self,
+        config: PipelineConfig,
+        resident: SequenceBank,
+        workers: int = 2,
+        fault_plan: FaultPlan | None = None,
+        supervisor: SupervisorConfig | None = None,
+    ) -> None:
+        from multiprocessing import shared_memory
+
+        self.config = config
+        ungapped = config.ungapped_config()
+        resolved = resolve_backend(ungapped.backend, ungapped)
+        if ungapped.backend != resolved.info.name:
+            ungapped = replace(ungapped, backend=resolved.info.name)
+        self.ungapped = ungapped
+        self.resident = resident
+        self.workers = max(1, int(workers))
+        self.fault_plan = fault_plan
+        self.supervisor = supervisor or config.supervisor_config()
+        #: Resident index built once; every request joins against it.
+        self.resident_index = BankIndex(resident, config.seed_model)
+        #: Supervision counters of the most recent :meth:`step2` call.
+        self.last_health = RunHealth()
+        #: Pool rebuilds + bank heals over the pool's lifetime.
+        self.bank_heals = 0
+
+        buf1 = resident.buffer
+        check_array(
+            "warm-pool resident bank buffer", buf1, core_executor._BANK_VIEW_SPEC
+        )
+        self.digest = bank_digest(buf1)
+        self._ctx, self._unregister = _pool_context()
+        self._shm: SharedMemory = shared_memory.SharedMemory(
+            create=True, size=max(1, buf1.nbytes)
+        )
+        core_executor._track_segment(self._shm)
+        self._staged = np.ndarray(buf1.shape, dtype=np.uint8, buffer=self._shm.buf)
+        self._staged[:] = buf1
+        self._pool: ProcessPoolExecutor | None = None
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------
+    def _make_pool(self) -> ProcessPoolExecutor:
+        from concurrent.futures import ProcessPoolExecutor
+
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=self._ctx,
+            initializer=_init_warm_worker,
+            initargs=(
+                self._shm.name,
+                self.resident.buffer.shape[0],
+                self.ungapped,
+                self._unregister,
+                self.fault_plan,
+                self.digest,
+            ),
+        )
+
+    def warm_up(self, timeout: float = 60.0) -> None:
+        """Spawn the worker pool eagerly (otherwise first request pays it).
+
+        ``ProcessPoolExecutor`` forks workers lazily on first submit, so a
+        bare executor is not actually warm — a probe task forces the spawn
+        (and the initializer's segment mapping) to happen at boot.
+        """
+        if self._pool is None and self.workers > 1:
+            self._pool = self._make_pool()
+            self._pool.submit(_warm_probe).result(timeout=timeout)
+
+    @property
+    def pool_alive(self) -> bool:
+        """True while a warm pool is held for the next request."""
+        return self._pool is not None
+
+    def close(self) -> None:
+        """Stop the pool and release the staged segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            _stop_pool(self._pool)
+            self._pool = None
+        core_executor._release_segment(self._shm)
+
+    # -- chaos hooks ----------------------------------------------------
+    def kill_workers(self) -> None:
+        """Terminate every warm worker (the ``POOL_DEATH`` injection).
+
+        The pool object survives in a broken state, exactly as if the
+        processes had died for real — the next request's supervisor sees
+        ``BrokenProcessPool`` and rebuilds via ``make_pool``.
+        """
+        if self._pool is None:
+            return
+        # SIGKILL, not SIGTERM: the modelled death is a hard one (segfault,
+        # OOM kill), and it must not depend on what handlers the worker
+        # happens to have installed.
+        for proc in list(getattr(self._pool, "_processes", {}).values()):
+            proc.kill()
+        for proc in list(getattr(self._pool, "_processes", {}).values()):
+            proc.join(timeout=1.0)
+
+    def corrupt_staged_bank(self, request: int) -> None:
+        """Overwrite the staged segment head with seeded garbage.
+
+        The ``CORRUPT_WARM_BANK`` injection: unlike the worker-view
+        corruption (private copy), this damages the *source* segment, so
+        only the service-level CRC check + re-stage can recover.
+        """
+        plan = self.fault_plan or FaultPlan()
+        n = min(64, self._staged.shape[0])
+        self._staged[:n] ^= plan.corruption(request, n) | np.uint8(1)
+
+    def heal_if_corrupt(self) -> bool:
+        """CRC-check the staged segment; re-stage from the host copy if bad.
+
+        Returns true when a heal happened.  The host's own ``resident``
+        buffer is the pristine source (it is never handed to workers), so
+        re-staging restores the exact bytes recorded by :attr:`digest` —
+        workers' digest checks pass again without remapping.
+        """
+        if bank_digest(self._staged) == self.digest:
+            return False
+        self._staged[:] = self.resident.buffer
+        self.bank_heals += 1
+        obstrace.add_event("serve.bank_heal")
+        return True
+
+    # -- scoring --------------------------------------------------------
+    def step2(
+        self,
+        index: TwoBankIndex,
+        deadline_at: float | None = None,
+        use_pool: bool = True,
+    ) -> UngappedHits:
+        """Score one request's joint *index*, warm-pool sharded.
+
+        ``deadline_at`` is the request's absolute deadline, plumbed into
+        :attr:`~repro.core.supervisor.SupervisorConfig.deadline`;
+        ``use_pool=False`` is the breaker's degraded route (in-process,
+        bit-identical, no pool interaction at all).
+        """
+        if (
+            not use_pool
+            or self.workers == 1
+            or index.n_shared_keys < 2 * self.workers
+        ):
+            return self._step2_local(index, deadline_at)
+        n_shards = max(1, min(self.workers, index.n_shared_keys))
+        ranges = split_entries_contiguous(index, n_shards)
+        tasks = [(s, lo, hi) for s, (lo, hi) in enumerate(ranges) if hi > lo]
+        if not tasks:
+            return self._step2_local(index, deadline_at)
+        counts = index.pair_counts()
+        qbuf = index.index0.bank.buffer
+        query_bytes = qbuf.tobytes()
+        payloads = {
+            s: (query_bytes, *index.shard_arrays(lo, hi)) for s, lo, hi in tasks
+        }
+        pair_counts = {s: int(counts[lo:hi].sum()) for s, lo, hi in tasks}
+
+        def local_score(shard: int) -> ShardResult:
+            return _score_shard_local(
+                self.ungapped,
+                qbuf,
+                self.resident.buffer,
+                shard,
+                payloads[shard][1:],
+            )
+
+        sup = ShardSupervisor(
+            replace(self.supervisor, deadline=deadline_at),
+            self._make_pool,
+            _score_warm_shard,
+            local_score,
+            initial_pool=self._pool,
+            keep_pool=True,
+        )
+        self._pool = None  # ownership handed to the supervisor for the run
+        try:
+            outcomes, health = sup.run(payloads, pair_counts)
+        except DeadlineExceeded as exc:
+            self.last_health = exc.health
+            raise
+        finally:
+            self._pool = sup.final_pool
+        self.last_health = health
+        stats = UngappedStats()
+        results = [o.result for o in outcomes]
+        for result in results:
+            entries, pairs, cells, hits_n = result[4]
+            stats.merge(UngappedStats(entries, pairs, cells, hits_n))
+        offsets0 = np.concatenate([r[1] for r in results])
+        offsets1 = np.concatenate([r[2] for r in results])
+        scores = np.concatenate([r[3] for r in results]).astype(np.int32)
+        return UngappedHits(offsets0, offsets1, scores, stats)
+
+    def _step2_local(
+        self, index: TwoBankIndex, deadline_at: float | None
+    ) -> UngappedHits:
+        """Degraded / small-workload route: in-process batched scoring."""
+        if deadline_at is not None and obstrace.clock() >= deadline_at:
+            health = RunHealth(shards=1, cancelled=1)
+            self.last_health = health
+            raise DeadlineExceeded(
+                "request deadline expired before in-process scoring",
+                health,
+                (0,),
+            )
+        engine = BatchedUngappedEngine(self.ungapped)
+        with obstrace.span("step2.shard", shard=0, via="local"):
+            hits = engine.run(index)
+        self.last_health = RunHealth(shards=1)
+        return hits

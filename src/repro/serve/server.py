@@ -1,0 +1,187 @@
+"""Stdlib HTTP front end for :class:`~repro.serve.service.SearchService`.
+
+Endpoints::
+
+    POST /search   {"queries": [["name", "SEQ…"], …],
+                    "deadline_ms": 2000, "max_alignments": 50}
+    GET  /healthz  liveness + breaker/pool snapshot (always 200 while up)
+    GET  /readyz   200 while accepting, 503 once draining
+    GET  /metrics  Prometheus text exposition of the service registry
+
+One handler thread per connection (``ThreadingHTTPServer``); actual
+search execution is serialised by the service's dispatcher, so handler
+threads only parse, enqueue and wait.  Connections carry a socket
+timeout, so a slow client (the ``SLOW_CLIENT`` chaos kind) stalls one
+handler thread at most — never the dispatcher, never admission.
+
+Graceful drain: SIGTERM (and SIGINT) flips ``/readyz`` to 503, new
+``/search`` requests answer 503, in-flight requests finish, the warm pool
+and staged shared memory are released, and the process exits with zero
+live segments — the ``serve-chaos`` CI job asserts exactly that.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING, Any
+
+from ..obs.metrics import prometheus_text
+from ..seqs.sequence import BankBuilder
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .service import SearchService
+
+__all__ = ["SearchHTTPServer", "serve_forever"]
+
+_log = logging.getLogger(__name__)
+
+#: Per-connection socket timeout: a client that stops reading or writing
+#: is cut loose after this long (RC107's no-unbounded-blocking contract
+#: at the socket layer).
+CONNECTION_TIMEOUT = 30.0
+
+#: Largest accepted request body (queries are meant to be small; the
+#: resident bank is the big side and it lives server-side).
+MAX_BODY_BYTES = 8 << 20
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler; ``self.server`` is the :class:`SearchHTTPServer`."""
+
+    server: SearchHTTPServer  # narrowed for type checkers
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+    #: BaseHTTPRequestHandler honors this as the connection socket timeout.
+    timeout = CONNECTION_TIMEOUT
+
+    # -- plumbing -------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        _log.debug("%s %s", self.address_string(), format % args)
+
+    def _send_json(
+        self, code: int, body: dict[str, Any], retry_after: float | None = None
+    ) -> None:
+        payload = json.dumps(body).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        if retry_after is not None:
+            self.send_header("Retry-After", f"{retry_after:g}")
+        self.end_headers()
+        self.wfile.write(payload)
+
+    # -- GET ------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        service = self.server.service
+        if self.path == "/healthz":
+            self._send_json(200, service.health_snapshot())
+        elif self.path == "/readyz":
+            if service.ready:
+                self._send_json(200, {"ready": True})
+            else:
+                self._send_json(503, {"ready": False, "draining": service.draining})
+        elif self.path == "/metrics":
+            text = prometheus_text(service.registry).encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; version=0.0.4")
+            self.send_header("Content-Length", str(len(text)))
+            self.end_headers()
+            self.wfile.write(text)
+        else:
+            self._send_json(404, {"error": f"unknown path {self.path}"})
+
+    # -- POST -----------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        if self.path != "/search":
+            self._send_json(404, {"error": f"unknown path {self.path}"})
+            return
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            self._send_json(400, {"error": "bad Content-Length"})
+            return
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._send_json(413, {"error": "request body missing or too large"})
+            return
+        # The socket timeout (``timeout`` above) bounds this read; a slow
+        # client times out its own connection, nothing else.
+        raw = self.rfile.read(length)
+        try:
+            request = json.loads(raw)
+            queries = request["queries"]
+            if not isinstance(queries, list) or not queries:
+                raise ValueError("queries must be a non-empty list")
+            builder = BankBuilder()
+            for i, item in enumerate(queries):
+                name, text = item
+                builder.add(str(name) or f"query{i}", str(text))
+            bank = builder.build()
+            deadline_ms = request.get("deadline_ms")
+            deadline = None if deadline_ms is None else float(deadline_ms) / 1e3
+            max_alignments = request.get("max_alignments")
+        except (KeyError, ValueError, TypeError, json.JSONDecodeError) as exc:
+            self._send_json(400, {"error": f"bad search request: {exc}"})
+            return
+        result = self.server.service.submit(
+            bank, deadline_seconds=deadline, max_alignments=max_alignments
+        )
+        code = int(result.pop("code", 200))
+        retry_after = result.get("retry_after")
+        self._send_json(code, result, retry_after=retry_after)
+
+
+class SearchHTTPServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one :class:`SearchService`."""
+
+    daemon_threads = True
+
+    def __init__(self, address: tuple[str, int], service: SearchService) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+
+    def drain_and_shutdown(self, timeout: float = 30.0) -> None:
+        """Stop accepting, finish in-flight work, release resources."""
+        self.service.drain(timeout=timeout)
+        self.shutdown()
+
+
+def serve_forever(
+    server: SearchHTTPServer,
+    install_signals: bool = True,
+    poll_seconds: float = 0.5,
+) -> None:
+    """Run *server* until SIGTERM/SIGINT, then drain gracefully.
+
+    The signal handler only sets a flag and kicks the shutdown thread —
+    all real work (drain, pool stop, shm release) happens outside signal
+    context.  Deliberately *not* chained through
+    :func:`repro.core.executor.install_signal_cleanup`: that hook
+    releases segments immediately, which would yank the staged bank out
+    from under in-flight requests; here the drain releases them in order,
+    and the executor's atexit registration backstops any path where the
+    drain never completes.
+    """
+    stop = threading.Event()
+
+    def _stop_handler(signum: int, frame: Any) -> None:
+        _log.info("signal %d received; draining", signum)
+        stop.set()
+        threading.Thread(
+            target=server.drain_and_shutdown, name="serve-drain", daemon=True
+        ).start()
+
+    if install_signals:
+        signal.signal(signal.SIGTERM, _stop_handler)
+        signal.signal(signal.SIGINT, _stop_handler)
+    try:
+        server.serve_forever(poll_interval=poll_seconds)
+    finally:
+        server.server_close()
+        if not stop.is_set():
+            # serve_forever ended without a signal (test harness called
+            # shutdown() directly): still drain so nothing leaks.
+            server.service.drain(timeout=poll_seconds)

@@ -1,0 +1,31 @@
+"""RC107 twin: every blocking call is bounded or non-blocking.
+
+Also exercises the shapes RC107 must *not* flag: ``dict.get(key)``,
+``str.join(parts)`` and ``Lock.acquire(False)`` carry positional
+arguments, which is how ordinary non-queue calls look.
+"""
+
+import queue
+import threading
+
+
+def drain(work: "queue.Queue[int]", done: threading.Event) -> int | None:
+    try:
+        item = work.get(timeout=0.5)
+    except queue.Empty:
+        return None
+    work.put(item, block=False)
+    done.wait(timeout=1.0)
+    return item
+
+
+def lookups(table: dict[str, int], lock: threading.Lock) -> str:
+    value = table.get("key")
+    if lock.acquire(False):
+        lock.release()
+    return ",".join(str(v) for v in (value,))
+
+
+def bounded_join(worker: threading.Thread, fut: object) -> object:
+    worker.join(timeout=2.0)
+    return fut.result(timeout=2.0)  # type: ignore[attr-defined]

@@ -1,0 +1,20 @@
+"""RC107 fixture: unbounded blocking calls in the serving layer."""
+
+import queue
+import threading
+
+
+def wedge(work: "queue.Queue[int]", done: threading.Event) -> int:
+    item = work.get()  # blocks forever when the producer is dead
+    work.put(item)  # blocks forever when the queue is full
+    done.wait()  # blocks forever when nobody sets it
+    return item
+
+
+def wedge_explicitly(work: "queue.Queue[int]") -> int:
+    return work.get(timeout=None)  # spells "block forever" out loud
+
+
+def wedge_join(worker: threading.Thread, fut: object) -> object:
+    worker.join()  # a hung worker hangs the caller too
+    return fut.result()  # type: ignore[attr-defined]

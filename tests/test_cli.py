@@ -114,9 +114,66 @@ class TestIndexCommand:
 
         assert load_index(idx_path).model.span == 3
 
-    def test_build_requires_fasta(self, tmp_path):
-        with pytest.raises(SystemExit):
-            main(["index", "build", str(tmp_path / "x.npz")])
+    def test_build_requires_fasta(self, tmp_path, capsys):
+        # config errors return exit code 2, they do not raise
+        assert main(["index", "build", str(tmp_path / "x.npz")]) == 2
+        assert "requires --fasta" in capsys.readouterr().err
+
+
+class TestExitCodes:
+    """The exit-code contract from repro.core.errors: 0/2/3/4."""
+
+    def test_ok_is_zero(self, workload_files):
+        proteins, genome = workload_files
+        assert main(["baseline", proteins, genome]) == 0
+
+    def test_config_error_is_two(self, workload_files, capsys):
+        proteins, genome = workload_files
+        rc = main(["compare", proteins, genome, "--fault-plan", "{not json"])
+        assert rc == 2
+        assert "bad --fault-plan" in capsys.readouterr().err
+
+    def test_bad_seed_pattern_is_two(self, workload_files, tmp_path, capsys):
+        proteins, _ = workload_files
+        rc = main(
+            ["index", "build", str(tmp_path / "x.npz"), "--fasta", proteins,
+             "--seed", "bogus:nope"]
+        )
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_input_is_three(self, workload_files, tmp_path, capsys):
+        _, genome = workload_files
+        rc = main(["compare", str(tmp_path / "missing.fasta"), genome])
+        assert rc == 3
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_empty_bank_is_three(self, workload_files, tmp_path, capsys):
+        _, genome = workload_files
+        empty = tmp_path / "empty.fasta"
+        empty.write_text("", encoding="ascii")
+        assert main(["compare", str(empty), genome]) == 3
+        assert "no sequences" in capsys.readouterr().err
+
+    def test_bind_failure_is_four(self, workload_files, capsys):
+        import socket
+
+        proteins, _ = workload_files
+        with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as blocker:
+            blocker.bind(("127.0.0.1", 0))
+            taken = blocker.getsockname()[1]
+            rc = main(
+                ["serve", proteins, "--port", str(taken), "--workers", "1"]
+            )
+        assert rc == 4
+        assert "cannot bind" in capsys.readouterr().err
+
+    def test_serve_main_shares_the_contract(self, capsys):
+        from repro.cli import serve_main
+
+        rc = serve_main(["/nonexistent/bank.fasta"])
+        assert rc == 3
+        assert "cannot load" in capsys.readouterr().err
 
 
 class TestRenderFlag:

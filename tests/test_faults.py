@@ -5,6 +5,7 @@ import pytest
 
 from repro.core.faults import (
     HWSIM_KINDS,
+    SERVICE_KINDS,
     WORKER_KINDS,
     FaultKind,
     FaultPlan,
@@ -24,7 +25,6 @@ class TestFaultSpec:
         assert FaultSpec(FaultKind.CORRUPT_BANK).site == "worker"
         assert FaultSpec(FaultKind.FIFO_OVERFLOW, at_count=3).site == "hwsim"
         assert FaultSpec(FaultKind.DMA_ERROR, at_count=3).site == "hwsim"
-        assert WORKER_KINDS | HWSIM_KINDS == frozenset(FaultKind)
 
     def test_matches_exact_address(self):
         spec = FaultSpec(FaultKind.CRASH, shard=2, attempt=1)
@@ -124,6 +124,64 @@ class TestFaultPlan:
         plan = FaultPlan(seed=1)
         assert plan.scaled(seed=9).seed == 9
         assert plan.seed == 1  # frozen original untouched
+
+
+class TestServiceFaults:
+    def test_kind_partition_is_total(self):
+        assert WORKER_KINDS | HWSIM_KINDS | SERVICE_KINDS == frozenset(FaultKind)
+        assert not WORKER_KINDS & SERVICE_KINDS
+        assert not HWSIM_KINDS & SERVICE_KINDS
+
+    def test_site_classification(self):
+        assert FaultSpec(FaultKind.SLOW_CLIENT, request=0).site == "service"
+        assert FaultSpec(FaultKind.POOL_DEATH, request=0).site == "service"
+
+    def test_matches_request_addressing(self):
+        spec = FaultSpec(FaultKind.POOL_DEATH, request=2)
+        assert spec.matches_request(2)
+        assert not spec.matches_request(1)
+        # wildcard request fires every time
+        always = FaultSpec(FaultKind.QUEUE_OVERFLOW)
+        assert always.matches_request(0) and always.matches_request(99)
+
+    def test_worker_kinds_never_match_requests(self):
+        assert not FaultSpec(FaultKind.CRASH, shard=0).matches_request(0)
+
+    def test_service_kinds_never_match_workers(self):
+        assert not FaultSpec(FaultKind.POOL_DEATH, request=0).matches(0, 0)
+
+    def test_service_fault_filters_by_kind(self):
+        plan = FaultPlan(
+            (
+                FaultSpec(FaultKind.QUEUE_OVERFLOW, request=1),
+                FaultSpec(FaultKind.POOL_DEATH, request=1),
+            )
+        )
+        hit = plan.service_fault(1, FaultKind.POOL_DEATH)
+        assert hit is not None and hit.kind is FaultKind.POOL_DEATH
+        assert plan.service_fault(1, FaultKind.CORRUPT_WARM_BANK) is None
+        assert plan.service_fault(0, FaultKind.POOL_DEATH) is None
+        # unfiltered: first match in plan order
+        first = plan.service_fault(1)
+        assert first is not None and first.kind is FaultKind.QUEUE_OVERFLOW
+
+    def test_service_faults_returns_all_in_order(self):
+        plan = FaultPlan(
+            (
+                FaultSpec(FaultKind.QUEUE_OVERFLOW, request=1),
+                FaultSpec(FaultKind.CRASH, shard=0),  # worker kind: excluded
+                FaultSpec(FaultKind.SLOW_CLIENT, request=1, hang_seconds=0.5),
+            )
+        )
+        kinds = [s.kind for s in plan.service_faults(1)]
+        assert kinds == [FaultKind.QUEUE_OVERFLOW, FaultKind.SLOW_CLIENT]
+        assert plan.service_faults(0) == ()
+
+    def test_request_addressed_spec_round_trips(self):
+        spec = FaultSpec(FaultKind.SLOW_CLIENT, request=4, hang_seconds=0.25)
+        assert FaultSpec.from_dict(spec.to_dict()) == spec
+        plan = FaultPlan((spec,), seed=17)
+        assert FaultPlan.from_json(plan.to_json()) == plan
 
 
 class TestBankDigest:

@@ -21,10 +21,12 @@ from repro.obs import metrics as obsmetrics
 from repro.obs import trace
 from repro.obs.export import (
     REPORT_SCHEMA,
+    SERVE_METRICS_SCHEMA,
     build_run_report,
     main as export_main,
     render_span_tree,
     validate_report,
+    validate_serve_metrics,
 )
 from repro.seqs.generate import random_protein_bank
 
@@ -103,6 +105,70 @@ class TestSchema:
         assert "ok: version 1 report, 1 spans" in capsys.readouterr().out
         path.write_text(json.dumps({"version": 1}))
         assert export_main([str(path)]) == 1
+
+
+class TestServeMetricsSchema:
+    def scrape(self, **families):
+        merged = dict(SERVE_METRICS_SCHEMA["families"])
+        merged.update(families)
+        return "\n".join(
+            f"# TYPE {name} {kind}" for name, kind in merged.items() if kind
+        )
+
+    def test_checked_in_schema_matches_embedded(self):
+        on_disk = json.loads(
+            (REPO / "schemas" / "serve_metrics.schema.json").read_text()
+        )
+        assert on_disk == SERVE_METRICS_SCHEMA
+
+    def test_required_is_a_subset_of_families(self):
+        assert set(SERVE_METRICS_SCHEMA["required"]) <= set(
+            SERVE_METRICS_SCHEMA["families"]
+        )
+        assert all(
+            name.startswith(SERVE_METRICS_SCHEMA["prefix"])
+            for name in SERVE_METRICS_SCHEMA["families"]
+        )
+
+    def test_full_scrape_is_valid(self):
+        assert validate_serve_metrics(self.scrape()) == []
+
+    def test_non_serve_families_are_ignored(self):
+        text = self.scrape() + "\n# TYPE step2_pairs_total counter"
+        assert validate_serve_metrics(text) == []
+
+    def test_missing_required_family_is_flagged(self):
+        text = self.scrape(serve_shed_total=None)  # dropped
+        errors = validate_serve_metrics(text)
+        assert any("serve_shed_total" in e and "missing" in e for e in errors)
+
+    def test_kind_mismatch_is_flagged(self):
+        text = self.scrape(serve_queue_depth="counter")
+        errors = validate_serve_metrics(text)
+        assert any("serve_queue_depth" in e and "gauge" in e for e in errors)
+
+    def test_undeclared_serve_family_is_drift(self):
+        text = self.scrape(serve_novel_total="counter")
+        errors = validate_serve_metrics(text)
+        assert any("serve_novel_total" in e and "schema" in e for e in errors)
+
+    def test_duplicate_and_malformed_lines_flagged(self):
+        text = self.scrape() + "\n# TYPE serve_shed_total counter\n# TYPE broken"
+        errors = validate_serve_metrics(text)
+        assert any("declared twice" in e for e in errors)
+        assert any("malformed" in e for e in errors)
+
+    def test_export_cli_serve_metrics_kind(self, tmp_path, capsys):
+        path = tmp_path / "scrape.txt"
+        path.write_text(self.scrape(), encoding="ascii")
+        schema = str(REPO / "schemas" / "serve_metrics.schema.json")
+        assert export_main(
+            [str(path), "--kind", "serve-metrics", "--schema", schema]
+        ) == 0
+        assert "ok: serve metrics scrape" in capsys.readouterr().out
+        path.write_text(self.scrape(serve_shed_total=None), encoding="ascii")
+        assert export_main([str(path), "--kind", "serve-metrics"]) == 1
+        assert "invalid:" in capsys.readouterr().err
 
 
 class TestPipelineReport:

@@ -1,0 +1,84 @@
+"""Admission queue tests: bounded depth, shed accounting, tickets."""
+
+import pytest
+
+from repro.obs import metrics as obsmetrics
+from repro.obs import trace
+from repro.serve.admission import AdmissionQueue, Ticket
+
+
+def make_ticket(i=0, deadline_at=None):
+    # queries may be any payload object for queue-level tests
+    return Ticket(i, object(), deadline_at=deadline_at)
+
+
+class TestTicket:
+    def test_unbounded_ticket_never_expires(self):
+        t = make_ticket()
+        assert not t.expired()
+        assert t.remaining() is None
+
+    def test_deadline_ticket_expires(self):
+        t = make_ticket(deadline_at=trace.clock() - 0.1)
+        assert t.expired()
+        assert t.remaining() == 0.0
+        t2 = make_ticket(deadline_at=trace.clock() + 60)
+        assert not t2.expired()
+        assert 0 < t2.remaining() <= 60
+
+    def test_carries_max_alignments(self):
+        t = Ticket(3, object(), max_alignments=7)
+        assert t.max_alignments == 7
+        assert t.status == "ok"
+
+
+class TestAdmissionQueue:
+    def test_depth_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(0, obsmetrics.MetricsRegistry())
+
+    def test_fifo_admit_and_take(self):
+        q = AdmissionQueue(4, obsmetrics.MetricsRegistry())
+        tickets = [make_ticket(i) for i in range(3)]
+        assert all(q.offer(t) for t in tickets)
+        taken = [q.take(timeout=0.1) for _ in range(3)]
+        assert [t.request_index for t in taken] == [0, 1, 2]
+        assert q.empty()
+
+    def test_full_queue_sheds_and_counts(self):
+        registry = obsmetrics.MetricsRegistry()
+        q = AdmissionQueue(2, registry)
+        assert q.offer(make_ticket(0))
+        assert q.offer(make_ticket(1))
+        assert not q.offer(make_ticket(2))
+        assert registry.counter("serve_shed_total").value == 1
+        # the admitted two are still served in order
+        assert q.take(timeout=0.1).request_index == 0
+
+    def test_force_shed_is_the_fault_injection_point(self):
+        registry = obsmetrics.MetricsRegistry()
+        q = AdmissionQueue(8, registry)
+        assert not q.offer(make_ticket(0), force_shed=True)
+        assert registry.counter("serve_shed_total").value == 1
+        assert q.empty()
+
+    def test_take_times_out_to_none(self):
+        q = AdmissionQueue(2, obsmetrics.MetricsRegistry())
+        assert q.take(timeout=0.01) is None
+
+    def test_depth_gauge_tracks_high_water(self):
+        registry = obsmetrics.MetricsRegistry()
+        q = AdmissionQueue(4, registry)
+        for i in range(3):
+            q.offer(make_ticket(i))
+        assert registry.gauge("serve_queue_depth").value == 3
+
+    def test_queue_wait_histogram_observes_on_take(self):
+        registry = obsmetrics.MetricsRegistry()
+        q = AdmissionQueue(2, registry)
+        q.offer(make_ticket(0))
+        q.take(timeout=0.1)
+        hist = registry.histogram(
+            "serve_queue_wait_seconds", boundaries=obsmetrics.SECONDS_BUCKETS
+        )
+        assert hist.samples == 1

@@ -1,0 +1,353 @@
+"""Service-level tests: bit-identity, chaos recovery, drain, metrics.
+
+These run real warm worker pools (small banks, 2 workers) — the serving
+analogue of ``tests/test_executor.py``'s end-to-end chaos runs.  The
+load-bearing assertion throughout: every request the service *completes*
+returns alignments bit-identical to a cold one-shot
+``SeedComparisonPipeline.compare_banks`` of the same query bank, whatever
+faults were injected around it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.config import PipelineConfig
+from repro.core.executor import live_segment_names
+from repro.core.faults import FaultKind, FaultPlan, FaultSpec
+from repro.core.pipeline import SeedComparisonPipeline
+from repro.obs.export import validate_serve_metrics
+from repro.obs.metrics import prometheus_text
+from repro.seqs.sequence import BankBuilder
+from repro.serve import (
+    BreakerConfig,
+    BreakerState,
+    SearchService,
+    ServiceConfig,
+)
+
+AA = "ACDEFGHIKLMNPQRSTVWY"
+
+
+def _rand_seq(rng, n):
+    return "".join(AA[i] for i in rng.integers(0, 20, n))
+
+
+@pytest.fixture(scope="module")
+def serve_workload():
+    """Resident bank + query bank sharing a planted motif (real hits)."""
+    rng = np.random.default_rng(11)
+    motif = _rand_seq(rng, 60)
+    rb = BankBuilder()
+    for i in range(10):
+        rb.add(f"res{i}", _rand_seq(rng, 50) + motif + _rand_seq(rng, 50))
+    qb = BankBuilder()
+    for i in range(3):
+        qb.add(f"qry{i}", _rand_seq(rng, 20) + motif + _rand_seq(rng, 20))
+    return qb.build(), rb.build()
+
+
+@pytest.fixture(scope="module")
+def cold_rows(serve_workload):
+    """The ground truth: a cold one-shot single-process run."""
+    queries, resident = serve_workload
+    report = SeedComparisonPipeline(PipelineConfig(workers=1)).compare_banks(
+        queries, resident
+    )
+    return report_rows(report)
+
+
+def report_rows(report):
+    return [
+        (a.seq0_name, a.seq1_name, a.start0, a.end0, a.start1, a.end1,
+         a.raw_score, a.ungapped_score, a.bit_score, a.evalue)
+        for a in report.alignments
+    ]
+
+
+def response_rows(body):
+    return [
+        (r["query"], r["subject"], *r["query_range"], *r["subject_range"],
+         r["raw_score"], r["ungapped_score"], r["bit_score"], r["evalue"])
+        for r in body["alignments"]
+    ]
+
+
+def make_service(serve_workload, fault_plan=None, **service_kw):
+    queries, resident = serve_workload
+    service_kw.setdefault("workers", 2)
+    svc = SearchService(
+        PipelineConfig(workers=2),
+        resident,
+        ServiceConfig(**service_kw),
+        fault_plan=fault_plan,
+    )
+    svc.start(warm=True)
+    return svc, queries
+
+
+class TestBitIdentity:
+    def test_warm_pool_matches_cold_run(self, serve_workload, cold_rows):
+        svc, queries = make_service(serve_workload)
+        try:
+            first = svc.submit(queries)
+            second = svc.submit(queries)
+            assert first["code"] == 200 and second["code"] == 200
+            assert response_rows(first) == cold_rows
+            assert response_rows(second) == cold_rows
+            assert first["n_alignments"] == len(cold_rows)
+            assert not first["degraded"]
+        finally:
+            assert svc.drain(timeout=30)
+
+    def test_degraded_path_matches_cold_run(self, serve_workload, cold_rows):
+        svc, queries = make_service(serve_workload)
+        try:
+            # Force the breaker open: the in-process degraded path must be
+            # correct-but-slower, not approximately correct.
+            for _ in range(svc.breaker.config.failure_threshold):
+                svc.breaker.record_failure()
+            assert svc.breaker.state is BreakerState.OPEN
+            out = svc.submit(queries)
+            assert out["code"] == 200
+            assert out["degraded"]
+            assert response_rows(out) == cold_rows
+        finally:
+            svc.drain(timeout=30)
+
+    def test_single_worker_service_matches_cold_run(
+        self, serve_workload, cold_rows
+    ):
+        svc, queries = make_service(serve_workload, workers=1)
+        try:
+            out = svc.submit(queries)
+            assert out["code"] == 200
+            assert response_rows(out) == cold_rows
+        finally:
+            svc.drain(timeout=30)
+
+    def test_max_alignments_truncates_response_not_counts(
+        self, serve_workload, cold_rows
+    ):
+        svc, queries = make_service(serve_workload)
+        try:
+            out = svc.submit(queries, max_alignments=2)
+            assert out["code"] == 200
+            assert len(out["alignments"]) == 2
+            assert out["n_alignments"] == len(cold_rows)
+            assert response_rows(out) == cold_rows[:2]
+        finally:
+            svc.drain(timeout=30)
+
+
+class TestPipelineEquivalence:
+    def test_compare_against_index_equals_compare_banks(self, serve_workload):
+        from repro.index.kmer import BankIndex
+
+        queries, resident = serve_workload
+        config = PipelineConfig(workers=1)
+        cold = SeedComparisonPipeline(config).compare_banks(queries, resident)
+        resident_index = BankIndex(resident, config.seed_model)
+        warm = SeedComparisonPipeline(config).compare_against_index(
+            queries, resident_index
+        )
+        assert report_rows(warm) == report_rows(cold)
+        assert warm.n_seed_pairs == cold.n_seed_pairs
+        assert warm.n_ungapped_hits == cold.n_ungapped_hits
+
+
+class TestChaos:
+    def test_seeded_chaos_recovers_and_stays_bit_identical(
+        self, serve_workload, cold_rows
+    ):
+        plan = FaultPlan(
+            seed=2201,
+            specs=(
+                FaultSpec(kind=FaultKind.POOL_DEATH, request=1),
+                FaultSpec(kind=FaultKind.QUEUE_OVERFLOW, request=2),
+                FaultSpec(kind=FaultKind.CORRUPT_WARM_BANK, request=3),
+            ),
+        )
+        svc, queries = make_service(serve_workload, fault_plan=plan)
+        try:
+            outcomes = [svc.submit(queries) for _ in range(5)]
+            codes = [o["code"] for o in outcomes]
+            assert codes == [200, 200, 429, 200, 200]
+            shed = outcomes[2]
+            assert shed["status"] == "shed"
+            assert shed["retry_after"] == pytest.approx(1.0)
+            for out in outcomes:
+                if out["code"] == 200:
+                    assert response_rows(out) == cold_rows
+            # the pool death shows up as an unhealthy run, then recovery
+            assert svc.pool.bank_heals == 1
+            snap = svc.health_snapshot()
+            assert snap["bank_heals"] == 1
+            assert snap["pool_alive"]
+        finally:
+            assert svc.drain(timeout=30)
+        assert live_segment_names() == ()
+
+    def test_breaker_trips_and_recovers_under_repeated_pool_death(
+        self, serve_workload, cold_rows
+    ):
+        threshold = 3
+        plan = FaultPlan(
+            seed=99,
+            specs=tuple(
+                FaultSpec(kind=FaultKind.POOL_DEATH, request=i)
+                for i in range(threshold)
+            ),
+        )
+        # A dwell no slow run can outlast: the open-phase assertions below
+        # must observe the breaker before its reset, and wall-clock sleeps
+        # made this racy under REPRO_CONTRACTS (slow pool-death requests
+        # burned through a short dwell before the degraded submit).  The
+        # recovery phase rewinds ``_opened_at`` instead of sleeping.
+        dwell = 300.0
+        svc, queries = make_service(
+            serve_workload,
+            fault_plan=plan,
+            breaker=BreakerConfig(failure_threshold=threshold, reset_seconds=dwell),
+        )
+        try:
+            for i in range(threshold):
+                out = svc.submit(queries)
+                assert out["code"] == 200
+                assert response_rows(out) == cold_rows
+            assert svc.breaker.trips == 1
+            # while open: degraded but still bit-identical
+            degraded = svc.submit(queries)
+            assert degraded["code"] == 200
+            assert degraded["degraded"]
+            assert response_rows(degraded) == cold_rows
+            # after the dwell the half-open probe succeeds and closes it;
+            # expire the dwell deterministically rather than sleeping it out
+            svc.breaker._opened_at -= dwell
+            probe = svc.submit(queries)
+            assert probe["code"] == 200
+            assert response_rows(probe) == cold_rows
+            assert svc.breaker.state is BreakerState.CLOSED
+            assert svc.breaker.trips == 1
+        finally:
+            svc.drain(timeout=30)
+
+    def test_corrupt_warm_bank_heals_via_crc(self, serve_workload, cold_rows):
+        svc, queries = make_service(serve_workload)
+        try:
+            svc.pool.corrupt_staged_bank(request=0)
+            assert svc.pool.heal_if_corrupt()
+            assert svc.pool.bank_heals == 1
+            assert not svc.pool.heal_if_corrupt()  # already pristine
+            out = svc.submit(queries)
+            assert out["code"] == 200
+            assert response_rows(out) == cold_rows
+        finally:
+            svc.drain(timeout=30)
+
+
+class TestDeadlines:
+    def test_expired_deadline_answers_504(self, serve_workload):
+        svc, queries = make_service(serve_workload)
+        try:
+            out = svc.submit(queries, deadline_seconds=0.0)
+            assert out["code"] == 504
+            assert out["status"] == "deadline"
+        finally:
+            svc.drain(timeout=30)
+
+    def test_deadline_miss_leaves_survivors_bit_identical(
+        self, serve_workload, cold_rows
+    ):
+        svc, queries = make_service(serve_workload)
+        try:
+            missed = svc.submit(queries, deadline_seconds=0.0)
+            assert missed["code"] == 504
+            # the cancelled request must not poison the warm state: the
+            # next request is served and bit-identical
+            survivor = svc.submit(queries)
+            assert survivor["code"] == 200
+            assert response_rows(survivor) == cold_rows
+            # a client's aggressive deadline alone must not trip the breaker
+            assert svc.breaker.trips == 0
+        finally:
+            svc.drain(timeout=30)
+
+    def test_default_deadline_from_config(self, serve_workload):
+        svc, queries = make_service(
+            serve_workload, default_deadline_seconds=0.0
+        )
+        try:
+            out = svc.submit(queries)
+            assert out["code"] == 504
+        finally:
+            svc.drain(timeout=30)
+
+
+class TestDrain:
+    def test_drain_releases_everything_and_rejects_new_work(
+        self, serve_workload
+    ):
+        svc, queries = make_service(serve_workload)
+        served = svc.submit(queries)
+        assert served["code"] == 200
+        assert live_segment_names() != ()  # staged bank is resident
+        assert svc.drain(timeout=30)
+        assert live_segment_names() == ()  # no shm leak after drain
+        assert not svc.pool.pool_alive
+        late = svc.submit(queries)
+        assert late["code"] == 503
+        assert not svc.ready
+        # drain is idempotent
+        assert svc.drain(timeout=5)
+
+
+class TestMetricsSurface:
+    def test_exposition_matches_schema_after_traffic(
+        self, serve_workload
+    ):
+        plan = FaultPlan(
+            seed=5,
+            specs=(FaultSpec(kind=FaultKind.QUEUE_OVERFLOW, request=1),),
+        )
+        svc, queries = make_service(serve_workload, fault_plan=plan)
+        try:
+            assert svc.submit(queries)["code"] == 200
+            assert svc.submit(queries)["code"] == 429
+            text = prometheus_text(svc.registry)
+            assert validate_serve_metrics(text) == []
+            assert 'serve_requests_total{status="ok"} 1' in text
+            assert 'serve_requests_total{status="shed"} 1' in text
+            assert "serve_shed_total 1" in text
+            assert "serve_breaker_state 0" in text
+        finally:
+            svc.drain(timeout=30)
+
+    def test_full_surface_present_from_boot(self, serve_workload):
+        svc, _ = make_service(serve_workload)
+        try:
+            text = prometheus_text(svc.registry)
+            for family in (
+                "serve_shed_total",
+                "serve_queue_depth",
+                "serve_queue_wait_seconds",
+                "serve_request_seconds",
+                "serve_breaker_state",
+                "serve_breaker_trips_total",
+                "serve_degraded_requests_total",
+                "serve_bank_heals_total",
+            ):
+                assert f"# TYPE {family} " in text
+        finally:
+            svc.drain(timeout=30)
+
+    def test_health_snapshot_shape(self, serve_workload):
+        svc, _ = make_service(serve_workload)
+        try:
+            snap = svc.health_snapshot()
+            assert snap["ok"] and snap["ready"]
+            assert snap["breaker"] == "closed"
+            assert snap["pool_alive"]
+            assert isinstance(snap["live_segments"], (list, tuple))
+            assert len(snap["live_segments"]) == 1
+        finally:
+            svc.drain(timeout=30)

@@ -294,3 +294,163 @@ class TestRenderRunHealth:
         assert "[degraded]" in render_run_health(
             RunHealth(shards=2, fallback_shards=1)
         )
+
+
+class TestRunDeadline:
+    """Run-level deadline: cancellation counts once, never double."""
+
+    def deadline_config(self, offset, **kw):
+        from repro.obs import trace
+
+        defaults = dict(shard_timeout=0.2, max_retries=2, backoff_base=0.001)
+        defaults.update(kw)
+        return SupervisorConfig(deadline=trace.clock() + offset, **defaults)
+
+    def test_expired_deadline_cancels_before_any_dispatch(self):
+        from repro.core.supervisor import DeadlineExceeded
+
+        h = Harness(lambda s, a: ("ok", ok_result(s)),
+                    config=self.deadline_config(-1.0))
+        with pytest.raises(DeadlineExceeded) as exc_info:
+            h.run()
+        exc = exc_info.value
+        assert exc.cancelled_shards == (0, 1)
+        assert exc.health.cancelled == 2
+        assert exc.health.timeouts == 0 and exc.health.crashes == 0
+        assert exc.health.retries == 0
+        assert not exc.health.healthy
+        # cancelled before the pool was ever built
+        assert h.pools == []
+        assert h.local_scored == []
+
+    def test_mid_wait_deadline_is_cancelled_not_timeout(self):
+        from repro.core.supervisor import DeadlineExceeded
+
+        h = Harness(lambda s, a: ("hang", None),
+                    config=self.deadline_config(0.05))
+        with pytest.raises(DeadlineExceeded) as exc_info:
+            h.run()
+        health = exc_info.value.health
+        # The hung dispatch was interrupted by the *run* deadline: each
+        # abandoned shard is a cancellation, never also a shard timeout.
+        assert health.cancelled == 2
+        assert health.timeouts == 0
+        assert health.cancelled + health.timeouts == 2
+        # the hung pool must not survive for a later request to trip over
+        assert h.pools[-1].shutdowns >= 1
+
+    def test_cancel_mid_retry_keeps_prior_counts_single(self):
+        from repro.core.supervisor import DeadlineExceeded
+
+        def behaviour(shard, attempt):
+            if shard == 1:
+                return ("raise", RuntimeError("boom"))
+            return ("ok", ok_result(shard))
+
+        h = Harness(behaviour,
+                    config=self.deadline_config(0.01, backoff_base=0.05))
+        with pytest.raises(DeadlineExceeded) as exc_info:
+            h.run()
+        health = exc_info.value.health
+        # attempt 0's crash stays exactly one crash; the abandoned retry
+        # is exactly one cancellation; nothing is counted twice and the
+        # never-dispatched retry does not inflate the retry counter.
+        assert health.crashes == 1
+        assert health.cancelled == 1
+        assert health.retries == 0
+        assert health.fallback_shards == 0
+        assert exc_info.value.cancelled_shards == (1,)
+
+    def test_fallback_loop_honours_deadline(self):
+        from repro.core.supervisor import DeadlineExceeded
+        from repro.obs import trace
+
+        config = self.deadline_config(0.05, max_retries=0, shard_timeout=0.2)
+
+        def behaviour(shard, attempt):
+            if shard == 1:
+                # Burn through the run deadline inside the dispatch so the
+                # retries are exhausted *before* it expires and the
+                # in-process fallback loop is what must notice.
+                while trace.clock() < config.deadline:
+                    pass
+            return ("raise", RuntimeError("boom"))
+
+        h = Harness(behaviour, config=config)
+        with pytest.raises(DeadlineExceeded) as exc_info:
+            h.run()
+        health = exc_info.value.health
+        assert health.crashes == 2  # round 0 really dispatched both shards
+        assert health.cancelled == 2
+        assert h.local_scored == []  # no fallback ran past the deadline
+
+    def test_no_deadline_behaviour_unchanged(self):
+        h = Harness(lambda s, a: ("ok", ok_result(s)))
+        outcomes, health = h.run()
+        assert [o.shard for o in outcomes] == [0, 1]
+        assert health.cancelled == 0
+        assert health.healthy
+
+
+class TestWarmPoolHandoff:
+    """initial_pool/keep_pool: pool ownership across supervisor runs."""
+
+    def make(self, behaviour, initial_pool, keep_pool, config=FAST):
+        pools = []
+
+        def make_pool():
+            pool = FakePool(behaviour)
+            pools.append(pool)
+            return pool
+
+        sup = ShardSupervisor(
+            config, make_pool, lambda *a: None,
+            lambda shard: ok_result(shard),
+            initial_pool=initial_pool, keep_pool=keep_pool,
+        )
+        return sup, pools
+
+    def test_clean_run_keeps_and_returns_the_warm_pool(self):
+        warm = FakePool(lambda s, a: ("ok", ok_result(s)))
+        sup, pools = self.make(lambda s, a: ("ok", ok_result(s)), warm, True)
+        outcomes, health = sup.run({0: (), 1: ()}, {0: 100, 1: 100})
+        assert [o.shard for o in outcomes] == [0, 1]
+        assert sup.final_pool is warm
+        assert warm.shutdowns == 0  # still alive for the next request
+        assert pools == []  # never rebuilt
+        assert health.pool_rebuilds == 0
+
+    def test_dead_warm_pool_counts_a_rebuild(self):
+        warm = FakePool(lambda s, a: ("broken-submit", None))
+        sup, pools = self.make(lambda s, a: ("ok", ok_result(s)), warm, True)
+        outcomes, health = sup.run({0: (), 1: ()}, {0: 100, 1: 100})
+        assert [o.shard for o in outcomes] == [0, 1]
+        # losing warm state is a rebuild even though it happened on round 0
+        assert health.pool_rebuilds == 1
+        assert sup.final_pool is pools[-1]
+        assert warm.shutdowns >= 1
+
+    def test_keep_pool_false_shuts_the_initial_pool_down(self):
+        warm = FakePool(lambda s, a: ("ok", ok_result(s)))
+        sup, _ = self.make(lambda s, a: ("ok", ok_result(s)), warm, False)
+        sup.run({0: ()}, {0: 100})
+        assert warm.shutdowns == 1
+        assert sup.final_pool is None
+
+
+class TestCancelledHealthPlumbing:
+    def test_cancelled_breaks_healthy_and_merges(self):
+        a = RunHealth(shards=2, cancelled=1)
+        b = RunHealth(shards=2)
+        assert not a.healthy
+        merged = RunHealth()
+        merged.merge(a)
+        merged.merge(b)
+        assert merged.cancelled == 1
+        assert merged.as_dict()["cancelled"] == 1
+
+    def test_render_mentions_cancelled_shards(self):
+        line = render_run_health(RunHealth(shards=4, cancelled=2))
+        assert "2 cancelled shards" in line
+        line1 = render_run_health(RunHealth(shards=4, cancelled=1))
+        assert "1 cancelled shard" in line1
