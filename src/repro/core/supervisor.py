@@ -428,7 +428,12 @@ class ShardSupervisor:
                     for later_shard, later_future in collected[index + 1 :]:
                         later_future.cancel()
                         cancelled.append(later_shard)
-                    health.cancelled += len(cancelled)
+                    # Shards that failed at submit ride back in the same
+                    # deadline return: the deadline cancels their retry,
+                    # so they land in health.cancelled too (their
+                    # submit-time crash was a separate dispatch) — run()
+                    # re-raises with already_counted=True.
+                    health.cancelled += len(failed) + len(cancelled)
                     _stop_pool(pool)
                     return sorted(failed + cancelled), None, True
                 _log.warning(

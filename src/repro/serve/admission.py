@@ -110,6 +110,22 @@ class AdmissionQueue:
             ticket = self._queue.get(timeout=timeout)
         except queue.Empty:
             return None
+        return self._observe_wait(ticket)
+
+    def take_nowait(self) -> Ticket | None:
+        """Dequeue the next ticket without blocking (``None`` when empty).
+
+        The dispatcher calls this under its dequeue lock so taking a
+        ticket and marking the service busy are one atomic step for
+        drain's idle check — a blocking take cannot sit inside that lock.
+        """
+        try:
+            ticket = self._queue.get(block=False)
+        except queue.Empty:
+            return None
+        return self._observe_wait(ticket)
+
+    def _observe_wait(self, ticket: Ticket) -> Ticket:
         self._registry.histogram(
             "serve_queue_wait_seconds", boundaries=obsmetrics.SECONDS_BUCKETS
         ).observe(trace.clock() - ticket.enqueued_at)

@@ -123,6 +123,16 @@ class _Handler(BaseHTTPRequestHandler):
             deadline_ms = request.get("deadline_ms")
             deadline = None if deadline_ms is None else float(deadline_ms) / 1e3
             max_alignments = request.get("max_alignments")
+            if max_alignments is not None:
+                # Reject rather than coerce: a malformed limit is the
+                # client's error (400), never a dispatcher 500 that would
+                # count against the breaker.
+                if isinstance(max_alignments, bool) or not isinstance(
+                    max_alignments, int
+                ):
+                    raise ValueError("max_alignments must be an integer")
+                if max_alignments < 0:
+                    raise ValueError("max_alignments must be >= 0")
         except (KeyError, ValueError, TypeError, json.JSONDecodeError) as exc:
             self._send_json(400, {"error": f"bad search request: {exc}"})
             return

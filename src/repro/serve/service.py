@@ -69,6 +69,10 @@ class ServiceConfig:
         Hard cap a handler thread parks on its ticket, deadline or not;
         the backstop that keeps a wedged dispatcher from pinning handler
         threads forever.
+    deadline_grace_seconds:
+        Extra park time past a request's deadline (or past the
+        ``max_wait_seconds`` cap) so the dispatcher can finish cancelling
+        and fill in the 504 before the handler gives up with a 500.
     poll_seconds:
         Dispatcher queue-poll granularity (bounds drain latency).
     """
@@ -78,6 +82,7 @@ class ServiceConfig:
     retry_after_seconds: float = 1.0
     default_deadline_seconds: float | None = None
     max_wait_seconds: float = 120.0
+    deadline_grace_seconds: float = 5.0
     poll_seconds: float = 0.1
     breaker: BreakerConfig = field(default_factory=BreakerConfig)
 
@@ -128,6 +133,12 @@ class SearchService:
         self._stopped = threading.Event()
         self._busy = threading.Event()  # set while a request is dispatched
         self._idle_tick = threading.Event()  # pulsed by the dispatcher
+        self._work = threading.Event()  # pulsed by submit() on admission
+        # Dequeue-and-mark-busy happens atomically under this lock, and
+        # drain() samples its idle condition under the same lock — so a
+        # ticket can never be invisible (out of the queue, _busy not yet
+        # set) at the moment drain decides the service is idle.
+        self._dispatch_lock = threading.Lock()
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="serve-dispatcher", daemon=True
         )
@@ -184,7 +195,9 @@ class SearchService:
         deadline = trace.clock() + max(0.0, timeout)
         drained = False
         while trace.clock() < deadline:
-            if self.queue.empty() and not self._busy.is_set():
+            with self._dispatch_lock:
+                idle = self.queue.empty() and not self._busy.is_set()
+            if idle:
                 drained = True
                 break
             self._idle_tick.wait(timeout=self.service.poll_seconds)
@@ -234,12 +247,14 @@ class SearchService:
                 "request": request_index,
                 "retry_after": self.service.retry_after_seconds,
             }
+        self._work.set()
         wait = self.service.max_wait_seconds
         remaining = ticket.remaining()
         if remaining is not None:
-            # Give the dispatcher a grace window past the deadline to
-            # finish cancelling before the handler gives up on the ticket.
-            wait = min(wait, remaining + self.service.max_wait_seconds)
+            # Park until the deadline (never past the max_wait backstop),
+            # plus a grace window for the dispatcher to finish cancelling
+            # and fill in the 504 before the handler gives up.
+            wait = min(wait, remaining) + self.service.deadline_grace_seconds
         if not ticket.done.wait(timeout=wait):
             self._count_request("error")
             return {
@@ -275,11 +290,15 @@ class SearchService:
     # -- dispatcher -----------------------------------------------------
     def _dispatch_loop(self) -> None:
         while not self._stopped.is_set():
-            ticket = self.queue.take(timeout=self.service.poll_seconds)
+            with self._dispatch_lock:
+                ticket = self.queue.take_nowait()
+                if ticket is not None:
+                    self._busy.set()
             if ticket is None:
                 self._idle_tick.set()
+                self._work.wait(timeout=self.service.poll_seconds)
+                self._work.clear()
                 continue
-            self._busy.set()
             try:
                 self._handle(ticket)
             finally:
@@ -310,7 +329,7 @@ class SearchService:
                     # A deadline miss on the pool path counts against the
                     # breaker only when the pool actually misbehaved —
                     # an aggressive client deadline alone must not trip it.
-                    self._record_breaker(self._pool_misbehaved(), probing)
+                    self._record_breaker(not self._pool_misbehaved(), probing)
                 return
             except Exception as exc:  # noqa: BLE001 - request must answer
                 _log.warning(

@@ -157,6 +157,23 @@ class TestBadRequests:
         assert status == 504
         assert json.loads(body)["status"] == "deadline"
 
+    def test_bad_max_alignments_400_not_500(self, live_server):
+        # A malformed limit is the client's error: it must answer 400
+        # before submit(), never become a dispatcher 500 that counts
+        # against the breaker.
+        host, port, svc, queries = live_server
+        for bad in ("five", -1, 2.5, True):
+            payload = {**_query_payload(queries), "max_alignments": bad}
+            status, body, _ = _post(host, port, payload)
+            assert status == 400, f"max_alignments={bad!r}"
+            assert b"bad search request" in body
+        assert svc.breaker.trips == 0
+        # a legal limit still flows through
+        payload = {**_query_payload(queries), "max_alignments": 0}
+        status, body, _ = _post(host, port, payload)
+        assert status == 200
+        assert json.loads(body)["alignments"] == []
+
 
 class TestShedding:
     def test_shed_carries_retry_after_header(self, http_workload):

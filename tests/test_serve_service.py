@@ -8,6 +8,9 @@ returns alignments bit-identical to a cold one-shot
 faults were injected around it.
 """
 
+import threading
+import time
+
 import numpy as np
 import pytest
 
@@ -15,6 +18,8 @@ from repro.core.config import PipelineConfig
 from repro.core.executor import live_segment_names
 from repro.core.faults import FaultKind, FaultPlan, FaultSpec
 from repro.core.pipeline import SeedComparisonPipeline
+from repro.core.profile import RunHealth
+from repro.core.supervisor import DeadlineExceeded
 from repro.obs.export import validate_serve_metrics
 from repro.obs.metrics import prometheus_text
 from repro.seqs.sequence import BankBuilder
@@ -282,6 +287,84 @@ class TestDeadlines:
         finally:
             svc.drain(timeout=30)
 
+    def test_mid_run_deadline_with_healthy_pool_spares_breaker(
+        self, serve_workload
+    ):
+        # A deadline that expires *after* dispatch (not caught by the
+        # pre-dispatch expiry check) with a healthy pool is purely the
+        # client's miss: it must record a breaker success, never a
+        # failure counting toward the trip threshold.
+        svc, queries = make_service(serve_workload)
+
+        def expire_mid_run(ticket, use_pool):
+            svc.pool.last_health = RunHealth(shards=2)
+            raise DeadlineExceeded(
+                "request deadline expired during gapped extension",
+                svc.pool.last_health,
+                (),
+            )
+
+        svc._run = expire_mid_run
+        try:
+            out = svc.submit(queries, deadline_seconds=30.0)
+            assert out["code"] == 504
+            assert svc.breaker.trips == 0
+            assert svc.breaker.state is BreakerState.CLOSED
+            assert svc.breaker._consecutive_failures == 0
+        finally:
+            svc.drain(timeout=30)
+
+    def test_mid_run_deadline_with_pool_fault_counts_failure(
+        self, serve_workload
+    ):
+        # The same mid-run expiry caused by a real pool fault must count:
+        # with a threshold of 1 it trips the breaker outright.
+        svc, queries = make_service(
+            serve_workload,
+            breaker=BreakerConfig(failure_threshold=1, reset_seconds=300.0),
+        )
+
+        def crash_mid_run(ticket, use_pool):
+            svc.pool.last_health = RunHealth(shards=2, crashes=1)
+            raise DeadlineExceeded(
+                "run deadline expired with 1 shard(s) unfinished",
+                svc.pool.last_health,
+                (1,),
+            )
+
+        svc._run = crash_mid_run
+        try:
+            out = svc.submit(queries, deadline_seconds=30.0)
+            assert out["code"] == 504
+            assert svc.breaker.trips == 1
+            assert svc.breaker.state is BreakerState.OPEN
+        finally:
+            svc.drain(timeout=30)
+
+    def test_deadline_outlasting_max_wait_is_served_not_500(
+        self, serve_workload, cold_rows
+    ):
+        # The handler parks min(max_wait, deadline) + grace on its
+        # ticket: with a tiny max_wait but a generous grace, a dispatch
+        # slower than max_wait must still answer 200, not a spurious
+        # "dispatcher unresponsive" 500.
+        svc, queries = make_service(
+            serve_workload, max_wait_seconds=0.05, deadline_grace_seconds=60.0
+        )
+        real_handle = svc._handle
+
+        def slow_handle(ticket):
+            time.sleep(0.3)
+            real_handle(ticket)
+
+        svc._handle = slow_handle
+        try:
+            out = svc.submit(queries, deadline_seconds=30.0)
+            assert out["code"] == 200
+            assert response_rows(out) == cold_rows
+        finally:
+            svc.drain(timeout=30)
+
 
 class TestDrain:
     def test_drain_releases_everything_and_rejects_new_work(
@@ -299,6 +382,58 @@ class TestDrain:
         assert not svc.ready
         # drain is idempotent
         assert svc.drain(timeout=5)
+
+    def test_drain_cannot_race_a_just_dequeued_request(
+        self, serve_workload, cold_rows
+    ):
+        # Regression: drain() used to sample "queue empty and not busy"
+        # without coordination, so in the window between the dispatcher
+        # dequeuing a ticket and setting _busy it could declare the
+        # service idle and close the pool under the live request.  The
+        # dequeue now happens inside the dispatch lock drain samples
+        # under, so that window is unobservable.
+        svc, queries = make_service(serve_workload)
+        in_window = threading.Event()
+        release = threading.Event()
+        real_take = svc.queue.take_nowait
+
+        def gated_take():
+            ticket = real_take()
+            if ticket is not None:
+                in_window.set()
+                release.wait(timeout=30)
+            return ticket
+
+        svc.queue.take_nowait = gated_take
+        out = []
+        worker = threading.Thread(
+            target=lambda: out.append(svc.submit(queries))
+        )
+        worker.start()
+        try:
+            assert in_window.wait(timeout=30)
+            # The ticket is out of the queue and _busy is not yet set —
+            # exactly the old race window.  It sits inside the dispatch
+            # lock, so drain's idle sample cannot run here:
+            acquired = svc._dispatch_lock.acquire(timeout=0.2)
+            if acquired:  # pragma: no cover - the regression itself
+                svc._dispatch_lock.release()
+            assert not acquired
+            drained = []
+            drainer = threading.Thread(
+                target=lambda: drained.append(svc.drain(timeout=30))
+            )
+            drainer.start()
+            release.set()
+            drainer.join(timeout=60)
+            worker.join(timeout=60)
+            assert drained == [True]
+            # the just-dequeued request was finished, not cut off
+            assert out and out[0]["code"] == 200
+            assert response_rows(out[0]) == cold_rows
+        finally:
+            release.set()
+            svc.drain(timeout=5)
 
 
 class TestMetricsSurface:

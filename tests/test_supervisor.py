@@ -384,6 +384,27 @@ class TestRunDeadline:
         assert health.cancelled == 2
         assert h.local_scored == []  # no fallback ran past the deadline
 
+    def test_submit_failures_merge_into_cancelled_at_mid_wait_deadline(self):
+        from repro.core.supervisor import DeadlineExceeded
+
+        def behaviour(shard, attempt):
+            if shard == 1:
+                return "broken-submit", None
+            return "hang", None
+
+        h = Harness(behaviour, config=self.deadline_config(0.05))
+        with pytest.raises(DeadlineExceeded) as exc_info:
+            h.run()
+        exc = exc_info.value
+        # Shard 1 died at submit (exactly one crash); shard 0 hung until
+        # the run deadline.  Both ride back in cancelled_shards, so both
+        # must land in health.cancelled exactly once — the submit-time
+        # failure must not be dropped from the cancellation count.
+        assert exc.cancelled_shards == (0, 1)
+        assert exc.health.crashes == 1
+        assert exc.health.cancelled == 2
+        assert exc.health.timeouts == 0
+
     def test_no_deadline_behaviour_unchanged(self):
         h = Harness(lambda s, a: ("ok", ok_result(s)))
         outcomes, health = h.run()
