@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import tracemalloc
 from collections.abc import Iterator
 from contextlib import contextmanager
@@ -87,22 +88,28 @@ class AllocsanRecorder:
         self.meta: dict[str, Any] = dict(meta or {})
         self._scopes: dict[str, dict[str, int]] = {}
         self._started_tracing = False
+        # In a served context scopes run on dispatcher threads, not just
+        # the main thread, so the counters need a lock of their own.
+        self._mu = threading.Lock()
 
     def note(self, scope: str, alloc_bytes: int, peak_bytes: int) -> None:
         """Fold one scope execution into the counters."""
-        entry = self._scopes.setdefault(
-            scope, {"calls": 0, "alloc_bytes": 0, "peak_bytes": 0}
-        )
-        entry["calls"] += 1
-        entry["alloc_bytes"] += max(0, int(alloc_bytes))
-        entry["peak_bytes"] = max(entry["peak_bytes"], max(0, int(peak_bytes)))
+        with self._mu:
+            entry = self._scopes.setdefault(
+                scope, {"calls": 0, "alloc_bytes": 0, "peak_bytes": 0}
+            )
+            entry["calls"] += 1
+            entry["alloc_bytes"] += max(0, int(alloc_bytes))
+            entry["peak_bytes"] = max(entry["peak_bytes"], max(0, int(peak_bytes)))
 
     def manifest(self) -> dict[str, Any]:
         """The JSON-able manifest of everything recorded so far."""
+        with self._mu:
+            scopes = {k: dict(v) for k, v in sorted(self._scopes.items())}
         return {
             "version": _VERSION,
             "meta": dict(self.meta),
-            "scopes": {k: dict(v) for k, v in sorted(self._scopes.items())},
+            "scopes": scopes,
         }
 
     def write(self, path: str | Path) -> None:

@@ -18,6 +18,12 @@ Usage::
                                      # allocation sanitizer and diff the
                                      # manifest against the committed
                                      # allocsan-budget.json
+    repro-check --verify-locks Q.fasta R.fasta
+                                     # boot the search service under the
+                                     # lockset sanitizer, drive real
+                                     # requests, and cross-check observed
+                                     # locksets/orders against the static
+                                     # RC300 thread/lock model
     repro-check --baseline FILE --prune-baseline src tests
                                      # drop baseline entries the run no
                                      # longer needs
@@ -102,6 +108,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="instead of linting: run the pipeline on this FASTA pair "
         "under the allocation sanitizer and diff the per-scope "
         "allocation manifest against the committed budget",
+    )
+    p.add_argument(
+        "--verify-locks",
+        nargs=2,
+        metavar=("QUERIES", "RESIDENT"),
+        help="instead of linting: boot the search service on this "
+        "query/resident FASTA pair under the lockset sanitizer, drive "
+        "real requests through it, and cross-check the observed "
+        "locksets and acquisition orders against the static thread/lock "
+        "model",
     )
     p.add_argument(
         "--allocs-budget",
@@ -252,6 +268,46 @@ def _run_verify_allocs(
     return 1
 
 
+def _run_verify_locks(
+    args: argparse.Namespace, parser: argparse.ArgumentParser
+) -> int:
+    """``--verify-locks`` mode: one served load run, static/runtime diff."""
+    # Lazy import: the lint path must not pull in numpy + the serve stack.
+    from .locksan import verify_service_locks
+
+    queries, resident = args.verify_locks
+    for path in (queries, resident):
+        if not Path(path).exists():
+            parser.error(f"no such file: {path}")
+    workers = max(_parse_workers(args.workers, parser))
+    ok, manifest, problems = verify_service_locks(
+        queries, resident, workers=workers
+    )
+    if not args.quiet:
+        for name, entry in manifest["fields"].items():
+            candidates = entry["candidates"] or []
+            print(
+                f"{name}: threads={len(entry['threads'])} "
+                f"reads={entry['reads']} writes={entry['writes']} "
+                f"guard={','.join(candidates) if candidates else '-'}"
+            )
+        for outer, inners in manifest["order"].items():
+            for inner in inners:
+                print(f"order: {outer} -> {inner}")
+    if ok:
+        print(
+            "repro-check: lock model verified — "
+            f"{len(manifest['locks'])} locks, {len(manifest['fields'])} "
+            "guarded fields, zero violations/disagreements"
+        )
+        return 0
+    for line in problems:
+        print(f"lock model: {line}")
+        if args.github:
+            print(f"::error title=repro-check locks::{line}")
+    return 1
+
+
 def _load_baseline_arg(
     path: str, parser: argparse.ArgumentParser
 ) -> Baseline:
@@ -294,6 +350,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _run_verify(args, parser)
     if args.verify_allocs:
         return _run_verify_allocs(args, parser)
+    if args.verify_locks:
+        return _run_verify_locks(args, parser)
     if not args.paths:
         parser.error("no paths given (try `repro-check src tests`)")
     if args.prune_baseline and not args.baseline:

@@ -40,6 +40,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import threading
 from collections.abc import Iterator, Sequence
 from contextlib import contextmanager
 from pathlib import Path
@@ -131,22 +132,30 @@ class DetsanRecorder:
         self.meta: dict[str, Any] = dict(meta or {})
         self._stages: dict[str, dict[str, Any]] = {}
         self._detail: list[dict[str, Any]] = []
+        # In a served context merge points run on dispatcher threads, so
+        # the accumulators need a lock of their own.
+        self._mu = threading.Lock()
 
     def record_stage(self, name: str, digest: str, n: int) -> None:
         """Record one compared stage digest (last write wins per name)."""
-        self._stages[name] = {"digest": digest, "n": n}
+        with self._mu:
+            self._stages[name] = {"digest": digest, "n": n}
 
     def record_detail(self, event: str, **info: Any) -> None:
         """Record one non-compared diagnostic event."""
-        self._detail.append({"event": event, **info})
+        with self._mu:
+            self._detail.append({"event": event, **info})
 
     def manifest(self) -> dict[str, Any]:
         """The JSON-able manifest of everything recorded so far."""
+        with self._mu:
+            stages = {k: dict(v) for k, v in sorted(self._stages.items())}
+            detail = [dict(d) for d in self._detail]
         return {
             "version": _VERSION,
             "meta": dict(self.meta),
-            "stages": {k: dict(v) for k, v in sorted(self._stages.items())},
-            "detail": [dict(d) for d in self._detail],
+            "stages": stages,
+            "detail": detail,
         }
 
     def write(self, path: str | Path) -> None:

@@ -39,6 +39,7 @@ from .graph import CallSite, FunctionInfo, ProjectGraph, dotted_name
 
 if TYPE_CHECKING:  # pragma: no cover — import cycle guard for annotations
     from .dtypes import DtypeAnalysis
+    from .locks import LockAnalysis
 
 __all__ = [
     "Taint",
@@ -430,6 +431,7 @@ class ProjectAnalyses:
         self._flow: FlowAnalysis | None = None
         self._release: ReleaseAnalysis | None = None
         self._dtypes: DtypeAnalysis | None = None
+        self._locks: LockAnalysis | None = None
 
     @property
     def flow(self) -> FlowAnalysis:
@@ -453,3 +455,12 @@ class ProjectAnalyses:
 
             self._dtypes = DtypeAnalysis(self.graph)
         return self._dtypes
+
+    @property
+    def locks(self) -> LockAnalysis:
+        """The (cached) thread-root/lockset model (RC3xx substrate)."""
+        if self._locks is None:
+            from .locks import LockAnalysis
+
+            self._locks = LockAnalysis(self.graph)
+        return self._locks

@@ -1,0 +1,635 @@
+"""Runtime lockset sanitizer (``REPRO_LOCKSAN=1``).
+
+The static RC300-series rules (:mod:`repro.analysis.threads`) prove lock
+discipline about the *code*; this module proves it about a *run*.  The
+serve stack creates its locks through the :func:`make_lock` /
+:func:`make_rlock` / :func:`make_condition` factory seam.  With
+``REPRO_LOCKSAN`` unset the factories return plain :mod:`threading`
+primitives — zero overhead, no wrapper in the hot path.  When set, they
+return instrumented wrappers that maintain a per-thread *lockset* (the
+locks currently held by each thread) and record, Eraser-style, a
+candidate set per declared guarded field:
+
+* the first :func:`touch` of a field initialises its candidates to the
+  toucher's current lockset;
+* every later touch intersects the candidates with the current lockset;
+* a field whose candidates go empty while it has been written and seen
+  from two or more threads is a *lockset violation* — no single lock
+  consistently protected it.
+
+Guarded fields are declared at their access sites with
+``locksan.touch("repro.serve.pool.WarmPool._pool", write=True)`` — the
+field names use the same canonical ``module.Class.attr`` spelling as the
+static :class:`~repro.analysis.locks.LockModel`, which is what lets
+:func:`verify_service_locks` (the ``repro-check --verify-locks`` mode)
+cross-check the two: it boots the real HTTP service, drives it with the
+load client, and then diffs the observed locksets and acquisition orders
+against the static model — static says "guarded by ``_dispatch_lock``",
+runtime must never observe that field touched lock-free, and runtime must
+never acquire two locks in the opposite order of the static lock graph.
+
+The manifest (written to ``$REPRO_LOCKSAN_OUT`` when set) records, per
+field: the thread names that touched it, the surviving candidate locks,
+read/write counts, and any violations; plus the observed acquisition
+order edges (``outer -> inner``) and the set of instrumented locks.
+
+All recording hooks are no-ops without an active recorder — one module
+attribute check per operation — and the recorder only ever writes its
+manifest from the process that created it (pool workers inherit the
+module state over ``fork`` but must not clobber the parent's output).
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import os
+import threading
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "LocksanRecorder",
+    "activate",
+    "active",
+    "ensure_recorder",
+    "locksan_enabled",
+    "make_condition",
+    "make_lock",
+    "make_rlock",
+    "maybe_write_manifest",
+    "touch",
+    "verify_service_locks",
+]
+
+#: Enables the sanitizer (factories return instrumented wrappers).
+LOCKSAN_ENV = "REPRO_LOCKSAN"
+#: Optional path the recorder writes its manifest to at interpreter exit.
+LOCKSAN_OUT_ENV = "REPRO_LOCKSAN_OUT"
+
+_TRUTHY = frozenset({"1", "true", "yes", "on"})
+
+#: Manifest schema version.
+_VERSION = 1
+
+#: At most this many violation witnesses are kept per field.
+_MAX_VIOLATIONS = 8
+
+#: The scope ``--verify-locks`` holds the runtime model against: the
+#: package-relative prefixes the ISSUE names as the concurrency surface.
+VERIFY_SCOPE = ("serve/", "core/supervisor.py")
+
+
+def locksan_enabled() -> bool:
+    """True when ``REPRO_LOCKSAN`` asks for instrumented lock wrappers."""
+    return os.environ.get(LOCKSAN_ENV, "").strip().lower() in _TRUTHY
+
+
+class LocksanRecorder:
+    """Accumulates one run's locksets, candidate sets and order edges."""
+
+    def __init__(self, meta: dict[str, Any] | None = None) -> None:
+        self.meta: dict[str, Any] = dict(meta or {})
+        self._pid = os.getpid()
+        self._mu = threading.Lock()  # leaf lock: never held across user code
+        self._tls = threading.local()
+        self.locks: set[str] = set()
+        # field -> {threads, candidates (None until first touch), reads,
+        #           writes, violations}
+        self.fields: dict[str, dict[str, Any]] = {}
+        # outer lock name -> set of locks acquired while outer was held
+        self.order: dict[str, set[str]] = {}
+
+    # -- per-thread lockset ------------------------------------------------
+
+    def _held(self) -> list[str]:
+        held = getattr(self._tls, "held", None)
+        if held is None:
+            held = []
+            self._tls.held = held
+        return held
+
+    def on_acquire(self, name: str) -> None:
+        """A wrapper acquired *name* (called after the real acquire)."""
+        held = self._held()
+        with self._mu:
+            self.locks.add(name)
+            for outer in held:
+                self.order.setdefault(outer, set()).add(name)
+        held.append(name)
+
+    def on_release(self, name: str) -> None:
+        """A wrapper is about to release *name*."""
+        held = self._held()
+        # Remove the innermost occurrence: releases may legitimately
+        # interleave (Condition.wait releases out of stack order).
+        for i in range(len(held) - 1, -1, -1):
+            if held[i] == name:
+                del held[i]
+                break
+
+    # -- Eraser candidate refinement ---------------------------------------
+
+    def on_touch(self, field: str, write: bool) -> None:
+        """A declared guarded field was read (or written) on this thread."""
+        held = frozenset(self._held())
+        thread = threading.current_thread().name
+        with self._mu:
+            entry = self.fields.get(field)
+            if entry is None:
+                entry = {
+                    "threads": set(),
+                    "candidates": None,
+                    "reads": 0,
+                    "writes": 0,
+                    "violations": [],
+                }
+                self.fields[field] = entry
+            entry["threads"].add(thread)
+            if write:
+                entry["writes"] += 1
+            else:
+                entry["reads"] += 1
+            if entry["candidates"] is None:
+                entry["candidates"] = set(held)
+            else:
+                entry["candidates"] &= held
+            if (
+                not entry["candidates"]
+                and entry["writes"] > 0
+                and len(entry["threads"]) >= 2
+                and len(entry["violations"]) < _MAX_VIOLATIONS
+            ):
+                entry["violations"].append(
+                    {
+                        "thread": thread,
+                        "write": bool(write),
+                        "held": sorted(held),
+                    }
+                )
+
+    # -- manifest ----------------------------------------------------------
+
+    def manifest(self) -> dict[str, Any]:
+        """The JSON-able manifest of everything recorded so far."""
+        with self._mu:
+            fields = {
+                name: {
+                    "threads": sorted(entry["threads"]),
+                    "candidates": (
+                        None
+                        if entry["candidates"] is None
+                        else sorted(entry["candidates"])
+                    ),
+                    "reads": entry["reads"],
+                    "writes": entry["writes"],
+                    "violations": [dict(v) for v in entry["violations"]],
+                }
+                for name, entry in sorted(self.fields.items())
+            }
+            order = {
+                outer: sorted(inner)
+                for outer, inner in sorted(self.order.items())
+            }
+            locks = sorted(self.locks)
+        return {
+            "version": _VERSION,
+            "meta": dict(self.meta),
+            "locks": locks,
+            "fields": fields,
+            "order": order,
+        }
+
+    def write(self, path: str | Path) -> None:
+        """Write the manifest as JSON to *path* (sorted, deterministic)."""
+        Path(path).write_text(
+            json.dumps(self.manifest(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+
+#: The recorder of the run in flight, or None — module state on purpose,
+#: mirroring the allocation sanitizer: the factory seam sits in library
+#: code that cannot thread a recorder through every constructor.
+_ACTIVE: LocksanRecorder | None = None
+
+_ATEXIT_REGISTERED = False
+
+
+def active() -> LocksanRecorder | None:
+    """The currently active recorder, if any."""
+    return _ACTIVE
+
+
+@contextmanager
+def activate(
+    recorder: LocksanRecorder | None,
+) -> Iterator[LocksanRecorder | None]:
+    """Make *recorder* current for the dynamic extent; ``None`` is a no-op."""
+    global _ACTIVE
+    if recorder is None:
+        yield _ACTIVE
+        return
+    previous = _ACTIVE
+    _ACTIVE = recorder
+    try:
+        yield recorder
+    finally:
+        _ACTIVE = previous
+
+
+def ensure_recorder() -> tuple[LocksanRecorder | None, bool]:
+    """Recorder for this process: ``(recorder, this_call_created_it)``.
+
+    An already-active recorder (a ``--verify-locks`` harness) is reused;
+    otherwise a new one is created — and installed as the active recorder
+    with an atexit manifest hook — when ``REPRO_LOCKSAN`` is set.  Called
+    by the lock factories so a plain ``REPRO_LOCKSAN=1 pytest`` run
+    records without any harness.
+    """
+    global _ACTIVE, _ATEXIT_REGISTERED
+    current = active()
+    if current is not None:
+        return current, False
+    if not locksan_enabled():
+        return None, False
+    recorder = LocksanRecorder()
+    _ACTIVE = recorder
+    if not _ATEXIT_REGISTERED:
+        _ATEXIT_REGISTERED = True
+        atexit.register(_atexit_write)
+    return recorder, True
+
+
+def _atexit_write() -> None:
+    recorder = _ACTIVE
+    if recorder is not None:
+        maybe_write_manifest(recorder)
+
+
+def maybe_write_manifest(recorder: LocksanRecorder) -> Path | None:
+    """Write the manifest to ``$REPRO_LOCKSAN_OUT`` if configured.
+
+    Only the process that created the recorder writes — forked pool
+    workers inherit the module state and must not clobber the parent's
+    manifest.
+    """
+    out = os.environ.get(LOCKSAN_OUT_ENV, "").strip()
+    if not out or os.getpid() != recorder._pid:
+        return None
+    path = Path(out)
+    recorder.write(path)
+    return path
+
+
+def touch(field: str, write: bool = False) -> None:
+    """Declare an access to a guarded *field* (canonical static name).
+
+    No-op (one attribute check) when no recorder is active.
+    """
+    recorder = _ACTIVE
+    if recorder is not None:
+        recorder.on_touch(field, write)
+
+
+# -- instrumented primitives ----------------------------------------------
+
+class _SanLock:
+    """A ``threading.Lock`` that reports acquire/release to the recorder."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._lock.acquire(blocking, timeout)
+        if got:
+            recorder = _ACTIVE
+            if recorder is not None:
+                recorder.on_acquire(self.name)
+        return got
+
+    def release(self) -> None:
+        recorder = _ACTIVE
+        if recorder is not None:
+            recorder.on_release(self.name)
+        self._lock.release()
+
+    def locked(self) -> bool:
+        return self._lock.locked()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+
+class _SanRLock:
+    """A ``threading.RLock`` wrapper; records outermost acquire/release only."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.RLock()
+        self._tls = threading.local()
+
+    def _depth(self) -> int:
+        return getattr(self._tls, "depth", 0)
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._lock.acquire(blocking, timeout)
+        if got:
+            depth = self._depth()
+            self._tls.depth = depth + 1
+            if depth == 0:
+                recorder = _ACTIVE
+                if recorder is not None:
+                    recorder.on_acquire(self.name)
+        return got
+
+    def release(self) -> None:
+        depth = self._depth()
+        if depth == 1:
+            recorder = _ACTIVE
+            if recorder is not None:
+                recorder.on_release(self.name)
+        self._tls.depth = max(0, depth - 1)
+        self._lock.release()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+
+class _SanCondition:
+    """A ``threading.Condition`` over an instrumented non-reentrant lock.
+
+    ``wait`` reports the release/re-acquire pair so the waiting thread's
+    lockset stays truthful across the park.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._inner = threading.Lock()
+        self._cond = threading.Condition(self._inner)
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        got = self._inner.acquire(blocking, timeout)
+        if got:
+            recorder = _ACTIVE
+            if recorder is not None:
+                recorder.on_acquire(self.name)
+        return got
+
+    def release(self) -> None:
+        recorder = _ACTIVE
+        if recorder is not None:
+            recorder.on_release(self.name)
+        self._inner.release()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        recorder = _ACTIVE
+        if recorder is not None:
+            recorder.on_release(self.name)
+        try:
+            # Forwarding wrapper: the while-predicate loop RC303 wants
+            # lives at the *caller* of Condition.wait, not here.
+            return self._cond.wait(timeout)  # noqa: RC303
+        finally:
+            if recorder is not None:
+                recorder.on_acquire(self.name)
+
+    def wait_for(
+        self, predicate: Callable[[], bool], timeout: float | None = None
+    ) -> bool:
+        recorder = _ACTIVE
+        if recorder is not None:
+            recorder.on_release(self.name)
+        try:
+            return self._cond.wait_for(predicate, timeout)
+        finally:
+            if recorder is not None:
+                recorder.on_acquire(self.name)
+
+    def notify(self, n: int = 1) -> None:
+        self._cond.notify(n)
+
+    def notify_all(self) -> None:
+        self._cond.notify_all()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+
+def make_lock(name: str) -> Any:
+    """A ``Lock`` under *name* — instrumented iff ``REPRO_LOCKSAN`` is set.
+
+    *name* must be the canonical static spelling
+    (``module.Class.attr`` / ``module.global``) so the runtime manifest
+    lines up with :class:`~repro.analysis.locks.LockModel`.
+    """
+    if not locksan_enabled():
+        return threading.Lock()
+    ensure_recorder()
+    return _SanLock(name)
+
+
+def make_rlock(name: str) -> Any:
+    """An ``RLock`` under *name* — instrumented iff ``REPRO_LOCKSAN`` is set."""
+    if not locksan_enabled():
+        return threading.RLock()
+    ensure_recorder()
+    return _SanRLock(name)
+
+
+def make_condition(name: str) -> Any:
+    """A ``Condition`` under *name* — instrumented iff ``REPRO_LOCKSAN`` is set."""
+    if not locksan_enabled():
+        return threading.Condition()
+    ensure_recorder()
+    return _SanCondition(name)
+
+
+# -- the --verify-locks harness -------------------------------------------
+
+def _http_get(host: str, port: int, path: str, timeout: float) -> int:
+    from http.client import HTTPConnection
+
+    conn = HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request("GET", path)
+        resp = conn.getresponse()
+        resp.read()
+        return resp.status
+    finally:
+        conn.close()
+
+
+def _static_model():
+    """The static lock model over the installed ``repro`` package."""
+    import repro
+
+    from .checker import collect_files, parse_file
+    from .graph import ProjectGraph
+    from .locks import LockAnalysis
+
+    package_dir = Path(repro.__file__).resolve().parent
+    contexts = []
+    for path in collect_files([package_dir]):
+        try:
+            contexts.append(parse_file(path))
+        except SyntaxError:
+            continue
+    return LockAnalysis(ProjectGraph.from_contexts(contexts))
+
+
+def cross_check(
+    manifest: dict[str, Any], analysis: Any, scope: tuple[str, ...] = VERIFY_SCOPE
+) -> list[str]:
+    """Problems where the runtime manifest disagrees with the static model.
+
+    Three classes: a field with runtime lockset violations; a field whose
+    surviving runtime candidates miss every statically-inferred guard (or
+    that the static model does not consider guarded at all); and a
+    runtime acquisition-order edge that inverts a static order edge.
+    """
+    problems: list[str] = []
+    guards = analysis.model.guarded_fields(scope)
+    static_edges = set(analysis.model.order_edges)
+    for field, entry in sorted(manifest.get("fields", {}).items()):
+        for violation in entry["violations"][:1]:
+            problems.append(
+                f"{field}: lockset violation — touched with no lock held "
+                f"on thread {violation['thread']!r} after being written "
+                f"and shared across threads {entry['threads']}"
+            )
+        want = guards.get(field)
+        if want is None:
+            problems.append(
+                f"{field}: runtime observed this guarded field but the "
+                "static model infers no consistent guard for it in scope "
+                f"{list(scope)} — model and instrumentation disagree"
+            )
+            continue
+        candidates = entry["candidates"]
+        if candidates is not None and not set(candidates) & set(want):
+            problems.append(
+                f"{field}: runtime candidates {sorted(candidates)} share "
+                f"no lock with the static guard set {sorted(want)}"
+            )
+    runtime_edges = {
+        (outer, inner)
+        for outer, inners in manifest.get("order", {}).items()
+        for inner in inners
+    }
+    for outer, inner in sorted(runtime_edges):
+        if (inner, outer) in runtime_edges and outer < inner:
+            problems.append(
+                f"lock order: runtime acquired {outer} -> {inner} and "
+                f"{inner} -> {outer} — deadlock-capable inversion observed"
+            )
+        elif (inner, outer) in static_edges and (outer, inner) not in static_edges:
+            problems.append(
+                f"lock order: runtime acquired {outer} then {inner}, but "
+                f"the static lock graph only orders {inner} -> {outer}"
+            )
+    return problems
+
+
+def verify_service_locks(
+    queries_path: str,
+    resident_path: str,
+    workers: int = 1,
+    requests: int = 4,
+    concurrency: int = 2,
+    timeout: float = 30.0,
+) -> tuple[bool, dict[str, Any], list[str]]:
+    """Boot the real service under the recorder and cross-check the model.
+
+    Loads *resident_path* as the resident protein bank and *queries_path*
+    as the query bank, starts a warm :class:`SearchService` behind a real
+    HTTP server on an ephemeral port, drives it with the load client
+    (plus the health/ready/metrics endpoints, which exercise the handler
+    threads' read paths), drains, and returns
+    ``(ok, manifest, problem lines)``.
+    """
+    # The factories consult the environment at lock construction time, so
+    # the flag must be up before the service object is built.
+    os.environ[LOCKSAN_ENV] = "1"
+
+    # Imported lazily: repro.serve constructs its locks through this
+    # module, so a top-level import of the service here would be circular.
+    from ..core.config import PipelineConfig
+    from ..seqs.fasta import load_bank
+    from ..serve import SearchService, ServiceConfig
+    from ..serve.client import run_load
+    from ..serve.server import SearchHTTPServer
+
+    queries_bank = load_bank(queries_path)
+    resident = load_bank(resident_path)
+    pairs = [
+        (queries_bank.names[i], queries_bank[i].text())
+        for i in range(len(queries_bank))
+    ]
+    recorder = LocksanRecorder(
+        meta={
+            "workers": int(workers),
+            "requests": int(requests),
+            "concurrency": int(concurrency),
+            "queries": os.path.basename(queries_path),
+            "resident": os.path.basename(resident_path),
+        }
+    )
+    with activate(recorder):
+        service = SearchService(
+            PipelineConfig(workers=int(workers)),
+            resident,
+            ServiceConfig(workers=int(workers)),
+        )
+        service.start(warm=True)
+        server = SearchHTTPServer(("127.0.0.1", 0), service)
+        thread = threading.Thread(
+            target=server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            daemon=True,
+        )
+        thread.start()
+        host, port = server.server_address[0], server.server_address[1]
+        try:
+            summary = run_load(
+                host,
+                port,
+                [pairs] * int(requests),
+                concurrency=int(concurrency),
+                timeout=timeout,
+            )
+            for path in ("/healthz", "/readyz", "/metrics"):
+                _http_get(host, port, path, timeout)
+        finally:
+            server.drain_and_shutdown(timeout=timeout)
+            server.server_close()
+            thread.join(timeout=10)
+
+    manifest = recorder.manifest()
+    problems: list[str] = []
+    if summary["served"] != int(requests) or summary["errors"]:
+        problems.append(
+            f"load run unhealthy: served {summary['served']}/{requests}, "
+            f"errors {summary['errors']}, shed {summary['shed']} — the "
+            "lockset evidence below covers an unrepresentative run"
+        )
+    if not manifest["locks"]:
+        problems.append(
+            "no instrumented locks were ever acquired — the factory seam "
+            "is not wired or REPRO_LOCKSAN did not reach the service"
+        )
+    problems.extend(cross_check(manifest, _static_model()))
+    maybe_write_manifest(recorder)
+    return not problems, manifest, problems

@@ -26,9 +26,10 @@ RC106     ``ungapped_scores_paired`` is only called through the step-2
           backend registry (:mod:`repro.extend.backends`) — a direct call
           elsewhere in the package bypasses backend selection and the
           registry's bit-identity accuracy gate.
-RC107     No unbounded blocking calls under ``serve/`` — every
-          ``queue.get/put``, ``Event.wait``, ``Thread.join``,
-          ``Lock.acquire`` and ``Future.result`` in the long-lived service
+RC107     No unbounded blocking calls under ``serve/`` (nor in the
+          supervision layer ``core/supervisor.py`` / ``core/executor.py``
+          it delegates to) — every ``queue.get/put``, ``Event.wait``,
+          ``Thread.join``, ``Lock.acquire`` and ``Future.result`` there
           must carry ``timeout=`` or be non-blocking, so a stuck
           dispatcher or dead worker surfaces as a deadline miss instead of
           a wedged handler thread.
@@ -539,6 +540,12 @@ class DirectClockRule(Rule):
 #: blocking call stalls every subsequent request.
 SERVE_SCOPE_PREFIX = "serve/"
 
+#: Individual files RC107 also covers: the supervision layer the service
+#: delegates every request to.  A bare ``future.result()`` there wedges
+#: the dispatcher exactly as surely as one under ``serve/`` — the warm
+#: pool runs these functions on the service's own threads.
+BLOCKING_SCOPE_FILES = ("core/supervisor.py", "core/executor.py")
+
 
 @register
 class UnboundedBlockingRule(Rule):
@@ -581,7 +588,9 @@ class UnboundedBlockingRule(Rule):
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         rel = ctx.package_rel
-        if rel is None or not rel.startswith(SERVE_SCOPE_PREFIX):
+        if rel is None or not (
+            rel.startswith(SERVE_SCOPE_PREFIX) or rel in BLOCKING_SCOPE_FILES
+        ):
             return
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call) or not isinstance(

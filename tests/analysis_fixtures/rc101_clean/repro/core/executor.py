@@ -10,4 +10,4 @@ def _task(shard: int, scale: int) -> int:
 def run(shards: list, scale: int) -> list:
     with ProcessPoolExecutor() as pool:
         futures = [pool.submit(_task, s, scale) for s in shards]
-        return [f.result() for f in futures]
+        return [f.result(timeout=60.0) for f in futures]

@@ -13,4 +13,4 @@ def _task(shard: int) -> int:
 def run(shards: list) -> list:
     with ProcessPoolExecutor() as pool:
         futures = [pool.submit(_task, s) for s in shards]
-        return [f.result() for f in futures]
+        return [f.result(timeout=60.0) for f in futures]

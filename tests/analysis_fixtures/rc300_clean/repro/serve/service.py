@@ -1,0 +1,22 @@
+"""RC300 clean twin: every ``_busy`` access holds the same lock."""
+
+import threading
+
+
+class Service:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._busy = False
+        self._thread = threading.Thread(target=self._dispatch_loop, daemon=True)
+        self._thread.start()
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            with self._lock:
+                self._busy = True
+            with self._lock:
+                self._busy = False
+
+    def drain(self) -> bool:
+        with self._lock:
+            return not self._busy

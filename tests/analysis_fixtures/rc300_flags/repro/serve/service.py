@@ -1,0 +1,26 @@
+"""RC300 fixture: the drain race, distilled.
+
+The dispatcher thread mutates ``_busy`` bare while the drain path samples
+it under a lock the writer never takes — the lockset intersection over
+the field's accesses is empty, so a ticket can be invisible (dequeued,
+``_busy`` not yet observed) at the exact moment drain declares idle.
+"""
+
+import threading
+
+
+class Service:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._busy = False
+        self._thread = threading.Thread(target=self._dispatch_loop, daemon=True)
+        self._thread.start()
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            self._busy = True  # write: no lock held
+            self._busy = False
+
+    def drain(self) -> bool:
+        with self._lock:
+            return not self._busy  # read under a lock the writer ignores

@@ -1,0 +1,19 @@
+"""RC301 clean twin: one global acquisition order, no cycle."""
+
+import threading
+
+
+class Transfer:
+    def __init__(self) -> None:
+        self._accounts = threading.Lock()
+        self._journal = threading.Lock()
+
+    def debit(self) -> None:
+        with self._accounts:
+            with self._journal:
+                pass
+
+    def audit(self) -> None:
+        with self._accounts:
+            with self._journal:
+                pass

@@ -1,0 +1,20 @@
+"""RC301 fixture: two locks acquired in opposite orders — a deadlock
+waiting for the right interleaving."""
+
+import threading
+
+
+class Transfer:
+    def __init__(self) -> None:
+        self._accounts = threading.Lock()
+        self._journal = threading.Lock()
+
+    def debit(self) -> None:
+        with self._accounts:
+            with self._journal:
+                pass
+
+    def audit(self) -> None:
+        with self._journal:
+            with self._accounts:  # inverts debit()'s order
+                pass

@@ -1,0 +1,22 @@
+"""RC302 clean twin: flag-set plus thread-kick, nothing else."""
+
+import logging
+import signal
+import threading
+
+_log = logging.getLogger(__name__)
+_stop = threading.Event()
+
+
+def _drain() -> None:
+    pass
+
+
+def _handler(num: int, frame: object) -> None:
+    _log.info("signal %d received, draining", num)
+    _stop.set()
+    threading.Thread(target=_drain, daemon=True).start()
+
+
+def install() -> None:
+    signal.signal(signal.SIGTERM, _handler)

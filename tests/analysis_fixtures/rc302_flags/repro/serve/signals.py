@@ -1,0 +1,23 @@
+"""RC302 fixture: a signal handler doing real work.
+
+Handlers interrupt arbitrary bytecode; mutating shared structures or
+calling non-reentrant code from one is a reentrancy bug.  A handler may
+only set a flag and kick a thread.
+"""
+
+import signal
+
+STATS: dict[str, int] = {}
+
+
+def rebuild_pool() -> None:
+    pass
+
+
+def _handler(num: int, frame: object) -> None:
+    STATS["signals"] = STATS.get("signals", 0) + 1  # shared-dict mutation
+    rebuild_pool()  # arbitrary call mid-interrupt
+
+
+def install() -> None:
+    signal.signal(signal.SIGTERM, _handler)

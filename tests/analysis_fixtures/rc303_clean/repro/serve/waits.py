@@ -1,0 +1,35 @@
+"""RC303 clean twin: the sanctioned wait idioms.
+
+A module-level never-set event is the sanctioned bounded sleep; a
+``Condition.wait`` belongs inside a while over its predicate; an
+``Event.wait`` result is fine when it is consumed.
+"""
+
+import threading
+
+#: Never set — its ``wait(timeout=...)`` is the sanctioned bounded sleep.
+_SLEEP = threading.Event()
+
+
+class Waiter:
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._ready = False
+        self._done = threading.Event()
+
+    def stall(self) -> None:
+        _SLEEP.wait(timeout=0.1)
+
+    def take(self) -> bool:
+        with self._cond:
+            while not self._ready:
+                self._cond.wait(timeout=1.0)
+            return self._ready
+
+    def finish(self, timeout: float) -> bool:
+        if not self._done.wait(timeout=timeout):
+            raise TimeoutError("waiter did not finish in time")
+        return True
+
+    def mark(self) -> None:
+        self._done.set()

@@ -1,0 +1,24 @@
+"""RC303 fixture: waits whose wake-up can never come, or is never
+re-checked.
+
+A fresh ``threading.Event()`` has no other reference — nothing can ever
+``set()`` it, so the wait is a disguised (and probably unintended)
+sleep.  A ``Condition.wait`` outside a while loop acts on spurious
+wake-ups and missed predicates alike.
+"""
+
+import threading
+
+
+class Waiter:
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._ready = False
+
+    def stall(self) -> None:
+        threading.Event().wait(timeout=0.1)  # nothing can set this
+
+    def take(self) -> bool:
+        with self._cond:
+            self._cond.wait(timeout=1.0)  # no predicate re-check
+            return self._ready

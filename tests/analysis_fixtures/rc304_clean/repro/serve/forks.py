@@ -1,0 +1,15 @@
+"""RC304 clean twin: build the pool outside the lock, publish under it."""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+
+class Pool:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._pool: ProcessPoolExecutor | None = None
+
+    def warm_up(self) -> None:
+        pool = ProcessPoolExecutor(2)  # fork point: no lock held
+        with self._lock:
+            self._pool = pool

@@ -1,0 +1,20 @@
+"""RC304 fixture: forking worker processes with a lock held.
+
+A forked child inherits a copy of every held lock in whatever state it
+was in — a lock held by another thread at fork time stays locked forever
+in the child.  Pools must be built outside locks and only published
+under them.
+"""
+
+import threading
+from concurrent.futures import ProcessPoolExecutor
+
+
+class Pool:
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._pool: ProcessPoolExecutor | None = None
+
+    def warm_up(self) -> None:
+        with self._lock:
+            self._pool = ProcessPoolExecutor(2)  # fork point, lock held

@@ -50,7 +50,10 @@ class TestRealTree:
         )
         assert result.violations == []
         assert result.baseline_suppressed == 2
-        assert result.baseline_stale == []
+        # The baseline also carries RC3xx entries that only match when the
+        # thread/lock family runs; staleness here is judged for RC1xx only
+        # (the full-family run is asserted in test_thread_rules.py).
+        assert [k for k in result.baseline_stale if k[0] in RC1XX] == []
 
 
 class TestSeededBug:

@@ -1,0 +1,265 @@
+"""Runtime lockset sanitizer tests: recorder, wrappers, cross-check."""
+
+import json
+import threading
+
+from repro.analysis import locksan
+
+
+class _StubModel:
+    def __init__(self, guards=None, edges=None):
+        self._guards = dict(guards or {})
+        self.order_edges = dict(edges or {})
+
+    def guarded_fields(self, scope):
+        return dict(self._guards)
+
+
+class _StubAnalysis:
+    def __init__(self, guards=None, edges=None):
+        self.model = _StubModel(guards, edges)
+
+
+class TestFactorySeam:
+    def test_plain_primitives_without_env(self, monkeypatch):
+        monkeypatch.delenv(locksan.LOCKSAN_ENV, raising=False)
+        lock = locksan.make_lock("m.C._lock")
+        assert type(lock) is type(threading.Lock())
+        assert not hasattr(lock, "name")
+        # touch without a recorder is a no-op, never an error
+        locksan.touch("m.C.field", write=True)
+
+    def test_instrumented_wrappers_with_env(self, monkeypatch):
+        monkeypatch.setenv(locksan.LOCKSAN_ENV, "1")
+        rec = locksan.LocksanRecorder()
+        with locksan.activate(rec):
+            lock = locksan.make_lock("m.C._lock")
+            assert lock.name == "m.C._lock"
+            with lock:
+                locksan.touch("m.C.field", write=True)
+        manifest = rec.manifest()
+        assert manifest["locks"] == ["m.C._lock"]
+        assert manifest["fields"]["m.C.field"]["candidates"] == ["m.C._lock"]
+
+    def test_ensure_recorder_installs_one_global(self, monkeypatch):
+        monkeypatch.setenv(locksan.LOCKSAN_ENV, "1")
+        monkeypatch.setattr(locksan, "_ACTIVE", None)
+        rec, created = locksan.ensure_recorder()
+        assert created and rec is locksan.active()
+        again, created_again = locksan.ensure_recorder()
+        assert again is rec and not created_again
+        monkeypatch.setattr(locksan, "_ACTIVE", None)
+
+
+class TestEraserRefinement:
+    def test_consistent_discipline_survives_two_threads(self):
+        rec = locksan.LocksanRecorder()
+        with locksan.activate(rec):
+            lock = locksan._SanLock("m.C._lock")
+
+            def worker():
+                with lock:
+                    locksan.touch("m.C.x", write=True)
+
+            with lock:
+                locksan.touch("m.C.x", write=True)
+            t = threading.Thread(target=worker, name="w")
+            t.start()
+            t.join()
+        entry = rec.manifest()["fields"]["m.C.x"]
+        assert entry["candidates"] == ["m.C._lock"]
+        assert entry["violations"] == []
+        assert len(entry["threads"]) == 2
+
+    def test_lock_free_shared_write_is_a_violation(self):
+        rec = locksan.LocksanRecorder()
+        with locksan.activate(rec):
+            lock = locksan._SanLock("m.C._lock")
+            with lock:
+                locksan.touch("m.C.x", write=True)  # candidates {_lock}
+
+            def worker():
+                locksan.touch("m.C.x", write=True)  # bare: candidates -> {}
+
+            t = threading.Thread(target=worker, name="w")
+            t.start()
+            t.join()
+        entry = rec.manifest()["fields"]["m.C.x"]
+        assert entry["candidates"] == []
+        assert entry["violations"]
+        assert entry["violations"][0]["thread"] == "w"
+
+    def test_single_thread_empty_lockset_is_not_a_violation(self):
+        # Eraser's point: confinement to one thread needs no lock.
+        rec = locksan.LocksanRecorder()
+        with locksan.activate(rec):
+            locksan.touch("m.C.y", write=True)
+            locksan.touch("m.C.y", write=True)
+        entry = rec.manifest()["fields"]["m.C.y"]
+        assert entry["candidates"] == []
+        assert entry["violations"] == []
+
+
+class TestWrappers:
+    def test_order_edges_record_nesting(self):
+        rec = locksan.LocksanRecorder()
+        with locksan.activate(rec):
+            outer = locksan._SanLock("m.A")
+            inner = locksan._SanLock("m.B")
+            with outer:
+                with inner:
+                    pass
+        assert rec.manifest()["order"] == {"m.A": ["m.B"]}
+
+    def test_rlock_records_outermost_acquire_only(self):
+        rec = locksan.LocksanRecorder()
+        with locksan.activate(rec):
+            rl = locksan._SanRLock("m.R")
+            other = locksan._SanLock("m.B")
+            with rl:
+                with rl:  # re-entrant: must not push a second lockset entry
+                    with other:
+                        locksan.touch("m.C.z")
+        manifest = rec.manifest()
+        assert manifest["fields"]["m.C.z"]["candidates"] == ["m.B", "m.R"]
+        assert manifest["order"] == {"m.R": ["m.B"]}
+
+    def test_condition_wait_releases_the_lockset_across_the_park(self):
+        rec = locksan.LocksanRecorder()
+        observed = []
+        with locksan.activate(rec):
+            cond = locksan._SanCondition("m.C._cond")
+            done = threading.Event()
+
+            def waiter():
+                with cond:
+                    while not done.is_set():
+                        if cond.wait(timeout=5.0):
+                            break
+
+            def kicker():
+                # The waiter is parked inside wait(): its lockset must not
+                # contain the condition, or this acquire would be recorded
+                # as contended reentrancy rather than a clean handoff.
+                with cond:
+                    observed.append(rec.manifest()["order"])
+                    done.set()
+                    cond.notify_all()
+
+            t1 = threading.Thread(target=waiter, name="waiter")
+            t1.start()
+            # Give the waiter a moment to park before kicking it.
+            t2 = threading.Thread(target=kicker, name="kicker")
+            t2.start()
+            t1.join(timeout=10)
+            t2.join(timeout=10)
+            assert not t1.is_alive() and not t2.is_alive()
+        # No self-edge: the condition never appears nested inside itself.
+        assert "m.C._cond" not in rec.manifest()["order"].get("m.C._cond", [])
+
+
+class TestManifestWriting:
+    def test_fork_guard_blocks_other_pids(self, tmp_path, monkeypatch):
+        out = tmp_path / "locksan.json"
+        monkeypatch.setenv(locksan.LOCKSAN_OUT_ENV, str(out))
+        rec = locksan.LocksanRecorder()
+        rec._pid = rec._pid + 1  # simulate a forked child
+        assert locksan.maybe_write_manifest(rec) is None
+        assert not out.exists()
+
+    def test_owner_pid_writes_versioned_json(self, tmp_path, monkeypatch):
+        out = tmp_path / "locksan.json"
+        monkeypatch.setenv(locksan.LOCKSAN_OUT_ENV, str(out))
+        rec = locksan.LocksanRecorder(meta={"origin": "test"})
+        path = locksan.maybe_write_manifest(rec)
+        assert path == out
+        data = json.loads(out.read_text())
+        assert data["version"] == 1
+        assert data["meta"]["origin"] == "test"
+
+
+class TestCrossCheck:
+    def test_clean_manifest_against_matching_guards(self):
+        manifest = {
+            "fields": {
+                "m.C.x": {
+                    "threads": ["a", "b"],
+                    "candidates": ["m.C._lock"],
+                    "reads": 1,
+                    "writes": 1,
+                    "violations": [],
+                }
+            },
+            "order": {},
+        }
+        analysis = _StubAnalysis(guards={"m.C.x": {"m.C._lock"}})
+        assert locksan.cross_check(manifest, analysis) == []
+
+    def test_runtime_violation_is_reported(self):
+        manifest = {
+            "fields": {
+                "m.C.x": {
+                    "threads": ["a", "b"],
+                    "candidates": [],
+                    "reads": 0,
+                    "writes": 2,
+                    "violations": [{"thread": "b", "write": True, "held": []}],
+                }
+            },
+            "order": {},
+        }
+        analysis = _StubAnalysis(guards={"m.C.x": {"m.C._lock"}})
+        problems = locksan.cross_check(manifest, analysis)
+        assert any("lockset violation" in p for p in problems)
+
+    def test_statically_unguarded_field_is_a_disagreement(self):
+        manifest = {
+            "fields": {
+                "m.C.ghost": {
+                    "threads": ["a"],
+                    "candidates": ["m.C._lock"],
+                    "reads": 1,
+                    "writes": 0,
+                    "violations": [],
+                }
+            },
+            "order": {},
+        }
+        problems = locksan.cross_check(manifest, _StubAnalysis())
+        assert any("no consistent guard" in p for p in problems)
+
+    def test_disjoint_candidate_and_guard_sets_disagree(self):
+        manifest = {
+            "fields": {
+                "m.C.x": {
+                    "threads": ["a"],
+                    "candidates": ["m.C._other"],
+                    "reads": 1,
+                    "writes": 0,
+                    "violations": [],
+                }
+            },
+            "order": {},
+        }
+        analysis = _StubAnalysis(guards={"m.C.x": {"m.C._lock"}})
+        problems = locksan.cross_check(manifest, analysis)
+        assert any("share\nno lock" in p or "share no lock" in p for p in problems)
+
+    def test_runtime_order_inversion_is_reported(self):
+        manifest = {
+            "fields": {},
+            "order": {"m.A": ["m.B"], "m.B": ["m.A"]},
+        }
+        problems = locksan.cross_check(manifest, _StubAnalysis())
+        assert any("deadlock-capable inversion" in p for p in problems)
+
+    def test_inverting_a_static_only_edge_is_reported(self):
+        manifest = {"fields": {}, "order": {"m.A": ["m.B"]}}
+        analysis = _StubAnalysis(edges={("m.B", "m.A"): ("f", None)})
+        problems = locksan.cross_check(manifest, analysis)
+        assert any("static lock graph only orders" in p for p in problems)
+
+    def test_matching_static_order_is_clean(self):
+        manifest = {"fields": {}, "order": {"m.A": ["m.B"]}}
+        analysis = _StubAnalysis(edges={("m.A", "m.B"): ("f", None)})
+        assert locksan.cross_check(manifest, analysis) == []
