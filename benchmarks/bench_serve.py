@@ -118,10 +118,17 @@ def bench_cold(queries, resident, workers: int, requests: int):
     }, rows
 
 
-def bench_warm(queries, resident, workers: int, requests: int):
-    """Long-lived service: bank staged once, pool spawned once at boot."""
+def bench_warm(queries, resident, workers: int, requests: int, **service_kw):
+    """Long-lived service: bank staged once, pool spawned once at boot.
+
+    ``service_kw`` forwards to :class:`ServiceConfig` — the obs-overhead
+    arm passes ``tracing=False`` to measure the same warm path with
+    per-request span trees (and worker-span round-trips) disabled.
+    """
     svc = SearchService(
-        _bench_config(workers), resident, ServiceConfig(workers=workers)
+        _bench_config(workers),
+        resident,
+        ServiceConfig(workers=workers, **service_kw),
     )
     t0 = time.perf_counter()
     svc.start(warm=True)
@@ -145,6 +152,51 @@ def bench_warm(queries, resident, workers: int, requests: int):
         }, rows
     finally:
         svc.drain(timeout=30)
+
+
+def measure_obs_overhead(queries, resident, workers: int, requests: int):
+    """Tracing-on vs tracing-off warm QPS, paired per request.
+
+    Whole-arm comparisons cannot resolve a few-percent effect against
+    machine drift (back-to-back identical arms vary by ~10% on shared
+    runners), so the two modes run as *twin* warm services and requests
+    alternate between them, flipping the order each pair — drift on any
+    timescale longer than one request cancels out of the paired totals.
+    One untimed warm-up request per service keeps lazy first-request
+    costs out of the comparison.
+    """
+    twins = {
+        True: SearchService(
+            _bench_config(workers), resident, ServiceConfig(workers=workers)
+        ),
+        False: SearchService(
+            _bench_config(workers),
+            resident,
+            ServiceConfig(workers=workers, tracing=False),
+        ),
+    }
+    wall = {True: 0.0, False: 0.0}
+    try:
+        for svc in twins.values():
+            svc.start(warm=True)
+            assert svc.submit(queries)["code"] == 200  # warm-up, untimed
+        for i in range(requests):
+            order = (True, False) if i % 2 == 0 else (False, True)
+            for tracing in order:
+                t0 = time.perf_counter()
+                out = twins[tracing].submit(queries)
+                wall[tracing] += time.perf_counter() - t0
+                assert out["code"] == 200, out
+    finally:
+        for svc in twins.values():
+            svc.drain(timeout=30)
+    qps_on = requests / wall[True]
+    qps_off = requests / wall[False]
+    return {
+        "qps_obs_on": qps_on,
+        "qps_obs_off": qps_off,
+        "overhead_fraction": 1.0 - qps_on / qps_off,
+    }
 
 
 def bench_http(queries, resident, workers: int, requests: int, concurrency: int):
@@ -176,7 +228,13 @@ def run_benchmark(quick: bool, workers: int = 2, requests: int | None = None):
     queries, resident = make_workload(quick)
     n = requests if requests is not None else (4 if quick else 12)
     cold, cold_rows = bench_cold(queries, resident, workers, n)
+    # The default service traces every request (span tree + flight
+    # record + SLO accounting), so "warm" is the obs-on measurement;
+    # the tracing=False twin run by measure_obs_overhead isolates the
+    # observability cost. The dark arm here only checks bit-identity.
     warm, warm_rows = bench_warm(queries, resident, workers, n)
+    _, dark_rows = bench_warm(queries, resident, workers, 1, tracing=False)
+    obs_overhead = measure_obs_overhead(queries, resident, workers, n)
     http = bench_http(queries, resident, workers, n, concurrency=2)
     return {
         "workload": {
@@ -190,8 +248,9 @@ def run_benchmark(quick: bool, workers: int = 2, requests: int | None = None):
         "cold": cold,
         "warm": warm,
         "http": http,
+        "obs_overhead": obs_overhead,
         "warm_over_cold_speedup": warm["qps"] / cold["qps"],
-        "bit_identical": warm_rows == cold_rows,
+        "bit_identical": warm_rows == cold_rows and dark_rows == cold_rows,
         "live_segments_after": list(live_segment_names()),
     }
 
@@ -221,6 +280,12 @@ def main(argv=None) -> int:
     print(f" http: {report['http']['qps']:8.2f} qps  "
           f"ttfh={'n/a' if ttfh is None else f'{ttfh:.3f}s'}  "
           f"shed_rate={report['http']['shed_rate']:.2f}")
+    obs = report["obs_overhead"]
+    print(
+        f"  obs: {obs['qps_obs_on']:8.2f} qps on / "
+        f"{obs['qps_obs_off']:8.2f} qps off  "
+        f"(overhead {obs['overhead_fraction'] * 100:+.1f}%)"
+    )
     print(f"warm speedup vs cold: {report['warm_over_cold_speedup']:.2f}x")
     print(f"bit identical: {report['bit_identical']}")
     print(f"wrote {args.out}")
@@ -246,6 +311,8 @@ def test_serve_bench_smoke(tmp_path):
     assert report["workload"]["alignments_per_request"] > 0
     assert report["http"]["served"] == 3
     assert report["http"]["shed"] == 0 and report["http"]["errors"] == 0
+    assert report["obs_overhead"]["qps_obs_on"] > 0
+    assert report["obs_overhead"]["qps_obs_off"] > 0
     assert report["live_segments_after"] == []
     out = tmp_path / "BENCH_serve.json"
     out.write_text(json.dumps(report))

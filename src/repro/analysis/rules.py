@@ -33,6 +33,12 @@ RC107     No unbounded blocking calls under ``serve/`` (nor in the
           must carry ``timeout=`` or be non-blocking, so a stuck
           dispatcher or dead worker surfaces as a deadline miss instead of
           a wedged handler thread.
+RC110     No bare ``print(...)`` / ``sys.stderr.write`` / ``sys.stdout.write``
+          under ``serve/`` or ``obs/`` outside functions named ``main`` —
+          the service's only sanctioned outputs are :mod:`logging`, the
+          metrics/trace endpoints and the flight recorder; stray stdout in
+          a long-lived server corrupts CLI JSON output and is invisible to
+          operators scraping the observability surface.
 ========  ==================================================================
 
 Rules are registered in :data:`REGISTRY` via :func:`register`; adding a rule
@@ -655,3 +661,64 @@ class DirectPairedKernelRule(Rule):
                     "repro.extend.backends.resolve_backend() and the "
                     "resolved kernel instead",
                 )
+
+
+#: Package prefixes RC110 covers: the long-lived service and the
+#: observability layer it reports through.  CLI entry points (functions
+#: named ``main``) are the one place stdout is the product.
+OUTPUT_SCOPE_PREFIXES: tuple[str, ...] = ("serve/", "obs/")
+
+#: Direct stream writes RC110 flags alongside bare ``print``.
+DIRECT_STREAM_WRITES: frozenset[str] = frozenset(
+    {"sys.stderr.write", "sys.stdout.write"}
+)
+
+
+@register
+class BarePrintRule(Rule):
+    """RC110 — no ad-hoc stdout/stderr output in the serving/obs layers."""
+
+    code = "RC110"
+    summary = (
+        "bare print()/sys.stderr.write()/sys.stdout.write() under serve/ "
+        "or obs/ outside a main() entry point; a long-lived service must "
+        "report through logging, /metrics, traces or the flight recorder "
+        "— stray stdout corrupts piped JSON and never reaches operators"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        rel = ctx.package_rel
+        if rel is None or not rel.startswith(OUTPUT_SCOPE_PREFIXES):
+            return
+        yield from self._scan(ctx, ctx.tree, in_main=False)
+
+    def _scan(
+        self, ctx: FileContext, node: ast.AST, in_main: bool
+    ) -> Iterator[Violation]:
+        if (
+            isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and node.name == "main"
+        ):
+            # CLI entry points own their stdout: repro-serve-bench and
+            # repro-serve-top exist to print.
+            in_main = True
+        if not in_main and isinstance(node, ast.Call):
+            name = _dotted(node.func)
+            if name == "print":
+                yield self.violation(
+                    ctx,
+                    node,
+                    "bare print() in the serving/obs layer; use logging (or "
+                    "the metrics/trace surface) so output reaches operators "
+                    "instead of whatever stdout happens to be",
+                )
+            elif name in DIRECT_STREAM_WRITES:
+                yield self.violation(
+                    ctx,
+                    node,
+                    f"direct {name}() in the serving/obs layer; route "
+                    "diagnostics through logging so they carry levels, "
+                    "timestamps and a configurable destination",
+                )
+        for child in ast.iter_child_nodes(node):
+            yield from self._scan(ctx, child, in_main)

@@ -215,6 +215,35 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sv.add_argument("--flank", type=int, default=12, help="window flank N")
     sv.add_argument("--evalue", type=float, default=1e-3, help="E-value cutoff")
+    sv.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="spool per-request trace JSON (and the drain flight dump) here",
+    )
+    sv.add_argument(
+        "--flight-records", type=positive_int, default=256,
+        help="flight-recorder ring capacity (/debug/requests)",
+    )
+    sv.add_argument(
+        "--trace-records", type=positive_int, default=64,
+        help="retained span-tree documents (/debug/trace/<id>)",
+    )
+    sv.add_argument(
+        "--no-request-tracing", action="store_true",
+        help="disable per-request span trees (flight records stay on)",
+    )
+    sv.add_argument(
+        "--slo-latency-ms", type=positive_float, default=1000.0,
+        help="latency SLO objective for burn-rate accounting",
+    )
+    sv.add_argument(
+        "--profile", action="store_true",
+        help="install the sampling profiler (enables /debug/profile)",
+    )
+    sv.add_argument(
+        "--profile-out", default=None, metavar="FILE",
+        help="profile continuously and write the collapsed-stack report "
+        "on shutdown (implies --profile)",
+    )
     return p
 
 
@@ -528,6 +557,10 @@ def _cmd_simulate(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    import json as _json
+    import os
+
+    from .obs.slo import SloConfig
     from .serve import (
         BreakerConfig,
         SearchHTTPServer,
@@ -545,6 +578,8 @@ def _cmd_serve(args) -> int:
         workers=args.workers,
         fault_plan=plan,
     )
+    if args.trace_dir:
+        os.makedirs(args.trace_dir, exist_ok=True)
     deadline = args.default_deadline_ms
     service = SearchService(
         config,
@@ -557,12 +592,30 @@ def _cmd_serve(args) -> int:
                 failure_threshold=args.breaker_threshold,
                 reset_seconds=args.breaker_reset_seconds,
             ),
+            tracing=not args.no_request_tracing,
+            flight_records=args.flight_records,
+            trace_records=args.trace_records,
+            trace_dir=args.trace_dir,
+            slo=SloConfig(latency_objective_seconds=args.slo_latency_ms / 1e3),
         ),
         fault_plan=plan,
     )
+
+    profiler = None
+    if args.profile or args.profile_out:
+        # Must happen on the main thread, before any worker forks and
+        # before serve_forever: signal.signal is main-thread-only, and
+        # install() registers the at-fork disarm hook.
+        from .obs.profile import SamplingProfiler
+
+        profiler = SamplingProfiler()
+        profiler.install()
+        if args.profile_out:
+            profiler.start()
+
     service.start(warm=True)
     try:
-        server = SearchHTTPServer((args.host, args.port), service)
+        server = SearchHTTPServer((args.host, args.port), service, profiler=profiler)
     except OSError as exc:
         service.drain(timeout=5.0)
         raise RuntimeFault(
@@ -572,10 +625,16 @@ def _cmd_serve(args) -> int:
     print(
         f"serving {len(resident)} resident sequences "
         f"({resident.total_residues:,} aa) on http://{host}:{port} "
-        f"(workers={args.workers}, queue={args.queue_depth})",
+        f"(workers={args.workers}, queue={args.queue_depth}, "
+        f"tracing={'on' if not args.no_request_tracing else 'off'})",
         flush=True,
     )
     serve_forever(server)
+    if profiler is not None and args.profile_out:
+        profiler.stop()
+        with open(args.profile_out, "w", encoding="utf-8") as fh:
+            _json.dump(profiler.report(), fh, indent=2)
+        print(f"profile written to {args.profile_out}", flush=True)
     return 0
 
 

@@ -754,6 +754,11 @@ class ShardedStep2Executor:
                 # the span to end now.  Worker spans reparent under it with
                 # their timeline rebased onto this span's start (worker
                 # perf_counter origins are per-process).
+                request_attrs = (
+                    {"request_id": self.supervisor.request_id}
+                    if self.supervisor.request_id is not None
+                    else {}
+                )
                 shard_span = tracer.record(
                     "step2.shard",
                     wall,
@@ -763,6 +768,7 @@ class ShardedStep2Executor:
                     pairs=pairs,
                     hits=hits_n,
                     retry_wall_seconds=outcome.retry_wall_seconds,
+                    **request_attrs,
                 )
                 if obs_payload is not None and obs_payload[0]:
                     worker_spans = obs_payload[0]

@@ -92,6 +92,11 @@ class SupervisorConfig:
         workers are terminated rather than orphaned, and
         :class:`DeadlineExceeded` is raised.  This is the hook the serving
         layer uses to plumb a request's deadline down to shard granularity.
+    request_id:
+        Identity of the originating request, when the serving layer is
+        driving this run.  Purely observational: retry/fallback/cancel
+        events and detsan fallback details carry it so a supervision
+        incident three layers down joins the request that paid for it.
     """
 
     shard_timeout: float | None = None
@@ -101,6 +106,7 @@ class SupervisorConfig:
     min_timeout: float = 10.0
     seconds_per_pair: float = 5e-5
     deadline: float | None = None
+    request_id: str | None = None
 
     def __post_init__(self) -> None:
         if self.shard_timeout is not None and self.shard_timeout <= 0:
@@ -234,6 +240,14 @@ class ShardSupervisor:
         self._local_score = local_score
         self._initial_pool = initial_pool
         self._keep_pool = keep_pool
+        #: Extra attributes stamped on every supervision event so a retry
+        #: or fallback recorded here joins the serving request it belongs
+        #: to (empty when no request identity was configured).
+        self._event_attrs: dict[str, Any] = (
+            {"request_id": config.request_id}
+            if config.request_id is not None
+            else {}
+        )
         #: After :meth:`run` with ``keep_pool=True``: the still-usable pool,
         #: or ``None`` when every pool the run touched was torn down.
         self.final_pool: ProcessPoolExecutor | None = None
@@ -307,7 +321,10 @@ class ShardSupervisor:
                     attempts[shard],
                 )
                 trace.add_event(
-                    "step2.fallback", shard=shard, attempts=attempts[shard] + 1
+                    "step2.fallback",
+                    shard=shard,
+                    attempts=attempts[shard] + 1,
+                    **self._event_attrs,
                 )
                 outcomes[shard] = ShardOutcome(
                     shard=shard,
@@ -322,7 +339,10 @@ class ShardSupervisor:
                 # diverge if the local engine ever stopped matching the
                 # pool engine.
                 detsan.record_detail(
-                    "supervisor.fallback", shard=shard, attempts=attempts[shard] + 1
+                    "supervisor.fallback",
+                    shard=shard,
+                    attempts=attempts[shard] + 1,
+                    **self._event_attrs,
                 )
         finally:
             if self._keep_pool:
@@ -350,7 +370,7 @@ class ShardSupervisor:
         """
         if not already_counted:
             health.cancelled += len(shards)
-        trace.add_event("step2.cancelled", shards=len(shards))
+        trace.add_event("step2.cancelled", shards=len(shards), **self._event_attrs)
         _log.warning(
             "run deadline expired; cancelling %d remaining shard(s): %s",
             len(shards),
@@ -393,6 +413,16 @@ class ShardSupervisor:
             # everything not submitted counts as one crashed dispatch.
             _log.warning("step-2 pool unusable at submit (%r); rebuilding", exc)
             health.crashes += len(pending) - len(futures)
+            # One round-level retry event for the broken pool (the
+            # per-shard ``abandon`` path never ran for these dispatches —
+            # without this, a submit-time pool death is invisible on the
+            # request's span tree).
+            trace.add_event(
+                "step2.retry",
+                reason="pool-broken",
+                shards=len(pending) - len(futures),
+                **self._event_attrs,
+            )
         submit_t = trace.clock()
         run_deadline = self.config.deadline
         deadlines = {
@@ -405,7 +435,11 @@ class ShardSupervisor:
             # moment it was given up on (its deadline, for timeouts).
             lost[shard] += (trace.clock() if until is None else until) - submit_t
             trace.add_event(
-                "step2.retry", shard=shard, reason=reason, attempt=attempts[shard]
+                "step2.retry",
+                shard=shard,
+                reason=reason,
+                attempt=attempts[shard],
+                **self._event_attrs,
             )
 
         failed: list[int] = [s for s in pending if s not in futures]

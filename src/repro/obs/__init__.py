@@ -24,25 +24,42 @@ instrumentation point costs one module-attribute check.  The CLI's
 
 from __future__ import annotations
 
-from . import export, metrics, trace
+from . import context, export, flight, metrics, profile, slo, trace
+from .context import RequestContext, accept_request_id, mint_request_id
 from .export import build_run_report, prometheus_text, render_span_tree, validate_report
+from .flight import FlightRecord, FlightRecorder, RequestTraceStore
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profile import SamplingProfiler
+from .slo import SloConfig, SloTracker
 from .trace import Span, Timer, Tracer, clock, span, traced
 
 __all__ = [
     "Counter",
+    "FlightRecord",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "RequestContext",
+    "RequestTraceStore",
+    "SamplingProfiler",
+    "SloConfig",
+    "SloTracker",
     "Span",
     "Timer",
     "Tracer",
+    "accept_request_id",
     "build_run_report",
     "clock",
+    "context",
     "export",
+    "flight",
     "metrics",
+    "mint_request_id",
+    "profile",
     "prometheus_text",
     "render_span_tree",
+    "slo",
     "span",
     "trace",
     "traced",

@@ -1,0 +1,85 @@
+"""Request identity: the ``RequestContext`` every serve-path span joins on.
+
+A request acquires its identity at the HTTP edge (``server.py`` honours an
+inbound ``X-Request-Id`` header, or mints one) and the same
+:class:`RequestContext` then travels the whole path — admission ticket,
+dispatcher, supervisor config, warm-worker task payload — so a span
+recorded three processes away can still be re-parented under the
+originating request's span and a flight-recorder row, a client bench
+record and a detsan manifest detail all join on one key.
+
+This module is deliberately tiny and stdlib-only: it sits below both
+``serve/`` and ``core/`` and must import neither.
+"""
+
+from __future__ import annotations
+
+import re
+import uuid
+from dataclasses import dataclass
+
+__all__ = ["RequestContext", "mint_request_id", "accept_request_id"]
+
+#: Inbound request ids must match this (also what makes a request id safe
+#: to embed in a spool filename): short, printable, no path separators.
+_REQUEST_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._\-]{0,63}$")
+
+
+def mint_request_id() -> str:
+    """A fresh, collision-resistant request id (32 hex chars)."""
+    return uuid.uuid4().hex
+
+
+def accept_request_id(header: str | None) -> str:
+    """Honour a client-supplied id when it is well-formed, else mint one.
+
+    A malformed header is *replaced*, not rejected — request identity is
+    an observability concern and must never fail a search request.  The
+    accepted charset doubles as the filename-safety guarantee for
+    ``--trace-dir`` spooling.
+    """
+    if header is not None and _REQUEST_ID_RE.match(header):
+        return header
+    return mint_request_id()
+
+
+@dataclass(frozen=True)
+class RequestContext:
+    """Identity + deadline of one request, immutable once minted.
+
+    Attributes
+    ----------
+    request_id:
+        Client-visible id, echoed on every HTTP response as
+        ``X-Request-Id``; honoured from the inbound header when valid.
+    trace_id:
+        Server-minted id of this request's span tree.  Distinct from
+        ``request_id`` so a client retrying with the same id still yields
+        distinguishable traces.
+    request_index:
+        The service's monotonically increasing admission index (``None``
+        before admission — e.g. a request rejected while draining).
+    deadline_at:
+        Absolute deadline on the :func:`repro.obs.trace.clock` timeline,
+        or ``None`` for an unbounded request.
+    """
+
+    request_id: str
+    trace_id: str
+    request_index: int | None = None
+    deadline_at: float | None = None
+
+    @classmethod
+    def new(
+        cls,
+        request_id: str | None = None,
+        request_index: int | None = None,
+        deadline_at: float | None = None,
+    ) -> RequestContext:
+        """Mint a context, generating any id not supplied."""
+        return cls(
+            request_id=request_id if request_id is not None else mint_request_id(),
+            trace_id=mint_request_id(),
+            request_index=request_index,
+            deadline_at=deadline_at,
+        )

@@ -30,14 +30,18 @@ from .metrics import MetricsRegistry, prometheus_text
 from .trace import SpanDict, Tracer
 
 __all__ = [
+    "FLIGHT_RECORDS_SCHEMA",
     "REPORT_SCHEMA",
     "REPORT_VERSION",
+    "REQUEST_TRACE_SCHEMA",
     "SERVE_METRICS_SCHEMA",
     "build_run_report",
     "main",
     "prometheus_text",
     "render_span_tree",
+    "validate_flight_records",
     "validate_report",
+    "validate_request_trace",
     "validate_serve_metrics",
 ]
 
@@ -229,6 +233,121 @@ def validate_report(
     return errors
 
 
+#: Terminal request statuses shared by the per-request trace document and
+#: the flight-recorder record.
+_REQUEST_STATUSES = ["ok", "shed", "deadline", "error", "draining"]
+
+#: The authoritative per-request trace document schema (what
+#: ``GET /debug/trace/<id>`` and ``--trace-dir`` spool files contain).
+#: ``schemas/request_trace.schema.json`` is the checked-in copy; a golden
+#: test keeps the two identical and the CI ``obs-serve`` job validates
+#: live documents against it.
+REQUEST_TRACE_SCHEMA: dict[str, Any] = {
+    "$schema": "https://json-schema.org/draft/2020-12/schema",
+    "title": "repro per-request trace",
+    "type": "object",
+    "required": [
+        "version",
+        "request_id",
+        "trace_id",
+        "request_index",
+        "status",
+        "code",
+        "duration_seconds",
+        "spans",
+    ],
+    "properties": {
+        "version": {"type": "integer", "minimum": 1},
+        "request_id": {"type": "string"},
+        "trace_id": {"type": "string"},
+        "request_index": {"type": ["integer", "null"], "minimum": 0},
+        "status": {"enum": _REQUEST_STATUSES},
+        "code": {"type": "integer", "minimum": 100},
+        "duration_seconds": {"type": "number", "minimum": 0},
+        "spans": {"type": "array", "items": _SPAN_SCHEMA},
+    },
+}
+
+_FLIGHT_RECORD_SCHEMA: dict[str, Any] = {
+    "type": "object",
+    "required": [
+        "request_id",
+        "trace_id",
+        "request_index",
+        "status",
+        "code",
+        "breakdown",
+        "retry_events",
+        "fallback_events",
+        "breaker_events",
+        "shed_reason",
+        "degraded",
+    ],
+    "properties": {
+        "request_id": {"type": "string"},
+        "trace_id": {"type": "string"},
+        "request_index": {"type": ["integer", "null"], "minimum": 0},
+        "status": {"enum": _REQUEST_STATUSES},
+        "code": {"type": "integer", "minimum": 100},
+        "breakdown": {
+            "type": "object",
+            "properties": {
+                "queue": {"type": "number", "minimum": 0},
+                "step1": {"type": "number", "minimum": 0},
+                "step2": {"type": "number", "minimum": 0},
+                "merge": {"type": "number", "minimum": 0},
+                "dispatch": {"type": "number", "minimum": 0},
+                "total": {"type": "number", "minimum": 0},
+            },
+        },
+        "retry_events": {"type": "integer", "minimum": 0},
+        "fallback_events": {"type": "integer", "minimum": 0},
+        "breaker_events": {"type": "array", "items": {"type": "string"}},
+        "shed_reason": {"type": ["string", "null"]},
+        "retry_after": {"type": ["number", "null"], "minimum": 0},
+        "degraded": {"type": ["boolean", "null"]},
+        "alignments": {"type": ["integer", "null"], "minimum": 0},
+        "error": {"type": ["string", "null"]},
+    },
+}
+
+#: The authoritative flight-recorder document schema (what
+#: ``GET /debug/requests`` and the SIGTERM-drain dump contain).
+#: ``schemas/flight_record.schema.json`` is the checked-in copy.
+FLIGHT_RECORDS_SCHEMA: dict[str, Any] = {
+    "$schema": "https://json-schema.org/draft/2020-12/schema",
+    "title": "repro service flight records",
+    "type": "object",
+    "required": ["version", "capacity", "recorded", "dropped", "records"],
+    "properties": {
+        "version": {"type": "integer", "minimum": 1},
+        "capacity": {"type": "integer", "minimum": 1},
+        "recorded": {"type": "integer", "minimum": 0},
+        "dropped": {"type": "integer", "minimum": 0},
+        "records": {"type": "array", "items": _FLIGHT_RECORD_SCHEMA},
+        "slo": {"type": "object"},
+    },
+}
+
+
+def validate_request_trace(
+    doc: dict[str, Any], schema: dict[str, Any] | None = None
+) -> list[str]:
+    """Validate a per-request trace document; returns error strings."""
+    errors: list[str] = []
+    _validate(doc, REQUEST_TRACE_SCHEMA if schema is None else schema, "$", errors)
+    return errors
+
+
+def validate_flight_records(
+    doc: dict[str, Any], schema: dict[str, Any] | None = None
+) -> list[str]:
+    """Validate a flight-recorder document; returns error strings."""
+    errors: list[str] = []
+    _validate(doc, FLIGHT_RECORDS_SCHEMA if schema is None else schema, "$", errors)
+    return errors
+
+
 #: The authoritative serving-metrics contract.  Keys under ``families``
 #: name every metric family the service may expose with its exposition
 #: kind; ``required`` lists the subset that must exist on any serving
@@ -237,12 +356,13 @@ def validate_report(
 #: checked-in copy; a golden test keeps the two identical, and the CI
 #: ``serve-chaos`` job validates a live ``/metrics`` scrape against it.
 SERVE_METRICS_SCHEMA: dict[str, Any] = {
-    "version": 1,
+    "version": 2,
     "prefix": "serve_",
     "families": {
         "serve_requests_total": "counter",
         "serve_shed_total": "counter",
         "serve_queue_depth": "gauge",
+        "serve_queue_depth_current": "gauge",
         "serve_queue_wait_seconds": "histogram",
         "serve_request_seconds": "histogram",
         "serve_breaker_state": "gauge",
@@ -250,17 +370,24 @@ SERVE_METRICS_SCHEMA: dict[str, Any] = {
         "serve_breaker_probes_total": "counter",
         "serve_degraded_requests_total": "counter",
         "serve_bank_heals_total": "counter",
+        "serve_pool_workers": "gauge",
+        "serve_resident_bank_bytes": "gauge",
+        "serve_slo_burn_rate": "gauge",
     },
     "required": [
         "serve_requests_total",
         "serve_shed_total",
         "serve_queue_depth",
+        "serve_queue_depth_current",
         "serve_queue_wait_seconds",
         "serve_request_seconds",
         "serve_breaker_state",
         "serve_breaker_trips_total",
         "serve_degraded_requests_total",
         "serve_bank_heals_total",
+        "serve_pool_workers",
+        "serve_resident_bank_bytes",
+        "serve_slo_burn_rate",
     ],
 }
 
@@ -332,7 +459,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--kind",
-        choices=["report", "serve-metrics"],
+        choices=["report", "serve-metrics", "request-trace", "flight-records"],
         default="report",
         help="what the positional file is (default: run report)",
     )
@@ -355,6 +482,26 @@ def main(argv: list[str] | None = None) -> int:
                 if line.startswith("# TYPE ")
             )
             print(f"ok: serve metrics scrape, {n} families")
+        return 1 if errors else 0
+    if args.kind in ("request-trace", "flight-records"):
+        with open(args.report, encoding="utf-8") as fh:
+            doc = json.load(fh)
+        if args.kind == "request-trace":
+            errors = validate_request_trace(doc, schema)
+            summary = (
+                f"ok: request trace {doc.get('request_id')!r}, "
+                f"{len(doc.get('spans', []))} spans"
+            )
+        else:
+            errors = validate_flight_records(doc, schema)
+            summary = (
+                f"ok: flight records, {len(doc.get('records', []))} of "
+                f"{doc.get('recorded')} recorded"
+            )
+        for err in errors:
+            print(f"invalid: {err}", file=sys.stderr)
+        if not errors:
+            print(summary)
         return 1 if errors else 0
     with open(args.report, encoding="utf-8") as fh:
         report = json.load(fh)

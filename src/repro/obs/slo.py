@@ -1,0 +1,204 @@
+"""Service-level objectives: declared targets, burn rates, exemplars.
+
+The service declares two objectives (:class:`SloConfig`):
+
+* **availability** — fraction of terminal requests that are not errors
+  (shed requests are deliberate load management and count as *good*;
+  5xx/deadline outcomes count as *bad*);
+* **latency** — fraction of *served* requests completing under the
+  declared objective latency.
+
+:class:`SloTracker` keeps per-second counts in a ring sized to the
+longest configured window and derives the standard multi-window **burn
+rate** for each: with an error fraction ``e`` observed over the window
+and a target fraction ``t``,
+
+    ``burn = e / (1 - t)``
+
+so burn 1.0 means "exactly spending the error budget", burn 14.4 over a
+5-minute window is the classic page-now threshold, and 0 means no budget
+spent.  Rates are exposed as ``serve_slo_burn_rate{slo=...,window=...}``
+gauges, refreshed on scrape (not per request — the hot path only bumps
+two integers per record).
+
+Latency **exemplars** link the histogram back to concrete requests: for
+each ``serve_request_seconds`` bucket, the tracker remembers the most
+recent request id whose latency landed there, so a tail-latency bump in
+a dashboard resolves to a request id whose full span tree is one
+``GET /debug/trace/<id>`` away.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from dataclasses import dataclass
+from typing import Any
+
+from .metrics import SECONDS_BUCKETS, MetricsRegistry
+from .trace import clock
+
+__all__ = ["SloConfig", "SloTracker"]
+
+
+@dataclass(frozen=True)
+class SloConfig:
+    """Declared objectives and the burn-rate windows that watch them.
+
+    Attributes
+    ----------
+    latency_objective_seconds:
+        A served request should complete within this wall time.
+    latency_target:
+        Fraction of served requests that must meet the latency objective.
+    availability_target:
+        Fraction of terminal requests that must not be errors.
+    windows:
+        ``(label, seconds)`` burn-rate windows; the longest bounds the
+        tracker's ring size.
+    """
+
+    latency_objective_seconds: float = 1.0
+    latency_target: float = 0.95
+    availability_target: float = 0.99
+    windows: tuple[tuple[str, float], ...] = (("5m", 300.0), ("1h", 3600.0))
+
+    def __post_init__(self) -> None:
+        if self.latency_objective_seconds <= 0:
+            raise ValueError("latency_objective_seconds must be positive")
+        for name, target in (
+            ("latency_target", self.latency_target),
+            ("availability_target", self.availability_target),
+        ):
+            if not 0.0 < target < 1.0:
+                raise ValueError(f"{name} must be in (0, 1), got {target}")
+        if not self.windows:
+            raise ValueError("at least one burn-rate window is required")
+        for label, seconds in self.windows:
+            if seconds <= 0:
+                raise ValueError(f"window {label!r} must span > 0 seconds")
+
+    @property
+    def max_window_seconds(self) -> float:
+        """Span of the longest window (the ring bound)."""
+        return max(seconds for _, seconds in self.windows)
+
+
+class SloTracker:
+    """Per-second outcome ring + burn-rate gauges + latency exemplars.
+
+    ``record()`` is O(1) amortised (two integer bumps plus incremental
+    pruning); ``publish()`` walks at most ``max_window_seconds`` buckets
+    and is meant to run on scrape, not per request.  Internally locked
+    with a plain lock — same rationale as the flight recorder: ``obs/``
+    sits below the serving layer's lock model and every critical section
+    here is short and non-blocking.
+    """
+
+    def __init__(self, config: SloConfig, registry: MetricsRegistry) -> None:
+        self.config = config
+        self._registry = registry
+        #: second-bucket → [total, bad, slow] counts.
+        self._buckets: dict[int, list[int]] = {}
+        self._oldest: int | None = None
+        #: histogram upper edge (le) → most recent request id in bucket.
+        self._exemplars: dict[float, str] = {}
+        self._lock = threading.Lock()
+
+    def register_gauges(self) -> None:
+        """Pre-register every burn-rate gauge at zero (full boot surface)."""
+        for label, _ in self.config.windows:
+            for slo in ("availability", "latency"):
+                self._registry.gauge(
+                    "serve_slo_burn_rate", slo=slo, window=label
+                ).set(0.0)
+
+    def record(
+        self,
+        ok: bool,
+        latency_seconds: float,
+        request_id: str,
+        now: float | None = None,
+    ) -> None:
+        """Account one terminal request outcome.
+
+        ``ok=False`` consumes availability budget; an ``ok`` request
+        slower than the latency objective consumes latency budget.  Shed
+        requests should be recorded with ``ok=True`` (shedding is the
+        policy working, not the service failing) — the caller decides.
+        """
+        at = int(clock() if now is None else now)
+        slow = ok and latency_seconds > self.config.latency_objective_seconds
+        edge_index = bisect_left(SECONDS_BUCKETS, latency_seconds)
+        edge = (
+            SECONDS_BUCKETS[edge_index]
+            if edge_index < len(SECONDS_BUCKETS)
+            else float("inf")
+        )
+        cutoff = at - int(self.config.max_window_seconds) - 1
+        with self._lock:
+            bucket = self._buckets.setdefault(at, [0, 0, 0])
+            bucket[0] += 1
+            if not ok:
+                bucket[1] += 1
+            if slow:
+                bucket[2] += 1
+            self._exemplars[edge] = request_id
+            if self._oldest is None or at < self._oldest:
+                self._oldest = at
+            while self._oldest is not None and self._oldest < cutoff:
+                self._buckets.pop(self._oldest, None)
+                self._oldest = min(self._buckets) if self._buckets else None
+
+    def _window_counts(self, seconds: float, now: float) -> tuple[int, int, int]:
+        """(total, bad, slow) summed over the trailing *seconds*."""
+        lo = int(now - seconds)
+        total = bad = slow = 0
+        for at, (t, b, s) in self._buckets.items():
+            if at >= lo:
+                total += t
+                bad += b
+                slow += s
+        return total, bad, slow
+
+    def burn_rates(self, now: float | None = None) -> dict[str, dict[str, float]]:
+        """``{window label: {"availability": burn, "latency": burn}}``."""
+        at = clock() if now is None else now
+        out: dict[str, dict[str, float]] = {}
+        with self._lock:
+            for label, seconds in self.config.windows:
+                total, bad, slow = self._window_counts(seconds, at)
+                if total == 0:
+                    out[label] = {"availability": 0.0, "latency": 0.0}
+                    continue
+                out[label] = {
+                    "availability": (bad / total)
+                    / (1.0 - self.config.availability_target),
+                    "latency": (slow / total) / (1.0 - self.config.latency_target),
+                }
+        return out
+
+    def publish(self, now: float | None = None) -> None:
+        """Refresh the ``serve_slo_burn_rate`` gauges (called on scrape)."""
+        for label, burns in self.burn_rates(now).items():
+            for slo, burn in burns.items():
+                self._registry.gauge(
+                    "serve_slo_burn_rate", slo=slo, window=label
+                ).set(burn)
+
+    def snapshot(self, now: float | None = None) -> dict[str, Any]:
+        """JSON-ready objectives + burns + exemplars (``/debug/requests``)."""
+        with self._lock:
+            exemplars = {
+                ("+Inf" if edge == float("inf") else f"{edge:g}"): request_id
+                for edge, request_id in sorted(self._exemplars.items())
+            }
+        return {
+            "objectives": {
+                "latency_objective_seconds": self.config.latency_objective_seconds,
+                "latency_target": self.config.latency_target,
+                "availability_target": self.config.availability_target,
+            },
+            "burn_rates": self.burn_rates(now),
+            "latency_exemplars": exemplars,
+        }

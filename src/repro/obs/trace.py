@@ -135,7 +135,8 @@ class Tracer:
         self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._spans)
+        with self._lock:
+            return len(self._spans)
 
     def _alloc_id(self) -> int:
         span_id = self._next_id
@@ -227,11 +228,13 @@ class Tracer:
     @property
     def spans(self) -> list[Span]:
         """The buffered spans, in creation (= parent-before-child) order."""
-        return list(self._spans)
+        with self._lock:
+            return list(self._spans)
 
     def export(self) -> list[SpanDict]:
         """Serialize every buffered span (open spans export as open)."""
-        return [s.to_dict() for s in self._spans]
+        with self._lock:
+            return [s.to_dict() for s in self._spans]
 
 
 #: The tracer of the run in flight, or None.  Module state on purpose —
@@ -318,8 +321,12 @@ def add_event(name: str, **attrs: Any) -> None:
     if current is None:
         return
     # Spans are few (one per stage/shard); a reverse scan is simpler and
-    # cheaper than an id->span map that would need lock discipline.
-    for candidate in reversed(tracer._spans):
+    # cheaper than an id->span map.  The event lands on the span after
+    # the lock is released: only this context's thread mutates its own
+    # open span, the lock just keeps the scan safe against appends.
+    with tracer._lock:
+        candidates = list(tracer._spans)
+    for candidate in reversed(candidates):
         if candidate.span_id == current:
             candidate.add_event(name, **attrs)
             return

@@ -24,7 +24,10 @@ the serving architecture that makes the resident-bank framing concrete:
   /search``, ``/healthz``, ``/readyz``, ``/metrics``) with graceful drain
   on SIGTERM;
 * :mod:`repro.serve.client` — the stdlib load-generator client behind
-  ``repro-serve-bench``.
+  ``repro-serve-bench``;
+* :mod:`repro.serve.top` — the ``repro-serve-top`` terminal dashboard
+  polling ``/metrics`` + ``/debug/requests`` (QPS, latency percentiles,
+  queue depth, breaker state, SLO burn rates).
 
 Everything here is zero-dependency beyond numpy (which the pipeline
 already requires): HTTP is :mod:`http.server`, concurrency is

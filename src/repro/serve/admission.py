@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Any
 
 from ..obs import metrics as obsmetrics
 from ..obs import trace
+from ..obs.context import RequestContext
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..seqs.sequence import SequenceBank
@@ -34,7 +35,9 @@ class Ticket:
     sets the event.  ``deadline_at`` is the request's absolute deadline on
     the :func:`repro.obs.trace.clock` timeline (``None`` = unbounded) —
     the same value later plumbed into
-    :attr:`~repro.core.supervisor.SupervisorConfig.deadline`.
+    :attr:`~repro.core.supervisor.SupervisorConfig.deadline`.  ``ctx`` is
+    the request's identity (:class:`~repro.obs.context.RequestContext`);
+    every span, flight record and manifest detail joins on its ids.
     """
 
     def __init__(
@@ -43,12 +46,19 @@ class Ticket:
         queries: SequenceBank,
         deadline_at: float | None = None,
         max_alignments: int | None = None,
+        ctx: RequestContext | None = None,
     ) -> None:
         self.request_index = request_index
         self.queries = queries
         self.deadline_at = deadline_at
         self.max_alignments = max_alignments
+        self.ctx = ctx if ctx is not None else RequestContext.new(
+            request_index=request_index, deadline_at=deadline_at
+        )
         self.enqueued_at = trace.clock()
+        #: Admission wait, stamped by the queue when the dispatcher takes
+        #: the ticket (stays 0.0 for requests shed before admission).
+        self.queue_seconds = 0.0
         self.done = threading.Event()
         self.result: dict[str, Any] | None = None
         self.error: str | None = None
@@ -99,9 +109,15 @@ class AdmissionQueue:
                 force_shed = True
         if force_shed:
             self._registry.counter("serve_shed_total").inc()
-            trace.add_event("serve.shed", request=ticket.request_index)
+            trace.add_event(
+                "serve.shed",
+                request=ticket.request_index,
+                request_id=ticket.ctx.request_id,
+            )
             return False
-        self._registry.gauge("serve_queue_depth").set_max(self._queue.qsize())
+        depth = self._queue.qsize()
+        self._registry.gauge("serve_queue_depth").set_max(depth)
+        self._registry.gauge("serve_queue_depth_current").set(depth)
         return True
 
     def take(self, timeout: float) -> Ticket | None:
@@ -126,9 +142,11 @@ class AdmissionQueue:
         return self._observe_wait(ticket)
 
     def _observe_wait(self, ticket: Ticket) -> Ticket:
+        ticket.queue_seconds = trace.clock() - ticket.enqueued_at
         self._registry.histogram(
             "serve_queue_wait_seconds", boundaries=obsmetrics.SECONDS_BUCKETS
-        ).observe(trace.clock() - ticket.enqueued_at)
+        ).observe(ticket.queue_seconds)
+        self._registry.gauge("serve_queue_depth_current").set(self._queue.qsize())
         return ticket
 
     def empty(self) -> bool:

@@ -28,6 +28,7 @@ from typing import Any
 
 from ..core.faults import FaultKind, FaultPlan
 from ..obs import trace
+from ..obs.context import mint_request_id
 
 __all__ = ["search_request", "run_load", "main"]
 
@@ -51,12 +52,20 @@ def search_request(
     max_alignments: int | None = None,
     timeout: float = DEFAULT_TIMEOUT,
     stall_seconds: float = 0.0,
+    request_id: str | None = None,
 ) -> dict[str, Any]:
     """One ``POST /search``; returns the decoded body plus timing fields.
 
     ``stall_seconds > 0`` sends the headers, then withholds the body for
     that long before completing the request (the ``SLOW_CLIENT`` fault).
+
+    *request_id* (minted when ``None``) is sent as ``X-Request-Id``; the
+    record carries both the sent id (``request_id``) and the server's
+    echoed header (``request_id_header``), so client-side latencies join
+    server-side flight records and traces on one key.
     """
+    if request_id is None:
+        request_id = mint_request_id()
     body = {"queries": [[n, s] for n, s in queries]}
     if deadline_ms is not None:
         body["deadline_ms"] = deadline_ms
@@ -69,6 +78,7 @@ def search_request(
         conn.putrequest("POST", "/search")
         conn.putheader("Content-Type", "application/json")
         conn.putheader("Content-Length", str(len(payload)))
+        conn.putheader("X-Request-Id", request_id)
         conn.endheaders()
         if stall_seconds > 0:
             # Deterministic slow-client stall: headers are on the wire, the
@@ -86,12 +96,16 @@ def search_request(
         decoded["http_status"] = response.status
         decoded["wall_seconds"] = wall
         decoded["retry_after_header"] = response.headers.get("Retry-After")
+        decoded["request_id"] = request_id
+        decoded["request_id_header"] = response.headers.get("X-Request-Id")
         return decoded
     except OSError as exc:
         return {
             "http_status": 0,
             "error": repr(exc),
             "wall_seconds": trace.clock() - t0,
+            "request_id": request_id,
+            "request_id_header": None,
         }
     finally:
         conn.close()
@@ -136,6 +150,7 @@ def run_load(
                 deadline_ms=deadline_ms,
                 timeout=timeout,
                 stall_seconds=stall,
+                request_id=mint_request_id(),
             )
             record["request"] = i
             records[i] = record
@@ -162,6 +177,14 @@ def run_load(
         ),
         None,
     )
+    # Every response that reached the server must echo the id we sent; a
+    # mismatch means the joinability contract broke somewhere en route.
+    id_mismatches = sum(
+        1
+        for r in results
+        if r.get("http_status", 0) > 0
+        and r.get("request_id_header") != r.get("request_id")
+    )
     return {
         "requests": len(results),
         "served": len(served),
@@ -171,6 +194,7 @@ def run_load(
         "wall_seconds": wall,
         "qps": len(served) / wall if wall > 0 else 0.0,
         "shed_rate": len(shed) / len(results) if results else 0.0,
+        "id_mismatches": id_mismatches,
         "time_to_first_hit_seconds": first_hit,
         "mean_latency_seconds": (
             sum(r["wall_seconds"] for r in served) / len(served)
@@ -242,7 +266,7 @@ def main(argv: list[str] | None = None) -> int:
     if args.out:
         with open(args.out, "w", encoding="utf-8") as fh:
             json.dump(summary, fh, indent=2)
-    return 0 if summary["errors"] == 0 else 1
+    return 0 if summary["errors"] == 0 and summary["id_mismatches"] == 0 else 1
 
 
 if __name__ == "__main__":  # pragma: no cover - manual tool

@@ -78,6 +78,7 @@ def _init_warm_worker(
     unregister: bool,
     fault_plan: FaultPlan | None,
     digest1: int,
+    obs_enabled: bool = False,
 ) -> None:
     """Warm-pool initializer: map only the resident bank segment.
 
@@ -109,6 +110,7 @@ def _init_warm_worker(
     state["config"] = config
     state["fault_plan"] = fault_plan
     state["digest1"] = digest1
+    state["obs"] = obs_enabled
 
 
 def _warm_probe() -> bool:
@@ -139,6 +141,7 @@ def _verify_resident_view() -> None:
 def _score_warm_shard(
     shard: int,
     attempt: int,
+    request_id: str | None,
     query_bytes: bytes,
     offsets0: np.ndarray,
     counts0: np.ndarray,
@@ -152,6 +155,13 @@ def _score_warm_shard(
     is the whole point of the warm split).  Fault addressing matches the
     cold task: ``(shard, attempt)``, with ``CORRUPT_BANK`` redirected at
     the *resident* view so the digest-check/re-map path is what recovers.
+
+    *request_id* rides the payload so the worker's spans carry the
+    originating request's identity; when the service enabled tracing the
+    spans are recorded into a fresh per-task tracer and ride home in the
+    result tuple's obs slot, where :meth:`WarmPool.step2` adopts them
+    under the request's shard span (same round-trip as the cold
+    executor's ``_score_shard``).
     """
     t0 = obstrace.clock()
     state = core_executor._WORKER
@@ -169,11 +179,32 @@ def _score_warm_shard(
     _verify_resident_view()
     buf0 = np.frombuffer(query_bytes, dtype=np.uint8)
     engine = BatchedUngappedEngine(state["config"])
-    with obstrace.span("step2.worker", shard=shard, attempt=attempt):
-        hits = engine.run_stream(
+
+    def scored() -> UngappedHits:
+        return engine.run_stream(
             buf0, state["buf1"], EntryBlock(offsets0, counts0, offsets1, counts1)
         )
-    result = _package_hits(shard, hits, obstrace.clock() - t0, engine)
+
+    obs_payload = None
+    if state.get("obs"):
+        import os
+
+        tracer = obstrace.Tracer()
+        registry = obsmetrics.MetricsRegistry()
+        with obstrace.activate(tracer), obsmetrics.activate(registry):
+            with obstrace.span(
+                "step2.worker",
+                shard=shard,
+                attempt=attempt,
+                request_id=request_id,
+                pid=os.getpid(),
+            ):
+                hits = scored()
+        obs_payload = (tuple(tracer.export()), registry.to_dict())
+    else:
+        with obstrace.span("step2.worker", shard=shard, attempt=attempt):
+            hits = scored()
+    result = _package_hits(shard, hits, obstrace.clock() - t0, engine, obs_payload)
     if spec is not None and spec.kind is FaultKind.TRUNCATE:
         drop = max(1, int(spec.drop))
         result = (
@@ -202,6 +233,9 @@ class WarmPool:
     supervisor:
         Per-request supervision policy template; each request overlays
         its own absolute deadline via :func:`dataclasses.replace`.
+    obs_enabled:
+        When true, warm workers record per-task spans that ride back in
+        the result tuple for adoption under the request's span tree.
     """
 
     def __init__(
@@ -211,9 +245,11 @@ class WarmPool:
         workers: int = 2,
         fault_plan: FaultPlan | None = None,
         supervisor: SupervisorConfig | None = None,
+        obs_enabled: bool = False,
     ) -> None:
         from multiprocessing import shared_memory
 
+        self.obs_enabled = obs_enabled
         self.config = config
         ungapped = config.ungapped_config()
         resolved = resolve_backend(ungapped.backend, ungapped)
@@ -270,6 +306,11 @@ class WarmPool:
             touch("repro.serve.pool.WarmPool._bank_heals")
             return self._bank_heals
 
+    @property
+    def resident_bytes(self) -> int:
+        """Bytes of the staged resident-bank segment (a boot-time constant)."""
+        return int(self._shm.size)
+
     # -- lifecycle ------------------------------------------------------
     def _make_pool(self) -> ProcessPoolExecutor:
         from concurrent.futures import ProcessPoolExecutor
@@ -285,6 +326,7 @@ class WarmPool:
                 self._unregister,
                 self.fault_plan,
                 self.digest,
+                self.obs_enabled,
             ),
         )
 
@@ -399,30 +441,36 @@ class WarmPool:
         index: TwoBankIndex,
         deadline_at: float | None = None,
         use_pool: bool = True,
+        request_id: str | None = None,
     ) -> UngappedHits:
         """Score one request's joint *index*, warm-pool sharded.
 
         ``deadline_at`` is the request's absolute deadline, plumbed into
         :attr:`~repro.core.supervisor.SupervisorConfig.deadline`;
         ``use_pool=False`` is the breaker's degraded route (in-process,
-        bit-identical, no pool interaction at all).
+        bit-identical, no pool interaction at all).  ``request_id``
+        threads the request's identity through the supervisor (retry and
+        fallback events carry it) and into every worker task payload, so
+        worker spans coming home in the obs slot re-parent under this
+        request's shard spans.
         """
         if (
             not use_pool
             or self.workers == 1
             or index.n_shared_keys < 2 * self.workers
         ):
-            return self._step2_local(index, deadline_at)
+            return self._step2_local(index, deadline_at, request_id)
         n_shards = max(1, min(self.workers, index.n_shared_keys))
         ranges = split_entries_contiguous(index, n_shards)
         tasks = [(s, lo, hi) for s, (lo, hi) in enumerate(ranges) if hi > lo]
         if not tasks:
-            return self._step2_local(index, deadline_at)
+            return self._step2_local(index, deadline_at, request_id)
         counts = index.pair_counts()
         qbuf = index.index0.bank.buffer
         query_bytes = qbuf.tobytes()
         payloads = {
-            s: (query_bytes, *index.shard_arrays(lo, hi)) for s, lo, hi in tasks
+            s: (request_id, query_bytes, *index.shard_arrays(lo, hi))
+            for s, lo, hi in tasks
         }
         pair_counts = {s: int(counts[lo:hi].sum()) for s, lo, hi in tasks}
 
@@ -432,14 +480,14 @@ class WarmPool:
                 qbuf,
                 self.resident.buffer,
                 shard,
-                payloads[shard][1:],
+                payloads[shard][2:],
             )
 
         with self._pool_lock:
             touch("repro.serve.pool.WarmPool._pool", write=True)
             held, self._pool = self._pool, None  # ownership to the supervisor
         sup = ShardSupervisor(
-            replace(self.supervisor, deadline=deadline_at),
+            replace(self.supervisor, deadline=deadline_at, request_id=request_id),
             self._make_pool,
             _score_warm_shard,
             local_score,
@@ -465,10 +513,41 @@ class WarmPool:
             if leftover is not None:
                 _stop_pool(leftover)
         self.last_health = health
+        tracer = obstrace.active()
+        registry = obsmetrics.active()
         stats = UngappedStats()
         results = [o.result for o in outcomes]
-        for result in results:
-            entries, pairs, cells, hits_n = result[4]
+        for outcome in outcomes:
+            result = outcome.result
+            shard, _o0, _o1, _sc, (entries, pairs, cells, hits_n), wall = (
+                result[:6]
+            )
+            obs_payload = result[8] if len(result) > 8 else None
+            if tracer is not None:
+                # Same retrospective-span + adoption shape as the cold
+                # executor's merge loop: the shard span is backdated to
+                # end now and the worker's spans reparent under it with
+                # their timeline rebased onto the shard span's start.
+                shard_span = tracer.record(
+                    "step2.shard",
+                    wall,
+                    shard=shard,
+                    via=outcome.via,
+                    attempts=outcome.attempts,
+                    pairs=pairs,
+                    hits=hits_n,
+                    retry_wall_seconds=outcome.retry_wall_seconds,
+                    request_id=request_id,
+                )
+                if obs_payload is not None and obs_payload[0]:
+                    worker_spans = obs_payload[0]
+                    tracer.adopt(
+                        worker_spans,
+                        shard_span.span_id,
+                        rebase=(worker_spans[0]["start"], shard_span.start),
+                    )
+            if registry is not None and obs_payload is not None:
+                registry.merge(obs_payload[1])
             stats.merge(UngappedStats(entries, pairs, cells, hits_n))
         offsets0 = np.concatenate([r[1] for r in results])
         offsets1 = np.concatenate([r[2] for r in results])
@@ -476,7 +555,10 @@ class WarmPool:
         return UngappedHits(offsets0, offsets1, scores, stats)
 
     def _step2_local(
-        self, index: TwoBankIndex, deadline_at: float | None
+        self,
+        index: TwoBankIndex,
+        deadline_at: float | None,
+        request_id: str | None = None,
     ) -> UngappedHits:
         """Degraded / small-workload route: in-process batched scoring."""
         if deadline_at is not None and obstrace.clock() >= deadline_at:
@@ -488,7 +570,9 @@ class WarmPool:
                 (0,),
             )
         engine = BatchedUngappedEngine(self.ungapped)
-        with obstrace.span("step2.shard", shard=0, via="local"):
+        with obstrace.span(
+            "step2.shard", shard=0, via="local", request_id=request_id
+        ):
             hits = engine.run(index)
         self.last_health = RunHealth(shards=1)
         return hits

@@ -7,6 +7,14 @@ Endpoints::
     GET  /healthz  liveness + breaker/pool snapshot (always 200 while up)
     GET  /readyz   200 while accepting, 503 once draining
     GET  /metrics  Prometheus text exposition of the service registry
+    GET  /debug/requests[?limit=N]  flight recorder + SLO snapshot
+    GET  /debug/trace/<request id>  the request's span-tree document
+    GET  /debug/profile[?seconds=S] sampling profile (needs --profile)
+
+Every response — including 400/413/429/500 error paths — carries an
+``X-Request-Id`` header: the inbound header's value when well-formed, a
+server-minted id otherwise, so client and server views of one request
+always join on one key.
 
 One handler thread per connection (``ThreadingHTTPServer``); actual
 search execution is serialised by the service's dispatcher, so handler
@@ -28,11 +36,13 @@ import signal
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import TYPE_CHECKING, Any
+from urllib.parse import parse_qs, urlsplit
 
-from ..obs.metrics import prometheus_text
+from ..obs.context import accept_request_id
 from ..seqs.sequence import BankBuilder
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..obs.profile import SamplingProfiler
     from .service import SearchService
 
 __all__ = ["SearchHTTPServer", "serve_forever"]
@@ -63,49 +73,137 @@ class _Handler(BaseHTTPRequestHandler):
         _log.debug("%s %s", self.address_string(), format % args)
 
     def _send_json(
-        self, code: int, body: dict[str, Any], retry_after: float | None = None
+        self,
+        code: int,
+        body: dict[str, Any],
+        retry_after: float | None = None,
+        request_id: str | None = None,
     ) -> None:
         payload = json.dumps(body).encode("utf-8")
         self.send_response(code)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(payload)))
+        if request_id is not None:
+            self.send_header("X-Request-Id", request_id)
         if retry_after is not None:
             self.send_header("Retry-After", f"{retry_after:g}")
         self.end_headers()
         self.wfile.write(payload)
 
+    def _request_id(self) -> str:
+        """The request's identity: honoured from the header or minted."""
+        return accept_request_id(self.headers.get("X-Request-Id"))
+
     # -- GET ------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         service = self.server.service
-        if self.path == "/healthz":
-            self._send_json(200, service.health_snapshot())
-        elif self.path == "/readyz":
+        rid = self._request_id()
+        parts = urlsplit(self.path)
+        path, query = parts.path, parse_qs(parts.query)
+        if path == "/healthz":
+            self._send_json(200, service.health_snapshot(), request_id=rid)
+        elif path == "/readyz":
             if service.ready:
-                self._send_json(200, {"ready": True})
+                self._send_json(200, {"ready": True}, request_id=rid)
             else:
-                self._send_json(503, {"ready": False, "draining": service.draining})
-        elif self.path == "/metrics":
-            text = prometheus_text(service.registry).encode("utf-8")
+                self._send_json(
+                    503,
+                    {"ready": False, "draining": service.draining},
+                    request_id=rid,
+                )
+        elif path == "/metrics":
+            text = service.metrics_text().encode("utf-8")
             self.send_response(200)
             self.send_header("Content-Type", "text/plain; version=0.0.4")
             self.send_header("Content-Length", str(len(text)))
+            self.send_header("X-Request-Id", rid)
             self.end_headers()
             self.wfile.write(text)
+        elif path == "/debug/requests":
+            limit = None
+            if "limit" in query:
+                try:
+                    limit = max(0, int(query["limit"][0]))
+                except ValueError:
+                    self._send_json(
+                        400, {"error": "limit must be an integer"}, request_id=rid
+                    )
+                    return
+            self._send_json(200, service.debug_requests(limit), request_id=rid)
+        elif path.startswith("/debug/trace/"):
+            wanted = path[len("/debug/trace/") :]
+            doc = service.traces.get(wanted)
+            if doc is None:
+                self._send_json(
+                    404,
+                    {"error": f"no trace retained for request id {wanted!r}"},
+                    request_id=rid,
+                )
+            else:
+                self._send_json(200, doc, request_id=rid)
+        elif path == "/debug/profile":
+            self._profile(query, rid)
         else:
-            self._send_json(404, {"error": f"unknown path {self.path}"})
+            self._send_json(
+                404, {"error": f"unknown path {self.path}"}, request_id=rid
+            )
+
+    def _profile(self, query: dict[str, list[str]], rid: str) -> None:
+        """``/debug/profile?seconds=S``: one bounded profiling window."""
+        profiler = self.server.profiler
+        if profiler is None or not profiler.installed:
+            self._send_json(
+                503,
+                {"error": "profiler not enabled (start the server with --profile)"},
+                request_id=rid,
+            )
+            return
+        seconds = 5.0
+        if "seconds" in query:
+            try:
+                seconds = float(query["seconds"][0])
+            except ValueError:
+                self._send_json(
+                    400, {"error": "seconds must be a number"}, request_id=rid
+                )
+                return
+        if not 0.0 < seconds <= 30.0:
+            self._send_json(
+                400, {"error": "seconds must be in (0, 30]"}, request_id=rid
+            )
+            return
+        report = profiler.run_for(seconds)
+        if report is None:
+            self._send_json(
+                409,
+                {
+                    "error": "profiler busy (another window or a session "
+                    "profile is running)"
+                },
+                request_id=rid,
+            )
+            return
+        self._send_json(200, report, request_id=rid)
 
     # -- POST -----------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 - http.server API
+        rid = self._request_id()
         if self.path != "/search":
-            self._send_json(404, {"error": f"unknown path {self.path}"})
+            self._send_json(
+                404, {"error": f"unknown path {self.path}"}, request_id=rid
+            )
             return
         try:
             length = int(self.headers.get("Content-Length", "0"))
         except ValueError:
-            self._send_json(400, {"error": "bad Content-Length"})
+            self._send_json(400, {"error": "bad Content-Length"}, request_id=rid)
             return
         if length <= 0 or length > MAX_BODY_BYTES:
-            self._send_json(413, {"error": "request body missing or too large"})
+            self._send_json(
+                413,
+                {"error": "request body missing or too large"},
+                request_id=rid,
+            )
             return
         # The socket timeout (``timeout`` above) bounds this read; a slow
         # client times out its own connection, nothing else.
@@ -134,24 +232,46 @@ class _Handler(BaseHTTPRequestHandler):
                 if max_alignments < 0:
                     raise ValueError("max_alignments must be >= 0")
         except (KeyError, ValueError, TypeError, json.JSONDecodeError) as exc:
-            self._send_json(400, {"error": f"bad search request: {exc}"})
+            self._send_json(
+                400, {"error": f"bad search request: {exc}"}, request_id=rid
+            )
             return
         result = self.server.service.submit(
-            bank, deadline_seconds=deadline, max_alignments=max_alignments
+            bank,
+            deadline_seconds=deadline,
+            max_alignments=max_alignments,
+            request_id=rid,
         )
         code = int(result.pop("code", 200))
         retry_after = result.get("retry_after")
-        self._send_json(code, result, retry_after=retry_after)
+        self._send_json(
+            code,
+            result,
+            retry_after=retry_after,
+            request_id=str(result.get("request_id", rid)),
+        )
 
 
 class SearchHTTPServer(ThreadingHTTPServer):
-    """Threaded HTTP server bound to one :class:`SearchService`."""
+    """Threaded HTTP server bound to one :class:`SearchService`.
+
+    *profiler* is the optional process-wide
+    :class:`~repro.obs.profile.SamplingProfiler` backing
+    ``/debug/profile`` (must already be installed; the handler only
+    arms/disarms the timer, which is legal off the main thread).
+    """
 
     daemon_threads = True
 
-    def __init__(self, address: tuple[str, int], service: SearchService) -> None:
+    def __init__(
+        self,
+        address: tuple[str, int],
+        service: SearchService,
+        profiler: SamplingProfiler | None = None,
+    ) -> None:
         super().__init__(address, _Handler)
         self.service = service
+        self.profiler = profiler
 
     def drain_and_shutdown(self, timeout: float = 30.0) -> None:
         """Stop accepting, finish in-flight work, release resources."""

@@ -25,7 +25,9 @@ run of the same query bank — whichever route, fault or retry served it.
 from __future__ import annotations
 
 import itertools
+import json
 import logging
+import os
 import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
@@ -38,17 +40,27 @@ from ..core.pipeline import SeedComparisonPipeline
 from ..core.supervisor import DeadlineExceeded
 from ..obs import metrics as obsmetrics
 from ..obs import trace
+from ..obs.context import RequestContext
+from ..obs.flight import FlightRecord, FlightRecorder, RequestTraceStore
+from ..obs.metrics import prometheus_text
+from ..obs.slo import SloConfig, SloTracker
 from .admission import AdmissionQueue, Ticket
 from .breaker import STATE_VALUES, BreakerConfig, BreakerState, CircuitBreaker
 from .pool import WarmPool
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.profile import PipelineProfile
     from ..core.results import ComparisonReport
     from ..seqs.sequence import SequenceBank
 
-__all__ = ["ServiceConfig", "SearchService"]
+__all__ = ["TRACE_VERSION", "ServiceConfig", "SearchService"]
 
 _log = logging.getLogger(__name__)
+
+#: Version of the per-request trace document (``/debug/trace/<id>`` and
+#: ``--trace-dir`` spool files); mirrored by
+#: ``schemas/request_trace.schema.json``.
+TRACE_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -76,6 +88,20 @@ class ServiceConfig:
         and fill in the 504 before the handler gives up with a 500.
     poll_seconds:
         Dispatcher queue-poll granularity (bounds drain latency).
+    tracing:
+        Record a span tree per request (the ``/debug/trace/<id>``
+        surface).  Off, requests still get ids and flight records but
+        event counts in those records stay zero.
+    flight_records:
+        Flight-recorder ring capacity (last N request records).
+    trace_records:
+        Per-request trace documents retained for ``/debug/trace/<id>``.
+    trace_dir:
+        When set, every per-request trace document is also spooled to
+        ``<trace_dir>/trace-<index>-<request id>.json`` and the flight
+        recorder is dumped there on drain.
+    slo:
+        Declared service-level objectives (see :class:`SloConfig`).
     """
 
     workers: int = 2
@@ -86,6 +112,11 @@ class ServiceConfig:
     deadline_grace_seconds: float = 5.0
     poll_seconds: float = 0.1
     breaker: BreakerConfig = field(default_factory=BreakerConfig)
+    tracing: bool = True
+    flight_records: int = 256
+    trace_records: int = 64
+    trace_dir: str | None = None
+    slo: SloConfig = field(default_factory=SloConfig)
 
 
 class SearchService:
@@ -126,9 +157,13 @@ class SearchService:
             resident,
             workers=self.service.workers,
             fault_plan=fault_plan,
+            obs_enabled=self.service.tracing,
         )
         self.breaker = CircuitBreaker(self.service.breaker)
         self.queue = AdmissionQueue(self.service.queue_depth, self.registry)
+        self.flight = FlightRecorder(self.service.flight_records)
+        self.traces = RequestTraceStore(self.service.trace_records)
+        self.slo = SloTracker(self.service.slo, self.registry)
         self._counter = itertools.count()
         self._draining = threading.Event()
         self._stopped = threading.Event()
@@ -170,6 +205,12 @@ class SearchService:
         ):
             self.registry.counter(name).inc(0)
         self.registry.gauge("serve_queue_depth").set_max(0)
+        self.registry.gauge("serve_queue_depth_current").set(0)
+        self.registry.gauge("serve_resident_bank_bytes").set(
+            self.pool.resident_bytes
+        )
+        self._set_pool_gauge()
+        self.slo.register_gauges()
         self.registry.histogram(
             "serve_queue_wait_seconds", boundaries=obsmetrics.SECONDS_BUCKETS
         )
@@ -216,6 +257,16 @@ class SearchService:
         if self._dispatcher.is_alive():
             self._dispatcher.join(timeout=max(1.0, 2 * self.service.poll_seconds))
         self.pool.close()
+        self._set_pool_gauge()
+        if self.service.trace_dir is not None:
+            # The flight recorder's black-box moment: persist the last N
+            # request records before the process goes away.
+            try:
+                self.flight.dump(
+                    os.path.join(self.service.trace_dir, "flight_records.json")
+                )
+            except OSError as exc:  # pragma: no cover - disk trouble
+                _log.warning("flight-recorder dump failed: %r", exc)
         if not drained:
             _log.warning("drain timed out with requests still queued")
         return drained
@@ -226,23 +277,50 @@ class SearchService:
         queries: SequenceBank,
         deadline_seconds: float | None = None,
         max_alignments: int | None = None,
+        request_id: str | None = None,
     ) -> dict[str, Any]:
         """Admit one request and block until its response is ready.
 
         Returns a response dict with an HTTP-shaped ``code``:
         200 (served), 429 (shed, with ``retry_after``), 503 (draining),
-        504 (deadline expired), 500 (runtime fault).
+        504 (deadline expired), 500 (runtime fault).  *request_id* is the
+        client-supplied identity (already validated at the HTTP edge);
+        one is minted when absent.  Every response carries
+        ``request_id`` and every terminal outcome — including sheds and
+        draining rejections — leaves a flight record under that id.
         """
         if not self.ready:
-            return {"code": 503, "status": "draining", "error": "not accepting"}
+            ctx = RequestContext.new(request_id)
+            self.flight.record(
+                FlightRecord(
+                    request_id=ctx.request_id,
+                    trace_id=ctx.trace_id,
+                    request_index=None,
+                    status="draining",
+                    code=503,
+                )
+            )
+            return {
+                "code": 503,
+                "status": "draining",
+                "error": "not accepting",
+                "request_id": ctx.request_id,
+            }
         request_index = next(self._counter)
         if deadline_seconds is None:
             deadline_seconds = self.service.default_deadline_seconds
         deadline_at = (
             None if deadline_seconds is None else trace.clock() + deadline_seconds
         )
+        ctx = RequestContext.new(
+            request_id, request_index=request_index, deadline_at=deadline_at
+        )
         ticket = Ticket(
-            request_index, queries, deadline_at, max_alignments=max_alignments
+            request_index,
+            queries,
+            deadline_at,
+            max_alignments=max_alignments,
+            ctx=ctx,
         )
         forced = None
         if self.fault_plan is not None:
@@ -251,11 +329,27 @@ class SearchService:
             )
         if not self.queue.offer(ticket, force_shed=forced is not None):
             self._count_request("shed")
+            retry_after = self.service.retry_after_seconds
+            self.flight.record(
+                FlightRecord(
+                    request_id=ctx.request_id,
+                    trace_id=ctx.trace_id,
+                    request_index=request_index,
+                    status="shed",
+                    code=429,
+                    shed_reason="injected" if forced is not None else "queue-full",
+                    retry_after=retry_after,
+                )
+            )
+            # A shed is the admission policy working, not the service
+            # failing: it spends no availability budget.
+            self.slo.record(True, 0.0, ctx.request_id)
             return {
                 "code": 429,
                 "status": "shed",
                 "request": request_index,
-                "retry_after": self.service.retry_after_seconds,
+                "request_id": ctx.request_id,
+                "retry_after": retry_after,
             }
         self._work.set()
         wait = self.service.max_wait_seconds
@@ -267,10 +361,22 @@ class SearchService:
             wait = min(wait, remaining) + self.service.deadline_grace_seconds
         if not ticket.done.wait(timeout=wait):
             self._count_request("error")
+            self.flight.record(
+                FlightRecord(
+                    request_id=ctx.request_id,
+                    trace_id=ctx.trace_id,
+                    request_index=request_index,
+                    status="error",
+                    code=500,
+                    error="dispatcher unresponsive",
+                )
+            )
+            self.slo.record(False, trace.clock() - ticket.enqueued_at, ctx.request_id)
             return {
                 "code": 500,
                 "status": "error",
                 "request": request_index,
+                "request_id": ctx.request_id,
                 "error": "dispatcher unresponsive",
             }
         return self._response(ticket)
@@ -282,6 +388,7 @@ class SearchService:
                 "code": 504,
                 "status": "deadline",
                 "request": ticket.request_index,
+                "request_id": ticket.ctx.request_id,
                 "error": ticket.error or "deadline expired",
             }
         if ticket.status != "ok" or ticket.result is None:
@@ -289,12 +396,14 @@ class SearchService:
                 "code": 500,
                 "status": "error",
                 "request": ticket.request_index,
+                "request_id": ticket.ctx.request_id,
                 "error": ticket.error or "internal error",
             }
         body = dict(ticket.result)
         body["code"] = 200
         body["status"] = "ok"
         body["request"] = ticket.request_index
+        body["request_id"] = ticket.ctx.request_id
         return body
 
     # -- dispatcher -----------------------------------------------------
@@ -317,45 +426,74 @@ class SearchService:
                 ticket.done.set()
 
     def _handle(self, ticket: Ticket) -> None:
+        # One tracer per request: spans recorded anywhere down the path
+        # (pipeline stages, supervisor events, adopted worker spans) form
+        # this request's tree and nothing else's.  The dispatcher is the
+        # only thread that runs requests, so activating the ambient
+        # tracer/registry here is race-free; handler threads never trace.
+        tracer = (
+            trace.Tracer(
+                meta={
+                    "request_id": ticket.ctx.request_id,
+                    "trace_id": ticket.ctx.trace_id,
+                }
+            )
+            if self.service.tracing
+            else None
+        )
         timer = trace.Timer()
-        with timer:
-            self._apply_service_faults(ticket.request_index)
-            if self.pool.heal_if_corrupt():
-                self.registry.counter("serve_bank_heals_total").inc()
-            if ticket.expired():
-                ticket.status = "deadline"
-                ticket.error = "deadline expired before dispatch"
-                return
-            use_pool = self.breaker.allows_pool()
-            probing = self.breaker.state is BreakerState.HALF_OPEN
-            if not use_pool:
-                self.registry.counter("serve_degraded_requests_total").inc()
-            try:
-                report, health_ok = self._run(ticket, use_pool)
-            except DeadlineExceeded as exc:
-                ticket.status = "deadline"
-                ticket.error = str(exc)
-                if use_pool:
-                    # A deadline miss on the pool path counts against the
-                    # breaker only when the pool actually misbehaved —
-                    # an aggressive client deadline alone must not trip it.
-                    self._record_breaker(not self._pool_misbehaved(), probing)
-                return
-            except Exception as exc:  # noqa: BLE001 - request must answer
-                _log.warning(
-                    "request %d failed: %r", ticket.request_index, exc
-                )
-                ticket.status = "error"
-                ticket.error = repr(exc)
-                if use_pool:
-                    self._record_breaker(False, probing)
-                return
-            if use_pool:
-                self._record_breaker(health_ok, probing)
-            ticket.result = self._format(ticket, report)
+        profile: PipelineProfile | None = None
+        with trace.activate(tracer), obsmetrics.activate(self.registry):
+            with timer:
+                with trace.span(
+                    "serve.request",
+                    request_id=ticket.ctx.request_id,
+                    request=ticket.request_index,
+                ):
+                    profile = self._process(ticket)
         self.registry.histogram(
             "serve_request_seconds", boundaries=obsmetrics.SECONDS_BUCKETS
         ).observe(timer.seconds)
+        self._observe_request(ticket, tracer, timer.seconds, profile)
+
+    def _process(self, ticket: Ticket) -> PipelineProfile | None:
+        """Execute one ticket inside its request span; returns the profile."""
+        self._apply_service_faults(ticket.request_index)
+        if self.pool.heal_if_corrupt():
+            self.registry.counter("serve_bank_heals_total").inc()
+        if ticket.expired():
+            ticket.status = "deadline"
+            ticket.error = "deadline expired before dispatch"
+            return None
+        use_pool = self.breaker.allows_pool()
+        probing = self.breaker.state is BreakerState.HALF_OPEN
+        if not use_pool:
+            self.registry.counter("serve_degraded_requests_total").inc()
+        pipeline = self._make_pipeline(ticket, use_pool)
+        try:
+            report, health_ok = self._run(pipeline, ticket)
+        except DeadlineExceeded as exc:
+            ticket.status = "deadline"
+            ticket.error = str(exc)
+            if use_pool:
+                # A deadline miss on the pool path counts against the
+                # breaker only when the pool actually misbehaved —
+                # an aggressive client deadline alone must not trip it.
+                self._record_breaker(not self._pool_misbehaved(), probing)
+            return pipeline.profile
+        except Exception as exc:  # noqa: BLE001 - request must answer
+            _log.warning(
+                "request %d failed: %r", ticket.request_index, exc
+            )
+            ticket.status = "error"
+            ticket.error = repr(exc)
+            if use_pool:
+                self._record_breaker(False, probing)
+            return pipeline.profile
+        if use_pool:
+            self._record_breaker(health_ok, probing)
+        ticket.result = self._format(ticket, report)
+        return pipeline.profile
 
     def _apply_service_faults(self, request_index: int) -> None:
         plan = self.fault_plan
@@ -375,16 +513,25 @@ class SearchService:
             if self.pool.heal_if_corrupt():
                 self.registry.counter("serve_bank_heals_total").inc()
 
-    def _run(
+    def _make_pipeline(
         self, ticket: Ticket, use_pool: bool
-    ) -> tuple[ComparisonReport, bool]:
-        """Run the pipeline for one ticket; returns (report, pool-healthy)."""
-        pipeline = SeedComparisonPipeline(
+    ) -> SeedComparisonPipeline:
+        """The per-request pipeline (built separately so its profile
+        survives a :class:`DeadlineExceeded` raised mid-run)."""
+        return SeedComparisonPipeline(
             self.config,
             step2=lambda index: self.pool.step2(
-                index, deadline_at=ticket.deadline_at, use_pool=use_pool
+                index,
+                deadline_at=ticket.deadline_at,
+                use_pool=use_pool,
+                request_id=ticket.ctx.request_id,
             ),
         )
+
+    def _run(
+        self, pipeline: SeedComparisonPipeline, ticket: Ticket
+    ) -> tuple[ComparisonReport, bool]:
+        """Run the pipeline for one ticket; returns (report, pool-healthy)."""
         report = pipeline.compare_against_index(
             ticket.queries, self.pool.resident_index
         )
@@ -397,6 +544,92 @@ class SearchService:
                 (),
             )
         return report, health.healthy
+
+    def _observe_request(
+        self,
+        ticket: Ticket,
+        tracer: trace.Tracer | None,
+        total_seconds: float,
+        profile: PipelineProfile | None,
+    ) -> None:
+        """Flight record + SLO accounting + trace document for one ticket."""
+        status = ticket.status
+        code = {"ok": 200, "deadline": 504}.get(status, 500)
+        breakdown = {
+            "queue": ticket.queue_seconds,
+            "total": total_seconds,
+        }
+        if profile is not None:
+            step1 = profile.step1.wall_seconds
+            step2 = profile.step2.wall_seconds
+            merge = profile.step3.wall_seconds
+            breakdown.update(
+                step1=step1,
+                step2=step2,
+                merge=merge,
+                dispatch=max(0.0, total_seconds - step1 - step2 - merge),
+            )
+        retry_events = fallback_events = 0
+        breaker_events: list[str] = []
+        if tracer is not None:
+            for recorded in tracer.spans:
+                for event in recorded.events:
+                    name = str(event["name"])
+                    if name == "step2.retry":
+                        retry_events += 1
+                    elif name == "step2.fallback":
+                        fallback_events += 1
+                    elif name.startswith("breaker.") or name == "serve.bank_heal":
+                        breaker_events.append(name)
+        degraded: bool | None = None
+        alignments: int | None = None
+        if ticket.result is not None:
+            degraded = bool(ticket.result.get("degraded"))
+            alignments = ticket.result.get("n_alignments")
+        self.flight.record(
+            FlightRecord(
+                request_id=ticket.ctx.request_id,
+                trace_id=ticket.ctx.trace_id,
+                request_index=ticket.request_index,
+                status=status,
+                code=code,
+                breakdown=breakdown,
+                retry_events=retry_events,
+                fallback_events=fallback_events,
+                breaker_events=tuple(breaker_events),
+                degraded=degraded,
+                alignments=alignments,
+                error=ticket.error,
+            )
+        )
+        self.slo.record(status == "ok", total_seconds, ticket.ctx.request_id)
+        self._set_pool_gauge()
+        if tracer is None:
+            return
+        doc = {
+            "version": TRACE_VERSION,
+            "request_id": ticket.ctx.request_id,
+            "trace_id": ticket.ctx.trace_id,
+            "request_index": ticket.request_index,
+            "status": status,
+            "code": code,
+            "duration_seconds": total_seconds,
+            "spans": tracer.export(),
+        }
+        self.traces.retain(doc)
+        if self.service.trace_dir is not None:
+            # Request ids pass the edge's charset filter, so embedding one
+            # in the spool filename is safe by construction.
+            path = os.path.join(
+                self.service.trace_dir,
+                f"trace-{ticket.request_index:06d}-{ticket.ctx.request_id}.json",
+            )
+            try:
+                with open(path, "w", encoding="utf-8") as fh:
+                    json.dump(doc, fh, indent=2, sort_keys=True)
+                    fh.write("\n")
+            except OSError as exc:  # pragma: no cover - disk trouble
+                _log.warning("trace spool failed for %s: %r", path, exc)
 
     def _pool_misbehaved(self) -> bool:
         """True when the last run's counters show real pool faults.
@@ -434,6 +667,11 @@ class SearchService:
     def _count_request(self, status: str) -> None:
         self.registry.counter("serve_requests_total", status=status).inc()
 
+    def _set_pool_gauge(self) -> None:
+        self.registry.gauge("serve_pool_workers").set(
+            float(self.pool.workers if self.pool.pool_alive else 0)
+        )
+
     def _format(
         self, ticket: Ticket, report: ComparisonReport
     ) -> dict[str, Any]:
@@ -466,6 +704,22 @@ class SearchService:
         }
 
     # -- introspection --------------------------------------------------
+    def metrics_text(self) -> str:
+        """The ``/metrics`` exposition, with scrape-time gauges refreshed.
+
+        Burn rates and the pool/queue gauges are derived state — refreshed
+        here once per scrape instead of on every request.
+        """
+        self.slo.publish()
+        self._set_pool_gauge()
+        return prometheus_text(self.registry)
+
+    def debug_requests(self, limit: int | None = None) -> dict[str, Any]:
+        """The ``/debug/requests`` document: flight records + SLO state."""
+        doc = self.flight.to_dict(limit)
+        doc["slo"] = self.slo.snapshot()
+        return doc
+
     def health_snapshot(self) -> dict[str, Any]:
         """``/healthz`` body: liveness plus the load-bearing gauges."""
         return {

@@ -1,0 +1,297 @@
+"""``repro-serve-top``: a terminal dashboard for a running search service.
+
+Polls ``GET /metrics`` and ``GET /debug/requests`` on an interval and
+renders one frame per poll: requests-per-second and latency percentiles
+computed from *deltas* between consecutive scrapes (so the numbers track
+the live window, not the process lifetime), admission queue depth,
+breaker state, warm-pool worker count, resident-bank size, SLO burn
+rates, and the most recent flight records.
+
+Everything here is stdlib: :mod:`http.client` for the scrape, a
+deliberately minimal Prometheus text-exposition parser (it understands
+exactly what :func:`repro.obs.metrics.prometheus_text` emits — ``name``
+or ``name{label="v",…} value`` lines and ``# TYPE`` comments), and pure
+frame rendering so tests can assert on frames without a terminal or a
+server.  Printing happens only in :func:`main`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import threading
+from typing import Any
+
+from ..obs import trace
+
+__all__ = [
+    "parse_prometheus",
+    "histogram_quantile",
+    "scrape",
+    "render_frame",
+    "main",
+]
+
+#: Scrape socket timeout (seconds).
+DEFAULT_TIMEOUT = 5.0
+
+#: Never-set module event whose ``wait(timeout=...)`` is the sanctioned
+#: bounded sleep between frames (interruptible, never oversleeps past
+#: interpreter shutdown; RC303 flags throwaway per-wait Events).
+_SLEEP = threading.Event()
+
+#: One parsed sample: ``(metric name, sorted label items) -> value``.
+Series = dict[tuple[str, tuple[tuple[str, str], ...]], float]
+
+
+def parse_prometheus(text: str) -> Series:
+    """Parse Prometheus text exposition into ``{(name, labels): value}``.
+
+    Only the subset :func:`repro.obs.metrics.prometheus_text` produces is
+    supported; unparseable lines are skipped rather than fatal so a
+    half-written scrape degrades to a sparse frame, not a crash.
+    """
+    out: Series = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        series, _, value_text = line.rpartition(" ")
+        if not series:
+            continue
+        try:
+            value = float(value_text)
+        except ValueError:
+            continue
+        labels: list[tuple[str, str]] = []
+        name = series
+        if series.endswith("}") and "{" in series:
+            name, _, label_text = series.partition("{")
+            for item in label_text[:-1].split(","):
+                key, eq, raw = item.partition("=")
+                if not eq:
+                    continue
+                labels.append((key, raw.strip('"')))
+        out[(name, tuple(sorted(labels)))] = value
+    return out
+
+
+def _sum_matching(sample: Series, name: str, **labels: str) -> float:
+    """Sum all series of *name* whose labels include **labels**."""
+    want = set(labels.items())
+    return sum(
+        value
+        for (series_name, series_labels), value in sample.items()
+        if series_name == name and want <= set(series_labels)
+    )
+
+
+def _buckets(sample: Series, name: str) -> list[tuple[float, float]]:
+    """Cumulative ``(le, count)`` pairs of histogram *name*, le-ascending."""
+    pairs: list[tuple[float, float]] = []
+    for (series_name, series_labels), value in sample.items():
+        if series_name != f"{name}_bucket":
+            continue
+        le = dict(series_labels).get("le")
+        if le is None:
+            continue
+        pairs.append((float("inf") if le == "+Inf" else float(le), value))
+    pairs.sort()
+    return pairs
+
+
+def histogram_quantile(
+    buckets: list[tuple[float, float]], q: float
+) -> float | None:
+    """Quantile *q* from cumulative ``(le, count)`` pairs, interpolated.
+
+    Linear interpolation inside the containing bucket (the Prometheus
+    convention); the +Inf bucket reports its finite lower edge since the
+    upper edge is unbounded.  ``None`` when the histogram is empty.
+    """
+    if not buckets:
+        return None
+    total = buckets[-1][1]
+    if total <= 0:
+        return None
+    rank = q * total
+    lo_edge, lo_count = 0.0, 0.0
+    for le, count in buckets:
+        if count >= rank:
+            if le == float("inf"):
+                return lo_edge
+            if count == lo_count:
+                return le
+            return lo_edge + (le - lo_edge) * (rank - lo_count) / (count - lo_count)
+        lo_edge, lo_count = le, count
+    return buckets[-1][0]
+
+
+def _delta_buckets(
+    prev: list[tuple[float, float]], cur: list[tuple[float, float]]
+) -> list[tuple[float, float]]:
+    """Per-window bucket counts: *cur* minus *prev*, clamped at zero."""
+    if not prev:
+        return cur
+    prev_map = dict(prev)
+    return [(le, max(0.0, count - prev_map.get(le, 0.0))) for le, count in cur]
+
+
+def _http_get(host: str, port: int, path: str, timeout: float) -> str | None:
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        body = response.read()
+        if response.status != 200:
+            return None
+        return body.decode("utf-8", errors="replace")
+    except OSError:
+        return None
+    finally:
+        conn.close()
+
+
+def scrape(
+    host: str, port: int, timeout: float = DEFAULT_TIMEOUT
+) -> dict[str, Any] | None:
+    """One poll: parsed ``/metrics`` + decoded ``/debug/requests``.
+
+    Returns ``None`` when the metrics endpoint is unreachable (the
+    dashboard renders a "server unreachable" frame); a missing debug
+    endpoint degrades to an empty record list instead.
+    """
+    text = _http_get(host, port, "/metrics", timeout)
+    if text is None:
+        return None
+    debug: dict[str, Any] = {}
+    raw = _http_get(host, port, "/debug/requests?limit=8", timeout)
+    if raw is not None:
+        try:
+            debug = json.loads(raw)
+        except json.JSONDecodeError:
+            debug = {}
+    return {
+        "at": trace.clock(),
+        "metrics": parse_prometheus(text),
+        "debug": debug,
+    }
+
+
+_BREAKER_STATES = {0.0: "closed", 1.0: "open", 2.0: "half-open"}
+
+
+def render_frame(
+    prev: dict[str, Any] | None, cur: dict[str, Any] | None, host: str, port: int
+) -> str:
+    """Render one dashboard frame as a multi-line string (pure)."""
+    title = f"repro-serve-top — {host}:{port}"
+    if cur is None:
+        return f"{title}\n  server unreachable\n"
+    sample: Series = cur["metrics"]
+    prev_sample: Series = prev["metrics"] if prev else {}
+    dt = (cur["at"] - prev["at"]) if prev else 0.0
+
+    served = _sum_matching(sample, "serve_requests_total")
+    shed = _sum_matching(sample, "serve_shed_total")
+    if prev and dt > 0:
+        qps = (served - _sum_matching(prev_sample, "serve_requests_total")) / dt
+        shed_rate = (shed - _sum_matching(prev_sample, "serve_shed_total")) / dt
+        window = f"{dt:.1f}s window"
+    else:
+        qps, shed_rate, window = 0.0, 0.0, "first sample"
+
+    buckets = _delta_buckets(
+        _buckets(prev_sample, "serve_request_seconds"),
+        _buckets(sample, "serve_request_seconds"),
+    )
+    percentiles = {
+        q: histogram_quantile(buckets, q) for q in (0.50, 0.95, 0.99)
+    }
+    lat = "  ".join(
+        f"p{int(q * 100)}={'—' if v is None else f'{v * 1e3:.1f}ms'}"
+        for q, v in percentiles.items()
+    )
+
+    depth = _sum_matching(sample, "serve_queue_depth_current")
+    workers = _sum_matching(sample, "serve_pool_workers")
+    bank = _sum_matching(sample, "serve_resident_bank_bytes")
+    breaker_value = _sum_matching(sample, "serve_breaker_state")
+    breaker = _BREAKER_STATES.get(breaker_value, f"state={breaker_value:g}")
+
+    burn_lines = []
+    for (name, labels), value in sorted(sample.items()):
+        if name == "serve_slo_burn_rate":
+            tags = dict(labels)
+            burn_lines.append(
+                f"{tags.get('slo', '?')}/{tags.get('window', '?')}={value:.2f}"
+            )
+    burn = "  ".join(burn_lines) if burn_lines else "—"
+
+    lines = [
+        title,
+        f"  qps {qps:7.2f}   shed/s {shed_rate:6.2f}   ({window})",
+        f"  latency {lat}",
+        f"  queue {depth:g}   workers {workers:g}   breaker {breaker}   "
+        f"bank {bank / (1 << 20):.1f} MiB",
+        f"  slo burn {burn}",
+    ]
+    records = cur["debug"].get("records", [])
+    if records:
+        lines.append("  recent requests:")
+        for record in records[:8]:
+            total = (record.get("breakdown") or {}).get("total", 0.0)
+            lines.append(
+                f"    {record.get('request_id', '?'):>34}  "
+                f"{record.get('status', '?'):8} {record.get('code', 0):3d}  "
+                f"{total * 1e3:8.1f}ms  retries={record.get('retry_events', 0)}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``repro-serve-top``: poll a server and print dashboard frames."""
+    parser = argparse.ArgumentParser(
+        prog="repro-serve-top",
+        description="terminal dashboard for a running repro search service",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument(
+        "--interval", type=float, default=2.0, help="seconds between frames"
+    )
+    parser.add_argument(
+        "--count",
+        type=int,
+        default=0,
+        help="stop after this many frames (0 = until interrupted)",
+    )
+    parser.add_argument(
+        "--once", action="store_true", help="render a single frame and exit"
+    )
+    parser.add_argument("--timeout", type=float, default=DEFAULT_TIMEOUT)
+    args = parser.parse_args(argv)
+    if args.interval <= 0:
+        parser.error("--interval must be positive")
+
+    count = 1 if args.once else args.count
+    prev: dict[str, Any] | None = None
+    frames = 0
+    try:
+        while True:
+            cur = scrape(args.host, args.port, timeout=args.timeout)
+            print(render_frame(prev, cur, args.host, args.port), flush=True)
+            frames += 1
+            if cur is None and (args.once or count):
+                return 1
+            if count and frames >= count:
+                return 0
+            prev = cur
+            _SLEEP.wait(timeout=args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - manual tool
+    raise SystemExit(main())

@@ -1,0 +1,33 @@
+"""RC110 twin: output goes through logging, main() keeps its stdout.
+
+Also exercises the shapes RC110 must *not* flag: a ``print`` nested
+inside ``main`` (helpers defined within the entry point inherit its
+exemption), attribute calls that merely *end* in ``write`` (file
+handles, wfile), and logging itself.
+"""
+
+import json
+import logging
+
+_log = logging.getLogger(__name__)
+
+
+def handle(request: dict) -> dict:
+    _log.debug("handling %s", request)
+    return {"ok": True}
+
+
+def persist(path: str, payload: dict) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(json.dumps(payload))  # a file handle, not sys.stdout
+
+
+def main(argv: list[str] | None = None) -> int:
+    summary = handle({})
+
+    def render() -> None:
+        print(json.dumps(summary))  # nested in main: still the CLI surface
+
+    render()
+    print("done")
+    return 0

@@ -1,0 +1,21 @@
+"""RC110 fixture: ad-hoc stdout/stderr output in the serving layer."""
+
+import sys
+
+
+def handle(request: dict) -> dict:
+    print("handling", request)  # invisible to operators, corrupts pipes
+    return {"ok": True}
+
+
+def warn(message: str) -> None:
+    sys.stderr.write(f"warning: {message}\n")  # no level, no timestamp
+
+
+def report(message: str) -> None:
+    sys.stdout.write(message + "\n")  # interleaves with CLI JSON
+
+
+class Dispatcher:
+    def tick(self) -> None:
+        print("tick")  # methods are not main() either

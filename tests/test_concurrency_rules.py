@@ -9,7 +9,7 @@ from repro.analysis.checker import check_paths
 FIXTURES = pathlib.Path(__file__).resolve().parent / "analysis_fixtures"
 REPO = pathlib.Path(__file__).resolve().parents[1]
 
-RC1XX = ["RC100", "RC101", "RC102", "RC103", "RC104", "RC105", "RC107"]
+RC1XX = ["RC100", "RC101", "RC102", "RC103", "RC104", "RC105", "RC107", "RC110"]
 
 
 def codes_for(tree):

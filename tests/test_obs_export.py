@@ -20,12 +20,16 @@ from repro.index.kmer import ContiguousSeedModel, TwoBankIndex
 from repro.obs import metrics as obsmetrics
 from repro.obs import trace
 from repro.obs.export import (
+    FLIGHT_RECORDS_SCHEMA,
     REPORT_SCHEMA,
+    REQUEST_TRACE_SCHEMA,
     SERVE_METRICS_SCHEMA,
     build_run_report,
     main as export_main,
     render_span_tree,
+    validate_flight_records,
     validate_report,
+    validate_request_trace,
     validate_serve_metrics,
 )
 from repro.seqs.generate import random_protein_bank
@@ -169,6 +173,107 @@ class TestServeMetricsSchema:
         path.write_text(self.scrape(serve_shed_total=None), encoding="ascii")
         assert export_main([str(path), "--kind", "serve-metrics"]) == 1
         assert "invalid:" in capsys.readouterr().err
+
+
+def _trace_doc(**over):
+    doc = {
+        "version": 1,
+        "request_id": "abc123",
+        "trace_id": "def456",
+        "request_index": 0,
+        "status": "ok",
+        "code": 200,
+        "duration_seconds": 0.25,
+        "spans": [
+            {
+                "name": "serve.request",
+                "span_id": 1,
+                "parent_id": None,
+                "start": 0.0,
+                "duration": 0.25,
+                "attributes": {},
+                "events": [],
+            }
+        ],
+    }
+    doc.update(over)
+    return doc
+
+
+def _flight_doc(**over):
+    doc = {
+        "version": 1,
+        "capacity": 8,
+        "recorded": 1,
+        "dropped": 0,
+        "records": [
+            {
+                "request_id": "abc123",
+                "trace_id": "def456",
+                "request_index": 0,
+                "status": "ok",
+                "code": 200,
+                "breakdown": {"queue": 0.01, "total": 0.25},
+                "retry_events": 0,
+                "fallback_events": 0,
+                "breaker_events": [],
+                "shed_reason": None,
+                "degraded": False,
+            }
+        ],
+    }
+    doc.update(over)
+    return doc
+
+
+class TestRequestTraceSchema:
+    def test_checked_in_schemas_match_embedded(self):
+        assert json.loads(
+            (REPO / "schemas" / "request_trace.schema.json").read_text()
+        ) == REQUEST_TRACE_SCHEMA
+        assert json.loads(
+            (REPO / "schemas" / "flight_record.schema.json").read_text()
+        ) == FLIGHT_RECORDS_SCHEMA
+
+    def test_valid_documents_pass(self):
+        assert validate_request_trace(_trace_doc()) == []
+        assert validate_flight_records(_flight_doc()) == []
+
+    def test_trace_shape_violations_flagged(self):
+        assert any(
+            "status" in e
+            for e in validate_request_trace(_trace_doc(status="weird"))
+        )
+        doc = _trace_doc()
+        del doc["spans"]
+        assert any("spans" in e for e in validate_request_trace(doc))
+        # Draining rejections have no admission index: null must be legal.
+        assert validate_request_trace(_trace_doc(request_index=None)) == []
+
+    def test_flight_shape_violations_flagged(self):
+        doc = _flight_doc()
+        doc["records"][0]["breakdown"]["total"] = -1.0
+        assert any("total" in e for e in validate_flight_records(doc))
+        doc = _flight_doc()
+        del doc["records"][0]["trace_id"]
+        assert any("trace_id" in e for e in validate_flight_records(doc))
+
+    def test_export_cli_kinds(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        path.write_text(json.dumps(_trace_doc()))
+        schema = str(REPO / "schemas" / "request_trace.schema.json")
+        assert export_main(
+            [str(path), "--kind", "request-trace", "--schema", schema]
+        ) == 0
+        assert "1 spans" in capsys.readouterr().out
+        path.write_text(json.dumps(_flight_doc()))
+        schema = str(REPO / "schemas" / "flight_record.schema.json")
+        assert export_main(
+            [str(path), "--kind", "flight-records", "--schema", schema]
+        ) == 0
+        assert "flight records" in capsys.readouterr().out
+        path.write_text(json.dumps(_flight_doc(records=[{}])))
+        assert export_main([str(path), "--kind", "flight-records"]) == 1
 
 
 class TestPipelineReport:

@@ -49,16 +49,19 @@ class TestFixtures:
 
 class TestRealTree:
     def test_src_is_clean_under_rc3xx_modulo_baseline(self):
-        # The acceptance gate for the thread/lock family: the only
-        # remaining RC3xx debt is the executor's `_LIVE_SEGMENTS` cleanup
-        # registry (mutated from signal/atexit context, which cannot take
-        # locks; its dict ops are single-bytecode atomic under the GIL).
+        # The acceptance gate for the thread/lock family: the remaining
+        # RC3xx debt is signal-context state that cannot take locks —
+        # the executor's `_LIVE_SEGMENTS` cleanup registry (mutated from
+        # signal/atexit context; its dict ops are single-bytecode atomic
+        # under the GIL) and the sampling profiler's SIGALRM handler
+        # (lock-free by design: the `_flight` lock serialises window
+        # owners and samples are read only while disarmed — DESIGN §10).
         from repro.analysis.baseline import load_baseline
 
         baseline = load_baseline(REPO / "repro-baseline.json")
         result = check_paths([REPO / "src"], select=RC3XX, baseline=baseline)
         assert result.violations == []
-        assert result.baseline_suppressed == 1
+        assert result.baseline_suppressed == 16
         assert [k for k in result.baseline_stale if k[0] in RC3XX] == []
 
 
